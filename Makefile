@@ -1,0 +1,41 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build test race cover bench experiments figures fuzz clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/runtime/ ./internal/transport/ ./internal/core/ ./internal/sim/
+
+cover:
+	$(GO) test -coverprofile=cover.out ./internal/...
+	$(GO) tool cover -func=cover.out | tail -1
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every paper artifact (tables + ASCII charts) on stdout.
+experiments:
+	$(GO) run ./cmd/dvdcbench -exp all
+
+# Same, but also write .txt/.csv/.png files under fig/.
+figures:
+	$(GO) run ./cmd/dvdcbench -exp all -out fig
+
+# Short fuzzing passes over the three codecs.
+fuzz:
+	$(GO) test ./internal/wire/ -fuzz FuzzDecode -fuzztime 30s
+	$(GO) test ./internal/checkpoint/ -fuzz FuzzDecode -fuzztime 30s
+	$(GO) test ./internal/runtime/ -fuzz FuzzDecodeDelta -fuzztime 30s
+
+clean:
+	rm -rf fig cover.out test_output.txt bench_output.txt

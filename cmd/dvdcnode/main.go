@@ -1,0 +1,35 @@
+// Command dvdcnode runs one DVDC node daemon: it hosts VM memories, keeps
+// RAID-group parity, and serves the wire protocol until interrupted. A
+// coordinator (cmd/dvdcctl) configures it and drives checkpoint rounds.
+//
+// Usage:
+//
+//	dvdcnode -listen 127.0.0.1:7401
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"dvdc/internal/runtime"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:0", "address to listen on")
+	flag.Parse()
+
+	node, err := runtime.NewNode(*listen)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dvdcnode: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("dvdcnode listening on %s\n", node.Addr())
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("dvdcnode: shutting down")
+	node.Close()
+}

@@ -1,0 +1,143 @@
+// Command dvdcsim runs one simulated job on a virtualized cluster under
+// Poisson node failures and reports completion statistics for the chosen
+// checkpointing scheme.
+//
+// Usage:
+//
+//	dvdcsim -scheme dvdc -nodes 4 -stacks 1 -interval 120 -job 172800
+//	dvdcsim -scheme diskfull -interval 1500
+//	dvdcsim -scheme remus -interval 0.5
+//	dvdcsim -scheme none
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+
+	"dvdc/internal/analytic"
+	"dvdc/internal/cluster"
+	"dvdc/internal/core"
+	"dvdc/internal/diskfull"
+	"dvdc/internal/failure"
+	"dvdc/internal/remus"
+	"dvdc/internal/storage"
+	"dvdc/internal/vm"
+)
+
+func main() {
+	var (
+		scheme   = flag.String("scheme", "dvdc", "dvdc | diskfull | remus | none")
+		nodes    = flag.Int("nodes", 4, "physical nodes")
+		stacks   = flag.Int("stacks", 1, "RAID group stacks")
+		interval = flag.Float64("interval", 120, "checkpoint interval / Remus epoch (s)")
+		job      = flag.Float64("job", 2*24*3600, "job length (s)")
+		mtbf     = flag.Float64("mtbf", 3*3600, "system MTBF (s); per-node MTBF = mtbf*nodes")
+		image    = flag.Int64("image", 2<<30, "VM image bytes")
+		wss      = flag.Float64("wss", 32*(1<<20), "dirty working set bytes")
+		rate     = flag.Float64("rate", 4*(1<<20), "write rate bytes/s")
+		seed     = flag.Int64("seed", 1, "failure seed")
+		runsN    = flag.Int("runs", 1, "independent runs to average")
+		traceStr = flag.String("trace", "", "comma-separated absolute failure times (s); replaces the Poisson schedule")
+		traceCSV = flag.String("tracefile", "", "CSV failure log (node,seconds) to replay; replaces the Poisson schedule")
+		repair   = flag.Float64("repair", 0, "node out-of-service time after a failure (s); engages degraded-rate execution")
+	)
+	flag.Parse()
+
+	layout, err := cluster.BuildDistributed(*nodes, *stacks, 1)
+	fatal(err)
+	plat, err := analytic.DefaultPlatform(layout.Nodes)
+	fatal(err)
+	spec := vm.Spec{
+		Name:       "guest",
+		ImageBytes: *image,
+		Dirty:      vm.SaturatingDirty{WriteRate: *rate, WSSBytes: *wss},
+	}
+	fullSpec := vm.Spec{
+		Name:       "guest-full",
+		ImageBytes: *image,
+		Dirty:      vm.FullImageDirty{ImageBytes: float64(*image)},
+	}
+
+	var sch core.Scheme
+	switch *scheme {
+	case "dvdc":
+		sch, err = core.NewDVDCScheme(plat, layout, spec)
+	case "diskfull":
+		sch, err = diskfull.New(plat, storage.DefaultNAS(), len(layout.VMs),
+			len(layout.VMs)/layout.Nodes, fullSpec, false)
+	case "remus":
+		sch, err = remus.NewScheme(spec)
+	case "none":
+		// Restart-from-zero: modeled as one giant interval with no overhead.
+		sch = noCheckpoint{}
+		*interval = *job
+	default:
+		fatal(fmt.Errorf("unknown scheme %q", *scheme))
+	}
+	fatal(err)
+
+	var sumRatio, sumFail, sumLost float64
+	for r := 0; r < *runsN; r++ {
+		var sched *failure.NodeSchedule
+		if *traceCSV != "" {
+			f, err := os.Open(*traceCSV)
+			fatal(err)
+			sched, err = failure.LoadTraceCSV(f, layout.Nodes)
+			f.Close()
+			fatal(err)
+		} else if *traceStr != "" {
+			var times []float64
+			for _, f := range strings.Split(*traceStr, ",") {
+				v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+				fatal(err)
+				times = append(times, v)
+			}
+			tr, err := failure.NewTrace(times)
+			fatal(err)
+			sched, err = failure.NewNodeSchedule([]failure.Process{tr})
+			fatal(err)
+		} else {
+			var err error
+			sched, err = failure.NewPoissonNodes(layout.Nodes, *mtbf*float64(layout.Nodes), *seed+int64(r)*104729)
+			fatal(err)
+		}
+		res, err := core.Run(core.Config{
+			JobSeconds: *job, Interval: *interval, DetectSec: 1, RepairSec: *repair,
+			Schedule: sched, Scheme: sch,
+		})
+		fatal(err)
+		sumRatio += res.Ratio
+		sumFail += float64(res.Failures)
+		sumLost += res.LostWork
+		if *runsN == 1 {
+			fmt.Printf("scheme      %s\n", sch.Name())
+			fmt.Printf("completion  %.0f s (ratio %.4f)\n", res.Completion, res.Ratio)
+			fmt.Printf("checkpoints %d\n", res.Checkpoints)
+			fmt.Printf("failures    %d (lost work %.0f s, recovery %.1f s, degraded %.0f s)\n",
+				res.Failures, res.LostWork, res.RecoveryTime, res.DegradedTime)
+			return
+		}
+	}
+	n := float64(*runsN)
+	fmt.Printf("scheme %s: mean ratio %.4f, mean failures %.1f, mean lost work %.0f s over %d runs\n",
+		sch.Name(), sumRatio/n, sumFail/n, sumLost/n, *runsN)
+}
+
+// noCheckpoint makes the engine model restart-from-zero: the single
+// "checkpoint" never happens (interval = job), failures roll to time zero.
+type noCheckpoint struct{}
+
+func (noCheckpoint) Name() string                                { return "no checkpointing" }
+func (noCheckpoint) CheckpointOverhead(float64) (float64, error) { return 0, nil }
+func (noCheckpoint) RecoveryTime(int) (float64, error)           { return math.Nextafter(0, 1), nil }
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dvdcsim: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,147 @@
+package dvdc
+
+// Smoke tests for the command-line binaries: build them with the local
+// toolchain, run a real multi-process DVDC session on loopback, kill a
+// daemon, and verify the controller recovers. Skipped with -short.
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// buildCmd compiles one of the cmd/ binaries into dir.
+func buildCmd(t *testing.T, dir, name string) string {
+	t.Helper()
+	bin := filepath.Join(dir, name)
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/"+name)
+	cmd.Env = os.Environ()
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("build %s: %v\n%s", name, err, out)
+	}
+	return bin
+}
+
+func TestCmdSmokeDistributedSession(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process smoke test")
+	}
+	dir := t.TempDir()
+	nodeBin := buildCmd(t, dir, "dvdcnode")
+	ctlBin := buildCmd(t, dir, "dvdcctl")
+
+	// Start four daemons on ephemeral ports and read their addresses.
+	var addrs []string
+	var procs []*exec.Cmd
+	for i := 0; i < 4; i++ {
+		cmd := exec.Command(nodeBin, "-listen", "127.0.0.1:0")
+		stdout, err := cmd.StdoutPipe()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		procs = append(procs, cmd)
+		sc := bufio.NewScanner(stdout)
+		addrCh := make(chan string, 1)
+		go func() {
+			for sc.Scan() {
+				line := sc.Text()
+				if strings.Contains(line, "listening on ") {
+					addrCh <- strings.TrimSpace(strings.SplitAfter(line, "listening on ")[1])
+					return
+				}
+			}
+			addrCh <- ""
+		}()
+		select {
+		case a := <-addrCh:
+			if a == "" {
+				t.Fatalf("daemon %d printed no address", i)
+			}
+			addrs = append(addrs, a)
+		case <-time.After(10 * time.Second):
+			t.Fatalf("daemon %d did not report its address", i)
+		}
+	}
+	t.Cleanup(func() {
+		for _, p := range procs {
+			p.Process.Kill()
+			p.Wait()
+		}
+	})
+
+	// Run three checkpointed rounds, then have the controller treat node 2
+	// as dead and recover around it (the runtime's own tests cover real TCP
+	// death; here the whole multi-process pipeline is what's under test).
+	ctl := exec.Command(ctlBin,
+		"-nodes", strings.Join(addrs, ","),
+		"-rounds", "3", "-steps", "100", "-kill", "2", "-pages", "32")
+	out, err := ctl.CombinedOutput()
+	text := string(out)
+	if err != nil {
+		t.Fatalf("dvdcctl: %v\n%s", err, text)
+	}
+	for _, want := range []string{
+		"configured 4 nodes, 12 VMs, 4 groups",
+		"round 3 committed (epoch 3)",
+		"recovery complete: 12/12 VM states verified",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("dvdcctl output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestCmdSmokeSimAndBench(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process smoke test")
+	}
+	dir := t.TempDir()
+	simBin := buildCmd(t, dir, "dvdcsim")
+	benchBin := buildCmd(t, dir, "dvdcbench")
+
+	out, err := exec.Command(simBin, "-scheme", "dvdc", "-job", "20000", "-interval", "200").CombinedOutput()
+	if err != nil {
+		t.Fatalf("dvdcsim: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "completion") {
+		t.Errorf("dvdcsim output: %s", out)
+	}
+
+	out, err = exec.Command(benchBin, "-list").CombinedOutput()
+	if err != nil {
+		t.Fatalf("dvdcbench -list: %v\n%s", err, out)
+	}
+	for i := 1; i <= 20; i++ {
+		if !strings.Contains(string(out), fmt.Sprintf("E%d ", i)) {
+			t.Errorf("dvdcbench -list missing E%d:\n%s", i, out)
+		}
+	}
+
+	out, err = exec.Command(benchBin, "-exp", "E3").CombinedOutput()
+	if err != nil {
+		t.Fatalf("dvdcbench -exp E3: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "single-failure survival") {
+		t.Errorf("E3 output: %s", out)
+	}
+
+	// -out writes the artifact files, including a PNG for figures.
+	artDir := filepath.Join(dir, "fig")
+	if out, err := exec.Command(benchBin, "-exp", "E1", "-points", "40", "-out", artDir).CombinedOutput(); err != nil {
+		t.Fatalf("dvdcbench -out: %v\n%s", err, out)
+	}
+	for _, f := range []string{"e1.txt", "e1.csv", "e1.png"} {
+		if _, err := os.Stat(filepath.Join(artDir, f)); err != nil {
+			t.Errorf("missing artifact %s: %v", f, err)
+		}
+	}
+}

@@ -1,0 +1,77 @@
+// Adaptive: the adaptive checkpoint-interval extension the paper cites
+// (Yi et al.). The engine re-tunes the interval online from the overhead of
+// the checkpoint it just paid (Young/Daly re-derived per window) and is
+// compared against fixed intervals — including badly mistuned ones — on the
+// same failure schedules.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dvdc"
+	"dvdc/internal/core"
+	"dvdc/internal/vm"
+)
+
+func main() {
+	layout, err := dvdc.PaperLayout()
+	if err != nil {
+		log.Fatal(err)
+	}
+	plat, err := dvdc.DefaultPlatform(layout.Nodes)
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec := vm.Spec{
+		Name:       "guest",
+		ImageBytes: 1 << 30,
+		Dirty:      vm.SaturatingDirty{WriteRate: 4 << 20, WSSBytes: 32 << 20},
+	}
+	scheme, err := dvdc.NewDVDCScheme(plat, layout, spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const (
+		mtbf = 3 * 3600.0
+		job  = 2 * 24 * 3600.0
+		runs = 40
+	)
+	type policy struct {
+		name     string
+		interval float64
+		pol      core.IntervalPolicy
+	}
+	policies := []policy{
+		{"fixed 10 s (too eager)", 10, nil},
+		{"fixed 2 h (too lazy)", 2 * 3600, nil},
+		{"fixed 140 s (hand-tuned)", 140, nil},
+		{"adaptive Young/Daly", 600, core.YoungDalyPolicy(mtbf, 5, job/4)},
+	}
+	fmt.Printf("%-28s %-12s %-12s %-10s\n", "policy", "E[T]/T", "checkpoints", "lost work (s)")
+	for _, p := range policies {
+		var ratio, lost float64
+		var ckpts int
+		for r := 0; r < runs; r++ {
+			sched, err := dvdc.NewPoissonFailures(layout.Nodes, mtbf*float64(layout.Nodes), 1000+int64(r))
+			if err != nil {
+				log.Fatal(err)
+			}
+			res, err := dvdc.Simulate(core.Config{
+				JobSeconds: job, Interval: p.interval, DetectSec: 1,
+				Schedule: sched, Scheme: scheme, Policy: p.pol,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			ratio += res.Ratio
+			lost += res.LostWork
+			ckpts = res.Checkpoints
+		}
+		fmt.Printf("%-28s %-12.4f %-12d %-10.0f\n", p.name, ratio/runs, ckpts, lost/runs)
+	}
+	fmt.Println("\nThe adaptive policy converges to the hand-tuned optimum without knowing the")
+	fmt.Println("platform's overhead curve in advance — the benefit Yi et al. argue for when")
+	fmt.Println("checkpoint cost varies with the dirty set.")
+}

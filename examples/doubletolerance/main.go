@@ -1,0 +1,94 @@
+// Doubletolerance: the multi-failure extension the paper motivates through
+// Wang et al.'s double-erasure checkpointing. A 7-node cluster protects each
+// RAID group with TWO parity blocks (GF(256) Reed-Solomon, where one block
+// degenerates to the paper's XOR), so two physical nodes can die at the
+// same instant — here, over real TCP — and every lost VM still comes back
+// bit-exact.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dvdc"
+	"dvdc/internal/runtime"
+)
+
+func main() {
+	const nodes = 7
+	daemons := make([]*runtime.Node, nodes)
+	addrs := map[int]string{}
+	for i := range daemons {
+		n, err := dvdc.NewNode("127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		daemons[i] = n
+		addrs[i] = n.Addr()
+	}
+	defer func() {
+		for _, d := range daemons {
+			d.Close()
+		}
+	}()
+
+	// Groups of 3 members + 2 parity blocks: tolerance 2.
+	layout, err := dvdc.NewDVDCLayoutGroups(nodes, 1, 2, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	coord, err := dvdc.NewCoordinator(layout, addrs, 64, 4096, 11)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer coord.Close()
+	if err := coord.Setup(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cluster: %d nodes, %d VMs, %d groups, tolerance %d (RS double parity)\n",
+		nodes, len(layout.VMs), len(layout.Groups), layout.Tolerance)
+
+	for round := 1; round <= 3; round++ {
+		if err := coord.Step(120); err != nil {
+			log.Fatal(err)
+		}
+		if err := coord.Checkpoint(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("round %d committed (epoch %d)\n", round, coord.Epoch())
+	}
+	committed, err := coord.Checksums()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\nkilling nodes 2 and 5 simultaneously...")
+	daemons[2].Close()
+	daemons[5].Close()
+	plan, err := coord.RecoverNodes(2, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, s := range plan.Steps {
+		fmt.Printf("  %-14s group %d -> node %d %s\n", s.Kind, s.Group, s.TargetNode, s.VM)
+	}
+	after, err := coord.Checksums()
+	if err != nil {
+		log.Fatal(err)
+	}
+	ok := 0
+	for vmName, want := range committed {
+		if after[vmName] == want {
+			ok++
+		}
+	}
+	fmt.Printf("double-failure recovery: %d/%d VM states verified bit-exact\n", ok, len(committed))
+
+	if err := coord.Step(60); err != nil {
+		log.Fatal(err)
+	}
+	if err := coord.Checkpoint(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cluster still checkpointing on 5 survivors (epoch %d)\n", coord.Epoch())
+}

@@ -1,0 +1,93 @@
+// Messaging: the consistency half of the paper's Sec. IV-A — "coordinate a
+// consistent distributed checkpoint". A producer VM streams sequenced
+// messages to a consumer VM over FIFO channels; the coordinated checkpoint
+// drains in-flight messages before capture, and recovery discards the
+// post-checkpoint in-flight ones alongside the rolled-back sender state.
+// The consumer asserts gap-free, duplicate-free delivery through checkpoint,
+// failure, rollback, and reconstruction.
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+
+	"dvdc"
+	"dvdc/internal/comm"
+	"dvdc/internal/vm"
+)
+
+func main() {
+	layout, err := dvdc.NewDVDCLayoutGroups(6, 1, 1, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cl, err := dvdc.NewCluster(layout, 16, 4096)
+	if err != nil {
+		log.Fatal(err)
+	}
+	net := comm.NewNetwork()
+	// Deliver: verify sequence continuity and record it in the consumer.
+	deliver := func(dst *vm.Machine, m comm.Message) error {
+		seq := binary.LittleEndian.Uint64(m.Payload)
+		var bad error
+		dst.MutatePage(0, func(p []byte) {
+			last := binary.LittleEndian.Uint64(p[:8])
+			if seq != last+1 {
+				bad = fmt.Errorf("GAP/DUP: consumer got %d after %d", seq, last)
+				return
+			}
+			binary.LittleEndian.PutUint64(p[:8], seq)
+		})
+		return bad
+	}
+	if err := cl.AttachNetwork(net, deliver); err != nil {
+		log.Fatal(err)
+	}
+
+	names := cl.VMNames()
+	producer, consumer := names[0], names[4]
+	send := func(k int) {
+		m, _ := cl.Machine(producer)
+		for i := 0; i < k; i++ {
+			var next uint64
+			m.MutatePage(0, func(p []byte) {
+				next = binary.LittleEndian.Uint64(p[:8]) + 1
+				binary.LittleEndian.PutUint64(p[:8], next)
+			})
+			payload := make([]byte, 8)
+			binary.LittleEndian.PutUint64(payload, next)
+			if err := net.Send(producer, consumer, payload); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	counter := func(name string) uint64 {
+		m, _ := cl.Machine(name)
+		return binary.LittleEndian.Uint64(m.Page(0)[:8])
+	}
+
+	send(100)
+	if err := cl.CheckpointRound(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after checkpoint: producer sent %d, consumer received %d, in flight %d\n",
+		counter(producer), counter(consumer), net.InFlight())
+
+	send(40) // uncommitted sends, left in flight
+	v, _ := cl.Layout().VM(producer)
+	fmt.Printf("sent 40 more (in flight %d); killing node %d (hosts the producer)...\n",
+		net.InFlight(), v.Node)
+	if _, err := cl.FailNode(v.Node); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after recovery: producer counter %d, consumer counter %d, in flight %d\n",
+		counter(producer), counter(consumer), net.InFlight())
+
+	send(25)
+	if err := cl.CheckpointRound(); err != nil {
+		log.Fatal(err) // a gap or duplicate would surface here
+	}
+	fmt.Printf("resumed cleanly: producer %d == consumer %d, no gaps, no duplicates\n",
+		counter(producer), counter(consumer))
+}

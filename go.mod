@@ -1,0 +1,3 @@
+module dvdc
+
+go 1.22

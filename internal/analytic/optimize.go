@@ -1,0 +1,142 @@
+package analytic
+
+import (
+	"fmt"
+	"math"
+)
+
+// SweepPoint is one sample of the Fig. 5 curves.
+type SweepPoint struct {
+	Interval float64 // Tint, seconds
+	Overhead float64 // Tov at that interval, seconds
+	Ratio    float64 // E[T]/T
+}
+
+// Sweep evaluates the expected-time ratio across logarithmically spaced
+// checkpoint intervals in [lo, hi]: the data behind Fig. 5.
+func Sweep(m Model, om OverheadModel, lo, hi float64, points int) ([]SweepPoint, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if lo <= 0 || hi <= lo {
+		return nil, fmt.Errorf("analytic: bad sweep range [%v,%v]", lo, hi)
+	}
+	if points < 2 {
+		return nil, fmt.Errorf("analytic: sweep needs >= 2 points, got %d", points)
+	}
+	out := make([]SweepPoint, 0, points)
+	logLo, logHi := math.Log(lo), math.Log(hi)
+	for i := 0; i < points; i++ {
+		iv := math.Exp(logLo + (logHi-logLo)*float64(i)/float64(points-1))
+		ov, err := om.Overhead(iv)
+		if err != nil {
+			return nil, err
+		}
+		r, err := m.Ratio(iv, ov)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, SweepPoint{Interval: iv, Overhead: ov, Ratio: r})
+	}
+	return out, nil
+}
+
+// Optimum is the minimizing point of a sweep-style objective.
+type Optimum struct {
+	Interval float64
+	Overhead float64
+	Ratio    float64
+}
+
+// OptimalInterval finds the checkpoint interval minimizing the expected
+// completion-time ratio via golden-section search over [lo, hi], seeded by
+// a coarse grid to avoid non-unimodal edge cases.
+func OptimalInterval(m Model, om OverheadModel, lo, hi float64) (Optimum, error) {
+	if err := m.Validate(); err != nil {
+		return Optimum{}, err
+	}
+	if lo <= 0 || hi <= lo {
+		return Optimum{}, fmt.Errorf("analytic: bad search range [%v,%v]", lo, hi)
+	}
+	eval := func(iv float64) (float64, error) {
+		ov, err := om.Overhead(iv)
+		if err != nil {
+			return 0, err
+		}
+		return m.Ratio(iv, ov)
+	}
+	// Coarse log-grid seed.
+	const grid = 64
+	bestIv, bestR := lo, math.Inf(1)
+	logLo, logHi := math.Log(lo), math.Log(hi)
+	for i := 0; i <= grid; i++ {
+		iv := math.Exp(logLo + (logHi-logLo)*float64(i)/grid)
+		r, err := eval(iv)
+		if err != nil {
+			return Optimum{}, err
+		}
+		if r < bestR {
+			bestIv, bestR = iv, r
+		}
+	}
+	// Golden-section refine around the grid winner.
+	a := bestIv / math.Exp((logHi-logLo)/grid)
+	b := bestIv * math.Exp((logHi-logLo)/grid)
+	if a < lo {
+		a = lo
+	}
+	if b > hi {
+		b = hi
+	}
+	const phi = 0.6180339887498949
+	x1 := b - phi*(b-a)
+	x2 := a + phi*(b-a)
+	f1, err := eval(x1)
+	if err != nil {
+		return Optimum{}, err
+	}
+	f2, err := eval(x2)
+	if err != nil {
+		return Optimum{}, err
+	}
+	for i := 0; i < 200 && (b-a) > 1e-6*b; i++ {
+		if f1 < f2 {
+			b, x2, f2 = x2, x1, f1
+			x1 = b - phi*(b-a)
+			if f1, err = eval(x1); err != nil {
+				return Optimum{}, err
+			}
+		} else {
+			a, x1, f1 = x1, x2, f2
+			x2 = a + phi*(b-a)
+			if f2, err = eval(x2); err != nil {
+				return Optimum{}, err
+			}
+		}
+	}
+	iv := (a + b) / 2
+	ov, err := om.Overhead(iv)
+	if err != nil {
+		return Optimum{}, err
+	}
+	r, err := m.Ratio(iv, ov)
+	if err != nil {
+		return Optimum{}, err
+	}
+	if r > bestR { // golden section should never lose to its seed
+		iv, r = bestIv, bestR
+		if ov, err = om.Overhead(iv); err != nil {
+			return Optimum{}, err
+		}
+	}
+	return Optimum{Interval: iv, Overhead: ov, Ratio: r}, nil
+}
+
+// YoungDaly is the first-order optimal interval sqrt(2 * Tov * MTBF),
+// included as the standard reference approximation for constant overhead.
+func YoungDaly(tov, mtbf float64) float64 {
+	if tov <= 0 || mtbf <= 0 {
+		return 0
+	}
+	return math.Sqrt(2 * tov * mtbf)
+}

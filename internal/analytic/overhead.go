@@ -1,0 +1,236 @@
+package analytic
+
+import (
+	"fmt"
+	"math"
+
+	"dvdc/internal/cluster"
+	"dvdc/internal/netsim"
+	"dvdc/internal/storage"
+	"dvdc/internal/vm"
+)
+
+// OverheadModel yields, for a candidate checkpoint interval, the overhead
+// Tov a checkpoint costs (execution suspended) and the latency until the
+// checkpoint is usable for recovery. The distinction is Plank's: diskless
+// checkpointing barely improves overhead but slashes latency; with
+// synchronous commit (the paper's Fig. 5 setting) overhead equals latency
+// for both schemes, and the NAS bottleneck is what separates them.
+type OverheadModel interface {
+	// Overhead returns Tov in seconds for a checkpoint taken after
+	// `interval` seconds of execution.
+	Overhead(interval float64) (float64, error)
+	// Latency returns the time from checkpoint start until it is usable.
+	Latency(interval float64) (float64, error)
+	// Name identifies the scheme in reports.
+	Name() string
+}
+
+// Platform collects the hardware constants shared by the overhead models.
+type Platform struct {
+	Fabric     *netsim.Fabric
+	CaptureBps float64 // memory snapshot speed while the VM is paused
+	XORBps     float64 // in-memory XOR throughput per node
+	BaseSec    float64 // fixed coordination cost per checkpoint (paper: 40 ms)
+}
+
+// DefaultPlatform matches the paper's era: GigE fabric, 4 GiB/s capture,
+// 3 GiB/s XOR, 40 ms base overhead.
+func DefaultPlatform(nodes int) (Platform, error) {
+	fab, err := netsim.NewFabric(nodes, netsim.GigE)
+	if err != nil {
+		return Platform{}, err
+	}
+	return Platform{
+		Fabric:     fab,
+		CaptureBps: 4 * float64(1<<30),
+		XORBps:     3 * float64(1<<30),
+		BaseSec:    0.040,
+	}, nil
+}
+
+// Validate checks platform parameters.
+func (p Platform) Validate() error {
+	if p.Fabric == nil {
+		return fmt.Errorf("analytic: platform has no fabric")
+	}
+	if p.CaptureBps <= 0 || p.XORBps <= 0 {
+		return fmt.Errorf("analytic: invalid platform rates capture=%v xor=%v", p.CaptureBps, p.XORBps)
+	}
+	if p.BaseSec < 0 {
+		return fmt.Errorf("analytic: negative base overhead %v", p.BaseSec)
+	}
+	return nil
+}
+
+// Diskless is the DVDC overhead model: capture dirty sets, exchange them
+// across the fabric to the rotated parity holders, XOR in memory. Every
+// node both sends (its hosted VMs' checkpoints) and receives (the groups it
+// holds parity for), so the network step is bounded by the busiest edge
+// rather than a central bottleneck.
+type Diskless struct {
+	Platform Platform
+	Layout   *cluster.Layout
+	Spec     vm.Spec // per-VM size/dirty behaviour (uniform across VMs)
+}
+
+// NewDiskless validates and builds the model.
+func NewDiskless(p Platform, l *cluster.Layout, spec vm.Spec) (*Diskless, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if l == nil {
+		return nil, fmt.Errorf("analytic: diskless model needs a layout")
+	}
+	if p.Fabric.Nodes != l.Nodes {
+		return nil, fmt.Errorf("analytic: fabric has %d nodes, layout %d", p.Fabric.Nodes, l.Nodes)
+	}
+	return &Diskless{Platform: p, Layout: l, Spec: spec}, nil
+}
+
+// Name implements OverheadModel.
+func (d *Diskless) Name() string { return "diskless (DVDC)" }
+
+// trafficPerNode computes egress and ingress checkpoint bytes per node for
+// one checkpoint round with per-VM payload ckptBytes.
+func (d *Diskless) trafficPerNode(ckptBytes float64) (egress, ingress []float64) {
+	n := d.Layout.Nodes
+	egress = make([]float64, n)
+	ingress = make([]float64, n)
+	parityOf := make(map[int][]int, len(d.Layout.Groups)) // group -> parity nodes
+	for _, g := range d.Layout.Groups {
+		parityOf[g.Index] = g.ParityNodes
+	}
+	for _, v := range d.Layout.VMs {
+		for _, pn := range parityOf[v.Group] {
+			if pn == v.Node {
+				continue // parity co-located (degraded layout): no wire cost
+			}
+			egress[v.Node] += ckptBytes
+			ingress[pn] += ckptBytes
+		}
+	}
+	return egress, ingress
+}
+
+// Overhead implements OverheadModel.
+func (d *Diskless) Overhead(interval float64) (float64, error) {
+	ckpt := d.Spec.CheckpointBytes(interval)
+	capture := ckpt / d.Platform.CaptureBps
+	egress, ingress := d.trafficPerNode(ckpt)
+	net, err := d.Platform.Fabric.ExchangeTime(egress, ingress)
+	if err != nil {
+		return 0, err
+	}
+	// XOR runs on each parity node over what it received, in parallel
+	// across nodes: the busiest node bounds the step.
+	var xor float64
+	for _, in := range ingress {
+		if t := in / d.Platform.XORBps; t > xor {
+			xor = t
+		}
+	}
+	return d.Platform.BaseSec + capture + net + xor, nil
+}
+
+// Latency implements OverheadModel: with synchronous parity commit the
+// checkpoint is usable the moment the overhead window ends.
+func (d *Diskless) Latency(interval float64) (float64, error) {
+	return d.Overhead(interval)
+}
+
+// Diskfull is the baseline: capture, then every VM's checkpoint funnels
+// into a single NAS and must reach its disks. With synchronous commit the
+// entire flush is overhead; the asynchronous variant (Async=true) suspends
+// execution only for the capture and local buffering, but the checkpoint is
+// not usable until the flush finishes — that gap is the latency Plank's
+// diskless scheme removes.
+type Diskfull struct {
+	Platform Platform
+	NAS      storage.NAS
+	VMCount  int
+	Spec     vm.Spec
+	Async    bool
+}
+
+// NewDiskfull validates and builds the baseline model.
+func NewDiskfull(p Platform, nas storage.NAS, vmCount int, spec vm.Spec, async bool) (*Diskfull, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if err := nas.Validate(); err != nil {
+		return nil, err
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if vmCount <= 0 {
+		return nil, fmt.Errorf("analytic: diskfull model needs vmCount > 0, got %d", vmCount)
+	}
+	return &Diskfull{Platform: p, NAS: nas, VMCount: vmCount, Spec: spec, Async: async}, nil
+}
+
+// Name implements OverheadModel.
+func (d *Diskfull) Name() string {
+	if d.Async {
+		return "disk-full (async)"
+	}
+	return "disk-full (NAS)"
+}
+
+func (d *Diskfull) parts(interval float64) (capture, flush float64, err error) {
+	ckpt := d.Spec.CheckpointBytes(interval)
+	capture = ckpt / d.Platform.CaptureBps
+	flush, err = d.NAS.CheckpointFlushTime(d.VMCount, ckpt)
+	return capture, flush, err
+}
+
+// Overhead implements OverheadModel.
+func (d *Diskfull) Overhead(interval float64) (float64, error) {
+	capture, flush, err := d.parts(interval)
+	if err != nil {
+		return 0, err
+	}
+	if d.Async {
+		return d.Platform.BaseSec + capture, nil
+	}
+	return d.Platform.BaseSec + capture + flush, nil
+}
+
+// Latency implements OverheadModel.
+func (d *Diskfull) Latency(interval float64) (float64, error) {
+	capture, flush, err := d.parts(interval)
+	if err != nil {
+		return 0, err
+	}
+	return d.Platform.BaseSec + capture + flush, nil
+}
+
+// ConstantOverhead is a trivial model for tests and for reproducing
+// textbook optimal-interval results.
+type ConstantOverhead struct {
+	Tov   float64
+	Label string
+}
+
+// Overhead implements OverheadModel.
+func (c ConstantOverhead) Overhead(float64) (float64, error) {
+	if c.Tov < 0 || math.IsNaN(c.Tov) {
+		return 0, fmt.Errorf("analytic: invalid constant overhead %v", c.Tov)
+	}
+	return c.Tov, nil
+}
+
+// Latency implements OverheadModel.
+func (c ConstantOverhead) Latency(float64) (float64, error) { return c.Overhead(0) }
+
+// Name implements OverheadModel.
+func (c ConstantOverhead) Name() string {
+	if c.Label != "" {
+		return c.Label
+	}
+	return "constant"
+}

@@ -1,0 +1,182 @@
+package analytic
+
+import (
+	"strings"
+	"testing"
+
+	"dvdc/internal/cluster"
+	"dvdc/internal/storage"
+	"dvdc/internal/vm"
+)
+
+// paperSpec is the Fig. 5 per-VM behaviour for DVDC: a 1 GiB image whose
+// live-migration-style incremental checkpoints carry only the dirty working
+// set (saturating toward 32 MiB). The disk-full baseline, per the paper's
+// Sec. IV framing ("large VM images sent to a shared network store"), ships
+// the whole image every checkpoint — see paperFullSpec.
+func paperSpec() vm.Spec {
+	return vm.Spec{
+		Name:       "hpc-guest",
+		ImageBytes: 1 << 30,
+		Dirty: vm.SaturatingDirty{
+			WriteRate: 4 * float64(1<<20), // 4 MiB/s of writes
+			WSSBytes:  32 * float64(1<<20),
+		},
+	}
+}
+
+// paperFullSpec is the baseline's payload: the full VM image per checkpoint.
+func paperFullSpec() vm.Spec {
+	return vm.Spec{
+		Name:       "hpc-guest-full",
+		ImageBytes: 1 << 30,
+		Dirty:      vm.FullImageDirty{ImageBytes: 1 << 30},
+	}
+}
+
+func paperModels(t *testing.T) (*Diskless, *Diskfull) {
+	t.Helper()
+	layout, err := cluster.Paper12VM()
+	if err != nil {
+		t.Fatal(err)
+	}
+	plat, err := DefaultPlatform(layout.Nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dl, err := NewDiskless(plat, layout, paperSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	df, err := NewDiskfull(plat, storage.DefaultNAS(), len(layout.VMs), paperFullSpec(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dl, df
+}
+
+func TestDisklessOverheadComponentsPositive(t *testing.T) {
+	dl, _ := paperModels(t)
+	ov, err := dl.Overhead(600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ov <= dl.Platform.BaseSec {
+		t.Errorf("overhead %v should exceed the base cost", ov)
+	}
+}
+
+func TestDisklessBeatsDiskfullAtEveryInterval(t *testing.T) {
+	dl, df := paperModels(t)
+	for _, iv := range []float64{10, 60, 600, 3600, 6 * 3600} {
+		a, err := dl.Overhead(iv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := df.Overhead(iv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a >= b {
+			t.Errorf("interval %v: diskless %v not below disk-full %v", iv, a, b)
+		}
+	}
+}
+
+func TestDiskfullAsyncOverheadVsLatencyGap(t *testing.T) {
+	dl, df := paperModels(t)
+	async, err := NewDiskfull(df.Platform, df.NAS, df.VMCount, df.Spec, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ov, err := async.Overhead(600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lat, err := async.Latency(600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lat <= ov {
+		t.Errorf("async disk-full latency %v should exceed overhead %v", lat, ov)
+	}
+	// Plank's observation: diskless latency is dramatically below the
+	// disk-full latency (factor 34 in his measurements; we require >5x).
+	dlat, err := dl.Latency(600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lat/dlat < 5 {
+		t.Errorf("latency improvement %vx, want >5x (disk %v vs diskless %v)", lat/dlat, lat, dlat)
+	}
+}
+
+func TestDisklessTrafficBalanced(t *testing.T) {
+	dl, _ := paperModels(t)
+	ckpt := dl.Spec.CheckpointBytes(600)
+	egress, ingress := dl.trafficPerNode(ckpt)
+	// Paper layout: each node sends 3 VM checkpoints and receives 3 (one
+	// group's worth): perfectly balanced.
+	for n := range egress {
+		if egress[n] != 3*ckpt {
+			t.Errorf("node %d egress %v, want %v", n, egress[n], 3*ckpt)
+		}
+		if ingress[n] != 3*ckpt {
+			t.Errorf("node %d ingress %v, want %v", n, ingress[n], 3*ckpt)
+		}
+	}
+}
+
+func TestNewDisklessValidation(t *testing.T) {
+	layout, _ := cluster.Paper12VM()
+	plat, _ := DefaultPlatform(4)
+	if _, err := NewDiskless(plat, nil, paperSpec()); err == nil {
+		t.Error("nil layout should fail")
+	}
+	if _, err := NewDiskless(plat, layout, vm.Spec{}); err == nil {
+		t.Error("invalid spec should fail")
+	}
+	plat5, _ := DefaultPlatform(5)
+	if _, err := NewDiskless(plat5, layout, paperSpec()); err == nil {
+		t.Error("fabric/layout node mismatch should fail")
+	}
+}
+
+func TestNewDiskfullValidation(t *testing.T) {
+	plat, _ := DefaultPlatform(4)
+	if _, err := NewDiskfull(plat, storage.DefaultNAS(), 0, paperSpec(), false); err == nil {
+		t.Error("zero VMs should fail")
+	}
+}
+
+func TestConstantOverhead(t *testing.T) {
+	c := ConstantOverhead{Tov: 5}
+	ov, err := c.Overhead(123)
+	if err != nil || ov != 5 {
+		t.Errorf("Overhead = %v, %v", ov, err)
+	}
+	if c.Name() != "constant" {
+		t.Errorf("Name = %q", c.Name())
+	}
+	named := ConstantOverhead{Tov: 1, Label: "x"}
+	if named.Name() != "x" {
+		t.Error("label ignored")
+	}
+	if _, err := (ConstantOverhead{Tov: -1}).Overhead(0); err == nil {
+		t.Error("negative constant overhead should fail")
+	}
+}
+
+func TestModelNames(t *testing.T) {
+	dl, df := paperModels(t)
+	if !strings.Contains(dl.Name(), "diskless") {
+		t.Errorf("diskless name %q", dl.Name())
+	}
+	if !strings.Contains(df.Name(), "disk-full") {
+		t.Errorf("diskfull name %q", df.Name())
+	}
+	async, _ := NewDiskfull(df.Platform, df.NAS, df.VMCount, df.Spec, true)
+	if !strings.Contains(async.Name(), "async") {
+		t.Errorf("async name %q", async.Name())
+	}
+}

@@ -1,0 +1,125 @@
+package analytic
+
+import (
+	"fmt"
+	"math"
+)
+
+// Reliability analysis for the cluster-as-RAID view the paper takes: with
+// VMs as data elements and nodes as "disks", the classic MTTDL (mean time to
+// data loss) machinery applies. A RAID group of size g (members + parity
+// blocks, each on its own node) loses data when more than m of its nodes are
+// simultaneously down, where m is the parity tolerance; repairs (parity
+// reconstruction + re-placement) race subsequent failures.
+//
+// The standard Markov-chain results, with lambda the per-node failure rate
+// and mu = 1/MTTR the repair rate (mu >> lambda):
+//
+//	MTTDL(m=0) = 1 / (g*lambda)
+//	MTTDL(m=1) ~ mu / (g*(g-1)*lambda^2)
+//	MTTDL(m=2) ~ mu^2 / (g*(g-1)*(g-2)*lambda^3)
+//
+// These govern one group; a cluster of G independent groups loses data G
+// times as fast (the union bound is exact for exponential approximations).
+
+// GroupMTTDL returns the mean time to data loss of one RAID group of n
+// nodes tolerating m losses, with per-node failure rate lambda (1/s) and
+// repair rate mu (1/s). Exact for m = 0; the standard high-mu approximation
+// for m >= 1.
+func GroupMTTDL(n, m int, lambda, mu float64) (float64, error) {
+	if n < 1 || m < 0 || m >= n {
+		return 0, fmt.Errorf("analytic: invalid group n=%d m=%d", n, m)
+	}
+	if lambda <= 0 || math.IsNaN(lambda) {
+		return 0, fmt.Errorf("analytic: invalid lambda %v", lambda)
+	}
+	if m > 0 && (mu <= 0 || math.IsNaN(mu)) {
+		return 0, fmt.Errorf("analytic: invalid mu %v", mu)
+	}
+	num := math.Pow(mu, float64(m))
+	den := 1.0
+	for i := 0; i <= m; i++ {
+		den *= float64(n-i) * lambda
+	}
+	return num / den, nil
+}
+
+// ClusterMTTDL divides a group MTTDL across G independent groups.
+func ClusterMTTDL(groupMTTDL float64, groups int) (float64, error) {
+	if groups < 1 {
+		return 0, fmt.Errorf("analytic: need >= 1 group, got %d", groups)
+	}
+	if groupMTTDL <= 0 {
+		return 0, fmt.Errorf("analytic: invalid group MTTDL %v", groupMTTDL)
+	}
+	return groupMTTDL / float64(groups), nil
+}
+
+// DataLossProbability is the probability of at least one data-loss event
+// within a mission of the given length, under the exponential MTTDL
+// approximation: 1 - exp(-mission/mttdl).
+func DataLossProbability(mttdl, mission float64) (float64, error) {
+	if mttdl <= 0 || mission < 0 {
+		return 0, fmt.Errorf("analytic: invalid mttdl %v / mission %v", mttdl, mission)
+	}
+	return -math.Expm1(-mission / mttdl), nil
+}
+
+// SurvivableFraction counts the fraction of j-node-failure combinations a
+// layout-like structure survives, given per-group tolerance and the group
+// membership expressed as, for each group, the set of nodes it occupies.
+// It is the combinatorial ground truth the MTTDL approximations smooth over;
+// cluster.Layout computes the same thing for concrete layouts, this version
+// serves parameter studies without building layouts.
+func SurvivableFraction(nodes int, groupNodes [][]int, tolerance, j int) (float64, error) {
+	if nodes < 1 || j < 0 || j > nodes {
+		return 0, fmt.Errorf("analytic: invalid nodes=%d j=%d", nodes, j)
+	}
+	idx := make([]int, j)
+	for i := range idx {
+		idx[i] = i
+	}
+	total, ok := 0, 0
+	for {
+		total++
+		down := map[int]bool{}
+		for _, n := range idx {
+			down[n] = true
+		}
+		survives := true
+		for _, g := range groupNodes {
+			lost := 0
+			for _, n := range g {
+				if down[n] {
+					lost++
+				}
+			}
+			if lost > tolerance {
+				survives = false
+				break
+			}
+		}
+		if survives {
+			ok++
+		}
+		// Next combination.
+		i := j - 1
+		for i >= 0 && idx[i] == nodes-j+i {
+			i--
+		}
+		if i < 0 {
+			break
+		}
+		idx[i]++
+		for k := i + 1; k < j; k++ {
+			idx[k] = idx[k-1] + 1
+		}
+		if j == 0 {
+			break
+		}
+	}
+	if j == 0 {
+		return 1, nil
+	}
+	return float64(ok) / float64(total), nil
+}

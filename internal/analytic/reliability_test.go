@@ -1,0 +1,130 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGroupMTTDLKnownValues(t *testing.T) {
+	lambda := 1.0 / 1000 // per-node
+	mu := 1.0 / 10       // repairs 100x faster than failures
+
+	// m=0: first failure kills: 1/(n*lambda).
+	got, err := GroupMTTDL(4, 0, lambda, mu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 250.0; math.Abs(got-want) > 1e-9 {
+		t.Errorf("m=0: %v, want %v", got, want)
+	}
+	// m=1: mu/(n(n-1)lambda^2).
+	got, err = GroupMTTDL(4, 1, lambda, mu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := mu / (4 * 3 * lambda * lambda)
+	if math.Abs(got-want)/want > 1e-12 {
+		t.Errorf("m=1: %v, want %v", got, want)
+	}
+	// m=2: mu^2/(n(n-1)(n-2)lambda^3).
+	got, err = GroupMTTDL(4, 2, lambda, mu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = mu * mu / (4 * 3 * 2 * lambda * lambda * lambda)
+	if math.Abs(got-want)/want > 1e-12 {
+		t.Errorf("m=2: %v, want %v", got, want)
+	}
+}
+
+func TestGroupMTTDLMonotoneInTolerance(t *testing.T) {
+	lambda, mu := 1.0/3600, 1.0/60
+	prev := 0.0
+	for m := 0; m <= 3; m++ {
+		got, err := GroupMTTDL(5, m, lambda, mu)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got <= prev {
+			t.Errorf("MTTDL not increasing at m=%d: %v <= %v", m, got, prev)
+		}
+		prev = got
+	}
+}
+
+func TestGroupMTTDLValidation(t *testing.T) {
+	if _, err := GroupMTTDL(0, 0, 1, 1); err == nil {
+		t.Error("n=0 should fail")
+	}
+	if _, err := GroupMTTDL(3, 3, 1, 1); err == nil {
+		t.Error("m>=n should fail")
+	}
+	if _, err := GroupMTTDL(3, 1, 0, 1); err == nil {
+		t.Error("lambda=0 should fail")
+	}
+	if _, err := GroupMTTDL(3, 1, 1, 0); err == nil {
+		t.Error("mu=0 with m>0 should fail")
+	}
+	if _, err := GroupMTTDL(3, 0, 1, 0); err != nil {
+		t.Error("mu unused for m=0")
+	}
+}
+
+func TestClusterMTTDL(t *testing.T) {
+	got, err := ClusterMTTDL(1000, 4)
+	if err != nil || got != 250 {
+		t.Errorf("ClusterMTTDL = %v, %v", got, err)
+	}
+	if _, err := ClusterMTTDL(1000, 0); err == nil {
+		t.Error("0 groups should fail")
+	}
+	if _, err := ClusterMTTDL(0, 3); err == nil {
+		t.Error("0 MTTDL should fail")
+	}
+}
+
+func TestDataLossProbability(t *testing.T) {
+	p, err := DataLossProbability(1000, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 1 - math.Exp(-1); math.Abs(p-want) > 1e-12 {
+		t.Errorf("p = %v, want %v", p, want)
+	}
+	p, _ = DataLossProbability(1e12, 1)
+	if p <= 0 || p > 1e-11 {
+		t.Errorf("tiny mission p = %v", p)
+	}
+	if _, err := DataLossProbability(0, 1); err == nil {
+		t.Error("invalid mttdl should fail")
+	}
+}
+
+func TestSurvivableFractionMatchesLayoutIntuition(t *testing.T) {
+	// One group occupying all 4 nodes with tolerance 1: every single
+	// failure survivable, no double failure survivable.
+	groups := [][]int{{0, 1, 2, 3}}
+	f, err := SurvivableFraction(4, groups, 1, 1)
+	if err != nil || f != 1 {
+		t.Errorf("single: %v, %v", f, err)
+	}
+	f, err = SurvivableFraction(4, groups, 1, 2)
+	if err != nil || f != 0 {
+		t.Errorf("double: %v, %v", f, err)
+	}
+	// Two disjoint groups of 2 on 4 nodes, tolerance 1: the intra-group
+	// pairs (0,1) and (2,3) are fatal, the four cross pairs survive: 4/6.
+	groups = [][]int{{0, 1}, {2, 3}}
+	f, err = SurvivableFraction(4, groups, 1, 2)
+	if err != nil || math.Abs(f-4.0/6) > 1e-12 {
+		t.Errorf("disjoint doubles: %v, %v", f, err)
+	}
+	// j=0 is trivially survivable.
+	f, err = SurvivableFraction(4, groups, 1, 0)
+	if err != nil || f != 1 {
+		t.Errorf("j=0: %v, %v", f, err)
+	}
+	if _, err := SurvivableFraction(2, groups, 1, 3); err == nil {
+		t.Error("j > nodes should fail")
+	}
+}

@@ -1,0 +1,40 @@
+package checkpoint
+
+import "testing"
+
+func TestStoreAccessors(t *testing.T) {
+	m := newMachine(t, 4, 32)
+	st, err := NewStore(CaptureFull(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.VMID() != "vm-test" {
+		t.Errorf("VMID = %q", st.VMID())
+	}
+	if st.Epoch() != 0 {
+		t.Errorf("Epoch = %d", st.Epoch())
+	}
+	if st.ImageBytes() != 4*32 {
+		t.Errorf("ImageBytes = %d", st.ImageBytes())
+	}
+}
+
+func TestForkEpochAccessor(t *testing.T) {
+	m := newMachine(t, 4, 32)
+	CaptureFull(m)
+	f := Fork(m)
+	defer f.Release()
+	if f.Epoch() != 1 {
+		t.Errorf("fork Epoch = %d, want 1", f.Epoch())
+	}
+}
+
+func TestCompressHelper(t *testing.T) {
+	c, err := Compress(make([]byte, 4096))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c) >= 4096 {
+		t.Errorf("zero page did not compress: %d bytes", len(c))
+	}
+}

@@ -1,0 +1,153 @@
+package checkpoint
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Binary wire format for checkpoints, used by the TCP runtime and by size
+// accounting. Layout (little-endian):
+//
+//	magic   [4]byte "DVDC"
+//	version u8 (currently 1)
+//	kind    u8
+//	epoch   u64
+//	numPages u32, pageSize u32
+//	vmidLen u16, vmid bytes
+//	pageCount u32, then per page: index u32, dataLen u32, data bytes
+const (
+	codecMagic   = "DVDC"
+	codecVersion = 1
+)
+
+// ErrCorrupt marks a malformed encoded checkpoint.
+var ErrCorrupt = errors.New("checkpoint: corrupt encoding")
+
+// Encode serializes the checkpoint.
+func (c *Checkpoint) Encode() []byte {
+	size := 4 + 1 + 1 + 8 + 4 + 4 + 2 + len(c.VMID) + 4
+	for _, p := range c.Pages {
+		size += 8 + len(p.Data)
+	}
+	out := make([]byte, 0, size)
+	out = append(out, codecMagic...)
+	out = append(out, codecVersion, byte(c.Kind))
+	out = binary.LittleEndian.AppendUint64(out, c.Epoch)
+	out = binary.LittleEndian.AppendUint32(out, uint32(c.NumPages))
+	out = binary.LittleEndian.AppendUint32(out, uint32(c.PageSize))
+	out = binary.LittleEndian.AppendUint16(out, uint16(len(c.VMID)))
+	out = append(out, c.VMID...)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(c.Pages)))
+	for _, p := range c.Pages {
+		out = binary.LittleEndian.AppendUint32(out, uint32(p.Index))
+		out = binary.LittleEndian.AppendUint32(out, uint32(len(p.Data)))
+		out = append(out, p.Data...)
+	}
+	return out
+}
+
+// Decode parses an encoded checkpoint.
+func Decode(b []byte) (*Checkpoint, error) {
+	r := reader{buf: b}
+	magic := r.bytes(4)
+	if string(magic) != codecMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	if v := r.u8(); v != codecVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrCorrupt, v)
+	}
+	kind := Kind(r.u8())
+	if kind != Full && kind != Incremental && kind != CompressedDelta {
+		return nil, fmt.Errorf("%w: unknown kind %d", ErrCorrupt, kind)
+	}
+	c := &Checkpoint{Kind: kind}
+	c.Epoch = r.u64()
+	c.NumPages = int(r.u32())
+	c.PageSize = int(r.u32())
+	c.VMID = string(r.bytes(int(r.u16())))
+	count := int(r.u32())
+	if r.err != nil {
+		return nil, fmt.Errorf("%w: truncated header", ErrCorrupt)
+	}
+	if c.NumPages <= 0 || c.PageSize <= 0 {
+		return nil, fmt.Errorf("%w: bad geometry %dx%d", ErrCorrupt, c.NumPages, c.PageSize)
+	}
+	if count < 0 || count > c.NumPages {
+		return nil, fmt.Errorf("%w: page count %d exceeds %d", ErrCorrupt, count, c.NumPages)
+	}
+	// Every page record needs at least 8 header bytes; a count beyond what
+	// the remaining buffer could possibly hold is corrupt, and bounding it
+	// here keeps the preallocation proportional to the input size.
+	if remaining := len(r.buf) - r.off; count > remaining/8 {
+		return nil, fmt.Errorf("%w: page count %d exceeds buffer capacity", ErrCorrupt, count)
+	}
+	c.Pages = make([]PageRecord, 0, count)
+	for i := 0; i < count; i++ {
+		idx := int(r.u32())
+		n := int(r.u32())
+		data := r.bytes(n)
+		if r.err != nil {
+			return nil, fmt.Errorf("%w: truncated page %d", ErrCorrupt, i)
+		}
+		if idx < 0 || idx >= c.NumPages {
+			return nil, fmt.Errorf("%w: page index %d out of range", ErrCorrupt, idx)
+		}
+		c.Pages = append(c.Pages, PageRecord{Index: idx, Data: append([]byte(nil), data...)})
+	}
+	if len(r.buf) != r.off {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(r.buf)-r.off)
+	}
+	c.sortPages()
+	return c, nil
+}
+
+type reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (r *reader) bytes(n int) []byte {
+	if r.err != nil || n < 0 || r.off+n > len(r.buf) {
+		if r.err == nil {
+			r.err = ErrCorrupt
+		}
+		return nil
+	}
+	b := r.buf[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+func (r *reader) u8() byte {
+	b := r.bytes(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (r *reader) u16() uint16 {
+	b := r.bytes(2)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(b)
+}
+
+func (r *reader) u32() uint32 {
+	b := r.bytes(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (r *reader) u64() uint64 {
+	b := r.bytes(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}

@@ -1,0 +1,123 @@
+package checkpoint
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestCodecRoundTripFull(t *testing.T) {
+	m := newMachine(t, 8, 64)
+	scribble(m, 7, 20)
+	c := CaptureFull(m)
+	got, err := Decode(c.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertCheckpointEqual(t, c, got)
+}
+
+func TestCodecRoundTripIncremental(t *testing.T) {
+	m := newMachine(t, 8, 64)
+	CaptureFull(m)
+	m.TouchPage(2, 1)
+	m.TouchPage(7, 2)
+	c := CaptureIncremental(m)
+	got, err := Decode(c.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertCheckpointEqual(t, c, got)
+}
+
+func TestCodecRoundTripCompressed(t *testing.T) {
+	m := newMachine(t, 8, 128)
+	st, _ := NewStore(CaptureFull(m))
+	m.MutatePage(1, func(p []byte) { p[5] = 0xaa })
+	c, err := CaptureCompressedDelta(m, st.ImageRef())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(c.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertCheckpointEqual(t, c, got)
+}
+
+func assertCheckpointEqual(t *testing.T, want, got *Checkpoint) {
+	t.Helper()
+	if got.VMID != want.VMID || got.Epoch != want.Epoch || got.Kind != want.Kind ||
+		got.NumPages != want.NumPages || got.PageSize != want.PageSize {
+		t.Fatalf("header mismatch: got %+v, want %+v", got, want)
+	}
+	if len(got.Pages) != len(want.Pages) {
+		t.Fatalf("page count %d, want %d", len(got.Pages), len(want.Pages))
+	}
+	for i := range want.Pages {
+		if got.Pages[i].Index != want.Pages[i].Index || !bytes.Equal(got.Pages[i].Data, want.Pages[i].Data) {
+			t.Fatalf("page %d differs", i)
+		}
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{},
+		[]byte("XXXX"),
+		[]byte("DVDC"),                 // truncated after magic
+		append([]byte("DVDC"), 99, 0),  // bad version
+		append([]byte("DVDC"), 1, 200), // bad kind
+	}
+	for i, b := range cases {
+		if _, err := Decode(b); err == nil {
+			t.Errorf("case %d: Decode accepted garbage", i)
+		}
+	}
+}
+
+func TestDecodeRejectsTruncationAnywhere(t *testing.T) {
+	m := newMachine(t, 4, 32)
+	scribble(m, 8, 10)
+	enc := CaptureFull(m).Encode()
+	for cut := 0; cut < len(enc); cut++ {
+		if _, err := Decode(enc[:cut]); err == nil {
+			t.Fatalf("Decode accepted truncation at %d/%d", cut, len(enc))
+		}
+	}
+	// Trailing garbage must also be rejected.
+	if _, err := Decode(append(append([]byte(nil), enc...), 0x00)); err == nil {
+		t.Error("Decode accepted trailing byte")
+	}
+}
+
+// Property: encode/decode is an exact round trip for random incremental
+// checkpoints.
+func TestQuickCodecRoundTrip(t *testing.T) {
+	f := func(seed int64, writes uint8) bool {
+		m, err := newQuickMachine()
+		if err != nil {
+			return false
+		}
+		CaptureFull(m)
+		scribbleQuick(m, seed, int(writes))
+		c := CaptureIncremental(m)
+		got, err := Decode(c.Encode())
+		if err != nil {
+			return false
+		}
+		if got.VMID != c.VMID || got.Epoch != c.Epoch || len(got.Pages) != len(c.Pages) {
+			return false
+		}
+		for i := range c.Pages {
+			if got.Pages[i].Index != c.Pages[i].Index || !bytes.Equal(got.Pages[i].Data, c.Pages[i].Data) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,120 @@
+package checkpoint
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestForkSnapshotIsolatesFromLaterWrites(t *testing.T) {
+	m := newMachine(t, 8, 64)
+	scribble(m, 5, 20)
+	want := m.Image()
+	f := Fork(m)
+	defer f.Release()
+	// Mutate heavily after the fork; snapshot must not see it.
+	scribble(m, 6, 50)
+	c, err := f.MaterializeFull()
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := make([]byte, m.ImageBytes())
+	if err := c.ApplyTo(img); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(img, want) {
+		t.Error("forked snapshot polluted by post-fork writes")
+	}
+}
+
+func TestForkCopiedBytesProportionalToWrites(t *testing.T) {
+	m := newMachine(t, 100, 64)
+	f := Fork(m)
+	defer f.Release()
+	if f.CopiedBytes() != 0 {
+		t.Errorf("fresh fork copied %d bytes, want 0", f.CopiedBytes())
+	}
+	m.TouchPage(1, 1)
+	m.TouchPage(1, 2) // same page: only first write copies
+	m.TouchPage(2, 3)
+	if f.CopiedBytes() != 2*64 {
+		t.Errorf("copied %d bytes, want 128", f.CopiedBytes())
+	}
+}
+
+func TestForkMaterializeIncremental(t *testing.T) {
+	m := newMachine(t, 16, 64)
+	CaptureFull(m)
+	m.TouchPage(4, 1)
+	m.TouchPage(9, 2)
+	f := Fork(m)
+	defer f.Release()
+	// Post-fork write to page 4 must not change the captured increment.
+	m.TouchPage(4, 99)
+	c, err := f.MaterializeIncremental()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Pages) != 2 || c.Pages[0].Index != 4 || c.Pages[1].Index != 9 {
+		t.Fatalf("incremental pages: %+v", c.Pages)
+	}
+	// Page 4's content must be the pre-overwrite (stamp 1) version.
+	var stamp uint64
+	for i := 0; i < 8; i++ {
+		stamp |= uint64(c.Pages[0].Data[i]) << (8 * i)
+	}
+	if stamp != 1 {
+		t.Errorf("captured stamp %d, want 1 (fork-time content)", stamp)
+	}
+}
+
+func TestForkReleaseStopsCopying(t *testing.T) {
+	m := newMachine(t, 8, 64)
+	f := Fork(m)
+	f.Release()
+	m.TouchPage(0, 1)
+	if f.CopiedBytes() != 0 {
+		t.Error("released fork still copying")
+	}
+	if _, err := f.MaterializeFull(); err == nil {
+		t.Error("materializing a released fork should fail")
+	}
+	f.Release() // double release is a no-op
+}
+
+func TestForkOpensNewEpoch(t *testing.T) {
+	m := newMachine(t, 8, 64)
+	m.TouchPage(0, 1)
+	e := m.Epoch()
+	f := Fork(m)
+	defer f.Release()
+	if m.Epoch() != e+1 {
+		t.Error("fork should advance the epoch")
+	}
+	if m.DirtyCount() != 0 {
+		t.Error("fork should clear dirty bits")
+	}
+	if got := f.DirtyAtFork(); len(got) != 1 || got[0] != 0 {
+		t.Errorf("DirtyAtFork = %v, want [0]", got)
+	}
+}
+
+func TestConcurrentForksIndependent(t *testing.T) {
+	m := newMachine(t, 8, 64)
+	f1 := Fork(m)
+	defer f1.Release()
+	m.TouchPage(0, 10)
+	f2 := Fork(m)
+	defer f2.Release()
+	m.TouchPage(0, 20)
+
+	c1, _ := f1.MaterializeFull()
+	c2, _ := f2.MaterializeFull()
+	s1 := c1.Pages[0].Data[0]
+	s2 := c2.Pages[0].Data[0]
+	if s1 != 0 {
+		t.Errorf("f1 page0 stamp byte %d, want 0 (pre-write)", s1)
+	}
+	if s2 != 10 {
+		t.Errorf("f2 page0 stamp byte %d, want 10", s2)
+	}
+}

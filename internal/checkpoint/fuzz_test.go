@@ -1,0 +1,59 @@
+package checkpoint
+
+import (
+	"bytes"
+	"testing"
+
+	"dvdc/internal/vm"
+)
+
+// FuzzDecode throws arbitrary bytes at the checkpoint decoder: never panic,
+// and anything accepted must re-encode losslessly.
+func FuzzDecode(f *testing.F) {
+	m, _ := vm.NewMachine("fz", 4, 32)
+	m.TouchPage(1, 7)
+	f.Add(CaptureFull(m).Encode())
+	m.TouchPage(2, 8)
+	f.Add(CaptureIncremental(m).Encode())
+	f.Add([]byte("DVDC"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := Decode(data)
+		if err != nil {
+			return
+		}
+		// Round trip must parse again to an identical checkpoint.
+		again, err := Decode(c.Encode())
+		if err != nil {
+			t.Fatalf("re-decode of accepted checkpoint failed: %v", err)
+		}
+		if again.VMID != c.VMID || again.Epoch != c.Epoch || len(again.Pages) != len(c.Pages) {
+			t.Fatal("round trip mismatch")
+		}
+		for i := range c.Pages {
+			if again.Pages[i].Index != c.Pages[i].Index ||
+				!bytes.Equal(again.Pages[i].Data, c.Pages[i].Data) {
+				t.Fatal("page mismatch")
+			}
+		}
+	})
+}
+
+// FuzzApplyTo exercises ApplyTo with decoded checkpoints against a fixed
+// image: malformed records must error, never panic or write out of bounds.
+func FuzzApplyTo(f *testing.F) {
+	m, _ := vm.NewMachine("fz", 4, 32)
+	m.TouchPage(0, 1)
+	f.Add(CaptureIncremental(m).Encode())
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := Decode(data)
+		if err != nil {
+			return
+		}
+		if int64(c.NumPages)*int64(c.PageSize) > 1<<20 {
+			return // keep fuzz memory bounded
+		}
+		img := make([]byte, c.NumPages*c.PageSize)
+		_ = c.ApplyTo(img) // must not panic
+	})
+}

@@ -1,0 +1,20 @@
+package checkpoint
+
+import (
+	"math/rand"
+
+	"dvdc/internal/vm"
+)
+
+// Helpers for property-based tests.
+
+func newQuickMachine() (*vm.Machine, error) {
+	return vm.NewMachine("quick", 16, 32)
+}
+
+func scribbleQuick(m *vm.Machine, seed int64, writes int) {
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < writes; i++ {
+		m.TouchPage(rng.Intn(m.NumPages()), rng.Uint64())
+	}
+}

@@ -1,0 +1,126 @@
+package cluster
+
+import "fmt"
+
+// BuildFirstShot constructs the Fig. 1 architecture: computeNodes nodes with
+// one VM each, plus one extra node dedicated to parity, all VMs in a single
+// RAID group. It is the naive translation of Plank's diskless checkpointing
+// into the virtual domain.
+func BuildFirstShot(computeNodes int) (*Layout, error) {
+	if computeNodes < 2 {
+		return nil, fmt.Errorf("cluster: first-shot needs >= 2 compute nodes, got %d", computeNodes)
+	}
+	l := &Layout{
+		Arch:      FirstShot,
+		Nodes:     computeNodes + 1,
+		Tolerance: 1,
+	}
+	g := Group{Index: 0, ParityNodes: []int{computeNodes}}
+	for n := 0; n < computeNodes; n++ {
+		name := fmt.Sprintf("vm-%02d", n)
+		l.VMs = append(l.VMs, VMPlacement{Name: name, Node: n, Group: 0})
+		g.Members = append(g.Members, name)
+	}
+	l.Groups = []Group{g}
+	l.buildIndex()
+	if err := l.Validate(); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// BuildDedicated constructs the Fig. 3 architecture: vmsPerNode VMs on each
+// of computeNodes nodes, arranged in orthogonal groups (group r contains the
+// r-th VM of every node), with every group's parity held by one dedicated
+// checkpoint node that runs no VMs.
+func BuildDedicated(computeNodes, vmsPerNode int) (*Layout, error) {
+	if computeNodes < 2 {
+		return nil, fmt.Errorf("cluster: dedicated needs >= 2 compute nodes, got %d", computeNodes)
+	}
+	if vmsPerNode < 1 {
+		return nil, fmt.Errorf("cluster: need >= 1 VM per node, got %d", vmsPerNode)
+	}
+	parityNode := computeNodes
+	l := &Layout{
+		Arch:      Dedicated,
+		Nodes:     computeNodes + 1,
+		Tolerance: 1,
+	}
+	for r := 0; r < vmsPerNode; r++ {
+		g := Group{Index: r, ParityNodes: []int{parityNode}}
+		for n := 0; n < computeNodes; n++ {
+			name := fmt.Sprintf("vm-%02d.%02d", n, r)
+			l.VMs = append(l.VMs, VMPlacement{Name: name, Node: n, Group: r})
+			g.Members = append(g.Members, name)
+		}
+		l.Groups = append(l.Groups, g)
+	}
+	l.buildIndex()
+	if err := l.Validate(); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// BuildDistributed constructs the Fig. 4 DVDC architecture. For a cluster of
+// nodes physical machines and fault tolerance m (parity blocks per group),
+// it lays out stacks*nodes groups of size nodes-m: group (s,i) places its
+// members on consecutive nodes starting at i and its m parity blocks on the
+// following nodes, everything mod nodes. Each stack gives every node
+// nodes-m-... VMs; with stacks=1 and m=1 on 4 nodes this is exactly the
+// paper's 12-VM configuration.
+func BuildDistributed(nodes, stacks, tolerance int) (*Layout, error) {
+	return BuildDistributedGroups(nodes, stacks, tolerance, nodes-tolerance)
+}
+
+// BuildDistributedGroups is BuildDistributed with an explicit group size.
+// Smaller groups leave nodes free of any given group's elements, which is
+// what lets PlanRecovery re-place a lost VM without degrading orthogonality;
+// with groupSize+tolerance == nodes (the paper's Fig. 4) every recovery is
+// necessarily degraded until the failed node returns.
+func BuildDistributedGroups(nodes, stacks, tolerance, groupSize int) (*Layout, error) {
+	if tolerance < 1 {
+		return nil, fmt.Errorf("cluster: tolerance must be >= 1, got %d", tolerance)
+	}
+	if stacks < 1 {
+		return nil, fmt.Errorf("cluster: stacks must be >= 1, got %d", stacks)
+	}
+	if groupSize < 1 {
+		return nil, fmt.Errorf("cluster: group size must be >= 1, got %d", groupSize)
+	}
+	if groupSize+tolerance > nodes {
+		return nil, fmt.Errorf("cluster: group size %d + tolerance %d exceeds %d nodes",
+			groupSize, tolerance, nodes)
+	}
+	l := &Layout{
+		Arch:      Distributed,
+		Nodes:     nodes,
+		Tolerance: tolerance,
+	}
+	for s := 0; s < stacks; s++ {
+		for i := 0; i < nodes; i++ {
+			gi := s*nodes + i
+			g := Group{Index: gi}
+			for j := 0; j < groupSize; j++ {
+				node := (i + j) % nodes
+				name := fmt.Sprintf("vm-%02d.%02d", gi, j)
+				l.VMs = append(l.VMs, VMPlacement{Name: name, Node: node, Group: gi})
+				g.Members = append(g.Members, name)
+			}
+			for j := 0; j < tolerance; j++ {
+				g.ParityNodes = append(g.ParityNodes, (i+groupSize+j)%nodes)
+			}
+			l.Groups = append(l.Groups, g)
+		}
+	}
+	l.buildIndex()
+	if err := l.Validate(); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// Paper12VM returns the exact configuration of the paper's Fig. 4 and its
+// Fig. 5 analysis: four physical machines, twelve VMs in four orthogonal
+// groups of three, parity rotated across all nodes.
+func Paper12VM() (*Layout, error) { return BuildDistributed(4, 1, 1) }

@@ -1,0 +1,215 @@
+package cluster
+
+import (
+	"testing"
+)
+
+func TestBuildFirstShot(t *testing.T) {
+	l, err := BuildFirstShot(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Nodes != 4 || len(l.VMs) != 3 || len(l.Groups) != 1 {
+		t.Fatalf("geometry: nodes=%d vms=%d groups=%d", l.Nodes, len(l.VMs), len(l.Groups))
+	}
+	if l.Groups[0].ParityNodes[0] != 3 {
+		t.Error("parity should live on the dedicated node 3")
+	}
+	if got := l.VMsOnNode(3); len(got) != 0 {
+		t.Errorf("dedicated node hosts VMs: %v", got)
+	}
+	if _, err := BuildFirstShot(1); err == nil {
+		t.Error("1 compute node should fail")
+	}
+}
+
+func TestBuildDedicated(t *testing.T) {
+	l, err := BuildDedicated(4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Nodes != 5 || len(l.VMs) != 12 || len(l.Groups) != 3 {
+		t.Fatalf("geometry: nodes=%d vms=%d groups=%d", l.Nodes, len(l.VMs), len(l.Groups))
+	}
+	for _, g := range l.Groups {
+		if g.ParityNodes[0] != 4 {
+			t.Errorf("group %d parity on node %d, want 4", g.Index, g.ParityNodes[0])
+		}
+	}
+	for n := 0; n < 4; n++ {
+		if got := len(l.VMsOnNode(n)); got != 3 {
+			t.Errorf("node %d hosts %d VMs, want 3", n, got)
+		}
+	}
+}
+
+func TestBuildDistributedPaperConfig(t *testing.T) {
+	l, err := Paper12VM()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Nodes != 4 || len(l.VMs) != 12 || len(l.Groups) != 4 {
+		t.Fatalf("geometry: nodes=%d vms=%d groups=%d", l.Nodes, len(l.VMs), len(l.Groups))
+	}
+	// Every node hosts exactly 3 VMs and exactly 1 group's parity: the
+	// fully-utilized Fig. 4 configuration with no dedicated hardware.
+	for n := 0; n < 4; n++ {
+		if got := len(l.VMsOnNode(n)); got != 3 {
+			t.Errorf("node %d hosts %d VMs, want 3", n, got)
+		}
+		if got := len(l.ParityGroupsOnNode(n)); got != 1 {
+			t.Errorf("node %d holds parity for %d groups, want 1", n, got)
+		}
+	}
+}
+
+func TestBuildDistributedValidation(t *testing.T) {
+	if _, err := BuildDistributed(2, 1, 2); err == nil {
+		t.Error("2 nodes with tolerance 2 should fail (group size 0)")
+	}
+	if _, err := BuildDistributed(4, 0, 1); err == nil {
+		t.Error("0 stacks should fail")
+	}
+	if _, err := BuildDistributed(4, 1, 0); err == nil {
+		t.Error("0 tolerance should fail")
+	}
+}
+
+func TestBuildDistributedStacksScaleVMs(t *testing.T) {
+	l, err := BuildDistributed(4, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(l.VMs) != 36 || len(l.Groups) != 12 {
+		t.Fatalf("vms=%d groups=%d, want 36/12", len(l.VMs), len(l.Groups))
+	}
+	for n := 0; n < 4; n++ {
+		if got := len(l.VMsOnNode(n)); got != 9 {
+			t.Errorf("node %d hosts %d VMs, want 9", n, got)
+		}
+	}
+}
+
+func TestValidateCatchesNonOrthogonal(t *testing.T) {
+	l, _ := Paper12VM()
+	// Move a VM onto a node already hosting another member of its group.
+	g := l.Groups[0]
+	a, _ := l.VM(g.Members[0])
+	bIdx := l.vmIndex[g.Members[1]]
+	l.VMs[bIdx].Node = a.Node
+	if err := l.Validate(); err == nil {
+		t.Error("co-located group members should fail validation")
+	}
+}
+
+func TestValidateCatchesParityOnMemberNode(t *testing.T) {
+	l, _ := Paper12VM()
+	m, _ := l.VM(l.Groups[0].Members[0])
+	l.Groups[0].ParityNodes[0] = m.Node
+	if err := l.Validate(); err == nil {
+		t.Error("parity on a member's node should fail validation")
+	}
+}
+
+func TestValidateCatchesDuplicateNamesAndOrphans(t *testing.T) {
+	l, _ := BuildFirstShot(2)
+	l.VMs[1].Name = l.VMs[0].Name
+	if err := l.Validate(); err == nil {
+		t.Error("duplicate names should fail")
+	}
+	l, _ = BuildFirstShot(2)
+	l.Groups[0].Members = l.Groups[0].Members[:1]
+	if err := l.Validate(); err == nil {
+		t.Error("orphan VM should fail")
+	}
+}
+
+func TestAllArchitecturesSurviveAnySingleFailure(t *testing.T) {
+	fs, _ := BuildFirstShot(4)
+	de, _ := BuildDedicated(4, 3)
+	dv, _ := Paper12VM()
+	for _, l := range []*Layout{fs, de, dv} {
+		for n := 0; n < l.Nodes; n++ {
+			if !l.Survives(n) {
+				t.Errorf("%v: does not survive failure of node %d", l.Arch, n)
+			}
+		}
+	}
+}
+
+func TestSingleParityDoesNotSurviveDoubleFailure(t *testing.T) {
+	l, _ := Paper12VM()
+	// In the 4-node DVDC layout every pair of nodes shares at least one
+	// group, so any double failure defeats single parity.
+	survivedAny := false
+	for a := 0; a < l.Nodes; a++ {
+		for b := a + 1; b < l.Nodes; b++ {
+			if l.Survives(a, b) {
+				survivedAny = true
+			}
+		}
+	}
+	if survivedAny {
+		t.Error("single-parity 4-node layout should not survive any double failure")
+	}
+}
+
+func TestTolerance2SurvivesAllDoubleFailures(t *testing.T) {
+	l, err := BuildDistributed(6, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := 0; a < l.Nodes; a++ {
+		for b := a + 1; b < l.Nodes; b++ {
+			if !l.Survives(a, b) {
+				t.Errorf("tolerance-2 layout lost data on failure of (%d,%d)", a, b)
+			}
+		}
+	}
+	// But not all triples.
+	if l.Survives(0, 1, 2) {
+		t.Error("tolerance-2 layout should not survive this triple failure")
+	}
+}
+
+func TestLostElementsCounts(t *testing.T) {
+	l, _ := Paper12VM()
+	lost := l.LostElements(0)
+	// Node 0 hosts 3 VMs (one from three different groups) and one group's
+	// parity: four groups each lose exactly one element.
+	if len(lost) != 4 {
+		t.Fatalf("LostElements(0) covers %d groups, want 4", len(lost))
+	}
+	for g, n := range lost {
+		if n != 1 {
+			t.Errorf("group %d lost %d elements, want 1", g, n)
+		}
+	}
+}
+
+func TestVMLookup(t *testing.T) {
+	l, _ := Paper12VM()
+	v, ok := l.VM(l.VMs[5].Name)
+	if !ok || v != l.VMs[5] {
+		t.Error("VM lookup failed")
+	}
+	if _, ok := l.VM("nope"); ok {
+		t.Error("lookup of unknown VM should fail")
+	}
+}
+
+func TestComputeNodes(t *testing.T) {
+	l, _ := BuildDedicated(3, 2)
+	got := l.ComputeNodes()
+	if len(got) != 3 || got[0] != 0 || got[2] != 2 {
+		t.Errorf("ComputeNodes = %v, want [0 1 2]", got)
+	}
+}
+
+func TestArchitectureString(t *testing.T) {
+	for _, a := range []Architecture{FirstShot, Dedicated, Distributed, Architecture(9)} {
+		if a.String() == "" {
+			t.Errorf("empty string for %d", int(a))
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package cluster
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPlanRebalanceNoopOnOrthogonalLayout(t *testing.T) {
+	l, _ := Paper12VM()
+	plan, err := l.PlanRebalance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Steps) != 0 {
+		t.Errorf("orthogonal layout produced %d moves", len(plan.Steps))
+	}
+}
+
+func TestRebalanceAfterDegradedRecovery(t *testing.T) {
+	// Fail a node in the paper layout (necessarily degraded), then repair
+	// it: rebalance must restore strict orthogonality.
+	l, _ := Paper12VM()
+	plan, err := l.PlanRecovery(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.Degraded {
+		t.Fatal("expected degraded recovery")
+	}
+	if err := l.ApplyRecovery(plan); err != nil {
+		t.Fatal(err)
+	}
+	if l.Validate() == nil {
+		t.Fatal("layout should be non-orthogonal before rebalance")
+	}
+	// Node 0 repaired: nothing down anymore.
+	rb, err := l.PlanRebalance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rb.Steps) == 0 {
+		t.Fatal("rebalance should have moves")
+	}
+	if err := l.ApplyRebalance(rb); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Validate(); err != nil {
+		t.Errorf("layout not orthogonal after rebalance: %v", err)
+	}
+}
+
+func TestPlanRebalanceFailsWhileNodeStillDown(t *testing.T) {
+	// Without the repaired node there is no room in the 4-node layout.
+	l, _ := Paper12VM()
+	plan, _ := l.PlanRecovery(0)
+	if err := l.ApplyRecovery(plan); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.PlanRebalance(0); err == nil {
+		t.Error("rebalance with the node still down should find no target")
+	}
+}
+
+func TestPlanRebalanceValidation(t *testing.T) {
+	l, _ := Paper12VM()
+	if _, err := l.PlanRebalance(-1); err == nil {
+		t.Error("bad down node should fail")
+	}
+}
+
+func TestApplyRebalanceValidation(t *testing.T) {
+	l, _ := Paper12VM()
+	bad := &Plan{Steps: []Step{{Kind: RestoreVM, VM: "nope", TargetNode: 0}}}
+	if err := l.ApplyRebalance(bad); err == nil {
+		t.Error("unknown VM should fail")
+	}
+	bad = &Plan{Steps: []Step{{Kind: RehomeParity, Group: 0, TargetNode: 0}}}
+	if err := l.ApplyRebalance(bad); err == nil {
+		t.Error("parity step without index should fail")
+	}
+}
+
+// Property: recovery-then-repair-then-rebalance always restores strict
+// orthogonality on spare-rich layouts.
+func TestQuickRebalanceRestoresOrthogonality(t *testing.T) {
+	f := func(nRaw, failRaw uint8) bool {
+		nodes := int(nRaw%5) + 4
+		l, err := BuildDistributedGroups(nodes, 1, 1, nodes-1)
+		if err != nil {
+			return false
+		}
+		fail := int(failRaw) % nodes
+		plan, err := l.PlanRecovery(fail)
+		if err != nil {
+			return false
+		}
+		if err := l.ApplyRecovery(plan); err != nil {
+			return false
+		}
+		rb, err := l.PlanRebalance() // node repaired
+		if err != nil {
+			return false
+		}
+		if err := l.ApplyRebalance(rb); err != nil {
+			return false
+		}
+		return l.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,245 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+)
+
+// StepKind distinguishes what a recovery step restores.
+type StepKind int
+
+// Recovery step kinds.
+const (
+	RestoreVM    StepKind = iota // rebuild a lost VM's checkpoint and respawn it
+	RehomeParity                 // recompute a lost parity block on a new node
+)
+
+// String returns the step kind name.
+func (k StepKind) String() string {
+	if k == RestoreVM {
+		return "restore-vm"
+	}
+	return "rehome-parity"
+}
+
+// Step is one unit of recovery work.
+type Step struct {
+	Kind        StepKind
+	VM          string // for RestoreVM: the lost VM's name
+	Group       int
+	TargetNode  int   // where the rebuilt element will live
+	SourceNodes []int // surviving nodes whose blocks feed the reconstruction
+	Degraded    bool  // the target shares a node with another group element
+}
+
+// Plan is the ordered recovery work after one or more node failures.
+type Plan struct {
+	Down  []int
+	Steps []Step
+	// Degraded is set when at least one step had to violate orthogonality
+	// because every surviving node already holds an element of the affected
+	// group (unavoidable when groupSize+tolerance equals the node count, as
+	// in the paper's 4-node/12-VM configuration). Data is fully restored,
+	// but some groups tolerate fewer subsequent failures until the failed
+	// node is repaired and VMs are re-balanced.
+	Degraded bool
+}
+
+// PlanRecovery computes how to restore full protection after the given
+// nodes fail simultaneously. For every lost VM it selects a surviving target
+// node that holds no other element of the VM's group (preserving
+// orthogonality) and lists the surviving source nodes whose data plus parity
+// reconstruct the lost checkpoint. Lost parity blocks are likewise re-homed.
+// Targets are chosen least-loaded-first, counting moves already planned.
+//
+// It fails if any group lost more elements than the layout tolerates or if
+// no orthogonality-preserving target exists.
+func (l *Layout) PlanRecovery(down ...int) (*Plan, error) {
+	downSet := map[int]bool{}
+	for _, n := range down {
+		if n < 0 || n >= l.Nodes {
+			return nil, fmt.Errorf("cluster: down node %d out of range [0,%d)", n, l.Nodes)
+		}
+		downSet[n] = true
+	}
+	if len(downSet) == 0 {
+		return &Plan{}, nil
+	}
+	for g, lost := range l.LostElements(down...) {
+		if lost > l.Tolerance {
+			return nil, fmt.Errorf("cluster: group %d lost %d elements, tolerance %d", g, lost, l.Tolerance)
+		}
+	}
+
+	// Current VM load per node, updated as we plan moves.
+	load := make([]int, l.Nodes)
+	for _, v := range l.VMs {
+		if !downSet[v.Node] {
+			load[v.Node]++
+		}
+	}
+
+	groupNodes := func(g Group) map[int]bool {
+		occ := map[int]bool{}
+		for _, m := range g.Members {
+			v, _ := l.VM(m)
+			if !downSet[v.Node] {
+				occ[v.Node] = true
+			}
+		}
+		for _, p := range g.ParityNodes {
+			if !downSet[p] {
+				occ[p] = true
+			}
+		}
+		return occ
+	}
+
+	// sources lists surviving nodes holding this group's blocks.
+	sources := func(g Group) []int {
+		occ := groupNodes(g)
+		out := make([]int, 0, len(occ))
+		for n := range occ {
+			out = append(out, n)
+		}
+		sort.Ints(out)
+		return out
+	}
+
+	plan := &Plan{}
+	for n := range downSet {
+		plan.Down = append(plan.Down, n)
+	}
+	sort.Ints(plan.Down)
+
+	// Plan moves group by group so newly planned placements are visible to
+	// later choices within the same group.
+	planned := map[int]map[int]bool{} // group -> extra occupied nodes
+	occupied := func(g Group) map[int]bool {
+		occ := groupNodes(g)
+		for n := range planned[g.Index] {
+			occ[n] = true
+		}
+		return occ
+	}
+	// pickTarget prefers a surviving node free of this group's elements;
+	// when none exists (the group already spans every surviving node) it
+	// falls back to the least-loaded surviving node and reports the
+	// placement as degraded.
+	pickTarget := func(g Group) (node int, degraded bool, err error) {
+		occ := occupied(g)
+		best, bestLoad := -1, int(^uint(0)>>1)
+		for n := 0; n < l.Nodes; n++ {
+			if downSet[n] || occ[n] {
+				continue
+			}
+			if load[n] < bestLoad {
+				best, bestLoad = n, load[n]
+			}
+		}
+		if best == -1 {
+			degraded = true
+			for n := 0; n < l.Nodes; n++ {
+				if downSet[n] {
+					continue
+				}
+				if load[n] < bestLoad {
+					best, bestLoad = n, load[n]
+				}
+			}
+		}
+		if best == -1 {
+			return 0, false, fmt.Errorf("cluster: no surviving node can host group %d", g.Index)
+		}
+		if planned[g.Index] == nil {
+			planned[g.Index] = map[int]bool{}
+		}
+		planned[g.Index][best] = true
+		return best, degraded, nil
+	}
+
+	// Lost VMs first (they block job resumption), then lost parity.
+	for _, v := range l.VMs {
+		if !downSet[v.Node] {
+			continue
+		}
+		g := l.Groups[v.Group]
+		target, degraded, err := pickTarget(g)
+		if err != nil {
+			return nil, err
+		}
+		load[target]++
+		plan.Degraded = plan.Degraded || degraded
+		plan.Steps = append(plan.Steps, Step{
+			Kind:        RestoreVM,
+			VM:          v.Name,
+			Group:       v.Group,
+			TargetNode:  target,
+			SourceNodes: sources(g),
+			Degraded:    degraded,
+		})
+	}
+	for _, g := range l.Groups {
+		for _, p := range g.ParityNodes {
+			if !downSet[p] {
+				continue
+			}
+			target, degraded, err := pickTarget(g)
+			if err != nil {
+				return nil, err
+			}
+			plan.Degraded = plan.Degraded || degraded
+			plan.Steps = append(plan.Steps, Step{
+				Kind:        RehomeParity,
+				Group:       g.Index,
+				TargetNode:  target,
+				SourceNodes: sources(g),
+				Degraded:    degraded,
+			})
+		}
+	}
+	return plan, nil
+}
+
+// ApplyRecovery mutates the layout so it reflects a completed plan: lost VMs
+// move to their target nodes, and lost parity blocks are re-homed. The
+// resulting layout must validate, and callers should check Survives again
+// before trusting further failures to be tolerable.
+func (l *Layout) ApplyRecovery(p *Plan) error {
+	downSet := map[int]bool{}
+	for _, n := range p.Down {
+		downSet[n] = true
+	}
+	for _, s := range p.Steps {
+		switch s.Kind {
+		case RestoreVM:
+			i, ok := l.vmIndex[s.VM]
+			if !ok {
+				return fmt.Errorf("cluster: plan restores unknown VM %q", s.VM)
+			}
+			l.VMs[i].Node = s.TargetNode
+		case RehomeParity:
+			if s.Group < 0 || s.Group >= len(l.Groups) {
+				return fmt.Errorf("cluster: plan re-homes parity of unknown group %d", s.Group)
+			}
+			g := &l.Groups[s.Group]
+			moved := false
+			for j, pn := range g.ParityNodes {
+				if downSet[pn] {
+					g.ParityNodes[j] = s.TargetNode
+					moved = true
+					break
+				}
+			}
+			if !moved {
+				return fmt.Errorf("cluster: group %d has no parity on a down node", s.Group)
+			}
+		default:
+			return fmt.Errorf("cluster: unknown step kind %d", s.Kind)
+		}
+	}
+	if p.Degraded {
+		return l.ValidateDegraded()
+	}
+	return l.Validate()
+}

@@ -1,0 +1,175 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"testing"
+
+	"dvdc/internal/cluster"
+	"dvdc/internal/comm"
+	"dvdc/internal/vm"
+)
+
+// The message-passing consistency property of Sec. IV-A: producers stamp
+// monotonically increasing sequence numbers into messages and into their own
+// memory; consumers record the last sequence received in theirs. Across
+// checkpoints, in-flight drains, failures, rollbacks, and recoveries, the
+// consumer must never observe a gap or a duplicate.
+
+// seqSend emits the producer's next message and advances its counter
+// (page 0 bytes [0:8] hold the counter — part of the checkpointed state).
+func seqSend(t *testing.T, c *Cluster, n *comm.Network, producer, consumer string) {
+	t.Helper()
+	m, err := c.Machine(producer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var next uint64
+	m.MutatePage(0, func(p []byte) {
+		next = binary.LittleEndian.Uint64(p[:8]) + 1
+		binary.LittleEndian.PutUint64(p[:8], next)
+	})
+	payload := make([]byte, 8)
+	binary.LittleEndian.PutUint64(payload, next)
+	if err := n.Send(producer, consumer, payload); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// seqDeliver validates continuity and records the sequence in the consumer.
+func seqDeliver(dst *vm.Machine, m comm.Message) error {
+	seq := binary.LittleEndian.Uint64(m.Payload)
+	var bad error
+	dst.MutatePage(0, func(p []byte) {
+		last := binary.LittleEndian.Uint64(p[:8])
+		if seq != last+1 {
+			bad = fmt.Errorf("consumer %s: got seq %d after %d", dst.ID(), seq, last)
+			return
+		}
+		binary.LittleEndian.PutUint64(p[:8], seq)
+	})
+	return bad
+}
+
+func TestMessagingConsistentAcrossFailure(t *testing.T) {
+	layout, err := cluster.BuildDistributedGroups(6, 1, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCluster(layout, 8, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := comm.NewNetwork()
+	if err := c.AttachNetwork(net, seqDeliver); err != nil {
+		t.Fatal(err)
+	}
+	names := c.VMNames()
+	producer, consumer := names[0], names[1]
+
+	// Interval 1: sends, some delivered mid-interval, rest drained by the
+	// checkpoint.
+	for i := 0; i < 5; i++ {
+		seqSend(t, c, net, producer, consumer)
+	}
+	if _, err := c.Deliver(consumer); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		seqSend(t, c, net, producer, consumer)
+	}
+	if err := c.CheckpointRound(); err != nil {
+		t.Fatal(err)
+	}
+	if net.InFlight() != 0 {
+		t.Fatalf("checkpoint left %d messages in flight", net.InFlight())
+	}
+
+	// Interval 2: more sends, left in flight; then the producer's node dies.
+	for i := 0; i < 4; i++ {
+		seqSend(t, c, net, producer, consumer)
+	}
+	v, _ := c.Layout().VM(producer)
+	if _, err := c.FailNode(v.Node); err != nil {
+		t.Fatal(err)
+	}
+	if net.InFlight() != 0 {
+		t.Fatalf("rollback left %d orphan messages", net.InFlight())
+	}
+
+	// Post-recovery: both counters rolled back to the committed cut (8 sent
+	// = 8 received). Resuming must continue seamlessly.
+	pm, _ := c.Machine(producer)
+	cm, _ := c.Machine(consumer)
+	if got := binary.LittleEndian.Uint64(pm.Page(0)[:8]); got != 8 {
+		t.Errorf("producer counter after rollback = %d, want 8", got)
+	}
+	if got := binary.LittleEndian.Uint64(cm.Page(0)[:8]); got != 8 {
+		t.Errorf("consumer counter after rollback = %d, want 8", got)
+	}
+	for i := 0; i < 6; i++ {
+		seqSend(t, c, net, producer, consumer)
+	}
+	if err := c.CheckpointRound(); err != nil {
+		t.Fatalf("post-recovery round (seq continuity) failed: %v", err)
+	}
+	if got := binary.LittleEndian.Uint64(cm.Page(0)[:8]); got != 14 {
+		t.Errorf("consumer counter = %d, want 14", got)
+	}
+}
+
+func TestMessagingConsumerFailure(t *testing.T) {
+	// Kill the CONSUMER's node instead: its received-counter state is
+	// reconstructed from parity and must still line up with the producer.
+	layout, err := cluster.BuildDistributedGroups(6, 1, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCluster(layout, 8, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := comm.NewNetwork()
+	if err := c.AttachNetwork(net, seqDeliver); err != nil {
+		t.Fatal(err)
+	}
+	names := c.VMNames()
+	producer, consumer := names[0], names[3]
+	for i := 0; i < 7; i++ {
+		seqSend(t, c, net, producer, consumer)
+	}
+	if err := c.CheckpointRound(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		seqSend(t, c, net, producer, consumer)
+	}
+	v, _ := c.Layout().VM(consumer)
+	if _, err := c.FailNode(v.Node); err != nil {
+		t.Fatal(err)
+	}
+	// Continue: the reconstructed consumer expects seq 8 next.
+	for i := 0; i < 2; i++ {
+		seqSend(t, c, net, producer, consumer)
+	}
+	if err := c.CheckpointRound(); err != nil {
+		t.Fatalf("continuity after consumer reconstruction: %v", err)
+	}
+	cm, _ := c.Machine(consumer)
+	if got := binary.LittleEndian.Uint64(cm.Page(0)[:8]); got != 9 {
+		t.Errorf("consumer counter = %d, want 9", got)
+	}
+}
+
+func TestAttachNetworkValidation(t *testing.T) {
+	c := paperCluster(t)
+	if err := c.AttachNetwork(nil, seqDeliver); err == nil {
+		t.Error("nil network accepted")
+	}
+	if err := c.AttachNetwork(comm.NewNetwork(), nil); err == nil {
+		t.Error("nil deliver accepted")
+	}
+	if _, err := c.Deliver("x"); err == nil {
+		t.Error("Deliver without network accepted")
+	}
+}

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// rateScheme is a constant-cost scheme with a degraded-rate model.
+type rateScheme struct {
+	constScheme
+	nodes int
+}
+
+func (r rateScheme) RateWithDown(k int) float64 {
+	return float64(r.nodes-k) / float64(r.nodes)
+}
+
+func TestRepairDelaySlowsExecution(t *testing.T) {
+	// One failure at t=5 with rec=1, repair lasting 100 s; 4-node rate
+	// model: windows during repair run at 3/4 speed.
+	sch := rateScheme{constScheme{ov: 0, rec: 1}, 4}
+	res, err := Run(Config{
+		JobSeconds: 50, Interval: 10, RepairSec: 100,
+		Schedule: traceSchedule(t, 5),
+		Scheme:   sch,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Failure at 5: lost 5 s work; recovery ends at 6; node down until 106.
+	// All 50 s of work re-run at rate 0.75: wall 50/0.75 = 66.67 s.
+	want := 6 + 50/0.75
+	if math.Abs(res.Completion-want) > 1e-9 {
+		t.Errorf("completion %v, want %v", res.Completion, want)
+	}
+	if res.DegradedTime <= 0 {
+		t.Error("expected degraded time to be recorded")
+	}
+}
+
+func TestRepairCompletesAndRateRecovers(t *testing.T) {
+	// Short repair: after it elapses, windows run at full rate again.
+	sch := rateScheme{constScheme{ov: 0, rec: 1}, 4}
+	res, err := Run(Config{
+		JobSeconds: 100, Interval: 10, RepairSec: 5,
+		Schedule: traceSchedule(t, 5),
+		Scheme:   sch,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Recovery ends at 6, node down until 11. First window (6..19.33 at
+	// 0.75) samples degraded; subsequent windows full rate. Just verify the
+	// bound: completion well below the always-degraded case.
+	alwaysDegraded := 6 + 100/0.75
+	if res.Completion >= alwaysDegraded {
+		t.Errorf("completion %v suggests rate never recovered", res.Completion)
+	}
+	if res.Completion <= 106 {
+		t.Errorf("completion %v below physical minimum", res.Completion)
+	}
+}
+
+func TestInstantRepairKeepsOldBehaviour(t *testing.T) {
+	// RepairSec 0: identical to the pre-extension engine semantics.
+	res, err := Run(Config{
+		JobSeconds: 100, Interval: 10, DetectSec: 1,
+		Schedule: traceSchedule(t, 15),
+		Scheme:   rateScheme{constScheme{ov: 1, rec: 2}, 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Completion-116) > 1e-9 {
+		t.Errorf("completion = %v, want 116 (matching the legacy test)", res.Completion)
+	}
+	if res.DegradedTime != 0 {
+		t.Errorf("instant repair should record no degraded time, got %v", res.DegradedTime)
+	}
+}
+
+func TestSchemeWithoutRateRunsFullSpeed(t *testing.T) {
+	// A plain Scheme (no DegradedRate) ignores RepairSec for pacing.
+	res, err := Run(Config{
+		JobSeconds: 50, Interval: 10, RepairSec: 1000,
+		Schedule: traceSchedule(t, 5),
+		Scheme:   constScheme{ov: 0, rec: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 6 + 50.0
+	if math.Abs(res.Completion-want) > 1e-9 {
+		t.Errorf("completion %v, want %v", res.Completion, want)
+	}
+}

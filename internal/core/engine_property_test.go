@@ -1,0 +1,97 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dvdc/internal/failure"
+)
+
+// Property: for any failure pattern, interval, and costs, the simulated run
+// satisfies the basic accounting identities.
+func TestQuickEngineInvariants(t *testing.T) {
+	f := func(seed int64, ivRaw, ovRaw, recRaw uint16, mtbfRaw uint32) bool {
+		job := 5000.0
+		iv := float64(ivRaw%2000) + 1
+		ov := float64(ovRaw % 100)
+		rec := float64(recRaw % 200)
+		mtbf := float64(mtbfRaw%20000) + 500
+		sched, err := failure.NewPoissonNodes(2, mtbf, seed)
+		if err != nil {
+			return false
+		}
+		res, err := Run(Config{
+			JobSeconds: job, Interval: iv, DetectSec: 1,
+			Schedule: sched, Scheme: constScheme{ov: ov, rec: rec},
+		})
+		if err != nil {
+			return false
+		}
+		// Lower bound: work, committed checkpoint overhead, and re-done work
+		// are disjoint wall-time classes that all really elapsed.
+		// (RecoveryTime is excluded: a failure during recovery restarts it,
+		// so the counter can exceed the wall time actually spent.)
+		if res.Completion < job+res.OverheadTime+res.LostWork-1e-6 {
+			return false
+		}
+		// Upper bound: beyond those classes, wall time can only be recovery
+		// (counted, possibly over-counted) plus at most one partial
+		// checkpoint overhead per failure (spent, then wasted, un-booked).
+		upper := job + res.OverheadTime + res.LostWork + res.RecoveryTime +
+			float64(res.Failures)*ov + 1e-6
+		if res.Completion > upper {
+			return false
+		}
+		if res.Ratio < 1 {
+			return false
+		}
+		if res.Failures == 0 && (res.LostWork != 0 || res.RecoveryTime != 0) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: adding failures never speeds the job up (coupled seeds: the
+// trace prefix property — more failures = superset trace).
+func TestQuickMoreFailuresNeverFaster(t *testing.T) {
+	f := func(t1Raw, t2Raw uint16) bool {
+		job, iv := 2000.0, 150.0
+		t1 := float64(t1Raw%1800) + 1
+		t2 := float64(t2Raw%1800) + 1
+		mk := func(times ...float64) *failure.NodeSchedule {
+			tr, err := failure.NewTrace(times)
+			if err != nil {
+				return nil
+			}
+			s, err := failure.NewNodeSchedule([]failure.Process{tr})
+			if err != nil {
+				return nil
+			}
+			return s
+		}
+		one := mk(t1)
+		two := mk(t1, t1+t2)
+		if one == nil || two == nil {
+			return false
+		}
+		run := func(s *failure.NodeSchedule) float64 {
+			res, err := Run(Config{
+				JobSeconds: job, Interval: iv,
+				Schedule: s, Scheme: constScheme{ov: 2, rec: 5},
+			})
+			if err != nil {
+				return -1
+			}
+			return res.Completion
+		}
+		c1, c2 := run(one), run(two)
+		return c1 > 0 && c2 > 0 && c2 >= c1-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}

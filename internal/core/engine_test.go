@@ -1,0 +1,251 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"dvdc/internal/analytic"
+	"dvdc/internal/cluster"
+	"dvdc/internal/failure"
+	"dvdc/internal/metrics"
+	"dvdc/internal/vm"
+)
+
+// constScheme is a trivial Scheme with fixed costs for engine unit tests.
+type constScheme struct {
+	ov, rec float64
+}
+
+func (c constScheme) Name() string                                { return "const" }
+func (c constScheme) CheckpointOverhead(float64) (float64, error) { return c.ov, nil }
+func (c constScheme) RecoveryTime(int) (float64, error)           { return c.rec, nil }
+
+func neverSchedule(t *testing.T) *failure.NodeSchedule {
+	t.Helper()
+	s, err := failure.NewNodeSchedule([]failure.Process{failure.Never{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func traceSchedule(t *testing.T, times ...float64) *failure.NodeSchedule {
+	t.Helper()
+	tr, err := failure.NewTrace(times)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := failure.NewNodeSchedule([]failure.Process{tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestRunFaultFreeExactCompletion(t *testing.T) {
+	// 100 s of work, 10 s intervals, 1 s overhead: 9 checkpoints (the last
+	// window needs none) -> 109 s.
+	res, err := Run(Config{
+		JobSeconds: 100, Interval: 10, Schedule: neverSchedule(t),
+		Scheme: constScheme{ov: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Checkpoints != 9 {
+		t.Errorf("checkpoints = %d, want 9", res.Checkpoints)
+	}
+	if math.Abs(res.Completion-109) > 1e-9 {
+		t.Errorf("completion = %v, want 109", res.Completion)
+	}
+	if res.Failures != 0 || res.LostWork != 0 {
+		t.Errorf("unexpected failures: %+v", res)
+	}
+}
+
+func TestRunSingleFailureRollsBack(t *testing.T) {
+	// Failure at t=15: window 2 had done 4 s of work (committed 10 at
+	// t=11 after 10 work + 1 ov). Recovery = 2 s + detect 1 s. Completion:
+	// 15 + 3 + remaining work 90 + overheads.
+	res, err := Run(Config{
+		JobSeconds: 100, Interval: 10, DetectSec: 1,
+		Schedule: traceSchedule(t, 15),
+		Scheme:   constScheme{ov: 1, rec: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failures != 1 {
+		t.Fatalf("failures = %d, want 1", res.Failures)
+	}
+	if math.Abs(res.LostWork-4) > 1e-9 {
+		t.Errorf("lost work = %v, want 4", res.LostWork)
+	}
+	// Work after recovery restarts at committed=10: 90 s remain, 8 more
+	// checkpoints. Completion = 18 (failure+recovery) + 90 + 8*1 = 116.
+	if math.Abs(res.Completion-116) > 1e-9 {
+		t.Errorf("completion = %v, want 116", res.Completion)
+	}
+	if math.Abs(res.RecoveryTime-3) > 1e-9 {
+		t.Errorf("recovery time = %v, want 3", res.RecoveryTime)
+	}
+}
+
+func TestRunFailureDuringCheckpointLosesWholeWindow(t *testing.T) {
+	// Failure at t=10.5, inside the first checkpoint (10..11): the full 10 s
+	// window is lost.
+	res, err := Run(Config{
+		JobSeconds: 30, Interval: 10,
+		Schedule: traceSchedule(t, 10.5),
+		Scheme:   constScheme{ov: 1, rec: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.LostWork-10) > 1e-9 {
+		t.Errorf("lost work = %v, want 10", res.LostWork)
+	}
+	if res.Checkpoints != 2 {
+		t.Errorf("checkpoints = %d, want 2 (two committed windows)", res.Checkpoints)
+	}
+}
+
+func TestRunFailureDuringRecoveryRestartsRecovery(t *testing.T) {
+	// First failure at t=5; recovery takes 10 s (until 15). Second failure
+	// at t=12 lands inside recovery: recovery restarts, finishing at 22.
+	// Then 20 s of work + 1 checkpoint: 20+1+... job = 20, interval 15.
+	res, err := Run(Config{
+		JobSeconds: 20, Interval: 15,
+		Schedule: traceSchedule(t, 5, 12),
+		Scheme:   constScheme{ov: 1, rec: 10},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failures != 2 {
+		t.Fatalf("failures = %d, want 2", res.Failures)
+	}
+	// Completion: 22 (second recovery ends) + 15 work + 1 ov + 5 work = 43.
+	if math.Abs(res.Completion-43) > 1e-9 {
+		t.Errorf("completion = %v, want 43", res.Completion)
+	}
+	// Lost work: 5 (first) + 0 (during recovery) = 5.
+	if math.Abs(res.LostWork-5) > 1e-9 {
+		t.Errorf("lost work = %v, want 5", res.LostWork)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	good := Config{JobSeconds: 10, Interval: 1, Schedule: neverSchedule(t), Scheme: constScheme{}}
+	bad := []func(Config) Config{
+		func(c Config) Config { c.JobSeconds = 0; return c },
+		func(c Config) Config { c.Interval = 0; return c },
+		func(c Config) Config { c.DetectSec = -1; return c },
+		func(c Config) Config { c.Schedule = nil; return c },
+		func(c Config) Config { c.Scheme = nil; return c },
+	}
+	for i, mut := range bad {
+		if _, err := Run(mut(good)); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestRunShortJobNoCheckpointNeeded(t *testing.T) {
+	res, err := Run(Config{
+		JobSeconds: 5, Interval: 10, Schedule: neverSchedule(t),
+		Scheme: constScheme{ov: 100},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Checkpoints != 0 || res.Completion != 5 {
+		t.Errorf("short job: %+v", res)
+	}
+}
+
+// TestMonteCarloMatchesAnalyticModel is the E2 experiment in miniature: the
+// event simulation's mean completion time must agree with the corrected
+// Section V equations within a few percent.
+func TestMonteCarloMatchesAnalyticModel(t *testing.T) {
+	const (
+		mtbf     = 2000.0
+		job      = 20000.0
+		interval = 400.0
+		overhead = 5.0
+		repair   = 30.0
+		runs     = 300
+	)
+	var s metrics.Summary
+	for seed := int64(0); seed < runs; seed++ {
+		sched, err := failure.NewPoissonNodes(1, mtbf, 1000+seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(Config{
+			JobSeconds: job, Interval: interval, DetectSec: 0,
+			Schedule: sched, Scheme: constScheme{ov: overhead, rec: repair},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Add(res.Completion)
+	}
+	m := analytic.Model{Lambda: 1 / mtbf, T: job, Repair: repair}
+	want, err := m.ExpectedWithCheckpoint(interval, overhead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := math.Abs(s.Mean()-want) / want
+	t.Logf("MC mean %.1f (±%.1f), analytic %.1f, rel err %.2f%%", s.Mean(), s.CI95(), want, rel*100)
+	if rel > 0.05 {
+		t.Errorf("Monte-Carlo mean %v vs analytic %v: %.1f%% apart", s.Mean(), want, rel*100)
+	}
+}
+
+func TestDVDCSchemeCosts(t *testing.T) {
+	layout, err := cluster.Paper12VM()
+	if err != nil {
+		t.Fatal(err)
+	}
+	plat, err := analytic.DefaultPlatform(layout.Nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := vm.Spec{Name: "g", ImageBytes: 1 << 28, Dirty: vm.LinearDirty{RatePerSec: 1 << 20, CapBytes: 1 << 26}}
+	s, err := NewDVDCScheme(plat, layout, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ov, err := s.CheckpointOverhead(60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ov <= 0 {
+		t.Errorf("overhead = %v", ov)
+	}
+	rec, err := s.RecoveryTime(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reconstruction of a 256 MiB image from 3 blocks over GigE takes
+	// seconds: sanity band.
+	if rec < 1 || rec > 60 {
+		t.Errorf("recovery = %v s, want O(seconds)", rec)
+	}
+	if _, err := s.RecoveryTime(-1); err == nil {
+		t.Error("bad node should fail")
+	}
+	// End-to-end run with the real scheme.
+	sched, err := failure.NewPoissonNodes(layout.Nodes, 50000, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Config{JobSeconds: 100000, Interval: 600, DetectSec: 1, Schedule: sched, Scheme: s})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ratio <= 1 {
+		t.Errorf("ratio = %v, want > 1", res.Ratio)
+	}
+}

@@ -1,0 +1,182 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"dvdc/internal/cluster"
+	"dvdc/internal/migrate"
+	"dvdc/internal/vm"
+)
+
+func TestEvacuatePreservesLiveAndCommittedState(t *testing.T) {
+	layout, err := cluster.BuildDistributedGroups(6, 1, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCluster(layout, 16, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	churn(t, c, 1, 30)
+	if err := c.CheckpointRound(); err != nil {
+		t.Fatal(err)
+	}
+	churn(t, c, 2, 10) // live (uncommitted) changes must survive evacuation
+
+	live := map[string][]byte{}
+	for _, name := range c.VMNames() {
+		m, _ := c.Machine(name)
+		live[name] = m.Image()
+	}
+
+	rep, err := c.EvacuateNode(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Moves) != len(layout.VMsOnNode(0))+0 && len(rep.Moves) == 0 {
+		t.Fatalf("no moves in report: %+v", rep)
+	}
+	if rep.Degraded {
+		t.Error("evacuation with spare nodes should preserve orthogonality")
+	}
+	// Unlike failure recovery there is NO rollback: live state is intact.
+	for _, name := range c.VMNames() {
+		m, _ := c.Machine(name)
+		if !bytes.Equal(m.Image(), live[name]) {
+			t.Errorf("VM %q live state changed by evacuation", name)
+		}
+	}
+	if got := c.Layout().VMsOnNode(0); len(got) != 0 {
+		t.Errorf("node 0 still hosts %v", got)
+	}
+	if got := c.Layout().ParityGroupsOnNode(0); len(got) != 0 {
+		t.Errorf("node 0 still holds parity %v", got)
+	}
+	if err := c.VerifyParity(); err != nil {
+		t.Errorf("parity invalid after evacuation: %v", err)
+	}
+}
+
+func TestEvacuateThenCheckpointAndFail(t *testing.T) {
+	// The moved VMs must keep participating: their uncommitted dirt gets
+	// captured in the next round, and a later real failure still recovers.
+	layout, err := cluster.BuildDistributedGroups(6, 1, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCluster(layout, 16, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	churn(t, c, 3, 20)
+	if err := c.CheckpointRound(); err != nil {
+		t.Fatal(err)
+	}
+	churn(t, c, 4, 15)
+	if _, err := c.EvacuateNode(2, nil); err != nil {
+		t.Fatal(err)
+	}
+	// The dirty pages from before the evacuation must enter this round.
+	if err := c.CheckpointRound(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.VerifyParity(); err != nil {
+		t.Fatal(err)
+	}
+	committed := map[string][]byte{}
+	for _, name := range c.VMNames() {
+		m, _ := c.Machine(name)
+		committed[name] = m.Image()
+	}
+	// Now a node that received evacuated VMs fails for real.
+	victim := c.Layout().VMs[0].Node
+	if _, err := c.FailNode(victim); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range c.VMNames() {
+		m, _ := c.Machine(name)
+		if !bytes.Equal(m.Image(), committed[name]) {
+			t.Errorf("VM %q lost state after post-evacuation failure", name)
+		}
+	}
+}
+
+func TestEvacuateWithDedupIndex(t *testing.T) {
+	layout, err := cluster.BuildDistributedGroups(6, 1, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCluster(layout, 16, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Most pages are still zero: an index holding a zero machine dedups them.
+	churn(t, c, 5, 5)
+	idx := migrate.NewHashIndex()
+	zm, _ := c.Machine(c.VMNames()[0])
+	_ = zm
+	zero, err := newZeroMachine(16, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx.AddMachine(zero)
+	rep, err := c.EvacuateNode(1, idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var deduped int64
+	for _, mv := range rep.Moves {
+		deduped += mv.Stats.BytesDeduped
+	}
+	if deduped == 0 {
+		t.Error("expected some dedup against the zero-page index")
+	}
+	if err := c.VerifyParity(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEvacuateDegradedOnPaperLayout(t *testing.T) {
+	// The 4-node paper layout has no spare node: evacuation succeeds but is
+	// degraded, like recovery.
+	c := paperCluster(t)
+	churn(t, c, 6, 10)
+	if err := c.CheckpointRound(); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := c.EvacuateNode(3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Degraded {
+		t.Error("4-node evacuation should be degraded")
+	}
+	if err := c.VerifyParity(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEvacuateValidation(t *testing.T) {
+	c := paperCluster(t)
+	if _, err := c.EvacuateNode(-1, nil); err == nil {
+		t.Error("negative node should fail")
+	}
+	if _, err := c.EvacuateNode(99, nil); err == nil {
+		t.Error("out-of-range node should fail")
+	}
+	if err := c.CheckpointRound(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.FailNode(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.EvacuateNode(0, nil); err == nil {
+		t.Error("evacuating a down node should fail")
+	}
+}
+
+// newZeroMachine builds a fresh zeroed machine for dedup indexing.
+func newZeroMachine(pages, pageSize int) (*vm.Machine, error) {
+	return vm.NewMachine("zero-template", pages, pageSize)
+}

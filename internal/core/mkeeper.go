@@ -1,0 +1,169 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"dvdc/internal/parity"
+)
+
+// MKeeper maintains ONE of the m parity blocks protecting a RAID group
+// under a systematic RS(k, m) code — the generalization to multi-failure
+// tolerance that the paper motivates through Wang et al.'s double-erasure
+// checkpointing. With m = 1 the code degenerates to plain XOR (the RS
+// construction's first parity row is all ones), so MKeeper subsumes the
+// single-parity Keeper semantically; the group's m parity blocks live on m
+// distinct nodes per the layout's ParityNodes.
+//
+// Like Keeper, an MKeeper never stores member images: deltas fold in via
+// the linear small-write update parity ^= Coef * (old XOR new).
+type MKeeper struct {
+	group     int
+	parityIdx int
+	coder     *parity.RS
+	members   []string       // sorted; position = RS data index
+	index     map[string]int // member -> data index
+	parityBlk []byte
+	epochs    map[string]uint64
+}
+
+// NewMKeeper builds parity block parityIdx (0..tolerance-1) for a group
+// from the members' initial full images. All keepers of one group must be
+// constructed with the same member set and tolerance so their coders agree.
+func NewMKeeper(group, parityIdx, tolerance int, initial map[string][]byte) (*MKeeper, error) {
+	if len(initial) == 0 {
+		return nil, fmt.Errorf("core: mkeeper for group %d has no members", group)
+	}
+	if parityIdx < 0 || parityIdx >= tolerance {
+		return nil, fmt.Errorf("core: parity index %d out of range [0,%d)", parityIdx, tolerance)
+	}
+	coder, err := parity.NewRS(len(initial), tolerance)
+	if err != nil {
+		return nil, err
+	}
+	members := make([]string, 0, len(initial))
+	for id := range initial {
+		members = append(members, id)
+	}
+	sort.Strings(members)
+	k := &MKeeper{
+		group:     group,
+		parityIdx: parityIdx,
+		coder:     coder,
+		members:   members,
+		index:     make(map[string]int, len(members)),
+		epochs:    make(map[string]uint64, len(members)),
+	}
+	var size int
+	for j, id := range members {
+		k.index[id] = j
+		img := initial[id]
+		if j == 0 {
+			size = len(img)
+			k.parityBlk = make([]byte, size)
+		} else if len(img) != size {
+			return nil, fmt.Errorf("core: member %q image %d bytes, group uses %d", id, len(img), size)
+		}
+		// parity ^= Coef * img (initial fold).
+		if err := coder.UpdateParity(k.parityBlk, parityIdx, j, img); err != nil {
+			return nil, err
+		}
+		k.epochs[id] = 0
+	}
+	return k, nil
+}
+
+// Group returns the group index; ParityIndex which of the m blocks this is.
+func (k *MKeeper) Group() int { return k.group }
+
+// ParityIndex returns which of the group's parity blocks this keeper holds.
+func (k *MKeeper) ParityIndex() int { return k.parityIdx }
+
+// Members returns the sorted member list (positions are RS data indices).
+func (k *MKeeper) Members() []string { return append([]string(nil), k.members...) }
+
+// Parity returns a copy of the parity block.
+func (k *MKeeper) Parity() []byte { return append([]byte(nil), k.parityBlk...) }
+
+// Epoch returns the last folded epoch for a member.
+func (k *MKeeper) Epoch(id string) uint64 { return k.epochs[id] }
+
+// SetEpochs overrides epoch bookkeeping after a mid-run rebuild.
+func (k *MKeeper) SetEpochs(epochs map[string]uint64) error {
+	for id := range k.epochs {
+		e, ok := epochs[id]
+		if !ok {
+			return fmt.Errorf("core: SetEpochs missing member %q", id)
+		}
+		k.epochs[id] = e
+	}
+	return nil
+}
+
+// ApplyDelta folds one member's checkpoint delta into this parity block.
+func (k *MKeeper) ApplyDelta(d *Delta) error {
+	j, ok := k.index[d.VMID]
+	if !ok {
+		return fmt.Errorf("core: mkeeper group %d got delta from unknown member %q", k.group, d.VMID)
+	}
+	if d.Epoch != k.epochs[d.VMID]+1 {
+		return fmt.Errorf("core: mkeeper group %d member %q epoch %d after %d",
+			k.group, d.VMID, d.Epoch, k.epochs[d.VMID])
+	}
+	for _, p := range d.Pages {
+		off := p.Index * len(p.Data)
+		if p.Index < 0 || off+len(p.Data) > len(k.parityBlk) {
+			return fmt.Errorf("core: delta page %d out of parity range", p.Index)
+		}
+		if err := k.coder.UpdateParity(k.parityBlk[off:off+len(p.Data)], k.parityIdx, j, p.Data); err != nil {
+			return err
+		}
+	}
+	k.epochs[d.VMID] = d.Epoch
+	return nil
+}
+
+// ReconstructMembers rebuilds up to m lost members of one group from the
+// surviving members' committed images plus the available parity blocks
+// (keyed by parity index). It needs at least k total shards; with t lost
+// members, any t parity blocks suffice.
+func ReconstructMembers(tolerance int, members []string, survivors map[string][]byte,
+	parityBlocks map[int][]byte, lost []string) (map[string][]byte, error) {
+	sorted := append([]string(nil), members...)
+	sort.Strings(sorted)
+	coder, err := parity.NewRS(len(sorted), tolerance)
+	if err != nil {
+		return nil, err
+	}
+	lostSet := map[string]bool{}
+	for _, id := range lost {
+		lostSet[id] = true
+	}
+	shards := make([][]byte, len(sorted)+tolerance)
+	for j, id := range sorted {
+		if lostSet[id] {
+			continue
+		}
+		img, ok := survivors[id]
+		if !ok {
+			return nil, fmt.Errorf("core: reconstruction missing survivor %q", id)
+		}
+		shards[j] = append([]byte(nil), img...)
+	}
+	for idx, blk := range parityBlocks {
+		if idx < 0 || idx >= tolerance {
+			return nil, fmt.Errorf("core: parity index %d out of range [0,%d)", idx, tolerance)
+		}
+		shards[len(sorted)+idx] = append([]byte(nil), blk...)
+	}
+	if err := coder.Reconstruct(shards); err != nil {
+		return nil, err
+	}
+	out := make(map[string][]byte, len(lost))
+	for j, id := range sorted {
+		if lostSet[id] {
+			out[id] = shards[j]
+		}
+	}
+	return out, nil
+}

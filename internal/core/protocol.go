@@ -1,0 +1,263 @@
+// Package core is DVDC itself: the distributed virtual diskless
+// checkpointing protocol and the discrete-event engine that measures it.
+//
+// The package has two halves. The byte-real half (Member, Keeper) implements
+// the actual data path: members capture incremental checkpoints of their VM,
+// keep the last committed image locally for rollback, and ship XOR deltas of
+// the changed pages to their group's parity keeper, which patches its parity
+// block RAID-5-small-write style without ever holding member images. On a
+// failure, the survivors' committed images plus the parity block reconstruct
+// the lost VM bit-exactly. The TCP runtime (internal/runtime) drives exactly
+// this code over the network.
+//
+// The timing half (Scheme, Engine in engine.go) is the discrete-event
+// simulation used to corroborate the paper's Section V model and to
+// regenerate its evaluation figures.
+package core
+
+import (
+	"fmt"
+
+	"dvdc/internal/checkpoint"
+	"dvdc/internal/parity"
+	"dvdc/internal/vm"
+)
+
+// Delta is the RAID-5 small-write update a member sends its parity keeper
+// for one checkpoint epoch: for every page the checkpoint touched, the XOR
+// of the page's previous committed content and its new content.
+type Delta struct {
+	VMID  string
+	Epoch uint64
+	Pages []checkpoint.PageRecord // Data = old XOR new, len = page size
+}
+
+// PayloadBytes is the wire size of the delta's page data.
+func (d *Delta) PayloadBytes() int64 {
+	var n int64
+	for _, p := range d.Pages {
+		n += int64(len(p.Data))
+	}
+	return n
+}
+
+// Member is the per-VM state on its hosting node: the running machine plus
+// the last committed checkpoint image, kept locally so rollback never
+// touches the network (the essence of diskless checkpointing).
+type Member struct {
+	machine   *vm.Machine
+	committed []byte // image as of the last committed checkpoint
+	epoch     uint64 // protocol epoch of the committed image (0 = initial)
+}
+
+// NewMember wraps a machine and takes its initial full checkpoint (protocol
+// epoch 0), which the caller must feed to the group's Keeper as the base for
+// parity. The protocol epoch is the member's own counter, deliberately
+// independent of vm.Machine's dirty-tracking epoch: a machine rebuilt during
+// recovery starts a fresh dirty-tracking history but resumes the protocol
+// epoch of the image it was restored to.
+func NewMember(m *vm.Machine) (*Member, error) {
+	if m == nil {
+		return nil, fmt.Errorf("core: nil machine")
+	}
+	mem := &Member{machine: m}
+	mem.committed = m.Image()
+	m.BeginEpoch()
+	return mem, nil
+}
+
+// Machine returns the underlying VM.
+func (mem *Member) Machine() *vm.Machine { return mem.machine }
+
+// Epoch returns the committed checkpoint epoch.
+func (mem *Member) Epoch() uint64 { return mem.epoch }
+
+// CommittedImage returns a copy of the last committed checkpoint image;
+// during recovery this is what the member contributes to reconstruction.
+func (mem *Member) CommittedImage() []byte {
+	return append([]byte(nil), mem.committed...)
+}
+
+// CaptureDelta closes the current epoch: it snapshots the dirty pages,
+// computes their XOR against the committed image, advances the committed
+// image to the new state, and returns the delta for the parity keeper.
+// If the keeper never acknowledges, the caller must roll the member back
+// with RestoreImage(oldImage) — the two-phase protocol in the runtime
+// handles that; in-process callers are expected not to fail.
+func (mem *Member) CaptureDelta() (*Delta, error) {
+	m := mem.machine
+	ps := m.PageSize()
+	dirty := m.DirtyPages()
+	mem.epoch++
+	d := &Delta{VMID: m.ID(), Epoch: mem.epoch, Pages: make([]checkpoint.PageRecord, 0, len(dirty))}
+	for _, i := range dirty {
+		cur := m.Page(i)
+		old := mem.committed[i*ps : (i+1)*ps]
+		x := make([]byte, ps)
+		for j := range x {
+			x[j] = cur[j] ^ old[j]
+		}
+		d.Pages = append(d.Pages, checkpoint.PageRecord{Index: i, Data: x})
+		copy(old, cur) // advance committed image in place
+	}
+	m.BeginEpoch()
+	return d, nil
+}
+
+// UndoCapture reverses a CaptureDelta whose checkpoint round was aborted:
+// the committed image steps back (the XOR delta is self-inverting) and the
+// captured pages are re-marked dirty so the next capture includes them. The
+// delta must be the one most recently returned by CaptureDelta.
+func (mem *Member) UndoCapture(d *Delta) error {
+	if d == nil || d.Epoch != mem.epoch {
+		return fmt.Errorf("core: undo of epoch %v, member is at %d", d, mem.epoch)
+	}
+	ps := mem.machine.PageSize()
+	for _, p := range d.Pages {
+		if len(p.Data) != ps || p.Index < 0 || (p.Index+1)*ps > len(mem.committed) {
+			return fmt.Errorf("core: undo page %d malformed", p.Index)
+		}
+		old := mem.committed[p.Index*ps : (p.Index+1)*ps]
+		for j := range old {
+			old[j] ^= p.Data[j]
+		}
+		mem.machine.MarkDirty(p.Index)
+	}
+	mem.epoch--
+	return nil
+}
+
+// Rollback restores the machine to the last committed checkpoint.
+func (mem *Member) Rollback() error {
+	return mem.machine.LoadImage(mem.committed)
+}
+
+// RestoreImage replaces both the committed image and the machine state, the
+// operation a reconstructed VM performs when it is respawned on a new node.
+func (mem *Member) RestoreImage(img []byte, epoch uint64) error {
+	if err := mem.machine.LoadImage(img); err != nil {
+		return err
+	}
+	mem.committed = append(mem.committed[:0], img...)
+	mem.epoch = epoch
+	return nil
+}
+
+// Keeper maintains one RAID group's parity block on the group's parity
+// node. It never stores member images — only their XOR — which is what
+// distinguishes parity checkpointing from replication (and is why the
+// memory overhead is one image per group rather than one per VM).
+type Keeper struct {
+	group    int
+	pageSize int
+	numPages int
+	parity   []byte
+	epochs   map[string]uint64 // member -> epoch folded into parity
+}
+
+// NewKeeper builds the keeper from the members' initial full images.
+func NewKeeper(group int, initial map[string][]byte) (*Keeper, error) {
+	if len(initial) == 0 {
+		return nil, fmt.Errorf("core: keeper for group %d has no members", group)
+	}
+	var par []byte
+	epochs := make(map[string]uint64, len(initial))
+	for id, img := range initial {
+		if par == nil {
+			par = append([]byte(nil), img...)
+		} else {
+			if len(img) != len(par) {
+				return nil, fmt.Errorf("core: member %q image %d bytes, group uses %d", id, len(img), len(par))
+			}
+			if err := parity.XORInto(par, img); err != nil {
+				return nil, err
+			}
+		}
+		epochs[id] = 0
+	}
+	return &Keeper{group: group, parity: par, epochs: epochs}, nil
+}
+
+// Group returns the group index.
+func (k *Keeper) Group() int { return k.group }
+
+// ParityBytes returns the parity block size.
+func (k *Keeper) ParityBytes() int64 { return int64(len(k.parity)) }
+
+// Parity returns a copy of the parity block (for re-homing to another node).
+func (k *Keeper) Parity() []byte { return append([]byte(nil), k.parity...) }
+
+// ApplyDelta folds one member's checkpoint delta into the parity block.
+// Deltas must arrive in epoch order per member.
+func (k *Keeper) ApplyDelta(d *Delta) error {
+	prev, ok := k.epochs[d.VMID]
+	if !ok {
+		return fmt.Errorf("core: keeper group %d got delta from unknown member %q", k.group, d.VMID)
+	}
+	if d.Epoch != prev+1 {
+		return fmt.Errorf("core: keeper group %d member %q epoch %d after %d", k.group, d.VMID, d.Epoch, prev)
+	}
+	for _, p := range d.Pages {
+		off := p.Index * len(p.Data)
+		if p.Index < 0 || off+len(p.Data) > len(k.parity) {
+			return fmt.Errorf("core: delta page %d out of parity range", p.Index)
+		}
+		if err := parity.XORInto(k.parity[off:off+len(p.Data)], p.Data); err != nil {
+			return err
+		}
+	}
+	k.epochs[d.VMID] = d.Epoch
+	return nil
+}
+
+// Reconstruct rebuilds the image of lost member lostID from the surviving
+// members' committed images. Every member other than lostID must be present
+// in survivors, and all members must have the same committed epoch (the
+// coordinator's two-phase commit guarantees this).
+func (k *Keeper) Reconstruct(lostID string, survivors map[string][]byte) ([]byte, error) {
+	if _, ok := k.epochs[lostID]; !ok {
+		return nil, fmt.Errorf("core: keeper group %d does not protect %q", k.group, lostID)
+	}
+	blocks := make([][]byte, 0, len(k.epochs))
+	blocks = append(blocks, k.parity)
+	for id := range k.epochs {
+		if id == lostID {
+			continue
+		}
+		img, ok := survivors[id]
+		if !ok {
+			return nil, fmt.Errorf("core: reconstruction of %q missing survivor %q", lostID, id)
+		}
+		if len(img) != len(k.parity) {
+			return nil, fmt.Errorf("core: survivor %q image %d bytes, parity %d", id, len(img), len(k.parity))
+		}
+		blocks = append(blocks, img)
+	}
+	return parity.ReconstructOne(blocks...)
+}
+
+// SetEpochs overrides the per-member epoch bookkeeping; the distributed
+// runtime uses it when a keeper is rebuilt mid-run from committed images
+// whose protocol epochs are nonzero. Every keeper member must be covered.
+func (k *Keeper) SetEpochs(epochs map[string]uint64) error {
+	for id := range k.epochs {
+		e, ok := epochs[id]
+		if !ok {
+			return fmt.Errorf("core: SetEpochs missing member %q", id)
+		}
+		k.epochs[id] = e
+	}
+	return nil
+}
+
+// Members returns the member IDs the keeper protects.
+func (k *Keeper) Members() []string {
+	out := make([]string, 0, len(k.epochs))
+	for id := range k.epochs {
+		out = append(out, id)
+	}
+	return out
+}
+
+// Epoch returns the last epoch folded in for a member (0 if unknown).
+func (k *Keeper) Epoch(id string) uint64 { return k.epochs[id] }

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestClusterRebalanceAfterDegradedRecovery(t *testing.T) {
+	c := paperCluster(t)
+	churn(t, c, 1, 30)
+	if err := c.CheckpointRound(); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := c.FailNode(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Degraded {
+		t.Fatal("expected degraded recovery on the 4-node layout")
+	}
+	if c.Layout().Validate() == nil {
+		t.Fatal("layout should be degraded")
+	}
+	// Still degraded while node 2 is down: rebalance must fail (no room).
+	if _, err := c.Rebalance(nil); err == nil {
+		t.Error("rebalance without repaired node should fail")
+	}
+	// Repair and rebalance: strict orthogonality returns, live state intact.
+	if err := c.RepairNode(2); err != nil {
+		t.Fatal(err)
+	}
+	live := map[string][]byte{}
+	for _, name := range c.VMNames() {
+		m, _ := c.Machine(name)
+		live[name] = m.Image()
+	}
+	plan, err := c.Rebalance(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Steps) == 0 {
+		t.Fatal("rebalance should have moved something")
+	}
+	if err := c.Layout().Validate(); err != nil {
+		t.Errorf("layout not orthogonal after rebalance: %v", err)
+	}
+	for _, name := range c.VMNames() {
+		m, _ := c.Machine(name)
+		if !bytes.Equal(m.Image(), live[name]) {
+			t.Errorf("VM %q live state changed by rebalance", name)
+		}
+	}
+	if err := c.VerifyParity(); err != nil {
+		t.Fatal(err)
+	}
+	// The rebalanced cluster keeps working: checkpoint, fail another node.
+	churn(t, c, 2, 15)
+	if err := c.CheckpointRound(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.FailNode(0); err != nil {
+		t.Fatalf("failure after rebalance: %v", err)
+	}
+	if err := c.VerifyParity(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClusterRebalanceNoopWhenOrthogonal(t *testing.T) {
+	c := paperCluster(t)
+	if err := c.CheckpointRound(); err != nil {
+		t.Fatal(err)
+	}
+	plan, err := c.Rebalance(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Steps) != 0 {
+		t.Errorf("orthogonal cluster rebalance moved %d things", len(plan.Steps))
+	}
+}

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"dvdc/internal/analytic"
+	"dvdc/internal/cluster"
+	"dvdc/internal/vm"
+)
+
+// DVDCScheme is DVDC's timing model for the discrete-event engine: the
+// overhead of a distributed diskless checkpoint (capture + balanced exchange
+// + XOR) and the recovery path (parity reconstruction over the fabric +
+// local rollbacks).
+type DVDCScheme struct {
+	Overheads *analytic.Diskless
+	Layout    *cluster.Layout
+	Spec      vm.Spec
+}
+
+// NewDVDCScheme assembles the scheme from a platform, layout and VM spec.
+func NewDVDCScheme(p analytic.Platform, layout *cluster.Layout, spec vm.Spec) (*DVDCScheme, error) {
+	ov, err := analytic.NewDiskless(p, layout, spec)
+	if err != nil {
+		return nil, err
+	}
+	return &DVDCScheme{Overheads: ov, Layout: layout, Spec: spec}, nil
+}
+
+// Name implements Scheme.
+func (s *DVDCScheme) Name() string { return "DVDC" }
+
+// CheckpointOverhead implements Scheme.
+func (s *DVDCScheme) CheckpointOverhead(window float64) (float64, error) {
+	return s.Overheads.Overhead(window)
+}
+
+// RecoveryTime implements Scheme: reconstructing each lost VM pulls the
+// surviving group images plus parity (groupSize blocks of the full image)
+// into the target node, XORs them, and loads the result; surviving VMs roll
+// back from their local committed images in parallel. Reconstructions of
+// different VMs proceed in parallel on distinct targets, so the per-VM cost
+// bounds the phase.
+func (s *DVDCScheme) RecoveryTime(node int) (float64, error) {
+	if node < 0 || node >= s.Layout.Nodes {
+		return 0, fmt.Errorf("core: node %d out of range [0,%d)", node, s.Layout.Nodes)
+	}
+	img := float64(s.Spec.ImageBytes)
+	p := s.Overheads.Platform
+	lost := s.Layout.VMsOnNode(node)
+	if len(lost) == 0 {
+		// Only parity blocks were lost: rebuild them from member images.
+		rebuild := 0.0
+		for range s.Layout.ParityGroupsOnNode(node) {
+			rebuild = math.Max(rebuild, img/p.XORBps)
+		}
+		return p.BaseSec + rebuild, nil
+	}
+	// Group size of the lost VMs' groups (uniform in built layouts).
+	v, _ := s.Layout.VM(lost[0])
+	g := s.Layout.Groups[v.Group]
+	blocks := len(g.Members) // g-1 survivors + 1 parity
+	fanIn, err := p.Fabric.FanInTime(blocks, img, p.Fabric.NodeLink)
+	if err != nil {
+		return 0, err
+	}
+	xor := float64(blocks) * img / p.XORBps
+	load := img / p.CaptureBps
+	rollback := img / p.CaptureBps // survivors, in parallel with reconstruction
+	return p.BaseSec + math.Max(fanIn+xor+load, rollback), nil
+}
+
+// RateWithDown implements DegradedRate: DVDC re-places lost VMs onto the
+// survivors, which time-share, so the job proceeds at the surviving compute
+// fraction until repair.
+func (s *DVDCScheme) RateWithDown(k int) float64 {
+	n := s.Layout.Nodes
+	if k >= n {
+		return 0
+	}
+	return float64(n-k) / float64(n)
+}
+
+var (
+	_ Scheme       = (*DVDCScheme)(nil)
+	_ DegradedRate = (*DVDCScheme)(nil)
+)

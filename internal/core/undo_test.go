@@ -1,0 +1,182 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"dvdc/internal/analytic"
+	"dvdc/internal/cluster"
+	"dvdc/internal/vm"
+)
+
+func TestUndoCaptureRestoresCommittedAndDirty(t *testing.T) {
+	m, err := vm.NewMachine("u", 8, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem, err := NewMember(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.TouchPage(1, 11)
+	m.TouchPage(5, 12)
+	before := mem.CommittedImage()
+	d, err := mem.CaptureDelta()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(mem.CommittedImage(), before) {
+		t.Fatal("capture should advance the committed image")
+	}
+	if mem.Epoch() != 1 {
+		t.Fatalf("epoch %d, want 1", mem.Epoch())
+	}
+	if err := mem.UndoCapture(d); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(mem.CommittedImage(), before) {
+		t.Error("undo did not restore the committed image")
+	}
+	if mem.Epoch() != 0 {
+		t.Errorf("epoch %d after undo, want 0", mem.Epoch())
+	}
+	// The captured pages must be dirty again so the next capture re-ships them.
+	if !m.IsDirty(1) || !m.IsDirty(5) {
+		t.Error("undone pages not re-marked dirty")
+	}
+	// A fresh capture after the undo must produce an equivalent delta.
+	d2, err := mem.CaptureDelta()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Epoch != 1 || len(d2.Pages) != 2 {
+		t.Errorf("re-capture: epoch %d, %d pages", d2.Epoch, len(d2.Pages))
+	}
+}
+
+func TestUndoCaptureValidation(t *testing.T) {
+	m, _ := vm.NewMachine("u", 4, 32)
+	mem, _ := NewMember(m)
+	m.TouchPage(0, 1)
+	d, _ := mem.CaptureDelta()
+	stale := &Delta{VMID: d.VMID, Epoch: 99}
+	if err := mem.UndoCapture(stale); err == nil {
+		t.Error("undo with wrong epoch should fail")
+	}
+	if err := mem.UndoCapture(nil); err == nil {
+		t.Error("undo with nil delta should fail")
+	}
+	if err := mem.UndoCapture(d); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	m, _ := vm.NewMachine("a", 4, 32)
+	mem, _ := NewMember(m)
+	k, err := NewKeeper(7, map[string][]byte{"a": mem.CommittedImage()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.Group() != 7 {
+		t.Errorf("Group = %d", k.Group())
+	}
+	if k.ParityBytes() != 4*32 {
+		t.Errorf("ParityBytes = %d", k.ParityBytes())
+	}
+	if got := k.Members(); len(got) != 1 || got[0] != "a" {
+		t.Errorf("Members = %v", got)
+	}
+	if k.Epoch("a") != 0 {
+		t.Errorf("Epoch = %d", k.Epoch("a"))
+	}
+	if len(k.Parity()) != 4*32 {
+		t.Error("Parity length wrong")
+	}
+	if err := k.SetEpochs(map[string]uint64{"a": 3}); err != nil {
+		t.Fatal(err)
+	}
+	if k.Epoch("a") != 3 {
+		t.Error("SetEpochs did not apply")
+	}
+	if err := k.SetEpochs(map[string]uint64{}); err == nil {
+		t.Error("SetEpochs missing member should fail")
+	}
+
+	mk, err := NewMKeeper(3, 1, 2, map[string][]byte{"a": mem.CommittedImage(), "b": mem.CommittedImage()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mk.Group() != 3 || mk.ParityIndex() != 1 {
+		t.Error("MKeeper accessors wrong")
+	}
+	if got := mk.Members(); len(got) != 2 || got[0] != "a" {
+		t.Errorf("MKeeper.Members = %v", got)
+	}
+	if mk.Epoch("b") != 0 {
+		t.Error("MKeeper.Epoch wrong")
+	}
+}
+
+func TestIntervalPolicies(t *testing.T) {
+	fixed := FixedInterval(42)
+	if fixed(1, 2) != 42 || fixed(100, 200) != 42 {
+		t.Error("FixedInterval not constant")
+	}
+	yd := YoungDalyPolicy(10000, 5, 1000)
+	if got := yd(0, 2); got < 5 || got > 1000 {
+		t.Errorf("YoungDaly out of clamp: %v", got)
+	}
+	if got := yd(0, 0); got != 5 {
+		t.Errorf("zero overhead should clamp to min, got %v", got)
+	}
+	if got := yd(0, 1e9); got != 1000 {
+		t.Errorf("huge overhead should clamp to max, got %v", got)
+	}
+}
+
+func TestSchemeAccessors(t *testing.T) {
+	layout, plat, spec := schemeFixture(t)
+	s, err := NewDVDCScheme(plat, layout, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name() != "DVDC" {
+		t.Errorf("Name = %q", s.Name())
+	}
+	if got := s.RateWithDown(0); got != 1 {
+		t.Errorf("RateWithDown(0) = %v", got)
+	}
+	if got := s.RateWithDown(1); got != 0.75 {
+		t.Errorf("RateWithDown(1) = %v", got)
+	}
+	if got := s.RateWithDown(99); got != 0 {
+		t.Errorf("RateWithDown(99) = %v", got)
+	}
+}
+
+func TestFailureReportNode(t *testing.T) {
+	r := &FailureReport{}
+	if r.Node() != -1 {
+		t.Error("empty report Node should be -1")
+	}
+	r.Nodes = []int{2, 3}
+	if r.Node() != 2 {
+		t.Error("Node should return first")
+	}
+}
+
+// schemeFixture builds the common scheme inputs for accessor tests.
+func schemeFixture(t *testing.T) (*cluster.Layout, analytic.Platform, vm.Spec) {
+	t.Helper()
+	layout, err := cluster.Paper12VM()
+	if err != nil {
+		t.Fatal(err)
+	}
+	plat, err := analytic.DefaultPlatform(layout.Nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := vm.Spec{Name: "x", ImageBytes: 1 << 20, Dirty: vm.LinearDirty{RatePerSec: 1, CapBytes: 1}}
+	return layout, plat, spec
+}

@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"dvdc/internal/cluster"
+	"dvdc/internal/metrics"
+	"dvdc/internal/parity"
+	"dvdc/internal/report"
+)
+
+func init() {
+	register("E4", "Parity work distribution and XOR throughput vs cluster size", runE4)
+}
+
+// runE4 validates Sec. IV-B's claim that distributing parity "should relieve
+// the CPU burden by a factor linear in the amount of machines": per-node
+// parity bytes stay flat as the DVDC cluster grows, while a Fig.-3 dedicated
+// checkpoint node's burden grows linearly. It also measures the raw XOR
+// kernel, the in-memory operation the paper contrasts with disk writes.
+func runE4(p Params) (*Result, error) {
+	ckptBytes := p.WSSBytes // one VM's incremental checkpoint payload
+	table := report.NewTable(
+		"Per-node parity workload per checkpoint round (bytes XORed)",
+		"nodes", "VMs", "DVDC max/node (MiB)", "dedicated node (MiB)", "ratio")
+	dvdcSeries := &metrics.Series{Label: "DVDC max per node"}
+	dedSeries := &metrics.Series{Label: "dedicated parity node"}
+	for _, nodes := range []int{4, 8, 16, 32, 64, 128, 256} {
+		stacks := 1
+		dv, err := cluster.BuildDistributedGroups(nodes, stacks, 1, 3)
+		if err != nil {
+			return nil, err
+		}
+		// DVDC: bytes each parity node folds = groups on it * groupSize * ckpt.
+		maxPerNode := 0.0
+		for n := 0; n < dv.Nodes; n++ {
+			var b float64
+			for _, g := range dv.ParityGroupsOnNode(n) {
+				b += float64(len(dv.Groups[g].Members)) * ckptBytes
+			}
+			if b > maxPerNode {
+				maxPerNode = b
+			}
+		}
+		// Dedicated: the checkpoint node folds every VM's payload.
+		ded, err := cluster.BuildDedicated(nodes, len(dv.VMs)/nodes)
+		if err != nil {
+			return nil, err
+		}
+		dedBytes := float64(len(ded.VMs)) * ckptBytes
+		table.AddRow(nodes, len(dv.VMs),
+			maxPerNode/float64(1<<20), dedBytes/float64(1<<20),
+			fmt.Sprintf("%.1fx", dedBytes/maxPerNode))
+		dvdcSeries.Append(float64(nodes), maxPerNode/float64(1<<20))
+		dedSeries.Append(float64(nodes), dedBytes/float64(1<<20))
+	}
+
+	// XOR kernel throughput: the in-memory operation that replaces the
+	// baseline's disk write.
+	block := make([]byte, 1<<20)
+	acc := make([]byte, 1<<20)
+	for i := range block {
+		block[i] = byte(i * 31)
+	}
+	start := time.Now()
+	const reps = 512
+	for i := 0; i < reps; i++ {
+		if err := parity.XORInto(acc, block); err != nil {
+			return nil, err
+		}
+	}
+	elapsed := time.Since(start).Seconds()
+	xorBps := float64(reps*len(block)) / elapsed
+
+	var out strings.Builder
+	out.WriteString(table.String())
+	chart := report.Chart{
+		Title: "Parity bytes per node per round vs cluster size",
+		Width: 70, Height: 16, LogX: true, LogY: true,
+		XLabel: "nodes", YLabel: "MiB/node/round",
+	}
+	out.WriteString("\n" + chart.Render(dvdcSeries, dedSeries))
+	fmt.Fprintf(&out, "\nMeasured XOR kernel: %.2f GiB/s -- vs ~0.2 GiB/s NAS disk write:\n", xorBps/float64(1<<30))
+	out.WriteString("the in-memory parity step is the orders-of-magnitude win Sec. V-B describes.\n")
+	return &Result{Text: out.String(), Series: []*metrics.Series{dvdcSeries, dedSeries}}, nil
+}

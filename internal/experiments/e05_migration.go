@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"dvdc/internal/metrics"
+	"dvdc/internal/migrate"
+	"dvdc/internal/report"
+	"dvdc/internal/vm"
+)
+
+func init() {
+	register("E5", "Live-migration downtime (Clark-style) and page-hash dedup ablation", runE5)
+}
+
+// runE5 reproduces the background claim DVDC leans on (Sec. II-A): pre-copy
+// live migration achieves millisecond-scale downtime; and evaluates the
+// paper's future-work proposal of page-hash dedup at the destination.
+func runE5(p Params) (*Result, error) {
+	table := report.NewTable(
+		fmt.Sprintf("Pre-copy migration of a %d MiB guest over GigE (flow model)", p.ImageBytes>>20),
+		"dirty rate (MiB/s)", "rounds", "total (s)", "downtime (ms)", "bytes moved (MiB)")
+	down := &metrics.Series{Label: "downtime (ms)"}
+	cfg := migrate.DefaultPrecopyConfig()
+	for _, rateMiB := range []float64{0, 1, 5, 10, 20, 50, 100, 200} {
+		dirty := vm.SaturatingDirty{
+			WriteRate: rateMiB * float64(1<<20),
+			WSSBytes:  p.WSSBytes * 4,
+		}
+		res, err := migrate.SimulatePrecopy(float64(p.ImageBytes), dirty, cfg)
+		if err != nil {
+			return nil, err
+		}
+		table.AddRow(rateMiB, res.Rounds, res.TotalSec, res.Downtime*1000,
+			res.TotalBytes/float64(1<<20))
+		down.Append(rateMiB, res.Downtime*1000)
+	}
+
+	// Byte-real dedup ablation: migrate a guest whose destination holds a
+	// partially identical template; count wire bytes with and without the
+	// hash index.
+	var out strings.Builder
+	out.WriteString(table.String())
+	out.WriteString("\nClark et al. report ~60 ms downtime for a busy guest; the model lands in the\nsame millisecond regime until the dirty rate approaches the link bandwidth.\n\n")
+
+	dedupTable := report.NewTable(
+		"Page-hash dedup (paper future work): wire bytes for a 16 MiB guest, varying template similarity",
+		"template similarity", "pages sent", "pages deduped", "wire MiB", "savings")
+	for _, similarity := range []float64{0, 0.5, 0.9, 1.0} {
+		sent, deduped, wire, total, err := dedupRun(similarity)
+		if err != nil {
+			return nil, err
+		}
+		dedupTable.AddRow(fmt.Sprintf("%.0f%%", similarity*100), sent, deduped,
+			wire/float64(1<<20), fmt.Sprintf("%.0f%%", 100*(1-wire/total)))
+	}
+	out.WriteString(dedupTable.String())
+	out.WriteString("\nDedup savings scale directly with cross-VM similarity, supporting the paper's\nproposal to exploit page hashes when similar VMs reside at the destination.\n")
+	return &Result{Text: out.String(), Series: []*metrics.Series{down}}, nil
+}
+
+// dedupRun migrates a 16 MiB guest against a template sharing the given
+// fraction of pages and reports the transfer accounting.
+func dedupRun(similarity float64) (sent, deduped int, wireBytes, totalBytes float64, err error) {
+	const pages, pageSize = 4096, 4096
+	src, err := vm.NewMachine("guest", pages, pageSize)
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	w := vm.NewUniform(99)
+	vm.Run(w, src, pages*2) // fill with content
+	template, err := vm.NewMachine("template", pages, pageSize)
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	if err := template.LoadImage(src.Image()); err != nil {
+		return 0, 0, 0, 0, err
+	}
+	// Make (1-similarity) of the template's pages differ.
+	differ := int(float64(pages) * (1 - similarity))
+	for i := 0; i < differ; i++ {
+		template.TouchPage(i, uint64(i)+1e9)
+	}
+	idx := migrate.NewHashIndex()
+	idx.AddMachine(template)
+	g, err := migrate.NewMigration(src, idx)
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	stats, err := g.Finalize()
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	total := float64(stats.BytesSent + stats.BytesDeduped)
+	return stats.PagesSent, stats.PagesDeduped, float64(stats.BytesSent), total, nil
+}

@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"dvdc/internal/analytic"
+	"dvdc/internal/cluster"
+	"dvdc/internal/metrics"
+	"dvdc/internal/report"
+)
+
+func init() {
+	register("E6", "Optimal overhead ratio vs cluster size and MTBF", runE6)
+}
+
+// runE6 extends Fig. 5's single configuration across the scaling axis the
+// paper's introduction motivates: as clusters grow (and the system MTBF
+// shrinks proportionally), the disk-full baseline's single NAS saturates
+// while DVDC's balanced exchange stays flat — the gap widens exactly where
+// the paper says future machines will live.
+func runE6(p Params) (*Result, error) {
+	table := report.NewTable(
+		"Overhead (E[T]/T - 1) at each scheme's optimal interval",
+		"nodes", "VMs", "system MTBF (h)", "diskless", "disk-full", "reduction")
+	dl := &metrics.Series{Label: "diskless (DVDC)"}
+	df := &metrics.Series{Label: "disk-full (NAS)"}
+	perNodeMTBF := p.MTBF * float64(p.Nodes) // hold per-node reliability fixed
+	for _, nodes := range []int{4, 8, 16, 32, 64} {
+		layout, err := cluster.BuildDistributedGroups(nodes, p.Stacks, 1, 3)
+		if err != nil {
+			return nil, err
+		}
+		plat, err := analytic.DefaultPlatform(nodes)
+		if err != nil {
+			return nil, err
+		}
+		mtbf := perNodeMTBF / float64(nodes)
+		m := analytic.Model{Lambda: 1 / mtbf, T: p.Job, Repair: p.Repair}
+		dlm, err := analytic.NewDiskless(plat, layout, p.incrementalSpec())
+		if err != nil {
+			return nil, err
+		}
+		dfm, err := analytic.NewDiskfull(plat, p.nas(), len(layout.VMs), p.fullSpec(), false)
+		if err != nil {
+			return nil, err
+		}
+		optDl, err := analytic.OptimalInterval(m, dlm, 1, p.Job/4)
+		if err != nil {
+			return nil, err
+		}
+		optDf, err := analytic.OptimalInterval(m, dfm, 1, p.Job/4)
+		if err != nil {
+			return nil, err
+		}
+		table.AddRow(nodes, len(layout.VMs), mtbf/3600,
+			fmt.Sprintf("%.2f%%", (optDl.Ratio-1)*100),
+			fmt.Sprintf("%.2f%%", (optDf.Ratio-1)*100),
+			fmt.Sprintf("%.1f%%", (1-optDl.Ratio/optDf.Ratio)*100))
+		dl.Append(float64(nodes), (optDl.Ratio-1)*100)
+		df.Append(float64(nodes), (optDf.Ratio-1)*100)
+	}
+	var out strings.Builder
+	out.WriteString(table.String())
+	chart := report.Chart{
+		Title: "Overhead at optimal interval vs cluster size (per-node MTBF fixed)",
+		Width: 70, Height: 16, LogX: true,
+		XLabel: "nodes", YLabel: "overhead %",
+	}
+	out.WriteString("\n" + chart.Render(dl, df))
+	out.WriteString("\nThe NAS bottleneck makes the baseline's overhead explode with scale while\nDVDC's distributed exchange keeps per-node traffic constant.\n")
+	return &Result{Text: out.String(), Series: []*metrics.Series{dl, df}}, nil
+}

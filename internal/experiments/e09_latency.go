@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"dvdc/internal/analytic"
+	"dvdc/internal/metrics"
+	"dvdc/internal/report"
+	"dvdc/internal/vm"
+)
+
+func init() {
+	register("E9", "Checkpoint overhead vs latency: Plank's factor (Sec. II-B2)", runE9)
+}
+
+// runE9 separates the two quantities the paper is careful to distinguish:
+// overhead (execution suspended) and latency (time until the checkpoint is
+// usable). Async disk-full checkpointing hides most of the flush from
+// overhead but not from latency; diskless removes the flush entirely. Plank
+// measured a factor-34 latency improvement; we sweep the payload size and
+// report the factor.
+func runE9(p Params) (*Result, error) {
+	dl, _, _, err := figure5Models(p)
+	if err != nil {
+		return nil, err
+	}
+	plat := dl.Platform
+	table := report.NewTable(
+		"Overhead vs latency per checkpoint (interval = 600 s)",
+		"payload/VM (MiB)", "diskless ov (s)", "diskless lat (s)",
+		"disk async ov (s)", "disk async lat (s)", "latency factor")
+	factor := &metrics.Series{Label: "disk latency / diskless latency"}
+	for _, mib := range []float64{8, 32, 128, 512, 1024} {
+		spec := vm.Spec{
+			Name:       "sweep",
+			ImageBytes: int64(mib * float64(1<<20)),
+			Dirty:      vm.FullImageDirty{ImageBytes: mib * float64(1<<20)},
+		}
+		dlm, err := analytic.NewDiskless(plat, dl.Layout, spec)
+		if err != nil {
+			return nil, err
+		}
+		dfm, err := analytic.NewDiskfull(plat, p.nas(), len(dl.Layout.VMs), spec, true)
+		if err != nil {
+			return nil, err
+		}
+		const iv = 600.0
+		dlOv, err := dlm.Overhead(iv)
+		if err != nil {
+			return nil, err
+		}
+		dlLat, err := dlm.Latency(iv)
+		if err != nil {
+			return nil, err
+		}
+		dfOv, err := dfm.Overhead(iv)
+		if err != nil {
+			return nil, err
+		}
+		dfLat, err := dfm.Latency(iv)
+		if err != nil {
+			return nil, err
+		}
+		table.AddRow(mib, dlOv, dlLat, dfOv, dfLat, fmt.Sprintf("%.1fx", dfLat/dlLat))
+		factor.Append(mib, dfLat/dlLat)
+	}
+	// The system-level comparison Plank's factor-34 refers to: diskless
+	// ships the incremental working set while the disk path persists full
+	// images — the configuration the two systems actually run in.
+	dlInc, err := analytic.NewDiskless(plat, dl.Layout, p.incrementalSpec())
+	if err != nil {
+		return nil, err
+	}
+	dfFull, err := analytic.NewDiskfull(plat, p.nas(), len(dl.Layout.VMs), p.fullSpec(), true)
+	if err != nil {
+		return nil, err
+	}
+	const iv = 600.0
+	incLat, err := dlInc.Latency(iv)
+	if err != nil {
+		return nil, err
+	}
+	fullLat, err := dfFull.Latency(iv)
+	if err != nil {
+		return nil, err
+	}
+
+	var out strings.Builder
+	out.WriteString(table.String())
+	fmt.Fprintf(&out, "\nAs deployed (incremental diskless vs full-image disk): %.2f s vs %.1f s\n",
+		incLat, fullLat)
+	fmt.Fprintf(&out, "latency — a %.0fx improvement. Plank measured 34x with equal payloads; the\n", fullLat/incLat)
+	out.WriteString("deployed gap is larger still because diskless also ships only the dirty set.\n")
+	out.WriteString("\nWith asynchronous flushing the baseline's *overhead* is competitive, but its\n")
+	out.WriteString("*latency* — the window in which a failure still forfeits the checkpoint — stays\n")
+	out.WriteString("NAS-bound. Diskless collapses latency to the parity exchange, the multi-x\n")
+	out.WriteString("improvement Plank quantified as a factor of 34 on his testbed.\n")
+	return &Result{Text: out.String(), Series: []*metrics.Series{factor}}, nil
+}

@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"dvdc/internal/analytic"
+	"dvdc/internal/cluster"
+	"dvdc/internal/core"
+	"dvdc/internal/metrics"
+	"dvdc/internal/migrate"
+	"dvdc/internal/report"
+	"dvdc/internal/vm"
+)
+
+func init() {
+	register("E15", "Proactive evacuation vs reactive rollback (intro benefit #2)", runE15)
+}
+
+// runE15 quantifies the paper's second enumerated virtualization benefit —
+// "moving state: live migration away from failing nodes" — against the
+// reactive rollback-and-reconstruct path. With a failure predictor of
+// accuracy p, a predicted failure costs one node evacuation (pre-copy of
+// its VMs, no work lost anywhere); an unpredicted one costs the usual lost
+// window plus parity reconstruction. The expected completion time follows
+// from the Section V machinery with the unpredicted rate (1-p)*lambda plus
+// an additive evacuation charge:
+//
+//	W = E_chk[(1-p)λ] / (1 - p·λ·T_evac)
+//
+// A byte-real evacuation of the in-process cluster grounds T_evac.
+func runE15(p Params) (*Result, error) {
+	dl, _, layout, err := figure5Models(p)
+	if err != nil {
+		return nil, err
+	}
+	opt, err := analytic.OptimalInterval(p.model(), dl, 5, p.Job/4)
+	if err != nil {
+		return nil, err
+	}
+	scheme, err := core.NewDVDCScheme(dl.Platform, layout, p.incrementalSpec())
+	if err != nil {
+		return nil, err
+	}
+	rec, err := scheme.RecoveryTime(0)
+	if err != nil {
+		return nil, err
+	}
+	// Evacuation charge: every hosted VM pre-copies through the node link;
+	// conservatively the whole migration (not just downtime) is charged as
+	// a pause.
+	vmsPerNode := len(layout.VMs) / layout.Nodes
+	evac := 0.0
+	for i := 0; i < vmsPerNode; i++ {
+		res, err := migrate.SimulatePrecopy(float64(p.ImageBytes),
+			vm.SaturatingDirty{WriteRate: p.WriteRate, WSSBytes: p.WSSBytes},
+			migrate.DefaultPrecopyConfig())
+		if err != nil {
+			return nil, err
+		}
+		evac += res.TotalSec
+	}
+	lambda := 1 / p.MTBF
+
+	table := report.NewTable(
+		fmt.Sprintf("Expected completion (T=%.0f s, evac charge %.0f s/event, reactive recovery %.0f s/event)",
+			p.Job, evac, rec),
+		"predictor accuracy", "E[T]/T", "vs reactive", "evacuations", "rollbacks")
+	series := &metrics.Series{Label: "E[T]/T"}
+	var reactive float64
+	for _, acc := range []float64{0, 0.25, 0.5, 0.75, 0.9, 1.0} {
+		mm := analytic.Model{Lambda: (1 - acc) * lambda, T: p.Job, Repair: rec}
+		var base float64
+		if acc < 1 {
+			base, err = mm.ExpectedWithCheckpoint(opt.Interval, opt.Overhead)
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			// No unpredicted failures: fault-free run plus checkpoints.
+			base = p.Job * (1 + opt.Overhead/opt.Interval)
+		}
+		den := 1 - acc*lambda*evac
+		if den <= 0 {
+			return nil, fmt.Errorf("evacuation rate exceeds capacity")
+		}
+		w := base / den
+		if acc == 0 {
+			reactive = w
+		}
+		table.AddRow(fmt.Sprintf("%.0f%%", acc*100), w/p.Job,
+			fmt.Sprintf("%+.2f%%", (w/reactive-1)*100),
+			fmt.Sprintf("%.1f/run", acc*lambda*w),
+			fmt.Sprintf("%.1f/run", (1-acc)*lambda*w))
+		series.Append(acc, w/p.Job)
+	}
+
+	// Byte-real grounding: evacuate a node of the in-process cluster and
+	// report what actually moved.
+	l2, err := cluster.BuildDistributedGroups(6, 1, 1, 3)
+	if err != nil {
+		return nil, err
+	}
+	cl, err := core.NewCluster(l2, 256, vm.DefaultPageSize)
+	if err != nil {
+		return nil, err
+	}
+	for i, name := range cl.VMNames() {
+		m, _ := cl.Machine(name)
+		vm.Run(vm.NewUniform(int64(i)), m, 300)
+	}
+	if err := cl.CheckpointRound(); err != nil {
+		return nil, err
+	}
+	rep, err := cl.EvacuateNode(0, nil)
+	if err != nil {
+		return nil, err
+	}
+	var moved int64
+	for _, mv := range rep.Moves {
+		moved += mv.Stats.BytesSent
+	}
+
+	var out strings.Builder
+	out.WriteString(table.String())
+	fmt.Fprintf(&out, "\nByte-real evacuation of node 0 (6-node cluster, 1 MiB guests): %d VMs moved,\n", len(rep.Moves))
+	fmt.Fprintf(&out, "%.1f MiB transferred, zero rollbacks, parity verified, degraded=%v.\n",
+		float64(moved)/(1<<20), rep.Degraded)
+	out.WriteString("\nEven charging the full migration (not just its millisecond downtime) per\n")
+	out.WriteString("predicted failure, prediction accuracy converts directly into completion-time\n")
+	out.WriteString("savings: evacuation avoids both the lost window and the cluster-wide rollback.\n")
+	return &Result{Text: out.String(), Series: []*metrics.Series{series}}, nil
+}

@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"dvdc/internal/analytic"
+	"dvdc/internal/cluster"
+	"dvdc/internal/core"
+	"dvdc/internal/failure"
+	"dvdc/internal/metrics"
+	"dvdc/internal/report"
+)
+
+func init() {
+	register("E16", "Hardware utilization: no dedicated checkpoint nodes (Sec. IV-B)", runE16)
+}
+
+// runE16 quantifies the paper's utilization argument — "instead of having
+// 'checkpointing processors' that can do no real work ... we can distribute
+// the parity and allow all physical machines to host working VMs". For the
+// SAME hardware budget of H nodes, DVDC computes on all H while the Fig. 1/3
+// architectures idle one node; the idle node still fails (stretching
+// recovery exposure) but contributes nothing. The event engine runs the same
+// total work through both, with realistic repair delays engaging the
+// degraded-rate model.
+func runE16(p Params) (*Result, error) {
+	const repairHours = 4.0
+	budget := p.Nodes + 1 // hardware budget: paper cluster + 1 node
+	table := report.NewTable(
+		fmt.Sprintf("Same %d-node budget, same total work, %d seeds, %gh repair time",
+			budget, p.MCRuns/3+1, repairHours),
+		"architecture", "compute nodes", "wall E[T]/T_ideal", "degraded share", "failures/run")
+	series := &metrics.Series{Label: "E[T]/T_ideal"}
+
+	// Ideal time on the full budget: the yardstick both divide by.
+	idealT := p.Job
+
+	type arch struct {
+		name    string
+		compute int
+	}
+	archs := []arch{
+		{"DVDC (all nodes compute)", budget},
+		{"dedicated checkpoint node (Fig. 1/3)", budget - 1},
+	}
+	for ai, a := range archs {
+		// The same total work spread over fewer compute nodes takes
+		// proportionally longer fault-free.
+		scaledJob := idealT * float64(budget) / float64(a.compute)
+		layout, err := cluster.BuildDistributedGroups(a.compute, p.Stacks, 1, min(3, a.compute-1))
+		if err != nil {
+			return nil, err
+		}
+		plat, err := analytic.DefaultPlatform(layout.Nodes)
+		if err != nil {
+			return nil, err
+		}
+		scheme, err := core.NewDVDCScheme(plat, layout, p.incrementalSpec())
+		if err != nil {
+			return nil, err
+		}
+		var ratio, degr, fails metrics.Summary
+		for run := 0; run < p.MCRuns/3+1; run++ {
+			// Failures strike the whole budget, idle node included; the
+			// schedule covers `budget` nodes but only failures of compute
+			// nodes matter for the rate model — conservatively we map every
+			// failure onto the compute set (the dedicated node's failure
+			// forces a parity rebuild, comparable to a compute recovery).
+			sched, err := failure.NewPoissonNodes(layout.Nodes, p.MTBF*float64(budget), p.Seed+int64(run)*17+int64(ai))
+			if err != nil {
+				return nil, err
+			}
+			res, err := core.Run(core.Config{
+				JobSeconds: scaledJob, Interval: 140, DetectSec: 1,
+				RepairSec: repairHours * 3600,
+				Schedule:  sched, Scheme: scheme,
+			})
+			if err != nil {
+				return nil, err
+			}
+			ratio.Add(res.Completion / idealT)
+			degr.Add(res.DegradedTime / res.Completion)
+			fails.Add(float64(res.Failures))
+		}
+		table.AddRow(a.name, a.compute, ratio.Mean(),
+			fmt.Sprintf("%.1f%%", degr.Mean()*100), fails.Mean())
+		series.Append(float64(a.compute), ratio.Mean())
+	}
+	var out strings.Builder
+	out.WriteString(table.String())
+	out.WriteString("\nOn an equal hardware budget the dedicated-node architectures start ~" +
+		fmt.Sprintf("%.0f%%", 100.0/float64(budget-1)) + "\nbehind before any failure occurs; DVDC converts that idle capacity into\nthroughput, which is the Sec. IV-B argument in wall-clock terms.\n")
+	return &Result{Text: out.String(), Series: []*metrics.Series{series}}, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"dvdc/internal/analytic"
+	"dvdc/internal/cluster"
+	"dvdc/internal/metrics"
+	"dvdc/internal/report"
+)
+
+func init() {
+	register("E18", "The price of tolerance: overhead vs parity blocks per group", runE18)
+}
+
+// runE18 sweeps the group tolerance m (1 = the paper's XOR, 2 = the cited
+// RDP/Wang et al. class, 3 = beyond): each extra parity block multiplies the
+// delta traffic and shrinks per-node memory headroom, but buys survival of
+// more simultaneous node losses. The overhead model handles multi-parity
+// layouts natively (members ship to every parity node of their group), so
+// this is the deployment-decision table a DVDC operator would consult.
+func runE18(p Params) (*Result, error) {
+	m := p.model()
+	nodes := 8
+	groupSize := 3
+	table := report.NewTable(
+		fmt.Sprintf("%d nodes, groups of %d, MTBF %.0f s", nodes, groupSize, p.MTBF),
+		"tolerance", "code", "T_ov at opt (s)", "optimal T_int (s)", "overhead",
+		"surviving node-pairs", "extra state/VM")
+	series := &metrics.Series{Label: "overhead %"}
+	for tol := 1; tol <= 3; tol++ {
+		layout, err := cluster.BuildDistributedGroups(nodes, p.Stacks, tol, groupSize)
+		if err != nil {
+			return nil, err
+		}
+		plat, err := analytic.DefaultPlatform(nodes)
+		if err != nil {
+			return nil, err
+		}
+		dl, err := analytic.NewDiskless(plat, layout, p.incrementalSpec())
+		if err != nil {
+			return nil, err
+		}
+		opt, err := analytic.OptimalInterval(m, dl, 5, p.Job/4)
+		if err != nil {
+			return nil, err
+		}
+		pairs, pairsOK := 0, 0
+		for a := 0; a < nodes; a++ {
+			for b := a + 1; b < nodes; b++ {
+				pairs++
+				if layout.Survives(a, b) {
+					pairsOK++
+				}
+			}
+		}
+		code := "XOR (RAID-5)"
+		if tol > 1 {
+			code = fmt.Sprintf("RS(%d,%d)", groupSize, tol)
+		}
+		table.AddRow(tol, code, opt.Overhead, opt.Interval,
+			fmt.Sprintf("%.2f%%", (opt.Ratio-1)*100),
+			fmt.Sprintf("%d/%d", pairsOK, pairs),
+			fmt.Sprintf("%.2fx image", float64(tol)/float64(groupSize)))
+		series.Append(float64(tol), (opt.Ratio-1)*100)
+	}
+	var out strings.Builder
+	out.WriteString(table.String())
+	out.WriteString("\nEach extra parity block multiplies delta traffic (members ship to every\n")
+	out.WriteString("parity node) yet the overhead stays in the low percents — while pair\n")
+	out.WriteString("survivability jumps from none to all. This is why the paper's successors\n")
+	out.WriteString("(Wang et al.) moved to double-erasure codes: the marginal cost is small.\n")
+	return &Result{Text: out.String(), Series: []*metrics.Series{series}}, nil
+}

@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// fastParams shrinks the work so the whole registry runs in test time.
+func fastParams() Params {
+	p := Default()
+	p.SweepPoints = 24
+	p.MCRuns = 6
+	return p
+}
+
+func TestRegistryComplete(t *testing.T) {
+	ids := IDs()
+	want := []string{"E1", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18", "E19", "E2", "E20", "E3", "E4", "E5", "E6", "E7", "E8", "E9"}
+	if len(ids) != len(want) {
+		t.Fatalf("registry has %d experiments: %v", len(ids), ids)
+	}
+	for _, id := range want {
+		if Title(id) == "" {
+			t.Errorf("experiment %s has no title", id)
+		}
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	if _, err := Run("E99", Default()); err == nil {
+		t.Error("unknown id should fail")
+	}
+}
+
+func TestInvalidParams(t *testing.T) {
+	p := Default()
+	p.Nodes = 0
+	if _, err := Run("E1", p); err == nil {
+		t.Error("invalid params should fail")
+	}
+}
+
+func TestAllExperimentsProduceOutput(t *testing.T) {
+	p := fastParams()
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			res, err := Run(id, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.ID != id || res.Title == "" {
+				t.Errorf("metadata: %+v", res)
+			}
+			if len(res.Text) < 100 {
+				t.Errorf("suspiciously short output (%d bytes):\n%s", len(res.Text), res.Text)
+			}
+		})
+	}
+}
+
+func TestE1HeadlineShape(t *testing.T) {
+	res, err := Run("E1", fastParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) != 2 {
+		t.Fatalf("want 2 series, got %d", len(res.Series))
+	}
+	_, dlMin := res.Series[0].MinY()
+	_, dfMin := res.Series[1].MinY()
+	if dlMin >= dfMin {
+		t.Errorf("diskless minimum %v not below disk-full %v", dlMin, dfMin)
+	}
+	if !strings.Contains(res.Text, "reduces expected completion time") {
+		t.Error("missing headline sentence")
+	}
+}
+
+func TestE3AllArchitecturesSurvive(t *testing.T) {
+	res, err := Run("E3", fastParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every architecture row must report full single-failure survival.
+	for _, frac := range []string{"5/5", "4/4"} {
+		if !strings.Contains(res.Text, frac) {
+			t.Errorf("expected survival fraction %q in:\n%s", frac, res.Text)
+		}
+	}
+	if strings.Contains(res.Text, "FAILED") {
+		t.Errorf("injection failure reported:\n%s", res.Text)
+	}
+}
+
+func TestE8CodesAllPass(t *testing.T) {
+	res, err := Run("E8", fastParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(res.Text, "FAILED") || strings.Contains(res.Text, "MISMATCH") {
+		t.Errorf("erasure check failed:\n%s", res.Text)
+	}
+}

@@ -1,0 +1,30 @@
+package failure
+
+import "testing"
+
+func TestSmallAccessors(t *testing.T) {
+	p, err := NewPoisson(0.25, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Lambda() != 0.25 {
+		t.Errorf("Lambda = %v", p.Lambda())
+	}
+	s, err := NewPoissonNodes(3, 100, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Nodes() != 3 {
+		t.Errorf("Nodes = %d", s.Nodes())
+	}
+	// Weibull reset replays exactly.
+	w, err := NewWeibull(1.5, 10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := w.Next()
+	w.Reset()
+	if got := w.Next(); got != first {
+		t.Errorf("Weibull replay diverged: %v != %v", got, first)
+	}
+}

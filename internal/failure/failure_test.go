@@ -1,0 +1,165 @@
+package failure
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewPoissonValidation(t *testing.T) {
+	for _, bad := range []float64{0, -1, math.Inf(1), math.NaN()} {
+		if _, err := NewPoisson(bad, 1); err == nil {
+			t.Errorf("NewPoisson(%v) should fail", bad)
+		}
+	}
+	if _, err := NewPoissonMTBF(0, 1); err == nil {
+		t.Error("NewPoissonMTBF(0) should fail")
+	}
+}
+
+func TestPoissonMonotoneIncreasing(t *testing.T) {
+	p, err := NewPoisson(0.1, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 0.0
+	for i := 0; i < 1000; i++ {
+		v := p.Next()
+		if v <= prev {
+			t.Fatalf("failure times not strictly increasing at %d: %v <= %v", i, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestPoissonMeanMatchesMTBF(t *testing.T) {
+	const mtbf = 3 * 3600.0 // the paper's 3-hour MTBF
+	p, err := NewPoissonMTBF(mtbf, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 200000
+	last := 0.0
+	for i := 0; i < n; i++ {
+		last = p.Next()
+	}
+	mean := last / n
+	if rel := math.Abs(mean-mtbf) / mtbf; rel > 0.02 {
+		t.Errorf("empirical MTBF %v differs from %v by %.1f%%", mean, mtbf, rel*100)
+	}
+}
+
+func TestPoissonResetReplaysExactly(t *testing.T) {
+	p, _ := NewPoisson(1, 99)
+	var first []float64
+	for i := 0; i < 50; i++ {
+		first = append(first, p.Next())
+	}
+	p.Reset()
+	for i := 0; i < 50; i++ {
+		if got := p.Next(); got != first[i] {
+			t.Fatalf("replay diverged at %d: %v != %v", i, got, first[i])
+		}
+	}
+}
+
+func TestWeibullShapeOneMatchesExponentialMean(t *testing.T) {
+	const scale = 100.0
+	w, err := NewWeibull(1, scale, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := w.MeanInterarrival(); math.Abs(got-scale) > 1e-9 {
+		t.Errorf("Weibull(k=1) mean = %v, want %v", got, scale)
+	}
+	const n = 100000
+	last := 0.0
+	for i := 0; i < n; i++ {
+		last = w.Next()
+	}
+	if rel := math.Abs(last/n-scale) / scale; rel > 0.03 {
+		t.Errorf("empirical mean %v deviates %.1f%% from %v", last/n, rel*100, scale)
+	}
+}
+
+func TestWeibullValidation(t *testing.T) {
+	if _, err := NewWeibull(0, 1, 1); err == nil {
+		t.Error("shape 0 should fail")
+	}
+	if _, err := NewWeibull(1, 0, 1); err == nil {
+		t.Error("scale 0 should fail")
+	}
+}
+
+func TestWeibullMeanFormula(t *testing.T) {
+	// For k=2, mean = scale * Gamma(1.5) = scale * sqrt(pi)/2.
+	w, _ := NewWeibull(2, 10, 1)
+	want := 10 * math.Sqrt(math.Pi) / 2
+	if got := w.MeanInterarrival(); math.Abs(got-want) > 1e-9 {
+		t.Errorf("mean = %v, want %v", got, want)
+	}
+}
+
+func TestTraceOrderingAndExhaustion(t *testing.T) {
+	tr, err := NewTrace([]float64{5, 1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 3, 5}
+	for i, w := range want {
+		if got := tr.Next(); got != w {
+			t.Errorf("trace[%d] = %v, want %v", i, got, w)
+		}
+	}
+	if got := tr.Next(); !math.IsInf(got, 1) {
+		t.Errorf("exhausted trace should return +Inf, got %v", got)
+	}
+	if tr.Remaining() != 0 {
+		t.Errorf("Remaining = %d, want 0", tr.Remaining())
+	}
+	tr.Reset()
+	if tr.Remaining() != 3 {
+		t.Errorf("after Reset Remaining = %d, want 3", tr.Remaining())
+	}
+}
+
+func TestTraceRejectsNegative(t *testing.T) {
+	if _, err := NewTrace([]float64{1, -2}); err == nil {
+		t.Error("negative trace time should fail")
+	}
+}
+
+func TestNeverNeverFails(t *testing.T) {
+	var n Never
+	if !math.IsInf(n.Next(), 1) {
+		t.Error("Never.Next should be +Inf")
+	}
+	n.Reset()
+	if !math.IsInf(n.Next(), 1) {
+		t.Error("Never.Next after Reset should be +Inf")
+	}
+}
+
+// Property: Poisson inter-arrival times are always positive for any seed
+// and rate in a sane range.
+func TestQuickPoissonPositiveGaps(t *testing.T) {
+	f := func(seed int64, rateRaw uint16) bool {
+		rate := float64(rateRaw%1000+1) / 1000.0
+		p, err := NewPoisson(rate, seed)
+		if err != nil {
+			return false
+		}
+		prev := 0.0
+		for i := 0; i < 100; i++ {
+			v := p.Next()
+			if v <= prev || math.IsNaN(v) {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,107 @@
+package failure
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNodeScheduleMergesInOrder(t *testing.T) {
+	s, err := NewPoissonNodes(4, 3600, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 0.0
+	seen := map[int]int{}
+	for i := 0; i < 2000; i++ {
+		ev := s.Next()
+		if ev.Time < prev {
+			t.Fatalf("events out of order at %d: %v < %v", i, ev.Time, prev)
+		}
+		if ev.Node < 0 || ev.Node >= 4 {
+			t.Fatalf("bad node index %d", ev.Node)
+		}
+		prev = ev.Time
+		seen[ev.Node]++
+	}
+	for n := 0; n < 4; n++ {
+		if seen[n] == 0 {
+			t.Errorf("node %d never failed in 2000 events", n)
+		}
+	}
+}
+
+func TestNodeScheduleRatesBalance(t *testing.T) {
+	// With identical per-node MTBFs, event counts should be roughly equal.
+	s, err := NewPoissonNodes(3, 1000, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, 3)
+	const n = 30000
+	for i := 0; i < n; i++ {
+		counts[s.Next().Node]++
+	}
+	for i, c := range counts {
+		frac := float64(c) / n
+		if math.Abs(frac-1.0/3) > 0.02 {
+			t.Errorf("node %d got fraction %.3f of failures, want ~1/3", i, frac)
+		}
+	}
+}
+
+func TestNodeScheduleResetReplays(t *testing.T) {
+	s, _ := NewPoissonNodes(2, 100, 31)
+	var events []Event
+	for i := 0; i < 100; i++ {
+		events = append(events, s.Next())
+	}
+	s.Reset()
+	for i := 0; i < 100; i++ {
+		if got := s.Next(); got != events[i] {
+			t.Fatalf("replay diverged at %d: %+v != %+v", i, got, events[i])
+		}
+	}
+}
+
+func TestNodeScheduleWithTraces(t *testing.T) {
+	t0, _ := NewTrace([]float64{10, 30})
+	t1, _ := NewTrace([]float64{20})
+	s, err := NewNodeSchedule([]Process{t0, t1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Event{{10, 0}, {20, 1}, {30, 0}}
+	for i, w := range want {
+		if got := s.Next(); got != w {
+			t.Errorf("event %d = %+v, want %+v", i, got, w)
+		}
+	}
+	if got := s.Next(); !math.IsInf(got.Time, 1) || got.Node != -1 {
+		t.Errorf("exhausted schedule should return +Inf/-1, got %+v", got)
+	}
+}
+
+func TestNodeScheduleValidation(t *testing.T) {
+	if _, err := NewNodeSchedule(nil); err == nil {
+		t.Error("empty process list should fail")
+	}
+	if _, err := NewPoissonNodes(0, 100, 1); err == nil {
+		t.Error("zero nodes should fail")
+	}
+}
+
+func TestNodeScheduleAggregateRate(t *testing.T) {
+	// n nodes with MTBF m have aggregate MTBF m/n: check empirically.
+	const perNode = 4000.0
+	s, _ := NewPoissonNodes(4, perNode, 77)
+	const n = 40000
+	var last float64
+	for i := 0; i < n; i++ {
+		last = s.Next().Time
+	}
+	agg := last / n
+	want := perNode / 4
+	if rel := math.Abs(agg-want) / want; rel > 0.03 {
+		t.Errorf("aggregate MTBF %v deviates %.1f%% from %v", agg, rel*100, want)
+	}
+}

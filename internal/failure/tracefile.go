@@ -1,0 +1,66 @@
+package failure
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// LoadTraceCSV reads a recorded failure log and builds a NodeSchedule that
+// replays it. The format follows the public HPC failure archives (e.g. the
+// LANL systems data): one record per failure, `node,seconds`, where node is
+// a zero-based node index and seconds the absolute failure time. Lines
+// starting with '#' and a header line of `node,seconds` are skipped.
+// nodes fixes the schedule width; records naming nodes outside [0,nodes)
+// are rejected.
+func LoadTraceCSV(r io.Reader, nodes int) (*NodeSchedule, error) {
+	if nodes <= 0 {
+		return nil, fmt.Errorf("failure: need nodes > 0, got %d", nodes)
+	}
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	cr.Comment = '#'
+	perNode := make([][]float64, nodes)
+	line := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("failure: trace line %d: %w", line+1, err)
+		}
+		line++
+		if len(rec) != 2 {
+			return nil, fmt.Errorf("failure: trace line %d: want 2 fields, got %d", line, len(rec))
+		}
+		f0 := strings.TrimSpace(rec[0])
+		f1 := strings.TrimSpace(rec[1])
+		if line == 1 && strings.EqualFold(f0, "node") {
+			continue // header
+		}
+		node, err := strconv.Atoi(f0)
+		if err != nil {
+			return nil, fmt.Errorf("failure: trace line %d: bad node %q", line, f0)
+		}
+		if node < 0 || node >= nodes {
+			return nil, fmt.Errorf("failure: trace line %d: node %d out of range [0,%d)", line, node, nodes)
+		}
+		t, err := strconv.ParseFloat(f1, 64)
+		if err != nil || t < 0 {
+			return nil, fmt.Errorf("failure: trace line %d: bad time %q", line, f1)
+		}
+		perNode[node] = append(perNode[node], t)
+	}
+	procs := make([]Process, nodes)
+	for i, times := range perNode {
+		tr, err := NewTrace(times)
+		if err != nil {
+			return nil, err
+		}
+		procs[i] = tr
+	}
+	return NewNodeSchedule(procs)
+}

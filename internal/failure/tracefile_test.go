@@ -1,0 +1,74 @@
+package failure
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestLoadTraceCSVReplaysInOrder(t *testing.T) {
+	in := strings.NewReader(`node,seconds
+# a comment line
+1, 100
+0, 50
+1, 200
+2, 75
+`)
+	s, err := LoadTraceCSV(in, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Event{{50, 0}, {75, 2}, {100, 1}, {200, 1}}
+	for i, w := range want {
+		if got := s.Next(); got != w {
+			t.Errorf("event %d = %+v, want %+v", i, got, w)
+		}
+	}
+	if got := s.Next(); !math.IsInf(got.Time, 1) {
+		t.Errorf("exhausted trace should return +Inf, got %+v", got)
+	}
+	// Reset replays identically.
+	s.Reset()
+	if got := s.Next(); got != want[0] {
+		t.Errorf("after reset: %+v", got)
+	}
+}
+
+func TestLoadTraceCSVNoHeader(t *testing.T) {
+	s, err := LoadTraceCSV(strings.NewReader("0,10\n1,20\n"), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Next(); got.Node != 0 || got.Time != 10 {
+		t.Errorf("first = %+v", got)
+	}
+}
+
+func TestLoadTraceCSVValidation(t *testing.T) {
+	cases := []struct {
+		name, in string
+		nodes    int
+	}{
+		{"zero nodes", "0,1\n", 0},
+		{"bad field count", "0,1,2\n", 2},
+		{"bad node", "x,1\n", 2},
+		{"node out of range", "5,1\n", 2},
+		{"bad time", "0,zzz\n", 2},
+		{"negative time", "0,-5\n", 2},
+	}
+	for _, c := range cases {
+		if _, err := LoadTraceCSV(strings.NewReader(c.in), c.nodes); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestLoadTraceCSVEmptyIsQuiet(t *testing.T) {
+	s, err := LoadTraceCSV(strings.NewReader(""), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Next(); !math.IsInf(got.Time, 1) {
+		t.Errorf("empty trace should never fail, got %+v", got)
+	}
+}

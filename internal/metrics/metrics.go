@@ -1,0 +1,206 @@
+// Package metrics provides the small statistics toolkit the simulators and
+// the benchmark harness share: numerically stable summaries (Welford),
+// fixed-bucket histograms, and labelled series with CSV output.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Summary accumulates count/mean/variance/min/max in a single pass using
+// Welford's algorithm. The zero value is ready to use.
+type Summary struct {
+	n        int64
+	mean, m2 float64
+	min, max float64
+}
+
+// Add records one observation.
+func (s *Summary) Add(x float64) {
+	s.n++
+	if s.n == 1 {
+		s.min, s.max = x, x
+	} else {
+		if x < s.min {
+			s.min = x
+		}
+		if x > s.max {
+			s.max = x
+		}
+	}
+	d := x - s.mean
+	s.mean += d / float64(s.n)
+	s.m2 += d * (x - s.mean)
+}
+
+// N returns the observation count.
+func (s *Summary) N() int64 { return s.n }
+
+// Mean returns the running mean (0 with no observations).
+func (s *Summary) Mean() float64 { return s.mean }
+
+// Var returns the unbiased sample variance (0 with < 2 observations).
+func (s *Summary) Var() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// Std returns the sample standard deviation.
+func (s *Summary) Std() float64 { return math.Sqrt(s.Var()) }
+
+// Min returns the smallest observation (0 with none).
+func (s *Summary) Min() float64 { return s.min }
+
+// Max returns the largest observation (0 with none).
+func (s *Summary) Max() float64 { return s.max }
+
+// CI95 returns the half-width of the 95% normal-approximation confidence
+// interval on the mean.
+func (s *Summary) CI95() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return 1.96 * s.Std() / math.Sqrt(float64(s.n))
+}
+
+// String renders "mean ± ci [min,max] (n=N)".
+func (s *Summary) String() string {
+	return fmt.Sprintf("%.6g ± %.2g [%.6g, %.6g] (n=%d)", s.Mean(), s.CI95(), s.Min(), s.Max(), s.n)
+}
+
+// Histogram counts observations in equal-width buckets over [Lo, Hi);
+// outliers land in the first/last bucket.
+type Histogram struct {
+	Lo, Hi  float64
+	Buckets []int64
+	total   int64
+}
+
+// NewHistogram builds a histogram with the given range and bucket count.
+func NewHistogram(lo, hi float64, buckets int) (*Histogram, error) {
+	if buckets < 1 {
+		return nil, fmt.Errorf("metrics: need >= 1 bucket, got %d", buckets)
+	}
+	if !(hi > lo) {
+		return nil, fmt.Errorf("metrics: bad histogram range [%v,%v)", lo, hi)
+	}
+	return &Histogram{Lo: lo, Hi: hi, Buckets: make([]int64, buckets)}, nil
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	i := int(float64(len(h.Buckets)) * (x - h.Lo) / (h.Hi - h.Lo))
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(h.Buckets) {
+		i = len(h.Buckets) - 1
+	}
+	h.Buckets[i]++
+	h.total++
+}
+
+// Total returns the observation count.
+func (h *Histogram) Total() int64 { return h.total }
+
+// Quantile returns an approximate q-quantile (q in [0,1]) by walking the
+// buckets and interpolating within the containing bucket.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.Lo
+	}
+	if q >= 1 {
+		return h.Hi
+	}
+	target := q * float64(h.total)
+	var cum float64
+	width := (h.Hi - h.Lo) / float64(len(h.Buckets))
+	for i, c := range h.Buckets {
+		next := cum + float64(c)
+		if next >= target && c > 0 {
+			frac := (target - cum) / float64(c)
+			return h.Lo + (float64(i)+frac)*width
+		}
+		cum = next
+	}
+	return h.Hi
+}
+
+// Series is a labelled sequence of (x, y) points for one curve of a figure.
+type Series struct {
+	Label string
+	X, Y  []float64
+}
+
+// Append adds one point.
+func (s *Series) Append(x, y float64) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+}
+
+// Len returns the point count.
+func (s *Series) Len() int { return len(s.X) }
+
+// MinY returns the minimum y and its x ((0,0) for an empty series).
+func (s *Series) MinY() (x, y float64) {
+	if len(s.Y) == 0 {
+		return 0, 0
+	}
+	mi := 0
+	for i, v := range s.Y {
+		if v < s.Y[mi] {
+			mi = i
+		}
+	}
+	return s.X[mi], s.Y[mi]
+}
+
+// CSV renders one or more series sharing an x-axis into CSV text. Series
+// with differing x grids are merged on the union of x values; missing cells
+// are empty.
+func CSV(xName string, series ...*Series) string {
+	var b strings.Builder
+	b.WriteString(xName)
+	for _, s := range series {
+		b.WriteString("," + s.Label)
+	}
+	b.WriteString("\n")
+	xs := map[float64]bool{}
+	for _, s := range series {
+		for _, x := range s.X {
+			xs[x] = true
+		}
+	}
+	sorted := make([]float64, 0, len(xs))
+	for x := range xs {
+		sorted = append(sorted, x)
+	}
+	sort.Float64s(sorted)
+	for _, x := range sorted {
+		fmt.Fprintf(&b, "%g", x)
+		for _, s := range series {
+			val, ok := "", false
+			for i, sx := range s.X {
+				if sx == x {
+					val, ok = fmt.Sprintf("%g", s.Y[i]), true
+					break
+				}
+			}
+			if ok {
+				b.WriteString("," + val)
+			} else {
+				b.WriteString(",")
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,163 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	if s.N() != 0 || s.Mean() != 0 || s.Var() != 0 {
+		t.Error("zero Summary should be empty")
+	}
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if s.N() != 8 {
+		t.Errorf("N = %d", s.N())
+	}
+	if s.Mean() != 5 {
+		t.Errorf("Mean = %v, want 5", s.Mean())
+	}
+	// Sample variance of that classic dataset is 32/7.
+	if math.Abs(s.Var()-32.0/7) > 1e-12 {
+		t.Errorf("Var = %v, want %v", s.Var(), 32.0/7)
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Errorf("range [%v,%v], want [2,9]", s.Min(), s.Max())
+	}
+	if s.CI95() <= 0 {
+		t.Error("CI95 should be positive")
+	}
+	if !strings.Contains(s.String(), "n=8") {
+		t.Errorf("String() = %q", s.String())
+	}
+}
+
+func TestSummaryMatchesNaiveComputation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var s Summary
+	var xs []float64
+	for i := 0; i < 1000; i++ {
+		x := rng.NormFloat64()*3 + 10
+		xs = append(xs, x)
+		s.Add(x)
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	mean := sum / float64(len(xs))
+	var ss float64
+	for _, x := range xs {
+		ss += (x - mean) * (x - mean)
+	}
+	naiveVar := ss / float64(len(xs)-1)
+	if math.Abs(s.Mean()-mean) > 1e-9 {
+		t.Errorf("mean %v vs naive %v", s.Mean(), mean)
+	}
+	if math.Abs(s.Var()-naiveVar)/naiveVar > 1e-9 {
+		t.Errorf("var %v vs naive %v", s.Var(), naiveVar)
+	}
+}
+
+func TestHistogramValidation(t *testing.T) {
+	if _, err := NewHistogram(0, 1, 0); err == nil {
+		t.Error("0 buckets should fail")
+	}
+	if _, err := NewHistogram(1, 1, 4); err == nil {
+		t.Error("empty range should fail")
+	}
+}
+
+func TestHistogramBucketsAndOutliers(t *testing.T) {
+	h, err := NewHistogram(0, 10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Add(-5)   // clamps to bucket 0
+	h.Add(0.5)  // bucket 0
+	h.Add(9.99) // bucket 9
+	h.Add(42)   // clamps to bucket 9
+	if h.Buckets[0] != 2 || h.Buckets[9] != 2 {
+		t.Errorf("buckets = %v", h.Buckets)
+	}
+	if h.Total() != 4 {
+		t.Errorf("Total = %d", h.Total())
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h, _ := NewHistogram(0, 100, 100)
+	for i := 0; i < 100; i++ {
+		h.Add(float64(i) + 0.5)
+	}
+	med := h.Quantile(0.5)
+	if math.Abs(med-50) > 2 {
+		t.Errorf("median %v, want ~50", med)
+	}
+	if h.Quantile(0) != 0 || h.Quantile(1) != 100 {
+		t.Error("extreme quantiles should clamp to range")
+	}
+	empty, _ := NewHistogram(0, 1, 2)
+	if empty.Quantile(0.5) != 0 {
+		t.Error("empty histogram quantile should be 0")
+	}
+}
+
+func TestSeriesMinY(t *testing.T) {
+	var s Series
+	if x, y := s.MinY(); x != 0 || y != 0 {
+		t.Error("empty series MinY should be (0,0)")
+	}
+	s.Append(1, 5)
+	s.Append(2, 3)
+	s.Append(3, 4)
+	x, y := s.MinY()
+	if x != 2 || y != 3 {
+		t.Errorf("MinY = (%v,%v), want (2,3)", x, y)
+	}
+	if s.Len() != 3 {
+		t.Errorf("Len = %d", s.Len())
+	}
+}
+
+func TestCSVSharedAxis(t *testing.T) {
+	a := &Series{Label: "a"}
+	a.Append(1, 10)
+	a.Append(2, 20)
+	b := &Series{Label: "b"}
+	b.Append(2, 200)
+	b.Append(3, 300)
+	got := CSV("x", a, b)
+	want := "x,a,b\n1,10,\n2,20,200\n3,,300\n"
+	if got != want {
+		t.Errorf("CSV = %q, want %q", got, want)
+	}
+}
+
+// Property: Summary mean is always within [min, max].
+func TestQuickSummaryMeanBounded(t *testing.T) {
+	f := func(xs []float64) bool {
+		var s Summary
+		ok := true
+		for _, x := range xs {
+			// Restrict to a range where x-mean cannot overflow; Summary
+			// documents no guarantees at the edges of float64.
+			if math.IsNaN(x) || math.Abs(x) > 1e100 {
+				continue
+			}
+			s.Add(x)
+		}
+		if s.N() > 0 {
+			ok = s.Mean() >= s.Min()-1e-9 && s.Mean() <= s.Max()+1e-9
+		}
+		return ok
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,24 @@
+package migrate
+
+import (
+	"testing"
+
+	"dvdc/internal/vm"
+)
+
+func TestMigrationStatsAccessor(t *testing.T) {
+	src, _ := vm.NewMachine("s", 4, 32)
+	g, err := NewMigration(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Stats().Rounds != 0 {
+		t.Error("fresh migration has rounds")
+	}
+	if _, err := g.CopyRound(); err != nil {
+		t.Fatal(err)
+	}
+	if g.Stats().Rounds != 1 || g.Stats().PagesSent != 4 {
+		t.Errorf("Stats = %+v", g.Stats())
+	}
+}

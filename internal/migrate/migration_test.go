@@ -1,0 +1,183 @@
+package migrate
+
+import (
+	"testing"
+
+	"dvdc/internal/vm"
+)
+
+func busyMachine(t *testing.T) (*vm.Machine, *vm.Uniform) {
+	t.Helper()
+	m, err := vm.NewMachine("guest", 64, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := vm.NewUniform(42)
+	vm.Run(w, m, 200) // populate with content
+	return m, w
+}
+
+func TestMigrationConvergesAndMatches(t *testing.T) {
+	src, w := busyMachine(t)
+	g, err := NewMigration(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Interleave guest execution with rounds until the round payload is
+	// small, then pause and finalize.
+	for i := 0; i < 10; i++ {
+		n, err := g.CopyRound()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n <= 4 {
+			break
+		}
+		vm.Run(w, src, 20) // guest keeps dirtying pages
+	}
+	stats, err := g.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !src.Equal(g.Dst()) {
+		t.Error("destination differs from source")
+	}
+	if stats.PagesSent < src.NumPages() {
+		t.Errorf("sent %d pages, want >= %d (full first round)", stats.PagesSent, src.NumPages())
+	}
+}
+
+func TestMigrationFirstRoundShipsEverything(t *testing.T) {
+	src, _ := busyMachine(t)
+	g, _ := NewMigration(src, nil)
+	n, err := g.CopyRound()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != src.NumPages() {
+		t.Errorf("first round shipped %d pages, want %d", n, src.NumPages())
+	}
+}
+
+func TestMigrationLaterRoundsShipOnlyDirty(t *testing.T) {
+	src, _ := busyMachine(t)
+	g, _ := NewMigration(src, nil)
+	if _, err := g.CopyRound(); err != nil {
+		t.Fatal(err)
+	}
+	src.TouchPage(3, 999)
+	src.TouchPage(7, 998)
+	n, err := g.CopyRound()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Errorf("second round shipped %d pages, want 2", n)
+	}
+}
+
+func TestMigrationFinalizeWithoutRoundsStillWorks(t *testing.T) {
+	src, _ := busyMachine(t)
+	g, _ := NewMigration(src, nil)
+	if _, err := g.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	if !src.Equal(g.Dst()) {
+		t.Error("pure stop-and-copy migration diverged")
+	}
+}
+
+func TestMigrationDoubleFinalizeFails(t *testing.T) {
+	src, _ := busyMachine(t)
+	g, _ := NewMigration(src, nil)
+	if _, err := g.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Finalize(); err == nil {
+		t.Error("double finalize should fail")
+	}
+	if _, err := g.CopyRound(); err == nil {
+		t.Error("round after finalize should fail")
+	}
+}
+
+func TestHashDedupSkipsKnownPages(t *testing.T) {
+	// Destination already holds a template identical to the source: the
+	// migration should dedup every page and send (almost) nothing.
+	src, _ := busyMachine(t)
+	template, _ := vm.NewMachine("template", 64, 128)
+	if err := template.LoadImage(src.Image()); err != nil {
+		t.Fatal(err)
+	}
+	idx := NewHashIndex()
+	idx.AddMachine(template)
+
+	g, err := NewMigration(src, idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := g.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !src.Equal(g.Dst()) {
+		t.Error("deduped migration diverged")
+	}
+	if stats.PagesSent != 0 {
+		t.Errorf("sent %d pages despite full template match", stats.PagesSent)
+	}
+	if stats.PagesDeduped != src.NumPages() {
+		t.Errorf("deduped %d pages, want %d", stats.PagesDeduped, src.NumPages())
+	}
+}
+
+func TestHashDedupPartialTemplate(t *testing.T) {
+	src, _ := busyMachine(t)
+	// Index only a fresh zeroed machine: only src's still-zero pages dedup.
+	zero, _ := vm.NewMachine("zero", 64, 128)
+	idx := NewHashIndex()
+	idx.AddMachine(zero)
+	g, _ := NewMigration(src, idx)
+	stats, err := g.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !src.Equal(g.Dst()) {
+		t.Error("partially deduped migration diverged")
+	}
+	if stats.PagesDeduped == 0 {
+		t.Error("expected some zero pages to dedup")
+	}
+	if stats.PagesSent == 0 {
+		t.Error("expected written pages to be sent")
+	}
+	if stats.PagesSent+stats.PagesDeduped != src.NumPages() {
+		t.Error("sent + deduped should cover all pages")
+	}
+}
+
+func TestHashIndexBasics(t *testing.T) {
+	idx := NewHashIndex()
+	if idx.Len() != 0 {
+		t.Error("fresh index not empty")
+	}
+	m, _ := vm.NewMachine("m", 4, 64)
+	m.TouchPage(0, 7)
+	idx.AddMachine(m)
+	// 4 pages but 3 are identical zeros: 2 distinct hashes.
+	if idx.Len() != 2 {
+		t.Errorf("Len = %d, want 2", idx.Len())
+	}
+	if _, ok := idx.Lookup(m.PageHash(0)); !ok {
+		t.Error("lookup of indexed page failed")
+	}
+	if _, ok := idx.Lookup(0xdeadbeef); ok {
+		t.Error("lookup of bogus hash succeeded")
+	}
+}
+
+func TestNewMigrationNilSource(t *testing.T) {
+	if _, err := NewMigration(nil, nil); err == nil {
+		t.Error("nil source should fail")
+	}
+}

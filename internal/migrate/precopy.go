@@ -1,0 +1,97 @@
+// Package migrate implements pre-copy live migration, the mechanism the
+// paper leans on twice: as background (Clark et al.'s iterative dirty-page
+// transfer with millisecond downtime) and as the transport DVDC borrows from
+// Remus for shipping incremental checkpoints (Sec. IV-C).
+//
+// Two layers are provided. SimulatePrecopy is the flow-level model: given an
+// image size, a dirty-rate model, and a link, it computes the round-by-round
+// transfer schedule, total migration time, and stop-and-copy downtime.
+// Migration is the byte-real engine: it actually moves a vm.Machine's pages
+// between hosts round by round, with an optional page-hash index at the
+// destination that skips pages already present — the paper's future-work
+// proposal for accelerating migration between similar VMs.
+package migrate
+
+import (
+	"fmt"
+	"math"
+
+	"dvdc/internal/netsim"
+	"dvdc/internal/vm"
+)
+
+// PrecopyConfig parameterizes the flow-level pre-copy model.
+type PrecopyConfig struct {
+	Link          netsim.Link
+	StopThreshold float64 // switch to stop-and-copy when a round's bytes fall below this
+	MaxRounds     int     // hard cap on iterative rounds (Clark's implementation uses ~30)
+	DowntimeExtra float64 // fixed downtime cost beyond the final copy (activation, ARP)
+}
+
+// DefaultPrecopyConfig mirrors Clark-era settings on GigE.
+func DefaultPrecopyConfig() PrecopyConfig {
+	return PrecopyConfig{
+		Link:          netsim.GigE,
+		StopThreshold: 1 << 20, // 1 MiB
+		MaxRounds:     30,
+		DowntimeExtra: 3e-3,
+	}
+}
+
+// Validate checks the config.
+func (c PrecopyConfig) Validate() error {
+	if err := c.Link.Validate(); err != nil {
+		return err
+	}
+	if c.StopThreshold < 0 {
+		return fmt.Errorf("migrate: negative stop threshold %v", c.StopThreshold)
+	}
+	if c.MaxRounds < 1 {
+		return fmt.Errorf("migrate: need >= 1 round, got %d", c.MaxRounds)
+	}
+	if c.DowntimeExtra < 0 {
+		return fmt.Errorf("migrate: negative downtime extra %v", c.DowntimeExtra)
+	}
+	return nil
+}
+
+// PrecopyResult reports the outcome of a simulated migration.
+type PrecopyResult struct {
+	Rounds     int     // iterative (pre-copy) rounds before stop-and-copy
+	TotalSec   float64 // end-to-end migration time including downtime
+	Downtime   float64 // stop-and-copy pause
+	TotalBytes float64 // bytes moved across all rounds
+}
+
+// SimulatePrecopy runs the flow-level pre-copy schedule: round 0 ships the
+// whole image; each subsequent round ships the pages dirtied while the
+// previous round was in flight; when a round's payload drops below the stop
+// threshold (or rounds run out) the VM pauses and the remainder moves in the
+// stop-and-copy phase, whose duration is the downtime.
+func SimulatePrecopy(imageBytes float64, dirty vm.DirtyModel, cfg PrecopyConfig) (PrecopyResult, error) {
+	if imageBytes <= 0 || math.IsNaN(imageBytes) {
+		return PrecopyResult{}, fmt.Errorf("migrate: invalid image size %v", imageBytes)
+	}
+	if dirty == nil {
+		return PrecopyResult{}, fmt.Errorf("migrate: nil dirty model")
+	}
+	if err := cfg.Validate(); err != nil {
+		return PrecopyResult{}, err
+	}
+	var res PrecopyResult
+	send := imageBytes
+	for {
+		roundTime := cfg.Link.TransferTime(send)
+		res.TotalSec += roundTime
+		res.TotalBytes += send
+		res.Rounds++
+		next := math.Min(dirty.DirtyBytes(roundTime), imageBytes)
+		if next <= cfg.StopThreshold || res.Rounds >= cfg.MaxRounds {
+			res.Downtime = cfg.Link.TransferTime(next) + cfg.DowntimeExtra
+			res.TotalSec += res.Downtime
+			res.TotalBytes += next
+			return res, nil
+		}
+		send = next
+	}
+}

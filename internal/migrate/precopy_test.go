@@ -1,0 +1,141 @@
+package migrate
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"dvdc/internal/netsim"
+	"dvdc/internal/vm"
+)
+
+func TestPrecopyConfigValidate(t *testing.T) {
+	if err := DefaultPrecopyConfig().Validate(); err != nil {
+		t.Errorf("default config invalid: %v", err)
+	}
+	bad := DefaultPrecopyConfig()
+	bad.StopThreshold = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative threshold should fail")
+	}
+	bad = DefaultPrecopyConfig()
+	bad.MaxRounds = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("0 rounds should fail")
+	}
+	bad = DefaultPrecopyConfig()
+	bad.DowntimeExtra = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative downtime extra should fail")
+	}
+}
+
+func TestSimulatePrecopyValidation(t *testing.T) {
+	cfg := DefaultPrecopyConfig()
+	if _, err := SimulatePrecopy(0, vm.LinearDirty{}, cfg); err == nil {
+		t.Error("zero image should fail")
+	}
+	if _, err := SimulatePrecopy(1<<30, nil, cfg); err == nil {
+		t.Error("nil dirty model should fail")
+	}
+}
+
+func TestPrecopyQuiescentGuestSingleRound(t *testing.T) {
+	// A guest that dirties nothing migrates in one round with near-zero
+	// downtime (just the activation extra).
+	cfg := DefaultPrecopyConfig()
+	res, err := SimulatePrecopy(1<<30, vm.LinearDirty{RatePerSec: 0, CapBytes: 0}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != 1 {
+		t.Errorf("rounds = %d, want 1", res.Rounds)
+	}
+	if res.Downtime > cfg.DowntimeExtra+cfg.Link.LatencySec+1e-9 {
+		t.Errorf("downtime %v, want ~%v", res.Downtime, cfg.DowntimeExtra)
+	}
+}
+
+func TestPrecopyDowntimeMillisecondScale(t *testing.T) {
+	// Clark et al. report ~60 ms downtime for a moderately busy guest on
+	// GigE; our model should land in the milliseconds-to-tens-of-ms band
+	// for a guest dirtying ~10 MiB/s with a bounded working set.
+	cfg := DefaultPrecopyConfig()
+	dirty := vm.SaturatingDirty{WriteRate: 10 * float64(1<<20), WSSBytes: 64 * float64(1<<20)}
+	res, err := SimulatePrecopy(1<<30, dirty, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Downtime > 0.2 {
+		t.Errorf("downtime %v s, want < 200 ms", res.Downtime)
+	}
+	if res.Rounds < 2 {
+		t.Errorf("busy guest should need multiple rounds, got %d", res.Rounds)
+	}
+	if res.TotalBytes <= 1<<30 {
+		t.Error("total bytes should exceed the image (re-sent dirty pages)")
+	}
+}
+
+func TestPrecopyHotGuestHitsRoundCap(t *testing.T) {
+	// A guest dirtying faster than the link drains never converges; the
+	// round cap must force stop-and-copy with a large downtime.
+	cfg := DefaultPrecopyConfig()
+	cfg.MaxRounds = 5
+	dirty := vm.LinearDirty{RatePerSec: 500e6, CapBytes: 1 << 30} // 500 MB/s dirt vs 125 MB/s link
+	res, err := SimulatePrecopy(1<<30, dirty, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != 5 {
+		t.Errorf("rounds = %d, want cap 5", res.Rounds)
+	}
+	if res.Downtime < 1 {
+		t.Errorf("non-convergent guest downtime %v, want seconds", res.Downtime)
+	}
+}
+
+func TestPrecopyFasterLinkShrinksDowntime(t *testing.T) {
+	dirty := vm.SaturatingDirty{WriteRate: 20 * float64(1<<20), WSSBytes: 128 * float64(1<<20)}
+	slow := DefaultPrecopyConfig()
+	fast := DefaultPrecopyConfig()
+	fast.Link = netsim.TenGigE
+	rSlow, err := SimulatePrecopy(1<<30, dirty, slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rFast, err := SimulatePrecopy(1<<30, dirty, fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rFast.Downtime >= rSlow.Downtime {
+		t.Errorf("10GigE downtime %v not below GigE %v", rFast.Downtime, rSlow.Downtime)
+	}
+	if rFast.TotalSec >= rSlow.TotalSec {
+		t.Errorf("10GigE total %v not below GigE %v", rFast.TotalSec, rSlow.TotalSec)
+	}
+}
+
+// Property: downtime never exceeds total time, bytes at least cover the
+// image, rounds within cap.
+func TestQuickPrecopyInvariants(t *testing.T) {
+	cfg := DefaultPrecopyConfig()
+	f := func(imgMB, rateMB, wssMB uint16) bool {
+		img := float64(imgMB%2048+1) * float64(1<<20)
+		dirty := vm.SaturatingDirty{
+			WriteRate: float64(rateMB%512) * float64(1<<20),
+			WSSBytes:  float64(wssMB%1024+1) * float64(1<<20),
+		}
+		res, err := SimulatePrecopy(img, dirty, cfg)
+		if err != nil {
+			return false
+		}
+		return res.Downtime <= res.TotalSec &&
+			res.TotalBytes >= img &&
+			res.Rounds >= 1 && res.Rounds <= cfg.MaxRounds &&
+			!math.IsNaN(res.TotalSec)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,80 @@
+package parity
+
+// GF(2^8) arithmetic with the primitive polynomial x^8+x^4+x^3+x^2+1
+// (0x11d, the conventional Reed-Solomon modulus, under which 2 generates the
+// multiplicative group). Log/antilog tables are built once at package init;
+// multiplication and division are table lookups, which is plenty for
+// checkpoint-sized blocks.
+
+const gfPoly = 0x11d
+
+var (
+	gfExp [512]byte // generator powers, doubled so mul avoids a mod
+	gfLog [256]int
+)
+
+func init() {
+	x := 1
+	for i := 0; i < 255; i++ {
+		gfExp[i] = byte(x)
+		gfLog[x] = i
+		x <<= 1
+		if x&0x100 != 0 {
+			x ^= gfPoly
+		}
+	}
+	for i := 255; i < 512; i++ {
+		gfExp[i] = gfExp[i-255]
+	}
+}
+
+// gfMul multiplies two field elements.
+func gfMul(a, b byte) byte {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return gfExp[gfLog[a]+gfLog[b]]
+}
+
+// gfDiv divides a by b; b must be nonzero.
+func gfDiv(a, b byte) byte {
+	if b == 0 {
+		panic("parity: GF(256) division by zero")
+	}
+	if a == 0 {
+		return 0
+	}
+	return gfExp[gfLog[a]+255-gfLog[b]]
+}
+
+// gfInv returns the multiplicative inverse; a must be nonzero.
+func gfInv(a byte) byte { return gfDiv(1, a) }
+
+// gfPow raises a to the n-th power.
+func gfPow(a byte, n int) byte {
+	if n == 0 {
+		return 1
+	}
+	if a == 0 {
+		return 0
+	}
+	return gfExp[(gfLog[a]*n)%255]
+}
+
+// gfMulSlice computes dst[i] ^= c * src[i] for all i. c == 0 is a no-op,
+// c == 1 degenerates to XOR.
+func gfMulSlice(dst, src []byte, c byte) {
+	switch c {
+	case 0:
+		return
+	case 1:
+		_ = XORInto(dst, src) // lengths checked by caller
+		return
+	}
+	lc := gfLog[c]
+	for i, s := range src {
+		if s != 0 {
+			dst[i] ^= gfExp[lc+gfLog[s]]
+		}
+	}
+}

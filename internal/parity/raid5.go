@@ -1,0 +1,74 @@
+package parity
+
+import "fmt"
+
+// Raid5Layout describes the rotating assignment of parity responsibility in
+// a cluster of Nodes physical machines hosting Groups RAID groups, in the
+// left-symmetric rotation conventional for RAID-5. Group g's parity lives on
+// node (g + offset) mod Nodes; DVDC uses this to spread the parity upkeep
+// evenly so no machine becomes a dedicated "checkpoint processor".
+type Raid5Layout struct {
+	Nodes  int // number of physical nodes (>= 2)
+	Groups int // number of RAID groups laid out across the nodes
+	Offset int // rotation offset, usually 0
+}
+
+// NewRaid5Layout validates and constructs a layout.
+func NewRaid5Layout(nodes, groups int) (Raid5Layout, error) {
+	if nodes < 2 {
+		return Raid5Layout{}, fmt.Errorf("parity: RAID-5 layout needs >= 2 nodes, got %d", nodes)
+	}
+	if groups < 1 {
+		return Raid5Layout{}, fmt.Errorf("parity: RAID-5 layout needs >= 1 group, got %d", groups)
+	}
+	return Raid5Layout{Nodes: nodes, Groups: groups}, nil
+}
+
+// ParityNode returns the physical node index responsible for group g's parity.
+func (l Raid5Layout) ParityNode(g int) int {
+	if g < 0 || g >= l.Groups {
+		panic(fmt.Sprintf("parity: group %d out of range [0,%d)", g, l.Groups))
+	}
+	return (g + l.Offset) % l.Nodes
+}
+
+// GroupsOnNode returns the group indices whose parity node n holds.
+func (l Raid5Layout) GroupsOnNode(n int) []int {
+	if n < 0 || n >= l.Nodes {
+		panic(fmt.Sprintf("parity: node %d out of range [0,%d)", n, l.Nodes))
+	}
+	var gs []int
+	for g := 0; g < l.Groups; g++ {
+		if l.ParityNode(g) == n {
+			gs = append(gs, g)
+		}
+	}
+	return gs
+}
+
+// ParityLoad returns, per node, how many groups' parity it maintains. A
+// balanced layout differs by at most one across nodes whenever Groups is not
+// a multiple of Nodes, and is exactly equal when it is.
+func (l Raid5Layout) ParityLoad() []int {
+	load := make([]int, l.Nodes)
+	for g := 0; g < l.Groups; g++ {
+		load[l.ParityNode(g)]++
+	}
+	return load
+}
+
+// Balanced reports whether parity responsibility differs by at most one
+// group between the most and least loaded node.
+func (l Raid5Layout) Balanced() bool {
+	load := l.ParityLoad()
+	min, max := load[0], load[0]
+	for _, v := range load[1:] {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	return max-min <= 1
+}

@@ -1,0 +1,101 @@
+package parity
+
+import "testing"
+
+func TestNewRaid5LayoutValidation(t *testing.T) {
+	cases := []struct {
+		nodes, groups int
+		wantErr       bool
+	}{
+		{2, 1, false},
+		{4, 4, false},
+		{1, 1, true},
+		{0, 3, true},
+		{4, 0, true},
+		{-2, -1, true},
+	}
+	for _, c := range cases {
+		_, err := NewRaid5Layout(c.nodes, c.groups)
+		if (err != nil) != c.wantErr {
+			t.Errorf("NewRaid5Layout(%d,%d) err=%v, wantErr=%v", c.nodes, c.groups, err, c.wantErr)
+		}
+	}
+}
+
+func TestParityNodeRotation(t *testing.T) {
+	l, err := NewRaid5Layout(4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 1, 2, 3, 0, 1, 2, 3}
+	for g, w := range want {
+		if got := l.ParityNode(g); got != w {
+			t.Errorf("ParityNode(%d) = %d, want %d", g, got, w)
+		}
+	}
+}
+
+func TestParityLoadBalanced(t *testing.T) {
+	for nodes := 2; nodes <= 16; nodes++ {
+		for groups := 1; groups <= 40; groups++ {
+			l, err := NewRaid5Layout(nodes, groups)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !l.Balanced() {
+				t.Errorf("layout %d nodes / %d groups not balanced: %v", nodes, groups, l.ParityLoad())
+			}
+			total := 0
+			for _, v := range l.ParityLoad() {
+				total += v
+			}
+			if total != groups {
+				t.Errorf("load sums to %d, want %d", total, groups)
+			}
+		}
+	}
+}
+
+func TestGroupsOnNodeConsistency(t *testing.T) {
+	l, _ := NewRaid5Layout(3, 7)
+	seen := map[int]bool{}
+	for n := 0; n < l.Nodes; n++ {
+		for _, g := range l.GroupsOnNode(n) {
+			if seen[g] {
+				t.Errorf("group %d assigned to multiple nodes", g)
+			}
+			seen[g] = true
+			if l.ParityNode(g) != n {
+				t.Errorf("GroupsOnNode(%d) lists %d but ParityNode(%d)=%d", n, g, g, l.ParityNode(g))
+			}
+		}
+	}
+	if len(seen) != l.Groups {
+		t.Errorf("covered %d groups, want %d", len(seen), l.Groups)
+	}
+}
+
+func TestParityNodePanicsOutOfRange(t *testing.T) {
+	l, _ := NewRaid5Layout(2, 2)
+	for _, g := range []int{-1, 2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("ParityNode(%d) should panic", g)
+				}
+			}()
+			l.ParityNode(g)
+		}()
+	}
+}
+
+func TestOffsetRotation(t *testing.T) {
+	l, _ := NewRaid5Layout(4, 4)
+	l.Offset = 2
+	if got := l.ParityNode(0); got != 2 {
+		t.Errorf("offset rotation: ParityNode(0) = %d, want 2", got)
+	}
+	if got := l.ParityNode(3); got != 1 {
+		t.Errorf("offset rotation: ParityNode(3) = %d, want 1", got)
+	}
+}

@@ -1,0 +1,93 @@
+package parity
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// ErrLengthMismatch is returned when blocks participating in one parity
+// computation do not all share the same length.
+var ErrLengthMismatch = errors.New("parity: block length mismatch")
+
+// XORInto xors src into dst element-wise. dst and src must have equal length.
+// The hot loop works on 8-byte words; the tail is handled bytewise.
+func XORInto(dst, src []byte) error {
+	if len(dst) != len(src) {
+		return fmt.Errorf("%w: dst %d, src %d", ErrLengthMismatch, len(dst), len(src))
+	}
+	n := len(dst)
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		d := binary.LittleEndian.Uint64(dst[i:])
+		s := binary.LittleEndian.Uint64(src[i:])
+		binary.LittleEndian.PutUint64(dst[i:], d^s)
+	}
+	for ; i < n; i++ {
+		dst[i] ^= src[i]
+	}
+	return nil
+}
+
+// XOR computes the XOR of all blocks into a freshly allocated block.
+// At least one block is required and all blocks must have equal length.
+func XOR(blocks ...[]byte) ([]byte, error) {
+	if len(blocks) == 0 {
+		return nil, errors.New("parity: XOR of zero blocks")
+	}
+	out := make([]byte, len(blocks[0]))
+	copy(out, blocks[0])
+	for _, b := range blocks[1:] {
+		if err := XORInto(out, b); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Parity computes the single-parity block protecting the given data blocks.
+// It is XOR with a name matching the RAID-5 vocabulary used elsewhere.
+func Parity(data ...[]byte) ([]byte, error) { return XOR(data...) }
+
+// ReconstructOne recovers the single missing block of a RAID-5 style group.
+// survivors must contain the k-1 surviving data blocks plus the parity block
+// (order is irrelevant: XOR is commutative). The result has the common block
+// length.
+func ReconstructOne(survivors ...[]byte) ([]byte, error) {
+	if len(survivors) == 0 {
+		return nil, errors.New("parity: reconstruct from zero survivors")
+	}
+	return XOR(survivors...)
+}
+
+// UpdateParity applies a small-write style parity update: given the old
+// content of one data block and its new content, the parity block is patched
+// in place without touching the other group members. This is the incremental
+// path DVDC uses when only one VM in a group produced a new checkpoint delta.
+func UpdateParity(par, oldData, newData []byte) error {
+	if len(par) != len(oldData) || len(par) != len(newData) {
+		return fmt.Errorf("%w: parity %d, old %d, new %d",
+			ErrLengthMismatch, len(par), len(oldData), len(newData))
+	}
+	if err := XORInto(par, oldData); err != nil {
+		return err
+	}
+	return XORInto(par, newData)
+}
+
+// VerifyParity reports whether par equals the XOR of the data blocks.
+func VerifyParity(par []byte, data ...[]byte) (bool, error) {
+	want, err := XOR(data...)
+	if err != nil {
+		return false, err
+	}
+	if len(par) != len(want) {
+		return false, fmt.Errorf("%w: parity %d, data %d", ErrLengthMismatch, len(par), len(want))
+	}
+	for i := range par {
+		if par[i] != want[i] {
+			return false, nil
+		}
+	}
+	return true, nil
+}

@@ -1,0 +1,212 @@
+// Package report renders the benchmark harness's tables and figures as
+// plain text: fixed-width tables and ASCII line charts good enough to eyeball
+// the shape of a curve (which is the reproduction criterion for Fig. 5).
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"dvdc/internal/metrics"
+)
+
+// Table accumulates rows and renders with aligned columns.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; values are formatted with %v.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = formatFloat(v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case math.Abs(v) >= 1e6 || math.Abs(v) < 1e-3:
+		return fmt.Sprintf("%.3e", v)
+	default:
+		return fmt.Sprintf("%.4g", v)
+	}
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title + "\n")
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteString("\n")
+	}
+	line(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.Rows {
+		line(r)
+	}
+	return b.String()
+}
+
+// Chart renders series as an ASCII scatter/line chart with log-x support.
+type Chart struct {
+	Title      string
+	Width      int
+	Height     int
+	LogX, LogY bool
+	XLabel     string
+	YLabel     string
+}
+
+// markers label successive series on the canvas.
+var markers = []byte{'*', 'o', '+', 'x', '#', '@'}
+
+// Render draws the series. Series get distinct markers in order; a legend
+// maps markers to labels. Minimum per series is marked with 'X' when
+// MarkMinima is used via RenderWithMinima.
+func (c Chart) Render(series ...*metrics.Series) string {
+	return c.render(false, series...)
+}
+
+// RenderWithMinima draws the series and overlays an 'X' at each series'
+// minimum point, mirroring the X marks in the paper's Fig. 5.
+func (c Chart) RenderWithMinima(series ...*metrics.Series) string {
+	return c.render(true, series...)
+}
+
+func (c Chart) render(markMinima bool, series ...*metrics.Series) string {
+	w, h := c.Width, c.Height
+	if w <= 0 {
+		w = 72
+	}
+	if h <= 0 {
+		h = 20
+	}
+	tx := func(x float64) float64 {
+		if c.LogX {
+			return math.Log10(math.Max(x, 1e-300))
+		}
+		return x
+	}
+	ty := func(y float64) float64 {
+		if c.LogY {
+			return math.Log10(math.Max(y, 1e-300))
+		}
+		return y
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for i := range s.X {
+			x, y := tx(s.X[i]), ty(s.Y[i])
+			minX, maxX = math.Min(minX, x), math.Max(maxX, x)
+			minY, maxY = math.Min(minY, y), math.Max(maxY, y)
+		}
+	}
+	if minX > maxX { // no data
+		return c.Title + " (no data)\n"
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]byte, h)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", w))
+	}
+	plot := func(x, y float64, m byte) {
+		col := int(math.Round((tx(x) - minX) / (maxX - minX) * float64(w-1)))
+		row := h - 1 - int(math.Round((ty(y)-minY)/(maxY-minY)*float64(h-1)))
+		if col >= 0 && col < w && row >= 0 && row < h {
+			grid[row][col] = m
+		}
+	}
+	for si, s := range series {
+		m := markers[si%len(markers)]
+		for i := range s.X {
+			plot(s.X[i], s.Y[i], m)
+		}
+	}
+	if markMinima {
+		for _, s := range series {
+			x, y := s.MinY()
+			if s.Len() > 0 {
+				plot(x, y, 'X')
+			}
+		}
+	}
+	var b strings.Builder
+	if c.Title != "" {
+		b.WriteString(c.Title + "\n")
+	}
+	yLo, yHi := minY, maxY
+	if c.LogY {
+		yLo, yHi = math.Pow(10, minY), math.Pow(10, maxY)
+	}
+	fmt.Fprintf(&b, "%s (top=%.4g, bottom=%.4g)\n", c.YLabel, yHi, yLo)
+	for _, row := range grid {
+		b.WriteString("|" + string(row) + "\n")
+	}
+	b.WriteString("+" + strings.Repeat("-", w) + "\n")
+	xLo, xHi := minX, maxX
+	if c.LogX {
+		xLo, xHi = math.Pow(10, minX), math.Pow(10, maxX)
+	}
+	fmt.Fprintf(&b, " %s: %.4g .. %.4g%s\n", c.XLabel, xLo, xHi, logNote(c.LogX))
+	for si, s := range series {
+		fmt.Fprintf(&b, " %c = %s", markers[si%len(markers)], s.Label)
+		if markMinima && s.Len() > 0 {
+			x, y := s.MinY()
+			fmt.Fprintf(&b, " (min: x=%.4g y=%.4g)", x, y)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+func logNote(log bool) string {
+	if log {
+		return " (log scale)"
+	}
+	return ""
+}

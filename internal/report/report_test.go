@@ -1,0 +1,109 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"dvdc/internal/metrics"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tb := NewTable("My Table", "name", "value")
+	tb.AddRow("short", 1.5)
+	tb.AddRow("a-much-longer-name", 123456789.0)
+	out := tb.String()
+	if !strings.Contains(out, "My Table") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "name") || !strings.Contains(out, "value") {
+		t.Error("missing headers")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, sep, 2 rows
+		t.Fatalf("got %d lines: %q", len(lines), out)
+	}
+	// Separator row uses dashes.
+	if !strings.Contains(lines[2], "---") {
+		t.Error("missing separator")
+	}
+}
+
+func TestTableFloatFormatting(t *testing.T) {
+	tb := NewTable("", "v")
+	tb.AddRow(0.0)
+	tb.AddRow(1e-9)
+	tb.AddRow(2.5)
+	tb.AddRow(3e9)
+	out := tb.String()
+	for _, want := range []string{"0", "1.000e-09", "2.5", "3.000e+09"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestChartRendersSeriesAndMinima(t *testing.T) {
+	s := &metrics.Series{Label: "curve"}
+	for i := 1; i <= 50; i++ {
+		x := float64(i)
+		s.Append(x, (x-25)*(x-25)+10) // parabola, min at x=25
+	}
+	c := Chart{Title: "parabola", Width: 60, Height: 15, XLabel: "x", YLabel: "y"}
+	out := c.RenderWithMinima(s)
+	if !strings.Contains(out, "parabola") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "X") {
+		t.Error("missing minimum marker")
+	}
+	if !strings.Contains(out, "min: x=25") {
+		t.Errorf("legend should note the minimum:\n%s", out)
+	}
+}
+
+func TestChartLogScales(t *testing.T) {
+	s := &metrics.Series{Label: "log"}
+	for _, x := range []float64{1, 10, 100, 1000} {
+		s.Append(x, x*x)
+	}
+	c := Chart{LogX: true, LogY: true, Width: 40, Height: 10, XLabel: "x", YLabel: "y"}
+	out := c.Render(s)
+	if !strings.Contains(out, "log scale") {
+		t.Error("missing log-scale note")
+	}
+	// All 4 points must be plotted on the canvas (grid rows start with '|';
+	// the legend line also contains the marker and must be excluded).
+	var plotted int
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "|") {
+			plotted += strings.Count(line, "*")
+		}
+	}
+	if plotted != 4 {
+		t.Errorf("want 4 markers on canvas, got %d:\n%s", plotted, out)
+	}
+}
+
+func TestChartEmptySeries(t *testing.T) {
+	c := Chart{Title: "empty"}
+	out := c.Render(&metrics.Series{Label: "none"})
+	if !strings.Contains(out, "no data") {
+		t.Errorf("empty chart should say so: %q", out)
+	}
+}
+
+func TestChartMultipleSeriesDistinctMarkers(t *testing.T) {
+	a := &metrics.Series{Label: "a"}
+	b := &metrics.Series{Label: "b"}
+	for i := 1; i <= 10; i++ {
+		a.Append(float64(i), float64(i))
+		b.Append(float64(i), float64(20-i))
+	}
+	out := Chart{Width: 40, Height: 10}.Render(a, b)
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Errorf("expected two marker styles:\n%s", out)
+	}
+	if !strings.Contains(out, "* = a") || !strings.Contains(out, "o = b") {
+		t.Error("legend missing")
+	}
+}

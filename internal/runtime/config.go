@@ -1,0 +1,83 @@
+// Package runtime is the distributed DVDC implementation: node daemons that
+// host real VM memories, keep RAID-group parity, and speak the wire protocol
+// over TCP; and a coordinator that drives two-phase checkpoint rounds and
+// failure recovery across them. It is the networked twin of core.Cluster —
+// the same Member/MKeeper data path, with prepare/commit, parity shipping,
+// and reconstruction traffic actually crossing sockets. Groups may carry any
+// parity tolerance m: each of the m parity blocks lives on its own node, and
+// up to m simultaneous node deaths are recoverable.
+package runtime
+
+import "encoding/json"
+
+// VMConfig places one VM on a node.
+type VMConfig struct {
+	Name        string `json:"name"`
+	Pages       int    `json:"pages"`
+	PageSize    int    `json:"page_size"`
+	Group       int    `json:"group"`
+	ParityNodes []int  `json:"parity_nodes"` // node of parity block i, i = 0..tolerance-1
+	Seed        int64  `json:"seed"`         // workload seed
+}
+
+// KeeperConfig makes a node the holder of one parity block of one group.
+type KeeperConfig struct {
+	Group     int      `json:"group"`
+	ParityIdx int      `json:"parity_idx"`
+	Tolerance int      `json:"tolerance"`
+	Members   []string `json:"members"`
+	Pages     int      `json:"pages"`
+	PageSize  int      `json:"page_size"`
+}
+
+// NodeConfig is the full assignment a node receives at setup.
+type NodeConfig struct {
+	NodeID   int            `json:"node_id"`
+	Peers    map[int]string `json:"peers"` // node id -> address, self included
+	VMs      []VMConfig     `json:"vms"`
+	Keepers  []KeeperConfig `json:"keepers"`
+	Compress bool           `json:"compress"` // flate-compress delta shipments (Sec. IV-C)
+}
+
+// NodeStats are a node's protocol counters, served via MsgStats.
+type NodeStats struct {
+	DeltasSent     int64 `json:"deltas_sent"`
+	DeltaRawBytes  int64 `json:"delta_raw_bytes"`  // uncompressed delta payload
+	DeltaWireBytes int64 `json:"delta_wire_bytes"` // bytes actually shipped
+}
+
+// encodeJSON marshals a config for the wire's Text field.
+func encodeJSON(v interface{}) (string, error) {
+	b, err := json.Marshal(v)
+	return string(b), err
+}
+
+// decodeJSON unmarshals a config from the wire's Text field.
+func decodeJSON(s string, v interface{}) error {
+	return json.Unmarshal([]byte(s), v)
+}
+
+// installConfig rides MsgInstall: geometry and ownership for an adopted VM.
+type installConfig struct {
+	VMConfig
+	Epoch uint64 `json:"epoch"`
+}
+
+// reconstructConfig rides MsgReconstruct: everything the solving parity node
+// needs to rebuild LostVM — which members are gone, where the survivors
+// live, and where the still-alive parity blocks of the group are.
+type reconstructConfig struct {
+	LostVM      string         `json:"lost_vm"`
+	AllLost     []string       `json:"all_lost"` // every lost member of the group
+	Group       int            `json:"group"`
+	Tolerance   int            `json:"tolerance"`
+	Survivors   map[string]int `json:"survivors"`    // member -> node id
+	ParityPeers map[int]int    `json:"parity_peers"` // parity index -> node id (alive)
+}
+
+// rebuildKeeperConfig rides MsgRebuildKeeper.
+type rebuildKeeperConfig struct {
+	KeeperConfig
+	MemberNodes map[string]int    `json:"member_nodes"`
+	Epochs      map[string]uint64 `json:"epochs"`
+}

@@ -1,0 +1,583 @@
+package runtime
+
+import (
+	"fmt"
+	"sort"
+
+	"dvdc/internal/cluster"
+	"dvdc/internal/transport"
+	"dvdc/internal/wire"
+)
+
+// Coordinator drives a set of node daemons through the DVDC protocol:
+// initial configuration, workload execution, two-phase checkpoint rounds,
+// and recovery after a node death. It owns the live cluster.Layout and keeps
+// it in sync with what the nodes are doing.
+type Coordinator struct {
+	layout   *cluster.Layout
+	addrs    map[int]string
+	conns    map[int]*transport.Conn
+	dead     map[int]bool
+	pages    int
+	pageSize int
+	epoch    uint64
+	seedBase int64
+	compress bool
+}
+
+// NewCoordinator wires a layout to node addresses. addrs must cover every
+// node index in the layout.
+func NewCoordinator(layout *cluster.Layout, addrs map[int]string, pages, pageSize int, seed int64) (*Coordinator, error) {
+	if layout == nil {
+		return nil, fmt.Errorf("runtime: nil layout")
+	}
+	if err := layout.Validate(); err != nil {
+		return nil, err
+	}
+	for n := 0; n < layout.Nodes; n++ {
+		if _, ok := addrs[n]; !ok {
+			return nil, fmt.Errorf("runtime: no address for node %d", n)
+		}
+	}
+	if pages <= 0 || pageSize <= 0 {
+		return nil, fmt.Errorf("runtime: bad geometry %dx%d", pages, pageSize)
+	}
+	return &Coordinator{
+		layout:   layout,
+		addrs:    addrs,
+		conns:    map[int]*transport.Conn{},
+		dead:     map[int]bool{},
+		pages:    pages,
+		pageSize: pageSize,
+		seedBase: seed,
+	}, nil
+}
+
+// SetCompress enables flate compression of delta shipments; call before
+// Setup (the flag rides the node configuration).
+func (c *Coordinator) SetCompress(on bool) { c.compress = on }
+
+// NodeStats fetches a node's protocol counters.
+func (c *Coordinator) NodeStats(node int) (NodeStats, error) {
+	resp, err := c.call(node, &wire.Message{Type: wire.MsgStats})
+	if err != nil {
+		return NodeStats{}, err
+	}
+	var st NodeStats
+	if err := decodeJSON(resp.Text, &st); err != nil {
+		return NodeStats{}, err
+	}
+	return st, nil
+}
+
+// Layout exposes the live layout.
+func (c *Coordinator) Layout() *cluster.Layout { return c.layout }
+
+// Epoch returns the last committed checkpoint epoch.
+func (c *Coordinator) Epoch() uint64 { return c.epoch }
+
+func (c *Coordinator) conn(node int) (*transport.Conn, error) {
+	if c.dead[node] {
+		return nil, fmt.Errorf("runtime: node %d is marked dead", node)
+	}
+	if cc, ok := c.conns[node]; ok {
+		return cc, nil
+	}
+	cc, err := transport.Dial(c.addrs[node])
+	if err != nil {
+		return nil, err
+	}
+	c.conns[node] = cc
+	return cc, nil
+}
+
+func (c *Coordinator) call(node int, msg *wire.Message) (*wire.Message, error) {
+	cc, err := c.conn(node)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := cc.Call(msg)
+	if err != nil {
+		// Drop the cached connection so a retry re-dials.
+		cc.Close()
+		delete(c.conns, node)
+		return nil, err
+	}
+	return resp, nil
+}
+
+// aliveNodes lists nodes not marked dead, ascending.
+func (c *Coordinator) aliveNodes() []int {
+	var out []int
+	for n := 0; n < c.layout.Nodes; n++ {
+		if !c.dead[n] {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// vmSeed derives a deterministic workload seed per VM.
+func (c *Coordinator) vmSeed(name string) int64 {
+	var h int64 = c.seedBase
+	for _, r := range name {
+		h = h*131 + int64(r)
+	}
+	return h
+}
+
+// vmConfig renders the current VMConfig for a VM name.
+func (c *Coordinator) vmConfig(v cluster.VMPlacement) VMConfig {
+	g := c.layout.Groups[v.Group]
+	return VMConfig{
+		Name:        v.Name,
+		Pages:       c.pages,
+		PageSize:    c.pageSize,
+		Group:       v.Group,
+		ParityNodes: append([]int(nil), g.ParityNodes...),
+		Seed:        c.vmSeed(v.Name),
+	}
+}
+
+// Setup pushes the initial configuration to every node.
+func (c *Coordinator) Setup() error {
+	for n := 0; n < c.layout.Nodes; n++ {
+		cfg := NodeConfig{NodeID: n, Peers: c.addrs, Compress: c.compress}
+		for _, v := range c.layout.VMs {
+			if v.Node == n {
+				cfg.VMs = append(cfg.VMs, c.vmConfig(v))
+			}
+		}
+		for _, g := range c.layout.Groups {
+			for i, pn := range g.ParityNodes {
+				if pn == n {
+					cfg.Keepers = append(cfg.Keepers, KeeperConfig{
+						Group:     g.Index,
+						ParityIdx: i,
+						Tolerance: c.layout.Tolerance,
+						Members:   append([]string(nil), g.Members...),
+						Pages:     c.pages,
+						PageSize:  c.pageSize,
+					})
+				}
+			}
+		}
+		text, err := encodeJSON(cfg)
+		if err != nil {
+			return err
+		}
+		resp, err := c.call(n, &wire.Message{Type: wire.MsgConfigure, Text: text})
+		if err != nil {
+			return fmt.Errorf("runtime: configure node %d: %w", n, err)
+		}
+		if resp.Type != wire.MsgConfigureOK {
+			return fmt.Errorf("runtime: node %d replied %v to configure", n, resp.Type)
+		}
+	}
+	return nil
+}
+
+// Step runs the synthetic workload n steps on every alive node's VMs.
+func (c *Coordinator) Step(n uint64) error {
+	for _, node := range c.aliveNodes() {
+		if _, err := c.call(node, &wire.Message{Type: wire.MsgStep, Arg: n}); err != nil {
+			return fmt.Errorf("runtime: step on node %d: %w", node, err)
+		}
+	}
+	return nil
+}
+
+// Checkpoint executes one two-phase checkpoint round: PREPARE on every alive
+// node (each captures deltas and ships them to parity peers), then COMMIT.
+// If any prepare fails, the round is aborted everywhere and the error
+// returned; the cluster stays at the previous committed epoch.
+func (c *Coordinator) Checkpoint() error {
+	next := c.epoch + 1
+	prepared := []int{}
+	var prepErr error
+	for _, node := range c.aliveNodes() {
+		resp, err := c.call(node, &wire.Message{Type: wire.MsgPrepare, Epoch: next})
+		if err != nil {
+			prepErr = fmt.Errorf("runtime: prepare on node %d: %w", node, err)
+			break
+		}
+		if resp.Type != wire.MsgPrepareOK {
+			prepErr = fmt.Errorf("runtime: node %d replied %v to prepare", node, resp.Type)
+			break
+		}
+		prepared = append(prepared, node)
+	}
+	if prepErr != nil {
+		for _, node := range prepared {
+			// Best effort: a node that cannot abort will be caught by the
+			// next prepare's staged-delta check.
+			c.call(node, &wire.Message{Type: wire.MsgAbort, Epoch: next}) //nolint:errcheck
+		}
+		return prepErr
+	}
+	for _, node := range c.aliveNodes() {
+		resp, err := c.call(node, &wire.Message{Type: wire.MsgCommit, Epoch: next})
+		if err != nil {
+			return fmt.Errorf("runtime: commit on node %d: %w", node, err)
+		}
+		if resp.Type != wire.MsgCommitOK {
+			return fmt.Errorf("runtime: node %d replied %v to commit", node, resp.Type)
+		}
+	}
+	c.epoch = next
+	return nil
+}
+
+// Checksums fetches the committed-image checksum of every VM.
+func (c *Coordinator) Checksums() (map[string]uint64, error) {
+	out := map[string]uint64{}
+	for _, v := range c.layout.VMs {
+		resp, err := c.call(v.Node, &wire.Message{Type: wire.MsgChecksum, VM: v.Name})
+		if err != nil {
+			return nil, fmt.Errorf("runtime: checksum %q on node %d: %w", v.Name, v.Node, err)
+		}
+		out[v.Name] = resp.Arg
+	}
+	return out, nil
+}
+
+// RecoverNode handles the death of a single node; see RecoverNodes.
+func (c *Coordinator) RecoverNode(failed int) (*cluster.Plan, error) {
+	return c.RecoverNodes(failed)
+}
+
+// RecoverNodes handles the simultaneous death of up to `tolerance` nodes:
+// it plans recovery against the layout, has surviving parity nodes solve the
+// erasure system for every lost VM (pulling survivor images and the group's
+// remaining parity blocks over the wire), installs the rebuilt VMs on their
+// target nodes, re-homes lost parity blocks, rolls every surviving VM back
+// to the committed epoch, and updates the layout. The failed nodes must
+// already be unreachable (or are about to be treated as such); the caller
+// names them explicitly.
+func (c *Coordinator) RecoverNodes(failed ...int) (*cluster.Plan, error) {
+	if len(failed) == 0 {
+		return &cluster.Plan{}, nil
+	}
+	for _, f := range failed {
+		if c.dead[f] {
+			return nil, fmt.Errorf("runtime: node %d already recovered", f)
+		}
+	}
+	// Snapshot source locations before mutating the layout.
+	nodeOf := map[string]int{}
+	for _, v := range c.layout.VMs {
+		nodeOf[v.Name] = v.Node
+	}
+	parityOf := map[int][]int{}
+	for _, g := range c.layout.Groups {
+		parityOf[g.Index] = append([]int(nil), g.ParityNodes...)
+	}
+	// Plan against every node that is currently unavailable, not just the
+	// new casualties, so targets are never chosen among the already-dead.
+	down := append([]int(nil), failed...)
+	for n := range c.dead {
+		down = append(down, n)
+	}
+	plan, err := c.layout.PlanRecovery(down...)
+	if err != nil {
+		return nil, err
+	}
+	for _, f := range failed {
+		c.dead[f] = true
+		if cc, ok := c.conns[f]; ok {
+			cc.Close()
+			delete(c.conns, f)
+		}
+	}
+
+	// Roll every surviving node back to the committed epoch first, so the
+	// survivor images used for reconstruction are the committed ones.
+	for _, node := range c.aliveNodes() {
+		if _, err := c.call(node, &wire.Message{Type: wire.MsgRollback}); err != nil {
+			return nil, fmt.Errorf("runtime: rollback on node %d: %w", node, err)
+		}
+	}
+
+	// Group the lost VMs so each reconstruction request can name all of its
+	// group's casualties (the solver needs the full erasure pattern).
+	lostByGroup := map[int][]string{}
+	for _, s := range plan.Steps {
+		if s.Kind == cluster.RestoreVM {
+			lostByGroup[s.Group] = append(lostByGroup[s.Group], s.VM)
+		}
+	}
+
+	// Restore lost VMs: a surviving parity node of the group solves, the
+	// target installs.
+	for _, s := range plan.Steps {
+		if s.Kind != cluster.RestoreVM {
+			continue
+		}
+		g := c.layout.Groups[s.Group]
+		// Alive parity blocks of this group (by original homes).
+		peers := map[int]int{}
+		solver := -1
+		for i, pn := range parityOf[s.Group] {
+			if c.dead[pn] {
+				continue
+			}
+			peers[i] = pn
+			if solver == -1 {
+				solver = pn
+			}
+		}
+		if len(peers) < len(lostByGroup[s.Group]) {
+			return nil, fmt.Errorf("runtime: group %d lost %d members but only %d parity blocks survive",
+				s.Group, len(lostByGroup[s.Group]), len(peers))
+		}
+		rc := reconstructConfig{
+			LostVM:      s.VM,
+			AllLost:     lostByGroup[s.Group],
+			Group:       s.Group,
+			Tolerance:   c.layout.Tolerance,
+			Survivors:   map[string]int{},
+			ParityPeers: peers,
+		}
+		lostSet := map[string]bool{}
+		for _, lv := range rc.AllLost {
+			lostSet[lv] = true
+		}
+		for _, m := range g.Members {
+			if !lostSet[m] {
+				rc.Survivors[m] = nodeOf[m]
+			}
+		}
+		text, err := encodeJSON(rc)
+		if err != nil {
+			return nil, err
+		}
+		resp, err := c.call(solver, &wire.Message{Type: wire.MsgReconstruct, Group: int32(s.Group), Text: text})
+		if err != nil {
+			return nil, fmt.Errorf("runtime: reconstruct %q on node %d: %w", s.VM, solver, err)
+		}
+		v, _ := c.layout.VM(s.VM)
+		ic := installConfig{VMConfig: c.vmConfig(v), Epoch: resp.Epoch}
+		ic.Seed = c.vmSeed(s.VM) + int64(c.epoch) + 1 // fresh workload stream after respawn
+		itext, err := encodeJSON(ic)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := c.call(s.TargetNode, &wire.Message{Type: wire.MsgInstall, VM: s.VM, Text: itext, Payload: resp.Payload}); err != nil {
+			return nil, fmt.Errorf("runtime: install %q on node %d: %w", s.VM, s.TargetNode, err)
+		}
+		nodeOf[s.VM] = s.TargetNode
+	}
+
+	// Apply the plan so the layout reflects new VM homes before keepers are
+	// rebuilt (the rebuild pulls images from the *current* hosts).
+	if err := c.layout.ApplyRecovery(plan); err != nil {
+		return nil, err
+	}
+
+	// Re-home lost parity blocks and point the group's members at them.
+	for _, s := range plan.Steps {
+		if s.Kind != cluster.RehomeParity {
+			continue
+		}
+		g := c.layout.Groups[s.Group]
+		// Which parity index died and is not yet rebuilt this pass?
+		idx := -1
+		for i, pn := range parityOf[s.Group] {
+			if pn >= 0 && c.dead[pn] {
+				idx = i
+				parityOf[s.Group][i] = -1 // consumed
+				break
+			}
+		}
+		if idx == -1 {
+			return nil, fmt.Errorf("runtime: group %d has no dead parity block to re-home", s.Group)
+		}
+		rk := rebuildKeeperConfig{
+			KeeperConfig: KeeperConfig{
+				Group:     s.Group,
+				ParityIdx: idx,
+				Tolerance: c.layout.Tolerance,
+				Members:   append([]string(nil), g.Members...),
+				Pages:     c.pages,
+				PageSize:  c.pageSize,
+			},
+			MemberNodes: map[string]int{},
+			Epochs:      map[string]uint64{},
+		}
+		for _, m := range g.Members {
+			rk.MemberNodes[m] = nodeOf[m]
+			rk.Epochs[m] = c.epoch
+		}
+		text, err := encodeJSON(rk)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := c.call(s.TargetNode, &wire.Message{Type: wire.MsgRebuildKeeper, Group: int32(s.Group), Text: text}); err != nil {
+			return nil, fmt.Errorf("runtime: rebuild keeper %d on node %d: %w", s.Group, s.TargetNode, err)
+		}
+	}
+
+	// Refresh every member's parity pointers for all groups touched by the
+	// failure (blocks may have moved, and reconstructed VMs carry copies of
+	// the pre-failure assignment).
+	touched := map[int]bool{}
+	for _, s := range plan.Steps {
+		touched[s.Group] = true
+	}
+	var groups []int
+	for g := range touched {
+		groups = append(groups, g)
+	}
+	sort.Ints(groups)
+	for _, gi := range groups {
+		g := c.layout.Groups[gi]
+		for i, pn := range g.ParityNodes {
+			for _, node := range c.aliveNodes() {
+				if _, err := c.call(node, &wire.Message{
+					Type: wire.MsgSetParity, Group: int32(gi),
+					Epoch: uint64(i), Arg: uint64(pn),
+				}); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return plan, nil
+}
+
+// Repair marks a previously failed node as back in service. Its daemon must
+// be listening on the original address again (or a replacement daemon on the
+// same address); it starts empty and picks up work via Rebalance.
+func (c *Coordinator) Repair(node int) error {
+	if !c.dead[node] {
+		return fmt.Errorf("runtime: node %d is not dead", node)
+	}
+	probe, err := transport.Dial(c.addrs[node])
+	if err != nil {
+		return fmt.Errorf("runtime: node %d not reachable for repair: %w", node, err)
+	}
+	probe.Close()
+	delete(c.dead, node)
+	// The rejoined daemon needs a fresh configuration (peers, compression);
+	// it hosts nothing until rebalance moves VMs or parity to it.
+	cfg := NodeConfig{NodeID: node, Peers: c.addrs, Compress: c.compress}
+	text, err := encodeJSON(cfg)
+	if err != nil {
+		return err
+	}
+	if _, err := c.call(node, &wire.Message{Type: wire.MsgConfigure, Text: text}); err != nil {
+		return fmt.Errorf("runtime: reconfigure repaired node %d: %w", node, err)
+	}
+	return nil
+}
+
+// Rebalance restores strict orthogonality after degraded recoveries, once
+// repaired nodes have rejoined: co-located VMs move (evict from the old
+// host, install on the new — the VMs are quiescent right after a commit, so
+// the move is a committed-image transfer), and co-located parity blocks are
+// recomputed on their new homes. Call immediately after Checkpoint, before
+// any Step.
+func (c *Coordinator) Rebalance() (*cluster.Plan, error) {
+	var down []int
+	for n := range c.dead {
+		down = append(down, n)
+	}
+	plan, err := c.layout.PlanRebalance(down...)
+	if err != nil {
+		return nil, err
+	}
+	// Move VMs first.
+	for _, s := range plan.Steps {
+		if s.Kind != cluster.RestoreVM {
+			continue
+		}
+		v, ok := c.layout.VM(s.VM)
+		if !ok {
+			return nil, fmt.Errorf("runtime: rebalance of unknown VM %q", s.VM)
+		}
+		resp, err := c.call(v.Node, &wire.Message{Type: wire.MsgEvict, VM: s.VM})
+		if err != nil {
+			return nil, fmt.Errorf("runtime: evict %q from node %d: %w", s.VM, v.Node, err)
+		}
+		ic := installConfig{VMConfig: c.vmConfig(v), Epoch: resp.Epoch}
+		ic.Seed = c.vmSeed(s.VM) + int64(c.epoch) + 7919
+		text, err := encodeJSON(ic)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := c.call(s.TargetNode, &wire.Message{Type: wire.MsgInstall, VM: s.VM, Text: text, Payload: resp.Payload}); err != nil {
+			return nil, fmt.Errorf("runtime: install %q on node %d: %w", s.VM, s.TargetNode, err)
+		}
+	}
+	// Apply the placement so parity rebuilds see the new VM homes, then
+	// rebuild the moved parity blocks on their targets.
+	if err := c.layout.ApplyRebalance(plan); err != nil {
+		return nil, err
+	}
+	nodeOf := map[string]int{}
+	for _, v := range c.layout.VMs {
+		nodeOf[v.Name] = v.Node
+	}
+	for _, s := range plan.Steps {
+		if s.Kind != cluster.RehomeParity {
+			continue
+		}
+		idx := s.SourceNodes[0]
+		g := c.layout.Groups[s.Group]
+		rk := rebuildKeeperConfig{
+			KeeperConfig: KeeperConfig{
+				Group:     s.Group,
+				ParityIdx: idx,
+				Tolerance: c.layout.Tolerance,
+				Members:   append([]string(nil), g.Members...),
+				Pages:     c.pages,
+				PageSize:  c.pageSize,
+			},
+			MemberNodes: map[string]int{},
+			Epochs:      map[string]uint64{},
+		}
+		for _, m := range g.Members {
+			rk.MemberNodes[m] = nodeOf[m]
+			rk.Epochs[m] = c.epoch
+		}
+		text, err := encodeJSON(rk)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := c.call(s.TargetNode, &wire.Message{Type: wire.MsgRebuildKeeper, Group: int32(s.Group), Text: text}); err != nil {
+			return nil, fmt.Errorf("runtime: rebuild keeper %d on node %d: %w", s.Group, s.TargetNode, err)
+		}
+	}
+	// Refresh parity pointers on every alive node for touched groups.
+	touched := map[int]bool{}
+	for _, s := range plan.Steps {
+		touched[s.Group] = true
+	}
+	var groups []int
+	for g := range touched {
+		groups = append(groups, g)
+	}
+	sort.Ints(groups)
+	for _, gi := range groups {
+		g := c.layout.Groups[gi]
+		for i, pn := range g.ParityNodes {
+			for _, node := range c.aliveNodes() {
+				if _, err := c.call(node, &wire.Message{
+					Type: wire.MsgSetParity, Group: int32(gi),
+					Epoch: uint64(i), Arg: uint64(pn),
+				}); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return plan, nil
+}
+
+// Close drops every coordinator connection.
+func (c *Coordinator) Close() {
+	for n, cc := range c.conns {
+		cc.Close()
+		delete(c.conns, n)
+	}
+}

@@ -1,0 +1,140 @@
+package runtime
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"dvdc/internal/checkpoint"
+	"dvdc/internal/core"
+	"dvdc/internal/wire"
+)
+
+// Delta wire codec: a leading tag byte (0 = raw, 1 = flate-compressed body),
+// then epoch u64, vmid u16+bytes, count u32, then per page index u32,
+// len u32, data. All little-endian. Compression implements the paper's
+// Sec. IV-C suggestion of "suitably compressing the differences of the last
+// checkpoint when sending information over the network"; since deltas are
+// XORs against the previous image, unchanged bytes are zero and compress
+// extremely well.
+
+const (
+	deltaRaw        = 0
+	deltaCompressed = 1
+)
+
+// encodeDelta serializes a core.Delta for a MsgDelta payload. When compress
+// is set and compression actually shrinks the body, the compressed form is
+// emitted; otherwise raw.
+func encodeDelta(d *core.Delta, compress bool) []byte {
+	body := encodeDeltaBody(d)
+	if compress {
+		var buf bytes.Buffer
+		buf.WriteByte(deltaCompressed)
+		w, err := flate.NewWriter(&buf, flate.BestSpeed)
+		if err == nil {
+			if _, err := w.Write(body); err == nil && w.Close() == nil && buf.Len() < len(body)+1 {
+				return buf.Bytes()
+			}
+		}
+	}
+	out := make([]byte, 0, len(body)+1)
+	out = append(out, deltaRaw)
+	return append(out, body...)
+}
+
+func encodeDeltaBody(d *core.Delta) []byte {
+	n := 8 + 2 + len(d.VMID) + 4
+	for _, p := range d.Pages {
+		n += 8 + len(p.Data)
+	}
+	out := make([]byte, 0, n)
+	out = binary.LittleEndian.AppendUint64(out, d.Epoch)
+	out = binary.LittleEndian.AppendUint16(out, uint16(len(d.VMID)))
+	out = append(out, d.VMID...)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(d.Pages)))
+	for _, p := range d.Pages {
+		out = binary.LittleEndian.AppendUint32(out, uint32(p.Index))
+		out = binary.LittleEndian.AppendUint32(out, uint32(len(p.Data)))
+		out = append(out, p.Data...)
+	}
+	return out
+}
+
+// decodeDelta parses a MsgDelta payload, transparently inflating the
+// compressed form.
+func decodeDelta(b []byte) (*core.Delta, error) {
+	bad := func(what string) (*core.Delta, error) {
+		return nil, fmt.Errorf("runtime: corrupt delta: %s", what)
+	}
+	if len(b) < 1 {
+		return bad("empty payload")
+	}
+	switch b[0] {
+	case deltaRaw:
+		b = b[1:]
+	case deltaCompressed:
+		// Bound the inflated size so a crafted tiny payload cannot act as a
+		// decompression bomb; legitimate deltas fit in a wire frame.
+		r := flate.NewReader(bytes.NewReader(b[1:]))
+		inflated, err := io.ReadAll(io.LimitReader(r, wire.MaxFrame+1))
+		r.Close()
+		if err != nil {
+			return bad("inflate: " + err.Error())
+		}
+		if len(inflated) > wire.MaxFrame {
+			return bad("inflated payload exceeds frame limit")
+		}
+		b = inflated
+	default:
+		return bad("unknown tag")
+	}
+	if len(b) < 14 {
+		return bad("short header")
+	}
+	off := 0
+	d := &core.Delta{}
+	d.Epoch = binary.LittleEndian.Uint64(b[off:])
+	off += 8
+	vl := int(binary.LittleEndian.Uint16(b[off:]))
+	off += 2
+	if off+vl > len(b) {
+		return bad("truncated vmid")
+	}
+	d.VMID = string(b[off : off+vl])
+	off += vl
+	if off+4 > len(b) {
+		return bad("truncated count")
+	}
+	count := int(binary.LittleEndian.Uint32(b[off:]))
+	off += 4
+	// Each page record needs at least 8 bytes: bound the preallocation by
+	// what the buffer could possibly hold.
+	if count < 0 || count > (len(b)-off)/8 {
+		return bad("absurd page count")
+	}
+	d.Pages = make([]checkpoint.PageRecord, 0, count)
+	for i := 0; i < count; i++ {
+		if off+8 > len(b) {
+			return bad("truncated page header")
+		}
+		idx := int(binary.LittleEndian.Uint32(b[off:]))
+		off += 4
+		dl := int(binary.LittleEndian.Uint32(b[off:]))
+		off += 4
+		if dl < 0 || off+dl > len(b) {
+			return bad("truncated page data")
+		}
+		d.Pages = append(d.Pages, checkpoint.PageRecord{
+			Index: idx,
+			Data:  append([]byte(nil), b[off:off+dl]...),
+		})
+		off += dl
+	}
+	if off != len(b) {
+		return bad("trailing bytes")
+	}
+	return d, nil
+}

@@ -1,0 +1,18 @@
+package runtime
+
+import (
+	"dvdc/internal/checkpoint"
+	"dvdc/internal/core"
+)
+
+// sampleDelta builds a small synthetic delta for codec tests.
+func sampleDelta() *core.Delta {
+	return &core.Delta{
+		VMID:  "vm-01.02",
+		Epoch: 7,
+		Pages: []checkpoint.PageRecord{
+			{Index: 0, Data: []byte{1, 2, 3, 4}},
+			{Index: 9, Data: []byte{5, 6, 7, 8}},
+		},
+	}
+}

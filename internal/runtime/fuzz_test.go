@@ -1,0 +1,35 @@
+package runtime
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeDelta hits the delta codec (both raw and compressed framings)
+// with arbitrary bytes: never panic; accepted deltas re-encode to an
+// equivalent delta.
+func FuzzDecodeDelta(f *testing.F) {
+	f.Add(encodeDelta(sampleDelta(), false))
+	f.Add(encodeDelta(sampleDelta(), true))
+	f.Add([]byte{deltaCompressed, 1, 2, 3})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := decodeDelta(data)
+		if err != nil {
+			return
+		}
+		again, err := decodeDelta(encodeDelta(d, false))
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if again.VMID != d.VMID || again.Epoch != d.Epoch || len(again.Pages) != len(d.Pages) {
+			t.Fatal("round trip mismatch")
+		}
+		for i := range d.Pages {
+			if again.Pages[i].Index != d.Pages[i].Index ||
+				!bytes.Equal(again.Pages[i].Data, d.Pages[i].Data) {
+				t.Fatal("page mismatch")
+			}
+		}
+	})
+}

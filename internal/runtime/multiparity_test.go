@@ -1,0 +1,186 @@
+package runtime
+
+import (
+	"testing"
+
+	"dvdc/internal/cluster"
+)
+
+// tolerance2Cluster spins up a 7-node, tolerance-2 cluster over TCP.
+func tolerance2Cluster(t *testing.T) (*Coordinator, []*Node, *cluster.Layout) {
+	t.Helper()
+	layout, err := cluster.BuildDistributedGroups(7, 1, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord, nodes := testCluster(t, layout)
+	return coord, nodes, layout
+}
+
+func TestMultiParitySetupAndRounds(t *testing.T) {
+	coord, _, layout := tolerance2Cluster(t)
+	for round := 0; round < 3; round++ {
+		if err := coord.Step(40); err != nil {
+			t.Fatal(err)
+		}
+		if err := coord.Checkpoint(); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+	}
+	sums, err := coord.Checksums()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sums) != len(layout.VMs) {
+		t.Errorf("checksums for %d VMs, want %d", len(sums), len(layout.VMs))
+	}
+}
+
+func TestSimultaneousDoubleNodeDeathOverTCP(t *testing.T) {
+	coord, nodes, _ := tolerance2Cluster(t)
+	if err := coord.Step(60); err != nil {
+		t.Fatal(err)
+	}
+	if err := coord.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	committed, err := coord.Checksums()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := coord.Step(30); err != nil { // uncommitted churn
+		t.Fatal(err)
+	}
+
+	// Two daemons die at once.
+	nodes[1].Close()
+	nodes[4].Close()
+	plan, err := coord.RecoverNodes(1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Steps) == 0 {
+		t.Fatal("empty recovery plan")
+	}
+	after, err := coord.Checksums()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for vmName, want := range committed {
+		if after[vmName] != want {
+			t.Errorf("VM %q state lost in double failure", vmName)
+		}
+	}
+	// The cluster keeps checkpointing on the 5 survivors.
+	if err := coord.Step(20); err != nil {
+		t.Fatal(err)
+	}
+	if err := coord.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllDoubleDeathPairsOverTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("O(n^2) socket clusters")
+	}
+	layout, err := cluster.BuildDistributedGroups(6, 1, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := 0; a < layout.Nodes; a++ {
+		for b := a + 1; b < layout.Nodes; b++ {
+			coord, nodes := testCluster(t, layout.Clone())
+			if err := coord.Step(30); err != nil {
+				t.Fatal(err)
+			}
+			if err := coord.Checkpoint(); err != nil {
+				t.Fatal(err)
+			}
+			committed, err := coord.Checksums()
+			if err != nil {
+				t.Fatal(err)
+			}
+			nodes[a].Close()
+			nodes[b].Close()
+			if _, err := coord.RecoverNodes(a, b); err != nil {
+				t.Fatalf("pair (%d,%d): %v", a, b, err)
+			}
+			after, err := coord.Checksums()
+			if err != nil {
+				t.Fatalf("pair (%d,%d): %v", a, b, err)
+			}
+			for vmName, want := range committed {
+				if after[vmName] != want {
+					t.Errorf("pair (%d,%d): VM %q diverged", a, b, vmName)
+				}
+			}
+			coord.Close()
+			for _, n := range nodes {
+				n.Close()
+			}
+		}
+	}
+}
+
+func TestSequentialDoubleDeathOverTCP(t *testing.T) {
+	coord, nodes, _ := tolerance2Cluster(t)
+	if err := coord.Step(40); err != nil {
+		t.Fatal(err)
+	}
+	if err := coord.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	nodes[0].Close()
+	if _, err := coord.RecoverNode(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := coord.Step(20); err != nil {
+		t.Fatal(err)
+	}
+	if err := coord.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	committed, err := coord.Checksums()
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes[3].Close()
+	if _, err := coord.RecoverNode(3); err != nil {
+		t.Fatal(err)
+	}
+	after, err := coord.Checksums()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for vmName, want := range committed {
+		if after[vmName] != want {
+			t.Errorf("VM %q diverged through sequential failures", vmName)
+		}
+	}
+}
+
+func TestTripleDeathExceedsTolerance(t *testing.T) {
+	coord, nodes, layout := tolerance2Cluster(t)
+	if err := coord.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// Find a triple that defeats some group.
+	for a := 0; a < layout.Nodes; a++ {
+		for b := a + 1; b < layout.Nodes; b++ {
+			for cc := b + 1; cc < layout.Nodes; cc++ {
+				if coord.Layout().Survives(a, b, cc) {
+					continue
+				}
+				nodes[a].Close()
+				nodes[b].Close()
+				nodes[cc].Close()
+				if _, err := coord.RecoverNodes(a, b, cc); err == nil {
+					t.Error("unsurvivable triple accepted")
+				}
+				return
+			}
+		}
+	}
+	t.Skip("no unsurvivable triple in this layout")
+}

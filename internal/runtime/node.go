@@ -1,0 +1,560 @@
+package runtime
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sync"
+
+	"dvdc/internal/core"
+	"dvdc/internal/transport"
+	"dvdc/internal/vm"
+	"dvdc/internal/wire"
+)
+
+// Node is one DVDC node daemon: it hosts VM members, runs their synthetic
+// workloads on command, maintains parity blocks for the groups assigned to
+// it, and serves the wire protocol.
+type Node struct {
+	mu      sync.Mutex
+	id      int
+	server  *transport.Server
+	peers   map[int]string
+	conns   map[int]*transport.Conn
+	members map[string]*memberState
+	keepers map[int]*keeperState // by group (orthogonality: at most one block of a group per node)
+
+	compress bool
+	stats    NodeStats
+}
+
+type memberState struct {
+	mem      *core.Member
+	workload vm.Workload
+	cfg      VMConfig
+	staged   *core.Delta // captured but uncommitted (two-phase)
+}
+
+type keeperState struct {
+	keeper *core.MKeeper
+	cfg    KeeperConfig
+	staged map[string]*core.Delta // member -> delta awaiting commit
+}
+
+// NewNode starts a node daemon listening on addr ("127.0.0.1:0" for tests).
+func NewNode(addr string) (*Node, error) {
+	n := &Node{
+		peers:   map[int]string{},
+		conns:   map[int]*transport.Conn{},
+		members: map[string]*memberState{},
+		keepers: map[int]*keeperState{},
+	}
+	s, err := transport.Listen(addr, n.handle)
+	if err != nil {
+		return nil, err
+	}
+	n.server = s
+	return n, nil
+}
+
+// Addr returns the node's listen address.
+func (n *Node) Addr() string { return n.server.Addr() }
+
+// Close stops the daemon.
+func (n *Node) Close() error {
+	n.mu.Lock()
+	for _, c := range n.conns {
+		c.Close()
+	}
+	n.conns = map[int]*transport.Conn{}
+	n.mu.Unlock()
+	return n.server.Close()
+}
+
+// peer returns a (cached) connection to another node.
+func (n *Node) peer(id int) (*transport.Conn, error) {
+	n.mu.Lock()
+	c, ok := n.conns[id]
+	addr, haveAddr := n.peers[id]
+	n.mu.Unlock()
+	if ok {
+		return c, nil
+	}
+	if !haveAddr {
+		return nil, fmt.Errorf("runtime: node %d has no address for peer %d", n.id, id)
+	}
+	c, err := transport.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	n.mu.Lock()
+	if prev, raced := n.conns[id]; raced {
+		n.mu.Unlock()
+		c.Close()
+		return prev, nil
+	}
+	n.conns[id] = c
+	n.mu.Unlock()
+	return c, nil
+}
+
+// callPeer routes a request to another node, short-circuiting self-calls to
+// the local handler (no loopback round trip, no lock-order hazards). A
+// transport failure invalidates the cached connection and retries once over
+// a fresh dial, so a daemon replaced on the same address is reachable again.
+func (n *Node) callPeer(id int, msg *wire.Message) (*wire.Message, error) {
+	if id == n.id {
+		return n.handle(msg)
+	}
+	c, err := n.peer(id)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.Call(msg)
+	if err == nil {
+		return resp, nil
+	}
+	// Remote errors come back as MsgError replies, so err here means the
+	// connection itself broke: drop it and retry once.
+	n.mu.Lock()
+	if n.conns[id] == c {
+		delete(n.conns, id)
+	}
+	n.mu.Unlock()
+	c.Close()
+	c, derr := n.peer(id)
+	if derr != nil {
+		return nil, err // report the original transport failure
+	}
+	return c.Call(msg)
+}
+
+// handle dispatches one request. The node lock is held by the individual
+// operations, not across peer calls, to avoid distributed deadlock.
+func (n *Node) handle(req *wire.Message) (*wire.Message, error) {
+	switch req.Type {
+	case wire.MsgHello:
+		return &wire.Message{Type: wire.MsgHelloOK, Arg: uint64(n.id)}, nil
+	case wire.MsgConfigure:
+		return n.onConfigure(req)
+	case wire.MsgStep:
+		return n.onStep(req)
+	case wire.MsgPrepare:
+		return n.onPrepare(req)
+	case wire.MsgCommit:
+		return n.onCommit(req)
+	case wire.MsgAbort:
+		return n.onAbort(req)
+	case wire.MsgDelta:
+		return n.onDelta(req)
+	case wire.MsgGetImage:
+		return n.onGetImage(req)
+	case wire.MsgGetParity:
+		return n.onGetParity(req)
+	case wire.MsgEvict:
+		return n.onEvict(req)
+	case wire.MsgReconstruct:
+		return n.onReconstruct(req)
+	case wire.MsgInstall:
+		return n.onInstall(req)
+	case wire.MsgChecksum:
+		return n.onChecksum(req)
+	case wire.MsgRollback:
+		return n.onRollback(req)
+	case wire.MsgRebuildKeeper:
+		return n.onRebuildKeeper(req)
+	case wire.MsgSetParity:
+		return n.onSetParity(req)
+	case wire.MsgStats:
+		return n.onStats(req)
+	default:
+		return nil, fmt.Errorf("runtime: node %d: unhandled message %v", n.id, req.Type)
+	}
+}
+
+func (n *Node) onConfigure(req *wire.Message) (*wire.Message, error) {
+	var cfg NodeConfig
+	if err := decodeJSON(req.Text, &cfg); err != nil {
+		return nil, fmt.Errorf("runtime: bad configure payload: %w", err)
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.id = cfg.NodeID
+	n.peers = cfg.Peers
+	n.compress = cfg.Compress
+	for _, vc := range cfg.VMs {
+		m, err := vm.NewMachine(vc.Name, vc.Pages, vc.PageSize)
+		if err != nil {
+			return nil, err
+		}
+		mem, err := core.NewMember(m)
+		if err != nil {
+			return nil, err
+		}
+		n.members[vc.Name] = &memberState{
+			mem:      mem,
+			workload: vm.NewUniform(vc.Seed),
+			cfg:      vc,
+		}
+	}
+	for _, kc := range cfg.Keepers {
+		// Initial member images are all-zero, so the initial parity block is
+		// all-zero too: no bulk transfer needed at setup.
+		initial := map[string][]byte{}
+		for _, name := range kc.Members {
+			initial[name] = make([]byte, kc.Pages*kc.PageSize)
+		}
+		k, err := core.NewMKeeper(kc.Group, kc.ParityIdx, kc.Tolerance, initial)
+		if err != nil {
+			return nil, err
+		}
+		n.keepers[kc.Group] = &keeperState{keeper: k, cfg: kc, staged: map[string]*core.Delta{}}
+	}
+	return &wire.Message{Type: wire.MsgConfigureOK}, nil
+}
+
+func (n *Node) onStep(req *wire.Message) (*wire.Message, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, ms := range n.members {
+		for i := uint64(0); i < req.Arg; i++ {
+			ms.workload.Step(ms.mem.Machine())
+		}
+	}
+	return &wire.Message{Type: wire.MsgStepOK}, nil
+}
+
+// onPrepare captures a delta for every hosted member and ships it to every
+// parity node of the member's group, staging everything for commit.
+func (n *Node) onPrepare(req *wire.Message) (*wire.Message, error) {
+	n.mu.Lock()
+	type shipment struct {
+		ms    *memberState
+		delta *core.Delta
+	}
+	var out []shipment
+	for _, ms := range n.members {
+		if ms.staged != nil {
+			n.mu.Unlock()
+			return nil, fmt.Errorf("runtime: node %d: %q already has a staged delta", n.id, ms.cfg.Name)
+		}
+		d, err := ms.mem.CaptureDelta()
+		if err != nil {
+			n.mu.Unlock()
+			return nil, err
+		}
+		ms.staged = d
+		out = append(out, shipment{ms: ms, delta: d})
+	}
+	n.mu.Unlock()
+
+	for _, sh := range out {
+		payload := encodeDelta(sh.delta, n.compress)
+		n.mu.Lock()
+		n.stats.DeltasSent += int64(len(sh.ms.cfg.ParityNodes))
+		n.stats.DeltaRawBytes += sh.delta.PayloadBytes() * int64(len(sh.ms.cfg.ParityNodes))
+		n.stats.DeltaWireBytes += int64(len(payload)) * int64(len(sh.ms.cfg.ParityNodes))
+		n.mu.Unlock()
+		msg := &wire.Message{
+			Type: wire.MsgDelta, Epoch: sh.delta.Epoch,
+			Group: int32(sh.ms.cfg.Group), VM: sh.delta.VMID, Payload: payload,
+		}
+		for _, parity := range sh.ms.cfg.ParityNodes {
+			reply, err := n.callPeer(parity, msg)
+			if err != nil {
+				return nil, fmt.Errorf("runtime: shipping delta of %q to node %d: %w", sh.delta.VMID, parity, err)
+			}
+			if reply.Type != wire.MsgDeltaOK {
+				return nil, fmt.Errorf("runtime: unexpected reply %v to delta", reply.Type)
+			}
+		}
+	}
+	return &wire.Message{Type: wire.MsgPrepareOK, Epoch: req.Epoch}, nil
+}
+
+func (n *Node) onDelta(req *wire.Message) (*wire.Message, error) {
+	d, err := decodeDelta(req.Payload)
+	if err != nil {
+		return nil, err
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	ks, ok := n.keepers[int(req.Group)]
+	if !ok {
+		return nil, fmt.Errorf("runtime: node %d keeps no parity for group %d", n.id, req.Group)
+	}
+	if prev, dup := ks.staged[d.VMID]; dup && prev.Epoch != d.Epoch {
+		return nil, fmt.Errorf("runtime: conflicting staged delta for %q", d.VMID)
+	}
+	ks.staged[d.VMID] = d
+	return &wire.Message{Type: wire.MsgDeltaOK, Epoch: d.Epoch}, nil
+}
+
+func (n *Node) onCommit(req *wire.Message) (*wire.Message, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, ks := range n.keepers {
+		for id, d := range ks.staged {
+			if err := ks.keeper.ApplyDelta(d); err != nil {
+				return nil, fmt.Errorf("runtime: commit group %d member %q: %w", ks.keeper.Group(), id, err)
+			}
+			delete(ks.staged, id)
+		}
+	}
+	for _, ms := range n.members {
+		ms.staged = nil // capture already advanced the committed image
+	}
+	return &wire.Message{Type: wire.MsgCommitOK, Epoch: req.Epoch}, nil
+}
+
+func (n *Node) onAbort(req *wire.Message) (*wire.Message, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, ks := range n.keepers {
+		ks.staged = map[string]*core.Delta{}
+	}
+	for _, ms := range n.members {
+		if ms.staged == nil {
+			continue
+		}
+		if err := ms.mem.UndoCapture(ms.staged); err != nil {
+			return nil, err
+		}
+		ms.staged = nil
+	}
+	return &wire.Message{Type: wire.MsgAbortOK, Epoch: req.Epoch}, nil
+}
+
+func (n *Node) onGetImage(req *wire.Message) (*wire.Message, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	ms, ok := n.members[req.VM]
+	if !ok {
+		return nil, fmt.Errorf("runtime: node %d does not host %q", n.id, req.VM)
+	}
+	return &wire.Message{
+		Type: wire.MsgImage, VM: req.VM,
+		Epoch:   ms.mem.Epoch(),
+		Payload: ms.mem.CommittedImage(),
+	}, nil
+}
+
+// onGetParity serves this node's parity block for a group.
+func (n *Node) onGetParity(req *wire.Message) (*wire.Message, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	ks, ok := n.keepers[int(req.Group)]
+	if !ok {
+		return nil, fmt.Errorf("runtime: node %d keeps no parity for group %d", n.id, req.Group)
+	}
+	return &wire.Message{
+		Type: wire.MsgGetParityOK, Group: req.Group,
+		Arg:     uint64(ks.keeper.ParityIndex()),
+		Payload: ks.keeper.Parity(),
+	}, nil
+}
+
+// onReconstruct runs on a surviving parity node: it pulls survivor images
+// and the group's alive parity blocks (its own plus peers'), solves the
+// erasure system, and returns the requested lost VM's committed image.
+func (n *Node) onReconstruct(req *wire.Message) (*wire.Message, error) {
+	var cfg reconstructConfig
+	if err := decodeJSON(req.Text, &cfg); err != nil {
+		return nil, err
+	}
+	n.mu.Lock()
+	ks, ok := n.keepers[cfg.Group]
+	n.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("runtime: node %d keeps no parity for group %d", n.id, cfg.Group)
+	}
+	survivors := map[string][]byte{}
+	var epoch uint64
+	for member, nodeID := range cfg.Survivors {
+		img, err := n.callPeer(nodeID, &wire.Message{Type: wire.MsgGetImage, VM: member})
+		if err != nil {
+			return nil, fmt.Errorf("runtime: fetching survivor %q from node %d: %w", member, nodeID, err)
+		}
+		survivors[member] = img.Payload
+		epoch = img.Epoch
+	}
+	parityBlocks := map[int][]byte{}
+	for idx, nodeID := range cfg.ParityPeers {
+		pb, err := n.callPeer(nodeID, &wire.Message{Type: wire.MsgGetParity, Group: int32(cfg.Group)})
+		if err != nil {
+			return nil, fmt.Errorf("runtime: fetching parity[%d] from node %d: %w", idx, nodeID, err)
+		}
+		if int(pb.Arg) != idx {
+			return nil, fmt.Errorf("runtime: node %d served parity[%d], wanted [%d]", nodeID, pb.Arg, idx)
+		}
+		parityBlocks[idx] = pb.Payload
+	}
+	rebuilt, err := core.ReconstructMembers(cfg.Tolerance, ks.keeper.Members(), survivors, parityBlocks, cfg.AllLost)
+	if err != nil {
+		return nil, err
+	}
+	img, ok := rebuilt[cfg.LostVM]
+	if !ok {
+		return nil, fmt.Errorf("runtime: reconstruction did not yield %q", cfg.LostVM)
+	}
+	return &wire.Message{Type: wire.MsgReconstructOK, VM: cfg.LostVM, Epoch: epoch, Payload: img}, nil
+}
+
+func (n *Node) onInstall(req *wire.Message) (*wire.Message, error) {
+	var cfg installConfig
+	if err := decodeJSON(req.Text, &cfg); err != nil {
+		return nil, err
+	}
+	m, err := vm.NewMachine(cfg.Name, cfg.Pages, cfg.PageSize)
+	if err != nil {
+		return nil, err
+	}
+	mem, err := core.NewMember(m)
+	if err != nil {
+		return nil, err
+	}
+	if err := mem.RestoreImage(req.Payload, cfg.Epoch); err != nil {
+		return nil, err
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, dup := n.members[cfg.Name]; dup {
+		return nil, fmt.Errorf("runtime: node %d already hosts %q", n.id, cfg.Name)
+	}
+	n.members[cfg.Name] = &memberState{
+		mem:      mem,
+		workload: vm.NewUniform(cfg.Seed),
+		cfg:      cfg.VMConfig,
+	}
+	return &wire.Message{Type: wire.MsgInstallOK, VM: cfg.Name}, nil
+}
+
+func (n *Node) onChecksum(req *wire.Message) (*wire.Message, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	ms, ok := n.members[req.VM]
+	if !ok {
+		return nil, fmt.Errorf("runtime: node %d does not host %q", n.id, req.VM)
+	}
+	h := fnv.New64a()
+	h.Write(ms.mem.CommittedImage())
+	return &wire.Message{Type: wire.MsgChecksumOK, VM: req.VM, Arg: h.Sum64(), Epoch: ms.mem.Epoch()}, nil
+}
+
+func (n *Node) onRollback(req *wire.Message) (*wire.Message, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, ms := range n.members {
+		// An uncommitted prepared capture must be undone first so the
+		// committed image returns to the last COMMIT-ed epoch; then the
+		// machine state rolls back to it.
+		if ms.staged != nil {
+			if err := ms.mem.UndoCapture(ms.staged); err != nil {
+				return nil, err
+			}
+			ms.staged = nil
+		}
+		if err := ms.mem.Rollback(); err != nil {
+			return nil, err
+		}
+	}
+	for _, ks := range n.keepers {
+		ks.staged = map[string]*core.Delta{}
+	}
+	return &wire.Message{Type: wire.MsgRollbackOK}, nil
+}
+
+// onRebuildKeeper makes this node the holder of one parity block of a group
+// by pulling every member's committed image and folding them.
+func (n *Node) onRebuildKeeper(req *wire.Message) (*wire.Message, error) {
+	var cfg rebuildKeeperConfig
+	if err := decodeJSON(req.Text, &cfg); err != nil {
+		return nil, err
+	}
+	initial := map[string][]byte{}
+	for _, member := range cfg.Members {
+		nodeID, ok := cfg.MemberNodes[member]
+		if !ok {
+			return nil, fmt.Errorf("runtime: rebuild keeper: no node for member %q", member)
+		}
+		img, err := n.callPeer(nodeID, &wire.Message{Type: wire.MsgGetImage, VM: member})
+		if err != nil {
+			return nil, fmt.Errorf("runtime: rebuild keeper: fetch %q: %w", member, err)
+		}
+		initial[member] = img.Payload
+	}
+	k, err := core.NewMKeeper(cfg.Group, cfg.ParityIdx, cfg.Tolerance, initial)
+	if err != nil {
+		return nil, err
+	}
+	if err := k.SetEpochs(cfg.Epochs); err != nil {
+		return nil, err
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.keepers[cfg.Group] = &keeperState{keeper: k, cfg: cfg.KeeperConfig, staged: map[string]*core.Delta{}}
+	return &wire.Message{Type: wire.MsgRebuildKeeperOK, Group: int32(cfg.Group)}, nil
+}
+
+// onEvict removes a hosted VM and returns its committed image and protocol
+// epoch so the coordinator can install it elsewhere. The VM must be
+// quiescent (no dirty pages, no staged delta): rebalancing runs immediately
+// after a commit, so live state equals committed state and the move is a
+// plain image transfer.
+func (n *Node) onEvict(req *wire.Message) (*wire.Message, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	ms, ok := n.members[req.VM]
+	if !ok {
+		return nil, fmt.Errorf("runtime: node %d does not host %q", n.id, req.VM)
+	}
+	if ms.staged != nil {
+		return nil, fmt.Errorf("runtime: %q has a staged delta; commit or abort first", req.VM)
+	}
+	if ms.mem.Machine().DirtyCount() != 0 {
+		return nil, fmt.Errorf("runtime: %q has uncommitted dirty pages; checkpoint first", req.VM)
+	}
+	img := ms.mem.CommittedImage()
+	epoch := ms.mem.Epoch()
+	delete(n.members, req.VM)
+	return &wire.Message{Type: wire.MsgEvictOK, VM: req.VM, Epoch: epoch, Payload: img}, nil
+}
+
+// onStats serves the node's protocol counters.
+func (n *Node) onStats(req *wire.Message) (*wire.Message, error) {
+	n.mu.Lock()
+	st := n.stats
+	n.mu.Unlock()
+	text, err := encodeJSON(st)
+	if err != nil {
+		return nil, err
+	}
+	return &wire.Message{Type: wire.MsgStatsOK, Text: text}, nil
+}
+
+// onSetParity points hosted members of a group at a new parity node for one
+// parity block (after a keeper was re-homed during recovery). Epoch carries
+// the parity index, Arg the new node id.
+func (n *Node) onSetParity(req *wire.Message) (*wire.Message, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	idx := int(req.Epoch)
+	for _, ms := range n.members {
+		if ms.cfg.Group != int(req.Group) {
+			continue
+		}
+		if idx < 0 || idx >= len(ms.cfg.ParityNodes) {
+			return nil, fmt.Errorf("runtime: parity index %d out of range for %q", idx, ms.cfg.Name)
+		}
+		ms.cfg.ParityNodes[idx] = int(req.Arg)
+	}
+	return &wire.Message{Type: wire.MsgSetParityOK, Group: req.Group}, nil
+}
+
+// SetPeers updates the peer address map (coordinator uses it after
+// recovery re-homes responsibilities; addresses of dead nodes stay mapped
+// but are never dialed again).
+func (n *Node) SetPeers(peers map[int]string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.peers = peers
+}

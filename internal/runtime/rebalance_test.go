@@ -1,0 +1,130 @@
+package runtime
+
+import (
+	"testing"
+
+	"dvdc/internal/wire"
+)
+
+// TestRepairAndRebalanceOverTCP runs the full lifecycle on the paper's
+// 4-node layout across real sockets: degraded recovery, daemon replacement
+// on the same address, repair, rebalance, and a subsequent failure that is
+// again recoverable.
+func TestRepairAndRebalanceOverTCP(t *testing.T) {
+	coord, nodes := testCluster(t, paperLayout(t))
+	if err := coord.Step(50); err != nil {
+		t.Fatal(err)
+	}
+	if err := coord.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	committed, err := coord.Checksums()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Node 1 dies; recovery is degraded on the tight layout.
+	addr := nodes[1].Addr()
+	nodes[1].Close()
+	plan, err := coord.RecoverNode(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.Degraded {
+		t.Fatal("expected degraded recovery")
+	}
+	if coord.Layout().Validate() == nil {
+		t.Fatal("layout should be non-orthogonal")
+	}
+
+	// A replacement daemon comes up on the same address.
+	fresh, err := NewNode(addr)
+	if err != nil {
+		t.Fatalf("replacement daemon on %s: %v", addr, err)
+	}
+	t.Cleanup(func() { fresh.Close() })
+	if err := coord.Repair(1); err != nil {
+		t.Fatal(err)
+	}
+
+	// Rebalance right after the recovery (state is committed: recovery
+	// rolled everyone back, no steps since).
+	rb, err := coord.Rebalance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rb.Steps) == 0 {
+		t.Fatal("rebalance should move something")
+	}
+	if err := coord.Layout().Validate(); err != nil {
+		t.Errorf("layout not orthogonal after rebalance: %v", err)
+	}
+	after, err := coord.Checksums()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for vmName, want := range committed {
+		if after[vmName] != want {
+			t.Errorf("VM %q state changed through repair+rebalance", vmName)
+		}
+	}
+
+	// Full protection is back: another round and another failure recover.
+	if err := coord.Step(30); err != nil {
+		t.Fatal(err)
+	}
+	if err := coord.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	nodes[3].Close()
+	if _, err := coord.RecoverNode(3); err != nil {
+		t.Fatalf("failure after rebalance: %v", err)
+	}
+}
+
+func TestRebalanceNoopWhenOrthogonal(t *testing.T) {
+	coord, _ := testCluster(t, paperLayout(t))
+	if err := coord.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	plan, err := coord.Rebalance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Steps) != 0 {
+		t.Errorf("orthogonal cluster rebalanced %d steps", len(plan.Steps))
+	}
+}
+
+func TestEvictRejectsDirtyVM(t *testing.T) {
+	coord, nodes := testCluster(t, paperLayout(t))
+	if err := coord.Step(10); err != nil {
+		t.Fatal(err)
+	}
+	// Find a VM on node 0 and try to evict while dirty.
+	vmName := coord.Layout().VMsOnNode(0)[0]
+	if _, err := nodes[0].handle(evictMsg(vmName)); err == nil {
+		t.Error("evicting a dirty VM should fail")
+	}
+	if err := coord.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nodes[0].handle(evictMsg(vmName)); err != nil {
+		t.Errorf("evicting a quiescent VM should succeed: %v", err)
+	}
+	if _, err := nodes[0].handle(evictMsg(vmName)); err == nil {
+		t.Error("double evict should fail")
+	}
+}
+
+func TestRepairValidation(t *testing.T) {
+	coord, _ := testCluster(t, paperLayout(t))
+	if err := coord.Repair(0); err == nil {
+		t.Error("repairing an alive node should fail")
+	}
+}
+
+// evictMsg builds an evict request for a VM.
+func evictMsg(vmName string) *wire.Message {
+	return &wire.Message{Type: wire.MsgEvict, VM: vmName}
+}

@@ -1,0 +1,246 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineStartsAtZero(t *testing.T) {
+	e := New(1)
+	if e.Now() != 0 {
+		t.Errorf("Now = %v, want 0", e.Now())
+	}
+	if e.Pending() != 0 || e.Fired() != 0 {
+		t.Error("fresh engine should have no pending or fired events")
+	}
+}
+
+func TestEventsRunInTimeOrder(t *testing.T) {
+	e := New(1)
+	var order []int
+	e.At(3, func() { order = append(order, 3) })
+	e.At(1, func() { order = append(order, 1) })
+	e.At(2, func() { order = append(order, 2) })
+	e.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	if e.Now() != 3 {
+		t.Errorf("final time %v, want 3", e.Now())
+	}
+}
+
+func TestSameTimeEventsRunFIFO(t *testing.T) {
+	e := New(1)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(5, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i := range order {
+		if order[i] != i {
+			t.Fatalf("FIFO violated: %v", order)
+		}
+	}
+}
+
+func TestAfterSchedulesRelative(t *testing.T) {
+	e := New(1)
+	var at float64 = -1
+	e.At(10, func() {
+		e.After(5, func() { at = e.Now() })
+	})
+	e.Run()
+	if at != 15 {
+		t.Errorf("After fired at %v, want 15", at)
+	}
+}
+
+func TestCancelPreventsFiring(t *testing.T) {
+	e := New(1)
+	fired := false
+	tm := e.At(1, func() { fired = true })
+	tm.Cancel()
+	e.Run()
+	if fired {
+		t.Error("cancelled timer fired")
+	}
+	if !tm.Cancelled() {
+		t.Error("Cancelled() should be true")
+	}
+}
+
+func TestCancelFromInsideEarlierEvent(t *testing.T) {
+	e := New(1)
+	fired := false
+	later := e.At(2, func() { fired = true })
+	e.At(1, func() { later.Cancel() })
+	e.Run()
+	if fired {
+		t.Error("timer cancelled at t=1 still fired at t=2")
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	e := New(1)
+	e.At(10, func() {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Error("scheduling in the past should panic")
+		}
+	}()
+	e.At(5, func() {})
+}
+
+func TestNegativeAfterPanics(t *testing.T) {
+	e := New(1)
+	defer func() {
+		if recover() == nil {
+			t.Error("negative After should panic")
+		}
+	}()
+	e.After(-1, func() {})
+}
+
+func TestNilCallbackPanics(t *testing.T) {
+	e := New(1)
+	defer func() {
+		if recover() == nil {
+			t.Error("nil callback should panic")
+		}
+	}()
+	e.At(1, nil)
+}
+
+func TestRunUntilAdvancesClockToDeadline(t *testing.T) {
+	e := New(1)
+	var fired []float64
+	e.At(1, func() { fired = append(fired, e.Now()) })
+	e.At(5, func() { fired = append(fired, e.Now()) })
+	e.RunUntil(3)
+	if len(fired) != 1 || fired[0] != 1 {
+		t.Errorf("fired = %v, want [1]", fired)
+	}
+	if e.Now() != 3 {
+		t.Errorf("Now = %v, want 3", e.Now())
+	}
+	e.RunUntil(10)
+	if len(fired) != 2 || fired[1] != 5 {
+		t.Errorf("fired = %v, want [1 5]", fired)
+	}
+}
+
+func TestRunUntilIncludesDeadlineEvents(t *testing.T) {
+	e := New(1)
+	fired := false
+	e.At(3, func() { fired = true })
+	e.RunUntil(3)
+	if !fired {
+		t.Error("event exactly at deadline should fire")
+	}
+}
+
+func TestHaltStopsRun(t *testing.T) {
+	e := New(1)
+	count := 0
+	for i := 1; i <= 10; i++ {
+		e.At(float64(i), func() {
+			count++
+			if count == 3 {
+				e.Halt()
+			}
+		})
+	}
+	e.Run()
+	if count != 3 {
+		t.Errorf("ran %d events after Halt, want 3", count)
+	}
+	e.Resume()
+	e.Run()
+	if count != 10 {
+		t.Errorf("after Resume ran %d total, want 10", count)
+	}
+}
+
+func TestCascadingEvents(t *testing.T) {
+	// An event chain where each event schedules the next; models the
+	// checkpoint-interval loops built on the engine.
+	e := New(1)
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n < 100 {
+			e.After(1, tick)
+		}
+	}
+	e.After(1, tick)
+	e.Run()
+	if n != 100 {
+		t.Errorf("ticks = %d, want 100", n)
+	}
+	if e.Now() != 100 {
+		t.Errorf("Now = %v, want 100", e.Now())
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	run := func() []float64 {
+		e := New(12345)
+		var times []float64
+		var tick func()
+		tick = func() {
+			times = append(times, e.Now())
+			if len(times) < 200 {
+				e.After(e.RNG().ExpFloat64(), tick)
+			}
+		}
+		e.After(0, tick)
+		e.Run()
+		return times
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("replay diverged at %d: %v != %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestFiredCountsOnlyExecuted(t *testing.T) {
+	e := New(1)
+	tm := e.At(1, func() {})
+	tm.Cancel()
+	e.At(2, func() {})
+	e.Run()
+	if e.Fired() != 1 {
+		t.Errorf("Fired = %d, want 1", e.Fired())
+	}
+}
+
+// Property: for any set of event times, execution order is sorted.
+func TestQuickExecutionOrderSorted(t *testing.T) {
+	f := func(raw []uint16) bool {
+		e := New(1)
+		var fired []float64
+		for _, r := range raw {
+			at := float64(r)
+			e.At(at, func() { fired = append(fired, at) })
+		}
+		e.Run()
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return len(fired) == len(raw)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,104 @@
+// Package storage models the secondary-storage side of the disk-full
+// checkpointing baseline: a disk with positioning cost and sequential
+// bandwidth, and a NAS that serializes every client behind one ingest link
+// and one disk array. "The network step in the baseline is bottlenecked by a
+// single NAS" (Sec. V-B) is exactly this structure.
+package storage
+
+import (
+	"fmt"
+	"math"
+
+	"dvdc/internal/netsim"
+)
+
+// Disk is a simple positioning + streaming model.
+type Disk struct {
+	SeekSec  float64 // average positioning time per operation
+	WriteBps float64 // sequential write bandwidth, bytes/sec
+	ReadBps  float64 // sequential read bandwidth, bytes/sec
+}
+
+// RAIDArray is an era-typical NAS backing array: ~200 MiB/s sequential.
+var RAIDArray = Disk{SeekSec: 8e-3, WriteBps: 200 * 1 << 20, ReadBps: 220 * 1 << 20}
+
+// Validate checks the disk parameters.
+func (d Disk) Validate() error {
+	if d.WriteBps <= 0 || d.ReadBps <= 0 {
+		return fmt.Errorf("storage: invalid disk bandwidth write=%v read=%v", d.WriteBps, d.ReadBps)
+	}
+	if d.SeekSec < 0 || math.IsNaN(d.SeekSec) {
+		return fmt.Errorf("storage: invalid seek time %v", d.SeekSec)
+	}
+	return nil
+}
+
+// WriteTime returns the time to persist bytes as one sequential stream.
+func (d Disk) WriteTime(bytes float64) float64 {
+	if bytes <= 0 {
+		return 0
+	}
+	return d.SeekSec + bytes/d.WriteBps
+}
+
+// ReadTime returns the time to read bytes back as one sequential stream.
+func (d Disk) ReadTime(bytes float64) float64 {
+	if bytes <= 0 {
+		return 0
+	}
+	return d.SeekSec + bytes/d.ReadBps
+}
+
+// NAS is a network-attached store: one ingest link shared by every client,
+// in front of one disk array.
+type NAS struct {
+	Ingest netsim.Link
+	Array  Disk
+}
+
+// DefaultNAS pairs a GigE front end with the RAID array model.
+func DefaultNAS() NAS { return NAS{Ingest: netsim.GigE, Array: RAIDArray} }
+
+// Validate checks the NAS parameters.
+func (n NAS) Validate() error {
+	if err := n.Ingest.Validate(); err != nil {
+		return err
+	}
+	return n.Array.Validate()
+}
+
+// CheckpointFlushTime is the end-to-end time for `clients` nodes to each
+// ship bytesPerClient of checkpoint data into the NAS and have it reach the
+// platters. Transfers serialize on the ingest link; the disk write streams
+// behind it, so the slower of the two stages plus one positioning cost
+// bounds completion (store-and-forward pipeline).
+func (n NAS) CheckpointFlushTime(clients int, bytesPerClient float64) (float64, error) {
+	if clients < 0 || bytesPerClient < 0 {
+		return 0, fmt.Errorf("storage: negative flush parameters clients=%d bytes=%v", clients, bytesPerClient)
+	}
+	if err := n.Validate(); err != nil {
+		return 0, err
+	}
+	if clients == 0 || bytesPerClient == 0 {
+		return 0, nil
+	}
+	total := float64(clients) * bytesPerClient
+	netTime := n.Ingest.LatencySec + total/n.Ingest.BandwidthBps
+	diskTime := n.Array.WriteTime(total)
+	return math.Max(netTime, diskTime), nil
+}
+
+// RestoreFetchTime is the time for one node to read bytes of checkpoint back
+// from the NAS during recovery.
+func (n NAS) RestoreFetchTime(bytes float64) (float64, error) {
+	if bytes < 0 {
+		return 0, fmt.Errorf("storage: negative restore size %v", bytes)
+	}
+	if err := n.Validate(); err != nil {
+		return 0, err
+	}
+	if bytes == 0 {
+		return 0, nil
+	}
+	return math.Max(n.Ingest.TransferTime(bytes), n.Array.ReadTime(bytes)), nil
+}

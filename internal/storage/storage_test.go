@@ -1,0 +1,113 @@
+package storage
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"dvdc/internal/netsim"
+)
+
+func TestDiskValidate(t *testing.T) {
+	if err := RAIDArray.Validate(); err != nil {
+		t.Errorf("RAIDArray invalid: %v", err)
+	}
+	bad := []Disk{
+		{SeekSec: 0, WriteBps: 0, ReadBps: 1},
+		{SeekSec: 0, WriteBps: 1, ReadBps: 0},
+		{SeekSec: -1, WriteBps: 1, ReadBps: 1},
+	}
+	for i, d := range bad {
+		if err := d.Validate(); err == nil {
+			t.Errorf("case %d: invalid disk accepted", i)
+		}
+	}
+}
+
+func TestDiskTimes(t *testing.T) {
+	d := Disk{SeekSec: 0.01, WriteBps: 100, ReadBps: 200}
+	if got := d.WriteTime(100); math.Abs(got-1.01) > 1e-12 {
+		t.Errorf("WriteTime = %v, want 1.01", got)
+	}
+	if got := d.ReadTime(100); math.Abs(got-0.51) > 1e-12 {
+		t.Errorf("ReadTime = %v, want 0.51", got)
+	}
+	if d.WriteTime(0) != 0 || d.ReadTime(0) != 0 {
+		t.Error("zero-byte IO should cost nothing")
+	}
+}
+
+func TestNASFlushBottleneckSelection(t *testing.T) {
+	// Slow network, fast disk: network time dominates.
+	n := NAS{
+		Ingest: netsim.Link{BandwidthBps: 100, LatencySec: 0},
+		Array:  Disk{SeekSec: 0, WriteBps: 1e9, ReadBps: 1e9},
+	}
+	got, err := n.CheckpointFlushTime(4, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 4 {
+		t.Errorf("flush = %v, want 4 (network bound)", got)
+	}
+	// Fast network, slow disk: disk time dominates.
+	n = NAS{
+		Ingest: netsim.Link{BandwidthBps: 1e9, LatencySec: 0},
+		Array:  Disk{SeekSec: 1, WriteBps: 100, ReadBps: 100},
+	}
+	got, err = n.CheckpointFlushTime(4, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 5 {
+		t.Errorf("flush = %v, want 5 (disk bound)", got)
+	}
+}
+
+func TestNASFlushZeroAndNegative(t *testing.T) {
+	n := DefaultNAS()
+	got, err := n.CheckpointFlushTime(0, 100)
+	if err != nil || got != 0 {
+		t.Errorf("zero clients: %v, %v", got, err)
+	}
+	if _, err := n.CheckpointFlushTime(-1, 100); err == nil {
+		t.Error("negative clients should fail")
+	}
+	if _, err := n.CheckpointFlushTime(1, -5); err == nil {
+		t.Error("negative bytes should fail")
+	}
+}
+
+func TestRestoreFetchTime(t *testing.T) {
+	n := NAS{
+		Ingest: netsim.Link{BandwidthBps: 100, LatencySec: 0},
+		Array:  Disk{SeekSec: 0, WriteBps: 100, ReadBps: 50},
+	}
+	got, err := n.RestoreFetchTime(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 2 {
+		t.Errorf("restore = %v, want 2 (disk read bound)", got)
+	}
+	if _, err := n.RestoreFetchTime(-1); err == nil {
+		t.Error("negative restore should fail")
+	}
+}
+
+// Property: flush time scales at least linearly with total volume.
+func TestQuickFlushMonotone(t *testing.T) {
+	n := DefaultNAS()
+	f := func(c1, c2 uint8, b uint16) bool {
+		ca, cb := int(c1%32), int(c2%32)
+		if ca > cb {
+			ca, cb = cb, ca
+		}
+		t1, err1 := n.CheckpointFlushTime(ca, float64(b))
+		t2, err2 := n.CheckpointFlushTime(cb, float64(b))
+		return err1 == nil && err2 == nil && t1 <= t2+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

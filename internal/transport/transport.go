@@ -1,0 +1,167 @@
+// Package transport carries wire.Messages over TCP: a framed connection
+// with single-in-flight request/response semantics, and a server that runs
+// one handler goroutine per accepted connection. The distributed DVDC
+// runtime's coordinator-to-node and node-to-node traffic all rides on it.
+package transport
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"dvdc/internal/wire"
+)
+
+// Conn is a framed connection. Call is safe for concurrent use; each call
+// holds the connection for one request/response exchange.
+type Conn struct {
+	mu sync.Mutex
+	c  net.Conn
+	r  *bufio.Reader
+	w  *bufio.Writer
+}
+
+// Dial connects to a runtime endpoint.
+func Dial(addr string) (*Conn, error) {
+	c, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	return newConn(c), nil
+}
+
+func newConn(c net.Conn) *Conn {
+	return &Conn{c: c, r: bufio.NewReaderSize(c, 1<<16), w: bufio.NewWriterSize(c, 1<<16)}
+}
+
+// Call sends a request and waits for its reply. A reply of type MsgError is
+// converted into a Go error.
+func (c *Conn) Call(req *wire.Message) (*wire.Message, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := wire.WriteFrame(c.w, req); err != nil {
+		return nil, err
+	}
+	if err := c.w.Flush(); err != nil {
+		return nil, err
+	}
+	resp, err := wire.ReadFrame(c.r)
+	if err != nil {
+		return nil, err
+	}
+	if err := resp.AsError(); err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+// Close shuts the connection down.
+func (c *Conn) Close() error { return c.c.Close() }
+
+// RemoteAddr returns the peer address.
+func (c *Conn) RemoteAddr() string { return c.c.RemoteAddr().String() }
+
+// Handler serves one request and returns the reply. Returning an error
+// sends a MsgError reply and keeps the connection open.
+type Handler func(req *wire.Message) (*wire.Message, error)
+
+// Server accepts framed connections and dispatches requests to a Handler.
+type Server struct {
+	ln      net.Listener
+	handler Handler
+	mu      sync.Mutex
+	conns   map[net.Conn]struct{}
+	done    chan struct{}
+	closing sync.Once
+	wg      sync.WaitGroup
+}
+
+// Listen starts a server on addr ("127.0.0.1:0" picks a free port).
+func Listen(addr string, h Handler) (*Server, error) {
+	if h == nil {
+		return nil, fmt.Errorf("transport: nil handler")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{ln: ln, handler: h, conns: map[net.Conn]struct{}{}, done: make(chan struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the bound address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		c, err := s.ln.Accept()
+		if err != nil {
+			select {
+			case <-s.done:
+				return
+			default:
+				// Transient accept error: back off briefly.
+				time.Sleep(10 * time.Millisecond)
+				continue
+			}
+		}
+		s.mu.Lock()
+		s.conns[c] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(c)
+	}
+}
+
+func (s *Server) serveConn(c net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, c)
+		s.mu.Unlock()
+		c.Close()
+	}()
+	r := bufio.NewReaderSize(c, 1<<16)
+	w := bufio.NewWriterSize(c, 1<<16)
+	for {
+		req, err := wire.ReadFrame(r)
+		if err != nil {
+			return // connection closed or corrupted; drop it
+		}
+		resp, herr := s.handler(req)
+		if herr != nil {
+			resp = wire.Errorf("%v", herr)
+		}
+		if resp == nil {
+			resp = wire.Errorf("transport: handler returned no reply for %v", req.Type)
+		}
+		if err := wire.WriteFrame(w, resp); err != nil {
+			return
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// Close stops accepting, closes all connections, and waits for handlers.
+// It is idempotent.
+func (s *Server) Close() error {
+	var err error
+	s.closing.Do(func() {
+		close(s.done)
+		err = s.ln.Close()
+		s.mu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.mu.Unlock()
+		s.wg.Wait()
+	})
+	return err
+}

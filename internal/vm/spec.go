@@ -1,0 +1,83 @@
+package vm
+
+import (
+	"fmt"
+	"math"
+)
+
+// DirtyModel predicts the size of a VM's dirty set (unique dirtied bytes)
+// after it has executed for a given interval since the last checkpoint. The
+// discrete-event simulations and the analytical model use this instead of
+// byte-real Machines: the paper's overhead arguments depend only on how many
+// bytes must move per checkpoint.
+type DirtyModel interface {
+	// DirtyBytes returns the expected dirty-set size in bytes after
+	// interval seconds of execution. It is nondecreasing in interval.
+	DirtyBytes(interval float64) float64
+}
+
+// LinearDirty dirties bytes at a constant rate up to a cap (the full image
+// or a configured working set). The classic simple model.
+type LinearDirty struct {
+	RatePerSec float64 // unique bytes dirtied per second while below cap
+	CapBytes   float64 // maximum dirty-set size
+}
+
+// DirtyBytes implements DirtyModel.
+func (d LinearDirty) DirtyBytes(interval float64) float64 {
+	if interval <= 0 {
+		return 0
+	}
+	return math.Min(d.RatePerSec*interval, d.CapBytes)
+}
+
+// SaturatingDirty models re-dirtying: writes land at WriteRate bytes/sec but
+// repeatedly hit the same working set, so the unique dirty set approaches
+// WSSBytes exponentially: D(t) = WSS * (1 - exp(-rate*t/WSS)). This is the
+// page-locality behaviour Sec. II-B1 describes.
+type SaturatingDirty struct {
+	WriteRate float64 // gross write throughput, bytes/sec
+	WSSBytes  float64 // working-set size the dirty set saturates to
+}
+
+// DirtyBytes implements DirtyModel.
+func (d SaturatingDirty) DirtyBytes(interval float64) float64 {
+	if interval <= 0 || d.WSSBytes <= 0 {
+		return 0
+	}
+	return d.WSSBytes * (1 - math.Exp(-d.WriteRate*interval/d.WSSBytes))
+}
+
+// FullImageDirty always reports the whole image dirty: the model for
+// non-incremental ("normal" in Plank's terms) checkpointing, where every
+// checkpoint ships the full VM state.
+type FullImageDirty struct {
+	ImageBytes float64
+}
+
+// DirtyBytes implements DirtyModel.
+func (d FullImageDirty) DirtyBytes(interval float64) float64 { return d.ImageBytes }
+
+// Spec is the parametric description of one VM for simulation purposes.
+type Spec struct {
+	Name       string
+	ImageBytes int64      // full memory image size
+	Dirty      DirtyModel // dirty-set predictor
+}
+
+// Validate checks the spec for usability.
+func (s Spec) Validate() error {
+	if s.ImageBytes <= 0 {
+		return fmt.Errorf("vm: spec %q has non-positive image size %d", s.Name, s.ImageBytes)
+	}
+	if s.Dirty == nil {
+		return fmt.Errorf("vm: spec %q has no dirty model", s.Name)
+	}
+	return nil
+}
+
+// CheckpointBytes returns how many bytes a checkpoint taken after interval
+// seconds must capture under this spec, clamped to the image size.
+func (s Spec) CheckpointBytes(interval float64) float64 {
+	return math.Min(s.Dirty.DirtyBytes(interval), float64(s.ImageBytes))
+}

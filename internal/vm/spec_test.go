@@ -1,0 +1,93 @@
+package vm
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLinearDirtyCaps(t *testing.T) {
+	d := LinearDirty{RatePerSec: 100, CapBytes: 1000}
+	if got := d.DirtyBytes(5); got != 500 {
+		t.Errorf("DirtyBytes(5) = %v, want 500", got)
+	}
+	if got := d.DirtyBytes(100); got != 1000 {
+		t.Errorf("DirtyBytes(100) = %v, want cap 1000", got)
+	}
+	if got := d.DirtyBytes(0); got != 0 {
+		t.Errorf("DirtyBytes(0) = %v, want 0", got)
+	}
+	if got := d.DirtyBytes(-1); got != 0 {
+		t.Errorf("DirtyBytes(-1) = %v, want 0", got)
+	}
+}
+
+func TestSaturatingDirtyLimits(t *testing.T) {
+	d := SaturatingDirty{WriteRate: 1000, WSSBytes: 10000}
+	if got := d.DirtyBytes(0); got != 0 {
+		t.Errorf("DirtyBytes(0) = %v, want 0", got)
+	}
+	// Short interval: approximately linear (rate * t).
+	short := d.DirtyBytes(0.1)
+	if math.Abs(short-100)/100 > 0.01 {
+		t.Errorf("short-interval dirty %v, want ~100", short)
+	}
+	// Long interval: approaches but never exceeds WSS.
+	long := d.DirtyBytes(1e6)
+	if long > 10000 || long < 9999 {
+		t.Errorf("long-interval dirty %v, want ~10000", long)
+	}
+}
+
+func TestFullImageDirtyConstant(t *testing.T) {
+	d := FullImageDirty{ImageBytes: 1 << 30}
+	for _, iv := range []float64{0, 1, 1e9} {
+		if got := d.DirtyBytes(iv); got != 1<<30 {
+			t.Errorf("DirtyBytes(%v) = %v, want full image", iv, got)
+		}
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	good := Spec{Name: "a", ImageBytes: 1024, Dirty: LinearDirty{RatePerSec: 1, CapBytes: 10}}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid spec rejected: %v", err)
+	}
+	if err := (Spec{Name: "b", ImageBytes: 0, Dirty: good.Dirty}).Validate(); err == nil {
+		t.Error("zero image should fail")
+	}
+	if err := (Spec{Name: "c", ImageBytes: 10}).Validate(); err == nil {
+		t.Error("nil dirty model should fail")
+	}
+}
+
+func TestCheckpointBytesClampedToImage(t *testing.T) {
+	s := Spec{Name: "x", ImageBytes: 500, Dirty: LinearDirty{RatePerSec: 1000, CapBytes: 1e9}}
+	if got := s.CheckpointBytes(10); got != 500 {
+		t.Errorf("CheckpointBytes = %v, want image size 500", got)
+	}
+}
+
+// Property: all dirty models are nondecreasing in the interval.
+func TestQuickDirtyModelsMonotone(t *testing.T) {
+	models := []DirtyModel{
+		LinearDirty{RatePerSec: 123, CapBytes: 1e6},
+		SaturatingDirty{WriteRate: 500, WSSBytes: 1e5},
+		FullImageDirty{ImageBytes: 1e6},
+	}
+	f := func(aRaw, bRaw uint32) bool {
+		a, b := float64(aRaw)/1000, float64(bRaw)/1000
+		if a > b {
+			a, b = b, a
+		}
+		for _, m := range models {
+			if m.DirtyBytes(a) > m.DirtyBytes(b)+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

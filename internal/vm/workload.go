@@ -1,0 +1,184 @@
+package vm
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Workload dirties a Machine's pages the way a running guest would. Steps
+// is the unit the simulator drives: one Step is one page write.
+type Workload interface {
+	// Step performs one page write against m.
+	Step(m *Machine)
+	// Name identifies the workload in reports.
+	Name() string
+}
+
+// Uniform writes to pages chosen uniformly at random: the worst case for
+// incremental checkpointing because the dirty set spreads maximally.
+type Uniform struct {
+	rng   *rand.Rand
+	stamp uint64
+}
+
+// NewUniform builds a uniform workload with its own seeded source.
+func NewUniform(seed int64) *Uniform {
+	return &Uniform{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Step implements Workload.
+func (w *Uniform) Step(m *Machine) {
+	w.stamp++
+	m.TouchPage(w.rng.Intn(m.NumPages()), w.stamp)
+}
+
+// Name implements Workload.
+func (w *Uniform) Name() string { return "uniform" }
+
+// Sequential sweeps pages in order, wrapping around: models streaming
+// computations (e.g. large dense linear algebra passes).
+type Sequential struct {
+	next  int
+	stamp uint64
+}
+
+// NewSequential builds a sequential sweep workload.
+func NewSequential() *Sequential { return &Sequential{} }
+
+// Step implements Workload.
+func (w *Sequential) Step(m *Machine) {
+	w.stamp++
+	m.TouchPage(w.next%m.NumPages(), w.stamp)
+	w.next++
+}
+
+// Name implements Workload.
+func (w *Sequential) Name() string { return "sequential" }
+
+// Zipf concentrates writes on a hot set with Zipfian skew: the locality
+// case where incremental checkpointing shines ("the working set is so
+// comparatively small that saving only the changed state ... becomes a huge
+// advantage", Sec. II-B1).
+type Zipf struct {
+	rng   *rand.Rand
+	zipf  *rand.Zipf
+	n     uint64
+	stamp uint64
+	s     float64
+}
+
+// NewZipf builds a Zipf workload over n pages with skew s > 1. Typical
+// guest locality is s in [1.01, 2].
+func NewZipf(n int, s float64, seed int64) (*Zipf, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("vm: Zipf needs n > 0 pages, got %d", n)
+	}
+	if s <= 1 {
+		return nil, fmt.Errorf("vm: Zipf skew must be > 1, got %v", s)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	return &Zipf{
+		rng:  rng,
+		zipf: rand.NewZipf(rng, s, 1, uint64(n-1)),
+		n:    uint64(n),
+		s:    s,
+	}, nil
+}
+
+// Step implements Workload. Ranks are scattered over the page space with a
+// multiplicative hash so "hot" pages are not physically adjacent.
+func (w *Zipf) Step(m *Machine) {
+	w.stamp++
+	rank := w.zipf.Uint64()
+	page := (rank * 2654435761) % uint64(m.NumPages())
+	m.TouchPage(int(page), w.stamp)
+}
+
+// Name implements Workload.
+func (w *Zipf) Name() string { return fmt.Sprintf("zipf(s=%.2f)", w.s) }
+
+// Phased alternates between distinct working sets, switching every
+// PhaseLen steps: models application phase changes, which defeat a
+// checkpointing policy tuned to a single dirty rate and motivate the
+// adaptive-interval work the paper cites (Yi et al.).
+type Phased struct {
+	rng      *rand.Rand
+	phaseLen int
+	setFrac  float64
+	step     int
+	phase    int
+	stamp    uint64
+}
+
+// NewPhased builds a phased workload: each phase writes uniformly within a
+// contiguous window covering setFrac of memory; the window moves every
+// phaseLen steps.
+func NewPhased(phaseLen int, setFrac float64, seed int64) (*Phased, error) {
+	if phaseLen <= 0 {
+		return nil, fmt.Errorf("vm: phase length must be positive, got %d", phaseLen)
+	}
+	if setFrac <= 0 || setFrac > 1 {
+		return nil, fmt.Errorf("vm: working-set fraction must be in (0,1], got %v", setFrac)
+	}
+	return &Phased{rng: rand.New(rand.NewSource(seed)), phaseLen: phaseLen, setFrac: setFrac}, nil
+}
+
+// Step implements Workload.
+func (w *Phased) Step(m *Machine) {
+	if w.step > 0 && w.step%w.phaseLen == 0 {
+		w.phase++
+	}
+	w.step++
+	w.stamp++
+	n := m.NumPages()
+	window := int(float64(n) * w.setFrac)
+	if window < 1 {
+		window = 1
+	}
+	base := (w.phase * window) % n
+	m.TouchPage((base+w.rng.Intn(window))%n, w.stamp)
+}
+
+// Name implements Workload.
+func (w *Phased) Name() string { return fmt.Sprintf("phased(len=%d,ws=%.2f)", w.phaseLen, w.setFrac) }
+
+// Replay drives a machine from a recorded page-access sequence, wrapping
+// around when exhausted: the bridge from real guest traces (e.g. captured
+// with a hypervisor's dirty-logging) to the simulator. Page indices are
+// taken modulo the machine size so traces from differently-sized guests
+// still exercise the access pattern.
+type Replay struct {
+	seq   []int
+	pos   int
+	stamp uint64
+}
+
+// NewReplay builds a replay workload from a page-access sequence.
+func NewReplay(seq []int) (*Replay, error) {
+	if len(seq) == 0 {
+		return nil, fmt.Errorf("vm: replay needs a non-empty sequence")
+	}
+	for i, p := range seq {
+		if p < 0 {
+			return nil, fmt.Errorf("vm: replay entry %d is negative (%d)", i, p)
+		}
+	}
+	return &Replay{seq: append([]int(nil), seq...)}, nil
+}
+
+// Step implements Workload.
+func (w *Replay) Step(m *Machine) {
+	w.stamp++
+	m.TouchPage(w.seq[w.pos]%m.NumPages(), w.stamp)
+	w.pos = (w.pos + 1) % len(w.seq)
+}
+
+// Name implements Workload.
+func (w *Replay) Name() string { return fmt.Sprintf("replay(%d accesses)", len(w.seq)) }
+
+// Run advances the workload n steps against m.
+func Run(w Workload, m *Machine, n int) {
+	for i := 0; i < n; i++ {
+		w.Step(m)
+	}
+}

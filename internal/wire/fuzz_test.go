@@ -1,0 +1,45 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode throws arbitrary bytes at the frame decoder: it must never
+// panic, and everything it accepts must re-encode to the same bytes
+// (canonical form).
+func FuzzDecode(f *testing.F) {
+	f.Add(sample().Encode())
+	f.Add((&Message{Type: MsgHello}).Encode())
+	f.Add([]byte{})
+	f.Add([]byte("DVDCDVDCDVDCDVDCDVDCDVDC"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Decode(data)
+		if err != nil {
+			return
+		}
+		re := m.Encode()
+		if !bytes.Equal(re, data) {
+			t.Fatalf("accepted non-canonical frame: % x -> % x", data, re)
+		}
+	})
+}
+
+// FuzzRoundTrip checks that any field combination survives encode/decode.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add(uint8(1), uint64(7), int32(-2), uint64(9), "vm", "text", []byte{1, 2})
+	f.Fuzz(func(t *testing.T, typ uint8, epoch uint64, group int32, arg uint64, vm, text string, payload []byte) {
+		if len(vm) > 65535 {
+			vm = vm[:65535]
+		}
+		m := &Message{Type: MsgType(typ), Epoch: epoch, Group: group, Arg: arg, VM: vm, Text: text, Payload: payload}
+		got, err := Decode(m.Encode())
+		if err != nil {
+			t.Fatalf("own encoding rejected: %v", err)
+		}
+		if got.Type != m.Type || got.Epoch != epoch || got.Group != group ||
+			got.Arg != arg || got.VM != vm || got.Text != text || !bytes.Equal(got.Payload, payload) {
+			t.Fatal("round trip mismatch")
+		}
+	})
+}

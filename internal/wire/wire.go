@@ -1,0 +1,219 @@
+// Package wire defines the framed binary protocol the distributed DVDC
+// runtime speaks: a fixed header (type, epoch, group) plus string and byte
+// fields, length-prefixed on the stream. The format is deliberately dumb —
+// little-endian integers and explicit lengths — so a corrupted or truncated
+// frame is always detected by the decoder rather than misparsed.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// MsgType enumerates protocol messages.
+type MsgType uint8
+
+// Protocol messages. Requests originate at the coordinator unless noted.
+const (
+	MsgHello MsgType = iota + 1 // probe; node replies with MsgHelloOK
+	MsgHelloOK
+	MsgConfigure // assign VMs/keepers and peer addresses to a node
+	MsgConfigureOK
+	MsgStep // run workload steps on hosted VMs
+	MsgStepOK
+	MsgPrepare // phase 1: capture deltas, ship to parity peers, stage
+	MsgPrepareOK
+	MsgCommit // phase 2: fold staged deltas into parity
+	MsgCommitOK
+	MsgAbort // undo a prepared capture
+	MsgAbortOK
+	MsgDelta // node -> parity peer: staged checkpoint delta for one VM
+	MsgDeltaOK
+	MsgGetImage // fetch a member's committed image (recovery source)
+	MsgImage
+	MsgReconstruct // parity node: rebuild a lost VM from survivor images
+	MsgReconstructOK
+	MsgInstall // target node: adopt a VM with the given image
+	MsgInstallOK
+	MsgChecksum // fetch a VM's committed-image checksum (verification)
+	MsgChecksumOK
+	MsgRollback // roll every hosted VM back to its committed checkpoint
+	MsgRollbackOK
+	MsgRebuildKeeper // become parity node for a group: pull member images, XOR
+	MsgRebuildKeeperOK
+	MsgSetParity // update the parity-node assignment for hosted VMs of a group
+	MsgSetParityOK
+	MsgStats // fetch a node's protocol counters (JSON in Text)
+	MsgStatsOK
+	MsgGetParity // fetch a group's parity block held by this node
+	MsgGetParityOK
+	MsgEvict // remove a quiescent VM from this node, returning its committed image
+	MsgEvictOK
+	MsgError // any request may be answered with an error
+)
+
+// String names the message type.
+func (t MsgType) String() string {
+	names := map[MsgType]string{
+		MsgHello: "hello", MsgHelloOK: "hello-ok",
+		MsgConfigure: "configure", MsgConfigureOK: "configure-ok",
+		MsgStep: "step", MsgStepOK: "step-ok",
+		MsgPrepare: "prepare", MsgPrepareOK: "prepare-ok",
+		MsgCommit: "commit", MsgCommitOK: "commit-ok",
+		MsgAbort: "abort", MsgAbortOK: "abort-ok",
+		MsgDelta: "delta", MsgDeltaOK: "delta-ok",
+		MsgGetImage: "get-image", MsgImage: "image",
+		MsgReconstruct: "reconstruct", MsgReconstructOK: "reconstruct-ok",
+		MsgInstall: "install", MsgInstallOK: "install-ok",
+		MsgChecksum: "checksum", MsgChecksumOK: "checksum-ok",
+		MsgRollback: "rollback", MsgRollbackOK: "rollback-ok",
+		MsgRebuildKeeper: "rebuild-keeper", MsgRebuildKeeperOK: "rebuild-keeper-ok",
+		MsgSetParity: "set-parity", MsgSetParityOK: "set-parity-ok",
+		MsgStats: "stats", MsgStatsOK: "stats-ok",
+		MsgGetParity: "get-parity", MsgGetParityOK: "get-parity-ok",
+		MsgEvict: "evict", MsgEvictOK: "evict-ok",
+		MsgError: "error",
+	}
+	if n, ok := names[t]; ok {
+		return n
+	}
+	return fmt.Sprintf("MsgType(%d)", uint8(t))
+}
+
+// Message is one protocol frame.
+type Message struct {
+	Type    MsgType
+	Epoch   uint64
+	Group   int32
+	Arg     uint64 // small numeric argument (steps, seeds, checksums)
+	VM      string // subject VM, when applicable
+	Text    string // error text or auxiliary string (e.g. JSON config)
+	Payload []byte // bulk data: deltas, images
+}
+
+// MaxFrame bounds a frame to keep a corrupted length prefix from allocating
+// unbounded memory. 256 MiB accommodates any test-scale VM image.
+const MaxFrame = 256 << 20
+
+// ErrFrame marks malformed frames.
+var ErrFrame = errors.New("wire: malformed frame")
+
+// Encode renders the message body (without the stream length prefix).
+func (m *Message) Encode() []byte {
+	n := 1 + 8 + 4 + 8 + 2 + len(m.VM) + 4 + len(m.Text) + 4 + len(m.Payload)
+	out := make([]byte, 0, n)
+	out = append(out, byte(m.Type))
+	out = binary.LittleEndian.AppendUint64(out, m.Epoch)
+	out = binary.LittleEndian.AppendUint32(out, uint32(m.Group))
+	out = binary.LittleEndian.AppendUint64(out, m.Arg)
+	out = binary.LittleEndian.AppendUint16(out, uint16(len(m.VM)))
+	out = append(out, m.VM...)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(m.Text)))
+	out = append(out, m.Text...)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(m.Payload)))
+	out = append(out, m.Payload...)
+	return out
+}
+
+// Decode parses a message body.
+func Decode(b []byte) (*Message, error) {
+	if len(b) < 1+8+4+8+2 {
+		return nil, fmt.Errorf("%w: short header (%d bytes)", ErrFrame, len(b))
+	}
+	m := &Message{}
+	off := 0
+	m.Type = MsgType(b[off])
+	off++
+	m.Epoch = binary.LittleEndian.Uint64(b[off:])
+	off += 8
+	m.Group = int32(binary.LittleEndian.Uint32(b[off:]))
+	off += 4
+	m.Arg = binary.LittleEndian.Uint64(b[off:])
+	off += 8
+	take := func(n int) ([]byte, error) {
+		if n < 0 || off+n > len(b) {
+			return nil, fmt.Errorf("%w: truncated field", ErrFrame)
+		}
+		s := b[off : off+n]
+		off += n
+		return s, nil
+	}
+	vl := int(binary.LittleEndian.Uint16(b[off:]))
+	off += 2
+	vb, err := take(vl)
+	if err != nil {
+		return nil, err
+	}
+	m.VM = string(vb)
+	if off+4 > len(b) {
+		return nil, fmt.Errorf("%w: truncated text length", ErrFrame)
+	}
+	tl := int(binary.LittleEndian.Uint32(b[off:]))
+	off += 4
+	tb, err := take(tl)
+	if err != nil {
+		return nil, err
+	}
+	m.Text = string(tb)
+	if off+4 > len(b) {
+		return nil, fmt.Errorf("%w: truncated payload length", ErrFrame)
+	}
+	pl := int(binary.LittleEndian.Uint32(b[off:]))
+	off += 4
+	pb, err := take(pl)
+	if err != nil {
+		return nil, err
+	}
+	m.Payload = append([]byte(nil), pb...)
+	if off != len(b) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrFrame, len(b)-off)
+	}
+	return m, nil
+}
+
+// WriteFrame writes a length-prefixed message to w.
+func WriteFrame(w io.Writer, m *Message) error {
+	body := m.Encode()
+	if len(body) > MaxFrame {
+		return fmt.Errorf("%w: frame of %d bytes exceeds max %d", ErrFrame, len(body), MaxFrame)
+	}
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(body)
+	return err
+}
+
+// ReadFrame reads one length-prefixed message from r.
+func ReadFrame(r io.Reader) (*Message, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return nil, fmt.Errorf("%w: frame length %d exceeds max %d", ErrFrame, n, MaxFrame)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	return Decode(body)
+}
+
+// Errorf builds an error reply.
+func Errorf(format string, args ...interface{}) *Message {
+	return &Message{Type: MsgError, Text: fmt.Sprintf(format, args...)}
+}
+
+// AsError converts an error reply into a Go error (nil for non-errors).
+func (m *Message) AsError() error {
+	if m.Type != MsgError {
+		return nil
+	}
+	return fmt.Errorf("wire: remote error: %s", m.Text)
+}

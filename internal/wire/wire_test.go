@@ -1,0 +1,142 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func sample() *Message {
+	return &Message{
+		Type:    MsgDelta,
+		Epoch:   42,
+		Group:   -3,
+		Arg:     0xdeadbeef,
+		VM:      "vm-01.02",
+		Text:    "aux",
+		Payload: []byte{1, 2, 3, 4, 5},
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	m := sample()
+	got, err := Decode(m.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Type != m.Type || got.Epoch != m.Epoch || got.Group != m.Group ||
+		got.Arg != m.Arg || got.VM != m.VM || got.Text != m.Text ||
+		!bytes.Equal(got.Payload, m.Payload) {
+		t.Errorf("round trip mismatch: %+v vs %+v", got, m)
+	}
+}
+
+func TestDecodeEmptyFields(t *testing.T) {
+	m := &Message{Type: MsgHello}
+	got, err := Decode(m.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.VM != "" || got.Text != "" || len(got.Payload) != 0 {
+		t.Errorf("empty fields round trip: %+v", got)
+	}
+}
+
+func TestDecodeRejectsTruncation(t *testing.T) {
+	enc := sample().Encode()
+	for cut := 0; cut < len(enc); cut++ {
+		if _, err := Decode(enc[:cut]); err == nil {
+			t.Fatalf("accepted truncation at %d/%d", cut, len(enc))
+		}
+	}
+	if _, err := Decode(append(append([]byte(nil), enc...), 9)); err == nil {
+		t.Error("accepted trailing byte")
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	m := sample()
+	if err := WriteFrame(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.VM != m.VM || !bytes.Equal(got.Payload, m.Payload) {
+		t.Error("frame round trip mismatch")
+	}
+}
+
+func TestReadFrameRejectsOversized(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte{0xff, 0xff, 0xff, 0xff}) // 4 GiB length prefix
+	if _, err := ReadFrame(&buf); err == nil {
+		t.Error("oversized frame accepted")
+	}
+}
+
+func TestMultipleFramesOnStream(t *testing.T) {
+	var buf bytes.Buffer
+	for i := 0; i < 5; i++ {
+		m := sample()
+		m.Epoch = uint64(i)
+		if err := WriteFrame(&buf, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		got, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Epoch != uint64(i) {
+			t.Errorf("frame %d: epoch %d", i, got.Epoch)
+		}
+	}
+}
+
+func TestErrorHelpers(t *testing.T) {
+	e := Errorf("boom %d", 7)
+	if e.Type != MsgError || e.Text != "boom 7" {
+		t.Errorf("Errorf: %+v", e)
+	}
+	if err := e.AsError(); err == nil {
+		t.Error("AsError should be non-nil for MsgError")
+	}
+	ok := &Message{Type: MsgCommitOK}
+	if err := ok.AsError(); err != nil {
+		t.Error("AsError should be nil for non-errors")
+	}
+}
+
+func TestMsgTypeString(t *testing.T) {
+	for mt := MsgHello; mt <= MsgError; mt++ {
+		if mt.String() == "" {
+			t.Errorf("empty name for %d", mt)
+		}
+	}
+	if MsgType(200).String() == "" {
+		t.Error("unknown type should render")
+	}
+}
+
+// Property: arbitrary field contents round trip exactly.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(epoch uint64, group int32, arg uint64, vm, text string, payload []byte) bool {
+		if len(vm) > 1000 {
+			vm = vm[:1000]
+		}
+		m := &Message{Type: MsgImage, Epoch: epoch, Group: group, Arg: arg, VM: vm, Text: text, Payload: payload}
+		got, err := Decode(m.Encode())
+		if err != nil {
+			return false
+		}
+		return got.Epoch == epoch && got.Group == group && got.Arg == arg &&
+			got.VM == vm && got.Text == text && bytes.Equal(got.Payload, payload)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
