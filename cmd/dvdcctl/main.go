@@ -36,6 +36,8 @@ func main() {
 		tol      = flag.Int("tolerance", 1, "parity blocks per group (RS code; 1 = XOR)")
 		group    = flag.Int("groupsize", 0, "members per RAID group (0 = nodes - tolerance)")
 		compress = flag.Bool("compress", false, "flate-compress delta shipments")
+		timeout  = flag.Duration("rpc-timeout", 0, "per-RPC deadline (0 = default 30s)")
+		fanout   = flag.Int("fanout", 0, "max concurrent per-node RPCs per fan-out (0 = default)")
 	)
 	flag.Parse()
 	addrs := strings.Split(*nodeList, ",")
@@ -57,17 +59,24 @@ func main() {
 	fatal(err)
 	defer coord.Close()
 	coord.SetCompress(*compress)
+	if *timeout > 0 {
+		coord.SetRPCTimeout(*timeout)
+	}
+	coord.SetFanout(*fanout)
 	fatal(coord.Setup())
 	fmt.Printf("configured %d nodes, %d VMs, %d groups\n", layout.Nodes, len(layout.VMs), len(layout.Groups))
 
 	for r := 1; r <= *rounds; r++ {
 		fatal(coord.Step(*steps))
 		fatal(coord.Checkpoint())
-		fmt.Printf("round %d committed (epoch %d)\n", r, coord.Epoch())
+		fmt.Printf("round %d: %s\n", r, coord.RoundStats())
 	}
 	sums, err := coord.Checksums()
 	fatal(err)
 	fmt.Printf("committed state over %d VMs\n", len(sums))
+	if *rounds > 0 {
+		fmt.Printf("phase timings:\n%s", coord.Phases())
+	}
 
 	if *kill >= 0 {
 		fmt.Printf("recovering from death of node %d...\n", *kill)

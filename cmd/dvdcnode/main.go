@@ -19,6 +19,8 @@ import (
 
 func main() {
 	listen := flag.String("listen", "127.0.0.1:0", "address to listen on")
+	timeout := flag.Duration("rpc-timeout", 0, "per-peer-RPC deadline (0 = default 30s)")
+	fanout := flag.Int("fanout", 0, "max concurrent parity shipments per prepare (0 = default)")
 	flag.Parse()
 
 	node, err := runtime.NewNode(*listen)
@@ -26,6 +28,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "dvdcnode: %v\n", err)
 		os.Exit(1)
 	}
+	if *timeout > 0 {
+		node.SetRPCTimeout(*timeout)
+	}
+	node.SetFanout(*fanout)
 	fmt.Printf("dvdcnode listening on %s\n", node.Addr())
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

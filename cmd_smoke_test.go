@@ -91,7 +91,9 @@ func TestCmdSmokeDistributedSession(t *testing.T) {
 	}
 	for _, want := range []string{
 		"configured 4 nodes, 12 VMs, 4 groups",
-		"round 3 committed (epoch 3)",
+		"round 3: epoch 3: prepare ",
+		"B shipped",
+		"phase timings:",
 		"recovery complete: 12/12 VM states verified",
 	} {
 		if !strings.Contains(text, want) {

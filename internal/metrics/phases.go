@@ -1,0 +1,67 @@
+package metrics
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Phases accumulates wall-clock observations per named phase (prepare,
+// commit, recovery, ...), each backed by a Welford Summary. It is safe for
+// concurrent use; the zero value is NOT ready — use NewPhases. Phases render
+// in first-observation order, so reports read in protocol order.
+type Phases struct {
+	mu     sync.Mutex
+	order  []string
+	byName map[string]*Summary
+}
+
+// NewPhases builds an empty phase tracker.
+func NewPhases() *Phases {
+	return &Phases{byName: map[string]*Summary{}}
+}
+
+// Observe records one duration for a phase.
+func (p *Phases) Observe(name string, d time.Duration) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s, ok := p.byName[name]
+	if !ok {
+		s = &Summary{}
+		p.byName[name] = s
+		p.order = append(p.order, name)
+	}
+	s.Add(d.Seconds())
+}
+
+// Get returns a copy of one phase's summary (zero Summary if never observed).
+func (p *Phases) Get(name string) Summary {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if s, ok := p.byName[name]; ok {
+		return *s
+	}
+	return Summary{}
+}
+
+// Names lists phases in first-observation order.
+func (p *Phases) Names() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]string(nil), p.order...)
+}
+
+// String renders one line per phase: "name: mean ± ci [min, max] (n=N)" with
+// durations in milliseconds.
+func (p *Phases) String() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var b strings.Builder
+	for _, name := range p.order {
+		s := p.byName[name]
+		fmt.Fprintf(&b, "%-10s %.3f ms ± %.3f [%.3f, %.3f] (n=%d)\n",
+			name, s.Mean()*1e3, s.CI95()*1e3, s.Min()*1e3, s.Max()*1e3, s.N())
+	}
+	return b.String()
+}

@@ -1,0 +1,70 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestPhasesObserveAndGet(t *testing.T) {
+	p := NewPhases()
+	p.Observe("prepare", 10*time.Millisecond)
+	p.Observe("prepare", 30*time.Millisecond)
+	p.Observe("commit", 5*time.Millisecond)
+
+	prep := p.Get("prepare")
+	if prep.N() != 2 {
+		t.Errorf("prepare n = %d, want 2", prep.N())
+	}
+	if got, want := prep.Mean(), 0.020; math.Abs(got-want) > 1e-9 {
+		t.Errorf("prepare mean = %v s, want %v s", got, want)
+	}
+	commit := p.Get("commit")
+	if commit.N() != 1 {
+		t.Errorf("commit n = %d, want 1", commit.N())
+	}
+	rec := p.Get("recovery")
+	if rec.N() != 0 {
+		t.Error("unobserved phase should return a zero summary")
+	}
+}
+
+func TestPhasesOrderAndString(t *testing.T) {
+	p := NewPhases()
+	p.Observe("prepare", time.Millisecond)
+	p.Observe("commit", time.Millisecond)
+	p.Observe("prepare", time.Millisecond)
+
+	names := p.Names()
+	if len(names) != 2 || names[0] != "prepare" || names[1] != "commit" {
+		t.Errorf("names = %v, want [prepare commit] (first-observation order)", names)
+	}
+	out := p.String()
+	if !strings.Contains(out, "prepare") || !strings.Contains(out, "commit") {
+		t.Errorf("render missing phase names:\n%s", out)
+	}
+	if strings.Index(out, "prepare") > strings.Index(out, "commit") {
+		t.Errorf("render out of observation order:\n%s", out)
+	}
+}
+
+func TestPhasesConcurrentObserve(t *testing.T) {
+	p := NewPhases()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				p.Observe("prepare", time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	s := p.Get("prepare")
+	if s.N() != 800 {
+		t.Errorf("n = %d after concurrent observes, want 800", s.N())
+	}
+}

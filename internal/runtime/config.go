@@ -81,3 +81,13 @@ type rebuildKeeperConfig struct {
 	MemberNodes map[string]int    `json:"member_nodes"`
 	Epochs      map[string]uint64 `json:"epochs"`
 }
+
+// parityUpdate is one entry of a MsgSetParityBatch (JSON list in Text):
+// parity block Idx of group Group now lives on node Node. Batching turns the
+// post-recovery pointer refresh from O(groups x parity x nodes) round trips
+// into one message per node.
+type parityUpdate struct {
+	Group int `json:"group"`
+	Idx   int `json:"idx"`
+	Node  int `json:"node"`
+}

@@ -3,26 +3,55 @@ package runtime
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"time"
 
 	"dvdc/internal/cluster"
+	"dvdc/internal/metrics"
 	"dvdc/internal/transport"
 	"dvdc/internal/wire"
+)
+
+// Defaults for the coordinator's concurrency and failure handling.
+const (
+	defaultRPCTimeout    = 30 * time.Second // per-RPC I/O deadline
+	defaultFanout        = 16               // concurrent RPCs per fan-out
+	defaultCommitRetries = 3                // commit attempts per node before declaring it dead
+	commitRetryBackoff   = 10 * time.Millisecond
 )
 
 // Coordinator drives a set of node daemons through the DVDC protocol:
 // initial configuration, workload execution, two-phase checkpoint rounds,
 // and recovery after a node death. It owns the live cluster.Layout and keeps
 // it in sync with what the nodes are doing.
+//
+// Control-plane traffic fans out: every phase (setup, step, prepare, commit,
+// checksum, parity refresh) contacts all nodes concurrently over per-peer
+// connection pools, bounded by the fan-out width, and every RPC carries an
+// I/O deadline so a hung node surfaces as a timeout instead of wedging the
+// cluster. Coordinator methods themselves are not safe for concurrent use —
+// one protocol round at a time — but internally each round is parallel.
 type Coordinator struct {
-	layout   *cluster.Layout
-	addrs    map[int]string
-	conns    map[int]*transport.Conn
-	dead     map[int]bool
-	pages    int
-	pageSize int
-	epoch    uint64
-	seedBase int64
-	compress bool
+	mu      sync.Mutex // guards pools, dead, pending, retiredRetries
+	pools   map[int]*transport.Pool
+	dead    map[int]bool
+	pending map[int]bool // dead but not yet recovered (declared dead mid-commit)
+
+	layout         *cluster.Layout
+	addrs          map[int]string
+	pages          int
+	pageSize       int
+	epoch          uint64
+	seedBase       int64
+	compress       bool
+	rpcTimeout     time.Duration
+	fanoutW        int
+	commitRetries  int
+	retiredRetries int64 // retry counts of pools already closed
+
+	statsMu   sync.Mutex
+	lastRound RoundStats
+	phases    *metrics.Phases
 }
 
 // NewCoordinator wires a layout to node addresses. addrs must cover every
@@ -43,19 +72,43 @@ func NewCoordinator(layout *cluster.Layout, addrs map[int]string, pages, pageSiz
 		return nil, fmt.Errorf("runtime: bad geometry %dx%d", pages, pageSize)
 	}
 	return &Coordinator{
-		layout:   layout,
-		addrs:    addrs,
-		conns:    map[int]*transport.Conn{},
-		dead:     map[int]bool{},
-		pages:    pages,
-		pageSize: pageSize,
-		seedBase: seed,
+		layout:        layout,
+		addrs:         addrs,
+		pools:         map[int]*transport.Pool{},
+		dead:          map[int]bool{},
+		pending:       map[int]bool{},
+		pages:         pages,
+		pageSize:      pageSize,
+		seedBase:      seed,
+		rpcTimeout:    defaultRPCTimeout,
+		fanoutW:       defaultFanout,
+		commitRetries: defaultCommitRetries,
+		phases:        metrics.NewPhases(),
 	}, nil
 }
 
 // SetCompress enables flate compression of delta shipments; call before
 // Setup (the flag rides the node configuration).
 func (c *Coordinator) SetCompress(on bool) { c.compress = on }
+
+// SetRPCTimeout bounds every coordinator RPC (0 disables deadlines). Applies
+// to connections opened after the call, so set it before the first round.
+func (c *Coordinator) SetRPCTimeout(d time.Duration) {
+	c.mu.Lock()
+	c.rpcTimeout = d
+	c.mu.Unlock()
+}
+
+// SetFanout bounds how many nodes each control-plane phase contacts
+// concurrently (<= 0 restores the default).
+func (c *Coordinator) SetFanout(k int) {
+	if k <= 0 {
+		k = defaultFanout
+	}
+	c.mu.Lock()
+	c.fanoutW = k
+	c.mu.Unlock()
+}
 
 // NodeStats fetches a node's protocol counters.
 func (c *Coordinator) NodeStats(node int) (NodeStats, error) {
@@ -76,38 +129,76 @@ func (c *Coordinator) Layout() *cluster.Layout { return c.layout }
 // Epoch returns the last committed checkpoint epoch.
 func (c *Coordinator) Epoch() uint64 { return c.epoch }
 
-func (c *Coordinator) conn(node int) (*transport.Conn, error) {
+// RoundStats returns the stats of the most recent checkpoint round (and
+// recovery, if one has run).
+func (c *Coordinator) RoundStats() RoundStats {
+	c.statsMu.Lock()
+	defer c.statsMu.Unlock()
+	return c.lastRound
+}
+
+// Phases exposes the per-phase wall-clock summaries accumulated across all
+// rounds and recoveries.
+func (c *Coordinator) Phases() *metrics.Phases { return c.phases }
+
+// pool returns (lazily creating) the connection pool for an alive node.
+func (c *Coordinator) pool(node int) (*transport.Pool, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if c.dead[node] {
 		return nil, fmt.Errorf("runtime: node %d is marked dead", node)
 	}
-	if cc, ok := c.conns[node]; ok {
-		return cc, nil
+	if p, ok := c.pools[node]; ok {
+		return p, nil
 	}
-	cc, err := transport.Dial(c.addrs[node])
-	if err != nil {
-		return nil, err
-	}
-	c.conns[node] = cc
-	return cc, nil
+	p := transport.NewPool(c.addrs[node], transport.PoolOptions{CallTimeout: c.rpcTimeout})
+	c.pools[node] = p
+	return p, nil
 }
 
+// call sends one RPC to a node over its pool. The pool re-dials and retries
+// once when a cached connection went stale (the daemon restarted on the same
+// address), and enforces the per-call deadline. Safe for concurrent use.
 func (c *Coordinator) call(node int, msg *wire.Message) (*wire.Message, error) {
-	cc, err := c.conn(node)
+	p, err := c.pool(node)
 	if err != nil {
 		return nil, err
 	}
-	resp, err := cc.Call(msg)
-	if err != nil {
-		// Drop the cached connection so a retry re-dials.
-		cc.Close()
-		delete(c.conns, node)
-		return nil, err
+	return p.Call(msg)
+}
+
+// markDead declares a node dead: its pool is closed and no further calls
+// reach it. pendingRecovery tags nodes the commit phase lost, which still
+// need RecoverNodes.
+func (c *Coordinator) markDead(node int, pendingRecovery bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.dead[node] = true
+	if pendingRecovery {
+		c.pending[node] = true
 	}
-	return resp, nil
+	if p, ok := c.pools[node]; ok {
+		c.retiredRetries += p.Retries()
+		p.Close()
+		delete(c.pools, node)
+	}
+}
+
+// totalRetries sums transport retries across live and retired pools.
+func (c *Coordinator) totalRetries() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t := c.retiredRetries
+	for _, p := range c.pools {
+		t += p.Retries()
+	}
+	return t
 }
 
 // aliveNodes lists nodes not marked dead, ascending.
 func (c *Coordinator) aliveNodes() []int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	var out []int
 	for n := 0; n < c.layout.Nodes; n++ {
 		if !c.dead[n] {
@@ -115,6 +206,46 @@ func (c *Coordinator) aliveNodes() []int {
 		}
 	}
 	return out
+}
+
+func (c *Coordinator) fanoutWidth() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.fanoutW
+}
+
+// fanout sends one request to each node concurrently (bounded by the
+// fan-out width) and feeds each reply to handle, in node order. Every node
+// is attempted even after a failure, and handle runs for every successful
+// reply — so a caller can learn which nodes succeeded even when the phase as
+// a whole fails. The first error in node order is returned, wrapped with op.
+func (c *Coordinator) fanout(op string, nodes []int, build func(node int) *wire.Message, handle func(node int, resp *wire.Message) error) error {
+	resps := make([]*wire.Message, len(nodes))
+	errs := make([]error, len(nodes))
+	parallelDo(len(nodes), c.fanoutWidth(), func(i int) error { //nolint:errcheck // errors land in errs
+		msg := build(nodes[i])
+		if msg == nil {
+			return nil
+		}
+		resps[i], errs[i] = c.call(nodes[i], msg)
+		return nil
+	})
+	var first error
+	for i, node := range nodes {
+		if errs[i] != nil {
+			if first == nil {
+				first = fmt.Errorf("runtime: %s on node %d: %w", op, node, errs[i])
+			}
+			continue
+		}
+		if resps[i] == nil || handle == nil {
+			continue
+		}
+		if err := handle(node, resps[i]); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
 }
 
 // vmSeed derives a deterministic workload seed per VM.
@@ -139,104 +270,184 @@ func (c *Coordinator) vmConfig(v cluster.VMPlacement) VMConfig {
 	}
 }
 
-// Setup pushes the initial configuration to every node.
+// nodeConfig renders the full initial assignment for one node.
+func (c *Coordinator) nodeConfig(n int) NodeConfig {
+	cfg := NodeConfig{NodeID: n, Peers: c.addrs, Compress: c.compress}
+	for _, v := range c.layout.VMs {
+		if v.Node == n {
+			cfg.VMs = append(cfg.VMs, c.vmConfig(v))
+		}
+	}
+	for _, g := range c.layout.Groups {
+		for i, pn := range g.ParityNodes {
+			if pn == n {
+				cfg.Keepers = append(cfg.Keepers, KeeperConfig{
+					Group:     g.Index,
+					ParityIdx: i,
+					Tolerance: c.layout.Tolerance,
+					Members:   append([]string(nil), g.Members...),
+					Pages:     c.pages,
+					PageSize:  c.pageSize,
+				})
+			}
+		}
+	}
+	return cfg
+}
+
+// Setup pushes the initial configuration to every node, concurrently.
 func (c *Coordinator) Setup() error {
+	nodes := make([]int, c.layout.Nodes)
+	msgs := make([]*wire.Message, c.layout.Nodes)
 	for n := 0; n < c.layout.Nodes; n++ {
-		cfg := NodeConfig{NodeID: n, Peers: c.addrs, Compress: c.compress}
-		for _, v := range c.layout.VMs {
-			if v.Node == n {
-				cfg.VMs = append(cfg.VMs, c.vmConfig(v))
-			}
-		}
-		for _, g := range c.layout.Groups {
-			for i, pn := range g.ParityNodes {
-				if pn == n {
-					cfg.Keepers = append(cfg.Keepers, KeeperConfig{
-						Group:     g.Index,
-						ParityIdx: i,
-						Tolerance: c.layout.Tolerance,
-						Members:   append([]string(nil), g.Members...),
-						Pages:     c.pages,
-						PageSize:  c.pageSize,
-					})
-				}
-			}
-		}
-		text, err := encodeJSON(cfg)
+		nodes[n] = n
+		text, err := encodeJSON(c.nodeConfig(n))
 		if err != nil {
 			return err
 		}
-		resp, err := c.call(n, &wire.Message{Type: wire.MsgConfigure, Text: text})
-		if err != nil {
-			return fmt.Errorf("runtime: configure node %d: %w", n, err)
-		}
-		if resp.Type != wire.MsgConfigureOK {
-			return fmt.Errorf("runtime: node %d replied %v to configure", n, resp.Type)
-		}
+		msgs[n] = &wire.Message{Type: wire.MsgConfigure, Text: text}
 	}
-	return nil
+	return c.fanout("configure", nodes,
+		func(n int) *wire.Message { return msgs[n] },
+		func(n int, resp *wire.Message) error {
+			if resp.Type != wire.MsgConfigureOK {
+				return fmt.Errorf("runtime: node %d replied %v to configure", n, resp.Type)
+			}
+			return nil
+		})
 }
 
-// Step runs the synthetic workload n steps on every alive node's VMs.
+// Step runs the synthetic workload n steps on every alive node's VMs,
+// concurrently across nodes.
 func (c *Coordinator) Step(n uint64) error {
-	for _, node := range c.aliveNodes() {
-		if _, err := c.call(node, &wire.Message{Type: wire.MsgStep, Arg: n}); err != nil {
-			return fmt.Errorf("runtime: step on node %d: %w", node, err)
-		}
-	}
-	return nil
+	return c.fanout("step", c.aliveNodes(),
+		func(int) *wire.Message { return &wire.Message{Type: wire.MsgStep, Arg: n} },
+		nil)
 }
 
 // Checkpoint executes one two-phase checkpoint round: PREPARE on every alive
-// node (each captures deltas and ships them to parity peers), then COMMIT.
-// If any prepare fails, the round is aborted everywhere and the error
-// returned; the cluster stays at the previous committed epoch.
+// node in parallel (each captures deltas and ships them to parity peers),
+// then COMMIT in parallel.
+//
+// Failure semantics, phase by phase:
+//   - If any prepare fails, the round is aborted on every node that
+//     prepared and the error returned; the cluster stays at the previous
+//     committed epoch.
+//   - Once the commit phase starts, the round always completes: commit
+//     cannot be undone after any node has folded its staged deltas, so the
+//     epoch advances. A node whose commit keeps failing through the retry
+//     budget is declared dead and the error returned is a
+//     *PartialCommitError naming it; run RecoverNodes over those nodes to
+//     restore redundancy. This keeps every reachable node's notion of the
+//     committed epoch in sync — there is no state in which half the cluster
+//     committed an epoch the coordinator disowned.
 func (c *Coordinator) Checkpoint() error {
 	next := c.epoch + 1
-	prepared := []int{}
-	var prepErr error
-	for _, node := range c.aliveNodes() {
-		resp, err := c.call(node, &wire.Message{Type: wire.MsgPrepare, Epoch: next})
-		if err != nil {
-			prepErr = fmt.Errorf("runtime: prepare on node %d: %w", node, err)
-			break
-		}
-		if resp.Type != wire.MsgPrepareOK {
-			prepErr = fmt.Errorf("runtime: node %d replied %v to prepare", node, resp.Type)
-			break
-		}
-		prepared = append(prepared, node)
-	}
+	alive := c.aliveNodes()
+	stats := RoundStats{Epoch: next, RecoveryWall: c.RoundStats().RecoveryWall}
+	retriesBefore := c.totalRetries()
+
+	// Phase 1: prepare everywhere; track who prepared for a targeted abort.
+	var prepared []int
+	t0 := time.Now()
+	prepErr := c.fanout("prepare", alive,
+		func(int) *wire.Message { return &wire.Message{Type: wire.MsgPrepare, Epoch: next} },
+		func(node int, resp *wire.Message) error {
+			if resp.Type != wire.MsgPrepareOK {
+				return fmt.Errorf("runtime: node %d replied %v to prepare", node, resp.Type)
+			}
+			prepared = append(prepared, node)
+			stats.BytesShipped += int64(resp.Arg)
+			return nil
+		})
+	stats.PrepareWall = time.Since(t0)
+	c.phases.Observe("prepare", stats.PrepareWall)
 	if prepErr != nil {
-		for _, node := range prepared {
-			// Best effort: a node that cannot abort will be caught by the
-			// next prepare's staged-delta check.
-			c.call(node, &wire.Message{Type: wire.MsgAbort, Epoch: next}) //nolint:errcheck
-		}
+		// Best effort: a node that cannot abort will be caught by the next
+		// prepare's staged-delta check.
+		c.fanout("abort", prepared, //nolint:errcheck
+			func(int) *wire.Message { return &wire.Message{Type: wire.MsgAbort, Epoch: next} },
+			nil)
+		stats.Aborted = true
+		stats.RPCRetries = c.totalRetries() - retriesBefore
+		c.recordRound(stats)
 		return prepErr
 	}
-	for _, node := range c.aliveNodes() {
-		resp, err := c.call(node, &wire.Message{Type: wire.MsgCommit, Epoch: next})
-		if err != nil {
-			return fmt.Errorf("runtime: commit on node %d: %w", node, err)
+
+	// Phase 2: commit everywhere, retrying per node; a persistently failing
+	// committer is a node failure, not a round failure.
+	var failedMu sync.Mutex
+	var failed []int
+	t1 := time.Now()
+	parallelDo(len(alive), c.fanoutWidth(), func(i int) error { //nolint:errcheck // failures collected in failed
+		node := alive[i]
+		var lastErr error
+		for attempt := 0; attempt < c.commitRetries; attempt++ {
+			if attempt > 0 {
+				time.Sleep(commitRetryBackoff << (attempt - 1))
+			}
+			resp, err := c.call(node, &wire.Message{Type: wire.MsgCommit, Epoch: next})
+			if err == nil && resp.Type == wire.MsgCommitOK {
+				return nil
+			}
+			if err == nil {
+				err = fmt.Errorf("runtime: node %d replied %v to commit", node, resp.Type)
+			}
+			lastErr = err
 		}
-		if resp.Type != wire.MsgCommitOK {
-			return fmt.Errorf("runtime: node %d replied %v to commit", node, resp.Type)
-		}
+		_ = lastErr
+		failedMu.Lock()
+		failed = append(failed, node)
+		failedMu.Unlock()
+		return nil
+	})
+	stats.CommitWall = time.Since(t1)
+	c.phases.Observe("commit", stats.CommitWall)
+	stats.RPCRetries = c.totalRetries() - retriesBefore
+
+	sort.Ints(failed)
+	if len(failed) == len(alive) {
+		// No node committed: the round effectively never entered commit.
+		stats.Aborted = true
+		c.recordRound(stats)
+		return fmt.Errorf("runtime: commit of epoch %d failed on every node", next)
 	}
 	c.epoch = next
+	for _, node := range failed {
+		c.markDead(node, true)
+	}
+	stats.DeadDuring = failed
+	c.recordRound(stats)
+	if len(failed) > 0 {
+		return &PartialCommitError{Epoch: next, Nodes: failed}
+	}
 	return nil
 }
 
-// Checksums fetches the committed-image checksum of every VM.
+func (c *Coordinator) recordRound(r RoundStats) {
+	c.statsMu.Lock()
+	c.lastRound = r
+	c.statsMu.Unlock()
+}
+
+// Checksums fetches the committed-image checksum of every VM, concurrently.
 func (c *Coordinator) Checksums() (map[string]uint64, error) {
-	out := map[string]uint64{}
-	for _, v := range c.layout.VMs {
+	vms := c.layout.VMs
+	sums := make([]uint64, len(vms))
+	if err := parallelDo(len(vms), c.fanoutWidth(), func(i int) error {
+		v := vms[i]
 		resp, err := c.call(v.Node, &wire.Message{Type: wire.MsgChecksum, VM: v.Name})
 		if err != nil {
-			return nil, fmt.Errorf("runtime: checksum %q on node %d: %w", v.Name, v.Node, err)
+			return fmt.Errorf("runtime: checksum %q on node %d: %w", v.Name, v.Node, err)
 		}
-		out[v.Name] = resp.Arg
+		sums[i] = resp.Arg
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	out := map[string]uint64{}
+	for i, v := range vms {
+		out[v.Name] = sums[i]
 	}
 	return out, nil
 }
@@ -251,18 +462,46 @@ func (c *Coordinator) RecoverNode(failed int) (*cluster.Plan, error) {
 // erasure system for every lost VM (pulling survivor images and the group's
 // remaining parity blocks over the wire), installs the rebuilt VMs on their
 // target nodes, re-homes lost parity blocks, rolls every surviving VM back
-// to the committed epoch, and updates the layout. The failed nodes must
-// already be unreachable (or are about to be treated as such); the caller
-// names them explicitly.
+// to the committed epoch, and updates the layout. Reconstructions and parity
+// re-homes run concurrently across groups — groups share no VMs and no
+// parity blocks (orthogonality), so their recoveries are independent. The
+// failed nodes must already be unreachable (or are about to be treated as
+// such); the caller names them explicitly. Nodes the commit phase already
+// declared dead (see PartialCommitError) may — and must — be passed here.
 func (c *Coordinator) RecoverNodes(failed ...int) (*cluster.Plan, error) {
 	if len(failed) == 0 {
 		return &cluster.Plan{}, nil
 	}
+	t0 := time.Now()
+	seen := map[int]bool{}
+	c.mu.Lock()
 	for _, f := range failed {
-		if c.dead[f] {
+		if seen[f] {
+			c.mu.Unlock()
+			return nil, fmt.Errorf("runtime: node %d named twice", f)
+		}
+		seen[f] = true
+		if c.dead[f] && !c.pending[f] {
+			c.mu.Unlock()
 			return nil, fmt.Errorf("runtime: node %d already recovered", f)
 		}
 	}
+	// Plan against every node that is currently unavailable, not just the
+	// new casualties, so targets are never chosen among the already-dead.
+	downSet := map[int]bool{}
+	for _, f := range failed {
+		downSet[f] = true
+	}
+	for n := range c.dead {
+		downSet[n] = true
+	}
+	c.mu.Unlock()
+	var down []int
+	for n := range downSet {
+		down = append(down, n)
+	}
+	sort.Ints(down)
+
 	// Snapshot source locations before mutating the layout.
 	nodeOf := map[string]int{}
 	for _, v := range c.layout.VMs {
@@ -272,53 +511,64 @@ func (c *Coordinator) RecoverNodes(failed ...int) (*cluster.Plan, error) {
 	for _, g := range c.layout.Groups {
 		parityOf[g.Index] = append([]int(nil), g.ParityNodes...)
 	}
-	// Plan against every node that is currently unavailable, not just the
-	// new casualties, so targets are never chosen among the already-dead.
-	down := append([]int(nil), failed...)
-	for n := range c.dead {
-		down = append(down, n)
-	}
 	plan, err := c.layout.PlanRecovery(down...)
 	if err != nil {
 		return nil, err
 	}
 	for _, f := range failed {
-		c.dead[f] = true
-		if cc, ok := c.conns[f]; ok {
-			cc.Close()
-			delete(c.conns, f)
-		}
+		c.markDead(f, false)
+		c.mu.Lock()
+		delete(c.pending, f)
+		c.mu.Unlock()
+	}
+	isDead := func(n int) bool {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return c.dead[n]
 	}
 
 	// Roll every surviving node back to the committed epoch first, so the
 	// survivor images used for reconstruction are the committed ones.
-	for _, node := range c.aliveNodes() {
-		if _, err := c.call(node, &wire.Message{Type: wire.MsgRollback}); err != nil {
-			return nil, fmt.Errorf("runtime: rollback on node %d: %w", node, err)
-		}
+	if err := c.fanout("rollback", c.aliveNodes(),
+		func(int) *wire.Message { return &wire.Message{Type: wire.MsgRollback} },
+		nil); err != nil {
+		return nil, err
 	}
 
 	// Group the lost VMs so each reconstruction request can name all of its
-	// group's casualties (the solver needs the full erasure pattern).
+	// group's casualties (the solver needs the full erasure pattern), and so
+	// independent groups can recover concurrently.
 	lostByGroup := map[int][]string{}
-	for _, s := range plan.Steps {
-		if s.Kind == cluster.RestoreVM {
-			lostByGroup[s.Group] = append(lostByGroup[s.Group], s.VM)
-		}
-	}
-
-	// Restore lost VMs: a surviving parity node of the group solves, the
-	// target installs.
+	restoresByGroup := map[int][]cluster.Step{}
+	var restoreGroups []int
 	for _, s := range plan.Steps {
 		if s.Kind != cluster.RestoreVM {
 			continue
 		}
-		g := c.layout.Groups[s.Group]
+		if _, ok := restoresByGroup[s.Group]; !ok {
+			restoreGroups = append(restoreGroups, s.Group)
+		}
+		lostByGroup[s.Group] = append(lostByGroup[s.Group], s.VM)
+		restoresByGroup[s.Group] = append(restoresByGroup[s.Group], s)
+	}
+	sort.Ints(restoreGroups)
+
+	// Restore lost VMs: per group, a surviving parity node solves and each
+	// target installs. Groups run in parallel; within a group the steps run
+	// in order. newHomes collects per-group placement updates, merged into
+	// nodeOf after the parallel section (groups never share VMs, so the
+	// per-group maps are disjoint).
+	newHomes := make([]map[string]int, len(restoreGroups))
+	if err := parallelDo(len(restoreGroups), c.fanoutWidth(), func(gi int) error {
+		group := restoreGroups[gi]
+		homes := map[string]int{}
+		newHomes[gi] = homes
+		g := c.layout.Groups[group]
 		// Alive parity blocks of this group (by original homes).
 		peers := map[int]int{}
 		solver := -1
-		for i, pn := range parityOf[s.Group] {
-			if c.dead[pn] {
+		for i, pn := range parityOf[group] {
+			if isDead(pn) {
 				continue
 			}
 			peers[i] = pn
@@ -326,46 +576,56 @@ func (c *Coordinator) RecoverNodes(failed ...int) (*cluster.Plan, error) {
 				solver = pn
 			}
 		}
-		if len(peers) < len(lostByGroup[s.Group]) {
-			return nil, fmt.Errorf("runtime: group %d lost %d members but only %d parity blocks survive",
-				s.Group, len(lostByGroup[s.Group]), len(peers))
+		if len(peers) < len(lostByGroup[group]) {
+			return fmt.Errorf("runtime: group %d lost %d members but only %d parity blocks survive",
+				group, len(lostByGroup[group]), len(peers))
 		}
-		rc := reconstructConfig{
-			LostVM:      s.VM,
-			AllLost:     lostByGroup[s.Group],
-			Group:       s.Group,
-			Tolerance:   c.layout.Tolerance,
-			Survivors:   map[string]int{},
-			ParityPeers: peers,
-		}
-		lostSet := map[string]bool{}
-		for _, lv := range rc.AllLost {
-			lostSet[lv] = true
-		}
-		for _, m := range g.Members {
-			if !lostSet[m] {
-				rc.Survivors[m] = nodeOf[m]
+		for _, s := range restoresByGroup[group] {
+			rc := reconstructConfig{
+				LostVM:      s.VM,
+				AllLost:     lostByGroup[group],
+				Group:       group,
+				Tolerance:   c.layout.Tolerance,
+				Survivors:   map[string]int{},
+				ParityPeers: peers,
 			}
+			lostSet := map[string]bool{}
+			for _, lv := range rc.AllLost {
+				lostSet[lv] = true
+			}
+			for _, m := range g.Members {
+				if !lostSet[m] {
+					rc.Survivors[m] = nodeOf[m]
+				}
+			}
+			text, err := encodeJSON(rc)
+			if err != nil {
+				return err
+			}
+			resp, err := c.call(solver, &wire.Message{Type: wire.MsgReconstruct, Group: int32(group), Text: text})
+			if err != nil {
+				return fmt.Errorf("runtime: reconstruct %q on node %d: %w", s.VM, solver, err)
+			}
+			v, _ := c.layout.VM(s.VM)
+			ic := installConfig{VMConfig: c.vmConfig(v), Epoch: resp.Epoch}
+			ic.Seed = c.vmSeed(s.VM) + int64(c.epoch) + 1 // fresh workload stream after respawn
+			itext, err := encodeJSON(ic)
+			if err != nil {
+				return err
+			}
+			if _, err := c.call(s.TargetNode, &wire.Message{Type: wire.MsgInstall, VM: s.VM, Text: itext, Payload: resp.Payload}); err != nil {
+				return fmt.Errorf("runtime: install %q on node %d: %w", s.VM, s.TargetNode, err)
+			}
+			homes[s.VM] = s.TargetNode
 		}
-		text, err := encodeJSON(rc)
-		if err != nil {
-			return nil, err
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	for _, homes := range newHomes {
+		for vmName, node := range homes {
+			nodeOf[vmName] = node
 		}
-		resp, err := c.call(solver, &wire.Message{Type: wire.MsgReconstruct, Group: int32(s.Group), Text: text})
-		if err != nil {
-			return nil, fmt.Errorf("runtime: reconstruct %q on node %d: %w", s.VM, solver, err)
-		}
-		v, _ := c.layout.VM(s.VM)
-		ic := installConfig{VMConfig: c.vmConfig(v), Epoch: resp.Epoch}
-		ic.Seed = c.vmSeed(s.VM) + int64(c.epoch) + 1 // fresh workload stream after respawn
-		itext, err := encodeJSON(ic)
-		if err != nil {
-			return nil, err
-		}
-		if _, err := c.call(s.TargetNode, &wire.Message{Type: wire.MsgInstall, VM: s.VM, Text: itext, Payload: resp.Payload}); err != nil {
-			return nil, fmt.Errorf("runtime: install %q on node %d: %w", s.VM, s.TargetNode, err)
-		}
-		nodeOf[s.VM] = s.TargetNode
 	}
 
 	// Apply the plan so the layout reflects new VM homes before keepers are
@@ -375,89 +635,137 @@ func (c *Coordinator) RecoverNodes(failed ...int) (*cluster.Plan, error) {
 	}
 
 	// Re-home lost parity blocks and point the group's members at them.
+	// Again parallel across groups, ordered within a group (parityOf[group]
+	// is consumed entry by entry as blocks are rebuilt).
+	rehomesByGroup := map[int][]cluster.Step{}
+	var rehomeGroups []int
 	for _, s := range plan.Steps {
 		if s.Kind != cluster.RehomeParity {
 			continue
 		}
-		g := c.layout.Groups[s.Group]
-		// Which parity index died and is not yet rebuilt this pass?
-		idx := -1
-		for i, pn := range parityOf[s.Group] {
-			if pn >= 0 && c.dead[pn] {
-				idx = i
-				parityOf[s.Group][i] = -1 // consumed
-				break
+		if _, ok := rehomesByGroup[s.Group]; !ok {
+			rehomeGroups = append(rehomeGroups, s.Group)
+		}
+		rehomesByGroup[s.Group] = append(rehomesByGroup[s.Group], s)
+	}
+	sort.Ints(rehomeGroups)
+	if err := parallelDo(len(rehomeGroups), c.fanoutWidth(), func(gi int) error {
+		group := rehomeGroups[gi]
+		g := c.layout.Groups[group]
+		for _, s := range rehomesByGroup[group] {
+			// Which parity index died and is not yet rebuilt this pass?
+			idx := -1
+			for i, pn := range parityOf[group] {
+				if pn >= 0 && isDead(pn) {
+					idx = i
+					parityOf[group][i] = -1 // consumed
+					break
+				}
+			}
+			if idx == -1 {
+				return fmt.Errorf("runtime: group %d has no dead parity block to re-home", group)
+			}
+			rk := rebuildKeeperConfig{
+				KeeperConfig: KeeperConfig{
+					Group:     group,
+					ParityIdx: idx,
+					Tolerance: c.layout.Tolerance,
+					Members:   append([]string(nil), g.Members...),
+					Pages:     c.pages,
+					PageSize:  c.pageSize,
+				},
+				MemberNodes: map[string]int{},
+				Epochs:      map[string]uint64{},
+			}
+			for _, m := range g.Members {
+				rk.MemberNodes[m] = nodeOf[m]
+				rk.Epochs[m] = c.epoch
+			}
+			text, err := encodeJSON(rk)
+			if err != nil {
+				return err
+			}
+			if _, err := c.call(s.TargetNode, &wire.Message{Type: wire.MsgRebuildKeeper, Group: int32(group), Text: text}); err != nil {
+				return fmt.Errorf("runtime: rebuild keeper %d on node %d: %w", group, s.TargetNode, err)
 			}
 		}
-		if idx == -1 {
-			return nil, fmt.Errorf("runtime: group %d has no dead parity block to re-home", s.Group)
-		}
-		rk := rebuildKeeperConfig{
-			KeeperConfig: KeeperConfig{
-				Group:     s.Group,
-				ParityIdx: idx,
-				Tolerance: c.layout.Tolerance,
-				Members:   append([]string(nil), g.Members...),
-				Pages:     c.pages,
-				PageSize:  c.pageSize,
-			},
-			MemberNodes: map[string]int{},
-			Epochs:      map[string]uint64{},
-		}
-		for _, m := range g.Members {
-			rk.MemberNodes[m] = nodeOf[m]
-			rk.Epochs[m] = c.epoch
-		}
-		text, err := encodeJSON(rk)
-		if err != nil {
-			return nil, err
-		}
-		if _, err := c.call(s.TargetNode, &wire.Message{Type: wire.MsgRebuildKeeper, Group: int32(s.Group), Text: text}); err != nil {
-			return nil, fmt.Errorf("runtime: rebuild keeper %d on node %d: %w", s.Group, s.TargetNode, err)
-		}
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 
 	// Refresh every member's parity pointers for all groups touched by the
 	// failure (blocks may have moved, and reconstructed VMs carry copies of
-	// the pre-failure assignment).
+	// the pre-failure assignment): one batched message per node.
 	touched := map[int]bool{}
 	for _, s := range plan.Steps {
 		touched[s.Group] = true
 	}
-	var groups []int
-	for g := range touched {
-		groups = append(groups, g)
+	if err := c.refreshParityPointers(touched); err != nil {
+		return nil, err
 	}
-	sort.Ints(groups)
-	for _, gi := range groups {
-		g := c.layout.Groups[gi]
-		for i, pn := range g.ParityNodes {
-			for _, node := range c.aliveNodes() {
-				if _, err := c.call(node, &wire.Message{
-					Type: wire.MsgSetParity, Group: int32(gi),
-					Epoch: uint64(i), Arg: uint64(pn),
-				}); err != nil {
-					return nil, err
-				}
-			}
+	d := time.Since(t0)
+	c.phases.Observe("recovery", d)
+	c.statsMu.Lock()
+	c.lastRound.RecoveryWall = d
+	c.statsMu.Unlock()
+	return plan, nil
+}
+
+// refreshParityPointers pushes the current parity-node assignment of the
+// given groups to every alive node, batched into one MsgSetParityBatch per
+// node instead of one MsgSetParity per (group, parity block, node).
+func (c *Coordinator) refreshParityPointers(groups map[int]bool) error {
+	var sorted []int
+	for g := range groups {
+		sorted = append(sorted, g)
+	}
+	sort.Ints(sorted)
+	var updates []parityUpdate
+	for _, gi := range sorted {
+		for i, pn := range c.layout.Groups[gi].ParityNodes {
+			updates = append(updates, parityUpdate{Group: gi, Idx: i, Node: pn})
 		}
 	}
-	return plan, nil
+	if len(updates) == 0 {
+		return nil
+	}
+	text, err := encodeJSON(updates)
+	if err != nil {
+		return err
+	}
+	return c.fanout("set-parity", c.aliveNodes(),
+		func(int) *wire.Message { return &wire.Message{Type: wire.MsgSetParityBatch, Text: text} },
+		func(node int, resp *wire.Message) error {
+			if resp.Type != wire.MsgSetParityBatchOK {
+				return fmt.Errorf("runtime: node %d replied %v to set-parity batch", node, resp.Type)
+			}
+			return nil
+		})
 }
 
 // Repair marks a previously failed node as back in service. Its daemon must
 // be listening on the original address again (or a replacement daemon on the
-// same address); it starts empty and picks up work via Rebalance.
+// same address); it starts empty and picks up work via Rebalance. A node the
+// commit phase declared dead must be recovered (RecoverNodes) before repair.
 func (c *Coordinator) Repair(node int) error {
-	if !c.dead[node] {
+	c.mu.Lock()
+	dead, pending := c.dead[node], c.pending[node]
+	c.mu.Unlock()
+	if !dead {
 		return fmt.Errorf("runtime: node %d is not dead", node)
+	}
+	if pending {
+		return fmt.Errorf("runtime: node %d failed mid-commit and has not been recovered; run RecoverNodes first", node)
 	}
 	probe, err := transport.Dial(c.addrs[node])
 	if err != nil {
 		return fmt.Errorf("runtime: node %d not reachable for repair: %w", node, err)
 	}
 	probe.Close()
+	c.mu.Lock()
 	delete(c.dead, node)
+	c.mu.Unlock()
 	// The rejoined daemon needs a fresh configuration (peers, compression);
 	// it hosts nothing until rebalance moves VMs or parity to it.
 	cfg := NodeConfig{NodeID: node, Peers: c.addrs, Compress: c.compress}
@@ -475,42 +783,54 @@ func (c *Coordinator) Repair(node int) error {
 // repaired nodes have rejoined: co-located VMs move (evict from the old
 // host, install on the new — the VMs are quiescent right after a commit, so
 // the move is a committed-image transfer), and co-located parity blocks are
-// recomputed on their new homes. Call immediately after Checkpoint, before
-// any Step.
+// recomputed on their new homes. VM moves and parity rebuilds each run
+// concurrently (moves touch disjoint VMs, rebuilds disjoint parity blocks).
+// Call immediately after Checkpoint, before any Step.
 func (c *Coordinator) Rebalance() (*cluster.Plan, error) {
+	t0 := time.Now()
+	c.mu.Lock()
 	var down []int
 	for n := range c.dead {
 		down = append(down, n)
 	}
+	c.mu.Unlock()
 	plan, err := c.layout.PlanRebalance(down...)
 	if err != nil {
 		return nil, err
 	}
-	// Move VMs first.
+	// Move VMs first, concurrently (each move is its own evict+install pair
+	// and no two steps touch the same VM or the same parity block).
+	var moves []cluster.Step
 	for _, s := range plan.Steps {
-		if s.Kind != cluster.RestoreVM {
-			continue
+		if s.Kind == cluster.RestoreVM {
+			moves = append(moves, s)
 		}
+	}
+	if err := parallelDo(len(moves), c.fanoutWidth(), func(i int) error {
+		s := moves[i]
 		v, ok := c.layout.VM(s.VM)
 		if !ok {
-			return nil, fmt.Errorf("runtime: rebalance of unknown VM %q", s.VM)
+			return fmt.Errorf("runtime: rebalance of unknown VM %q", s.VM)
 		}
 		resp, err := c.call(v.Node, &wire.Message{Type: wire.MsgEvict, VM: s.VM})
 		if err != nil {
-			return nil, fmt.Errorf("runtime: evict %q from node %d: %w", s.VM, v.Node, err)
+			return fmt.Errorf("runtime: evict %q from node %d: %w", s.VM, v.Node, err)
 		}
 		ic := installConfig{VMConfig: c.vmConfig(v), Epoch: resp.Epoch}
 		ic.Seed = c.vmSeed(s.VM) + int64(c.epoch) + 7919
 		text, err := encodeJSON(ic)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if _, err := c.call(s.TargetNode, &wire.Message{Type: wire.MsgInstall, VM: s.VM, Text: text, Payload: resp.Payload}); err != nil {
-			return nil, fmt.Errorf("runtime: install %q on node %d: %w", s.VM, s.TargetNode, err)
+			return fmt.Errorf("runtime: install %q on node %d: %w", s.VM, s.TargetNode, err)
 		}
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	// Apply the placement so parity rebuilds see the new VM homes, then
-	// rebuild the moved parity blocks on their targets.
+	// rebuild the moved parity blocks on their targets, concurrently.
 	if err := c.layout.ApplyRebalance(plan); err != nil {
 		return nil, err
 	}
@@ -518,10 +838,14 @@ func (c *Coordinator) Rebalance() (*cluster.Plan, error) {
 	for _, v := range c.layout.VMs {
 		nodeOf[v.Name] = v.Node
 	}
+	var rehomes []cluster.Step
 	for _, s := range plan.Steps {
-		if s.Kind != cluster.RehomeParity {
-			continue
+		if s.Kind == cluster.RehomeParity {
+			rehomes = append(rehomes, s)
 		}
+	}
+	if err := parallelDo(len(rehomes), c.fanoutWidth(), func(i int) error {
+		s := rehomes[i]
 		idx := s.SourceNodes[0]
 		g := c.layout.Groups[s.Group]
 		rk := rebuildKeeperConfig{
@@ -542,42 +866,33 @@ func (c *Coordinator) Rebalance() (*cluster.Plan, error) {
 		}
 		text, err := encodeJSON(rk)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if _, err := c.call(s.TargetNode, &wire.Message{Type: wire.MsgRebuildKeeper, Group: int32(s.Group), Text: text}); err != nil {
-			return nil, fmt.Errorf("runtime: rebuild keeper %d on node %d: %w", s.Group, s.TargetNode, err)
+			return fmt.Errorf("runtime: rebuild keeper %d on node %d: %w", s.Group, s.TargetNode, err)
 		}
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	// Refresh parity pointers on every alive node for touched groups.
 	touched := map[int]bool{}
 	for _, s := range plan.Steps {
 		touched[s.Group] = true
 	}
-	var groups []int
-	for g := range touched {
-		groups = append(groups, g)
+	if err := c.refreshParityPointers(touched); err != nil {
+		return nil, err
 	}
-	sort.Ints(groups)
-	for _, gi := range groups {
-		g := c.layout.Groups[gi]
-		for i, pn := range g.ParityNodes {
-			for _, node := range c.aliveNodes() {
-				if _, err := c.call(node, &wire.Message{
-					Type: wire.MsgSetParity, Group: int32(gi),
-					Epoch: uint64(i), Arg: uint64(pn),
-				}); err != nil {
-					return nil, err
-				}
-			}
-		}
-	}
+	c.phases.Observe("rebalance", time.Since(t0))
 	return plan, nil
 }
 
 // Close drops every coordinator connection.
 func (c *Coordinator) Close() {
-	for n, cc := range c.conns {
-		cc.Close()
-		delete(c.conns, n)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for n, p := range c.pools {
+		p.Close()
+		delete(c.pools, n)
 	}
 }

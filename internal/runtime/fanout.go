@@ -1,0 +1,44 @@
+package runtime
+
+import "sync"
+
+// parallelDo runs f(0..n-1) concurrently, bounded by width goroutines
+// (width <= 0 means unbounded). Every item runs even after a failure; the
+// first error by index is returned, so error selection is deterministic
+// regardless of completion order.
+func parallelDo(n, width int, f func(i int) error) error {
+	if n == 0 {
+		return nil
+	}
+	if width <= 0 || width > n {
+		width = n
+	}
+	if n == 1 || width == 1 {
+		var first error
+		for i := 0; i < n; i++ {
+			if err := f(i); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
+	errs := make([]error, n)
+	sem := make(chan struct{}, width)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			errs[i] = f(i)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"hash/fnv"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"dvdc/internal/core"
 	"dvdc/internal/transport"
@@ -14,20 +16,30 @@ import (
 // Node is one DVDC node daemon: it hosts VM members, runs their synthetic
 // workloads on command, maintains parity blocks for the groups assigned to
 // it, and serves the wire protocol.
+//
+// Locking is two-level so independent VMs make progress in parallel: the
+// structural mutex mu guards only the identity and the maps (who is hosted,
+// who the peers are), while each memberState and keeperState carries its own
+// lock for its data path. Lock order is mu before any member/keeper lock,
+// and no lock is ever held across a peer call.
 type Node struct {
-	mu      sync.Mutex
-	id      int
-	server  *transport.Server
-	peers   map[int]string
-	conns   map[int]*transport.Conn
-	members map[string]*memberState
-	keepers map[int]*keeperState // by group (orthogonality: at most one block of a group per node)
+	mu         sync.Mutex
+	id         int
+	server     *transport.Server
+	peers      map[int]string
+	pools      map[int]*transport.Pool
+	members    map[string]*memberState
+	keepers    map[int]*keeperState // by group (orthogonality: at most one block of a group per node)
+	compress   bool
+	rpcTimeout time.Duration
+	fanout     int
 
-	compress bool
-	stats    NodeStats
+	statsMu sync.Mutex
+	stats   NodeStats
 }
 
 type memberState struct {
+	mu       sync.Mutex
 	mem      *core.Member
 	workload vm.Workload
 	cfg      VMConfig
@@ -35,6 +47,7 @@ type memberState struct {
 }
 
 type keeperState struct {
+	mu     sync.Mutex
 	keeper *core.MKeeper
 	cfg    KeeperConfig
 	staged map[string]*core.Delta // member -> delta awaiting commit
@@ -44,7 +57,7 @@ type keeperState struct {
 func NewNode(addr string) (*Node, error) {
 	n := &Node{
 		peers:   map[int]string{},
-		conns:   map[int]*transport.Conn{},
+		pools:   map[int]*transport.Pool{},
 		members: map[string]*memberState{},
 		keepers: map[int]*keeperState{},
 	}
@@ -59,81 +72,100 @@ func NewNode(addr string) (*Node, error) {
 // Addr returns the node's listen address.
 func (n *Node) Addr() string { return n.server.Addr() }
 
+// SetRPCTimeout bounds every peer call this node makes (delta shipping,
+// recovery image pulls). Applies to pools created after the call, so set it
+// before the node receives traffic. 0 means no deadline.
+func (n *Node) SetRPCTimeout(d time.Duration) {
+	n.mu.Lock()
+	n.rpcTimeout = d
+	n.mu.Unlock()
+}
+
+// SetFanout bounds how many members are prepared/stepped/shipped
+// concurrently (0 = one goroutine per member).
+func (n *Node) SetFanout(k int) {
+	n.mu.Lock()
+	n.fanout = k
+	n.mu.Unlock()
+}
+
 // Close stops the daemon.
 func (n *Node) Close() error {
 	n.mu.Lock()
-	for _, c := range n.conns {
-		c.Close()
+	for _, p := range n.pools {
+		p.Close()
 	}
-	n.conns = map[int]*transport.Conn{}
+	n.pools = map[int]*transport.Pool{}
 	n.mu.Unlock()
 	return n.server.Close()
 }
 
-// peer returns a (cached) connection to another node.
-func (n *Node) peer(id int) (*transport.Conn, error) {
+// nodeID reads the node's identity under the structural lock.
+func (n *Node) nodeID() int {
 	n.mu.Lock()
-	c, ok := n.conns[id]
-	addr, haveAddr := n.peers[id]
-	n.mu.Unlock()
-	if ok {
-		return c, nil
+	defer n.mu.Unlock()
+	return n.id
+}
+
+// pool returns the (lazily created) connection pool for a peer.
+func (n *Node) pool(id int) (*transport.Pool, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if p, ok := n.pools[id]; ok {
+		return p, nil
 	}
-	if !haveAddr {
+	addr, ok := n.peers[id]
+	if !ok {
 		return nil, fmt.Errorf("runtime: node %d has no address for peer %d", n.id, id)
 	}
-	c, err := transport.Dial(addr)
-	if err != nil {
-		return nil, err
-	}
-	n.mu.Lock()
-	if prev, raced := n.conns[id]; raced {
-		n.mu.Unlock()
-		c.Close()
-		return prev, nil
-	}
-	n.conns[id] = c
-	n.mu.Unlock()
-	return c, nil
+	p := transport.NewPool(addr, transport.PoolOptions{CallTimeout: n.rpcTimeout})
+	n.pools[id] = p
+	return p, nil
 }
 
 // callPeer routes a request to another node, short-circuiting self-calls to
-// the local handler (no loopback round trip, no lock-order hazards). A
-// transport failure invalidates the cached connection and retries once over
-// a fresh dial, so a daemon replaced on the same address is reachable again.
+// the local handler (no loopback round trip, no lock-order hazards). The
+// pool re-dials and retries once when a cached connection turns out stale,
+// so a daemon replaced on the same address is reachable again.
 func (n *Node) callPeer(id int, msg *wire.Message) (*wire.Message, error) {
-	if id == n.id {
+	if id == n.nodeID() {
 		return n.handle(msg)
 	}
-	c, err := n.peer(id)
+	p, err := n.pool(id)
 	if err != nil {
 		return nil, err
 	}
-	resp, err := c.Call(msg)
-	if err == nil {
-		return resp, nil
-	}
-	// Remote errors come back as MsgError replies, so err here means the
-	// connection itself broke: drop it and retry once.
-	n.mu.Lock()
-	if n.conns[id] == c {
-		delete(n.conns, id)
-	}
-	n.mu.Unlock()
-	c.Close()
-	c, derr := n.peer(id)
-	if derr != nil {
-		return nil, err // report the original transport failure
-	}
-	return c.Call(msg)
+	return p.Call(msg)
 }
 
-// handle dispatches one request. The node lock is held by the individual
-// operations, not across peer calls, to avoid distributed deadlock.
+// snapshotMembers copies the member list under the structural lock.
+func (n *Node) snapshotMembers() []*memberState {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]*memberState, 0, len(n.members))
+	for _, ms := range n.members {
+		out = append(out, ms)
+	}
+	return out
+}
+
+// snapshotKeepers copies the keeper list under the structural lock.
+func (n *Node) snapshotKeepers() []*keeperState {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]*keeperState, 0, len(n.keepers))
+	for _, ks := range n.keepers {
+		out = append(out, ks)
+	}
+	return out
+}
+
+// handle dispatches one request. Locks are taken by the individual
+// operations, never across peer calls, to avoid distributed deadlock.
 func (n *Node) handle(req *wire.Message) (*wire.Message, error) {
 	switch req.Type {
 	case wire.MsgHello:
-		return &wire.Message{Type: wire.MsgHelloOK, Arg: uint64(n.id)}, nil
+		return &wire.Message{Type: wire.MsgHelloOK, Arg: uint64(n.nodeID())}, nil
 	case wire.MsgConfigure:
 		return n.onConfigure(req)
 	case wire.MsgStep:
@@ -164,10 +196,12 @@ func (n *Node) handle(req *wire.Message) (*wire.Message, error) {
 		return n.onRebuildKeeper(req)
 	case wire.MsgSetParity:
 		return n.onSetParity(req)
+	case wire.MsgSetParityBatch:
+		return n.onSetParityBatch(req)
 	case wire.MsgStats:
 		return n.onStats(req)
 	default:
-		return nil, fmt.Errorf("runtime: node %d: unhandled message %v", n.id, req.Type)
+		return nil, fmt.Errorf("runtime: node %d: unhandled message %v", n.nodeID(), req.Type)
 	}
 }
 
@@ -181,6 +215,19 @@ func (n *Node) onConfigure(req *wire.Message) (*wire.Message, error) {
 	n.id = cfg.NodeID
 	n.peers = cfg.Peers
 	n.compress = cfg.Compress
+	// Drop pools whose peer moved to a new address.
+	for id, p := range n.pools {
+		if addr, ok := cfg.Peers[id]; !ok || addr != p.Addr() {
+			p.Close()
+			delete(n.pools, id)
+		}
+	}
+	// A configuration is the node's complete assignment: members and keepers
+	// from a previous life (an earlier controller session, or state left
+	// behind before a Repair) must not leak into the new one, or they ship
+	// conflicting deltas for VMs that now live elsewhere.
+	n.members = map[string]*memberState{}
+	n.keepers = map[int]*keeperState{}
 	for _, vc := range cfg.VMs {
 		m, err := vm.NewMachine(vc.Name, vc.Pages, vc.PageSize)
 		if err != nil {
@@ -213,62 +260,91 @@ func (n *Node) onConfigure(req *wire.Message) (*wire.Message, error) {
 }
 
 func (n *Node) onStep(req *wire.Message) (*wire.Message, error) {
+	members := n.snapshotMembers()
 	n.mu.Lock()
-	defer n.mu.Unlock()
-	for _, ms := range n.members {
-		for i := uint64(0); i < req.Arg; i++ {
+	fan := n.fanout
+	n.mu.Unlock()
+	if err := parallelDo(len(members), fan, func(i int) error {
+		ms := members[i]
+		ms.mu.Lock()
+		defer ms.mu.Unlock()
+		for s := uint64(0); s < req.Arg; s++ {
 			ms.workload.Step(ms.mem.Machine())
 		}
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	return &wire.Message{Type: wire.MsgStepOK}, nil
 }
 
 // onPrepare captures a delta for every hosted member and ships it to every
-// parity node of the member's group, staging everything for commit.
+// parity node of the member's group, staging everything for commit. Members
+// are captured and shipped concurrently: each holds only its own lock during
+// capture, and shipping happens with no locks held, so deltas bound for
+// distinct parity peers overlap on the wire. The reply's Arg carries the
+// wire bytes shipped, so the coordinator can aggregate per-round volume.
 func (n *Node) onPrepare(req *wire.Message) (*wire.Message, error) {
+	members := n.snapshotMembers()
 	n.mu.Lock()
+	id, compress, fan := n.id, n.compress, n.fanout
+	n.mu.Unlock()
+
 	type shipment struct {
-		ms    *memberState
-		delta *core.Delta
+		delta  *core.Delta
+		group  int
+		parity []int
 	}
-	var out []shipment
-	for _, ms := range n.members {
+	ships := make([]shipment, len(members))
+	// Phase 1: capture and stage under each member's own lock. A failure
+	// leaves earlier members staged; the coordinator's abort undoes them.
+	if err := parallelDo(len(members), fan, func(i int) error {
+		ms := members[i]
+		ms.mu.Lock()
+		defer ms.mu.Unlock()
 		if ms.staged != nil {
-			n.mu.Unlock()
-			return nil, fmt.Errorf("runtime: node %d: %q already has a staged delta", n.id, ms.cfg.Name)
+			return fmt.Errorf("runtime: node %d: %q already has a staged delta", id, ms.cfg.Name)
 		}
 		d, err := ms.mem.CaptureDelta()
 		if err != nil {
-			n.mu.Unlock()
-			return nil, err
+			return err
 		}
 		ms.staged = d
-		out = append(out, shipment{ms: ms, delta: d})
+		ships[i] = shipment{delta: d, group: ms.cfg.Group, parity: append([]int(nil), ms.cfg.ParityNodes...)}
+		return nil
+	}); err != nil {
+		return nil, err
 	}
-	n.mu.Unlock()
-
-	for _, sh := range out {
-		payload := encodeDelta(sh.delta, n.compress)
-		n.mu.Lock()
-		n.stats.DeltasSent += int64(len(sh.ms.cfg.ParityNodes))
-		n.stats.DeltaRawBytes += sh.delta.PayloadBytes() * int64(len(sh.ms.cfg.ParityNodes))
-		n.stats.DeltaWireBytes += int64(len(payload)) * int64(len(sh.ms.cfg.ParityNodes))
-		n.mu.Unlock()
+	// Phase 2: encode and ship, members and parity peers concurrently.
+	var wireBytes atomic.Int64
+	if err := parallelDo(len(members), fan, func(i int) error {
+		sh := ships[i]
+		payload := encodeDelta(sh.delta, compress)
+		peers := int64(len(sh.parity))
+		n.statsMu.Lock()
+		n.stats.DeltasSent += peers
+		n.stats.DeltaRawBytes += sh.delta.PayloadBytes() * peers
+		n.stats.DeltaWireBytes += int64(len(payload)) * peers
+		n.statsMu.Unlock()
+		wireBytes.Add(int64(len(payload)) * peers)
 		msg := &wire.Message{
 			Type: wire.MsgDelta, Epoch: sh.delta.Epoch,
-			Group: int32(sh.ms.cfg.Group), VM: sh.delta.VMID, Payload: payload,
+			Group: int32(sh.group), VM: sh.delta.VMID, Payload: payload,
 		}
-		for _, parity := range sh.ms.cfg.ParityNodes {
-			reply, err := n.callPeer(parity, msg)
+		return parallelDo(len(sh.parity), 0, func(j int) error {
+			reply, err := n.callPeer(sh.parity[j], msg)
 			if err != nil {
-				return nil, fmt.Errorf("runtime: shipping delta of %q to node %d: %w", sh.delta.VMID, parity, err)
+				return fmt.Errorf("runtime: shipping delta of %q to node %d: %w", sh.delta.VMID, sh.parity[j], err)
 			}
 			if reply.Type != wire.MsgDeltaOK {
-				return nil, fmt.Errorf("runtime: unexpected reply %v to delta", reply.Type)
+				return fmt.Errorf("runtime: unexpected reply %v to delta", reply.Type)
 			}
-		}
+			return nil
+		})
+	}); err != nil {
+		return nil, err
 	}
-	return &wire.Message{Type: wire.MsgPrepareOK, Epoch: req.Epoch}, nil
+	return &wire.Message{Type: wire.MsgPrepareOK, Epoch: req.Epoch, Arg: uint64(wireBytes.Load())}, nil
 }
 
 func (n *Node) onDelta(req *wire.Message) (*wire.Message, error) {
@@ -277,11 +353,14 @@ func (n *Node) onDelta(req *wire.Message) (*wire.Message, error) {
 		return nil, err
 	}
 	n.mu.Lock()
-	defer n.mu.Unlock()
 	ks, ok := n.keepers[int(req.Group)]
+	id := n.id
+	n.mu.Unlock()
 	if !ok {
-		return nil, fmt.Errorf("runtime: node %d keeps no parity for group %d", n.id, req.Group)
+		return nil, fmt.Errorf("runtime: node %d keeps no parity for group %d", id, req.Group)
 	}
+	ks.mu.Lock()
+	defer ks.mu.Unlock()
 	if prev, dup := ks.staged[d.VMID]; dup && prev.Epoch != d.Epoch {
 		return nil, fmt.Errorf("runtime: conflicting staged delta for %q", d.VMID)
 	}
@@ -290,47 +369,72 @@ func (n *Node) onDelta(req *wire.Message) (*wire.Message, error) {
 }
 
 func (n *Node) onCommit(req *wire.Message) (*wire.Message, error) {
+	keepers := n.snapshotKeepers()
 	n.mu.Lock()
-	defer n.mu.Unlock()
-	for _, ks := range n.keepers {
+	fan := n.fanout
+	n.mu.Unlock()
+	// Fold staged deltas into parity, keepers in parallel (the XOR/RS fold
+	// is real CPU work and keepers are independent).
+	if err := parallelDo(len(keepers), fan, func(i int) error {
+		ks := keepers[i]
+		ks.mu.Lock()
+		defer ks.mu.Unlock()
 		for id, d := range ks.staged {
 			if err := ks.keeper.ApplyDelta(d); err != nil {
-				return nil, fmt.Errorf("runtime: commit group %d member %q: %w", ks.keeper.Group(), id, err)
+				return fmt.Errorf("runtime: commit group %d member %q: %w", ks.keeper.Group(), id, err)
 			}
 			delete(ks.staged, id)
 		}
+		return nil
+	}); err != nil {
+		return nil, err
 	}
-	for _, ms := range n.members {
+	for _, ms := range n.snapshotMembers() {
+		ms.mu.Lock()
 		ms.staged = nil // capture already advanced the committed image
+		ms.mu.Unlock()
 	}
 	return &wire.Message{Type: wire.MsgCommitOK, Epoch: req.Epoch}, nil
 }
 
 func (n *Node) onAbort(req *wire.Message) (*wire.Message, error) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	for _, ks := range n.keepers {
+	for _, ks := range n.snapshotKeepers() {
+		ks.mu.Lock()
 		ks.staged = map[string]*core.Delta{}
+		ks.mu.Unlock()
 	}
-	for _, ms := range n.members {
-		if ms.staged == nil {
-			continue
+	for _, ms := range n.snapshotMembers() {
+		ms.mu.Lock()
+		if ms.staged != nil {
+			if err := ms.mem.UndoCapture(ms.staged); err != nil {
+				ms.mu.Unlock()
+				return nil, err
+			}
+			ms.staged = nil
 		}
-		if err := ms.mem.UndoCapture(ms.staged); err != nil {
-			return nil, err
-		}
-		ms.staged = nil
+		ms.mu.Unlock()
 	}
 	return &wire.Message{Type: wire.MsgAbortOK, Epoch: req.Epoch}, nil
 }
 
-func (n *Node) onGetImage(req *wire.Message) (*wire.Message, error) {
+// member looks a hosted member up under the structural lock.
+func (n *Node) member(name string) (*memberState, error) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	ms, ok := n.members[req.VM]
+	ms, ok := n.members[name]
 	if !ok {
-		return nil, fmt.Errorf("runtime: node %d does not host %q", n.id, req.VM)
+		return nil, fmt.Errorf("runtime: node %d does not host %q", n.id, name)
 	}
+	return ms, nil
+}
+
+func (n *Node) onGetImage(req *wire.Message) (*wire.Message, error) {
+	ms, err := n.member(req.VM)
+	if err != nil {
+		return nil, err
+	}
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
 	return &wire.Message{
 		Type: wire.MsgImage, VM: req.VM,
 		Epoch:   ms.mem.Epoch(),
@@ -341,11 +445,14 @@ func (n *Node) onGetImage(req *wire.Message) (*wire.Message, error) {
 // onGetParity serves this node's parity block for a group.
 func (n *Node) onGetParity(req *wire.Message) (*wire.Message, error) {
 	n.mu.Lock()
-	defer n.mu.Unlock()
 	ks, ok := n.keepers[int(req.Group)]
+	id := n.id
+	n.mu.Unlock()
 	if !ok {
-		return nil, fmt.Errorf("runtime: node %d keeps no parity for group %d", n.id, req.Group)
+		return nil, fmt.Errorf("runtime: node %d keeps no parity for group %d", id, req.Group)
 	}
+	ks.mu.Lock()
+	defer ks.mu.Unlock()
 	return &wire.Message{
 		Type: wire.MsgGetParityOK, Group: req.Group,
 		Arg:     uint64(ks.keeper.ParityIndex()),
@@ -356,6 +463,7 @@ func (n *Node) onGetParity(req *wire.Message) (*wire.Message, error) {
 // onReconstruct runs on a surviving parity node: it pulls survivor images
 // and the group's alive parity blocks (its own plus peers'), solves the
 // erasure system, and returns the requested lost VM's committed image.
+// Survivor images and parity blocks are fetched concurrently.
 func (n *Node) onReconstruct(req *wire.Message) (*wire.Message, error) {
 	var cfg reconstructConfig
 	if err := decodeJSON(req.Text, &cfg); err != nil {
@@ -363,32 +471,58 @@ func (n *Node) onReconstruct(req *wire.Message) (*wire.Message, error) {
 	}
 	n.mu.Lock()
 	ks, ok := n.keepers[cfg.Group]
+	id := n.id
 	n.mu.Unlock()
 	if !ok {
-		return nil, fmt.Errorf("runtime: node %d keeps no parity for group %d", n.id, cfg.Group)
+		return nil, fmt.Errorf("runtime: node %d keeps no parity for group %d", id, cfg.Group)
 	}
-	survivors := map[string][]byte{}
-	var epoch uint64
+	type fetch struct {
+		member string // survivor image when non-empty
+		parity int    // parity index otherwise
+		node   int
+	}
+	var fetches []fetch
 	for member, nodeID := range cfg.Survivors {
-		img, err := n.callPeer(nodeID, &wire.Message{Type: wire.MsgGetImage, VM: member})
-		if err != nil {
-			return nil, fmt.Errorf("runtime: fetching survivor %q from node %d: %w", member, nodeID, err)
-		}
-		survivors[member] = img.Payload
-		epoch = img.Epoch
+		fetches = append(fetches, fetch{member: member, node: nodeID})
 	}
-	parityBlocks := map[int][]byte{}
 	for idx, nodeID := range cfg.ParityPeers {
-		pb, err := n.callPeer(nodeID, &wire.Message{Type: wire.MsgGetParity, Group: int32(cfg.Group)})
-		if err != nil {
-			return nil, fmt.Errorf("runtime: fetching parity[%d] from node %d: %w", idx, nodeID, err)
-		}
-		if int(pb.Arg) != idx {
-			return nil, fmt.Errorf("runtime: node %d served parity[%d], wanted [%d]", nodeID, pb.Arg, idx)
-		}
-		parityBlocks[idx] = pb.Payload
+		fetches = append(fetches, fetch{parity: idx, node: nodeID, member: ""})
 	}
-	rebuilt, err := core.ReconstructMembers(cfg.Tolerance, ks.keeper.Members(), survivors, parityBlocks, cfg.AllLost)
+	var mu sync.Mutex
+	survivors := map[string][]byte{}
+	parityBlocks := map[int][]byte{}
+	var epoch uint64
+	if err := parallelDo(len(fetches), 0, func(i int) error {
+		f := fetches[i]
+		if f.member != "" {
+			img, err := n.callPeer(f.node, &wire.Message{Type: wire.MsgGetImage, VM: f.member})
+			if err != nil {
+				return fmt.Errorf("runtime: fetching survivor %q from node %d: %w", f.member, f.node, err)
+			}
+			mu.Lock()
+			survivors[f.member] = img.Payload
+			epoch = img.Epoch
+			mu.Unlock()
+			return nil
+		}
+		pb, err := n.callPeer(f.node, &wire.Message{Type: wire.MsgGetParity, Group: int32(cfg.Group)})
+		if err != nil {
+			return fmt.Errorf("runtime: fetching parity[%d] from node %d: %w", f.parity, f.node, err)
+		}
+		if int(pb.Arg) != f.parity {
+			return fmt.Errorf("runtime: node %d served parity[%d], wanted [%d]", f.node, pb.Arg, f.parity)
+		}
+		mu.Lock()
+		parityBlocks[f.parity] = pb.Payload
+		mu.Unlock()
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	ks.mu.Lock()
+	memberNames := ks.keeper.Members()
+	ks.mu.Unlock()
+	rebuilt, err := core.ReconstructMembers(cfg.Tolerance, memberNames, survivors, parityBlocks, cfg.AllLost)
 	if err != nil {
 		return nil, err
 	}
@@ -429,58 +563,72 @@ func (n *Node) onInstall(req *wire.Message) (*wire.Message, error) {
 }
 
 func (n *Node) onChecksum(req *wire.Message) (*wire.Message, error) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	ms, ok := n.members[req.VM]
-	if !ok {
-		return nil, fmt.Errorf("runtime: node %d does not host %q", n.id, req.VM)
+	ms, err := n.member(req.VM)
+	if err != nil {
+		return nil, err
 	}
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
 	h := fnv.New64a()
 	h.Write(ms.mem.CommittedImage())
 	return &wire.Message{Type: wire.MsgChecksumOK, VM: req.VM, Arg: h.Sum64(), Epoch: ms.mem.Epoch()}, nil
 }
 
 func (n *Node) onRollback(req *wire.Message) (*wire.Message, error) {
+	members := n.snapshotMembers()
 	n.mu.Lock()
-	defer n.mu.Unlock()
-	for _, ms := range n.members {
+	fan := n.fanout
+	n.mu.Unlock()
+	if err := parallelDo(len(members), fan, func(i int) error {
+		ms := members[i]
+		ms.mu.Lock()
+		defer ms.mu.Unlock()
 		// An uncommitted prepared capture must be undone first so the
 		// committed image returns to the last COMMIT-ed epoch; then the
 		// machine state rolls back to it.
 		if ms.staged != nil {
 			if err := ms.mem.UndoCapture(ms.staged); err != nil {
-				return nil, err
+				return err
 			}
 			ms.staged = nil
 		}
-		if err := ms.mem.Rollback(); err != nil {
-			return nil, err
-		}
+		return ms.mem.Rollback()
+	}); err != nil {
+		return nil, err
 	}
-	for _, ks := range n.keepers {
+	for _, ks := range n.snapshotKeepers() {
+		ks.mu.Lock()
 		ks.staged = map[string]*core.Delta{}
+		ks.mu.Unlock()
 	}
 	return &wire.Message{Type: wire.MsgRollbackOK}, nil
 }
 
 // onRebuildKeeper makes this node the holder of one parity block of a group
-// by pulling every member's committed image and folding them.
+// by pulling every member's committed image (concurrently) and folding them.
 func (n *Node) onRebuildKeeper(req *wire.Message) (*wire.Message, error) {
 	var cfg rebuildKeeperConfig
 	if err := decodeJSON(req.Text, &cfg); err != nil {
 		return nil, err
 	}
+	var mu sync.Mutex
 	initial := map[string][]byte{}
-	for _, member := range cfg.Members {
+	if err := parallelDo(len(cfg.Members), 0, func(i int) error {
+		member := cfg.Members[i]
 		nodeID, ok := cfg.MemberNodes[member]
 		if !ok {
-			return nil, fmt.Errorf("runtime: rebuild keeper: no node for member %q", member)
+			return fmt.Errorf("runtime: rebuild keeper: no node for member %q", member)
 		}
 		img, err := n.callPeer(nodeID, &wire.Message{Type: wire.MsgGetImage, VM: member})
 		if err != nil {
-			return nil, fmt.Errorf("runtime: rebuild keeper: fetch %q: %w", member, err)
+			return fmt.Errorf("runtime: rebuild keeper: fetch %q: %w", member, err)
 		}
+		mu.Lock()
 		initial[member] = img.Payload
+		mu.Unlock()
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	k, err := core.NewMKeeper(cfg.Group, cfg.ParityIdx, cfg.Tolerance, initial)
 	if err != nil {
@@ -507,6 +655,8 @@ func (n *Node) onEvict(req *wire.Message) (*wire.Message, error) {
 	if !ok {
 		return nil, fmt.Errorf("runtime: node %d does not host %q", n.id, req.VM)
 	}
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
 	if ms.staged != nil {
 		return nil, fmt.Errorf("runtime: %q has a staged delta; commit or abort first", req.VM)
 	}
@@ -521,9 +671,9 @@ func (n *Node) onEvict(req *wire.Message) (*wire.Message, error) {
 
 // onStats serves the node's protocol counters.
 func (n *Node) onStats(req *wire.Message) (*wire.Message, error) {
-	n.mu.Lock()
+	n.statsMu.Lock()
 	st := n.stats
-	n.mu.Unlock()
+	n.statsMu.Unlock()
 	text, err := encodeJSON(st)
 	if err != nil {
 		return nil, err
@@ -531,23 +681,48 @@ func (n *Node) onStats(req *wire.Message) (*wire.Message, error) {
 	return &wire.Message{Type: wire.MsgStatsOK, Text: text}, nil
 }
 
-// onSetParity points hosted members of a group at a new parity node for one
-// parity block (after a keeper was re-homed during recovery). Epoch carries
-// the parity index, Arg the new node id.
-func (n *Node) onSetParity(req *wire.Message) (*wire.Message, error) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	idx := int(req.Epoch)
-	for _, ms := range n.members {
-		if ms.cfg.Group != int(req.Group) {
+// setParity points hosted members of one group at a new parity node for one
+// parity block (after a keeper was re-homed during recovery).
+func (n *Node) setParity(group, idx, node int) error {
+	for _, ms := range n.snapshotMembers() {
+		ms.mu.Lock()
+		if ms.cfg.Group != group {
+			ms.mu.Unlock()
 			continue
 		}
 		if idx < 0 || idx >= len(ms.cfg.ParityNodes) {
-			return nil, fmt.Errorf("runtime: parity index %d out of range for %q", idx, ms.cfg.Name)
+			name := ms.cfg.Name
+			ms.mu.Unlock()
+			return fmt.Errorf("runtime: parity index %d out of range for %q", idx, name)
 		}
-		ms.cfg.ParityNodes[idx] = int(req.Arg)
+		ms.cfg.ParityNodes[idx] = node
+		ms.mu.Unlock()
+	}
+	return nil
+}
+
+// onSetParity applies a single reassignment. Epoch carries the parity
+// index, Arg the new node id.
+func (n *Node) onSetParity(req *wire.Message) (*wire.Message, error) {
+	if err := n.setParity(int(req.Group), int(req.Epoch), int(req.Arg)); err != nil {
+		return nil, err
 	}
 	return &wire.Message{Type: wire.MsgSetParityOK, Group: req.Group}, nil
+}
+
+// onSetParityBatch applies a whole recovery's worth of parity reassignments
+// in one round trip (JSON list of parityUpdate in Text).
+func (n *Node) onSetParityBatch(req *wire.Message) (*wire.Message, error) {
+	var updates []parityUpdate
+	if err := decodeJSON(req.Text, &updates); err != nil {
+		return nil, fmt.Errorf("runtime: bad set-parity batch: %w", err)
+	}
+	for _, u := range updates {
+		if err := n.setParity(u.Group, u.Idx, u.Node); err != nil {
+			return nil, err
+		}
+	}
+	return &wire.Message{Type: wire.MsgSetParityBatchOK, Arg: uint64(len(updates))}, nil
 }
 
 // SetPeers updates the peer address map (coordinator uses it after
@@ -557,4 +732,10 @@ func (n *Node) SetPeers(peers map[int]string) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.peers = peers
+	for id, p := range n.pools {
+		if addr, ok := peers[id]; !ok || addr != p.Addr() {
+			p.Close()
+			delete(n.pools, id)
+		}
+	}
 }

@@ -1,0 +1,55 @@
+package runtime
+
+import (
+	"fmt"
+	"time"
+)
+
+// RoundStats is the coordinator's record of its most recent checkpoint round
+// (and, when one has run, the most recent recovery): per-phase wall-clock,
+// delta volume, and transport health. Fetch it with Coordinator.RoundStats
+// after Checkpoint; cmd/dvdcctl prints it per round.
+type RoundStats struct {
+	Epoch        uint64        // epoch the round targeted
+	PrepareWall  time.Duration // prepare fan-out wall-clock (capture + delta shipping)
+	CommitWall   time.Duration // commit fan-out wall-clock (parity folding)
+	RecoveryWall time.Duration // most recent RecoverNodes wall-clock (0 if none yet)
+	BytesShipped int64         // delta wire bytes shipped cluster-wide this round
+	RPCRetries   int64         // transport re-dials/retries during this round
+	Aborted      bool          // the round failed in prepare and was aborted
+	DeadDuring   []int         // nodes declared dead by the commit phase
+}
+
+// String renders a one-line per-round report.
+func (r RoundStats) String() string {
+	s := fmt.Sprintf("epoch %d: prepare %v, commit %v, %d B shipped",
+		r.Epoch, r.PrepareWall.Round(time.Microsecond), r.CommitWall.Round(time.Microsecond), r.BytesShipped)
+	if r.RPCRetries > 0 {
+		s += fmt.Sprintf(", %d rpc retries", r.RPCRetries)
+	}
+	if r.Aborted {
+		s += " [aborted]"
+	}
+	if len(r.DeadDuring) > 0 {
+		s += fmt.Sprintf(" [nodes %v died in commit]", r.DeadDuring)
+	}
+	return s
+}
+
+// PartialCommitError reports a checkpoint round whose commit phase lost
+// nodes. The round still committed — the epoch advanced, and the named
+// nodes were declared dead — because a commit cannot be rolled back once
+// any node has applied it (the cluster-wide invariant is: a round that
+// enters the commit phase always completes, and committers that stay
+// unreachable through the retry budget are treated as node failures).
+// The caller should run RecoverNodes over Nodes to restore redundancy.
+type PartialCommitError struct {
+	Epoch uint64 // the epoch that was committed despite the losses
+	Nodes []int  // nodes declared dead during commit
+}
+
+// Error implements error.
+func (e *PartialCommitError) Error() string {
+	return fmt.Sprintf("runtime: epoch %d committed, but nodes %v failed commit and were declared dead (recovery required)",
+		e.Epoch, e.Nodes)
+}

@@ -1,0 +1,187 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dvdc/internal/wire"
+)
+
+// PoolOptions tunes a per-peer connection pool. The zero value picks sane
+// defaults: 4 connections, 5s dials, one re-dial with 25ms backoff, and no
+// per-call deadline.
+type PoolOptions struct {
+	Size        int           // max concurrent connections to the peer (default 4)
+	CallTimeout time.Duration // per-call I/O deadline (0 = none)
+	DialTimeout time.Duration // per-dial bound (default 5s)
+	DialRetries int           // extra dial attempts after the first (default 1)
+	Backoff     time.Duration // base backoff between dial attempts, doubled each retry (default 25ms)
+}
+
+func (o PoolOptions) withDefaults() PoolOptions {
+	if o.Size <= 0 {
+		o.Size = 4
+	}
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 5 * time.Second
+	}
+	if o.DialRetries < 0 {
+		o.DialRetries = 0
+	} else if o.DialRetries == 0 {
+		o.DialRetries = 1
+	}
+	if o.Backoff <= 0 {
+		o.Backoff = 25 * time.Millisecond
+	}
+	return o
+}
+
+// Pool is a bounded pool of framed connections to one peer, so that
+// concurrent fan-out is not serialized on a single in-flight socket.
+// Connections are dialed lazily, reused when idle, and discarded on
+// transport failure; a call that lands on a stale cached connection (the
+// peer restarted) is retried once over a fresh dial. Calls beyond Size
+// queue for a free connection slot. Safe for concurrent use.
+type Pool struct {
+	addr    string
+	opts    PoolOptions
+	slots   chan struct{}
+	retries atomic.Int64
+
+	mu     sync.Mutex
+	idle   []*Conn
+	closed bool
+}
+
+// NewPool builds a pool for one peer address. Nothing is dialed until the
+// first Call.
+func NewPool(addr string, opts PoolOptions) *Pool {
+	opts = opts.withDefaults()
+	return &Pool{
+		addr:  addr,
+		opts:  opts,
+		slots: make(chan struct{}, opts.Size),
+	}
+}
+
+// Addr returns the peer address.
+func (p *Pool) Addr() string { return p.addr }
+
+// Retries returns the cumulative count of in-call retries and re-dial
+// attempts (a health signal: a flapping peer drives it up).
+func (p *Pool) Retries() int64 { return p.retries.Load() }
+
+// Call sends one request and waits for the reply, checking a connection out
+// of the pool (dialing if none is idle). On a transport failure over a
+// reused connection the call re-dials and retries once — the peer may have
+// restarted on the same address. Timeouts are not retried: a peer that
+// blew the call deadline once is stalled, and retrying would double the
+// caller's wait.
+func (p *Pool) Call(req *wire.Message) (*wire.Message, error) {
+	p.mu.Lock()
+	closed := p.closed
+	p.mu.Unlock()
+	if closed {
+		return nil, fmt.Errorf("transport: pool for %s is closed", p.addr)
+	}
+	p.slots <- struct{}{}
+	defer func() { <-p.slots }()
+	for attempt := 0; ; attempt++ {
+		c, reused, err := p.get()
+		if err != nil {
+			return nil, err
+		}
+		resp, err := c.Call(req)
+		if err == nil {
+			p.put(c)
+			return resp, nil
+		}
+		var remote *wire.RemoteError
+		if errors.As(err, &remote) {
+			// The handler answered (with an error); the stream is in sync.
+			p.put(c)
+			return nil, err
+		}
+		c.Close()
+		if isTimeout(err) || !reused || attempt > 0 {
+			return nil, err
+		}
+		p.retries.Add(1)
+	}
+}
+
+// get checks out an idle connection (reused=true) or dials a fresh one.
+func (p *Pool) get() (c *Conn, reused bool, err error) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, false, fmt.Errorf("transport: pool for %s is closed", p.addr)
+	}
+	if n := len(p.idle); n > 0 {
+		c = p.idle[n-1]
+		p.idle = p.idle[:n-1]
+		p.mu.Unlock()
+		return c, true, nil
+	}
+	p.mu.Unlock()
+	c, err = p.dial()
+	return c, false, err
+}
+
+// dial connects with bounded retry and exponential backoff.
+func (p *Pool) dial() (*Conn, error) {
+	backoff := p.opts.Backoff
+	var lastErr error
+	for i := 0; i <= p.opts.DialRetries; i++ {
+		if i > 0 {
+			p.retries.Add(1)
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+		c, err := DialTimeout(p.addr, p.opts.DialTimeout)
+		if err == nil {
+			if p.opts.CallTimeout > 0 {
+				c.SetTimeout(p.opts.CallTimeout)
+			}
+			return c, nil
+		}
+		lastErr = err
+	}
+	return nil, lastErr
+}
+
+// put returns a healthy connection to the idle list (closing it if the pool
+// has shut down or already holds enough spares).
+func (p *Pool) put(c *Conn) {
+	p.mu.Lock()
+	if p.closed || len(p.idle) >= p.opts.Size {
+		p.mu.Unlock()
+		c.Close()
+		return
+	}
+	p.idle = append(p.idle, c)
+	p.mu.Unlock()
+}
+
+// Close closes idle connections and rejects future calls. Connections
+// currently checked out are closed as their calls complete.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	p.closed = true
+	idle := p.idle
+	p.idle = nil
+	p.mu.Unlock()
+	for _, c := range idle {
+		c.Close()
+	}
+}
+
+// isTimeout reports whether err is an I/O deadline expiry.
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}

@@ -1,11 +1,13 @@
 // Package transport carries wire.Messages over TCP: a framed connection
-// with single-in-flight request/response semantics, and a server that runs
-// one handler goroutine per accepted connection. The distributed DVDC
-// runtime's coordinator-to-node and node-to-node traffic all rides on it.
+// with single-in-flight request/response semantics, a per-peer connection
+// pool for concurrent fan-out, and a server that runs one handler goroutine
+// per accepted connection. The distributed DVDC runtime's coordinator-to-node
+// and node-to-node traffic all rides on it.
 package transport
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
@@ -17,15 +19,24 @@ import (
 // Conn is a framed connection. Call is safe for concurrent use; each call
 // holds the connection for one request/response exchange.
 type Conn struct {
-	mu sync.Mutex
-	c  net.Conn
-	r  *bufio.Reader
-	w  *bufio.Writer
+	mu      sync.Mutex
+	c       net.Conn
+	r       *bufio.Reader
+	w       *bufio.Writer
+	timeout time.Duration
 }
 
-// Dial connects to a runtime endpoint.
+// Dial connects to a runtime endpoint with the default 5s dial timeout.
 func Dial(addr string) (*Conn, error) {
-	c, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	return DialTimeout(addr, 5*time.Second)
+}
+
+// DialTimeout connects to a runtime endpoint, bounding the dial.
+func DialTimeout(addr string, d time.Duration) (*Conn, error) {
+	if d <= 0 {
+		d = 5 * time.Second
+	}
+	c, err := net.DialTimeout("tcp", addr, d)
 	if err != nil {
 		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
 	}
@@ -36,11 +47,26 @@ func newConn(c net.Conn) *Conn {
 	return &Conn{c: c, r: bufio.NewReaderSize(c, 1<<16), w: bufio.NewWriterSize(c, 1<<16)}
 }
 
-// Call sends a request and waits for its reply. A reply of type MsgError is
-// converted into a Go error.
+// SetTimeout sets the per-call I/O deadline for subsequent Calls (0 disables
+// it). A call that trips the deadline leaves the stream desynchronized — the
+// reply may still be in flight — so the connection must be closed, not
+// reused; Pool handles that automatically.
+func (c *Conn) SetTimeout(d time.Duration) {
+	c.mu.Lock()
+	c.timeout = d
+	c.mu.Unlock()
+}
+
+// Call sends a request and waits for its reply, bounded by the configured
+// per-call timeout. A reply of type MsgError is converted into a
+// *wire.RemoteError.
 func (c *Conn) Call(req *wire.Message) (*wire.Message, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.timeout > 0 {
+		c.c.SetDeadline(time.Now().Add(c.timeout)) //nolint:errcheck
+		defer c.c.SetDeadline(time.Time{})         //nolint:errcheck
+	}
 	if err := wire.WriteFrame(c.w, req); err != nil {
 		return nil, err
 	}
@@ -96,8 +122,21 @@ func Listen(addr string, h Handler) (*Server, error) {
 // Addr returns the bound address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
+// Accept-error backoff: start at acceptBackoffMin, double up to
+// acceptBackoffMax, and give up after maxAcceptFailures consecutive errors —
+// a listener that fails that long (fd exhaustion that never clears, a
+// revoked socket) is permanently broken and spinning on it helps nobody.
+// Vars, not consts, so tests can shrink the schedule.
+var (
+	acceptBackoffMin  = 10 * time.Millisecond
+	acceptBackoffMax  = time.Second
+	maxAcceptFailures = 12
+)
+
 func (s *Server) acceptLoop() {
 	defer s.wg.Done()
+	backoff := acceptBackoffMin
+	failures := 0
 	for {
 		c, err := s.ln.Accept()
 		if err != nil {
@@ -105,11 +144,25 @@ func (s *Server) acceptLoop() {
 			case <-s.done:
 				return
 			default:
-				// Transient accept error: back off briefly.
-				time.Sleep(10 * time.Millisecond)
-				continue
 			}
+			if errors.Is(err, net.ErrClosed) {
+				return // listener closed out from under us: nothing to retry
+			}
+			failures++
+			if failures >= maxAcceptFailures {
+				return // persistently broken listener: stop cleanly
+			}
+			select {
+			case <-s.done:
+				return
+			case <-time.After(backoff):
+			}
+			if backoff *= 2; backoff > acceptBackoffMax {
+				backoff = acceptBackoffMax
+			}
+			continue
 		}
+		failures, backoff = 0, acceptBackoffMin
 		s.mu.Lock()
 		s.conns[c] = struct{}{}
 		s.mu.Unlock()

@@ -51,6 +51,8 @@ const (
 	MsgGetParityOK
 	MsgEvict // remove a quiescent VM from this node, returning its committed image
 	MsgEvictOK
+	MsgSetParityBatch // apply a batch of parity-node reassignments (JSON in Text)
+	MsgSetParityBatchOK
 	MsgError // any request may be answered with an error
 )
 
@@ -74,6 +76,7 @@ func (t MsgType) String() string {
 		MsgStats: "stats", MsgStatsOK: "stats-ok",
 		MsgGetParity: "get-parity", MsgGetParityOK: "get-parity-ok",
 		MsgEvict: "evict", MsgEvictOK: "evict-ok",
+		MsgSetParityBatch: "set-parity-batch", MsgSetParityBatchOK: "set-parity-batch-ok",
 		MsgError: "error",
 	}
 	if n, ok := names[t]; ok {
@@ -210,10 +213,19 @@ func Errorf(format string, args ...interface{}) *Message {
 	return &Message{Type: MsgError, Text: fmt.Sprintf(format, args...)}
 }
 
+// RemoteError is an application-level error reply (MsgError) from the peer.
+// The connection that carried it is still healthy: the handler ran and
+// answered, it just answered with a failure. Transport code uses the
+// distinction to decide whether a connection may be reused.
+type RemoteError struct{ Text string }
+
+// Error implements error.
+func (e *RemoteError) Error() string { return "wire: remote error: " + e.Text }
+
 // AsError converts an error reply into a Go error (nil for non-errors).
 func (m *Message) AsError() error {
 	if m.Type != MsgError {
 		return nil
 	}
-	return fmt.Errorf("wire: remote error: %s", m.Text)
+	return &RemoteError{Text: m.Text}
 }
