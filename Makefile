@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench experiments figures fuzz clean
+.PHONY: all build test race cover bench experiments figures fuzz soak clean
 
 all: build test
 
@@ -14,7 +14,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/runtime/ ./internal/transport/ ./internal/core/ ./internal/sim/
+	$(GO) test -race ./internal/runtime/ ./internal/transport/ ./internal/chaos/ ./internal/core/ ./internal/sim/
 
 cover:
 	$(GO) test -coverprofile=cover.out ./internal/...
@@ -30,6 +30,13 @@ experiments:
 # Same, but also write .txt/.csv/.png files under fig/.
 figures:
 	$(GO) run ./cmd/dvdcbench -exp all -out fig
+
+# Invariant-checked chaos soak on a live loopback cluster (seeded; any
+# failure is replayed exactly with SOAK_SEED=<printed seed>).
+SOAK_SEED ?= 424242
+soak:
+	$(GO) run ./cmd/dvdcsoak -seed $(SOAK_SEED) -rounds 20
+	$(GO) run ./cmd/dvdcsoak -seed $(SOAK_SEED) -nodes 8 -rounds 10
 
 # Short fuzzing passes over the three codecs.
 fuzz:

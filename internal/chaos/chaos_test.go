@@ -1,0 +1,405 @@
+package chaos
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"dvdc/internal/failure"
+	"dvdc/internal/wire"
+)
+
+// pipeThrough writes msgs through a faultConn over an in-memory pipe and
+// returns what the far side's ReadFrame saw: decoded messages until the
+// first error (nil error means the writer closed cleanly first).
+func pipeThrough(t *testing.T, inj *Injector, p Pair, msgs []*wire.Message) ([]*wire.Message, error) {
+	t.Helper()
+	client, server := net.Pipe()
+	fc := newFaultConn(client, inj, p)
+	type result struct {
+		got []*wire.Message
+		err error
+	}
+	done := make(chan result, 1)
+	go func() {
+		r := bufio.NewReader(server)
+		var res result
+		for {
+			m, err := wire.ReadFrame(r)
+			if err != nil {
+				if !errors.Is(err, net.ErrClosed) && !errors.Is(err, io.EOF) &&
+					!errors.Is(err, io.ErrClosedPipe) {
+					res.err = err
+				}
+				// Unblock the writer (net.Pipe writes are synchronous) before
+				// reporting, or a writer mid-frame would deadlock the test.
+				server.Close()
+				done <- res
+				return
+			}
+			res.got = append(res.got, m)
+		}
+	}()
+	w := bufio.NewWriter(fc)
+	var werr error
+	for _, m := range msgs {
+		if werr = wire.WriteFrame(w, m); werr != nil {
+			break
+		}
+		if werr = w.Flush(); werr != nil {
+			break
+		}
+	}
+	fc.Close()
+	res := <-done
+	server.Close()
+	if res.err == nil && werr != nil {
+		return res.got, werr
+	}
+	return res.got, res.err
+}
+
+func msgN(n int) *wire.Message {
+	return &wire.Message{Type: wire.MsgType(1), Epoch: uint64(n), VM: fmt.Sprintf("vm%d", n)}
+}
+
+func TestCleanPassThrough(t *testing.T) {
+	inj := New(1, Config{})
+	msgs := []*wire.Message{msgN(1), msgN(2), msgN(3)}
+	got, err := pipeThrough(t, inj, Pair{0, 1}, msgs)
+	if err != nil {
+		t.Fatalf("clean pass-through errored: %v", err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("got %d frames, want 3", len(got))
+	}
+	for i, m := range got {
+		if m.Epoch != uint64(i+1) || m.VM != fmt.Sprintf("vm%d", i+1) {
+			t.Fatalf("frame %d mangled: %+v", i, m)
+		}
+	}
+	if n := len(inj.Log()); n != 0 {
+		t.Fatalf("clean run logged %d faults", n)
+	}
+}
+
+func TestArmedCorruptYieldsTypedFrameError(t *testing.T) {
+	inj := New(1, Config{})
+	p := Pair{Coordinator, 2}
+	inj.Arm(p, Corrupt)
+	// A frame with a payload much larger than the receiver's read buffer, to
+	// prove corruption detection does not depend on frame size.
+	big := &wire.Message{Type: wire.MsgType(2), Payload: bytes.Repeat([]byte{0xAB}, 200_000)}
+	got, err := pipeThrough(t, inj, p, []*wire.Message{big, msgN(2)})
+	if err == nil {
+		t.Fatalf("corrupted stream decoded cleanly: %d frames", len(got))
+	}
+	if !wire.IsDecodeErr(err) {
+		t.Fatalf("corruption surfaced as %v, want wire.ErrFrame", err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("decoded %d frames before the corrupted one, want 0", len(got))
+	}
+	if inj.Fired(-1, Corrupt) != 1 {
+		t.Fatalf("fault log: %v, want one corrupt", inj.Log())
+	}
+	if inj.ArmedPending() != 0 {
+		t.Fatalf("armed fault did not fire")
+	}
+}
+
+func TestArmedDropSeversConnection(t *testing.T) {
+	inj := New(1, Config{})
+	p := Pair{0, 1}
+	inj.Arm(p, Drop)
+	_, err := pipeThrough(t, inj, p, []*wire.Message{msgN(1)})
+	if err == nil {
+		t.Fatal("dropped frame was delivered")
+	}
+	if inj.Fired(-1, Drop) != 1 {
+		t.Fatalf("fault log: %v, want one drop", inj.Log())
+	}
+}
+
+func TestArmedDuplicateDeliversTwice(t *testing.T) {
+	inj := New(1, Config{})
+	p := Pair{0, 1}
+	inj.Arm(p, Duplicate)
+	got, err := pipeThrough(t, inj, p, []*wire.Message{msgN(7), msgN(8)})
+	if err != nil {
+		t.Fatalf("duplicate run errored: %v", err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("got %d frames, want 3 (first duplicated)", len(got))
+	}
+	if got[0].Epoch != 7 || got[1].Epoch != 7 || got[2].Epoch != 8 {
+		t.Fatalf("frame order wrong: %d %d %d", got[0].Epoch, got[1].Epoch, got[2].Epoch)
+	}
+}
+
+func TestArmedFaultsFireFIFO(t *testing.T) {
+	inj := New(1, Config{})
+	p := Pair{0, 1}
+	inj.Arm(p, Delay)
+	inj.Arm(p, Duplicate)
+	got, err := pipeThrough(t, inj, p, []*wire.Message{msgN(1), msgN(2), msgN(3)})
+	if err != nil {
+		t.Fatalf("run errored: %v", err)
+	}
+	if len(got) != 4 {
+		t.Fatalf("got %d frames, want 4 (second duplicated)", len(got))
+	}
+	log := inj.Log()
+	if len(log) != 2 || log[0].Kind != Delay || log[1].Kind != Duplicate {
+		t.Fatalf("fault order: %v, want delay then duplicate", log)
+	}
+	if !log[0].Armed || !log[1].Armed {
+		t.Fatalf("armed flag missing: %v", log)
+	}
+}
+
+func TestProbabilisticStreamIsSeedDeterministic(t *testing.T) {
+	run := func(seed int64) []string {
+		inj := New(seed, Config{PCorrupt: 0.2, PDrop: 0.2, PDelay: 0.2, DelayMin: time.Microsecond, DelayMax: 2 * time.Microsecond})
+		// Drive the decision stream directly (single goroutine, so the rng
+		// order is exactly the call order).
+		var kinds []string
+		for f := 0; f < 200; f++ {
+			d := inj.frameFault(Pair{0, 1}, 31, frameCaps{corrupt: true, duplicate: true})
+			kinds = append(kinds, d.kind.String())
+		}
+		return kinds
+	}
+	a, b := run(42), run(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at frame %d: %s vs %s", i, a[i], b[i])
+		}
+	}
+	c := run(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical 200-frame fault streams")
+	}
+}
+
+func TestPairStreamsAreIndependent(t *testing.T) {
+	// Interleaving draws on pair B must not shift pair A's stream.
+	solo := New(99, Config{PDrop: 0.5})
+	var alone []Kind
+	for f := 0; f < 50; f++ {
+		alone = append(alone, solo.frameFault(Pair{0, 1}, 31, frameCaps{}).kind)
+	}
+	mixed := New(99, Config{PDrop: 0.5})
+	var together []Kind
+	for f := 0; f < 50; f++ {
+		mixed.frameFault(Pair{2, 3}, 31, frameCaps{}) // interleaved noise
+		together = append(together, mixed.frameFault(Pair{0, 1}, 31, frameCaps{}).kind)
+	}
+	for i := range alone {
+		if alone[i] != together[i] {
+			t.Fatalf("pair 0->1 stream perturbed by pair 2->3 at frame %d", i)
+		}
+	}
+}
+
+func TestPauseStopsProbabilisticButNotArmed(t *testing.T) {
+	inj := New(7, Config{PDrop: 1.0})
+	inj.Pause()
+	p := Pair{0, 1}
+	if d := inj.frameFault(p, 31, frameCaps{}); d.kind != 0 {
+		t.Fatalf("paused injector fired %s", d.kind)
+	}
+	inj.Arm(p, Drop)
+	if d := inj.frameFault(p, 31, frameCaps{}); d.kind != Drop || !d.armed {
+		t.Fatalf("armed fault suppressed by pause: %+v", d)
+	}
+	inj.Resume()
+	if d := inj.frameFault(p, 31, frameCaps{}); d.kind != Drop {
+		t.Fatalf("resume did not restore probabilistic injection: %+v", d)
+	}
+}
+
+func TestCapsGateArmedAndProbabilistic(t *testing.T) {
+	inj := New(7, Config{})
+	p := Pair{0, 1}
+	inj.Arm(p, Duplicate)
+	// Chunk cannot carry a duplicate: the fault must stay armed, unlogged.
+	if d := inj.frameFault(p, 31, frameCaps{corrupt: true, duplicate: false}); d.kind != 0 {
+		t.Fatalf("incapable chunk fired %s", d.kind)
+	}
+	if inj.ArmedPending() != 1 {
+		t.Fatal("armed duplicate was consumed by an incapable chunk")
+	}
+	if d := inj.frameFault(p, 31, frameCaps{corrupt: true, duplicate: true}); d.kind != Duplicate {
+		t.Fatalf("capable chunk fired %v, want duplicate", d.kind)
+	}
+}
+
+func TestPartitionRefusesDialsAndSeversConns(t *testing.T) {
+	inj := New(1, Config{})
+	// A real listener so the dialer path is exercised end to end.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				buf := make([]byte, 1024)
+				for {
+					if _, err := c.Read(buf); err != nil {
+						c.Close()
+						return
+					}
+				}
+			}(c)
+		}
+	}()
+	inj.Register(1, ln.Addr().String())
+	dial := inj.Dialer(Coordinator)
+
+	c, err := dial(ln.Addr().String(), time.Second)
+	if err != nil {
+		t.Fatalf("pre-partition dial failed: %v", err)
+	}
+	inj.PartitionPair(Coordinator, 1)
+	if _, err := c.Write([]byte{1, 2, 3, 4}); err == nil {
+		t.Fatal("write on partitioned conn succeeded")
+	}
+	if _, err := dial(ln.Addr().String(), time.Second); err == nil {
+		t.Fatal("dial across partition succeeded")
+	}
+	inj.HealPair(Coordinator, 1)
+	c2, err := dial(ln.Addr().String(), time.Second)
+	if err != nil {
+		t.Fatalf("post-heal dial failed: %v", err)
+	}
+	c2.Close()
+	if inj.Counters().Get("dial-refused") != 1 {
+		t.Fatalf("counters: %s, want dial-refused=1", inj.Counters())
+	}
+}
+
+func TestFrameTrackerSplitWrites(t *testing.T) {
+	// One 31-byte-body frame delivered in pathological fragments: the tracker
+	// must still find the second frame's boundary.
+	body := msgN(1).Encode()
+	var stream []byte
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(body)))
+	stream = append(stream, hdr[:]...)
+	stream = append(stream, body...)
+
+	var tr frameTracker
+	// Feed header split 1+3, then body split at 5.
+	tr.advance(stream[:1])
+	tr.advance(stream[1:4])
+	tr.advance(stream[4:9])
+	if _, _, ok := tr.firstFrame(stream[9 : len(stream)-1]); ok {
+		t.Fatal("mid-body chunk claimed to hold a frame start")
+	}
+	tr.advance(stream[9:])
+	// Now at a boundary: the next chunk's frame must be found at offset 0.
+	start, bodyLen, ok := tr.firstFrame(stream)
+	if !ok || start != 0 || bodyLen != len(body) {
+		t.Fatalf("boundary scan: start=%d len=%d ok=%v, want 0 %d true", start, bodyLen, ok, len(body))
+	}
+	// A chunk ending mid-prefix is skipped.
+	tr2 := frameTracker{}
+	if _, _, ok := tr2.firstFrame(stream[:3]); ok {
+		t.Fatal("3-byte prefix fragment claimed a frame")
+	}
+}
+
+func TestKillPlanDeterministicAndBounded(t *testing.T) {
+	build := func(seed int64) *KillPlan {
+		p, err := PlanPoissonKills(8, 40, 120, 10, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	a, b := build(5), build(5)
+	if a.String() != b.String() {
+		t.Fatalf("same seed, different plans:\n%s\n%s", a, b)
+	}
+	if a.TotalKills() == 0 {
+		t.Fatal("MTBF 120s over 40 rounds of 10s injected no kills; plan degenerate")
+	}
+	for r := 0; r < a.Rounds(); r++ {
+		v := a.Victims(r)
+		if len(v) > 1 {
+			t.Fatalf("round %d kills %v, want at most one victim", r, v)
+		}
+		for _, n := range v {
+			if n < 0 || n >= 8 {
+				t.Fatalf("round %d kills out-of-range node %d", r, n)
+			}
+		}
+	}
+	if c := build(6); c.String() == a.String() {
+		t.Fatal("different seeds produced identical kill plans")
+	}
+}
+
+func TestKillPlanRestrict(t *testing.T) {
+	sched, err := failure.NewPoissonNodes(4, 60, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := PlanKills(sched, 20, 15, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := p.TotalKills()
+	if before == 0 {
+		t.Skip("no kills drawn; uninformative seed")
+	}
+	p.Restrict(func(node int) bool { return node != 0 })
+	for r := 0; r < p.Rounds(); r++ {
+		for _, n := range p.Victims(r) {
+			if n == 0 {
+				t.Fatal("restricted node 0 still scheduled")
+			}
+		}
+	}
+}
+
+func TestRecordKillRestartInLog(t *testing.T) {
+	inj := New(1, Config{})
+	inj.NextRound()
+	inj.RecordKill(3)
+	inj.NextRound()
+	inj.RecordRestart(3)
+	log := inj.Log()
+	if len(log) != 2 {
+		t.Fatalf("log has %d entries, want 2", len(log))
+	}
+	if log[0].Kind != Kill || log[0].Node != 3 || log[0].Round != 1 {
+		t.Fatalf("kill entry wrong: %+v", log[0])
+	}
+	if log[1].Kind != Restart || log[1].Node != 3 || log[1].Round != 2 {
+		t.Fatalf("restart entry wrong: %+v", log[1])
+	}
+	if got := inj.Counters().String(); got != "kill=1 restart=1" {
+		t.Fatalf("counters: %q", got)
+	}
+}

@@ -1,0 +1,153 @@
+package chaos
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net"
+	"syscall"
+	"time"
+)
+
+// Corruption target: the two high bytes of the frame's 4-byte little-endian
+// length prefix are forced to 0xFF, making the declared length exceed
+// wire.MaxFrame (256 MiB) so the receiver's ReadFrame fails with a typed
+// ErrFrame no matter how large the real frame is. Mangling interior body
+// bytes instead could decode into a silently *wrong* message (the wire format
+// carries no checksum), which would poison the soak harness's invariants;
+// an over-limit length prefix is corruption that is always detected.
+
+// frameTracker follows the 4-byte-length-prefixed framing of a byte stream
+// so the conn wrapper knows where frames begin inside arbitrary write
+// chunks. Zero value is ready (stream starts at a frame boundary).
+type frameTracker struct {
+	hdr  [4]byte
+	hdrN int // length-prefix bytes seen so far (when mid-prefix)
+	body int // body bytes of the current frame still outstanding
+}
+
+// advance consumes one chunk of stream bytes.
+func (t *frameTracker) advance(b []byte) {
+	for len(b) > 0 {
+		if t.body > 0 {
+			n := min(t.body, len(b))
+			t.body -= n
+			b = b[n:]
+			continue
+		}
+		n := copy(t.hdr[t.hdrN:], b)
+		t.hdrN += n
+		b = b[n:]
+		if t.hdrN == 4 {
+			t.body = int(binary.LittleEndian.Uint32(t.hdr[:]))
+			t.hdrN = 0
+		}
+	}
+}
+
+// firstFrame scans a chunk without consuming it and reports the first frame
+// whose length prefix begins fully inside the chunk: the prefix offset, the
+// body length, and whether such a frame exists.
+func (t frameTracker) firstFrame(b []byte) (start, bodyLen int, ok bool) {
+	off := 0
+	for off < len(b) {
+		if t.body > 0 {
+			n := min(t.body, len(b)-off)
+			t.body -= n
+			off += n
+			continue
+		}
+		if t.hdrN == 0 {
+			if len(b)-off < 4 {
+				return 0, 0, false // prefix straddles the chunk; skip
+			}
+			return off, int(binary.LittleEndian.Uint32(b[off:])), true
+		}
+		n := copy(t.hdr[t.hdrN:], b[off:])
+		t.hdrN += n
+		off += n
+		if t.hdrN == 4 {
+			t.body = int(binary.LittleEndian.Uint32(t.hdr[:]))
+			t.hdrN = 0
+		}
+	}
+	return 0, 0, false
+}
+
+// faultConn wraps a real connection with one pair's fault stream. Faults are
+// decided at outbound frame boundaries; the read path only enforces
+// partitions. Conn methods are called under the transport layer's own
+// serialization (one in-flight exchange per conn), so the tracker needs no
+// lock of its own.
+type faultConn struct {
+	net.Conn
+	inj    *Injector
+	pair   Pair
+	wtrack frameTracker
+}
+
+func newFaultConn(c net.Conn, inj *Injector, p Pair) *faultConn {
+	return &faultConn{Conn: c, inj: inj, pair: p}
+}
+
+// errSevered builds the error for chaos-severed traffic. It wraps
+// ECONNRESET so transport.Pool classifies it exactly like a real peer reset:
+// a connection fault, retriable once over a fresh dial.
+func (c *faultConn) errSevered(what string) error {
+	return fmt.Errorf("chaos: %s on pair %s: %w", what, c.pair, syscall.ECONNRESET)
+}
+
+// Read implements net.Conn; a partitioned pair dies on its next read.
+func (c *faultConn) Read(b []byte) (int, error) {
+	if c.inj.Partitioned(c.pair) {
+		c.Conn.Close()
+		return 0, c.errSevered("partitioned read")
+	}
+	return c.Conn.Read(b)
+}
+
+// Write implements net.Conn, applying at most one fault per chunk to the
+// first frame that starts inside it.
+func (c *faultConn) Write(b []byte) (int, error) {
+	if c.inj.Partitioned(c.pair) {
+		c.Conn.Close()
+		return 0, c.errSevered("partitioned write")
+	}
+	start, bodyLen, ok := c.wtrack.firstFrame(b)
+	if !ok {
+		c.wtrack.advance(b)
+		return c.Conn.Write(b)
+	}
+	frameEnd := start + 4 + bodyLen
+	caps := frameCaps{
+		corrupt:   true, // the length prefix is always fully inside the chunk
+		duplicate: frameEnd <= len(b),
+	}
+	d := c.inj.frameFault(c.pair, 4+bodyLen, caps)
+	switch d.kind {
+	case Drop:
+		c.Conn.Close()
+		return 0, c.errSevered("dropped frame")
+	case Delay:
+		time.Sleep(d.delay)
+	case Corrupt:
+		mangled := append([]byte(nil), b...)
+		mangled[start+2] = 0xFF
+		mangled[start+3] = 0xFF
+		c.wtrack.advance(b) // track the *real* framing, not the mangled length
+		return c.Conn.Write(mangled)
+	case Duplicate:
+		c.wtrack.advance(b)
+		n, err := c.Conn.Write(b)
+		if err != nil {
+			return n, err
+		}
+		dup := b[start:frameEnd]
+		c.wtrack.advance(dup)
+		if _, err := c.Conn.Write(dup); err != nil {
+			return n, err
+		}
+		return n, nil
+	}
+	c.wtrack.advance(b)
+	return c.Conn.Write(b)
+}

@@ -1,0 +1,73 @@
+package metrics
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// Counters is a labelled set of monotonically increasing counters, safe for
+// concurrent use. The chaos layer tallies injected faults per kind with it,
+// and the soak harness reconciles those tallies against the runtime's own
+// retry/death counts. Counters render in first-use order so reports are
+// stable across runs with the same event sequence.
+type Counters struct {
+	mu     sync.Mutex
+	order  []string
+	byName map[string]int64
+}
+
+// NewCounters builds an empty counter set.
+func NewCounters() *Counters {
+	return &Counters{byName: map[string]int64{}}
+}
+
+// Add increments one counter by delta.
+func (c *Counters) Add(name string, delta int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.byName[name]; !ok {
+		c.order = append(c.order, name)
+	}
+	c.byName[name] += delta
+}
+
+// Get returns one counter's value (0 if never incremented).
+func (c *Counters) Get(name string) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.byName[name]
+}
+
+// Snapshot copies every counter into a fresh map.
+func (c *Counters) Snapshot() map[string]int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]int64, len(c.byName))
+	for k, v := range c.byName {
+		out[k] = v
+	}
+	return out
+}
+
+// Total sums every counter.
+func (c *Counters) Total() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var t int64
+	for _, v := range c.byName {
+		t += v
+	}
+	return t
+}
+
+// String renders "name=value" pairs in first-use order.
+func (c *Counters) String() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	parts := make([]string, 0, len(c.order))
+	for _, name := range c.order {
+		parts = append(parts, fmt.Sprintf("%s=%d", name, c.byName[name]))
+	}
+	return strings.Join(parts, " ")
+}

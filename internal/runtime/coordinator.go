@@ -48,6 +48,7 @@ type Coordinator struct {
 	fanoutW        int
 	commitRetries  int
 	retiredRetries int64 // retry counts of pools already closed
+	dialer         transport.DialFunc
 
 	statsMu   sync.Mutex
 	lastRound RoundStats
@@ -96,6 +97,16 @@ func (c *Coordinator) SetCompress(on bool) { c.compress = on }
 func (c *Coordinator) SetRPCTimeout(d time.Duration) {
 	c.mu.Lock()
 	c.rpcTimeout = d
+	c.mu.Unlock()
+}
+
+// SetDialer substitutes the raw stream opener used for every subsequent
+// coordinator-to-node connection (nil restores plain TCP). Fault-injection
+// layers (internal/chaos) hook in here; like SetRPCTimeout it only affects
+// pools created after the call, so set it before the first round.
+func (c *Coordinator) SetDialer(d transport.DialFunc) {
+	c.mu.Lock()
+	c.dialer = d
 	c.mu.Unlock()
 }
 
@@ -151,7 +162,7 @@ func (c *Coordinator) pool(node int) (*transport.Pool, error) {
 	if p, ok := c.pools[node]; ok {
 		return p, nil
 	}
-	p := transport.NewPool(c.addrs[node], transport.PoolOptions{CallTimeout: c.rpcTimeout})
+	p := transport.NewPool(c.addrs[node], transport.PoolOptions{CallTimeout: c.rpcTimeout, Dialer: c.dialer})
 	c.pools[node] = p
 	return p, nil
 }
@@ -250,7 +261,14 @@ func (c *Coordinator) fanout(op string, nodes []int, build func(node int) *wire.
 
 // vmSeed derives a deterministic workload seed per VM.
 func (c *Coordinator) vmSeed(name string) int64 {
-	var h int64 = c.seedBase
+	return vmWorkloadSeed(c.seedBase, name)
+}
+
+// vmWorkloadSeed is the coordinator's per-VM workload seed derivation,
+// shared with the Shadow model so both sides drive identical workload
+// streams from the same base seed.
+func vmWorkloadSeed(base int64, name string) int64 {
+	h := base
 	for _, r := range name {
 		h = h*131 + int64(r)
 	}
@@ -347,8 +365,7 @@ func (c *Coordinator) Checkpoint() error {
 	stats := RoundStats{Epoch: next, RecoveryWall: c.RoundStats().RecoveryWall}
 	retriesBefore := c.totalRetries()
 
-	// Phase 1: prepare everywhere; track who prepared for a targeted abort.
-	var prepared []int
+	// Phase 1: prepare everywhere.
 	t0 := time.Now()
 	prepErr := c.fanout("prepare", alive,
 		func(int) *wire.Message { return &wire.Message{Type: wire.MsgPrepare, Epoch: next} },
@@ -356,16 +373,21 @@ func (c *Coordinator) Checkpoint() error {
 			if resp.Type != wire.MsgPrepareOK {
 				return fmt.Errorf("runtime: node %d replied %v to prepare", node, resp.Type)
 			}
-			prepared = append(prepared, node)
 			stats.BytesShipped += int64(resp.Arg)
 			return nil
 		})
 	stats.PrepareWall = time.Since(t0)
 	c.phases.Observe("prepare", stats.PrepareWall)
 	if prepErr != nil {
-		// Best effort: a node that cannot abort will be caught by the next
-		// prepare's staged-delta check.
-		c.fanout("abort", prepared, //nolint:errcheck
+		// Abort every alive node, not only those whose prepare succeeded: a
+		// node that captured some members and then failed mid-prepare holds
+		// staged deltas too, and a node that missed a previous abort (the
+		// abort RPC itself was lost) would otherwise fail every future
+		// prepare on its stale staged delta without ever being cleaned up —
+		// a livelock. Abort is an idempotent no-op on a clean node, so
+		// over-aborting is safe; best effort either way — a node that cannot
+		// abort now is caught by the next prepare's staged-delta check.
+		c.fanout("abort", alive, //nolint:errcheck
 			func(int) *wire.Message { return &wire.Message{Type: wire.MsgAbort, Epoch: next} },
 			nil)
 		stats.Aborted = true
@@ -448,6 +470,49 @@ func (c *Coordinator) Checksums() (map[string]uint64, error) {
 	out := map[string]uint64{}
 	for i, v := range vms {
 		out[v.Name] = sums[i]
+	}
+	return out, nil
+}
+
+// Quiesce undoes any staged-but-uncommitted captures left on alive nodes and
+// returns every member's committed image to the last committed epoch. After
+// an aborted round this is normally a no-op — the abort fanout already ran —
+// but when the abort RPCs themselves were lost to a network fault, stale
+// staged state survives until the next abort reaches the node. Chaos and
+// soak harnesses call Quiesce before measuring committed state so a lost
+// abort cannot masquerade as state divergence.
+func (c *Coordinator) Quiesce() error {
+	return c.fanout("abort", c.aliveNodes(),
+		func(int) *wire.Message { return &wire.Message{Type: wire.MsgAbort, Epoch: c.epoch + 1} },
+		nil)
+}
+
+// VMState is one VM's committed-state fingerprint as reported by its host.
+type VMState struct {
+	Checksum uint64 // FNV-1a of the committed image
+	Epoch    uint64 // protocol epoch of the committed image
+}
+
+// VMStates fetches every VM's committed-image checksum and protocol epoch,
+// concurrently. The soak harness checks these against its shadow model after
+// every round: checksums must match and epochs must never regress.
+func (c *Coordinator) VMStates() (map[string]VMState, error) {
+	vms := c.layout.VMs
+	states := make([]VMState, len(vms))
+	if err := parallelDo(len(vms), c.fanoutWidth(), func(i int) error {
+		v := vms[i]
+		resp, err := c.call(v.Node, &wire.Message{Type: wire.MsgChecksum, VM: v.Name})
+		if err != nil {
+			return fmt.Errorf("runtime: checksum %q on node %d: %w", v.Name, v.Node, err)
+		}
+		states[i] = VMState{Checksum: resp.Arg, Epoch: resp.Epoch}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	out := map[string]VMState{}
+	for i, v := range vms {
+		out[v.Name] = states[i]
 	}
 	return out, nil
 }

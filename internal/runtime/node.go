@@ -33,6 +33,7 @@ type Node struct {
 	compress   bool
 	rpcTimeout time.Duration
 	fanout     int
+	dialer     transport.DialFunc
 
 	statsMu sync.Mutex
 	stats   NodeStats
@@ -53,15 +54,29 @@ type keeperState struct {
 	staged map[string]*core.Delta // member -> delta awaiting commit
 }
 
+// NodeOptions customizes how a node daemon touches the network. The zero
+// value is plain TCP on both sides; fault-injection layers (internal/chaos)
+// substitute their own hooks.
+type NodeOptions struct {
+	Dialer transport.DialFunc   // outbound peer connections (nil = TCP)
+	Listen transport.ListenFunc // the daemon's own listener (nil = TCP)
+}
+
 // NewNode starts a node daemon listening on addr ("127.0.0.1:0" for tests).
 func NewNode(addr string) (*Node, error) {
+	return NewNodeWith(addr, NodeOptions{})
+}
+
+// NewNodeWith starts a node daemon with custom network hooks.
+func NewNodeWith(addr string, opts NodeOptions) (*Node, error) {
 	n := &Node{
 		peers:   map[int]string{},
 		pools:   map[int]*transport.Pool{},
 		members: map[string]*memberState{},
 		keepers: map[int]*keeperState{},
+		dialer:  opts.Dialer,
 	}
-	s, err := transport.Listen(addr, n.handle)
+	s, err := transport.ListenWith(addr, n.handle, opts.Listen)
 	if err != nil {
 		return nil, err
 	}
@@ -118,7 +133,7 @@ func (n *Node) pool(id int) (*transport.Pool, error) {
 	if !ok {
 		return nil, fmt.Errorf("runtime: node %d has no address for peer %d", n.id, id)
 	}
-	p := transport.NewPool(addr, transport.PoolOptions{CallTimeout: n.rpcTimeout})
+	p := transport.NewPool(addr, transport.PoolOptions{CallTimeout: n.rpcTimeout, Dialer: n.dialer})
 	n.pools[id] = p
 	return p, nil
 }

@@ -1,0 +1,428 @@
+package runtime
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"dvdc/internal/chaos"
+	"dvdc/internal/cluster"
+)
+
+// SoakConfig drives one invariant-checked chaos soak: N checkpoint rounds on
+// a live TCP cluster while a seeded chaos.Injector corrupts, drops, delays,
+// and partitions traffic and a seeded kill plan takes whole nodes down.
+// Everything nondeterministic is derived from Seed, so a failing run is
+// replayed by its seed alone.
+type SoakConfig struct {
+	Layout        *cluster.Layout
+	Rounds        int           // checkpoint rounds (default 10)
+	StepsPerRound uint64        // workload steps before each checkpoint (default 40)
+	Pages         int           // VM geometry (default 16)
+	PageSize      int           // (default 64)
+	Seed          int64         // master seed: workloads, chaos, kills, arm plan
+	Chaos         chaos.Config  // probabilistic rates, active only during checkpoints
+	ArmPerRound   int           // armed one-shot faults per round on coordinator pairs
+	PPartition    float64       // per-round probability of a transient node-pair partition
+	KillMTBF      float64       // per-node MTBF in virtual seconds (0 = no kills)
+	RoundSeconds  float64       // virtual seconds per round on the kill clock (default 10)
+	RPCTimeout    time.Duration // coordinator/node per-call deadline (default 5s)
+}
+
+func (c SoakConfig) withDefaults() SoakConfig {
+	if c.Rounds <= 0 {
+		c.Rounds = 10
+	}
+	if c.StepsPerRound == 0 {
+		c.StepsPerRound = 40
+	}
+	if c.Pages <= 0 {
+		c.Pages = 16
+	}
+	if c.PageSize <= 0 {
+		c.PageSize = 64
+	}
+	if c.RoundSeconds <= 0 {
+		c.RoundSeconds = 10
+	}
+	if c.RPCTimeout <= 0 {
+		c.RPCTimeout = 5 * time.Second
+	}
+	return c
+}
+
+// RoundRecord is the deterministic per-round outcome of a soak. Wall-clock
+// durations and retry totals are deliberately split out: under a fixed seed
+// the fields of this struct except RPCRetries are bit-reproducible, while
+// RPCRetries depends on connection-pool reuse timing and is checked as a
+// lower-bounded reconciliation instead.
+type RoundRecord struct {
+	Round        int    // 1-based, matches the injector's round tags
+	Epoch        uint64 // coordinator epoch at the end of the round
+	Aborted      bool   // the round's first checkpoint aborted
+	BytesShipped int64  // delta bytes shipped across the round's checkpoints
+	RPCRetries   int64  // pool retries across the round's checkpoints (timing-dependent)
+	DeadDuring   []int  // nodes declared dead mid-commit (PartialCommitError)
+	Kills        []int  // nodes the kill plan took down this round
+}
+
+// SoakResult is the full account of a soak run.
+type SoakResult struct {
+	Rounds    []RoundRecord
+	FaultLog  []chaos.Fault
+	Checksums map[string]uint64 // final committed-image checksums
+	Epoch     uint64            // final committed epoch
+	Counters  map[string]int64  // injector fault tallies by kind
+}
+
+// FaultLogDigest renders the fault log in a canonical order (faults within
+// one round fire concurrently across pairs, so raw log order is not
+// reproducible; the sorted rendering is).
+func (r *SoakResult) FaultLogDigest() []string {
+	out := make([]string, len(r.FaultLog))
+	for i, f := range r.FaultLog {
+		out[i] = f.String()
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RoundDigest renders the reproducible per-round fields as one line per
+// round, for byte-comparison between same-seed runs.
+func (r *SoakResult) RoundDigest() []string {
+	out := make([]string, len(r.Rounds))
+	for i, rr := range r.Rounds {
+		out[i] = fmt.Sprintf("round %d: epoch=%d aborted=%v shipped=%d dead=%v kills=%v",
+			rr.Round, rr.Epoch, rr.Aborted, rr.BytesShipped, rr.DeadDuring, rr.Kills)
+	}
+	return out
+}
+
+// pendingRecovery lists nodes declared dead mid-commit and not yet recovered.
+func (c *Coordinator) pendingRecovery() []int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []int
+	for n := range c.pending {
+		out = append(out, n)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// soakCluster is the live half of a soak: daemons the harness can kill and
+// restart, and the injector hooks each one was built with.
+type soakCluster struct {
+	inj   *chaos.Injector
+	nodes []*Node
+	addrs map[int]string
+}
+
+func (sc *soakCluster) start(i int, addr string) error {
+	n, err := NewNodeWith(addr, NodeOptions{
+		Dialer: sc.inj.Dialer(i),
+		Listen: sc.inj.ListenFunc(i),
+	})
+	if err != nil {
+		return err
+	}
+	sc.nodes[i] = n
+	sc.addrs[i] = n.Addr()
+	sc.inj.Register(i, n.Addr())
+	return nil
+}
+
+func (sc *soakCluster) close() {
+	for _, n := range sc.nodes {
+		if n != nil {
+			n.Close()
+		}
+	}
+}
+
+// RunSoak executes the soak and verifies, after every round:
+//
+//   - every VM's committed-image checksum matches the in-process Shadow
+//     model (bit-identical state despite injected faults),
+//   - every VM's protocol epoch equals the coordinator's epoch and never
+//     regresses,
+//   - nodes declared dead mid-commit (PartialCommitError) are recovered and
+//     repaired before the round ends — no lingering pending-recovery state,
+//   - pool retry counters reconcile with the armed fault schedule: every
+//     armed drop/corrupt on a coordinator pair forces at least one retry,
+//   - every armed fault actually fired (the schedule was consumed).
+//
+// An invariant violation (or a protocol operation failing where it must not)
+// returns an error naming the round and the seed; the partial SoakResult is
+// returned alongside for post-mortem.
+func RunSoak(cfg SoakConfig) (*SoakResult, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Layout == nil {
+		return nil, fmt.Errorf("soak: nil layout")
+	}
+	layout := cfg.Layout
+	res := &SoakResult{}
+	fail := func(round int, format string, args ...interface{}) (*SoakResult, error) {
+		return res, fmt.Errorf("soak[seed %d, round %d]: %s", cfg.Seed, round, fmt.Sprintf(format, args...))
+	}
+
+	inj := chaos.New(cfg.Seed, cfg.Chaos)
+	inj.Pause() // probabilistic injection only runs inside checkpoint windows
+
+	var kills *chaos.KillPlan
+	if cfg.KillMTBF > 0 {
+		var err error
+		kills, err = chaos.PlanPoissonKills(layout.Nodes, cfg.Rounds, cfg.KillMTBF, cfg.RoundSeconds, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+	}
+	// The harness's own decisions (which pair to arm, which kind, transient
+	// partitions) come from a dedicated stream so they never perturb the
+	// injector's or the workloads' streams.
+	harness := rand.New(rand.NewSource(cfg.Seed ^ 0x5eed50a4c0ffee))
+
+	sc := &soakCluster{inj: inj, nodes: make([]*Node, layout.Nodes), addrs: map[int]string{}}
+	defer sc.close()
+	for i := 0; i < layout.Nodes; i++ {
+		if err := sc.start(i, "127.0.0.1:0"); err != nil {
+			return nil, err
+		}
+		sc.nodes[i].SetRPCTimeout(cfg.RPCTimeout)
+	}
+	coord, err := NewCoordinator(layout, sc.addrs, cfg.Pages, cfg.PageSize, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	defer coord.Close()
+	coord.SetRPCTimeout(cfg.RPCTimeout)
+	coord.SetDialer(inj.Dialer(chaos.Coordinator))
+	if err := coord.Setup(); err != nil {
+		return nil, err
+	}
+	shadow, err := NewShadow(layout, cfg.Pages, cfg.PageSize, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+
+	lastEpoch := map[string]uint64{}
+	armedKinds := []chaos.Kind{chaos.Drop, chaos.Corrupt, chaos.Delay}
+
+	// recoverAndRepair runs the fault-free repair cycle for a set of down
+	// nodes: recover their state onto survivors, restart the daemons on the
+	// same addresses, repair, re-checkpoint, and rebalance. Mirrored into the
+	// shadow step by step. The injector must already be paused.
+	recoverAndRepair := func(round int, down []int) error {
+		plan, err := coord.RecoverNodes(down...)
+		if err != nil {
+			return fmt.Errorf("recover %v: %w", down, err)
+		}
+		if err := shadow.Recover(plan, coord.Epoch()); err != nil {
+			return err
+		}
+		for _, v := range down {
+			if err := sc.start(v, sc.addrs[v]); err != nil {
+				return fmt.Errorf("restart node %d on %s: %w", v, sc.addrs[v], err)
+			}
+			sc.nodes[v].SetRPCTimeout(cfg.RPCTimeout)
+			inj.RecordRestart(v)
+			if err := coord.Repair(v); err != nil {
+				return fmt.Errorf("repair node %d: %w", v, err)
+			}
+		}
+		// The post-recovery checkpoint runs clean: it certifies the repaired
+		// cluster can commit before rebalance moves anything.
+		if err := coord.Checkpoint(); err != nil {
+			return fmt.Errorf("post-recovery checkpoint: %w", err)
+		}
+		shadow.Commit()
+		rb, err := coord.Rebalance()
+		if err != nil {
+			return fmt.Errorf("rebalance: %w", err)
+		}
+		return shadow.Rebalance(rb, coord.Epoch())
+	}
+
+	for r := 0; r < cfg.Rounds; r++ {
+		round := inj.NextRound()
+		rr := RoundRecord{Round: round}
+		var victims []int
+		if kills != nil {
+			victims = kills.Victims(r)
+		}
+		rr.Kills = victims
+		isVictim := map[int]bool{}
+		for _, v := range victims {
+			isVictim[v] = true
+		}
+
+		// Workload phase, fault-free: a lost or duplicated step RPC would
+		// desynchronize the real workload streams from the shadow's, turning
+		// model noise into false invariant violations (see DESIGN.md).
+		if inj.ArmedPending() != 0 {
+			return fail(round, "%d armed faults never fired", inj.ArmedPending())
+		}
+		if err := coord.Step(cfg.StepsPerRound); err != nil {
+			return fail(round, "step: %v", err)
+		}
+		shadow.Step(cfg.StepsPerRound)
+
+		// Arm this round's one-shot faults on coordinator pairs to distinct
+		// live nodes; the prepare fanout guarantees each fires this round.
+		if cfg.ArmPerRound > 0 {
+			var targets []int
+			for n := 0; n < layout.Nodes; n++ {
+				if !isVictim[n] {
+					targets = append(targets, n)
+				}
+			}
+			harness.Shuffle(len(targets), func(i, j int) { targets[i], targets[j] = targets[j], targets[i] })
+			for i := 0; i < cfg.ArmPerRound && i < len(targets); i++ {
+				inj.Arm(chaos.Pair{Src: chaos.Coordinator, Dst: targets[i]},
+					armedKinds[harness.Intn(len(armedKinds))])
+			}
+		}
+		// Occasionally sever one node pair for the duration of the checkpoint.
+		partitioned := [2]int{-1, -1}
+		if len(victims) == 0 && cfg.PPartition > 0 && layout.Nodes >= 2 && harness.Float64() < cfg.PPartition {
+			a := harness.Intn(layout.Nodes)
+			b := harness.Intn(layout.Nodes - 1)
+			if b >= a {
+				b++
+			}
+			partitioned = [2]int{a, b}
+			inj.PartitionPair(a, b)
+		}
+
+		// Kill phase: victims drop dead before the checkpoint, so the round
+		// exercises prepare-failure abort (or, if timing conspires, a
+		// mid-commit death) followed by full recovery.
+		for _, v := range victims {
+			sc.nodes[v].Close()
+			inj.RecordKill(v)
+		}
+
+		inj.Resume()
+		ckErr := coord.Checkpoint()
+		inj.Pause()
+		if partitioned[0] >= 0 {
+			inj.HealPair(partitioned[0], partitioned[1])
+		}
+		st := coord.RoundStats()
+		rr.BytesShipped += st.BytesShipped
+		rr.RPCRetries += st.RPCRetries
+
+		var partial *PartialCommitError
+		switch {
+		case ckErr == nil:
+			if len(victims) > 0 {
+				return fail(round, "checkpoint succeeded with dead nodes %v", victims)
+			}
+			shadow.Commit()
+		case errors.As(ckErr, &partial):
+			// The epoch advanced; the named nodes are casualties.
+			shadow.Commit()
+			rr.DeadDuring = partial.Nodes
+		default:
+			rr.Aborted = true
+			shadow.Abort()
+		}
+
+		// Repair cycle: scheduled victims plus anything commit declared dead.
+		down := map[int]bool{}
+		for _, v := range victims {
+			down[v] = true
+		}
+		for _, n := range rr.DeadDuring {
+			if !down[n] {
+				// Declared dead by the commit phase without being scheduled
+				// (persistent injected faults): its daemon is still running,
+				// but to the coordinator it is gone — take it down for real
+				// and put it through the same repair cycle.
+				sc.nodes[n].Close()
+				inj.RecordKill(n)
+				down[n] = true
+			}
+		}
+		if len(down) > 0 {
+			var downList []int
+			for n := range down {
+				downList = append(downList, n)
+			}
+			sort.Ints(downList)
+			if err := recoverAndRepair(round, downList); err != nil {
+				return fail(round, "%v", err)
+			}
+			st = coord.RoundStats()
+			rr.BytesShipped += st.BytesShipped
+			rr.RPCRetries += st.RPCRetries
+		}
+
+		// Invariant checks, on a quiesced cluster (a lost abort may have left
+		// staged captures behind; measuring must not race the protocol).
+		if err := coord.Quiesce(); err != nil {
+			return fail(round, "quiesce: %v", err)
+		}
+		states, err := coord.VMStates()
+		if err != nil {
+			return fail(round, "fetch VM states: %v", err)
+		}
+		want := shadow.Checksums()
+		if len(states) != len(want) {
+			return fail(round, "cluster reports %d VMs, shadow models %d", len(states), len(want))
+		}
+		for name, s := range states {
+			if s.Checksum != want[name] {
+				return fail(round, "VM %q committed checksum %x diverged from shadow %x", name, s.Checksum, want[name])
+			}
+			if s.Epoch != coord.Epoch() {
+				return fail(round, "VM %q at epoch %d, coordinator at %d", name, s.Epoch, coord.Epoch())
+			}
+			if prev, ok := lastEpoch[name]; ok && s.Epoch < prev {
+				return fail(round, "VM %q epoch regressed %d -> %d", name, prev, s.Epoch)
+			}
+			lastEpoch[name] = s.Epoch
+		}
+		if coord.Epoch() != shadow.Epoch() {
+			return fail(round, "coordinator epoch %d, shadow epoch %d", coord.Epoch(), shadow.Epoch())
+		}
+		if p := coord.pendingRecovery(); len(p) > 0 {
+			return fail(round, "nodes %v still pending recovery", p)
+		}
+		if inj.ArmedPending() != 0 {
+			return fail(round, "%d armed faults never fired", inj.ArmedPending())
+		}
+		// Retry reconciliation: each armed drop/corrupt on a coordinator pair
+		// fails exactly one in-flight call, which the pool must absorb with a
+		// retry. (Node-to-node faults retry inside the node pools and are
+		// invisible to coordinator stats; hence a lower bound, not equality.)
+		firedDisruptive := 0
+		for _, f := range inj.Log() {
+			if f.Round == round && f.Armed && f.Pair.Src == chaos.Coordinator &&
+				(f.Kind == chaos.Drop || f.Kind == chaos.Corrupt) {
+				firedDisruptive++
+			}
+		}
+		if int(rr.RPCRetries) < firedDisruptive {
+			return fail(round, "RPC retries %d < %d armed coordinator-pair faults", rr.RPCRetries, firedDisruptive)
+		}
+		rr.Epoch = coord.Epoch()
+		res.Rounds = append(res.Rounds, rr)
+	}
+
+	res.FaultLog = inj.Log()
+	res.Epoch = coord.Epoch()
+	res.Counters = inj.Counters().Snapshot()
+	res.Checksums, err = coord.Checksums()
+	if err != nil {
+		return res, err
+	}
+	// Liveness floor: chaos may abort rounds, but the protocol must keep
+	// committing — a soak that never advances is a silent deadlock.
+	if res.Epoch < uint64(cfg.Rounds)/2 {
+		return fail(cfg.Rounds, "only %d epochs committed across %d rounds", res.Epoch, cfg.Rounds)
+	}
+	return res, nil
+}

@@ -1,0 +1,299 @@
+package runtime
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"dvdc/internal/chaos"
+	"dvdc/internal/cluster"
+	"dvdc/internal/wire"
+)
+
+// TestSoakPaperLayoutInvariants runs the full chaos soak on the paper's
+// 4-node/12-VM layout: probabilistic corrupt/drop/delay on every link, two
+// armed one-shot faults per round, transient partitions, and Poisson node
+// kills — with every invariant in RunSoak checked after every round.
+func TestSoakPaperLayoutInvariants(t *testing.T) {
+	cfg := SoakConfig{
+		Layout:        paperLayout(t),
+		Rounds:        10,
+		StepsPerRound: 30,
+		Seed:          424242,
+		Chaos:         chaos.Config{PCorrupt: 0.01, PDrop: 0.01, PDelay: 0.05, DelayMin: time.Millisecond, DelayMax: 3 * time.Millisecond},
+		ArmPerRound:   2,
+		PPartition:    0.2,
+		KillMTBF:      120,
+	}
+	// The kill plan is a pure function of the seed; make sure this seed
+	// actually exercises the kill/recover path before trusting the soak.
+	plan, err := chaos.PlanPoissonKills(cfg.Layout.Nodes, cfg.Rounds, cfg.KillMTBF, 10, cfg.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.TotalKills() == 0 {
+		t.Fatalf("seed %d schedules no kills; pick a seed that does", cfg.Seed)
+	}
+
+	res, err := RunSoak(cfg)
+	if err != nil {
+		t.Fatalf("soak failed: %v\nfault log:\n%s", err, faultLines(res))
+	}
+	if res.Epoch == 0 {
+		t.Fatal("soak committed no epochs")
+	}
+	if res.Counters["kill"] == 0 || res.Counters["restart"] == 0 {
+		t.Errorf("kill/restart never exercised: counters %v", res.Counters)
+	}
+	if len(res.FaultLog) == 0 {
+		t.Error("no faults fired across the whole soak")
+	}
+	killed := false
+	for _, rr := range res.Rounds {
+		if len(rr.Kills) > 0 {
+			killed = true
+		}
+	}
+	if !killed {
+		t.Error("no round recorded a kill despite a non-empty kill plan")
+	}
+}
+
+// TestSoakReproducibleBySeed is the acceptance gate for determinism: two
+// soaks with the same seed (armed faults + kills, no probabilistic traffic)
+// must produce identical fault logs, round digests, final checksums, and
+// epochs; a different seed must diverge.
+func TestSoakReproducibleBySeed(t *testing.T) {
+	mk := func(seed int64) SoakConfig {
+		return SoakConfig{
+			Layout:        paperLayout(t),
+			Rounds:        8,
+			StepsPerRound: 25,
+			Seed:          seed,
+			ArmPerRound:   2,
+			KillMTBF:      150,
+		}
+	}
+	a, err := RunSoak(mk(7))
+	if err != nil {
+		t.Fatalf("run A: %v", err)
+	}
+	b, err := RunSoak(mk(7))
+	if err != nil {
+		t.Fatalf("run B: %v", err)
+	}
+	if la, lb := fmt.Sprint(a.FaultLogDigest()), fmt.Sprint(b.FaultLogDigest()); la != lb {
+		t.Errorf("fault logs diverged under one seed:\nA: %s\nB: %s", la, lb)
+	}
+	if da, db := fmt.Sprint(a.RoundDigest()), fmt.Sprint(b.RoundDigest()); da != db {
+		t.Errorf("round digests diverged under one seed:\nA: %s\nB: %s", da, db)
+	}
+	if a.Epoch != b.Epoch {
+		t.Errorf("final epochs diverged: %d vs %d", a.Epoch, b.Epoch)
+	}
+	if fmt.Sprint(a.Checksums) != fmt.Sprint(b.Checksums) {
+		t.Error("final checksums diverged under one seed")
+	}
+
+	c, err := RunSoak(mk(8))
+	if err != nil {
+		t.Fatalf("run C: %v", err)
+	}
+	if fmt.Sprint(a.FaultLogDigest()) == fmt.Sprint(c.FaultLogDigest()) &&
+		fmt.Sprint(a.RoundDigest()) == fmt.Sprint(c.RoundDigest()) {
+		t.Error("different seeds produced identical fault logs and round digests")
+	}
+}
+
+// TestSoakLargerLayouts scales the soak beyond the paper's configuration:
+// 8 nodes (56 VMs), and 16 nodes with bounded group size unless -short.
+func TestSoakLargerLayouts(t *testing.T) {
+	cases := []struct {
+		name   string
+		layout func() (*cluster.Layout, error)
+		rounds int
+		long   bool
+	}{
+		{"8node", func() (*cluster.Layout, error) { return cluster.BuildDistributed(8, 1, 1) }, 6, false},
+		{"16node", func() (*cluster.Layout, error) { return cluster.BuildDistributedGroups(16, 1, 1, 4) }, 5, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if tc.long && testing.Short() {
+				t.Skip("16-node soak skipped in -short mode")
+			}
+			layout, err := tc.layout()
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := RunSoak(SoakConfig{
+				Layout:        layout,
+				Rounds:        tc.rounds,
+				StepsPerRound: 20,
+				Seed:          90210,
+				ArmPerRound:   2,
+				KillMTBF:      200,
+			})
+			if err != nil {
+				t.Fatalf("soak failed: %v\nfault log:\n%s", err, faultLines(res))
+			}
+			if res.Epoch == 0 {
+				t.Fatal("soak committed no epochs")
+			}
+		})
+	}
+}
+
+// TestRecoverRestoresByteIdenticalImages is the satellite property test: for
+// every orthogonal layout the cluster package can build, killing any single
+// node and running RecoverNodes must restore every VM's committed image
+// byte-for-byte — not just checksum-equal.
+func TestRecoverRestoresByteIdenticalImages(t *testing.T) {
+	layouts := []struct {
+		name  string
+		build func() (*cluster.Layout, error)
+	}{
+		{"first-shot-4", func() (*cluster.Layout, error) { return cluster.BuildFirstShot(4) }},
+		{"dedicated-4x2", func() (*cluster.Layout, error) { return cluster.BuildDedicated(4, 2) }},
+		{"paper-12vm", cluster.Paper12VM},
+		{"distributed-groups-6", func() (*cluster.Layout, error) { return cluster.BuildDistributedGroups(6, 1, 1, 3) }},
+	}
+	for _, lc := range layouts {
+		t.Run(lc.name, func(t *testing.T) {
+			probe, err := lc.build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for victim := 0; victim < probe.Nodes; victim++ {
+				layout, err := lc.build()
+				if err != nil {
+					t.Fatal(err)
+				}
+				coord, nodes := testCluster(t, layout)
+				steps := uint64(40 + 13*victim) // vary the write stream per victim
+				if err := coord.Step(steps); err != nil {
+					t.Fatal(err)
+				}
+				if err := coord.Checkpoint(); err != nil {
+					t.Fatal(err)
+				}
+				before := fetchImages(t, coord)
+				nodes[victim].Close()
+				if _, err := coord.RecoverNodes(victim); err != nil {
+					t.Fatalf("victim %d: recover: %v", victim, err)
+				}
+				after := fetchImages(t, coord)
+				if len(after) != len(before) {
+					t.Fatalf("victim %d: %d VMs after recovery, want %d", victim, len(after), len(before))
+				}
+				for name, img := range before {
+					if !bytes.Equal(img, after[name]) {
+						t.Errorf("victim %d: VM %q image diverged after recovery", victim, name)
+					}
+				}
+			}
+		})
+	}
+}
+
+// fetchImages pulls every VM's committed image from whichever node currently
+// hosts it, per the coordinator's live layout.
+func fetchImages(t *testing.T, coord *Coordinator) map[string][]byte {
+	t.Helper()
+	out := map[string][]byte{}
+	for _, v := range coord.Layout().VMs {
+		resp, err := coord.call(v.Node, &wire.Message{Type: wire.MsgGetImage, VM: v.Name})
+		if err != nil {
+			t.Fatalf("fetch image %q from node %d: %v", v.Name, v.Node, err)
+		}
+		out[v.Name] = resp.Payload
+	}
+	return out
+}
+
+// TestChaosSoakRace is the race-detector satellite: checkpoints race against
+// a node being killed from another goroutine mid-round, then the cluster is
+// recovered, repaired, and re-checkpointed — all under a wall-clock budget so
+// a deadlock inside the RPC layer fails fast instead of hanging go test.
+func TestChaosSoakRace(t *testing.T) {
+	layout := paperLayout(t)
+	coord, nodes := testCluster(t, layout)
+	rpcTimeout := 2 * time.Second
+	coord.SetRPCTimeout(rpcTimeout)
+	for _, n := range nodes {
+		n.SetRPCTimeout(rpcTimeout)
+	}
+	addrs := make([]string, len(nodes))
+	for i, n := range nodes {
+		addrs[i] = n.Addr()
+	}
+
+	iters := 4
+	if testing.Short() {
+		iters = 2
+	}
+	rng := rand.New(rand.NewSource(1701))
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		if err := coord.Step(30); err != nil {
+			t.Fatalf("iter %d: step: %v", i, err)
+		}
+		victim := rng.Intn(layout.Nodes)
+		delay := time.Duration(rng.Intn(3000)) * time.Microsecond
+		killed := make(chan struct{})
+		go func() {
+			time.Sleep(delay)
+			nodes[victim].Close()
+			close(killed)
+		}()
+		ckErr := coord.Checkpoint()
+		<-killed
+		var partial *PartialCommitError
+		switch {
+		case ckErr == nil, errors.As(ckErr, &partial):
+			// Kill landed late enough (or the round absorbed it); the victim
+			// is down now either way.
+		default:
+			// Prepare-phase abort; fall through to recovery.
+		}
+		if _, err := coord.RecoverNodes(victim); err != nil {
+			t.Fatalf("iter %d: recover node %d: %v", i, victim, err)
+		}
+		n, err := NewNode(addrs[victim])
+		if err != nil {
+			t.Fatalf("iter %d: restart node %d: %v", i, victim, err)
+		}
+		n.SetRPCTimeout(rpcTimeout)
+		nodes[victim] = n
+		t.Cleanup(func() { n.Close() })
+		if err := coord.Repair(victim); err != nil {
+			t.Fatalf("iter %d: repair node %d: %v", i, victim, err)
+		}
+		if err := coord.Checkpoint(); err != nil {
+			t.Fatalf("iter %d: post-recovery checkpoint: %v", i, err)
+		}
+		if _, err := coord.Rebalance(); err != nil {
+			t.Fatalf("iter %d: rebalance: %v", i, err)
+		}
+	}
+	// Deadline budget: each iteration does a handful of RPC rounds; anything
+	// past this means a call sat on a dead connection instead of timing out.
+	budget := time.Duration(iters) * 8 * rpcTimeout
+	if elapsed := time.Since(start); elapsed > budget {
+		t.Fatalf("soak took %v, budget %v — RPC deadlines not honored", elapsed, budget)
+	}
+}
+
+func faultLines(res *SoakResult) string {
+	if res == nil {
+		return "(no result)"
+	}
+	var buf bytes.Buffer
+	for _, l := range res.FaultLogDigest() {
+		buf.WriteString("  " + l + "\n")
+	}
+	return buf.String()
+}

@@ -1,0 +1,149 @@
+package transport
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dvdc/internal/chaos"
+	"dvdc/internal/wire"
+)
+
+// These are the regression tests for two chaos-found bug classes in the
+// pool's retry path (see DESIGN.md, "Fault model & chaos testing"):
+//
+//  1. A corrupted frame on a *fresh* connection was classified as a caller
+//     error and never retried, although the connection — not the request —
+//     failed the call.
+//  2. Stale-connection failures consumed the single retry budget, so a call
+//     issued right after a peer restart died on the second of several stale
+//     pooled connections instead of draining them and re-dialing.
+
+// TestPoolRetriesChaosCorruptedRequest corrupts the first request frame a
+// brand-new pool sends. The server rejects the mangled frame by dropping the
+// connection, the client sees an abrupt close on a fresh conn, and the call
+// must still succeed via one clean retry.
+func TestPoolRetriesChaosCorruptedRequest(t *testing.T) {
+	s := echoServer(t)
+	inj := chaos.New(11, chaos.Config{})
+	inj.Register(1, s.Addr())
+	inj.NextRound()
+	inj.Arm(chaos.Pair{Src: 0, Dst: 1}, chaos.Corrupt)
+
+	p := NewPool(s.Addr(), PoolOptions{Dialer: inj.Dialer(0), CallTimeout: 2 * time.Second})
+	defer p.Close()
+	resp, err := p.Call(&wire.Message{Type: wire.MsgHello, Epoch: 3})
+	if err != nil {
+		t.Fatalf("call through corrupted request frame: %v", err)
+	}
+	if resp.Epoch != 3 {
+		t.Errorf("echoed epoch = %d, want 3", resp.Epoch)
+	}
+	if got := p.Retries(); got < 1 {
+		t.Errorf("pool retries = %d, want >= 1 (the corrupted attempt)", got)
+	}
+	if fired := inj.Fired(1, chaos.Corrupt); fired != 1 {
+		t.Errorf("corrupt faults fired = %d, want 1", fired)
+	}
+}
+
+// TestPoolRetriesChaosCorruptedResponse corrupts the first *response* frame
+// instead: the client hits a typed wire decode error on a fresh connection
+// and must retry. The handler runs twice — callers of Pool.Call must keep
+// their request handlers idempotent, which the protocol layer does.
+func TestPoolRetriesChaosCorruptedResponse(t *testing.T) {
+	inj := chaos.New(12, chaos.Config{})
+	var calls atomic.Int64
+	s, err := ListenWith("127.0.0.1:0", func(req *wire.Message) (*wire.Message, error) {
+		calls.Add(1)
+		return &wire.Message{Type: wire.MsgHelloOK, Epoch: req.Epoch}, nil
+	}, inj.ListenFunc(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	inj.NextRound()
+	inj.Arm(chaos.Pair{Src: 1, Dst: chaos.UnknownPeer}, chaos.Corrupt)
+
+	p := NewPool(s.Addr(), PoolOptions{CallTimeout: 2 * time.Second})
+	defer p.Close()
+	resp, err := p.Call(&wire.Message{Type: wire.MsgHello, Epoch: 5})
+	if err != nil {
+		t.Fatalf("call through corrupted response frame: %v", err)
+	}
+	if resp.Epoch != 5 {
+		t.Errorf("echoed epoch = %d, want 5", resp.Epoch)
+	}
+	if got := p.Retries(); got < 1 {
+		t.Errorf("pool retries = %d, want >= 1", got)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Errorf("handler ran %d times, want 2 (original + retry)", got)
+	}
+}
+
+// TestPoolDrainsStaleConnsAfterPeerRestart fills the pool with several idle
+// connections, restarts the peer on the same address (invalidating all of
+// them), and checks a single call drains every stale connection and succeeds
+// over a fresh dial — instead of dying on the second stale one.
+func TestPoolDrainsStaleConnsAfterPeerRestart(t *testing.T) {
+	const parallel = 3
+	var inFlight atomic.Int64
+	release := make(chan struct{})
+	blockingHandler := func(req *wire.Message) (*wire.Message, error) {
+		if req.Type == wire.MsgHello {
+			inFlight.Add(1)
+			<-release
+		}
+		return &wire.Message{Type: wire.MsgHelloOK, Epoch: req.Epoch}, nil
+	}
+	s, err := Listen("127.0.0.1:0", blockingHandler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := s.Addr()
+	p := NewPool(addr, PoolOptions{Size: parallel + 1, CallTimeout: 5 * time.Second})
+	defer p.Close()
+
+	// Force `parallel` distinct connections by holding that many calls open
+	// inside the handler at once, then release them all back to the idle list.
+	var wg sync.WaitGroup
+	for i := 0; i < parallel; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := p.Call(&wire.Message{Type: wire.MsgHello}); err != nil {
+				t.Errorf("warm-up call: %v", err)
+			}
+		}()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for inFlight.Load() < parallel {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/%d calls in flight", inFlight.Load(), parallel)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+
+	// Peer restart: every idle connection in the pool is now stale.
+	s.Close()
+	s2, err := Listen(addr, blockingHandler)
+	if err != nil {
+		t.Fatalf("restart server on %s: %v", addr, err)
+	}
+	t.Cleanup(func() { s2.Close() })
+
+	resp, err := p.Call(&wire.Message{Type: wire.MsgStep, Epoch: 9})
+	if err != nil {
+		t.Fatalf("call after peer restart: %v", err)
+	}
+	if resp.Epoch != 9 {
+		t.Errorf("echoed epoch = %d, want 9", resp.Epoch)
+	}
+	if got := p.Retries(); got < parallel {
+		t.Errorf("pool retries = %d, want >= %d (all stale conns drained)", got, parallel)
+	}
+}

@@ -3,9 +3,11 @@ package transport
 import (
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"dvdc/internal/wire"
@@ -20,6 +22,7 @@ type PoolOptions struct {
 	DialTimeout time.Duration // per-dial bound (default 5s)
 	DialRetries int           // extra dial attempts after the first (default 1)
 	Backoff     time.Duration // base backoff between dial attempts, doubled each retry (default 25ms)
+	Dialer      DialFunc      // raw stream opener (nil = TCP); fault-injection hook
 }
 
 func (o PoolOptions) withDefaults() PoolOptions {
@@ -43,9 +46,9 @@ func (o PoolOptions) withDefaults() PoolOptions {
 // Pool is a bounded pool of framed connections to one peer, so that
 // concurrent fan-out is not serialized on a single in-flight socket.
 // Connections are dialed lazily, reused when idle, and discarded on
-// transport failure; a call that lands on a stale cached connection (the
-// peer restarted) is retried once over a fresh dial. Calls beyond Size
-// queue for a free connection slot. Safe for concurrent use.
+// transport failure; a call that lands on stale cached connections (the
+// peer restarted) drains them and is retried over a fresh dial. Calls
+// beyond Size queue for a free connection slot. Safe for concurrent use.
 type Pool struct {
 	addr    string
 	opts    PoolOptions
@@ -77,8 +80,9 @@ func (p *Pool) Retries() int64 { return p.retries.Load() }
 
 // Call sends one request and waits for the reply, checking a connection out
 // of the pool (dialing if none is idle). On a transport failure over a
-// reused connection the call re-dials and retries once — the peer may have
-// restarted on the same address. Timeouts are not retried: a peer that
+// reused connection the call discards it and tries again — the peer may have
+// restarted on the same address, leaving every pooled connection stale — with
+// at most one retry over a fresh dial. Timeouts are not retried: a peer that
 // blew the call deadline once is stalled, and retrying would double the
 // caller's wait.
 func (p *Pool) Call(req *wire.Message) (*wire.Message, error) {
@@ -90,7 +94,13 @@ func (p *Pool) Call(req *wire.Message) (*wire.Message, error) {
 	}
 	p.slots <- struct{}{}
 	defer func() { <-p.slots }()
-	for attempt := 0; ; attempt++ {
+	// Failures on reused connections do not consume the retry budget: after a
+	// peer restart every idle connection in the pool is stale, and a call must
+	// be able to drain them all (they are discarded as they fail, so this is
+	// bounded by Size) before its one fresh-dial retry. Counting stale-conn
+	// failures against the budget made the second stale connection fatal.
+	freshFailures := 0
+	for attempt := 0; attempt <= p.opts.Size+1; attempt++ {
 		c, reused, err := p.get()
 		if err != nil {
 			return nil, err
@@ -107,11 +117,26 @@ func (p *Pool) Call(req *wire.Message) (*wire.Message, error) {
 			return nil, err
 		}
 		c.Close()
-		if isTimeout(err) || !reused || attempt > 0 {
+		// Timeouts are never retried. A reused (possibly stale) connection is
+		// always worth retrying; a fresh one only when the failure is stream
+		// corruption: a mangled frame (wire.ErrFrame) or an abruptly cut
+		// stream means the *connection* failed the call, not the caller.
+		// Without that, a corrupted first call on a brand-new pool surfaces
+		// as a caller error although a clean retry would have succeeded. One
+		// fresh-dial failure is the budget — the second means the peer itself
+		// is sick, not the connection.
+		if isTimeout(err) || !(reused || wire.IsDecodeErr(err) || isAbruptClose(err)) {
 			return nil, err
+		}
+		if !reused {
+			freshFailures++
+			if freshFailures > 1 {
+				return nil, err
+			}
 		}
 		p.retries.Add(1)
 	}
+	return nil, fmt.Errorf("transport: call to %s exhausted retry budget", p.addr)
 }
 
 // get checks out an idle connection (reused=true) or dials a fresh one.
@@ -142,7 +167,7 @@ func (p *Pool) dial() (*Conn, error) {
 			time.Sleep(backoff)
 			backoff *= 2
 		}
-		c, err := DialTimeout(p.addr, p.opts.DialTimeout)
+		c, err := DialWith(p.addr, p.opts.DialTimeout, p.opts.Dialer)
 		if err == nil {
 			if p.opts.CallTimeout > 0 {
 				c.SetTimeout(p.opts.CallTimeout)
@@ -184,4 +209,13 @@ func (p *Pool) Close() {
 func isTimeout(err error) bool {
 	var ne net.Error
 	return errors.As(err, &ne) && ne.Timeout()
+}
+
+// isAbruptClose reports whether err is a mid-exchange stream cut: the peer
+// (or a fault injector) severed the connection before the reply arrived.
+// This happens to a fresh connection when the server rejects a corrupted
+// request frame by dropping the conn, so it is retried like a stale one.
+func isAbruptClose(err error) bool {
+	return errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) ||
+		errors.Is(err, syscall.ECONNRESET) || errors.Is(err, syscall.EPIPE)
 }

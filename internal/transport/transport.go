@@ -26,6 +26,16 @@ type Conn struct {
 	timeout time.Duration
 }
 
+// DialFunc opens the raw stream a framed connection runs over. nil means
+// plain TCP (net.DialTimeout). Hooks — fault injection (internal/chaos),
+// instrumented dials — substitute their own.
+type DialFunc func(addr string, timeout time.Duration) (net.Conn, error)
+
+// ListenFunc opens the listener a Server accepts on. nil means plain TCP
+// (net.Listen). Hooks wrap the returned listener to intercept accepted
+// connections.
+type ListenFunc func(addr string) (net.Listener, error)
+
 // Dial connects to a runtime endpoint with the default 5s dial timeout.
 func Dial(addr string) (*Conn, error) {
 	return DialTimeout(addr, 5*time.Second)
@@ -33,10 +43,21 @@ func Dial(addr string) (*Conn, error) {
 
 // DialTimeout connects to a runtime endpoint, bounding the dial.
 func DialTimeout(addr string, d time.Duration) (*Conn, error) {
+	return DialWith(addr, d, nil)
+}
+
+// DialWith connects to a runtime endpoint over dial (nil = TCP), bounding
+// the attempt.
+func DialWith(addr string, d time.Duration, dial DialFunc) (*Conn, error) {
 	if d <= 0 {
 		d = 5 * time.Second
 	}
-	c, err := net.DialTimeout("tcp", addr, d)
+	if dial == nil {
+		dial = func(addr string, timeout time.Duration) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, timeout)
+		}
+	}
+	c, err := dial(addr, d)
 	if err != nil {
 		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
 	}
@@ -106,10 +127,19 @@ type Server struct {
 
 // Listen starts a server on addr ("127.0.0.1:0" picks a free port).
 func Listen(addr string, h Handler) (*Server, error) {
+	return ListenWith(addr, h, nil)
+}
+
+// ListenWith starts a server on a listener opened by lf (nil = TCP). Fault
+// injection layers use it to wrap every accepted connection.
+func ListenWith(addr string, h Handler, lf ListenFunc) (*Server, error) {
 	if h == nil {
 		return nil, fmt.Errorf("transport: nil handler")
 	}
-	ln, err := net.Listen("tcp", addr)
+	if lf == nil {
+		lf = func(addr string) (net.Listener, error) { return net.Listen("tcp", addr) }
+	}
+	ln, err := lf(addr)
 	if err != nil {
 		return nil, err
 	}

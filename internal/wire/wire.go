@@ -208,6 +208,13 @@ func ReadFrame(r io.Reader) (*Message, error) {
 	return Decode(body)
 }
 
+// IsDecodeErr reports whether err stems from frame decoding (ErrFrame): the
+// bytes on the stream were corrupt or truncated. Transport code uses this to
+// classify such failures as connection faults — the stream is garbage and the
+// connection must be replaced — rather than caller errors: the request itself
+// was fine, the wire mangled it.
+func IsDecodeErr(err error) bool { return errors.Is(err, ErrFrame) }
+
 // Errorf builds an error reply.
 func Errorf(format string, args ...interface{}) *Message {
 	return &Message{Type: MsgError, Text: fmt.Sprintf(format, args...)}
