@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench experiments figures fuzz soak clean
+.PHONY: all build test race cover bench experiments figures fuzz soak obs-demo clean
 
 all: build test
 
@@ -37,6 +37,13 @@ SOAK_SEED ?= 424242
 soak:
 	$(GO) run ./cmd/dvdcsoak -seed $(SOAK_SEED) -rounds 20
 	$(GO) run ./cmd/dvdcsoak -seed $(SOAK_SEED) -nodes 8 -rounds 10
+
+# Observability demo: soak with a JSONL trace sink, render one round's
+# timeline, and dump the Prometheus exposition of a live node.
+obs-demo:
+	$(GO) run ./cmd/dvdcsoak -seed $(SOAK_SEED) -rounds 4 -trace-jsonl /tmp/dvdc-trace.jsonl
+	$(GO) run ./cmd/dvdcctl trace -in /tmp/dvdc-trace.jsonl
+	$(GO) run ./cmd/dvdcctl trace -in /tmp/dvdc-trace.jsonl -epoch 2
 
 # Short fuzzing passes over the three codecs.
 fuzz:

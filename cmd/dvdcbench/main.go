@@ -15,30 +15,44 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"dvdc/internal/experiments"
 	"dvdc/internal/metrics"
+	"dvdc/internal/obs"
 	"dvdc/internal/report"
 )
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment id (E1..E12) or 'all'")
-		list   = flag.Bool("list", false, "list experiments and exit")
-		csv    = flag.Bool("csv", false, "also print raw series as CSV")
-		outDir = flag.String("out", "", "also write each artifact (and its CSV) into this directory")
-		mtbf   = flag.Float64("mtbf", 3*3600, "system MTBF in seconds (paper: 3 h)")
-		job    = flag.Float64("job", 2*24*3600, "fault-free job length in seconds (paper: 2 days)")
-		nodes  = flag.Int("nodes", 4, "physical nodes (paper: 4)")
-		stacks = flag.Int("stacks", 1, "RAID group stacks (VMs/node = stacks*(nodes-1))")
-		image  = flag.Int64("image", 2<<30, "VM image bytes (default 2 GiB)")
-		wss    = flag.Float64("wss", 32*(1<<20), "dirty working-set bytes (default 32 MiB)")
-		rate   = flag.Float64("rate", 4*(1<<20), "guest write rate bytes/s (default 4 MiB/s)")
-		seed   = flag.Int64("seed", 20120521, "random seed")
-		runs   = flag.Int("runs", 60, "Monte-Carlo repetitions")
-		points = flag.Int("points", 120, "sweep points for figures")
+		exp     = flag.String("exp", "all", "experiment id (E1..E12) or 'all'")
+		list    = flag.Bool("list", false, "list experiments and exit")
+		csv     = flag.Bool("csv", false, "also print raw series as CSV")
+		outDir  = flag.String("out", "", "also write each artifact (and its CSV) into this directory")
+		mtbf    = flag.Float64("mtbf", 3*3600, "system MTBF in seconds (paper: 3 h)")
+		job     = flag.Float64("job", 2*24*3600, "fault-free job length in seconds (paper: 2 days)")
+		nodes   = flag.Int("nodes", 4, "physical nodes (paper: 4)")
+		stacks  = flag.Int("stacks", 1, "RAID group stacks (VMs/node = stacks*(nodes-1))")
+		image   = flag.Int64("image", 2<<30, "VM image bytes (default 2 GiB)")
+		wss     = flag.Float64("wss", 32*(1<<20), "dirty working-set bytes (default 32 MiB)")
+		rate    = flag.Float64("rate", 4*(1<<20), "guest write rate bytes/s (default 4 MiB/s)")
+		seed    = flag.Int64("seed", 20120521, "random seed")
+		runs    = flag.Int("runs", 60, "Monte-Carlo repetitions")
+		points  = flag.Int("points", 120, "sweep points for figures")
+		obsAddr = flag.String("obs-addr", "", "serve /metrics, /healthz and pprof here while running (empty = disabled)")
 	)
 	flag.Parse()
+
+	reg := obs.NewRegistry()
+	if *obsAddr != "" {
+		srv, err := obs.Serve(*obsAddr, reg, nil)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dvdcbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "dvdcbench: observability on http://%s/metrics\n", srv.Addr())
+	}
 
 	if *list {
 		for _, id := range experiments.IDs() {
@@ -69,11 +83,14 @@ func main() {
 		}
 	}
 	for _, id := range ids {
+		expStart := time.Now()
 		res, err := experiments.Run(id, p)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "dvdcbench: %v\n", err)
 			os.Exit(1)
 		}
+		reg.Histogram("dvdc_experiment_seconds", obs.LatencyBuckets(), "id", res.ID).
+			Observe(time.Since(expStart).Seconds())
 		header := fmt.Sprintf("==== %s: %s ====\n\n", res.ID, res.Title)
 		fmt.Printf("%s%s\n", header, res.Text)
 		if *csv && len(res.Series) > 0 {

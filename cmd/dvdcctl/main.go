@@ -11,19 +11,32 @@
 // runs five checkpointed work rounds, then declares node 2 dead and runs the
 // recovery protocol around it (whether or not the daemon process is actually
 // gone: the controller stops talking to it either way).
+//
+// The trace subcommand renders a JSONL span file (from dvdcsoak -trace-jsonl
+// or the coordinator's -trace-jsonl) as an ASCII phase timeline:
+//
+//	dvdcctl trace -in soak.jsonl              # one summary line per trace
+//	dvdcctl trace -in soak.jsonl -epoch 7     # timeline of epoch 7's round
+//	dvdcctl trace -in soak.jsonl -trace 1f3a  # timeline of one trace id (hex)
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"dvdc/internal/cluster"
+	"dvdc/internal/obs"
 	"dvdc/internal/runtime"
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "trace" {
+		traceMain(os.Args[2:])
+		return
+	}
 	var (
 		nodeList = flag.String("nodes", "", "comma-separated node addresses (one per physical node)")
 		stacks   = flag.Int("stacks", 1, "RAID group stacks")
@@ -38,6 +51,8 @@ func main() {
 		compress = flag.Bool("compress", false, "flate-compress delta shipments")
 		timeout  = flag.Duration("rpc-timeout", 0, "per-RPC deadline (0 = default 30s)")
 		fanout   = flag.Int("fanout", 0, "max concurrent per-node RPCs per fan-out (0 = default)")
+		obsAddr  = flag.String("obs-addr", "", "serve /metrics, /healthz, /spans and pprof here (empty = disabled)")
+		traceOut = flag.String("trace-jsonl", "", "stream every span to this JSONL file (render with dvdcctl trace)")
 	)
 	flag.Parse()
 	addrs := strings.Split(*nodeList, ",")
@@ -58,6 +73,26 @@ func main() {
 	coord, err := runtime.NewCoordinator(layout, addrMap, *pages, *pageSize, *seed)
 	fatal(err)
 	defer coord.Close()
+
+	var tracer *obs.Tracer
+	registry := obs.NewRegistry()
+	if *obsAddr != "" || *traceOut != "" {
+		tracer = obs.NewTracer(0)
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		fatal(err)
+		defer f.Close()
+		tracer.SetSink(f)
+		defer tracer.Flush()
+	}
+	if *obsAddr != "" {
+		srv, err := obs.Serve(*obsAddr, registry, tracer)
+		fatal(err)
+		defer srv.Close()
+		fmt.Printf("observability on http://%s/metrics\n", srv.Addr())
+	}
+	coord.SetObserver(tracer, registry)
 	coord.SetCompress(*compress)
 	if *timeout > 0 {
 		coord.SetRPCTimeout(*timeout)
@@ -105,6 +140,70 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// traceMain renders a JSONL span file: by default a one-line summary per
+// trace; with -trace or -epoch, the full ASCII timeline of one span tree.
+func traceMain(args []string) {
+	fs := flag.NewFlagSet("dvdcctl trace", flag.ExitOnError)
+	var (
+		in      = fs.String("in", "", "JSONL span file ('-' = stdin)")
+		traceID = fs.String("trace", "", "render this trace id (hex)")
+		epoch   = fs.Int64("epoch", -1, "render the checkpoint round that targeted this epoch")
+		width   = fs.Int("width", 100, "timeline width in columns")
+	)
+	fs.Parse(args)
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "dvdcctl trace: -in is required")
+		os.Exit(2)
+	}
+	r := os.Stdin
+	if *in != "-" {
+		f, err := os.Open(*in)
+		fatal(err)
+		defer f.Close()
+		r = f
+	}
+	spans, err := obs.ReadJSONL(r)
+	fatal(err)
+	if len(spans) == 0 {
+		fmt.Println("no spans in input")
+		return
+	}
+	order, byTrace := obs.GroupTraces(spans)
+
+	pick := uint64(0)
+	switch {
+	case *traceID != "":
+		id, err := strconv.ParseUint(strings.TrimPrefix(*traceID, "0x"), 16, 64)
+		fatal(err)
+		if _, ok := byTrace[id]; !ok {
+			fatal(fmt.Errorf("trace %016x not found (%d traces in %s)", id, len(order), *in))
+		}
+		pick = id
+	case *epoch >= 0:
+		want := strconv.FormatInt(*epoch, 10)
+		for _, id := range order {
+			for _, s := range byTrace[id] {
+				if s.Parent == 0 && s.Name == "round" && s.Attrs["epoch"] == want {
+					pick = id
+				}
+			}
+		}
+		if pick == 0 {
+			fatal(fmt.Errorf("no round trace with epoch %d in %s", *epoch, *in))
+		}
+	case len(order) == 1:
+		pick = order[0]
+	}
+	if pick != 0 {
+		fmt.Print(obs.RenderTimeline(byTrace[pick], *width))
+		return
+	}
+	for _, line := range obs.SummarizeTraces(spans) {
+		fmt.Println(line)
+	}
+	fmt.Printf("%d traces; render one with -trace <id> or -epoch <n>\n", len(order))
 }
 
 func fatal(err error) {

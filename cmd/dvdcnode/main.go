@@ -5,6 +5,10 @@
 // Usage:
 //
 //	dvdcnode -listen 127.0.0.1:7401
+//	dvdcnode -listen 127.0.0.1:7401 -obs-addr 127.0.0.1:9100
+//
+// With -obs-addr the daemon serves Prometheus metrics (/metrics), a health
+// probe (/healthz), recent spans (/spans), and net/http/pprof.
 package main
 
 import (
@@ -14,6 +18,7 @@ import (
 	"os/signal"
 	"syscall"
 
+	"dvdc/internal/obs"
 	"dvdc/internal/runtime"
 )
 
@@ -21,9 +26,23 @@ func main() {
 	listen := flag.String("listen", "127.0.0.1:0", "address to listen on")
 	timeout := flag.Duration("rpc-timeout", 0, "per-peer-RPC deadline (0 = default 30s)")
 	fanout := flag.Int("fanout", 0, "max concurrent parity shipments per prepare (0 = default)")
+	obsAddr := flag.String("obs-addr", "", "serve /metrics, /healthz, /spans and pprof here (empty = disabled)")
 	flag.Parse()
 
-	node, err := runtime.NewNode(*listen)
+	var opts runtime.NodeOptions
+	var srv *obs.Server
+	if *obsAddr != "" {
+		opts.Tracer = obs.NewTracer(0)
+		opts.Registry = obs.NewRegistry()
+		var err error
+		srv, err = obs.Serve(*obsAddr, opts.Registry, opts.Tracer)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dvdcnode: %v\n", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+	}
+	node, err := runtime.NewNodeWith(*listen, opts)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "dvdcnode: %v\n", err)
 		os.Exit(1)
@@ -33,6 +52,9 @@ func main() {
 	}
 	node.SetFanout(*fanout)
 	fmt.Printf("dvdcnode listening on %s\n", node.Addr())
+	if srv != nil {
+		fmt.Printf("dvdcnode observability on http://%s/metrics\n", srv.Addr())
+	}
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig

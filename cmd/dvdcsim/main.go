@@ -23,6 +23,7 @@ import (
 	"dvdc/internal/core"
 	"dvdc/internal/diskfull"
 	"dvdc/internal/failure"
+	"dvdc/internal/obs"
 	"dvdc/internal/remus"
 	"dvdc/internal/storage"
 	"dvdc/internal/vm"
@@ -44,8 +45,17 @@ func main() {
 		traceStr = flag.String("trace", "", "comma-separated absolute failure times (s); replaces the Poisson schedule")
 		traceCSV = flag.String("tracefile", "", "CSV failure log (node,seconds) to replay; replaces the Poisson schedule")
 		repair   = flag.Float64("repair", 0, "node out-of-service time after a failure (s); engages degraded-rate execution")
+		obsAddr  = flag.String("obs-addr", "", "serve /metrics, /healthz and pprof here while running (empty = disabled)")
 	)
 	flag.Parse()
+
+	reg := obs.NewRegistry()
+	if *obsAddr != "" {
+		srv, err := obs.Serve(*obsAddr, reg, nil)
+		fatal(err)
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "dvdcsim: observability on http://%s/metrics\n", srv.Addr())
+	}
 
 	layout, err := cluster.BuildDistributed(*nodes, *stacks, 1)
 	fatal(err)
@@ -110,6 +120,8 @@ func main() {
 			Schedule: sched, Scheme: sch,
 		})
 		fatal(err)
+		reg.Counter("dvdc_sim_runs_total", "scheme", sch.Name()).Inc()
+		reg.Histogram("dvdc_sim_completion_ratio", []float64{1, 1.05, 1.1, 1.25, 1.5, 2, 4}, "scheme", sch.Name()).Observe(res.Ratio)
 		sumRatio += res.Ratio
 		sumFail += float64(res.Failures)
 		sumLost += res.LostWork

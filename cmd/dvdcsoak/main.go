@@ -12,6 +12,8 @@
 //	dvdcsoak -seed 424242                      # paper 4-node/12-VM layout
 //	dvdcsoak -nodes 8 -rounds 20 -kill-mtbf 90
 //	dvdcsoak -nodes 16 -group-size 4 -p-corrupt 0.02 -p-drop 0.02
+//	dvdcsoak -trace-jsonl soak.jsonl           # then: dvdcctl trace -in soak.jsonl
+//	dvdcsoak -obs-addr 127.0.0.1:9100          # live /metrics during the soak
 package main
 
 import (
@@ -22,6 +24,7 @@ import (
 
 	"dvdc/internal/chaos"
 	"dvdc/internal/cluster"
+	"dvdc/internal/obs"
 	"dvdc/internal/runtime"
 )
 
@@ -44,6 +47,8 @@ func main() {
 		killMTBF  = flag.Float64("kill-mtbf", 120, "per-node MTBF in virtual seconds (0 = no kills)")
 		rpc       = flag.Duration("rpc-timeout", 5*time.Second, "per-call RPC deadline")
 		verbose   = flag.Bool("v", false, "print the full fault log and per-round digest")
+		traceOut  = flag.String("trace-jsonl", "", "stream every span to this JSONL file (render with dvdcctl trace)")
+		obsAddr   = flag.String("obs-addr", "", "serve /metrics, /healthz, /spans and pprof here during the soak")
 	)
 	flag.Parse()
 
@@ -66,6 +71,22 @@ func main() {
 		PPartition:    *pPart,
 		KillMTBF:      *killMTBF,
 		RPCTimeout:    *rpc,
+		Registry:      obs.NewRegistry(),
+	}
+	if *traceOut != "" || *obsAddr != "" {
+		cfg.Tracer = obs.NewTracer(1 << 15)
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		fatal(err)
+		defer f.Close()
+		cfg.TraceSink = f
+	}
+	if *obsAddr != "" {
+		srv, err := obs.Serve(*obsAddr, cfg.Registry, cfg.Tracer)
+		fatal(err)
+		defer srv.Close()
+		fmt.Printf("observability on http://%s/metrics\n", srv.Addr())
 	}
 
 	fmt.Printf("dvdcsoak: %d nodes, %d VMs, %d rounds, seed %d\n",
@@ -92,6 +113,9 @@ func main() {
 		fmt.Fprintf(os.Stderr, "dvdcsoak: INVARIANT VIOLATION: %v\n", err)
 		fmt.Fprintf(os.Stderr, "dvdcsoak: replay with -seed %d\n", *seed)
 		os.Exit(1)
+	}
+	if *traceOut != "" {
+		fmt.Printf("spans written to %s; render with: dvdcctl trace -in %s\n", *traceOut, *traceOut)
 	}
 	fmt.Printf("all invariants held; replay with -seed %d\n", *seed)
 }

@@ -39,6 +39,7 @@ import (
 	"time"
 
 	"dvdc/internal/metrics"
+	"dvdc/internal/obs"
 )
 
 // Well-known node identities for traffic endpoints that are not daemons.
@@ -166,6 +167,7 @@ type Injector struct {
 	nodeByAddr  map[string]int
 	log         []Fault
 	counters    *metrics.Counters
+	tracer      *obs.Tracer
 }
 
 // New builds an injector. cfg may be the zero value (armed faults only).
@@ -185,6 +187,22 @@ func (i *Injector) Seed() int64 { return i.seed }
 
 // Counters exposes per-kind fired-fault tallies.
 func (i *Injector) Counters() *metrics.Counters { return i.counters }
+
+// SetTracer attaches a span tracer: every fired traffic fault becomes an
+// instant trace event parented under the span of the RPC attempt it hit,
+// making fault -> retry -> recovery causality visible in a round's trace.
+func (i *Injector) SetTracer(tr *obs.Tracer) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.tracer = tr
+}
+
+// Tracer returns the attached tracer (nil when tracing is off).
+func (i *Injector) Tracer() *obs.Tracer {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.tracer
+}
 
 // Register maps a node's listen address so dialers can resolve Dst ids.
 func (i *Injector) Register(node int, addr string) {

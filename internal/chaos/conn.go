@@ -6,6 +6,9 @@ import (
 	"net"
 	"syscall"
 	"time"
+
+	"dvdc/internal/obs"
+	"dvdc/internal/wire"
 )
 
 // Corruption target: the two high bytes of the frame's 4-byte little-endian
@@ -123,6 +126,9 @@ func (c *faultConn) Write(b []byte) (int, error) {
 		duplicate: frameEnd <= len(b),
 	}
 	d := c.inj.frameFault(c.pair, 4+bodyLen, caps)
+	if d.kind != 0 {
+		c.traceFault(b, start, bodyLen, d)
+	}
 	switch d.kind {
 	case Drop:
 		c.Conn.Close()
@@ -150,4 +156,29 @@ func (c *faultConn) Write(b []byte) (int, error) {
 	}
 	c.wtrack.advance(b)
 	return c.Conn.Write(b)
+}
+
+// traceFault pins a fired fault onto the trace of the frame it mangled: the
+// wire header's trace/span fields sit at fixed offsets inside the frame body,
+// so the event lands as a child of the exact RPC attempt (the pool re-stamps
+// Span per attempt) the fault hit. Untraced frames (trace id 0) are dropped
+// by the tracer.
+func (c *faultConn) traceFault(b []byte, start, bodyLen int, d decision) {
+	tr := c.inj.Tracer()
+	if tr == nil {
+		return
+	}
+	hdr := start + 4
+	if bodyLen < wire.FixedHeaderLen || hdr+wire.FixedHeaderLen > len(b) {
+		return
+	}
+	ctx := obs.SpanContext{
+		Trace: binary.LittleEndian.Uint64(b[hdr+wire.TraceOffset:]),
+		Span:  binary.LittleEndian.Uint64(b[hdr+wire.SpanOffset:]),
+	}
+	kv := []string{"pair", c.pair.String()}
+	if d.armed {
+		kv = append(kv, "armed", "true")
+	}
+	tr.Event(ctx, "chaos."+d.kind.String(), "chaos", kv...)
 }

@@ -1,73 +1,42 @@
+// Package metrics is a thin compatibility layer over the obs package's
+// counter sets. It predates internal/obs; existing callers (the chaos
+// injector, the soak harness) keep their API while the underlying set can be
+// mounted into an obs.Registry and served over the Prometheus endpoint.
 package metrics
 
-import (
-	"fmt"
-	"strings"
-	"sync"
-)
+import "dvdc/internal/obs"
 
 // Counters is a labelled set of monotonically increasing counters, safe for
 // concurrent use. The chaos layer tallies injected faults per kind with it,
 // and the soak harness reconciles those tallies against the runtime's own
 // retry/death counts. Counters render in first-use order so reports are
 // stable across runs with the same event sequence.
+//
+// It is a shim over obs.CounterSet; Set exposes the underlying set for
+// mounting into a registry (Registry.MountCounterSet).
 type Counters struct {
-	mu     sync.Mutex
-	order  []string
-	byName map[string]int64
+	set *obs.CounterSet
 }
 
 // NewCounters builds an empty counter set.
 func NewCounters() *Counters {
-	return &Counters{byName: map[string]int64{}}
+	return &Counters{set: obs.NewCounterSet()}
 }
+
+// Set returns the underlying obs counter set, for registry mounting.
+func (c *Counters) Set() *obs.CounterSet { return c.set }
 
 // Add increments one counter by delta.
-func (c *Counters) Add(name string, delta int64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if _, ok := c.byName[name]; !ok {
-		c.order = append(c.order, name)
-	}
-	c.byName[name] += delta
-}
+func (c *Counters) Add(name string, delta int64) { c.set.Add(name, delta) }
 
 // Get returns one counter's value (0 if never incremented).
-func (c *Counters) Get(name string) int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.byName[name]
-}
+func (c *Counters) Get(name string) int64 { return c.set.Get(name) }
 
 // Snapshot copies every counter into a fresh map.
-func (c *Counters) Snapshot() map[string]int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	out := make(map[string]int64, len(c.byName))
-	for k, v := range c.byName {
-		out[k] = v
-	}
-	return out
-}
+func (c *Counters) Snapshot() map[string]int64 { return c.set.Snapshot() }
 
 // Total sums every counter.
-func (c *Counters) Total() int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	var t int64
-	for _, v := range c.byName {
-		t += v
-	}
-	return t
-}
+func (c *Counters) Total() int64 { return c.set.Total() }
 
 // String renders "name=value" pairs in first-use order.
-func (c *Counters) String() string {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	parts := make([]string, 0, len(c.order))
-	for _, name := range c.order {
-		parts = append(parts, fmt.Sprintf("%s=%d", name, c.byName[name]))
-	}
-	return strings.Join(parts, " ")
-}
+func (c *Counters) String() string { return c.set.String() }

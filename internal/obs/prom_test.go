@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestPrometheusGolden pins the full exposition byte-for-byte: family
+// ordering (sorted by name), series ordering within a family (sorted by
+// rendered labels), label escaping, histogram bucket rendering, and mounted
+// counter sets.
+func TestPrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dvdc_rounds_total", "result", "committed").Add(3)
+	r.Counter("dvdc_rounds_total", "result", "aborted").Inc()
+	r.Gauge("dvdc_pool_open_conns", "peer", "node1").Set(2)
+	r.GaugeFunc("dvdc_alive_nodes", func() float64 { return 4 })
+	r.Counter("dvdc_escape_total", "path", "a\\b\"c\nd").Inc()
+
+	h := r.Histogram("dvdc_rpc_latency_seconds", []float64{0.001, 0.01, 0.1}, "peer", "node1")
+	h.Observe(0.0005)
+	h.Observe(0.005)
+	h.Observe(0.005)
+	h.Observe(0.5)
+
+	cs := NewCounterSet()
+	cs.Add("drop", 2)
+	cs.Add("corrupt", 1)
+	r.MountCounterSet("dvdc_chaos_faults_total", "kind", cs)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# TYPE dvdc_alive_nodes gauge
+dvdc_alive_nodes 4
+# TYPE dvdc_chaos_faults_total counter
+dvdc_chaos_faults_total{kind="corrupt"} 1
+dvdc_chaos_faults_total{kind="drop"} 2
+# TYPE dvdc_escape_total counter
+dvdc_escape_total{path="a\\b\"c\nd"} 1
+# TYPE dvdc_pool_open_conns gauge
+dvdc_pool_open_conns{peer="node1"} 2
+# TYPE dvdc_rounds_total counter
+dvdc_rounds_total{result="aborted"} 1
+dvdc_rounds_total{result="committed"} 3
+# TYPE dvdc_rpc_latency_seconds histogram
+dvdc_rpc_latency_seconds_bucket{peer="node1",le="0.001"} 1
+dvdc_rpc_latency_seconds_bucket{peer="node1",le="0.01"} 3
+dvdc_rpc_latency_seconds_bucket{peer="node1",le="0.1"} 3
+dvdc_rpc_latency_seconds_bucket{peer="node1",le="+Inf"} 4
+dvdc_rpc_latency_seconds_sum{peer="node1"} 0.5105
+dvdc_rpc_latency_seconds_count{peer="node1"} 4
+`
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+	// Stability: a second render must be byte-identical.
+	var b2 strings.Builder
+	r.WritePrometheus(&b2)
+	if b2.String() != b.String() {
+		t.Error("exposition not deterministic across renders")
+	}
+}
+
+func TestFormatValue(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0",
+		3:       "3",
+		-7:      "-7",
+		0.5:     "0.5",
+		0.0001:  "0.0001",
+		1e18:    "1e+18",
+		2.5e-05: "2.5e-05",
+	}
+	for in, want := range cases {
+		if got := formatValue(in); got != want {
+			t.Errorf("formatValue(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestObsServerEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("dvdc_up_total").Inc()
+	tr := NewTracer(8)
+	tr.Start(SpanContext{}, "round", "coord").Finish()
+
+	srv, err := Serve("127.0.0.1:0", reg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) (string, string) {
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		return string(body), resp.Header.Get("Content-Type")
+	}
+
+	body, ct := get("/metrics")
+	if !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("/metrics content type %q", ct)
+	}
+	if !strings.Contains(body, "dvdc_up_total 1") {
+		t.Errorf("/metrics missing counter:\n%s", body)
+	}
+	if body, _ := get("/healthz"); body != "ok\n" {
+		t.Errorf("/healthz = %q", body)
+	}
+	body, ct = get("/spans")
+	if ct != "application/json" || !strings.Contains(body, `"name":"round"`) {
+		t.Errorf("/spans = %q (content type %q)", body, ct)
+	}
+}

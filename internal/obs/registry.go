@@ -1,0 +1,408 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments by n (negative deltas are a programming error and ignored).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down.
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add moves the value by n.
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram is a fixed-bucket histogram with cumulative Prometheus
+// exposition and quantile estimation by linear interpolation inside the
+// owning bucket. Observations are float64 (seconds for latencies, bytes for
+// sizes); values above the last bound land in the +Inf overflow bucket.
+type Histogram struct {
+	bounds []float64 // ascending upper bounds; counts has one extra +Inf slot
+	mu     sync.Mutex
+	counts []int64
+	sum    float64
+	total  int64
+}
+
+// NewHistogram builds a standalone histogram over ascending bucket bounds.
+func NewHistogram(bounds []float64) *Histogram {
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]int64, len(b)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.mu.Lock()
+	h.counts[i]++
+	h.sum += v
+	h.total++
+	h.mu.Unlock()
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.total
+}
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) assuming observations are
+// uniform inside each bucket. The overflow bucket cannot be interpolated and
+// reports the last finite bound. Returns 0 with no observations.
+func (h *Histogram) Quantile(q float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(h.total)
+	var cum int64
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		if float64(cum+c) >= rank {
+			if i >= len(h.bounds) { // overflow bucket
+				return h.bounds[len(h.bounds)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			hi := h.bounds[i]
+			frac := (rank - float64(cum)) / float64(c)
+			if frac < 0 {
+				frac = 0
+			}
+			return lo + (hi-lo)*frac
+		}
+		cum += c
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// histSnapshot is a consistent copy for exposition.
+type histSnapshot struct {
+	bounds []float64
+	counts []int64
+	sum    float64
+	total  int64
+}
+
+func (h *Histogram) snapshot() histSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return histSnapshot{
+		bounds: h.bounds,
+		counts: append([]int64(nil), h.counts...),
+		sum:    h.sum,
+		total:  h.total,
+	}
+}
+
+// LatencyBuckets is the registry-wide bucket layout for wall-clock
+// histograms, in seconds: 100µs to 10s, roughly 2.5x per step.
+func LatencyBuckets() []float64 {
+	return []float64{
+		0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+		0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+	}
+}
+
+// ByteBuckets is the bucket layout for payload-size histograms: 256 B to
+// 256 MiB (the wire's MaxFrame), 4x per step.
+func ByteBuckets() []float64 {
+	var out []float64
+	for b := 256.0; b <= 256*1024*1024; b *= 4 {
+		out = append(out, b)
+	}
+	return out
+}
+
+// seriesKind discriminates what a registered series holds.
+type seriesKind uint8
+
+const (
+	kindCounter seriesKind = iota + 1
+	kindGauge
+	kindCounterFunc
+	kindGaugeFunc
+	kindHistogram
+)
+
+func (k seriesKind) promType() string {
+	switch k {
+	case kindCounter, kindCounterFunc:
+		return "counter"
+	case kindGauge, kindGaugeFunc:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// Label is one metric label pair.
+type Label struct{ Key, Value string }
+
+// series is one (name, labels) time series.
+type series struct {
+	name    string
+	labels  []Label
+	kind    seriesKind
+	counter *Counter
+	gauge   *Gauge
+	fn      func() float64
+	hist    *Histogram
+}
+
+// counterMount exposes an externally owned CounterSet as one counter family,
+// each entry labelled {labelKey="<entry name>"}.
+type counterMount struct {
+	name     string
+	labelKey string
+	set      *CounterSet
+}
+
+// Registry holds named metric series for Prometheus exposition. Get-or-create
+// accessors make instrumentation declarative: calling Counter twice with the
+// same name and labels returns the same *Counter. A nil *Registry hands back
+// standalone unregistered instruments, so instrumented code needs no guards.
+type Registry struct {
+	mu     sync.Mutex
+	byKey  map[string]*series
+	mounts []counterMount
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry { return &Registry{byKey: map[string]*series{}} }
+
+// seriesKey canonicalizes (name, sorted labels).
+func seriesKey(name string, labels []Label) string {
+	var b strings.Builder
+	b.WriteString(name)
+	for _, l := range labels {
+		b.WriteByte(0)
+		b.WriteString(l.Key)
+		b.WriteByte(0)
+		b.WriteString(l.Value)
+	}
+	return b.String()
+}
+
+// parseLabels folds variadic "k, v, k, v" into sorted label pairs.
+func parseLabels(name string, kv []string) []Label {
+	if len(kv)%2 != 0 {
+		panic(fmt.Sprintf("obs: metric %s: odd label list %v", name, kv))
+	}
+	labels := make([]Label, 0, len(kv)/2)
+	for i := 0; i < len(kv); i += 2 {
+		labels = append(labels, Label{Key: kv[i], Value: kv[i+1]})
+	}
+	sort.Slice(labels, func(i, j int) bool { return labels[i].Key < labels[j].Key })
+	return labels
+}
+
+// lookup get-or-creates a series, enforcing kind consistency. make builds
+// the instrument on first use; replace allows func series to be re-bound
+// (a pool recreated after repair re-registers its funcs on the same key).
+func (r *Registry) lookup(name string, kind seriesKind, kv []string, mk func(*series), replace bool) *series {
+	labels := parseLabels(name, kv)
+	key := seriesKey(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s, ok := r.byKey[key]; ok {
+		if s.kind != kind {
+			panic(fmt.Sprintf("obs: metric %s re-registered as %v (was %v)", name, kind.promType(), s.kind.promType()))
+		}
+		if replace {
+			mk(s)
+		}
+		return s
+	}
+	s := &series{name: name, labels: labels, kind: kind}
+	mk(s)
+	r.byKey[key] = s
+	return s
+}
+
+// Counter get-or-creates a counter series. kv is "key, value, key, value".
+func (r *Registry) Counter(name string, kv ...string) *Counter {
+	if r == nil {
+		return &Counter{}
+	}
+	return r.lookup(name, kindCounter, kv, func(s *series) {
+		if s.counter == nil {
+			s.counter = &Counter{}
+		}
+	}, false).counter
+}
+
+// Gauge get-or-creates a gauge series.
+func (r *Registry) Gauge(name string, kv ...string) *Gauge {
+	if r == nil {
+		return &Gauge{}
+	}
+	return r.lookup(name, kindGauge, kv, func(s *series) {
+		if s.gauge == nil {
+			s.gauge = &Gauge{}
+		}
+	}, false).gauge
+}
+
+// CounterFunc registers (or re-binds) a counter series read from fn at
+// exposition time.
+func (r *Registry) CounterFunc(name string, fn func() float64, kv ...string) {
+	if r == nil {
+		return
+	}
+	r.lookup(name, kindCounterFunc, kv, func(s *series) { s.fn = fn }, true)
+}
+
+// GaugeFunc registers (or re-binds) a gauge series read from fn at
+// exposition time.
+func (r *Registry) GaugeFunc(name string, fn func() float64, kv ...string) {
+	if r == nil {
+		return
+	}
+	r.lookup(name, kindGaugeFunc, kv, func(s *series) { s.fn = fn }, true)
+}
+
+// Histogram get-or-creates a histogram series (bounds are only consulted on
+// first creation).
+func (r *Registry) Histogram(name string, bounds []float64, kv ...string) *Histogram {
+	if r == nil {
+		return NewHistogram(bounds)
+	}
+	return r.lookup(name, kindHistogram, kv, func(s *series) {
+		if s.hist == nil {
+			s.hist = NewHistogram(bounds)
+		}
+	}, false).hist
+}
+
+// MountCounterSet exposes an ordered CounterSet (e.g. the chaos injector's
+// per-kind fault tallies) as the counter family name{labelKey="<entry>"}.
+// Mounting the same set on the same name again is a no-op.
+func (r *Registry) MountCounterSet(name, labelKey string, set *CounterSet) {
+	if r == nil || set == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, m := range r.mounts {
+		if m.name == name && m.set == set {
+			return
+		}
+	}
+	r.mounts = append(r.mounts, counterMount{name: name, labelKey: labelKey, set: set})
+}
+
+// CounterSet is a labelled set of monotonically increasing counters that
+// renders in first-use order, so reports are stable across runs with the
+// same event sequence. internal/metrics.Counters is a compatibility shim
+// over it, and a set can be mounted into a Registry for exposition.
+type CounterSet struct {
+	mu     sync.Mutex
+	order  []string
+	byName map[string]int64
+}
+
+// NewCounterSet builds an empty set.
+func NewCounterSet() *CounterSet { return &CounterSet{byName: map[string]int64{}} }
+
+// Add increments one counter by delta.
+func (c *CounterSet) Add(name string, delta int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.byName[name]; !ok {
+		c.order = append(c.order, name)
+	}
+	c.byName[name] += delta
+}
+
+// Get returns one counter's value (0 if never incremented).
+func (c *CounterSet) Get(name string) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.byName[name]
+}
+
+// Names returns the counter names in first-use order.
+func (c *CounterSet) Names() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]string(nil), c.order...)
+}
+
+// Snapshot copies every counter into a fresh map.
+func (c *CounterSet) Snapshot() map[string]int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]int64, len(c.byName))
+	for k, v := range c.byName {
+		out[k] = v
+	}
+	return out
+}
+
+// Total sums every counter.
+func (c *CounterSet) Total() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var t int64
+	for _, v := range c.byName {
+		t += v
+	}
+	return t
+}
+
+// String renders "name=value" pairs in first-use order.
+func (c *CounterSet) String() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	parts := make([]string, 0, len(c.order))
+	for _, name := range c.order {
+		parts = append(parts, fmt.Sprintf("%s=%d", name, c.byName[name]))
+	}
+	return strings.Join(parts, " ")
+}

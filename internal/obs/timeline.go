@@ -1,0 +1,210 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// RenderTimeline renders one trace's spans as an ASCII phase timeline: one
+// row per span in tree order (children indented under parents), a lane
+// column naming who did the work (coord, nodeN, chaos), and a bar scaled to
+// the trace's wall-clock extent. Instantaneous fault events (chaos.*) render
+// as a '!' marker at the moment they fired; other instant events as '.'.
+// width is the bar width in characters (<= 0 picks 64).
+func RenderTimeline(spans []Span, width int) string {
+	if len(spans) == 0 {
+		return "(empty trace)\n"
+	}
+	if width <= 0 {
+		width = 64
+	}
+
+	// Trace extent.
+	t0, t1 := spans[0].Start, spans[0].End
+	for _, s := range spans {
+		if s.Start.Before(t0) {
+			t0 = s.Start
+		}
+		if s.End.After(t1) {
+			t1 = s.End
+		}
+	}
+	total := t1.Sub(t0)
+	if total <= 0 {
+		total = time.Nanosecond
+	}
+	col := func(t time.Time) int {
+		c := int(float64(t.Sub(t0)) / float64(total) * float64(width))
+		if c < 0 {
+			c = 0
+		}
+		if c > width-1 {
+			c = width - 1
+		}
+		return c
+	}
+
+	// Tree order: roots (and orphans) by start time, then DFS with children
+	// by start time. Lanes inherit from the nearest ancestor when empty.
+	byID := map[uint64]*Span{}
+	children := map[uint64][]*Span{}
+	for i := range spans {
+		byID[spans[i].ID] = &spans[i]
+	}
+	var roots []*Span
+	for i := range spans {
+		s := &spans[i]
+		if s.Parent != 0 && byID[s.Parent] != nil && byID[s.Parent] != s {
+			children[s.Parent] = append(children[s.Parent], s)
+		} else {
+			roots = append(roots, s)
+		}
+	}
+	byStart := func(list []*Span) {
+		sort.Slice(list, func(i, j int) bool {
+			if list[i].Start.Equal(list[j].Start) {
+				return list[i].ID < list[j].ID
+			}
+			return list[i].Start.Before(list[j].Start)
+		})
+	}
+	byStart(roots)
+	for _, c := range children {
+		byStart(c)
+	}
+
+	type row struct {
+		s     *Span
+		depth int
+		lane  string
+	}
+	var rows []row
+	var walk func(s *Span, depth int, lane string)
+	walk = func(s *Span, depth int, lane string) {
+		if s.Lane != "" {
+			lane = s.Lane
+		}
+		rows = append(rows, row{s: s, depth: depth, lane: lane})
+		for _, c := range children[s.ID] {
+			walk(c, depth+1, lane)
+		}
+	}
+	for _, r := range roots {
+		walk(r, 0, "")
+	}
+
+	nameCol := 0
+	for _, r := range rows {
+		if n := 2*r.depth + len(r.s.Name); n > nameCol {
+			nameCol = n
+		}
+	}
+	if nameCol > 40 {
+		nameCol = 40
+	}
+
+	faults := 0
+	for _, s := range spans {
+		if strings.HasPrefix(s.Name, "chaos.") {
+			faults++
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace %016x: %d spans, %v wall", spans[0].Trace, len(spans), total.Round(time.Microsecond))
+	if faults > 0 {
+		fmt.Fprintf(&b, ", %d fault events", faults)
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "%-8s %-*s |%-*s| %s\n", "lane", nameCol, "span", width, "0 .. "+total.Round(time.Microsecond).String(), "wall")
+
+	for _, r := range rows {
+		s := r.s
+		bar := make([]byte, width)
+		for i := range bar {
+			bar[i] = ' '
+		}
+		var tail string
+		if s.Instant() {
+			mark := byte('.')
+			if strings.HasPrefix(s.Name, "chaos.") {
+				mark = '!'
+			}
+			bar[col(s.Start)] = mark
+			tail = "event"
+			if p := s.Attrs["pair"]; p != "" {
+				tail = "pair " + p
+			}
+		} else {
+			from, to := col(s.Start), col(s.End)
+			if to < from {
+				to = from
+			}
+			for i := from; i <= to; i++ {
+				bar[i] = '='
+			}
+			bar[from] = '['
+			if to > from {
+				bar[to] = ']'
+			}
+			tail = s.Duration().Round(time.Microsecond).String()
+		}
+		name := strings.Repeat("  ", r.depth) + s.Name
+		if len(name) > nameCol {
+			name = name[:nameCol]
+		}
+		if s.Err != "" {
+			tail += " ERR"
+		}
+		lane := r.lane
+		if lane == "" {
+			lane = "-"
+		}
+		fmt.Fprintf(&b, "%-8s %-*s |%s| %s\n", lane, nameCol, name, bar, tail)
+	}
+	// Errors rendered in full below the chart so the rows stay aligned.
+	for _, r := range rows {
+		if r.s.Err != "" {
+			fmt.Fprintf(&b, "  ERR %s: %s\n", r.s.Name, r.s.Err)
+		}
+	}
+	return b.String()
+}
+
+// SummarizeTraces renders one line per trace (ordered by first span start):
+// trace id, root span name, span count, wall-clock, and fault-event count.
+// Used by `dvdcctl trace` to list what a JSONL sink holds.
+func SummarizeTraces(spans []Span) []string {
+	ids, byTrace := GroupTraces(spans)
+	out := make([]string, 0, len(ids))
+	for _, id := range ids {
+		ts := byTrace[id]
+		root := "?"
+		var t0, t1 time.Time
+		faults := 0
+		for i, s := range ts {
+			if i == 0 || s.Start.Before(t0) {
+				t0 = s.Start
+			}
+			if s.End.After(t1) {
+				t1 = s.End
+			}
+			if s.Parent == 0 {
+				root = s.Name
+				if e := s.Attrs["epoch"]; e != "" {
+					root += " epoch=" + e
+				}
+			}
+			if strings.HasPrefix(s.Name, "chaos.") {
+				faults++
+			}
+		}
+		line := fmt.Sprintf("%016x  %-24s %4d spans  %10v", id, root, len(ts), t1.Sub(t0).Round(time.Microsecond))
+		if faults > 0 {
+			line += fmt.Sprintf("  %d faults", faults)
+		}
+		out = append(out, line)
+	}
+	return out
+}

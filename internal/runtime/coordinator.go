@@ -8,6 +8,7 @@ import (
 
 	"dvdc/internal/cluster"
 	"dvdc/internal/metrics"
+	"dvdc/internal/obs"
 	"dvdc/internal/transport"
 	"dvdc/internal/wire"
 )
@@ -49,6 +50,8 @@ type Coordinator struct {
 	commitRetries  int
 	retiredRetries int64 // retry counts of pools already closed
 	dialer         transport.DialFunc
+	tracer         *obs.Tracer
+	registry       *obs.Registry
 
 	statsMu   sync.Mutex
 	lastRound RoundStats
@@ -110,6 +113,19 @@ func (c *Coordinator) SetDialer(d transport.DialFunc) {
 	c.mu.Unlock()
 }
 
+// SetObserver attaches a span tracer and metrics registry (either may be
+// nil). Checkpoint rounds, recoveries, and rebalances open root spans whose
+// trace ids ride every RPC of the round; the registry gets per-phase duration
+// histograms, round counters, and each peer pool's health series. Like
+// SetDialer, pool-level instrumentation only reaches pools created after the
+// call, so attach before the first round.
+func (c *Coordinator) SetObserver(tr *obs.Tracer, reg *obs.Registry) {
+	c.mu.Lock()
+	c.tracer = tr
+	c.registry = reg
+	c.mu.Unlock()
+}
+
 // SetFanout bounds how many nodes each control-plane phase contacts
 // concurrently (<= 0 restores the default).
 func (c *Coordinator) SetFanout(k int) {
@@ -162,9 +178,27 @@ func (c *Coordinator) pool(node int) (*transport.Pool, error) {
 	if p, ok := c.pools[node]; ok {
 		return p, nil
 	}
-	p := transport.NewPool(c.addrs[node], transport.PoolOptions{CallTimeout: c.rpcTimeout, Dialer: c.dialer})
+	p := transport.NewPool(c.addrs[node], transport.PoolOptions{
+		CallTimeout: c.rpcTimeout,
+		Dialer:      c.dialer,
+		Peer:        fmt.Sprintf("node%d", node),
+		Tracer:      c.tracer,
+		Registry:    c.registry,
+	})
 	c.pools[node] = p
 	return p, nil
+}
+
+// observePhase lands one phase duration in both the in-process summaries and
+// (when a registry is attached) the exported per-phase histogram.
+func (c *Coordinator) observePhase(name string, d time.Duration) {
+	c.phases.Observe(name, d)
+	c.mu.Lock()
+	reg := c.registry
+	c.mu.Unlock()
+	if reg != nil {
+		reg.Histogram("dvdc_round_phase_seconds", obs.LatencyBuckets(), "phase", name).Observe(d.Seconds())
+	}
 }
 
 // call sends one RPC to a node over its pool. The pool re-dials and retries
@@ -230,13 +264,19 @@ func (c *Coordinator) fanoutWidth() int {
 // is attempted even after a failure, and handle runs for every successful
 // reply — so a caller can learn which nodes succeeded even when the phase as
 // a whole fails. The first error in node order is returned, wrapped with op.
-func (c *Coordinator) fanout(op string, nodes []int, build func(node int) *wire.Message, handle func(node int, resp *wire.Message) error) error {
+// Built messages are stamped with ctx (every build call site allocates a
+// fresh message, so stamping in place is safe); a zero ctx leaves the phase
+// untraced.
+func (c *Coordinator) fanout(ctx obs.SpanContext, op string, nodes []int, build func(node int) *wire.Message, handle func(node int, resp *wire.Message) error) error {
 	resps := make([]*wire.Message, len(nodes))
 	errs := make([]error, len(nodes))
 	parallelDo(len(nodes), c.fanoutWidth(), func(i int) error { //nolint:errcheck // errors land in errs
 		msg := build(nodes[i])
 		if msg == nil {
 			return nil
+		}
+		if ctx.Valid() && msg.Trace == 0 {
+			msg.Trace, msg.Span = ctx.Trace, ctx.Span
 		}
 		resps[i], errs[i] = c.call(nodes[i], msg)
 		return nil
@@ -325,7 +365,7 @@ func (c *Coordinator) Setup() error {
 		}
 		msgs[n] = &wire.Message{Type: wire.MsgConfigure, Text: text}
 	}
-	return c.fanout("configure", nodes,
+	return c.fanout(obs.SpanContext{}, "configure", nodes,
 		func(n int) *wire.Message { return msgs[n] },
 		func(n int, resp *wire.Message) error {
 			if resp.Type != wire.MsgConfigureOK {
@@ -338,7 +378,7 @@ func (c *Coordinator) Setup() error {
 // Step runs the synthetic workload n steps on every alive node's VMs,
 // concurrently across nodes.
 func (c *Coordinator) Step(n uint64) error {
-	return c.fanout("step", c.aliveNodes(),
+	return c.fanout(obs.SpanContext{}, "step", c.aliveNodes(),
 		func(int) *wire.Message { return &wire.Message{Type: wire.MsgStep, Arg: n} },
 		nil)
 }
@@ -362,12 +402,29 @@ func (c *Coordinator) Step(n uint64) error {
 func (c *Coordinator) Checkpoint() error {
 	next := c.epoch + 1
 	alive := c.aliveNodes()
-	stats := RoundStats{Epoch: next, RecoveryWall: c.RoundStats().RecoveryWall}
+	stats := RoundStats{Epoch: next}
+	// A recovery's wall-clock is reported with the round that observed it and
+	// then carried — flagged — on subsequent rounds until the next recovery
+	// overwrites it, so readers can tell "recovery happened this round" from
+	// "this is the residue of an earlier one".
+	if prev := c.RoundStats(); prev.RecoveryWall > 0 {
+		stats.RecoveryWall = prev.RecoveryWall
+		stats.RecoveryTraceID = prev.RecoveryTraceID
+		stats.RecoveryCarried = true
+	}
 	retriesBefore := c.totalRetries()
+
+	c.mu.Lock()
+	tr := c.tracer
+	c.mu.Unlock()
+	root := tr.Start(obs.SpanContext{}, "round", "coord")
+	root.SetAttr("epoch", fmt.Sprintf("%d", next))
+	stats.TraceID = root.TraceID()
 
 	// Phase 1: prepare everywhere.
 	t0 := time.Now()
-	prepErr := c.fanout("prepare", alive,
+	prep := tr.Child(root.Context(), "prepare", "coord")
+	prepErr := c.fanout(prep.ContextOr(obs.SpanContext{}), "prepare", alive,
 		func(int) *wire.Message { return &wire.Message{Type: wire.MsgPrepare, Epoch: next} },
 		func(node int, resp *wire.Message) error {
 			if resp.Type != wire.MsgPrepareOK {
@@ -376,8 +433,9 @@ func (c *Coordinator) Checkpoint() error {
 			stats.BytesShipped += int64(resp.Arg)
 			return nil
 		})
+	prep.FinishErr(prepErr)
 	stats.PrepareWall = time.Since(t0)
-	c.phases.Observe("prepare", stats.PrepareWall)
+	c.observePhase("prepare", stats.PrepareWall)
 	if prepErr != nil {
 		// Abort every alive node, not only those whose prepare succeeded: a
 		// node that captured some members and then failed mid-prepare holds
@@ -387,12 +445,15 @@ func (c *Coordinator) Checkpoint() error {
 		// a livelock. Abort is an idempotent no-op on a clean node, so
 		// over-aborting is safe; best effort either way — a node that cannot
 		// abort now is caught by the next prepare's staged-delta check.
-		c.fanout("abort", alive, //nolint:errcheck
+		abort := tr.Child(root.Context(), "abort", "coord")
+		c.fanout(abort.ContextOr(obs.SpanContext{}), "abort", alive, //nolint:errcheck
 			func(int) *wire.Message { return &wire.Message{Type: wire.MsgAbort, Epoch: next} },
 			nil)
+		abort.Finish()
 		stats.Aborted = true
 		stats.RPCRetries = c.totalRetries() - retriesBefore
 		c.recordRound(stats)
+		root.FinishErr(prepErr)
 		return prepErr
 	}
 
@@ -401,6 +462,8 @@ func (c *Coordinator) Checkpoint() error {
 	var failedMu sync.Mutex
 	var failed []int
 	t1 := time.Now()
+	commit := tr.Child(root.Context(), "commit", "coord")
+	commitCtx := commit.ContextOr(obs.SpanContext{})
 	parallelDo(len(alive), c.fanoutWidth(), func(i int) error { //nolint:errcheck // failures collected in failed
 		node := alive[i]
 		var lastErr error
@@ -408,7 +471,7 @@ func (c *Coordinator) Checkpoint() error {
 			if attempt > 0 {
 				time.Sleep(commitRetryBackoff << (attempt - 1))
 			}
-			resp, err := c.call(node, &wire.Message{Type: wire.MsgCommit, Epoch: next})
+			resp, err := c.call(node, &wire.Message{Type: wire.MsgCommit, Epoch: next, Trace: commitCtx.Trace, Span: commitCtx.Span})
 			if err == nil && resp.Type == wire.MsgCommitOK {
 				return nil
 			}
@@ -423,8 +486,9 @@ func (c *Coordinator) Checkpoint() error {
 		failedMu.Unlock()
 		return nil
 	})
+	commit.Finish()
 	stats.CommitWall = time.Since(t1)
-	c.phases.Observe("commit", stats.CommitWall)
+	c.observePhase("commit", stats.CommitWall)
 	stats.RPCRetries = c.totalRetries() - retriesBefore
 
 	sort.Ints(failed)
@@ -432,7 +496,9 @@ func (c *Coordinator) Checkpoint() error {
 		// No node committed: the round effectively never entered commit.
 		stats.Aborted = true
 		c.recordRound(stats)
-		return fmt.Errorf("runtime: commit of epoch %d failed on every node", next)
+		err := fmt.Errorf("runtime: commit of epoch %d failed on every node", next)
+		root.FinishErr(err)
+		return err
 	}
 	c.epoch = next
 	for _, node := range failed {
@@ -441,8 +507,11 @@ func (c *Coordinator) Checkpoint() error {
 	stats.DeadDuring = failed
 	c.recordRound(stats)
 	if len(failed) > 0 {
-		return &PartialCommitError{Epoch: next, Nodes: failed}
+		err := &PartialCommitError{Epoch: next, Nodes: failed}
+		root.FinishErr(err)
+		return err
 	}
+	root.Finish()
 	return nil
 }
 
@@ -450,6 +519,21 @@ func (c *Coordinator) recordRound(r RoundStats) {
 	c.statsMu.Lock()
 	c.lastRound = r
 	c.statsMu.Unlock()
+	c.mu.Lock()
+	reg := c.registry
+	c.mu.Unlock()
+	if reg == nil {
+		return
+	}
+	result := "committed"
+	switch {
+	case r.Aborted:
+		result = "aborted"
+	case len(r.DeadDuring) > 0:
+		result = "partial"
+	}
+	reg.Counter("dvdc_rounds_total", "result", result).Inc()
+	reg.Histogram("dvdc_round_shipped_bytes", obs.ByteBuckets()).Observe(float64(r.BytesShipped))
 }
 
 // Checksums fetches the committed-image checksum of every VM, concurrently.
@@ -482,7 +566,7 @@ func (c *Coordinator) Checksums() (map[string]uint64, error) {
 // soak harnesses call Quiesce before measuring committed state so a lost
 // abort cannot masquerade as state divergence.
 func (c *Coordinator) Quiesce() error {
-	return c.fanout("abort", c.aliveNodes(),
+	return c.fanout(obs.SpanContext{}, "abort", c.aliveNodes(),
 		func(int) *wire.Message { return &wire.Message{Type: wire.MsgAbort, Epoch: c.epoch + 1} },
 		nil)
 }
@@ -533,11 +617,17 @@ func (c *Coordinator) RecoverNode(failed int) (*cluster.Plan, error) {
 // failed nodes must already be unreachable (or are about to be treated as
 // such); the caller names them explicitly. Nodes the commit phase already
 // declared dead (see PartialCommitError) may — and must — be passed here.
-func (c *Coordinator) RecoverNodes(failed ...int) (*cluster.Plan, error) {
+func (c *Coordinator) RecoverNodes(failed ...int) (plan *cluster.Plan, err error) {
 	if len(failed) == 0 {
 		return &cluster.Plan{}, nil
 	}
 	t0 := time.Now()
+	c.mu.Lock()
+	tr := c.tracer
+	c.mu.Unlock()
+	root := tr.Start(obs.SpanContext{}, "recovery", "coord")
+	root.SetAttr("failed", fmt.Sprintf("%v", failed))
+	defer func() { root.FinishErr(err) }()
 	seen := map[int]bool{}
 	c.mu.Lock()
 	for _, f := range failed {
@@ -576,7 +666,7 @@ func (c *Coordinator) RecoverNodes(failed ...int) (*cluster.Plan, error) {
 	for _, g := range c.layout.Groups {
 		parityOf[g.Index] = append([]int(nil), g.ParityNodes...)
 	}
-	plan, err := c.layout.PlanRecovery(down...)
+	plan, err = c.layout.PlanRecovery(down...)
 	if err != nil {
 		return nil, err
 	}
@@ -594,10 +684,13 @@ func (c *Coordinator) RecoverNodes(failed ...int) (*cluster.Plan, error) {
 
 	// Roll every surviving node back to the committed epoch first, so the
 	// survivor images used for reconstruction are the committed ones.
-	if err := c.fanout("rollback", c.aliveNodes(),
+	rollback := tr.Child(root.Context(), "rollback", "coord")
+	rbErr := c.fanout(rollback.ContextOr(obs.SpanContext{}), "rollback", c.aliveNodes(),
 		func(int) *wire.Message { return &wire.Message{Type: wire.MsgRollback} },
-		nil); err != nil {
-		return nil, err
+		nil)
+	rollback.FinishErr(rbErr)
+	if rbErr != nil {
+		return nil, rbErr
 	}
 
 	// Group the lost VMs so each reconstruction request can name all of its
@@ -624,8 +717,11 @@ func (c *Coordinator) RecoverNodes(failed ...int) (*cluster.Plan, error) {
 	// nodeOf after the parallel section (groups never share VMs, so the
 	// per-group maps are disjoint).
 	newHomes := make([]map[string]int, len(restoreGroups))
-	if err := parallelDo(len(restoreGroups), c.fanoutWidth(), func(gi int) error {
+	if err := parallelDo(len(restoreGroups), c.fanoutWidth(), func(gi int) (gerr error) {
 		group := restoreGroups[gi]
+		gspan := tr.Child(root.Context(), fmt.Sprintf("restore g%d", group), "coord")
+		gctx := gspan.ContextOr(obs.SpanContext{})
+		defer func() { gspan.FinishErr(gerr) }()
 		homes := map[string]int{}
 		newHomes[gi] = homes
 		g := c.layout.Groups[group]
@@ -667,7 +763,7 @@ func (c *Coordinator) RecoverNodes(failed ...int) (*cluster.Plan, error) {
 			if err != nil {
 				return err
 			}
-			resp, err := c.call(solver, &wire.Message{Type: wire.MsgReconstruct, Group: int32(group), Text: text})
+			resp, err := c.call(solver, &wire.Message{Type: wire.MsgReconstruct, Group: int32(group), Text: text, Trace: gctx.Trace, Span: gctx.Span})
 			if err != nil {
 				return fmt.Errorf("runtime: reconstruct %q on node %d: %w", s.VM, solver, err)
 			}
@@ -678,7 +774,7 @@ func (c *Coordinator) RecoverNodes(failed ...int) (*cluster.Plan, error) {
 			if err != nil {
 				return err
 			}
-			if _, err := c.call(s.TargetNode, &wire.Message{Type: wire.MsgInstall, VM: s.VM, Text: itext, Payload: resp.Payload}); err != nil {
+			if _, err := c.call(s.TargetNode, &wire.Message{Type: wire.MsgInstall, VM: s.VM, Text: itext, Payload: resp.Payload, Trace: gctx.Trace, Span: gctx.Span}); err != nil {
 				return fmt.Errorf("runtime: install %q on node %d: %w", s.VM, s.TargetNode, err)
 			}
 			homes[s.VM] = s.TargetNode
@@ -714,8 +810,11 @@ func (c *Coordinator) RecoverNodes(failed ...int) (*cluster.Plan, error) {
 		rehomesByGroup[s.Group] = append(rehomesByGroup[s.Group], s)
 	}
 	sort.Ints(rehomeGroups)
-	if err := parallelDo(len(rehomeGroups), c.fanoutWidth(), func(gi int) error {
+	if err := parallelDo(len(rehomeGroups), c.fanoutWidth(), func(gi int) (gerr error) {
 		group := rehomeGroups[gi]
+		gspan := tr.Child(root.Context(), fmt.Sprintf("rehome g%d", group), "coord")
+		gctx := gspan.ContextOr(obs.SpanContext{})
+		defer func() { gspan.FinishErr(gerr) }()
 		g := c.layout.Groups[group]
 		for _, s := range rehomesByGroup[group] {
 			// Which parity index died and is not yet rebuilt this pass?
@@ -750,7 +849,7 @@ func (c *Coordinator) RecoverNodes(failed ...int) (*cluster.Plan, error) {
 			if err != nil {
 				return err
 			}
-			if _, err := c.call(s.TargetNode, &wire.Message{Type: wire.MsgRebuildKeeper, Group: int32(group), Text: text}); err != nil {
+			if _, err := c.call(s.TargetNode, &wire.Message{Type: wire.MsgRebuildKeeper, Group: int32(group), Text: text, Trace: gctx.Trace, Span: gctx.Span}); err != nil {
 				return fmt.Errorf("runtime: rebuild keeper %d on node %d: %w", group, s.TargetNode, err)
 			}
 		}
@@ -766,13 +865,15 @@ func (c *Coordinator) RecoverNodes(failed ...int) (*cluster.Plan, error) {
 	for _, s := range plan.Steps {
 		touched[s.Group] = true
 	}
-	if err := c.refreshParityPointers(touched); err != nil {
+	if err := c.refreshParityPointers(root.ContextOr(obs.SpanContext{}), touched); err != nil {
 		return nil, err
 	}
 	d := time.Since(t0)
-	c.phases.Observe("recovery", d)
+	c.observePhase("recovery", d)
 	c.statsMu.Lock()
 	c.lastRound.RecoveryWall = d
+	c.lastRound.RecoveryCarried = false
+	c.lastRound.RecoveryTraceID = root.TraceID()
 	c.statsMu.Unlock()
 	return plan, nil
 }
@@ -780,7 +881,7 @@ func (c *Coordinator) RecoverNodes(failed ...int) (*cluster.Plan, error) {
 // refreshParityPointers pushes the current parity-node assignment of the
 // given groups to every alive node, batched into one MsgSetParityBatch per
 // node instead of one MsgSetParity per (group, parity block, node).
-func (c *Coordinator) refreshParityPointers(groups map[int]bool) error {
+func (c *Coordinator) refreshParityPointers(ctx obs.SpanContext, groups map[int]bool) error {
 	var sorted []int
 	for g := range groups {
 		sorted = append(sorted, g)
@@ -799,7 +900,7 @@ func (c *Coordinator) refreshParityPointers(groups map[int]bool) error {
 	if err != nil {
 		return err
 	}
-	return c.fanout("set-parity", c.aliveNodes(),
+	return c.fanout(ctx, "set-parity", c.aliveNodes(),
 		func(int) *wire.Message { return &wire.Message{Type: wire.MsgSetParityBatch, Text: text} },
 		func(node int, resp *wire.Message) error {
 			if resp.Type != wire.MsgSetParityBatchOK {
@@ -851,15 +952,19 @@ func (c *Coordinator) Repair(node int) error {
 // recomputed on their new homes. VM moves and parity rebuilds each run
 // concurrently (moves touch disjoint VMs, rebuilds disjoint parity blocks).
 // Call immediately after Checkpoint, before any Step.
-func (c *Coordinator) Rebalance() (*cluster.Plan, error) {
+func (c *Coordinator) Rebalance() (plan *cluster.Plan, err error) {
 	t0 := time.Now()
 	c.mu.Lock()
+	tr := c.tracer
 	var down []int
 	for n := range c.dead {
 		down = append(down, n)
 	}
 	c.mu.Unlock()
-	plan, err := c.layout.PlanRebalance(down...)
+	root := tr.Start(obs.SpanContext{}, "rebalance", "coord")
+	defer func() { root.FinishErr(err) }()
+	rctx := root.ContextOr(obs.SpanContext{})
+	plan, err = c.layout.PlanRebalance(down...)
 	if err != nil {
 		return nil, err
 	}
@@ -877,7 +982,7 @@ func (c *Coordinator) Rebalance() (*cluster.Plan, error) {
 		if !ok {
 			return fmt.Errorf("runtime: rebalance of unknown VM %q", s.VM)
 		}
-		resp, err := c.call(v.Node, &wire.Message{Type: wire.MsgEvict, VM: s.VM})
+		resp, err := c.call(v.Node, &wire.Message{Type: wire.MsgEvict, VM: s.VM, Trace: rctx.Trace, Span: rctx.Span})
 		if err != nil {
 			return fmt.Errorf("runtime: evict %q from node %d: %w", s.VM, v.Node, err)
 		}
@@ -887,7 +992,7 @@ func (c *Coordinator) Rebalance() (*cluster.Plan, error) {
 		if err != nil {
 			return err
 		}
-		if _, err := c.call(s.TargetNode, &wire.Message{Type: wire.MsgInstall, VM: s.VM, Text: text, Payload: resp.Payload}); err != nil {
+		if _, err := c.call(s.TargetNode, &wire.Message{Type: wire.MsgInstall, VM: s.VM, Text: text, Payload: resp.Payload, Trace: rctx.Trace, Span: rctx.Span}); err != nil {
 			return fmt.Errorf("runtime: install %q on node %d: %w", s.VM, s.TargetNode, err)
 		}
 		return nil
@@ -933,7 +1038,7 @@ func (c *Coordinator) Rebalance() (*cluster.Plan, error) {
 		if err != nil {
 			return err
 		}
-		if _, err := c.call(s.TargetNode, &wire.Message{Type: wire.MsgRebuildKeeper, Group: int32(s.Group), Text: text}); err != nil {
+		if _, err := c.call(s.TargetNode, &wire.Message{Type: wire.MsgRebuildKeeper, Group: int32(s.Group), Text: text, Trace: rctx.Trace, Span: rctx.Span}); err != nil {
 			return fmt.Errorf("runtime: rebuild keeper %d on node %d: %w", s.Group, s.TargetNode, err)
 		}
 		return nil
@@ -945,10 +1050,10 @@ func (c *Coordinator) Rebalance() (*cluster.Plan, error) {
 	for _, s := range plan.Steps {
 		touched[s.Group] = true
 	}
-	if err := c.refreshParityPointers(touched); err != nil {
+	if err := c.refreshParityPointers(rctx, touched); err != nil {
 		return nil, err
 	}
-	c.phases.Observe("rebalance", time.Since(t0))
+	c.observePhase("rebalance", time.Since(t0))
 	return plan, nil
 }
 

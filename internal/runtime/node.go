@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"dvdc/internal/core"
+	"dvdc/internal/obs"
 	"dvdc/internal/transport"
 	"dvdc/internal/vm"
 	"dvdc/internal/wire"
@@ -34,6 +35,8 @@ type Node struct {
 	rpcTimeout time.Duration
 	fanout     int
 	dialer     transport.DialFunc
+	tracer     *obs.Tracer
+	registry   *obs.Registry
 
 	statsMu sync.Mutex
 	stats   NodeStats
@@ -60,6 +63,12 @@ type keeperState struct {
 type NodeOptions struct {
 	Dialer transport.DialFunc   // outbound peer connections (nil = TCP)
 	Listen transport.ListenFunc // the daemon's own listener (nil = TCP)
+
+	// Observability (both optional): traced requests get per-handler spans in
+	// this node's lane, and the registry gets the node's peer-pool health
+	// series and RPC latency histograms.
+	Tracer   *obs.Tracer
+	Registry *obs.Registry
 }
 
 // NewNode starts a node daemon listening on addr ("127.0.0.1:0" for tests).
@@ -70,11 +79,13 @@ func NewNode(addr string) (*Node, error) {
 // NewNodeWith starts a node daemon with custom network hooks.
 func NewNodeWith(addr string, opts NodeOptions) (*Node, error) {
 	n := &Node{
-		peers:   map[int]string{},
-		pools:   map[int]*transport.Pool{},
-		members: map[string]*memberState{},
-		keepers: map[int]*keeperState{},
-		dialer:  opts.Dialer,
+		peers:    map[int]string{},
+		pools:    map[int]*transport.Pool{},
+		members:  map[string]*memberState{},
+		keepers:  map[int]*keeperState{},
+		dialer:   opts.Dialer,
+		tracer:   opts.Tracer,
+		registry: opts.Registry,
 	}
 	s, err := transport.ListenWith(addr, n.handle, opts.Listen)
 	if err != nil {
@@ -133,7 +144,13 @@ func (n *Node) pool(id int) (*transport.Pool, error) {
 	if !ok {
 		return nil, fmt.Errorf("runtime: node %d has no address for peer %d", n.id, id)
 	}
-	p := transport.NewPool(addr, transport.PoolOptions{CallTimeout: n.rpcTimeout, Dialer: n.dialer})
+	p := transport.NewPool(addr, transport.PoolOptions{
+		CallTimeout: n.rpcTimeout,
+		Dialer:      n.dialer,
+		Peer:        fmt.Sprintf("node%d", id),
+		Tracer:      n.tracer,
+		Registry:    n.registry,
+	})
 	n.pools[id] = p
 	return p, nil
 }
@@ -175,9 +192,25 @@ func (n *Node) snapshotKeepers() []*keeperState {
 	return out
 }
 
-// handle dispatches one request. Locks are taken by the individual
-// operations, never across peer calls, to avoid distributed deadlock.
+// handle serves one request: traced requests get a handler span in this
+// node's lane (child of the caller's RPC-attempt span), then dispatch. Locks
+// are taken by the individual operations, never across peer calls, to avoid
+// distributed deadlock.
 func (n *Node) handle(req *wire.Message) (*wire.Message, error) {
+	ctx := obs.SpanContext{Trace: req.Trace, Span: req.Span}
+	n.mu.Lock()
+	tr, id := n.tracer, n.id
+	n.mu.Unlock()
+	sp := tr.Child(ctx, "node."+req.Type.String(), fmt.Sprintf("node%d", id))
+	resp, err := n.dispatch(sp.ContextOr(ctx), req)
+	sp.FinishErr(err)
+	return resp, err
+}
+
+// dispatch routes one request to its handler. ctx is the request's span
+// context (the handler span when traced) for handlers that make onward peer
+// calls.
+func (n *Node) dispatch(ctx obs.SpanContext, req *wire.Message) (*wire.Message, error) {
 	switch req.Type {
 	case wire.MsgHello:
 		return &wire.Message{Type: wire.MsgHelloOK, Arg: uint64(n.nodeID())}, nil
@@ -186,9 +219,9 @@ func (n *Node) handle(req *wire.Message) (*wire.Message, error) {
 	case wire.MsgStep:
 		return n.onStep(req)
 	case wire.MsgPrepare:
-		return n.onPrepare(req)
+		return n.onPrepare(ctx, req)
 	case wire.MsgCommit:
-		return n.onCommit(req)
+		return n.onCommit(ctx, req)
 	case wire.MsgAbort:
 		return n.onAbort(req)
 	case wire.MsgDelta:
@@ -200,7 +233,7 @@ func (n *Node) handle(req *wire.Message) (*wire.Message, error) {
 	case wire.MsgEvict:
 		return n.onEvict(req)
 	case wire.MsgReconstruct:
-		return n.onReconstruct(req)
+		return n.onReconstruct(ctx, req)
 	case wire.MsgInstall:
 		return n.onInstall(req)
 	case wire.MsgChecksum:
@@ -208,7 +241,7 @@ func (n *Node) handle(req *wire.Message) (*wire.Message, error) {
 	case wire.MsgRollback:
 		return n.onRollback(req)
 	case wire.MsgRebuildKeeper:
-		return n.onRebuildKeeper(req)
+		return n.onRebuildKeeper(ctx, req)
 	case wire.MsgSetParity:
 		return n.onSetParity(req)
 	case wire.MsgSetParityBatch:
@@ -299,11 +332,13 @@ func (n *Node) onStep(req *wire.Message) (*wire.Message, error) {
 // capture, and shipping happens with no locks held, so deltas bound for
 // distinct parity peers overlap on the wire. The reply's Arg carries the
 // wire bytes shipped, so the coordinator can aggregate per-round volume.
-func (n *Node) onPrepare(req *wire.Message) (*wire.Message, error) {
+func (n *Node) onPrepare(ctx obs.SpanContext, req *wire.Message) (*wire.Message, error) {
 	members := n.snapshotMembers()
 	n.mu.Lock()
 	id, compress, fan := n.id, n.compress, n.fanout
+	tr := n.tracer
 	n.mu.Unlock()
+	lane := fmt.Sprintf("node%d", id)
 
 	type shipment struct {
 		delta  *core.Delta
@@ -330,9 +365,12 @@ func (n *Node) onPrepare(req *wire.Message) (*wire.Message, error) {
 	}); err != nil {
 		return nil, err
 	}
-	// Phase 2: encode and ship, members and parity peers concurrently.
+	// Phase 2: encode and ship, members and parity peers concurrently. Each
+	// member's shipment gets a span so the timeline shows deltas to distinct
+	// parity peers overlapping; the shared message carries the ship span's
+	// context (the pool re-stamps Span per RPC attempt on its own copy).
 	var wireBytes atomic.Int64
-	if err := parallelDo(len(members), fan, func(i int) error {
+	if err := parallelDo(len(members), fan, func(i int) (shipErr error) {
 		sh := ships[i]
 		payload := encodeDelta(sh.delta, compress)
 		peers := int64(len(sh.parity))
@@ -342,9 +380,14 @@ func (n *Node) onPrepare(req *wire.Message) (*wire.Message, error) {
 		n.stats.DeltaWireBytes += int64(len(payload)) * peers
 		n.statsMu.Unlock()
 		wireBytes.Add(int64(len(payload)) * peers)
+		span := tr.Child(ctx, "ship "+sh.delta.VMID, lane)
+		span.SetAttr("bytes", fmt.Sprint(len(payload)))
+		defer func() { span.FinishErr(shipErr) }()
+		sctx := span.ContextOr(ctx)
 		msg := &wire.Message{
 			Type: wire.MsgDelta, Epoch: sh.delta.Epoch,
 			Group: int32(sh.group), VM: sh.delta.VMID, Payload: payload,
+			Trace: sctx.Trace, Span: sctx.Span,
 		}
 		return parallelDo(len(sh.parity), 0, func(j int) error {
 			reply, err := n.callPeer(sh.parity[j], msg)
@@ -383,17 +426,23 @@ func (n *Node) onDelta(req *wire.Message) (*wire.Message, error) {
 	return &wire.Message{Type: wire.MsgDeltaOK, Epoch: d.Epoch}, nil
 }
 
-func (n *Node) onCommit(req *wire.Message) (*wire.Message, error) {
+func (n *Node) onCommit(ctx obs.SpanContext, req *wire.Message) (*wire.Message, error) {
 	keepers := n.snapshotKeepers()
 	n.mu.Lock()
 	fan := n.fanout
+	tr := n.tracer
+	id := n.id
 	n.mu.Unlock()
+	lane := fmt.Sprintf("node%d", id)
 	// Fold staged deltas into parity, keepers in parallel (the XOR/RS fold
 	// is real CPU work and keepers are independent).
-	if err := parallelDo(len(keepers), fan, func(i int) error {
+	if err := parallelDo(len(keepers), fan, func(i int) (foldErr error) {
 		ks := keepers[i]
 		ks.mu.Lock()
 		defer ks.mu.Unlock()
+		span := tr.Child(ctx, fmt.Sprintf("fold g%d", ks.keeper.Group()), lane)
+		span.SetAttr("staged", fmt.Sprint(len(ks.staged)))
+		defer func() { span.FinishErr(foldErr) }()
 		for id, d := range ks.staged {
 			if err := ks.keeper.ApplyDelta(d); err != nil {
 				return fmt.Errorf("runtime: commit group %d member %q: %w", ks.keeper.Group(), id, err)
@@ -479,7 +528,7 @@ func (n *Node) onGetParity(req *wire.Message) (*wire.Message, error) {
 // and the group's alive parity blocks (its own plus peers'), solves the
 // erasure system, and returns the requested lost VM's committed image.
 // Survivor images and parity blocks are fetched concurrently.
-func (n *Node) onReconstruct(req *wire.Message) (*wire.Message, error) {
+func (n *Node) onReconstruct(ctx obs.SpanContext, req *wire.Message) (*wire.Message, error) {
 	var cfg reconstructConfig
 	if err := decodeJSON(req.Text, &cfg); err != nil {
 		return nil, err
@@ -510,7 +559,7 @@ func (n *Node) onReconstruct(req *wire.Message) (*wire.Message, error) {
 	if err := parallelDo(len(fetches), 0, func(i int) error {
 		f := fetches[i]
 		if f.member != "" {
-			img, err := n.callPeer(f.node, &wire.Message{Type: wire.MsgGetImage, VM: f.member})
+			img, err := n.callPeer(f.node, &wire.Message{Type: wire.MsgGetImage, VM: f.member, Trace: ctx.Trace, Span: ctx.Span})
 			if err != nil {
 				return fmt.Errorf("runtime: fetching survivor %q from node %d: %w", f.member, f.node, err)
 			}
@@ -520,7 +569,7 @@ func (n *Node) onReconstruct(req *wire.Message) (*wire.Message, error) {
 			mu.Unlock()
 			return nil
 		}
-		pb, err := n.callPeer(f.node, &wire.Message{Type: wire.MsgGetParity, Group: int32(cfg.Group)})
+		pb, err := n.callPeer(f.node, &wire.Message{Type: wire.MsgGetParity, Group: int32(cfg.Group), Trace: ctx.Trace, Span: ctx.Span})
 		if err != nil {
 			return fmt.Errorf("runtime: fetching parity[%d] from node %d: %w", f.parity, f.node, err)
 		}
@@ -621,7 +670,7 @@ func (n *Node) onRollback(req *wire.Message) (*wire.Message, error) {
 
 // onRebuildKeeper makes this node the holder of one parity block of a group
 // by pulling every member's committed image (concurrently) and folding them.
-func (n *Node) onRebuildKeeper(req *wire.Message) (*wire.Message, error) {
+func (n *Node) onRebuildKeeper(ctx obs.SpanContext, req *wire.Message) (*wire.Message, error) {
 	var cfg rebuildKeeperConfig
 	if err := decodeJSON(req.Text, &cfg); err != nil {
 		return nil, err
@@ -634,7 +683,7 @@ func (n *Node) onRebuildKeeper(req *wire.Message) (*wire.Message, error) {
 		if !ok {
 			return fmt.Errorf("runtime: rebuild keeper: no node for member %q", member)
 		}
-		img, err := n.callPeer(nodeID, &wire.Message{Type: wire.MsgGetImage, VM: member})
+		img, err := n.callPeer(nodeID, &wire.Message{Type: wire.MsgGetImage, VM: member, Trace: ctx.Trace, Span: ctx.Span})
 		if err != nil {
 			return fmt.Errorf("runtime: rebuild keeper: fetch %q: %w", member, err)
 		}

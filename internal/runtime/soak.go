@@ -3,12 +3,14 @@ package runtime
 import (
 	"errors"
 	"fmt"
+	"io"
 	"math/rand"
 	"sort"
 	"time"
 
 	"dvdc/internal/chaos"
 	"dvdc/internal/cluster"
+	"dvdc/internal/obs"
 )
 
 // SoakConfig drives one invariant-checked chaos soak: N checkpoint rounds on
@@ -29,6 +31,15 @@ type SoakConfig struct {
 	KillMTBF      float64       // per-node MTBF in virtual seconds (0 = no kills)
 	RoundSeconds  float64       // virtual seconds per round on the kill clock (default 10)
 	RPCTimeout    time.Duration // coordinator/node per-call deadline (default 5s)
+
+	// Observability (all optional). Tracer receives every span the soak
+	// produces (nil = the harness builds its own and additionally asserts no
+	// span leaks open); TraceSink streams those spans as JSONL; Registry
+	// collects the cluster's metrics, including the injector's fault tallies
+	// mounted as dvdc_chaos_faults_total{kind}.
+	Tracer    *obs.Tracer
+	TraceSink io.Writer
+	Registry  *obs.Registry
 }
 
 func (c SoakConfig) withDefaults() SoakConfig {
@@ -118,12 +129,16 @@ type soakCluster struct {
 	inj   *chaos.Injector
 	nodes []*Node
 	addrs map[int]string
+	tr    *obs.Tracer
+	reg   *obs.Registry
 }
 
 func (sc *soakCluster) start(i int, addr string) error {
 	n, err := NewNodeWith(addr, NodeOptions{
-		Dialer: sc.inj.Dialer(i),
-		Listen: sc.inj.ListenFunc(i),
+		Dialer:   sc.inj.Dialer(i),
+		Listen:   sc.inj.ListenFunc(i),
+		Tracer:   sc.tr,
+		Registry: sc.reg,
 	})
 	if err != nil {
 		return err
@@ -152,7 +167,9 @@ func (sc *soakCluster) close() {
 //     repaired before the round ends — no lingering pending-recovery state,
 //   - pool retry counters reconcile with the armed fault schedule: every
 //     armed drop/corrupt on a coordinator pair forces at least one retry,
-//   - every armed fault actually fired (the schedule was consumed).
+//   - every armed fault actually fired (the schedule was consumed),
+//   - the round's span tree is complete: the checkpoint trace has exactly one
+//     root and no span whose parent was never recorded.
 //
 // An invariant violation (or a protocol operation failing where it must not)
 // returns an error naming the round and the seed; the partial SoakResult is
@@ -168,8 +185,22 @@ func RunSoak(cfg SoakConfig) (*SoakResult, error) {
 		return res, fmt.Errorf("soak[seed %d, round %d]: %s", cfg.Seed, round, fmt.Sprintf(format, args...))
 	}
 
+	tr := cfg.Tracer
+	ownTracer := tr == nil
+	if ownTracer {
+		tr = obs.NewTracer(1 << 15)
+	}
+	if cfg.TraceSink != nil {
+		tr.SetSink(cfg.TraceSink)
+		defer tr.Flush()
+	}
+
 	inj := chaos.New(cfg.Seed, cfg.Chaos)
+	inj.SetTracer(tr)
 	inj.Pause() // probabilistic injection only runs inside checkpoint windows
+	if cfg.Registry != nil {
+		cfg.Registry.MountCounterSet("dvdc_chaos_faults_total", "kind", inj.Counters().Set())
+	}
 
 	var kills *chaos.KillPlan
 	if cfg.KillMTBF > 0 {
@@ -184,7 +215,7 @@ func RunSoak(cfg SoakConfig) (*SoakResult, error) {
 	// injector's or the workloads' streams.
 	harness := rand.New(rand.NewSource(cfg.Seed ^ 0x5eed50a4c0ffee))
 
-	sc := &soakCluster{inj: inj, nodes: make([]*Node, layout.Nodes), addrs: map[int]string{}}
+	sc := &soakCluster{inj: inj, nodes: make([]*Node, layout.Nodes), addrs: map[int]string{}, tr: tr, reg: cfg.Registry}
 	defer sc.close()
 	for i := 0; i < layout.Nodes; i++ {
 		if err := sc.start(i, "127.0.0.1:0"); err != nil {
@@ -197,6 +228,7 @@ func RunSoak(cfg SoakConfig) (*SoakResult, error) {
 		return nil, err
 	}
 	defer coord.Close()
+	coord.SetObserver(tr, cfg.Registry)
 	coord.SetRPCTimeout(cfg.RPCTimeout)
 	coord.SetDialer(inj.Dialer(chaos.Coordinator))
 	if err := coord.Setup(); err != nil {
@@ -209,6 +241,49 @@ func RunSoak(cfg SoakConfig) (*SoakResult, error) {
 
 	lastEpoch := map[string]uint64{}
 	armedKinds := []chaos.Kind{chaos.Drop, chaos.Corrupt, chaos.Delay}
+
+	// checkTrace asserts one checkpoint's span tree is closed: one root, and
+	// every span's parent recorded in the same trace. Handlers abandoned by an
+	// RPC timeout can record their spans a beat after the caller returned, so
+	// a transient orphan is retried briefly before it counts as a violation.
+	checkTrace := func(traceID uint64) error {
+		if traceID == 0 {
+			return fmt.Errorf("trace: round recorded no trace id")
+		}
+		var lastErr error
+		deadline := time.Now().Add(2 * time.Second)
+		for {
+			lastErr = func() error {
+				spans := tr.TraceSpans(traceID)
+				if len(spans) == 0 {
+					return fmt.Errorf("trace %016x: no spans recorded", traceID)
+				}
+				byID := map[uint64]bool{}
+				for _, s := range spans {
+					byID[s.ID] = true
+				}
+				roots := 0
+				for _, s := range spans {
+					if s.Parent == 0 {
+						roots++
+						continue
+					}
+					if !byID[s.Parent] {
+						return fmt.Errorf("trace %016x: span %q (%x) orphaned: parent %x never recorded",
+							traceID, s.Name, s.ID, s.Parent)
+					}
+				}
+				if roots != 1 {
+					return fmt.Errorf("trace %016x: %d roots, want 1", traceID, roots)
+				}
+				return nil
+			}()
+			if lastErr == nil || !time.Now().Before(deadline) {
+				return lastErr
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
 
 	// recoverAndRepair runs the fault-free repair cycle for a set of down
 	// nodes: recover their state onto survivors, restart the daemons on the
@@ -408,6 +483,9 @@ func RunSoak(cfg SoakConfig) (*SoakResult, error) {
 		if int(rr.RPCRetries) < firedDisruptive {
 			return fail(round, "RPC retries %d < %d armed coordinator-pair faults", rr.RPCRetries, firedDisruptive)
 		}
+		if err := checkTrace(coord.RoundStats().TraceID); err != nil {
+			return fail(round, "%v", err)
+		}
 		rr.Epoch = coord.Epoch()
 		res.Rounds = append(res.Rounds, rr)
 	}
@@ -423,6 +501,17 @@ func RunSoak(cfg SoakConfig) (*SoakResult, error) {
 	// committing — a soak that never advances is a silent deadlock.
 	if res.Epoch < uint64(cfg.Rounds)/2 {
 		return fail(cfg.Rounds, "only %d epochs committed across %d rounds", res.Epoch, cfg.Rounds)
+	}
+	// Span-leak check (own tracer only; a shared tracer may carry the
+	// caller's spans): abandoned handlers get the RPC deadline to drain.
+	if ownTracer {
+		deadline := time.Now().Add(cfg.RPCTimeout + 2*time.Second)
+		for tr.OpenSpans() != 0 && time.Now().Before(deadline) {
+			time.Sleep(20 * time.Millisecond)
+		}
+		if n := tr.OpenSpans(); n != 0 {
+			return fail(cfg.Rounds, "%d spans still open after soak", n)
+		}
 	}
 	return res, nil
 }

@@ -18,12 +18,28 @@ type RoundStats struct {
 	RPCRetries   int64         // transport re-dials/retries during this round
 	Aborted      bool          // the round failed in prepare and was aborted
 	DeadDuring   []int         // nodes declared dead by the commit phase
+
+	// Observability. TraceID names the round's span tree (0 when no tracer is
+	// attached); RecoveryTraceID names the most recent recovery's tree.
+	// RecoveryCarried distinguishes "RecoveryWall is the residue of an earlier
+	// round's recovery" from "a recovery ran since the last Checkpoint": the
+	// wall-clock of a recovery is reported once as fresh, then carried —
+	// flagged — on later rounds until the next recovery overwrites it.
+	TraceID         uint64
+	RecoveryTraceID uint64
+	RecoveryCarried bool
 }
 
 // String renders a one-line per-round report.
 func (r RoundStats) String() string {
 	s := fmt.Sprintf("epoch %d: prepare %v, commit %v, %d B shipped",
 		r.Epoch, r.PrepareWall.Round(time.Microsecond), r.CommitWall.Round(time.Microsecond), r.BytesShipped)
+	if r.RecoveryWall > 0 {
+		s += fmt.Sprintf(", recovery %v", r.RecoveryWall.Round(time.Microsecond))
+		if r.RecoveryCarried {
+			s += " (carried)"
+		}
+	}
 	if r.RPCRetries > 0 {
 		s += fmt.Sprintf(", %d rpc retries", r.RPCRetries)
 	}

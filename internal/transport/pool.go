@@ -5,11 +5,13 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"syscall"
 	"time"
 
+	"dvdc/internal/obs"
 	"dvdc/internal/wire"
 )
 
@@ -23,6 +25,14 @@ type PoolOptions struct {
 	DialRetries int           // extra dial attempts after the first (default 1)
 	Backoff     time.Duration // base backoff between dial attempts, doubled each retry (default 25ms)
 	Dialer      DialFunc      // raw stream opener (nil = TCP); fault-injection hook
+
+	// Observability (all optional). Peer labels this pool's metric series and
+	// RPC spans (defaults to the dialed address); Tracer opens a child span
+	// per call attempt on traced requests; Registry gets the pool's health
+	// counters and a per-peer RPC latency histogram.
+	Peer     string
+	Tracer   *obs.Tracer
+	Registry *obs.Registry
 }
 
 func (o PoolOptions) withDefaults() PoolOptions {
@@ -55,6 +65,12 @@ type Pool struct {
 	slots   chan struct{}
 	retries atomic.Int64
 
+	dials       atomic.Int64
+	reuses      atomic.Int64
+	staleDrains atomic.Int64
+	openConns   atomic.Int64
+	latency     *obs.Histogram
+
 	mu     sync.Mutex
 	idle   []*Conn
 	closed bool
@@ -64,11 +80,25 @@ type Pool struct {
 // first Call.
 func NewPool(addr string, opts PoolOptions) *Pool {
 	opts = opts.withDefaults()
-	return &Pool{
+	if opts.Peer == "" {
+		opts.Peer = addr
+	}
+	p := &Pool{
 		addr:  addr,
 		opts:  opts,
 		slots: make(chan struct{}, opts.Size),
 	}
+	if reg := opts.Registry; reg != nil {
+		// Func instruments rebind on re-registration, so a pool recreated for
+		// the same peer (a node restart) takes over its series cleanly.
+		reg.CounterFunc("dvdc_pool_dials_total", func() float64 { return float64(p.dials.Load()) }, "peer", opts.Peer)
+		reg.CounterFunc("dvdc_pool_reuses_total", func() float64 { return float64(p.reuses.Load()) }, "peer", opts.Peer)
+		reg.CounterFunc("dvdc_pool_stale_drains_total", func() float64 { return float64(p.staleDrains.Load()) }, "peer", opts.Peer)
+		reg.CounterFunc("dvdc_pool_retries_total", func() float64 { return float64(p.retries.Load()) }, "peer", opts.Peer)
+		reg.GaugeFunc("dvdc_pool_open_conns", func() float64 { return float64(p.openConns.Load()) }, "peer", opts.Peer)
+		p.latency = reg.Histogram("dvdc_rpc_latency_seconds", obs.LatencyBuckets(), "peer", opts.Peer)
+	}
+	return p
 }
 
 // Addr returns the peer address.
@@ -77,6 +107,40 @@ func (p *Pool) Addr() string { return p.addr }
 // Retries returns the cumulative count of in-call retries and re-dial
 // attempts (a health signal: a flapping peer drives it up).
 func (p *Pool) Retries() int64 { return p.retries.Load() }
+
+// PoolStats is a point-in-time snapshot of a pool's health counters.
+type PoolStats struct {
+	Peer        string
+	Dials       int64 // fresh connections established
+	Reuses      int64 // calls served over a pooled idle connection
+	StaleDrains int64 // pooled connections discarded after failing a call
+	Retries     int64 // in-call retries plus re-dial attempts
+	OpenConns   int64 // connections currently alive (idle + checked out)
+	Idle        int   // connections parked in the idle list right now
+}
+
+// Stats snapshots the pool's health counters.
+func (p *Pool) Stats() PoolStats {
+	p.mu.Lock()
+	idle := len(p.idle)
+	p.mu.Unlock()
+	return PoolStats{
+		Peer:        p.opts.Peer,
+		Dials:       p.dials.Load(),
+		Reuses:      p.reuses.Load(),
+		StaleDrains: p.staleDrains.Load(),
+		Retries:     p.retries.Load(),
+		OpenConns:   p.openConns.Load(),
+		Idle:        idle,
+	}
+}
+
+// closeConn closes a pool-owned connection, keeping the open-conns gauge
+// honest.
+func (p *Pool) closeConn(c *Conn) {
+	p.openConns.Add(-1)
+	c.Close()
+}
 
 // Call sends one request and waits for the reply, checking a connection out
 // of the pool (dialing if none is idle). On a transport failure over a
@@ -105,7 +169,30 @@ func (p *Pool) Call(req *wire.Message) (*wire.Message, error) {
 		if err != nil {
 			return nil, err
 		}
-		resp, err := c.Call(req)
+		// Traced requests get one child span per attempt. The message is
+		// shallow-copied before re-stamping Span: callers (node fan-out) may
+		// share one request across concurrent peers, so the original must not
+		// be written to.
+		m := req
+		var span *obs.Active
+		if p.opts.Tracer != nil && req.Trace != 0 {
+			span = p.opts.Tracer.Child(obs.SpanContext{Trace: req.Trace, Span: req.Span}, "rpc "+req.Type.String(), "")
+			if span != nil {
+				span.SetAttr("peer", p.opts.Peer)
+				if attempt > 0 {
+					span.SetAttr("attempt", strconv.Itoa(attempt))
+				}
+				cp := *req
+				cp.Span = span.ID()
+				m = &cp
+			}
+		}
+		start := time.Now()
+		resp, err := c.Call(m)
+		if p.latency != nil {
+			p.latency.Observe(time.Since(start).Seconds())
+		}
+		span.FinishErr(err)
 		if err == nil {
 			p.put(c)
 			return resp, nil
@@ -116,7 +203,10 @@ func (p *Pool) Call(req *wire.Message) (*wire.Message, error) {
 			p.put(c)
 			return nil, err
 		}
-		c.Close()
+		p.closeConn(c)
+		if reused {
+			p.staleDrains.Add(1)
+		}
 		// Timeouts are never retried. A reused (possibly stale) connection is
 		// always worth retrying; a fresh one only when the failure is stream
 		// corruption: a mangled frame (wire.ErrFrame) or an abruptly cut
@@ -150,6 +240,7 @@ func (p *Pool) get() (c *Conn, reused bool, err error) {
 		c = p.idle[n-1]
 		p.idle = p.idle[:n-1]
 		p.mu.Unlock()
+		p.reuses.Add(1)
 		return c, true, nil
 	}
 	p.mu.Unlock()
@@ -172,6 +263,8 @@ func (p *Pool) dial() (*Conn, error) {
 			if p.opts.CallTimeout > 0 {
 				c.SetTimeout(p.opts.CallTimeout)
 			}
+			p.dials.Add(1)
+			p.openConns.Add(1)
 			return c, nil
 		}
 		lastErr = err
@@ -185,7 +278,7 @@ func (p *Pool) put(c *Conn) {
 	p.mu.Lock()
 	if p.closed || len(p.idle) >= p.opts.Size {
 		p.mu.Unlock()
-		c.Close()
+		p.closeConn(c)
 		return
 	}
 	p.idle = append(p.idle, c)
@@ -201,7 +294,7 @@ func (p *Pool) Close() {
 	p.idle = nil
 	p.mu.Unlock()
 	for _, c := range idle {
-		c.Close()
+		p.closeConn(c)
 	}
 }
 

@@ -223,6 +223,11 @@ func (s *Server) serveConn(c net.Conn) {
 		if resp == nil {
 			resp = wire.Errorf("transport: handler returned no reply for %v", req.Type)
 		}
+		// Replies carry the request's trace context back so fault injection on
+		// the return path can still be pinned to the originating RPC span.
+		if resp.Trace == 0 {
+			resp.Trace, resp.Span = req.Trace, req.Span
+		}
 		if err := wire.WriteFrame(w, resp); err != nil {
 			return
 		}

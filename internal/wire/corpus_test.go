@@ -52,9 +52,9 @@ func chaosCorpus() [][]byte {
 			}
 		}
 		// Length-field inflation: saturate each of the three length fields
-		// (vm at offset 21, then text, then payload) so the declared size
-		// runs past the end of the buffer.
-		for _, off := range []int{21, 22} {
+		// (vm at offset FixedHeaderLen, then text, then payload) so the
+		// declared size runs past the end of the buffer.
+		for _, off := range []int{FixedHeaderLen, FixedHeaderLen + 1} {
 			if off < len(base) {
 				m := append([]byte(nil), base...)
 				m[off] = 0xFF

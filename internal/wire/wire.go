@@ -91,10 +91,20 @@ type Message struct {
 	Epoch   uint64
 	Group   int32
 	Arg     uint64 // small numeric argument (steps, seeds, checksums)
+	Trace   uint64 // observability: trace id this RPC belongs to (0 = untraced)
+	Span    uint64 // observability: caller's span id (parent for remote work)
 	VM      string // subject VM, when applicable
 	Text    string // error text or auxiliary string (e.g. JSON config)
 	Payload []byte // bulk data: deltas, images
 }
+
+// Fixed-header byte offsets. The chaos injector peeks at these to tag
+// injected faults with the trace context of the frame it mangled.
+const (
+	TraceOffset    = 1 + 8 + 4 + 8   // Trace field within the encoded body
+	SpanOffset     = TraceOffset + 8 // Span field within the encoded body
+	FixedHeaderLen = SpanOffset + 8  // bytes before the VM length prefix
+)
 
 // MaxFrame bounds a frame to keep a corrupted length prefix from allocating
 // unbounded memory. 256 MiB accommodates any test-scale VM image.
@@ -105,12 +115,14 @@ var ErrFrame = errors.New("wire: malformed frame")
 
 // Encode renders the message body (without the stream length prefix).
 func (m *Message) Encode() []byte {
-	n := 1 + 8 + 4 + 8 + 2 + len(m.VM) + 4 + len(m.Text) + 4 + len(m.Payload)
+	n := FixedHeaderLen + 2 + len(m.VM) + 4 + len(m.Text) + 4 + len(m.Payload)
 	out := make([]byte, 0, n)
 	out = append(out, byte(m.Type))
 	out = binary.LittleEndian.AppendUint64(out, m.Epoch)
 	out = binary.LittleEndian.AppendUint32(out, uint32(m.Group))
 	out = binary.LittleEndian.AppendUint64(out, m.Arg)
+	out = binary.LittleEndian.AppendUint64(out, m.Trace)
+	out = binary.LittleEndian.AppendUint64(out, m.Span)
 	out = binary.LittleEndian.AppendUint16(out, uint16(len(m.VM)))
 	out = append(out, m.VM...)
 	out = binary.LittleEndian.AppendUint32(out, uint32(len(m.Text)))
@@ -122,7 +134,7 @@ func (m *Message) Encode() []byte {
 
 // Decode parses a message body.
 func Decode(b []byte) (*Message, error) {
-	if len(b) < 1+8+4+8+2 {
+	if len(b) < FixedHeaderLen+2 {
 		return nil, fmt.Errorf("%w: short header (%d bytes)", ErrFrame, len(b))
 	}
 	m := &Message{}
@@ -134,6 +146,10 @@ func Decode(b []byte) (*Message, error) {
 	m.Group = int32(binary.LittleEndian.Uint32(b[off:]))
 	off += 4
 	m.Arg = binary.LittleEndian.Uint64(b[off:])
+	off += 8
+	m.Trace = binary.LittleEndian.Uint64(b[off:])
+	off += 8
+	m.Span = binary.LittleEndian.Uint64(b[off:])
 	off += 8
 	take := func(n int) ([]byte, error) {
 		if n < 0 || off+n > len(b) {

@@ -12,6 +12,8 @@ func sample() *Message {
 		Epoch:   42,
 		Group:   -3,
 		Arg:     0xdeadbeef,
+		Trace:   0x1122334455667788,
+		Span:    0x99aabbccddeeff00,
 		VM:      "vm-01.02",
 		Text:    "aux",
 		Payload: []byte{1, 2, 3, 4, 5},
@@ -25,10 +27,35 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	if got.Type != m.Type || got.Epoch != m.Epoch || got.Group != m.Group ||
-		got.Arg != m.Arg || got.VM != m.VM || got.Text != m.Text ||
+		got.Arg != m.Arg || got.Trace != m.Trace || got.Span != m.Span ||
+		got.VM != m.VM || got.Text != m.Text ||
 		!bytes.Equal(got.Payload, m.Payload) {
 		t.Errorf("round trip mismatch: %+v vs %+v", got, m)
 	}
+}
+
+// TestTraceOffsets pins the exported header offsets to the encoding: the
+// chaos injector reads trace context straight out of raw frame bytes at
+// these positions, so they must track Encode exactly.
+func TestTraceOffsets(t *testing.T) {
+	enc := sample().Encode()
+	if got := binaryLE64(enc[TraceOffset:]); got != sample().Trace {
+		t.Errorf("Trace at offset %d = %x", TraceOffset, got)
+	}
+	if got := binaryLE64(enc[SpanOffset:]); got != sample().Span {
+		t.Errorf("Span at offset %d = %x", SpanOffset, got)
+	}
+	if FixedHeaderLen != SpanOffset+8 {
+		t.Error("FixedHeaderLen out of step with field offsets")
+	}
+}
+
+func binaryLE64(b []byte) uint64 {
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v |= uint64(b[i]) << (8 * i)
+	}
+	return v
 }
 
 func TestDecodeEmptyFields(t *testing.T) {
