@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench experiments figures fuzz soak obs-demo clean
+.PHONY: all build test race cover bench datapath experiments figures fuzz soak obs-demo clean
 
 all: build test
 
@@ -23,6 +23,11 @@ cover:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
+# Monolithic-vs-chunked data-path comparison on a live loopback cluster;
+# regenerates BENCH_datapath.json.
+datapath:
+	$(GO) run ./cmd/dvdcbench -datapath
+
 # Regenerate every paper artifact (tables + ASCII charts) on stdout.
 experiments:
 	$(GO) run ./cmd/dvdcbench -exp all
@@ -37,6 +42,7 @@ SOAK_SEED ?= 424242
 soak:
 	$(GO) run ./cmd/dvdcsoak -seed $(SOAK_SEED) -rounds 20
 	$(GO) run ./cmd/dvdcsoak -seed $(SOAK_SEED) -nodes 8 -rounds 10
+	$(GO) run ./cmd/dvdcsoak -seed $(SOAK_SEED) -rounds 10 -chunk-faults 2 -chunk-size 256
 
 # Observability demo: soak with a JSONL trace sink, render one round's
 # timeline, and dump the Prometheus exposition of a live node.
@@ -45,9 +51,10 @@ obs-demo:
 	$(GO) run ./cmd/dvdcctl trace -in /tmp/dvdc-trace.jsonl
 	$(GO) run ./cmd/dvdcctl trace -in /tmp/dvdc-trace.jsonl -epoch 2
 
-# Short fuzzing passes over the three codecs.
+# Short fuzzing passes over the codecs and the chunk reassembly path.
 fuzz:
 	$(GO) test ./internal/wire/ -fuzz FuzzDecode -fuzztime 30s
+	$(GO) test ./internal/wire/ -fuzz FuzzChunkReassembly -fuzztime 30s
 	$(GO) test ./internal/checkpoint/ -fuzz FuzzDecode -fuzztime 30s
 	$(GO) test ./internal/runtime/ -fuzz FuzzDecodeDelta -fuzztime 30s
 

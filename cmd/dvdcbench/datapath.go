@@ -1,0 +1,174 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	goruntime "runtime"
+	"time"
+
+	"dvdc/internal/cluster"
+	"dvdc/internal/runtime"
+)
+
+// The -datapath mode compares the monolithic and chunked checkpoint data
+// paths on a live loopback cluster and records the result as
+// BENCH_datapath.json — the acceptance artifact for the chunked pipeline.
+// Each mode runs the same seeded workload for the same number of rounds;
+// heap pressure is measured as the process-wide MemStats delta around the
+// timed rounds (client and keepers share the process, so the delta covers
+// the full path, exactly like `go test -benchmem` over BenchmarkDataPath).
+
+// datapathCase is one measured configuration of the data path.
+type datapathCase struct {
+	Mode          string  `json:"mode"`
+	ChunkSize     int     `json:"chunk_size"` // -1 monolithic, 0 default chunked, >0 bytes
+	Rounds        int     `json:"rounds"`
+	WallSeconds   float64 `json:"wall_seconds"`
+	BytesShipped  int64   `json:"bytes_shipped"`
+	ChunksShipped int64   `json:"chunks_shipped"`
+	ShippedMBPerS float64 `json:"shipped_mb_per_s"`
+	AllocBytes    uint64  `json:"alloc_bytes_total"`
+	AllocObjects  uint64  `json:"alloc_objects_total"`
+	BytesPerRound uint64  `json:"alloc_bytes_per_round"`
+}
+
+// datapathReport is the BENCH_datapath.json schema.
+type datapathReport struct {
+	Generator     string         `json:"generator"`
+	Layout        string         `json:"layout"`
+	Pages         int            `json:"pages_per_vm"`
+	PageSize      int            `json:"page_size"`
+	StepsPerRound uint64         `json:"steps_per_round"`
+	Seed          int64          `json:"seed"`
+	Cases         []datapathCase `json:"cases"`
+
+	// Acceptance headline: monolithic over default-chunked ratios (>1 means
+	// the chunked path wins).
+	AllocBytesRatio float64 `json:"alloc_bytes_ratio_mono_over_chunked"`
+	ThroughputRatio float64 `json:"throughput_ratio_chunked_over_mono"`
+}
+
+// runDatapath executes the comparison and writes the JSON artifact.
+func runDatapath(rounds int, seed int64, outPath string) error {
+	const (
+		pages    = 256
+		pageSize = 4096
+		steps    = 120
+	)
+	cases := []struct {
+		mode  string
+		chunk int
+	}{
+		{"monolithic", -1},
+		{"chunked-64KiB", 0}, // wire.DefaultChunkSize, the shipping default
+		{"chunked-256KiB", 256 << 10},
+	}
+	rep := datapathReport{
+		Generator:     "dvdcbench -datapath",
+		Layout:        "paper 4-node / 12-VM (Fig. 5)",
+		Pages:         pages,
+		PageSize:      pageSize,
+		StepsPerRound: steps,
+		Seed:          seed,
+	}
+	for _, tc := range cases {
+		res, err := measureDatapath(tc.mode, tc.chunk, rounds, pages, pageSize, steps, seed)
+		if err != nil {
+			return fmt.Errorf("%s: %w", tc.mode, err)
+		}
+		rep.Cases = append(rep.Cases, res)
+		fmt.Printf("%-16s %6.1f ms/round  %7.1f shipped MB/s  %8.2f MB alloc/round  %d chunks\n",
+			res.Mode, res.WallSeconds/float64(rounds)*1e3, res.ShippedMBPerS,
+			float64(res.BytesPerRound)/1e6, res.ChunksShipped)
+	}
+	mono, chunked := rep.Cases[0], rep.Cases[1]
+	if chunked.BytesPerRound > 0 {
+		rep.AllocBytesRatio = float64(mono.BytesPerRound) / float64(chunked.BytesPerRound)
+	}
+	if mono.ShippedMBPerS > 0 {
+		rep.ThroughputRatio = chunked.ShippedMBPerS / mono.ShippedMBPerS
+	}
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(out, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("mono/chunked alloc bytes per round: %.2fx; chunked/mono throughput: %.2fx\n",
+		rep.AllocBytesRatio, rep.ThroughputRatio)
+	fmt.Printf("wrote %s\n", outPath)
+	return nil
+}
+
+// measureDatapath runs one configuration: a fresh loopback cluster, two
+// warm-up rounds (connection pools, buffer pools, page caches), then the
+// timed rounds bracketed by GC-settled MemStats reads.
+func measureDatapath(mode string, chunkSize, rounds, pages, pageSize int, steps uint64, seed int64) (datapathCase, error) {
+	fail := func(err error) (datapathCase, error) { return datapathCase{}, err }
+	layout, err := cluster.Paper12VM()
+	if err != nil {
+		return fail(err)
+	}
+	nodes := make([]*runtime.Node, layout.Nodes)
+	addrs := map[int]string{}
+	for i := range nodes {
+		n, err := runtime.NewNode("127.0.0.1:0")
+		if err != nil {
+			return fail(err)
+		}
+		defer n.Close()
+		nodes[i] = n
+		addrs[i] = n.Addr()
+	}
+	coord, err := runtime.NewCoordinator(layout, addrs, pages, pageSize, seed)
+	if err != nil {
+		return fail(err)
+	}
+	defer coord.Close()
+	coord.SetChunkSize(chunkSize)
+	if err := coord.Setup(); err != nil {
+		return fail(err)
+	}
+	round := func() error {
+		if err := coord.Step(steps); err != nil {
+			return err
+		}
+		return coord.Checkpoint()
+	}
+	for i := 0; i < 2; i++ {
+		if err := round(); err != nil {
+			return fail(err)
+		}
+	}
+
+	var before, after goruntime.MemStats
+	goruntime.GC()
+	goruntime.ReadMemStats(&before)
+	var shipped, chunks int64
+	start := time.Now()
+	for i := 0; i < rounds; i++ {
+		if err := round(); err != nil {
+			return fail(err)
+		}
+		st := coord.RoundStats()
+		shipped += st.BytesShipped
+		chunks += st.ChunksShipped
+	}
+	wall := time.Since(start)
+	goruntime.ReadMemStats(&after)
+
+	return datapathCase{
+		Mode:          mode,
+		ChunkSize:     chunkSize,
+		Rounds:        rounds,
+		WallSeconds:   wall.Seconds(),
+		BytesShipped:  shipped,
+		ChunksShipped: chunks,
+		ShippedMBPerS: float64(shipped) / 1e6 / wall.Seconds(),
+		AllocBytes:    after.TotalAlloc - before.TotalAlloc,
+		AllocObjects:  after.Mallocs - before.Mallocs,
+		BytesPerRound: (after.TotalAlloc - before.TotalAlloc) / uint64(rounds),
+	}, nil
+}

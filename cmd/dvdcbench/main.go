@@ -7,6 +7,7 @@
 //	dvdcbench -list
 //	dvdcbench -exp E1
 //	dvdcbench -exp all -mtbf 10800 -job 172800
+//	dvdcbench -datapath            # monolithic vs chunked live rounds -> BENCH_datapath.json
 package main
 
 import (
@@ -40,8 +41,20 @@ func main() {
 		runs    = flag.Int("runs", 60, "Monte-Carlo repetitions")
 		points  = flag.Int("points", 120, "sweep points for figures")
 		obsAddr = flag.String("obs-addr", "", "serve /metrics, /healthz and pprof here while running (empty = disabled)")
+
+		datapath   = flag.Bool("datapath", false, "run the monolithic-vs-chunked data-path comparison on a live cluster and exit")
+		dpRounds   = flag.Int("datapath-rounds", 20, "timed checkpoint rounds per data-path case")
+		dpJSONPath = flag.String("datapath-json", "BENCH_datapath.json", "where -datapath writes its JSON artifact")
 	)
 	flag.Parse()
+
+	if *datapath {
+		if err := runDatapath(*dpRounds, *seed, *dpJSONPath); err != nil {
+			fmt.Fprintf(os.Stderr, "dvdcbench: datapath: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	reg := obs.NewRegistry()
 	if *obsAddr != "" {

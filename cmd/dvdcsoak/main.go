@@ -12,6 +12,7 @@
 //	dvdcsoak -seed 424242                      # paper 4-node/12-VM layout
 //	dvdcsoak -nodes 8 -rounds 20 -kill-mtbf 90
 //	dvdcsoak -nodes 16 -group-size 4 -p-corrupt 0.02 -p-drop 0.02
+//	dvdcsoak -chunk-faults 2 -chunk-size 256   # aim drop/corrupt at delta chunk frames
 //	dvdcsoak -trace-jsonl soak.jsonl           # then: dvdcctl trace -in soak.jsonl
 //	dvdcsoak -obs-addr 127.0.0.1:9100          # live /metrics during the soak
 package main
@@ -44,6 +45,8 @@ func main() {
 		pDelay    = flag.Float64("p-delay", 0.05, "per-frame delay probability")
 		pPart     = flag.Float64("p-partition", 0.1, "per-round transient partition probability")
 		armed     = flag.Int("arm-per-round", 2, "armed one-shot faults per round")
+		chunkSize = flag.Int("chunk-size", 0, "data-path chunk size in bytes (0 = default chunked, -1 = monolithic)")
+		chunkArms = flag.Int("chunk-faults", 0, "armed one-shot drop/corrupt faults per round aimed at delta chunk frames")
 		killMTBF  = flag.Float64("kill-mtbf", 120, "per-node MTBF in virtual seconds (0 = no kills)")
 		rpc       = flag.Duration("rpc-timeout", 5*time.Second, "per-call RPC deadline")
 		verbose   = flag.Bool("v", false, "print the full fault log and per-round digest")
@@ -68,6 +71,8 @@ func main() {
 		Seed:          *seed,
 		Chaos:         chaos.Config{PCorrupt: *pCorrupt, PDrop: *pDrop, PDelay: *pDelay},
 		ArmPerRound:   *armed,
+		ChunkSize:     *chunkSize,
+		ChunkFaults:   *chunkArms,
 		PPartition:    *pPart,
 		KillMTBF:      *killMTBF,
 		RPCTimeout:    *rpc,

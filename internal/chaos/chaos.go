@@ -40,6 +40,7 @@ import (
 
 	"dvdc/internal/metrics"
 	"dvdc/internal/obs"
+	"dvdc/internal/wire"
 )
 
 // Well-known node identities for traffic endpoints that are not daemons.
@@ -148,10 +149,18 @@ func (c Config) Active() bool {
 	return c.PCorrupt > 0 || c.PDrop > 0 || c.PDelay > 0 || c.PDuplicate > 0
 }
 
+// armedFault is one scheduled one-shot fault. msg, when nonzero, restricts
+// the fault to frames of that wire message type: the fault waits, still
+// armed, until such a frame crosses the pair.
+type armedFault struct {
+	kind Kind
+	msg  uint8
+}
+
 // pairState is one peer pair's deterministic fault stream.
 type pairState struct {
 	rng   *rand.Rand
-	armed []Kind // one-shot faults, fired FIFO at frame boundaries
+	armed []armedFault // one-shot faults, fired FIFO at frame boundaries
 }
 
 // Injector owns the fault state for one cluster run.
@@ -244,11 +253,18 @@ func (i *Injector) setPaused(v bool) {
 
 // Arm schedules a one-shot fault on a pair: the next frame boundary on that
 // pair fires it, regardless of Pause. Armed faults fire FIFO.
-func (i *Injector) Arm(p Pair, k Kind) {
+func (i *Injector) Arm(p Pair, k Kind) { i.ArmMsg(p, k, 0) }
+
+// ArmMsg schedules a one-shot fault that fires only on a frame whose wire
+// message type is msg (0 = any frame). The soak harness uses this to aim
+// faults at individual data-path chunks (MsgDeltaChunk) rather than whatever
+// control frame happens to cross the pair first. A filtered fault at the
+// head of the FIFO holds the queue until a matching frame appears.
+func (i *Injector) ArmMsg(p Pair, k Kind, msg uint8) {
 	i.mu.Lock()
 	defer i.mu.Unlock()
 	ps := i.pair(p)
-	ps.armed = append(ps.armed, k)
+	ps.armed = append(ps.armed, armedFault{kind: k, msg: msg})
 }
 
 // ArmedPending reports how many armed faults have not fired yet (across all
@@ -390,18 +406,21 @@ func (c frameCaps) allows(k Kind) bool {
 // frameFault draws the fault (if any) for the next frame on a pair and logs
 // it. Exactly one rng call decides the kind (plus one more for a delay
 // duration), keeping per-pair streams stable. An armed fault the chunk
-// cannot carry stays armed for the next frame; a probabilistic draw the
-// chunk cannot carry is skipped (and not logged).
-func (i *Injector) frameFault(p Pair, frameBytes int, caps frameCaps) decision {
+// cannot carry — or whose message-type filter doesn't match msgType — stays
+// armed for the next frame; a probabilistic draw the chunk cannot carry is
+// skipped (and not logged). msgType is the frame's wire type byte (0 when
+// the chunk doesn't expose it).
+func (i *Injector) frameFault(p Pair, frameBytes int, msgType uint8, caps frameCaps) decision {
 	i.mu.Lock()
 	defer i.mu.Unlock()
 	ps := i.pair(p)
 	var d decision
 	if len(ps.armed) > 0 {
-		if !caps.allows(ps.armed[0]) {
+		head := ps.armed[0]
+		if !caps.allows(head.kind) || (head.msg != 0 && head.msg != msgType) {
 			return d
 		}
-		d.kind = ps.armed[0]
+		d.kind = head.kind
 		ps.armed = ps.armed[1:]
 		d.armed = true
 	} else if !i.paused && i.cfg.Active() {
@@ -421,6 +440,9 @@ func (i *Injector) frameFault(p Pair, frameBytes int, caps frameCaps) decision {
 		return decision{}
 	}
 	note := fmt.Sprintf("frame %d bytes", frameBytes)
+	if msgType != 0 {
+		note = fmt.Sprintf("%s frame, %d bytes", wire.MsgType(msgType), frameBytes)
+	}
 	if d.kind == Delay {
 		span := i.cfg.DelayMax - i.cfg.DelayMin
 		d.delay = i.cfg.DelayMin

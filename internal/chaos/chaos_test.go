@@ -171,7 +171,7 @@ func TestProbabilisticStreamIsSeedDeterministic(t *testing.T) {
 		// order is exactly the call order).
 		var kinds []string
 		for f := 0; f < 200; f++ {
-			d := inj.frameFault(Pair{0, 1}, 31, frameCaps{corrupt: true, duplicate: true})
+			d := inj.frameFault(Pair{0, 1}, 31, 0, frameCaps{corrupt: true, duplicate: true})
 			kinds = append(kinds, d.kind.String())
 		}
 		return kinds
@@ -200,13 +200,13 @@ func TestPairStreamsAreIndependent(t *testing.T) {
 	solo := New(99, Config{PDrop: 0.5})
 	var alone []Kind
 	for f := 0; f < 50; f++ {
-		alone = append(alone, solo.frameFault(Pair{0, 1}, 31, frameCaps{}).kind)
+		alone = append(alone, solo.frameFault(Pair{0, 1}, 31, 0, frameCaps{}).kind)
 	}
 	mixed := New(99, Config{PDrop: 0.5})
 	var together []Kind
 	for f := 0; f < 50; f++ {
-		mixed.frameFault(Pair{2, 3}, 31, frameCaps{}) // interleaved noise
-		together = append(together, mixed.frameFault(Pair{0, 1}, 31, frameCaps{}).kind)
+		mixed.frameFault(Pair{2, 3}, 31, 0, frameCaps{}) // interleaved noise
+		together = append(together, mixed.frameFault(Pair{0, 1}, 31, 0, frameCaps{}).kind)
 	}
 	for i := range alone {
 		if alone[i] != together[i] {
@@ -219,15 +219,15 @@ func TestPauseStopsProbabilisticButNotArmed(t *testing.T) {
 	inj := New(7, Config{PDrop: 1.0})
 	inj.Pause()
 	p := Pair{0, 1}
-	if d := inj.frameFault(p, 31, frameCaps{}); d.kind != 0 {
+	if d := inj.frameFault(p, 31, 0, frameCaps{}); d.kind != 0 {
 		t.Fatalf("paused injector fired %s", d.kind)
 	}
 	inj.Arm(p, Drop)
-	if d := inj.frameFault(p, 31, frameCaps{}); d.kind != Drop || !d.armed {
+	if d := inj.frameFault(p, 31, 0, frameCaps{}); d.kind != Drop || !d.armed {
 		t.Fatalf("armed fault suppressed by pause: %+v", d)
 	}
 	inj.Resume()
-	if d := inj.frameFault(p, 31, frameCaps{}); d.kind != Drop {
+	if d := inj.frameFault(p, 31, 0, frameCaps{}); d.kind != Drop {
 		t.Fatalf("resume did not restore probabilistic injection: %+v", d)
 	}
 }
@@ -237,13 +237,13 @@ func TestCapsGateArmedAndProbabilistic(t *testing.T) {
 	p := Pair{0, 1}
 	inj.Arm(p, Duplicate)
 	// Chunk cannot carry a duplicate: the fault must stay armed, unlogged.
-	if d := inj.frameFault(p, 31, frameCaps{corrupt: true, duplicate: false}); d.kind != 0 {
+	if d := inj.frameFault(p, 31, 0, frameCaps{corrupt: true, duplicate: false}); d.kind != 0 {
 		t.Fatalf("incapable chunk fired %s", d.kind)
 	}
 	if inj.ArmedPending() != 1 {
 		t.Fatal("armed duplicate was consumed by an incapable chunk")
 	}
-	if d := inj.frameFault(p, 31, frameCaps{corrupt: true, duplicate: true}); d.kind != Duplicate {
+	if d := inj.frameFault(p, 31, 0, frameCaps{corrupt: true, duplicate: true}); d.kind != Duplicate {
 		t.Fatalf("capable chunk fired %v, want duplicate", d.kind)
 	}
 }

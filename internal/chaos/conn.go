@@ -125,7 +125,11 @@ func (c *faultConn) Write(b []byte) (int, error) {
 		corrupt:   true, // the length prefix is always fully inside the chunk
 		duplicate: frameEnd <= len(b),
 	}
-	d := c.inj.frameFault(c.pair, 4+bodyLen, caps)
+	var msgType uint8
+	if bodyLen >= 1 && start+4 < len(b) {
+		msgType = b[start+4] // wire type is the first body byte
+	}
+	d := c.inj.frameFault(c.pair, 4+bodyLen, msgType, caps)
 	if d.kind != 0 {
 		c.traceFault(b, start, bodyLen, d)
 	}

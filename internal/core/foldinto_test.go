@@ -1,0 +1,135 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"dvdc/internal/checkpoint"
+)
+
+// TestFoldIntoCommitPendingMatchesApplyDelta pins the chunked fold path to
+// the monolithic one: folding each delta's pages chunk-by-chunk (shuffled,
+// at byte offsets) into a zeroed pending buffer and committing it must leave
+// the keeper in exactly the state ApplyDelta produces.
+func TestFoldIntoCommitPendingMatchesApplyDelta(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	const pageSize, pages = 32, 16
+	for _, tolerance := range []int{1, 2} {
+		initial := map[string][]byte{}
+		for _, id := range []string{"vm-a", "vm-b", "vm-c"} {
+			img := make([]byte, pageSize*pages)
+			rng.Read(img)
+			initial[id] = img
+		}
+		for pi := 0; pi < tolerance; pi++ {
+			mono, err := NewMKeeper(1, pi, tolerance, initial)
+			if err != nil {
+				t.Fatal(err)
+			}
+			chunked, err := NewMKeeper(1, pi, tolerance, initial)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			for epoch := uint64(1); epoch <= 3; epoch++ {
+				pending := make([]byte, chunked.Size())
+				epochs := map[string]uint64{}
+				for id := range initial {
+					// Random dirty pages for this member.
+					var recs []checkpoint.PageRecord
+					for p := 0; p < pages; p++ {
+						if rng.Intn(3) == 0 {
+							data := make([]byte, pageSize)
+							rng.Read(data)
+							recs = append(recs, checkpoint.PageRecord{Index: p, Data: data})
+						}
+					}
+					d := &Delta{VMID: id, Epoch: epoch, Pages: recs}
+					if err := mono.ApplyDelta(d); err != nil {
+						t.Fatal(err)
+					}
+					// Chunked: split every page into odd-sized pieces folded
+					// at byte offsets, in shuffled order.
+					type piece struct {
+						off  int
+						data []byte
+					}
+					var pieces []piece
+					for _, p := range recs {
+						base := p.Index * pageSize
+						for at := 0; at < len(p.Data); {
+							n := min(1+rng.Intn(13), len(p.Data)-at)
+							pieces = append(pieces, piece{base + at, p.Data[at : at+n]})
+							at += n
+						}
+					}
+					rng.Shuffle(len(pieces), func(i, j int) { pieces[i], pieces[j] = pieces[j], pieces[i] })
+					for _, pc := range pieces {
+						if err := chunked.FoldInto(pending, id, pc.off, pc.data); err != nil {
+							t.Fatal(err)
+						}
+					}
+					epochs[id] = epoch
+				}
+				if err := chunked.CommitPending(pending, epochs); err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(mono.Parity(), chunked.Parity()) {
+					t.Fatalf("tolerance=%d row=%d epoch=%d: chunked parity diverges", tolerance, pi, epoch)
+				}
+				for id := range initial {
+					if mono.Epoch(id) != chunked.Epoch(id) {
+						t.Fatalf("epoch bookkeeping diverges for %s", id)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestCommitPendingRejectsBadEpochAtomically(t *testing.T) {
+	initial := map[string][]byte{"a": make([]byte, 64), "b": make([]byte, 64)}
+	k, err := NewMKeeper(0, 0, 1, initial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := k.Parity()
+	pending := bytes.Repeat([]byte{0xFF}, 64)
+	// "a" is valid (epoch 1), "b" skips ahead — the whole commit must fail
+	// without touching parity or epochs.
+	err = k.CommitPending(pending, map[string]uint64{"a": 1, "b": 2})
+	if err == nil {
+		t.Fatal("epoch skip accepted")
+	}
+	if !bytes.Equal(k.Parity(), before) {
+		t.Fatal("failed commit mutated parity")
+	}
+	if k.Epoch("a") != 0 {
+		t.Fatal("failed commit advanced an epoch")
+	}
+	if err := k.CommitPending(pending, map[string]uint64{"a": 1, "b": 1}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFoldIntoRejectsBadRanges(t *testing.T) {
+	initial := map[string][]byte{"a": make([]byte, 64)}
+	k, err := NewMKeeper(0, 0, 1, initial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pending := make([]byte, 64)
+	if err := k.FoldInto(pending, "ghost", 0, []byte{1}); err == nil {
+		t.Fatal("unknown member accepted")
+	}
+	if err := k.FoldInto(pending[:32], "a", 0, []byte{1}); err == nil {
+		t.Fatal("short pending buffer accepted")
+	}
+	if err := k.FoldInto(pending, "a", 60, []byte{1, 2, 3, 4, 5}); err == nil {
+		t.Fatal("out-of-range fold accepted")
+	}
+	if err := k.FoldInto(pending, "a", -1, []byte{1}); err == nil {
+		t.Fatal("negative offset accepted")
+	}
+}

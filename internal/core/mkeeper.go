@@ -85,6 +85,16 @@ func (k *MKeeper) Members() []string { return append([]string(nil), k.members...
 // Parity returns a copy of the parity block.
 func (k *MKeeper) Parity() []byte { return append([]byte(nil), k.parityBlk...) }
 
+// ParityRange copies bytes [off, off+n) of the parity block into a fresh
+// slice — the chunked read path serves parity chunks with this instead of
+// materializing a full Parity copy per request.
+func (k *MKeeper) ParityRange(off, n int) ([]byte, error) {
+	if off < 0 || n < 0 || off+n > len(k.parityBlk) {
+		return nil, fmt.Errorf("core: parity range [%d,+%d) outside %d-byte block", off, n, len(k.parityBlk))
+	}
+	return append([]byte(nil), k.parityBlk[off:off+n]...), nil
+}
+
 // Epoch returns the last folded epoch for a member.
 func (k *MKeeper) Epoch(id string) uint64 { return k.epochs[id] }
 
@@ -95,6 +105,58 @@ func (k *MKeeper) SetEpochs(epochs map[string]uint64) error {
 		if !ok {
 			return fmt.Errorf("core: SetEpochs missing member %q", id)
 		}
+		k.epochs[id] = e
+	}
+	return nil
+}
+
+// Size returns the parity block length in bytes.
+func (k *MKeeper) Size() int { return len(k.parityBlk) }
+
+// FoldInto folds one member's delta bytes at a byte offset into dst, an
+// accumulation buffer of the keeper's block size (NOT the live parity
+// block). This is the chunked data path's streaming primitive: each arriving
+// chunk folds immediately — dst accumulates Coef*delta terms from any number
+// of members in any order (the code is linear, so ordering is irrelevant) —
+// and the whole accumulation lands in the parity block atomically at commit
+// via CommitPending. Keeping the fold off the live block preserves
+// two-phase-commit semantics: an aborted round just drops dst.
+func (k *MKeeper) FoldInto(dst []byte, id string, off int, data []byte) error {
+	j, ok := k.index[id]
+	if !ok {
+		return fmt.Errorf("core: mkeeper group %d fold from unknown member %q", k.group, id)
+	}
+	if len(dst) != len(k.parityBlk) {
+		return fmt.Errorf("core: fold buffer %d bytes, parity block %d", len(dst), len(k.parityBlk))
+	}
+	if off < 0 || off+len(data) > len(dst) {
+		return fmt.Errorf("core: fold range [%d,+%d) outside %d-byte block", off, len(data), len(dst))
+	}
+	return k.coder.UpdateParity(dst[off:off+len(data)], k.parityIdx, j, data)
+}
+
+// CommitPending folds an accumulation buffer built by FoldInto into the live
+// parity block and advances the given members' epochs. Every epoch must be
+// exactly one past the member's folded epoch — the same ordering rule
+// ApplyDelta enforces — and all of them are checked before any state
+// changes, so a bad commit leaves the keeper untouched.
+func (k *MKeeper) CommitPending(pending []byte, epochs map[string]uint64) error {
+	if len(pending) != len(k.parityBlk) {
+		return fmt.Errorf("core: pending buffer %d bytes, parity block %d", len(pending), len(k.parityBlk))
+	}
+	for id, e := range epochs {
+		if _, ok := k.index[id]; !ok {
+			return fmt.Errorf("core: mkeeper group %d commit for unknown member %q", k.group, id)
+		}
+		if e != k.epochs[id]+1 {
+			return fmt.Errorf("core: mkeeper group %d member %q epoch %d after %d",
+				k.group, id, e, k.epochs[id])
+		}
+	}
+	if err := parity.XORInto(k.parityBlk, pending); err != nil {
+		return err
+	}
+	for id, e := range epochs {
 		k.epochs[id] = e
 	}
 	return nil

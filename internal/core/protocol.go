@@ -78,6 +78,19 @@ func (mem *Member) CommittedImage() []byte {
 	return append([]byte(nil), mem.committed...)
 }
 
+// CommittedLen returns the committed image size without copying it.
+func (mem *Member) CommittedLen() int { return len(mem.committed) }
+
+// CommittedRange copies bytes [off, off+n) of the committed image into a
+// fresh slice — the chunked read path serves image chunks with this instead
+// of materializing a full CommittedImage copy per request.
+func (mem *Member) CommittedRange(off, n int) ([]byte, error) {
+	if off < 0 || n < 0 || off+n > len(mem.committed) {
+		return nil, fmt.Errorf("core: committed range [%d,+%d) outside %d-byte image", off, n, len(mem.committed))
+	}
+	return append([]byte(nil), mem.committed[off:off+n]...), nil
+}
+
 // CaptureDelta closes the current epoch: it snapshots the dirty pages,
 // computes their XOR against the committed image, advances the committed
 // image to the new state, and returns the delta for the parity keeper.

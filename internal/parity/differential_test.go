@@ -1,0 +1,350 @@
+package parity
+
+// Differential and property tests: every optimized kernel (word-wise XOR,
+// table-driven GF(256) arithmetic, RS matrix encode, RDP) is checked against
+// a naive bytewise reference on randomized shapes — odd tails, chunk-
+// boundary-straddling offsets, degenerate sizes — plus encode→erase→
+// reconstruct round trips. The references are deliberately slow and obvious.
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// naiveXOR is the bytewise reference for XORInto.
+func naiveXOR(dst, src []byte) {
+	for i := range dst {
+		dst[i] ^= src[i]
+	}
+}
+
+// naiveGfMul multiplies in GF(256) by Russian-peasant shift-and-add over the
+// field polynomial, independent of the log/exp tables.
+func naiveGfMul(a, b byte) byte {
+	var prod uint16
+	aa, bb := uint16(a), uint16(b)
+	for bb != 0 {
+		if bb&1 != 0 {
+			prod ^= aa
+		}
+		aa <<= 1
+		if aa&0x100 != 0 {
+			aa ^= gfPoly
+		}
+		bb >>= 1
+	}
+	return byte(prod)
+}
+
+func randBytes(rng *rand.Rand, n int) []byte {
+	b := make([]byte, n)
+	rng.Read(b)
+	return b
+}
+
+// Sizes that stress the 8-byte word loop: zero, sub-word, word-aligned,
+// word+tail, and page-scale odd lengths.
+var awkwardSizes = []int{0, 1, 3, 7, 8, 9, 15, 16, 17, 63, 64, 65, 255, 1024, 4093, 4096}
+
+func TestXORIntoMatchesNaiveReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range awkwardSizes {
+		for trial := 0; trial < 8; trial++ {
+			dst := randBytes(rng, n)
+			src := randBytes(rng, n)
+			want := append([]byte(nil), dst...)
+			naiveXOR(want, src)
+			if err := XORInto(dst, src); err != nil {
+				t.Fatalf("n=%d: %v", n, err)
+			}
+			if !bytes.Equal(dst, want) {
+				t.Fatalf("n=%d: XORInto diverges from bytewise reference", n)
+			}
+		}
+	}
+}
+
+func TestXORIntoOverlapGuard(t *testing.T) {
+	// Partial overlap in either direction must be rejected: the word loop
+	// would read bytes it already rewrote.
+	back := make([]byte, 64)
+	if err := XORInto(back[0:32], back[8:40]); err == nil {
+		t.Fatal("forward partial overlap accepted")
+	} else if !bytes.Contains([]byte(err.Error()), []byte("overlap")) {
+		t.Fatalf("wrong error: %v", err)
+	}
+	if err := XORInto(back[8:40], back[0:32]); err == nil {
+		t.Fatal("backward partial overlap accepted")
+	}
+	// One-byte overlap at the boundary is still an overlap.
+	if err := XORInto(back[0:16], back[15:31]); err == nil {
+		t.Fatal("single-byte overlap accepted")
+	}
+	// The exact same slice is legal and must zero dst (x ^ x = 0).
+	same := randBytes(rand.New(rand.NewSource(2)), 33)
+	if err := XORInto(same, same); err != nil {
+		t.Fatalf("exact alias rejected: %v", err)
+	}
+	for i, v := range same {
+		if v != 0 {
+			t.Fatalf("exact alias did not zero byte %d: %#x", i, v)
+		}
+	}
+	// Adjacent disjoint subslices of one array are fine.
+	if err := XORInto(back[0:16], back[16:32]); err != nil {
+		t.Fatalf("disjoint subslices rejected: %v", err)
+	}
+	// Empty slices never overlap.
+	if err := XORInto(back[8:8], back[8:8]); err != nil {
+		t.Fatalf("empty slices rejected: %v", err)
+	}
+}
+
+func TestGfMulMatchesShiftAddReference(t *testing.T) {
+	for a := 0; a < 256; a++ {
+		for b := 0; b < 256; b++ {
+			if got, want := gfMul(byte(a), byte(b)), naiveGfMul(byte(a), byte(b)); got != want {
+				t.Fatalf("gfMul(%d,%d) = %d, want %d", a, b, got, want)
+			}
+		}
+	}
+}
+
+// naiveRSEncode computes parity row p as sum_j Coef(p,j) * data[j] using the
+// scalar reference multiplier — no slice kernels, no tables.
+func naiveRSEncode(r *RS, data [][]byte) [][]byte {
+	n := len(data[0])
+	par := make([][]byte, r.M())
+	for p := range par {
+		par[p] = make([]byte, n)
+		for j, d := range data {
+			c := r.Coef(p, j)
+			for i := 0; i < n; i++ {
+				par[p][i] ^= naiveGfMul(c, d[i])
+			}
+		}
+	}
+	return par
+}
+
+func TestRSEncodeMatchesNaiveMatrixMultiply(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 40; trial++ {
+		k := 1 + rng.Intn(8)
+		m := 1 + rng.Intn(4)
+		n := awkwardSizes[rng.Intn(len(awkwardSizes))]
+		if n == 0 {
+			n = 1
+		}
+		rs, err := NewRS(k, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data := make([][]byte, k)
+		for j := range data {
+			data[j] = randBytes(rng, n)
+		}
+		got, err := rs.Encode(data)
+		if err != nil {
+			t.Fatalf("k=%d m=%d n=%d: %v", k, m, n, err)
+		}
+		want := naiveRSEncode(rs, data)
+		for p := range want {
+			if !bytes.Equal(got[p], want[p]) {
+				t.Fatalf("k=%d m=%d n=%d: parity row %d diverges from naive encode", k, m, n, p)
+			}
+		}
+	}
+}
+
+func TestRSEncodeEraseReconstructRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 40; trial++ {
+		k := 1 + rng.Intn(8)
+		m := 1 + rng.Intn(4)
+		n := 1 + rng.Intn(300)
+		rs, err := NewRS(k, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data := make([][]byte, k)
+		for j := range data {
+			data[j] = randBytes(rng, n)
+		}
+		par, err := rs.Encode(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Erase up to m shards (data and/or parity) at random.
+		shards := make([][]byte, 0, k+m)
+		for _, d := range data {
+			shards = append(shards, append([]byte(nil), d...))
+		}
+		for _, p := range par {
+			shards = append(shards, append([]byte(nil), p...))
+		}
+		erase := rng.Perm(k + m)[:1+rng.Intn(m)]
+		for _, idx := range erase {
+			shards[idx] = nil
+		}
+		if err := rs.Reconstruct(shards); err != nil {
+			t.Fatalf("k=%d m=%d erased %v: %v", k, m, erase, err)
+		}
+		for j := range data {
+			if !bytes.Equal(shards[j], data[j]) {
+				t.Fatalf("k=%d m=%d erased %v: data shard %d not recovered", k, m, erase, j)
+			}
+		}
+		for p := range par {
+			if !bytes.Equal(shards[k+p], par[p]) {
+				t.Fatalf("k=%d m=%d erased %v: parity shard %d not recovered", k, m, erase, p)
+			}
+		}
+	}
+}
+
+// TestRSUpdateParityChunkedFoldEquivalence is the property the chunked data
+// path rests on: folding a delta piecewise at offsets (chunk boundaries
+// straddling word boundaries) must equal folding it whole, and both must
+// equal a fresh encode of the updated data.
+func TestRSUpdateParityChunkedFoldEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 40; trial++ {
+		k := 2 + rng.Intn(6)
+		m := 1 + rng.Intn(3)
+		n := 64 + rng.Intn(1000) // keeper block length
+		rs, err := NewRS(k, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data := make([][]byte, k)
+		for j := range data {
+			data[j] = randBytes(rng, n)
+		}
+		par, err := rs.Encode(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// One member writes a delta over a random subrange.
+		victim := rng.Intn(k)
+		off := rng.Intn(n)
+		dlen := 1 + rng.Intn(n-off)
+		delta := randBytes(rng, dlen) // delta = old XOR new
+		newData := append([]byte(nil), data[victim]...)
+		naiveXOR(newData[off:off+dlen], delta)
+
+		for p := 0; p < m; p++ {
+			whole := append([]byte(nil), par[p]...)
+			if err := rs.UpdateParity(whole[off:], p, victim, delta); err != nil {
+				t.Fatal(err)
+			}
+			// Same delta folded as awkward little chunks, out of order.
+			chunked := append([]byte(nil), par[p]...)
+			type piece struct{ at, ln int }
+			var pieces []piece
+			for at := 0; at < dlen; {
+				ln := min(1+rng.Intn(37), dlen-at)
+				pieces = append(pieces, piece{at, ln})
+				at += ln
+			}
+			rng.Shuffle(len(pieces), func(i, j int) { pieces[i], pieces[j] = pieces[j], pieces[i] })
+			for _, pc := range pieces {
+				if err := rs.UpdateParity(chunked[off+pc.at:], p, victim, delta[pc.at:pc.at+pc.ln]); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if !bytes.Equal(whole, chunked) {
+				t.Fatalf("k=%d m=%d row %d: chunked fold diverges from whole fold", k, m, p)
+			}
+		}
+		// Cross-check against a fresh encode of the updated data.
+		updated := make([][]byte, k)
+		for j := range data {
+			updated[j] = data[j]
+		}
+		updated[victim] = newData
+		wantPar := naiveRSEncode(rs, updated)
+		for p := 0; p < m; p++ {
+			got := append([]byte(nil), par[p]...)
+			if err := rs.UpdateParity(got[off:], p, victim, delta); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, wantPar[p]) {
+				t.Fatalf("k=%d m=%d row %d: small-write fold diverges from re-encode", k, m, p)
+			}
+		}
+	}
+}
+
+func TestRDPEncodeEraseReconstructRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for _, p := range []int{3, 5, 7, 11} {
+		rdp, err := NewRDP(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 10; trial++ {
+			chunk := 1 + rng.Intn(64)
+			n := chunk * (p - 1) // block length must split into p-1 rows
+			data := make([][]byte, rdp.DataBlocks())
+			for j := range data {
+				data[j] = randBytes(rng, n)
+			}
+			rowPar, diagPar, err := rdp.Encode(data)
+			if err != nil {
+				t.Fatalf("p=%d n=%d: %v", p, n, err)
+			}
+			// Erase any two of the p+1 columns (double-failure tolerance).
+			shards := make([][]byte, rdp.TotalBlocks())
+			for j := range data {
+				shards[j] = append([]byte(nil), data[j]...)
+			}
+			shards[p-1] = append([]byte(nil), rowPar...)
+			shards[p] = append([]byte(nil), diagPar...)
+			a := rng.Intn(p + 1)
+			b := rng.Intn(p + 1)
+			shards[a] = nil
+			shards[b] = nil
+			if err := rdp.Reconstruct(shards); err != nil {
+				t.Fatalf("p=%d erased (%d,%d): %v", p, a, b, err)
+			}
+			for j := range data {
+				if !bytes.Equal(shards[j], data[j]) {
+					t.Fatalf("p=%d erased (%d,%d): data block %d not recovered", p, a, b, j)
+				}
+			}
+			if !bytes.Equal(shards[p-1], rowPar) || !bytes.Equal(shards[p], diagPar) {
+				t.Fatalf("p=%d erased (%d,%d): parity not recovered", p, a, b)
+			}
+		}
+	}
+}
+
+func TestUpdateParitySmallWriteProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(500)
+		blocks := make([][]byte, 2+rng.Intn(5))
+		for j := range blocks {
+			blocks[j] = randBytes(rng, n)
+		}
+		par, err := Parity(blocks...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		victim := rng.Intn(len(blocks))
+		oldData := append([]byte(nil), blocks[victim]...)
+		blocks[victim] = randBytes(rng, n)
+		if err := UpdateParity(par, oldData, blocks[victim]); err != nil {
+			t.Fatal(err)
+		}
+		ok, err := VerifyParity(par, blocks...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("n=%d: small-write parity update diverges from full recompute", n)
+		}
+	}
+}

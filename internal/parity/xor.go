@@ -4,17 +4,43 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"unsafe"
 )
 
 // ErrLengthMismatch is returned when blocks participating in one parity
 // computation do not all share the same length.
 var ErrLengthMismatch = errors.New("parity: block length mismatch")
 
-// XORInto xors src into dst element-wise. dst and src must have equal length.
-// The hot loop works on 8-byte words; the tail is handled bytewise.
+// ErrOverlap is returned when dst and src partially overlap: the word-at-a-
+// time kernel would read src bytes it already rewrote through dst, silently
+// producing a result that is neither the old nor the elementwise-new value.
+var ErrOverlap = errors.New("parity: dst and src overlap")
+
+// aliasable reports whether dst and src may be passed to the word-wise
+// kernels: disjoint ranges, or the exact same range (x^x = 0 elementwise, a
+// result the word loop also produces). A partial overlap is rejected.
+func aliasable(dst, src []byte) bool {
+	if len(dst) == 0 || len(src) == 0 {
+		return true
+	}
+	d := uintptr(unsafe.Pointer(unsafe.SliceData(dst)))
+	s := uintptr(unsafe.Pointer(unsafe.SliceData(src)))
+	if d == s && len(dst) == len(src) {
+		return true
+	}
+	return d+uintptr(len(dst)) <= s || s+uintptr(len(src)) <= d
+}
+
+// XORInto xors src into dst element-wise. dst and src must have equal length
+// and must not partially overlap (the exact same slice is allowed and zeroes
+// dst; any other overlap returns ErrOverlap). The hot loop works on 8-byte
+// words; the tail is handled bytewise.
 func XORInto(dst, src []byte) error {
 	if len(dst) != len(src) {
 		return fmt.Errorf("%w: dst %d, src %d", ErrLengthMismatch, len(dst), len(src))
+	}
+	if !aliasable(dst, src) {
+		return fmt.Errorf("%w: dst and src share %d-byte backing range", ErrOverlap, len(dst))
 	}
 	n := len(dst)
 	i := 0

@@ -14,7 +14,8 @@ import (
 // a latency-injecting proxy in front of every node, emulating a network
 // where each message spends rtt/2 on the wire — the regime the paper's
 // Sec. IV-B utilization argument lives in, and where serial fan-out hurts.
-func benchCluster(b *testing.B, layout *cluster.Layout, pages, pageSize int, rtt time.Duration) (*Coordinator, []*Node) {
+// chunkSize follows SetChunkSize: 0 default chunked, <0 monolithic.
+func benchCluster(b *testing.B, layout *cluster.Layout, pages, pageSize int, rtt time.Duration, chunkSize int) (*Coordinator, []*Node) {
 	b.Helper()
 	nodes := make([]*Node, layout.Nodes)
 	addrs := map[int]string{}
@@ -39,6 +40,7 @@ func benchCluster(b *testing.B, layout *cluster.Layout, pages, pageSize int, rtt
 		b.Fatal(err)
 	}
 	b.Cleanup(coord.Close)
+	coord.SetChunkSize(chunkSize)
 	if err := coord.Setup(); err != nil {
 		b.Fatal(err)
 	}
@@ -103,7 +105,7 @@ func BenchmarkRuntimeRound(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			coord, nodes := benchCluster(b, layout, 256, 4096, tc.rtt)
+			coord, nodes := benchCluster(b, layout, 256, 4096, tc.rtt, 0)
 			if tc.serial {
 				serialize(coord, nodes)
 			}
@@ -120,6 +122,51 @@ func BenchmarkRuntimeRound(b *testing.B) {
 			if coord.Epoch() != uint64(b.N) {
 				b.Fatalf("epoch %d after %d rounds", coord.Epoch(), b.N)
 			}
+		})
+	}
+}
+
+// BenchmarkDataPath compares the monolithic and chunked delta paths on
+// large-image rounds (paper layout, 256 pages x 4 KiB = 1 MiB per VM, heavy
+// write phase so deltas span many chunks). Run with -benchmem: the chunked
+// path recycles every frame, fold buffer, and pending accumulation through
+// internal/bufpool, so the allocation column is the headline number;
+// shipped-MB/s is reported as a custom metric. cmd/dvdcbench -datapath wraps
+// the same comparison and emits BENCH_datapath.json.
+func BenchmarkDataPath(b *testing.B) {
+	cases := []struct {
+		name  string
+		chunk int
+	}{
+		{"monolithic", -1},
+		{"chunked-64KiB", 0}, // wire.DefaultChunkSize, the shipping default
+		{"chunked-16KiB", 16 << 10},
+		{"chunked-256KiB", 256 << 10},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			layout, err := cluster.Paper12VM()
+			if err != nil {
+				b.Fatal(err)
+			}
+			coord, _ := benchCluster(b, layout, 256, 4096, 0, tc.chunk)
+			b.ReportAllocs()
+			b.ResetTimer()
+			var shipped int64
+			for i := 0; i < b.N; i++ {
+				if err := coord.Step(120); err != nil {
+					b.Fatal(err)
+				}
+				if err := coord.Checkpoint(); err != nil {
+					b.Fatal(err)
+				}
+				shipped += coord.RoundStats().BytesShipped
+			}
+			b.StopTimer()
+			if coord.Epoch() != uint64(b.N) {
+				b.Fatalf("epoch %d after %d rounds", coord.Epoch(), b.N)
+			}
+			b.ReportMetric(float64(shipped)/1e6/b.Elapsed().Seconds(), "shippedMB/s")
 		})
 	}
 }

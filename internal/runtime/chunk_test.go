@@ -1,0 +1,388 @@
+package runtime
+
+import (
+	"bytes"
+	"testing"
+
+	"dvdc/internal/checkpoint"
+	"dvdc/internal/cluster"
+	"dvdc/internal/core"
+	"dvdc/internal/transport"
+	"dvdc/internal/wire"
+)
+
+// chunkedCluster is testCluster with data-path options applied before Setup.
+func chunkedCluster(t *testing.T, layout *cluster.Layout, chunkSize int, compress bool) (*Coordinator, []*Node) {
+	t.Helper()
+	nodes := make([]*Node, layout.Nodes)
+	addrs := map[int]string{}
+	for i := range nodes {
+		n, err := NewNode("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[i] = n
+		addrs[i] = n.Addr()
+	}
+	t.Cleanup(func() {
+		for _, n := range nodes {
+			n.Close()
+		}
+	})
+	coord, err := NewCoordinator(layout, addrs, 16, 64, 12345)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(coord.Close)
+	coord.SetChunkSize(chunkSize)
+	coord.SetCompress(compress)
+	if err := coord.Setup(); err != nil {
+		t.Fatal(err)
+	}
+	return coord, nodes
+}
+
+// TestChunkedRoundMatchesMonolithic drives two identical clusters — one on
+// the legacy monolithic data path, one chunked with a chunk size small
+// enough that every delta splits — through the same workload and asserts
+// bit-identical committed state, matching epochs, and that the chunk
+// counters moved only on the chunked cluster.
+func TestChunkedRoundMatchesMonolithic(t *testing.T) {
+	for _, compress := range []bool{false, true} {
+		mono, _ := chunkedCluster(t, paperLayout(t), -1, compress)
+		chunked, _ := chunkedCluster(t, paperLayout(t), 256, compress)
+		for round := 0; round < 3; round++ {
+			for _, c := range []*Coordinator{mono, chunked} {
+				if err := c.Step(50); err != nil {
+					t.Fatal(err)
+				}
+				if err := c.Checkpoint(); err != nil {
+					t.Fatalf("compress=%v round %d: %v", compress, round, err)
+				}
+			}
+		}
+		mstates, err := mono.VMStates()
+		if err != nil {
+			t.Fatal(err)
+		}
+		cstates, err := chunked.VMStates()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for name, ms := range mstates {
+			cs, ok := cstates[name]
+			if !ok {
+				t.Fatalf("chunked cluster lost %q", name)
+			}
+			if ms != cs {
+				t.Errorf("compress=%v: %q diverges: mono %+v chunked %+v", compress, name, ms, cs)
+			}
+		}
+		if st := mono.RoundStats(); st.ChunksShipped != 0 {
+			t.Errorf("monolithic round reported %d chunks", st.ChunksShipped)
+		}
+		if st := chunked.RoundStats(); st.ChunksShipped == 0 {
+			t.Error("chunked round reported no chunks shipped")
+		}
+		var sent, received int64
+		for n := 0; n < chunked.Layout().Nodes; n++ {
+			st, err := chunked.NodeStats(n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sent += st.ChunksSent
+			received += st.ChunksReceived
+		}
+		if sent == 0 || received == 0 {
+			t.Errorf("chunk counters did not move: sent=%d received=%d", sent, received)
+		}
+	}
+}
+
+// TestChunkedRecoveryAndRebalance exercises the full failure lifecycle on
+// the chunked data path (which also drives reconstruction fetches, keeper
+// rebuilds, and installs through the chunk protocol): kill a node, recover,
+// repair, rebalance, and keep checkpointing — committed state must match
+// what the monolithic path would produce.
+func TestChunkedRecoveryAndRebalance(t *testing.T) {
+	coord, nodes := chunkedCluster(t, paperLayout(t), 512, false)
+	if err := coord.Step(80); err != nil {
+		t.Fatal(err)
+	}
+	if err := coord.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	committed, err := coord.Checksums()
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := 1
+	addr := nodes[victim].Addr()
+	nodes[victim].Close()
+	if _, err := coord.RecoverNode(victim); err != nil {
+		t.Fatal(err)
+	}
+	after, err := coord.Checksums()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, sum := range committed {
+		if after[name] != sum {
+			t.Errorf("%q checksum changed across chunked recovery", name)
+		}
+	}
+	// Repair the node on its old address and rebalance over the chunked path.
+	rn, err := NewNode(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { rn.Close() })
+	if err := coord.Repair(victim); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := coord.Rebalance(); err != nil {
+		t.Fatal(err)
+	}
+	if err := coord.Step(40); err != nil {
+		t.Fatal(err)
+	}
+	if err := coord.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDuplicateChunkFoldsOnce proves keeper-side idempotency: delivering the
+// same chunk frame twice folds it exactly once (a second XOR fold would
+// cancel the first), with the duplicate acknowledged and counted.
+func TestDuplicateChunkFoldsOnce(t *testing.T) {
+	layout := paperLayout(t)
+	coord, _ := chunkedCluster(t, layout, 0, false)
+	const pages, pageSize = 16, 64
+
+	// Pick group 0's first member and first parity node.
+	g := layout.Groups[0]
+	member := g.Members[0]
+	parityNode := g.ParityNodes[0]
+
+	// A reference keeper over the same (all-zero) initial images.
+	initial := map[string][]byte{}
+	for _, m := range g.Members {
+		initial[m] = make([]byte, pages*pageSize)
+	}
+	ref, err := core.NewMKeeper(0, 0, layout.Tolerance, initial)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// One two-chunk stream for epoch 1, second chunk sent twice.
+	img := pages * pageSize
+	data := make([]byte, img/2)
+	for i := range data {
+		data[i] = byte(i*7 + 3)
+	}
+	chunks := []wire.Chunk{
+		{Offset: 0, Total: uint64(img), Index: 0, Count: 2, RawLen: uint32(len(data)), Data: data},
+		{Offset: uint64(img / 2), Total: uint64(img), Index: 1, Count: 2, RawLen: uint32(len(data)), Data: data},
+	}
+	conn, err := transport.Dial(coord.addrs[parityNode])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	send := func(c *wire.Chunk) {
+		t.Helper()
+		resp, err := conn.Call(&wire.Message{
+			Type: wire.MsgDeltaChunk, Epoch: 1, Group: 0, VM: member,
+			Payload: wire.EncodeChunk(c),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Type != wire.MsgDeltaChunkOK {
+			t.Fatalf("reply %v", resp.Type)
+		}
+	}
+	send(&chunks[0])
+	send(&chunks[1])
+	send(&chunks[1]) // exact re-delivery
+	if resp, err := conn.Call(&wire.Message{Type: wire.MsgCommit, Epoch: 1}); err != nil || resp.Type != wire.MsgCommitOK {
+		t.Fatalf("commit: %v %v", resp, err)
+	}
+
+	// Reference folds each chunk once.
+	pendingBuf := make([]byte, img)
+	for _, c := range chunks {
+		if err := ref.FoldInto(pendingBuf, member, int(c.Offset), c.Data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ref.CommitPending(pendingBuf, map[string]uint64{member: 1}); err != nil {
+		t.Fatal(err)
+	}
+
+	pb, err := conn.Call(&wire.Message{Type: wire.MsgGetParity, Group: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(pb.Payload, ref.Parity()) {
+		t.Fatal("duplicate chunk changed parity: double fold detected")
+	}
+	st, err := coord.NodeStats(parityNode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.DupChunks != 1 {
+		t.Errorf("DupChunks = %d, want 1", st.DupChunks)
+	}
+	if st.ChunksReceived != 2 {
+		t.Errorf("ChunksReceived = %d, want 2", st.ChunksReceived)
+	}
+}
+
+// TestReadChunkServesImagesAndParity drives the chunked read protocol
+// directly: image and parity reads must reassemble to exactly what the
+// monolithic MsgGetImage / MsgGetParity return.
+func TestReadChunkServesImagesAndParity(t *testing.T) {
+	layout := paperLayout(t)
+	coord, _ := chunkedCluster(t, layout, 0, false)
+	if err := coord.Step(60); err != nil {
+		t.Fatal(err)
+	}
+	if err := coord.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	v := layout.VMs[0]
+	conn, err := transport.Dial(coord.addrs[v.Node])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	whole, err := conn.Call(&wire.Message{Type: wire.MsgGetImage, VM: v.Name})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const cs = 300 // deliberately not a divisor of the image size
+	asm := &wire.Assembler{}
+	count := wire.ChunkCount(len(whole.Payload), cs)
+	for i := 0; i < count; i++ {
+		resp, err := conn.Call(&wire.Message{
+			Type: wire.MsgReadChunk, Text: "image", VM: v.Name,
+			Arg: uint64(i)<<32 | cs,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Epoch != whole.Epoch {
+			t.Fatalf("chunk read epoch %d, image epoch %d", resp.Epoch, whole.Epoch)
+		}
+		c, err := wire.DecodeChunk(resp.Payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := asm.Add(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := asm.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, whole.Payload) {
+		t.Fatal("chunked image read diverges from monolithic")
+	}
+	// Out-of-range index and unknown source must error cleanly.
+	if _, err := conn.Call(&wire.Message{Type: wire.MsgReadChunk, Text: "image", VM: v.Name, Arg: uint64(count)<<32 | cs}); err == nil {
+		t.Fatal("out-of-range chunk index accepted")
+	}
+	if _, err := conn.Call(&wire.Message{Type: wire.MsgReadChunk, Text: "disk", VM: v.Name, Arg: cs}); err == nil {
+		t.Fatal("unknown read source accepted")
+	}
+
+	g := layout.Groups[v.Group]
+	pconn, err := transport.Dial(coord.addrs[g.ParityNodes[0]])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pconn.Close()
+	pwhole, err := pconn.Call(&wire.Message{Type: wire.MsgGetParity, Group: int32(v.Group)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pasm := &wire.Assembler{}
+	pcount := wire.ChunkCount(len(pwhole.Payload), cs)
+	for i := 0; i < pcount; i++ {
+		resp, err := pconn.Call(&wire.Message{
+			Type: wire.MsgReadChunk, Text: "parity", Group: int32(v.Group),
+			Arg: uint64(i)<<32 | cs,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Arg != pwhole.Arg {
+			t.Fatalf("parity chunk read index %d, monolithic %d", resp.Arg, pwhole.Arg)
+		}
+		c, err := wire.DecodeChunk(resp.Payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := pasm.Add(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pgot, err := pasm.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(pgot, pwhole.Payload) {
+		t.Fatal("chunked parity read diverges from monolithic")
+	}
+}
+
+// TestDeltaChunksCoverDelta pins the splitter: chunks must tile exactly the
+// delta's dirty bytes at image offsets, within the configured size.
+func TestDeltaChunksCoverDelta(t *testing.T) {
+	const pages, pageSize = 8, 128
+	d := &core.Delta{VMID: "vm", Epoch: 1}
+	want := make(map[int]byte)                // image offset -> expected byte
+	for _, pi := range []int{0, 1, 2, 5, 7} { // two runs + a tail page
+		data := make([]byte, pageSize)
+		for j := range data {
+			data[j] = byte(pi*31 + j)
+			want[pi*pageSize+j] = data[j]
+		}
+		d.Pages = append(d.Pages, checkpoint.PageRecord{Index: pi, Data: data})
+	}
+	chunks, release := deltaChunks(d, pageSize, pages*pageSize, 100)
+	defer release()
+	got := make(map[int]byte)
+	for _, c := range chunks {
+		if len(c.Data) > 100 {
+			t.Fatalf("chunk of %d bytes exceeds chunk size", len(c.Data))
+		}
+		if int(c.Total) != pages*pageSize {
+			t.Fatalf("chunk Total = %d", c.Total)
+		}
+		for j, b := range c.Data {
+			off := int(c.Offset) + j
+			if _, dup := got[off]; dup {
+				t.Fatalf("offset %d covered twice", off)
+			}
+			got[off] = b
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("chunks cover %d bytes, delta has %d", len(got), len(want))
+	}
+	for off, b := range want {
+		if got[off] != b {
+			t.Fatalf("offset %d: got %#x want %#x", off, got[off], b)
+		}
+	}
+
+	// Empty delta: a single zero-length chunk still carries the shape.
+	empty, erel := deltaChunks(&core.Delta{VMID: "vm", Epoch: 2}, pageSize, pages*pageSize, 100)
+	defer erel()
+	if len(empty) != 1 || empty[0].Count != 1 || empty[0].RawLen != 0 {
+		t.Fatalf("empty delta chunks = %+v", empty)
+	}
+}

@@ -1,0 +1,121 @@
+package runtime
+
+import (
+	"sort"
+
+	"dvdc/internal/bufpool"
+	"dvdc/internal/checkpoint"
+	"dvdc/internal/core"
+	"dvdc/internal/obs"
+	"dvdc/internal/wire"
+)
+
+// chunkPipelineWidth bounds the in-flight chunk frames per (stream, peer):
+// enough to overlap network transfer with the receiver's per-chunk parity
+// fold, small enough that one stream cannot monopolize a connection pool.
+const chunkPipelineWidth = 4
+
+// resolveChunkSize maps the configuration encoding to an effective chunk
+// size: 0 selects the default chunked pipeline, a negative value the legacy
+// monolithic data path (returned as 0 = "no chunking"), positive values pass
+// through.
+func resolveChunkSize(v int) int {
+	switch {
+	case v == 0:
+		return wire.DefaultChunkSize
+	case v < 0:
+		return 0
+	default:
+		return v
+	}
+}
+
+// deltaChunks renders a captured delta as image-coordinate chunk frames:
+// dirty pages are sorted, contiguous page runs merged, and each run cut into
+// pieces of at most chunkSize bytes. Offset/Total address the member's image
+// rather than a packed stream, so a keeper folds each chunk into its pending
+// parity buffer the moment it arrives — no reassembly, no delta-sized buffer
+// on either side. Chunk data lives in pooled buffers; call release once the
+// chunks (and any encodings aliasing them) are out of use. An empty delta
+// yields one zero-length chunk so the epoch still reaches the keeper.
+func deltaChunks(d *core.Delta, pageSize, imageBytes, chunkSize int) ([]wire.Chunk, func()) {
+	pages := append([]checkpoint.PageRecord(nil), d.Pages...)
+	sort.Slice(pages, func(i, j int) bool { return pages[i].Index < pages[j].Index })
+
+	// First pass: byte ranges only. A pathological chunk size could exceed
+	// the wire's stream bound; doubling until it fits terminates quickly and
+	// only ever runs under degenerate configurations.
+	var chunks []wire.Chunk
+	for {
+		chunks = chunks[:0]
+		for i := 0; i < len(pages); {
+			j := i
+			for j+1 < len(pages) && pages[j+1].Index == pages[j].Index+1 {
+				j++
+			}
+			runOff := pages[i].Index * pageSize
+			runLen := (j - i + 1) * pageSize
+			for at := 0; at < runLen; at += chunkSize {
+				n := min(chunkSize, runLen-at)
+				chunks = append(chunks, wire.Chunk{
+					Offset: uint64(runOff + at),
+					Total:  uint64(imageBytes),
+					RawLen: uint32(n),
+				})
+			}
+			i = j + 1
+		}
+		if len(chunks) <= wire.MaxChunkCount {
+			break
+		}
+		chunkSize *= 2
+	}
+
+	// Second pass: copy page bytes into pooled chunk buffers. A chunk may
+	// span several pages of its run.
+	var bufs [][]byte
+	for ci := range chunks {
+		c := &chunks[ci]
+		n := int(c.RawLen)
+		buf := bufpool.Get(n)
+		bufs = append(bufs, buf)
+		off := int(c.Offset)
+		for k := 0; k < n; {
+			pi := (off + k) / pageSize
+			ri := sort.Search(len(pages), func(x int) bool { return pages[x].Index >= pi })
+			po := (off + k) % pageSize
+			k += copy(buf[k:], pages[ri].Data[po:])
+		}
+		c.Data = buf
+	}
+	if len(chunks) == 0 {
+		chunks = append(chunks, wire.Chunk{Total: uint64(imageBytes), Count: 1})
+	}
+	count := uint32(len(chunks))
+	for i := range chunks {
+		chunks[i].Index = uint32(i)
+		chunks[i].Count = count
+	}
+	release := func() {
+		for _, b := range bufs {
+			bufpool.Put(b)
+		}
+	}
+	return chunks, release
+}
+
+// encodePooledChunk renders a chunk's wire encoding into a pooled buffer
+// sized so the append never reallocates out of its size class.
+func encodePooledChunk(c *wire.Chunk) []byte {
+	return wire.AppendChunk(bufpool.Get(wire.ChunkHeaderLen + len(c.Data))[:0], c)
+}
+
+// mountBufpoolStats exposes the process-wide buffer pool counters on a
+// registry. Counters are global to the pool, so re-binding from every node
+// sharing a registry is idempotent (CounterFunc replaces the reader).
+func mountBufpoolStats(reg *obs.Registry) {
+	reg.CounterFunc("dvdc_bufpool_gets_total", func() float64 { return float64(bufpool.Snapshot().Gets) })
+	reg.CounterFunc("dvdc_bufpool_misses_total", func() float64 { return float64(bufpool.Snapshot().Misses) })
+	reg.CounterFunc("dvdc_bufpool_puts_total", func() float64 { return float64(bufpool.Snapshot().Puts) })
+	reg.CounterFunc("dvdc_bufpool_oversize_total", func() float64 { return float64(bufpool.Snapshot().Oversize) })
+}

@@ -37,6 +37,12 @@ type NodeConfig struct {
 	VMs      []VMConfig     `json:"vms"`
 	Keepers  []KeeperConfig `json:"keepers"`
 	Compress bool           `json:"compress"` // flate-compress delta shipments (Sec. IV-C)
+
+	// ChunkSize selects the data-path granularity: 0 picks the default
+	// chunked pipeline (wire.DefaultChunkSize), a positive value sets the
+	// chunk payload size, and a negative value falls back to the legacy
+	// monolithic shipments (whole delta / image per message).
+	ChunkSize int `json:"chunk_size,omitempty"`
 }
 
 // NodeStats are a node's protocol counters, served via MsgStats.
@@ -44,6 +50,18 @@ type NodeStats struct {
 	DeltasSent     int64 `json:"deltas_sent"`
 	DeltaRawBytes  int64 `json:"delta_raw_bytes"`  // uncompressed delta payload
 	DeltaWireBytes int64 `json:"delta_wire_bytes"` // bytes actually shipped
+
+	// Chunked data path counters.
+	ChunksSent     int64 `json:"chunks_sent"`     // delta chunks shipped to parity peers
+	ChunksReceived int64 `json:"chunks_received"` // delta chunks folded as keeper
+	DupChunks      int64 `json:"dup_chunks"`      // idempotently dropped re-deliveries
+	FoldNanos      int64 `json:"fold_nanos"`      // cumulative chunk fold time as keeper
+}
+
+// prepareSummary rides a MsgPrepareOK reply's Text field so the coordinator
+// can aggregate chunk counts next to the wire bytes Arg already carries.
+type prepareSummary struct {
+	Chunks int64 `json:"chunks"`
 }
 
 // encodeJSON marshals a config for the wire's Text field.

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"dvdc/internal/bufpool"
 	"dvdc/internal/cluster"
 	"dvdc/internal/metrics"
 	"dvdc/internal/obs"
@@ -45,6 +46,7 @@ type Coordinator struct {
 	epoch          uint64
 	seedBase       int64
 	compress       bool
+	chunkSize      int // data-path granularity: 0 default chunked, <0 monolithic
 	rpcTimeout     time.Duration
 	fanoutW        int
 	commitRetries  int
@@ -94,6 +96,15 @@ func NewCoordinator(layout *cluster.Layout, addrs map[int]string, pages, pageSiz
 // SetCompress enables flate compression of delta shipments; call before
 // Setup (the flag rides the node configuration).
 func (c *Coordinator) SetCompress(on bool) { c.compress = on }
+
+// SetChunkSize selects the data-path granularity: 0 (the default) means the
+// chunked pipeline at wire.DefaultChunkSize, a positive value sets the chunk
+// payload size, and a negative value falls back to the legacy monolithic
+// shipments. Call before Setup — the setting rides the node configuration.
+func (c *Coordinator) SetChunkSize(n int) { c.chunkSize = n }
+
+// effectiveChunkSize resolves the configured granularity (0 = monolithic).
+func (c *Coordinator) effectiveChunkSize() int { return resolveChunkSize(c.chunkSize) }
 
 // SetRPCTimeout bounds every coordinator RPC (0 disables deadlines). Applies
 // to connections opened after the call, so set it before the first round.
@@ -330,7 +341,7 @@ func (c *Coordinator) vmConfig(v cluster.VMPlacement) VMConfig {
 
 // nodeConfig renders the full initial assignment for one node.
 func (c *Coordinator) nodeConfig(n int) NodeConfig {
-	cfg := NodeConfig{NodeID: n, Peers: c.addrs, Compress: c.compress}
+	cfg := NodeConfig{NodeID: n, Peers: c.addrs, Compress: c.compress, ChunkSize: c.chunkSize}
 	for _, v := range c.layout.VMs {
 		if v.Node == n {
 			cfg.VMs = append(cfg.VMs, c.vmConfig(v))
@@ -431,6 +442,12 @@ func (c *Coordinator) Checkpoint() error {
 				return fmt.Errorf("runtime: node %d replied %v to prepare", node, resp.Type)
 			}
 			stats.BytesShipped += int64(resp.Arg)
+			if resp.Text != "" {
+				var ps prepareSummary
+				if decodeJSON(resp.Text, &ps) == nil {
+					stats.ChunksShipped += ps.Chunks
+				}
+			}
 			return nil
 		})
 	prep.FinishErr(prepErr)
@@ -534,6 +551,51 @@ func (c *Coordinator) recordRound(r RoundStats) {
 	}
 	reg.Counter("dvdc_rounds_total", "result", result).Inc()
 	reg.Histogram("dvdc_round_shipped_bytes", obs.ByteBuckets()).Observe(float64(r.BytesShipped))
+}
+
+// installVM pushes a rebuilt or evicted committed image to its new host.
+// With the chunked data path active the image travels as concurrent
+// MsgInstallChunk frames followed by a finalizing MsgInstall (Arg=1, no
+// payload); otherwise one monolithic MsgInstall carries the whole image.
+func (c *Coordinator) installVM(ctx obs.SpanContext, node int, vmName, text string, img []byte) error {
+	cs := c.effectiveChunkSize()
+	if cs <= 0 {
+		resp, err := c.call(node, &wire.Message{Type: wire.MsgInstall, VM: vmName, Text: text, Payload: img, Trace: ctx.Trace, Span: ctx.Span})
+		if err != nil {
+			return err
+		}
+		if resp.Type != wire.MsgInstallOK {
+			return fmt.Errorf("runtime: node %d replied %v to install", node, resp.Type)
+		}
+		return nil
+	}
+	count := wire.ChunkCount(len(img), cs)
+	if err := parallelDo(count, chunkPipelineWidth, func(i int) error {
+		ch, err := wire.ChunkOf(img, i, cs)
+		if err != nil {
+			return err
+		}
+		enc := encodePooledChunk(&ch)
+		resp, err := c.call(node, &wire.Message{Type: wire.MsgInstallChunk, VM: vmName, Payload: enc, Trace: ctx.Trace, Span: ctx.Span})
+		bufpool.Put(enc) // Call wrote the frame before returning
+		if err != nil {
+			return err
+		}
+		if resp.Type != wire.MsgInstallChunkOK {
+			return fmt.Errorf("runtime: node %d replied %v to install-chunk", node, resp.Type)
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	resp, err := c.call(node, &wire.Message{Type: wire.MsgInstall, VM: vmName, Text: text, Arg: 1, Trace: ctx.Trace, Span: ctx.Span})
+	if err != nil {
+		return err
+	}
+	if resp.Type != wire.MsgInstallOK {
+		return fmt.Errorf("runtime: node %d replied %v to install", node, resp.Type)
+	}
+	return nil
 }
 
 // Checksums fetches the committed-image checksum of every VM, concurrently.
@@ -774,7 +836,7 @@ func (c *Coordinator) RecoverNodes(failed ...int) (plan *cluster.Plan, err error
 			if err != nil {
 				return err
 			}
-			if _, err := c.call(s.TargetNode, &wire.Message{Type: wire.MsgInstall, VM: s.VM, Text: itext, Payload: resp.Payload, Trace: gctx.Trace, Span: gctx.Span}); err != nil {
+			if err := c.installVM(gctx, s.TargetNode, s.VM, itext, resp.Payload); err != nil {
 				return fmt.Errorf("runtime: install %q on node %d: %w", s.VM, s.TargetNode, err)
 			}
 			homes[s.VM] = s.TargetNode
@@ -932,9 +994,9 @@ func (c *Coordinator) Repair(node int) error {
 	c.mu.Lock()
 	delete(c.dead, node)
 	c.mu.Unlock()
-	// The rejoined daemon needs a fresh configuration (peers, compression);
-	// it hosts nothing until rebalance moves VMs or parity to it.
-	cfg := NodeConfig{NodeID: node, Peers: c.addrs, Compress: c.compress}
+	// The rejoined daemon needs a fresh configuration (peers, compression,
+	// chunking); it hosts nothing until rebalance moves VMs or parity to it.
+	cfg := NodeConfig{NodeID: node, Peers: c.addrs, Compress: c.compress, ChunkSize: c.chunkSize}
 	text, err := encodeJSON(cfg)
 	if err != nil {
 		return err
@@ -992,7 +1054,7 @@ func (c *Coordinator) Rebalance() (plan *cluster.Plan, err error) {
 		if err != nil {
 			return err
 		}
-		if _, err := c.call(s.TargetNode, &wire.Message{Type: wire.MsgInstall, VM: s.VM, Text: text, Payload: resp.Payload, Trace: rctx.Trace, Span: rctx.Span}); err != nil {
+		if err := c.installVM(rctx, s.TargetNode, s.VM, text, resp.Payload); err != nil {
 			return fmt.Errorf("runtime: install %q on node %d: %w", s.VM, s.TargetNode, err)
 		}
 		return nil

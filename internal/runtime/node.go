@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"dvdc/internal/bufpool"
 	"dvdc/internal/core"
 	"dvdc/internal/obs"
 	"dvdc/internal/transport"
@@ -30,8 +31,10 @@ type Node struct {
 	peers      map[int]string
 	pools      map[int]*transport.Pool
 	members    map[string]*memberState
-	keepers    map[int]*keeperState // by group (orthogonality: at most one block of a group per node)
+	keepers    map[int]*keeperState       // by group (orthogonality: at most one block of a group per node)
+	installs   map[string]*wire.Assembler // VM -> image chunks staged by MsgInstallChunk
 	compress   bool
+	chunkSize  int // effective chunk payload size; 0 = monolithic data path
 	rpcTimeout time.Duration
 	fanout     int
 	dialer     transport.DialFunc
@@ -54,7 +57,37 @@ type keeperState struct {
 	mu     sync.Mutex
 	keeper *core.MKeeper
 	cfg    KeeperConfig
-	staged map[string]*core.Delta // member -> delta awaiting commit
+	staged map[string]*core.Delta // member -> delta awaiting commit (monolithic path)
+
+	// Chunked data path: arriving delta chunks fold immediately into pending
+	// (a pooled accumulation buffer the size of the parity block, allocated
+	// lazily on first chunk), and streams tracks per-member delivery so
+	// duplicates are dropped idempotently and commit can verify completeness.
+	pending []byte
+	streams map[string]*chunkStream
+}
+
+// chunkStream tracks one member's in-flight delta chunk stream on a keeper.
+// A re-delivered index (the transport retries once over a fresh dial) must
+// NOT fold twice — XOR would cancel it back out — so delivery is recorded
+// per chunk index.
+type chunkStream struct {
+	epoch uint64
+	count uint32
+	seen  []bool
+	got   uint32
+}
+
+// dropPending discards a keeper's chunked-round state (abort/rollback).
+// Caller holds ks.mu.
+func (ks *keeperState) dropPending() {
+	if ks.pending != nil {
+		bufpool.Put(ks.pending)
+		ks.pending = nil
+	}
+	if len(ks.streams) > 0 {
+		ks.streams = map[string]*chunkStream{}
+	}
 }
 
 // NodeOptions customizes how a node daemon touches the network. The zero
@@ -83,9 +116,13 @@ func NewNodeWith(addr string, opts NodeOptions) (*Node, error) {
 		pools:    map[int]*transport.Pool{},
 		members:  map[string]*memberState{},
 		keepers:  map[int]*keeperState{},
+		installs: map[string]*wire.Assembler{},
 		dialer:   opts.Dialer,
 		tracer:   opts.Tracer,
 		registry: opts.Registry,
+	}
+	if opts.Registry != nil {
+		mountBufpoolStats(opts.Registry)
 	}
 	s, err := transport.ListenWith(addr, n.handle, opts.Listen)
 	if err != nil {
@@ -226,6 +263,12 @@ func (n *Node) dispatch(ctx obs.SpanContext, req *wire.Message) (*wire.Message, 
 		return n.onAbort(req)
 	case wire.MsgDelta:
 		return n.onDelta(req)
+	case wire.MsgDeltaChunk:
+		return n.onDeltaChunk(req)
+	case wire.MsgReadChunk:
+		return n.onReadChunk(req)
+	case wire.MsgInstallChunk:
+		return n.onInstallChunk(req)
 	case wire.MsgGetImage:
 		return n.onGetImage(req)
 	case wire.MsgGetParity:
@@ -263,6 +306,8 @@ func (n *Node) onConfigure(req *wire.Message) (*wire.Message, error) {
 	n.id = cfg.NodeID
 	n.peers = cfg.Peers
 	n.compress = cfg.Compress
+	n.chunkSize = resolveChunkSize(cfg.ChunkSize)
+	n.installs = map[string]*wire.Assembler{}
 	// Drop pools whose peer moved to a new address.
 	for id, p := range n.pools {
 		if addr, ok := cfg.Peers[id]; !ok || addr != p.Addr() {
@@ -302,7 +347,12 @@ func (n *Node) onConfigure(req *wire.Message) (*wire.Message, error) {
 		if err != nil {
 			return nil, err
 		}
-		n.keepers[kc.Group] = &keeperState{keeper: k, cfg: kc, staged: map[string]*core.Delta{}}
+		n.keepers[kc.Group] = &keeperState{
+			keeper:  k,
+			cfg:     kc,
+			staged:  map[string]*core.Delta{},
+			streams: map[string]*chunkStream{},
+		}
 	}
 	return &wire.Message{Type: wire.MsgConfigureOK}, nil
 }
@@ -326,25 +376,33 @@ func (n *Node) onStep(req *wire.Message) (*wire.Message, error) {
 	return &wire.Message{Type: wire.MsgStepOK}, nil
 }
 
+// shipment is one member's captured delta plus the routing and geometry the
+// ship phase needs with no locks held.
+type shipment struct {
+	delta      *core.Delta
+	group      int
+	parity     []int
+	pageSize   int
+	imageBytes int
+}
+
 // onPrepare captures a delta for every hosted member and ships it to every
 // parity node of the member's group, staging everything for commit. Members
 // are captured and shipped concurrently: each holds only its own lock during
 // capture, and shipping happens with no locks held, so deltas bound for
-// distinct parity peers overlap on the wire. The reply's Arg carries the
-// wire bytes shipped, so the coordinator can aggregate per-round volume.
+// distinct parity peers overlap on the wire. With the (default) chunked data
+// path the delta travels as fixed-size chunk frames with several in flight
+// per peer, so transfer pipelines with the keeper's per-chunk parity folds.
+// The reply's Arg carries the wire bytes shipped and Text a prepareSummary,
+// so the coordinator can aggregate per-round volume.
 func (n *Node) onPrepare(ctx obs.SpanContext, req *wire.Message) (*wire.Message, error) {
 	members := n.snapshotMembers()
 	n.mu.Lock()
-	id, compress, fan := n.id, n.compress, n.fanout
+	id, compress, fan, cs := n.id, n.compress, n.fanout, n.chunkSize
 	tr := n.tracer
 	n.mu.Unlock()
 	lane := fmt.Sprintf("node%d", id)
 
-	type shipment struct {
-		delta  *core.Delta
-		group  int
-		parity []int
-	}
 	ships := make([]shipment, len(members))
 	// Phase 1: capture and stage under each member's own lock. A failure
 	// leaves earlier members staged; the coordinator's abort undoes them.
@@ -360,7 +418,13 @@ func (n *Node) onPrepare(ctx obs.SpanContext, req *wire.Message) (*wire.Message,
 			return err
 		}
 		ms.staged = d
-		ships[i] = shipment{delta: d, group: ms.cfg.Group, parity: append([]int(nil), ms.cfg.ParityNodes...)}
+		ships[i] = shipment{
+			delta:      d,
+			group:      ms.cfg.Group,
+			parity:     append([]int(nil), ms.cfg.ParityNodes...),
+			pageSize:   ms.cfg.PageSize,
+			imageBytes: ms.cfg.Pages * ms.cfg.PageSize,
+		}
 		return nil
 	}); err != nil {
 		return nil, err
@@ -369,9 +433,14 @@ func (n *Node) onPrepare(ctx obs.SpanContext, req *wire.Message) (*wire.Message,
 	// member's shipment gets a span so the timeline shows deltas to distinct
 	// parity peers overlapping; the shared message carries the ship span's
 	// context (the pool re-stamps Span per RPC attempt on its own copy).
-	var wireBytes atomic.Int64
+	var wireBytes, chunksSent atomic.Int64
 	if err := parallelDo(len(members), fan, func(i int) (shipErr error) {
 		sh := ships[i]
+		span := tr.Child(ctx, "ship "+sh.delta.VMID, lane)
+		defer func() { span.FinishErr(shipErr) }()
+		if cs > 0 {
+			return n.shipChunked(span.ContextOr(ctx), span, sh, cs, compress, &wireBytes, &chunksSent)
+		}
 		payload := encodeDelta(sh.delta, compress)
 		peers := int64(len(sh.parity))
 		n.statsMu.Lock()
@@ -380,9 +449,7 @@ func (n *Node) onPrepare(ctx obs.SpanContext, req *wire.Message) (*wire.Message,
 		n.stats.DeltaWireBytes += int64(len(payload)) * peers
 		n.statsMu.Unlock()
 		wireBytes.Add(int64(len(payload)) * peers)
-		span := tr.Child(ctx, "ship "+sh.delta.VMID, lane)
 		span.SetAttr("bytes", fmt.Sprint(len(payload)))
-		defer func() { span.FinishErr(shipErr) }()
 		sctx := span.ContextOr(ctx)
 		msg := &wire.Message{
 			Type: wire.MsgDelta, Epoch: sh.delta.Epoch,
@@ -402,7 +469,81 @@ func (n *Node) onPrepare(ctx obs.SpanContext, req *wire.Message) (*wire.Message,
 	}); err != nil {
 		return nil, err
 	}
-	return &wire.Message{Type: wire.MsgPrepareOK, Epoch: req.Epoch, Arg: uint64(wireBytes.Load())}, nil
+	text, err := encodeJSON(prepareSummary{Chunks: chunksSent.Load()})
+	if err != nil {
+		return nil, err
+	}
+	return &wire.Message{Type: wire.MsgPrepareOK, Epoch: req.Epoch, Arg: uint64(wireBytes.Load()), Text: text}, nil
+}
+
+// shipChunked ships one member's delta to every parity peer of its group as
+// chunk frames. Chunks follow dirty-page runs, so a scattered delta yields
+// many frames far smaller than chunkSize; shipping each as its own message
+// would make framing and syscalls dominate the round. Frames are therefore
+// packed back-to-back into pooled batches of about chunkSize wire bytes, one
+// message per batch — every chunk inside keeps its own offset and CRC and is
+// still folded individually on arrival. Batches are encoded once and shared
+// read-only across peers; per peer, up to chunkPipelineWidth batches are in
+// flight so the network transfer overlaps the keeper's incremental folds.
+func (n *Node) shipChunked(sctx obs.SpanContext, span *obs.Active, sh shipment, chunkSize int, compress bool, wireBytes, chunksSent *atomic.Int64) error {
+	chunks, release := deltaChunks(sh.delta, sh.pageSize, sh.imageBytes, chunkSize)
+	defer release()
+	budget := chunkSize + wire.ChunkHeaderLen
+	var raw, wireB int64
+	var batches [][]byte
+	for i := range chunks {
+		c := &chunks[i]
+		raw += int64(c.RawLen)
+		if compress {
+			c.Deflate()
+		}
+		need := wire.ChunkHeaderLen + len(c.Data)
+		if k := len(batches); k == 0 || len(batches[k-1])+need > budget {
+			// A frame larger than the budget (deltaChunks widened a degenerate
+			// chunk size to honor the stream bound) gets a batch of its own.
+			batches = append(batches, bufpool.Get(max(budget, need))[:0])
+		}
+		k := len(batches) - 1
+		batches[k] = wire.AppendChunk(batches[k], c)
+	}
+	defer func() {
+		for _, b := range batches {
+			bufpool.Put(b)
+		}
+	}()
+	for _, b := range batches {
+		wireB += int64(len(b))
+	}
+	peers := int64(len(sh.parity))
+	n.statsMu.Lock()
+	n.stats.DeltasSent += peers
+	n.stats.DeltaRawBytes += raw * peers
+	n.stats.DeltaWireBytes += wireB * peers
+	n.stats.ChunksSent += int64(len(chunks)) * peers
+	n.statsMu.Unlock()
+	wireBytes.Add(wireB * peers)
+	chunksSent.Add(int64(len(chunks)) * peers)
+	span.SetAttr("bytes", fmt.Sprint(wireB))
+	span.SetAttr("chunks", fmt.Sprint(len(chunks)))
+	span.SetAttr("batches", fmt.Sprint(len(batches)))
+	return parallelDo(len(sh.parity), 0, func(j int) error {
+		peer := sh.parity[j]
+		return parallelDo(len(batches), chunkPipelineWidth, func(k int) error {
+			reply, err := n.callPeer(peer, &wire.Message{
+				Type: wire.MsgDeltaChunk, Epoch: sh.delta.Epoch,
+				Group: int32(sh.group), VM: sh.delta.VMID, Payload: batches[k],
+				Trace: sctx.Trace, Span: sctx.Span,
+			})
+			if err != nil {
+				return fmt.Errorf("runtime: shipping chunk batch %d/%d of %q to node %d: %w",
+					k+1, len(batches), sh.delta.VMID, peer, err)
+			}
+			if reply.Type != wire.MsgDeltaChunkOK {
+				return fmt.Errorf("runtime: unexpected reply %v to delta chunk", reply.Type)
+			}
+			return nil
+		})
+	})
 }
 
 func (n *Node) onDelta(req *wire.Message) (*wire.Message, error) {
@@ -424,6 +565,98 @@ func (n *Node) onDelta(req *wire.Message) (*wire.Message, error) {
 	}
 	ks.staged[d.VMID] = d
 	return &wire.Message{Type: wire.MsgDeltaOK, Epoch: d.Epoch}, nil
+}
+
+// onDeltaChunk folds delta chunks straight into the keeper's pending
+// accumulation buffer — the streaming half of the chunked data path. The
+// payload carries one or more self-delimiting chunk frames (the sender
+// batches small frames into one message); each is verified and folded
+// individually. The fold happens off the live parity block so two-phase
+// semantics hold: abort drops the pending buffer, commit lands it atomically.
+// Redelivered chunks (the transport retries once over a fresh dial when a
+// connection drops, resending whole batches) are detected by index and
+// skipped without folding again, since a second XOR fold would cancel the
+// first.
+func (n *Node) onDeltaChunk(req *wire.Message) (*wire.Message, error) {
+	n.mu.Lock()
+	ks, ok := n.keepers[int(req.Group)]
+	id := n.id
+	reg := n.registry
+	n.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("runtime: node %d keeps no parity for group %d", id, req.Group)
+	}
+	ks.mu.Lock()
+	defer ks.mu.Unlock()
+	// An empty payload decodes to a short-header error on the first
+	// iteration, so a batch always contains at least one frame.
+	for buf := req.Payload; ; {
+		c, adv, err := wire.DecodeChunkPrefix(buf)
+		if err != nil {
+			return nil, err
+		}
+		if err := n.foldChunk(ks, reg, req, &c); err != nil {
+			return nil, err
+		}
+		if buf = buf[adv:]; len(buf) == 0 {
+			break
+		}
+	}
+	return &wire.Message{Type: wire.MsgDeltaChunkOK, Epoch: req.Epoch, VM: req.VM}, nil
+}
+
+// foldChunk validates one decoded chunk against its stream and folds it into
+// the keeper's pending buffer. Caller holds ks.mu.
+func (n *Node) foldChunk(ks *keeperState, reg *obs.Registry, req *wire.Message, c *wire.Chunk) error {
+	k := ks.keeper
+	if int(c.Total) != k.Size() {
+		return fmt.Errorf("runtime: chunk stream for %q describes a %d-byte image, group %d uses %d",
+			req.VM, c.Total, req.Group, k.Size())
+	}
+	if req.Epoch != k.Epoch(req.VM)+1 {
+		return fmt.Errorf("runtime: chunk stream for %q at epoch %d, keeper folded %d",
+			req.VM, req.Epoch, k.Epoch(req.VM))
+	}
+	st := ks.streams[req.VM]
+	if st == nil {
+		st = &chunkStream{epoch: req.Epoch, count: c.Count, seen: make([]bool, c.Count)}
+		ks.streams[req.VM] = st
+	} else if st.epoch != req.Epoch || st.count != c.Count {
+		return fmt.Errorf("runtime: conflicting chunk stream for %q (epoch %d, %d chunks; had epoch %d, %d)",
+			req.VM, req.Epoch, c.Count, st.epoch, st.count)
+	}
+	if st.seen[c.Index] {
+		n.statsMu.Lock()
+		n.stats.DupChunks++
+		n.statsMu.Unlock()
+		return nil
+	}
+	data, err := c.Inflate(bufpool.Get)
+	if err != nil {
+		return err
+	}
+	if ks.pending == nil {
+		ks.pending = bufpool.GetZero(k.Size())
+	}
+	start := time.Now()
+	ferr := k.FoldInto(ks.pending, req.VM, int(c.Offset), data)
+	foldD := time.Since(start)
+	if c.Flags&wire.ChunkFlate != 0 {
+		bufpool.Put(data) // inflated copy is ours; raw chunks alias req.Payload
+	}
+	if ferr != nil {
+		return ferr
+	}
+	st.seen[c.Index] = true
+	st.got++
+	n.statsMu.Lock()
+	n.stats.ChunksReceived++
+	n.stats.FoldNanos += foldD.Nanoseconds()
+	n.statsMu.Unlock()
+	if reg != nil {
+		reg.Histogram("dvdc_chunk_fold_seconds", obs.LatencyBuckets()).Observe(foldD.Seconds())
+	}
+	return nil
 }
 
 func (n *Node) onCommit(ctx obs.SpanContext, req *wire.Message) (*wire.Message, error) {
@@ -449,6 +682,30 @@ func (n *Node) onCommit(ctx obs.SpanContext, req *wire.Message) (*wire.Message, 
 			}
 			delete(ks.staged, id)
 		}
+		// Chunked path: every member's stream must have delivered all of its
+		// chunks (prepare succeeded, so they did unless the protocol broke),
+		// then the whole accumulation lands atomically. A retried commit finds
+		// no streams and no pending buffer and is a no-op — idempotent.
+		if len(ks.streams) > 0 {
+			span.SetAttr("streams", fmt.Sprint(len(ks.streams)))
+			epochs := make(map[string]uint64, len(ks.streams))
+			for vmid, st := range ks.streams {
+				if st.got != st.count {
+					return fmt.Errorf("runtime: commit group %d: chunk stream for %q incomplete (%d/%d)",
+						ks.keeper.Group(), vmid, st.got, st.count)
+				}
+				epochs[vmid] = st.epoch
+			}
+			if ks.pending == nil {
+				return fmt.Errorf("runtime: commit group %d: chunk streams without a pending fold buffer", ks.keeper.Group())
+			}
+			if err := ks.keeper.CommitPending(ks.pending, epochs); err != nil {
+				return fmt.Errorf("runtime: commit group %d: %w", ks.keeper.Group(), err)
+			}
+			bufpool.Put(ks.pending)
+			ks.pending = nil
+			ks.streams = map[string]*chunkStream{}
+		}
 		return nil
 	}); err != nil {
 		return nil, err
@@ -465,6 +722,7 @@ func (n *Node) onAbort(req *wire.Message) (*wire.Message, error) {
 	for _, ks := range n.snapshotKeepers() {
 		ks.mu.Lock()
 		ks.staged = map[string]*core.Delta{}
+		ks.dropPending()
 		ks.mu.Unlock()
 	}
 	for _, ms := range n.snapshotMembers() {
@@ -524,6 +782,138 @@ func (n *Node) onGetParity(req *wire.Message) (*wire.Message, error) {
 	}, nil
 }
 
+// readChunkPayload cuts one chunk out of a total-byte block served by fetch
+// (which must return a fresh copy of [off, off+n)) and encodes it.
+func readChunkPayload(total, index, chunkSize int, fetch func(off, n int) ([]byte, error)) ([]byte, error) {
+	count := wire.ChunkCount(total, chunkSize)
+	if index < 0 || index >= count {
+		return nil, fmt.Errorf("runtime: chunk index %d outside [0,%d)", index, count)
+	}
+	lo := index * chunkSize
+	nb := min(chunkSize, total-lo)
+	if total == 0 {
+		lo, nb = 0, 0
+	}
+	data, err := fetch(lo, nb)
+	if err != nil {
+		return nil, err
+	}
+	c := wire.Chunk{
+		Offset: uint64(lo), Total: uint64(total),
+		Index: uint32(index), Count: uint32(count),
+		RawLen: uint32(nb), Data: data,
+	}
+	return encodePooledChunk(&c), nil
+}
+
+// onReadChunk serves one chunk of a committed image (Text "image", keyed by
+// VM) or a parity block (Text "parity", keyed by Group) — the chunked twin
+// of MsgGetImage/MsgGetParity that never materializes a full copy per
+// request. Arg packs uint64(index)<<32 | uint32(chunkSize). Image replies
+// carry the member's committed epoch; parity replies carry the parity index
+// in Arg so the caller can verify it got the block it asked for.
+func (n *Node) onReadChunk(req *wire.Message) (*wire.Message, error) {
+	index := int(req.Arg >> 32)
+	chunkSize := int(uint32(req.Arg))
+	if chunkSize <= 0 {
+		return nil, fmt.Errorf("runtime: read-chunk with chunk size %d", chunkSize)
+	}
+	switch req.Text {
+	case "image":
+		ms, err := n.member(req.VM)
+		if err != nil {
+			return nil, err
+		}
+		ms.mu.Lock()
+		defer ms.mu.Unlock()
+		payload, err := readChunkPayload(ms.mem.CommittedLen(), index, chunkSize, ms.mem.CommittedRange)
+		if err != nil {
+			return nil, err
+		}
+		return &wire.Message{Type: wire.MsgReadChunkOK, VM: req.VM, Epoch: ms.mem.Epoch(), Payload: payload}, nil
+	case "parity":
+		n.mu.Lock()
+		ks, ok := n.keepers[int(req.Group)]
+		id := n.id
+		n.mu.Unlock()
+		if !ok {
+			return nil, fmt.Errorf("runtime: node %d keeps no parity for group %d", id, req.Group)
+		}
+		ks.mu.Lock()
+		defer ks.mu.Unlock()
+		payload, err := readChunkPayload(ks.keeper.Size(), index, chunkSize, ks.keeper.ParityRange)
+		if err != nil {
+			return nil, err
+		}
+		return &wire.Message{
+			Type: wire.MsgReadChunkOK, Group: req.Group,
+			Arg: uint64(ks.keeper.ParityIndex()), Payload: payload,
+		}, nil
+	default:
+		return nil, fmt.Errorf("runtime: read-chunk of unknown source %q", req.Text)
+	}
+}
+
+// fetchChunked pulls a committed image (source "image", keyed by VM) or a
+// parity block (source "parity", keyed by group) from a peer in chunkSize
+// pieces, keeping chunkPipelineWidth requests in flight. It returns the
+// assembled block in a pooled buffer (the caller may bufpool.Put it), the
+// Epoch of the first reply, and the first reply's Arg (the serving keeper's
+// parity index on parity reads).
+func (n *Node) fetchChunked(ctx obs.SpanContext, node int, source, vmName string, group, chunkSize int) ([]byte, uint64, int, error) {
+	req := func(index int) *wire.Message {
+		return &wire.Message{
+			Type: wire.MsgReadChunk, Text: source, VM: vmName, Group: int32(group),
+			Arg:   uint64(index)<<32 | uint64(uint32(chunkSize)),
+			Trace: ctx.Trace, Span: ctx.Span,
+		}
+	}
+	// Chunk 0 reveals the stream shape (count, total) and the epoch.
+	first, err := n.callPeer(node, req(0))
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	if first.Type != wire.MsgReadChunkOK {
+		return nil, 0, 0, fmt.Errorf("runtime: unexpected reply %v to read-chunk", first.Type)
+	}
+	c0, err := wire.DecodeChunk(first.Payload)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	epoch, arg := first.Epoch, int(first.Arg)
+	asm := &wire.Assembler{Alloc: bufpool.Get}
+	abandon := func(e error) ([]byte, uint64, int, error) {
+		if b := asm.Buffer(); b != nil {
+			bufpool.Put(b)
+		}
+		return nil, 0, 0, e
+	}
+	if err := asm.Add(c0); err != nil {
+		return abandon(err)
+	}
+	var mu sync.Mutex
+	if err := parallelDo(int(c0.Count)-1, chunkPipelineWidth, func(i int) error {
+		resp, err := n.callPeer(node, req(i+1))
+		if err != nil {
+			return err
+		}
+		c, err := wire.DecodeChunk(resp.Payload)
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		return asm.Add(c)
+	}); err != nil {
+		return abandon(err)
+	}
+	blk, err := asm.Bytes()
+	if err != nil {
+		return abandon(err)
+	}
+	return blk, epoch, arg, nil
+}
+
 // onReconstruct runs on a surviving parity node: it pulls survivor images
 // and the group's alive parity blocks (its own plus peers'), solves the
 // erasure system, and returns the requested lost VM's committed image.
@@ -535,7 +925,7 @@ func (n *Node) onReconstruct(ctx obs.SpanContext, req *wire.Message) (*wire.Mess
 	}
 	n.mu.Lock()
 	ks, ok := n.keepers[cfg.Group]
-	id := n.id
+	id, cs := n.id, n.chunkSize
 	n.mu.Unlock()
 	if !ok {
 		return nil, fmt.Errorf("runtime: node %d keeps no parity for group %d", id, cfg.Group)
@@ -559,25 +949,47 @@ func (n *Node) onReconstruct(ctx obs.SpanContext, req *wire.Message) (*wire.Mess
 	if err := parallelDo(len(fetches), 0, func(i int) error {
 		f := fetches[i]
 		if f.member != "" {
-			img, err := n.callPeer(f.node, &wire.Message{Type: wire.MsgGetImage, VM: f.member, Trace: ctx.Trace, Span: ctx.Span})
+			var img []byte
+			var e uint64
+			var err error
+			if cs > 0 {
+				img, e, _, err = n.fetchChunked(ctx, f.node, "image", f.member, 0, cs)
+			} else {
+				var reply *wire.Message
+				reply, err = n.callPeer(f.node, &wire.Message{Type: wire.MsgGetImage, VM: f.member, Trace: ctx.Trace, Span: ctx.Span})
+				if err == nil {
+					img, e = reply.Payload, reply.Epoch
+				}
+			}
 			if err != nil {
 				return fmt.Errorf("runtime: fetching survivor %q from node %d: %w", f.member, f.node, err)
 			}
 			mu.Lock()
-			survivors[f.member] = img.Payload
-			epoch = img.Epoch
+			survivors[f.member] = img
+			epoch = e
 			mu.Unlock()
 			return nil
 		}
-		pb, err := n.callPeer(f.node, &wire.Message{Type: wire.MsgGetParity, Group: int32(cfg.Group), Trace: ctx.Trace, Span: ctx.Span})
+		var blk []byte
+		var gotIdx int
+		var err error
+		if cs > 0 {
+			blk, _, gotIdx, err = n.fetchChunked(ctx, f.node, "parity", "", cfg.Group, cs)
+		} else {
+			var pb *wire.Message
+			pb, err = n.callPeer(f.node, &wire.Message{Type: wire.MsgGetParity, Group: int32(cfg.Group), Trace: ctx.Trace, Span: ctx.Span})
+			if err == nil {
+				blk, gotIdx = pb.Payload, int(pb.Arg)
+			}
+		}
 		if err != nil {
 			return fmt.Errorf("runtime: fetching parity[%d] from node %d: %w", f.parity, f.node, err)
 		}
-		if int(pb.Arg) != f.parity {
-			return fmt.Errorf("runtime: node %d served parity[%d], wanted [%d]", f.node, pb.Arg, f.parity)
+		if gotIdx != f.parity {
+			return fmt.Errorf("runtime: node %d served parity[%d], wanted [%d]", f.node, gotIdx, f.parity)
 		}
 		mu.Lock()
-		parityBlocks[f.parity] = pb.Payload
+		parityBlocks[f.parity] = blk
 		mu.Unlock()
 		return nil
 	}); err != nil {
@@ -587,6 +999,16 @@ func (n *Node) onReconstruct(ctx obs.SpanContext, req *wire.Message) (*wire.Mess
 	memberNames := ks.keeper.Members()
 	ks.mu.Unlock()
 	rebuilt, err := core.ReconstructMembers(cfg.Tolerance, memberNames, survivors, parityBlocks, cfg.AllLost)
+	if cs > 0 {
+		// The chunked fetches returned pooled buffers; ReconstructMembers
+		// copied them into its shards, so they can go back to the pool.
+		for _, img := range survivors {
+			bufpool.Put(img)
+		}
+		for _, blk := range parityBlocks {
+			bufpool.Put(blk)
+		}
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -597,10 +1019,50 @@ func (n *Node) onReconstruct(ctx obs.SpanContext, req *wire.Message) (*wire.Mess
 	return &wire.Message{Type: wire.MsgReconstructOK, VM: cfg.LostVM, Epoch: epoch, Payload: img}, nil
 }
 
+// onInstallChunk stages one chunk of an incoming VM image. The image lands
+// via MsgInstall with Arg=1 (and no payload) once every chunk has arrived;
+// exact re-deliveries are idempotent inside the assembler.
+func (n *Node) onInstallChunk(req *wire.Message) (*wire.Message, error) {
+	c, err := wire.DecodeChunk(req.Payload)
+	if err != nil {
+		return nil, err
+	}
+	n.mu.Lock()
+	asm, ok := n.installs[req.VM]
+	if !ok {
+		asm = &wire.Assembler{Alloc: bufpool.Get}
+		n.installs[req.VM] = asm
+	}
+	err = asm.Add(c)
+	n.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	return &wire.Message{Type: wire.MsgInstallChunkOK, VM: req.VM}, nil
+}
+
+// onInstall adopts a VM: monolithically (image in Payload), or — when Arg is
+// 1 — from the chunk stream previously staged by MsgInstallChunk.
 func (n *Node) onInstall(req *wire.Message) (*wire.Message, error) {
 	var cfg installConfig
 	if err := decodeJSON(req.Text, &cfg); err != nil {
 		return nil, err
+	}
+	img := req.Payload
+	var pooled []byte
+	if req.Arg == 1 {
+		n.mu.Lock()
+		asm, ok := n.installs[cfg.Name]
+		delete(n.installs, cfg.Name)
+		n.mu.Unlock()
+		if !ok {
+			return nil, fmt.Errorf("runtime: install of %q has no staged chunk stream", cfg.Name)
+		}
+		var err error
+		if img, err = asm.Bytes(); err != nil {
+			return nil, err
+		}
+		pooled = img
 	}
 	m, err := vm.NewMachine(cfg.Name, cfg.Pages, cfg.PageSize)
 	if err != nil {
@@ -610,8 +1072,11 @@ func (n *Node) onInstall(req *wire.Message) (*wire.Message, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := mem.RestoreImage(req.Payload, cfg.Epoch); err != nil {
+	if err := mem.RestoreImage(img, cfg.Epoch); err != nil {
 		return nil, err
+	}
+	if pooled != nil {
+		bufpool.Put(pooled) // RestoreImage copied it
 	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
@@ -663,6 +1128,7 @@ func (n *Node) onRollback(req *wire.Message) (*wire.Message, error) {
 	for _, ks := range n.snapshotKeepers() {
 		ks.mu.Lock()
 		ks.staged = map[string]*core.Delta{}
+		ks.dropPending()
 		ks.mu.Unlock()
 	}
 	return &wire.Message{Type: wire.MsgRollbackOK}, nil
@@ -675,6 +1141,9 @@ func (n *Node) onRebuildKeeper(ctx obs.SpanContext, req *wire.Message) (*wire.Me
 	if err := decodeJSON(req.Text, &cfg); err != nil {
 		return nil, err
 	}
+	n.mu.Lock()
+	cs := n.chunkSize
+	n.mu.Unlock()
 	var mu sync.Mutex
 	initial := map[string][]byte{}
 	if err := parallelDo(len(cfg.Members), 0, func(i int) error {
@@ -683,18 +1152,35 @@ func (n *Node) onRebuildKeeper(ctx obs.SpanContext, req *wire.Message) (*wire.Me
 		if !ok {
 			return fmt.Errorf("runtime: rebuild keeper: no node for member %q", member)
 		}
-		img, err := n.callPeer(nodeID, &wire.Message{Type: wire.MsgGetImage, VM: member, Trace: ctx.Trace, Span: ctx.Span})
+		var img []byte
+		var err error
+		if cs > 0 {
+			img, _, _, err = n.fetchChunked(ctx, nodeID, "image", member, 0, cs)
+		} else {
+			var reply *wire.Message
+			reply, err = n.callPeer(nodeID, &wire.Message{Type: wire.MsgGetImage, VM: member, Trace: ctx.Trace, Span: ctx.Span})
+			if err == nil {
+				img = reply.Payload
+			}
+		}
 		if err != nil {
 			return fmt.Errorf("runtime: rebuild keeper: fetch %q: %w", member, err)
 		}
 		mu.Lock()
-		initial[member] = img.Payload
+		initial[member] = img
 		mu.Unlock()
 		return nil
 	}); err != nil {
 		return nil, err
 	}
 	k, err := core.NewMKeeper(cfg.Group, cfg.ParityIdx, cfg.Tolerance, initial)
+	if cs > 0 {
+		// NewMKeeper folds the images into a fresh parity block without
+		// retaining them; the pooled fetch buffers can go back.
+		for _, img := range initial {
+			bufpool.Put(img)
+		}
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -703,7 +1189,12 @@ func (n *Node) onRebuildKeeper(ctx obs.SpanContext, req *wire.Message) (*wire.Me
 	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	n.keepers[cfg.Group] = &keeperState{keeper: k, cfg: cfg.KeeperConfig, staged: map[string]*core.Delta{}}
+	n.keepers[cfg.Group] = &keeperState{
+		keeper:  k,
+		cfg:     cfg.KeeperConfig,
+		staged:  map[string]*core.Delta{},
+		streams: map[string]*chunkStream{},
+	}
 	return &wire.Message{Type: wire.MsgRebuildKeeperOK, Group: int32(cfg.Group)}, nil
 }
 

@@ -123,7 +123,10 @@ func TestCheckpointTracePropagation(t *testing.T) {
 		`dvdc_round_phase_seconds_count{phase="commit"} 1`,
 		`dvdc_rounds_total{result="committed"} 1`,
 		`dvdc_rpc_latency_seconds_bucket{peer="node0",le="+Inf"}`,
-		`dvdc_pool_dials_total{peer="node1"} 1`,
+		// The chunked data path keeps several frames in flight per peer, so the
+		// pool may open extra connections — assert the series exists rather
+		// than pinning a concurrency-dependent dial count.
+		`dvdc_pool_dials_total{peer="node1"}`,
 	} {
 		if !strings.Contains(exp, want) {
 			t.Errorf("exposition missing %q", want)

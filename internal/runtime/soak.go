@@ -11,6 +11,7 @@ import (
 	"dvdc/internal/chaos"
 	"dvdc/internal/cluster"
 	"dvdc/internal/obs"
+	"dvdc/internal/wire"
 )
 
 // SoakConfig drives one invariant-checked chaos soak: N checkpoint rounds on
@@ -27,6 +28,8 @@ type SoakConfig struct {
 	Seed          int64         // master seed: workloads, chaos, kills, arm plan
 	Chaos         chaos.Config  // probabilistic rates, active only during checkpoints
 	ArmPerRound   int           // armed one-shot faults per round on coordinator pairs
+	ChunkSize     int           // data-path granularity: 0 default chunked, <0 monolithic, >0 bytes
+	ChunkFaults   int           // armed one-shot chunk-frame faults per round on member-host -> parity edges
 	PPartition    float64       // per-round probability of a transient node-pair partition
 	KillMTBF      float64       // per-node MTBF in virtual seconds (0 = no kills)
 	RoundSeconds  float64       // virtual seconds per round on the kill clock (default 10)
@@ -167,7 +170,9 @@ func (sc *soakCluster) close() {
 //     repaired before the round ends — no lingering pending-recovery state,
 //   - pool retry counters reconcile with the armed fault schedule: every
 //     armed drop/corrupt on a coordinator pair forces at least one retry,
-//   - every armed fault actually fired (the schedule was consumed),
+//   - every armed fault actually fired (the schedule was consumed) — including
+//     chunk-frame faults aimed at individual MsgDeltaChunk shipments when
+//     ChunkFaults is set,
 //   - the round's span tree is complete: the checkpoint trace has exactly one
 //     root and no span whose parent was never recorded.
 //
@@ -230,6 +235,7 @@ func RunSoak(cfg SoakConfig) (*SoakResult, error) {
 	defer coord.Close()
 	coord.SetObserver(tr, cfg.Registry)
 	coord.SetRPCTimeout(cfg.RPCTimeout)
+	coord.SetChunkSize(cfg.ChunkSize)
 	coord.SetDialer(inj.Dialer(chaos.Coordinator))
 	if err := coord.Setup(); err != nil {
 		return nil, err
@@ -370,6 +376,48 @@ func RunSoak(cfg SoakConfig) (*SoakResult, error) {
 			partitioned = [2]int{a, b}
 			inj.PartitionPair(a, b)
 		}
+		// Chunk-stream faults: one-shot drop/corrupt aimed at MsgDeltaChunk
+		// frames on member-host -> parity-node edges, so the fault lands on an
+		// individual data-path chunk mid-prepare and the keeper-side stream
+		// dedup plus the node pools' retries must absorb it. Armed after the
+		// partition choice: an edge whose traffic is severed (or whose endpoint
+		// is a scheduled victim) would never consume its fault and trip the
+		// consumption invariant. Self-hosted parity never crosses the wire, so
+		// src == dst edges are skipped too. Delay is excluded — it would fire
+		// without forcing the retry path this satellite is meant to exercise.
+		if cfg.ChunkFaults > 0 && resolveChunkSize(cfg.ChunkSize) > 0 {
+			lay := coord.Layout()
+			hostOf := make(map[string]int, len(lay.VMs))
+			for _, v := range lay.VMs {
+				hostOf[v.Name] = v.Node
+			}
+			seen := map[chaos.Pair]bool{}
+			var edges []chaos.Pair
+			for _, g := range lay.Groups {
+				for _, m := range g.Members {
+					src := hostOf[m]
+					for _, p := range g.ParityNodes {
+						if src == p || isVictim[src] || isVictim[p] {
+							continue
+						}
+						if (src == partitioned[0] && p == partitioned[1]) ||
+							(src == partitioned[1] && p == partitioned[0]) {
+							continue
+						}
+						e := chaos.Pair{Src: src, Dst: p}
+						if !seen[e] {
+							seen[e] = true
+							edges = append(edges, e)
+						}
+					}
+				}
+			}
+			harness.Shuffle(len(edges), func(i, j int) { edges[i], edges[j] = edges[j], edges[i] })
+			chunkKinds := []chaos.Kind{chaos.Drop, chaos.Corrupt}
+			for i := 0; i < cfg.ChunkFaults && i < len(edges); i++ {
+				inj.ArmMsg(edges[i], chunkKinds[harness.Intn(len(chunkKinds))], uint8(wire.MsgDeltaChunk))
+			}
+		}
 
 		// Kill phase: victims drop dead before the checkpoint, so the round
 		// exercises prepare-failure abort (or, if timing conspires, a
@@ -496,6 +544,22 @@ func RunSoak(cfg SoakConfig) (*SoakResult, error) {
 	res.Checksums, err = coord.Checksums()
 	if err != nil {
 		return res, err
+	}
+	// When the chunked path is active the soak must actually have exercised
+	// it: a soak that silently fell back to monolithic shipping would pass
+	// every state invariant while testing nothing this config asked for.
+	if resolveChunkSize(cfg.ChunkSize) > 0 {
+		var chunksSent int64
+		for n := 0; n < layout.Nodes; n++ {
+			st, err := coord.NodeStats(n)
+			if err != nil {
+				return fail(cfg.Rounds, "fetch node %d stats: %v", n, err)
+			}
+			chunksSent += st.ChunksSent
+		}
+		if chunksSent == 0 {
+			return fail(cfg.Rounds, "chunked data path configured but no node shipped a chunk")
+		}
 	}
 	// Liveness floor: chaos may abort rounds, but the protocol must keep
 	// committing — a soak that never advances is a silent deadlock.

@@ -62,6 +62,44 @@ func TestSoakPaperLayoutInvariants(t *testing.T) {
 	}
 }
 
+// TestSoakChunkFaults pins the chunk-level chaos satellite: with the chunked
+// data path forced to a small chunk size so every delta splits, one-shot
+// drop/corrupt faults aimed at individual MsgDeltaChunk frames fire every
+// round — and the cluster must still commit bit-identical state (RunSoak
+// checks every VM against the shadow model after each round). The node pools
+// absorb the severed connection with a retry, and the keeper-side stream
+// dedup keeps the re-sent chunks from double-folding.
+func TestSoakChunkFaults(t *testing.T) {
+	for _, seed := range []int64{424242, 31337} {
+		cfg := SoakConfig{
+			Layout:        paperLayout(t),
+			Rounds:        8,
+			StepsPerRound: 25,
+			Seed:          seed,
+			ChunkSize:     256, // several chunks per delta at the 16x64B geometry
+			ChunkFaults:   2,
+			ArmPerRound:   1,
+			PPartition:    0.2,
+			KillMTBF:      150,
+		}
+		res, err := RunSoak(cfg)
+		if err != nil {
+			t.Fatalf("seed %d: soak failed: %v\nfault log:\n%s", seed, err, faultLines(res))
+		}
+		chunkFaults := 0
+		for _, f := range res.FaultLog {
+			// The only node-to-node armed faults in this config are the
+			// chunk-frame ones; coordinator-pair arms have Src == Coordinator.
+			if f.Armed && f.Pair.Src != chaos.Coordinator {
+				chunkFaults++
+			}
+		}
+		if chunkFaults == 0 {
+			t.Errorf("seed %d: no armed chunk-frame fault fired", seed)
+		}
+	}
+}
+
 // TestSoakReproducibleBySeed is the acceptance gate for determinism: two
 // soaks with the same seed (armed faults + kills, no probabilistic traffic)
 // must produce identical fault logs, round digests, final checksums, and

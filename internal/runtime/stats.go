@@ -10,14 +10,15 @@ import (
 // delta volume, and transport health. Fetch it with Coordinator.RoundStats
 // after Checkpoint; cmd/dvdcctl prints it per round.
 type RoundStats struct {
-	Epoch        uint64        // epoch the round targeted
-	PrepareWall  time.Duration // prepare fan-out wall-clock (capture + delta shipping)
-	CommitWall   time.Duration // commit fan-out wall-clock (parity folding)
-	RecoveryWall time.Duration // most recent RecoverNodes wall-clock (0 if none yet)
-	BytesShipped int64         // delta wire bytes shipped cluster-wide this round
-	RPCRetries   int64         // transport re-dials/retries during this round
-	Aborted      bool          // the round failed in prepare and was aborted
-	DeadDuring   []int         // nodes declared dead by the commit phase
+	Epoch         uint64        // epoch the round targeted
+	PrepareWall   time.Duration // prepare fan-out wall-clock (capture + delta shipping)
+	CommitWall    time.Duration // commit fan-out wall-clock (parity folding)
+	RecoveryWall  time.Duration // most recent RecoverNodes wall-clock (0 if none yet)
+	BytesShipped  int64         // delta wire bytes shipped cluster-wide this round
+	ChunksShipped int64         // delta chunk frames shipped cluster-wide (0 on the monolithic path)
+	RPCRetries    int64         // transport re-dials/retries during this round
+	Aborted       bool          // the round failed in prepare and was aborted
+	DeadDuring    []int         // nodes declared dead by the commit phase
 
 	// Observability. TraceID names the round's span tree (0 when no tracer is
 	// attached); RecoveryTraceID names the most recent recovery's tree.
@@ -34,6 +35,9 @@ type RoundStats struct {
 func (r RoundStats) String() string {
 	s := fmt.Sprintf("epoch %d: prepare %v, commit %v, %d B shipped",
 		r.Epoch, r.PrepareWall.Round(time.Microsecond), r.CommitWall.Round(time.Microsecond), r.BytesShipped)
+	if r.ChunksShipped > 0 {
+		s += fmt.Sprintf(" in %d chunks", r.ChunksShipped)
+	}
 	if r.RecoveryWall > 0 {
 		s += fmt.Sprintf(", recovery %v", r.RecoveryWall.Round(time.Microsecond))
 		if r.RecoveryCarried {

@@ -13,6 +13,7 @@ import (
 	"sync"
 	"time"
 
+	"dvdc/internal/bufpool"
 	"dvdc/internal/wire"
 )
 
@@ -234,6 +235,12 @@ func (s *Server) serveConn(c net.Conn) {
 		if err := w.Flush(); err != nil {
 			return
 		}
+		// The request payload came out of the buffer pool (wire.ReadFrame) and
+		// the exchange is over, so it can be recycled. Handler contract: do not
+		// retain the request payload past the reply being written — aliasing it
+		// in the reply itself is fine, since the reply is already on the wire.
+		bufpool.Put(req.Payload)
+		req.Payload = nil
 	}
 }
 

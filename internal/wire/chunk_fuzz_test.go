@@ -1,0 +1,242 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// FuzzChunkReassembly drives the chunk codec and assembler with a hostile
+// delivery schedule: out-of-order, duplicated, truncated, bit-flipped, and
+// conflicting chunk frames. The invariants are absolute — a mangled encoding
+// never decodes (the CRC covers header and data), a conflicting delivery
+// never lands silently, and once every genuine chunk has been delivered the
+// assembly is byte-identical to the original payload.
+//
+// script is a byte program: each byte picks an operation (low bits) and a
+// parameter (high bits). Whatever the schedule, the harness finishes by
+// delivering all remaining chunks, so every run checks final assembly too.
+func FuzzChunkReassembly(f *testing.F) {
+	for _, seed := range chunkCorpus() {
+		f.Add(seed.payload, seed.chunkSize, seed.script)
+	}
+	f.Fuzz(func(t *testing.T, payload []byte, chunkSize uint16, script []byte) {
+		if len(payload) > 1<<16 {
+			payload = payload[:1<<16]
+		}
+		cs := 1 + int(chunkSize)%4096
+		count := ChunkCount(len(payload), cs)
+		encs := make([][]byte, count)
+		chunks := make([]Chunk, count)
+		for i := range encs {
+			c, err := ChunkOf(payload, i, cs)
+			if err != nil {
+				t.Fatalf("ChunkOf(%d): %v", i, err)
+			}
+			chunks[i] = c
+			encs[i] = EncodeChunk(&c)
+		}
+
+		var asm Assembler
+		delivered := make([]bool, count)
+		deliveredCount := 0
+		deliver := func(i int) {
+			c, err := DecodeChunk(encs[i])
+			if err != nil {
+				t.Fatalf("own encoding of chunk %d rejected: %v", i, err)
+			}
+			if err := asm.Add(c); err != nil {
+				t.Fatalf("genuine chunk %d rejected: %v", i, err)
+			}
+			if !delivered[i] {
+				delivered[i] = true
+				deliveredCount++
+			}
+		}
+
+		for _, op := range script {
+			arg := int(op >> 3)
+			switch op % 6 {
+			case 0: // deliver the next undelivered chunk in order
+				for i, d := range delivered {
+					if !d {
+						deliver(i)
+						break
+					}
+				}
+			case 1: // deliver an arbitrary chunk (out of order)
+				deliver(arg % count)
+			case 2: // exact duplicate of an already-delivered chunk: no-op
+				if deliveredCount > 0 {
+					for i := arg % count; ; i = (i + 1) % count {
+						if delivered[i] {
+							deliver(i)
+							break
+						}
+					}
+				}
+			case 3: // truncated encoding must fail CRC/length checks
+				i := arg % count
+				cut := 1 + arg%len(encs[i])
+				if _, err := DecodeChunk(encs[i][:len(encs[i])-cut]); err == nil {
+					t.Fatalf("truncated chunk %d decoded", i)
+				} else if !errors.Is(err, ErrFrame) {
+					t.Fatalf("truncated chunk %d: untyped error %v", i, err)
+				}
+			case 4: // single bit flip anywhere must fail the CRC
+				i := arg % count
+				mangled := append([]byte(nil), encs[i]...)
+				pos := arg % len(mangled)
+				mangled[pos] ^= 1 << (arg % 8)
+				if bytes.Equal(mangled, encs[i]) {
+					continue // zero-bit "flip"
+				}
+				if _, err := DecodeChunk(mangled); err == nil {
+					t.Fatalf("bit-flipped chunk %d (byte %d) decoded", i, pos)
+				} else if !errors.Is(err, ErrFrame) {
+					t.Fatalf("bit-flipped chunk %d: untyped error %v", i, err)
+				}
+			case 5: // validly-encoded conflict: re-CRC'd different content
+				if deliveredCount == 0 {
+					continue // shape not fixed yet; a conflict would *become* the stream
+				}
+				i := arg % count
+				if !delivered[i] || len(chunks[i].Data) == 0 {
+					continue
+				}
+				evil := chunks[i]
+				evil.Data = append([]byte(nil), evil.Data...)
+				evil.Data[arg%len(evil.Data)] ^= 0xFF
+				c, err := DecodeChunk(EncodeChunk(&evil))
+				if err != nil {
+					t.Fatalf("re-encoded conflict chunk rejected at decode: %v", err)
+				}
+				if err := asm.Add(c); err == nil {
+					t.Fatalf("conflicting content for chunk %d accepted", i)
+				}
+			}
+		}
+
+		// However hostile the schedule was, the genuine stream must still
+		// assemble perfectly.
+		for i := range delivered {
+			if !delivered[i] {
+				deliver(i)
+			}
+		}
+		if !asm.Complete() {
+			t.Fatal("stream incomplete after all chunks delivered")
+		}
+		got, err := asm.Bytes()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatal("assembled bytes differ from payload")
+		}
+	})
+}
+
+// chunkSeed is one seed triple for FuzzChunkReassembly.
+type chunkSeed struct {
+	payload   []byte
+	chunkSize uint16
+	script    []byte
+}
+
+const chunkCorpusDir = "testdata/fuzz/FuzzChunkReassembly"
+
+// chunkCorpus deterministically generates the checked-in seed corpus:
+// payload/chunk-size shapes that exercise single-chunk, many-chunk, odd-tail,
+// and empty streams, with scripts that hit every op. As with the FuzzDecode
+// corpus, the generator is the source of truth and a drift test pins the
+// files on disk to it.
+func chunkCorpus() []chunkSeed {
+	rng := rand.New(rand.NewSource(0xC4A11C))
+	allOps := make([]byte, 48)
+	for i := range allOps {
+		allOps[i] = byte(rng.Intn(256))
+	}
+	seeds := []chunkSeed{
+		{nil, 64, []byte{0}},                           // empty stream
+		{[]byte("x"), 0, []byte{0, 1, 2, 3, 4, 5}},     // 1-byte payload, cs=1
+		{bytes.Repeat([]byte{0xAB}, 300), 7, allOps},   // many tiny chunks
+		{randPayload(rng, 1000), 64, allOps},           // odd tail
+		{randPayload(rng, 4096), 4095, []byte{1, 9}},   // boundary straddle
+		{randPayload(rng, 100), 512, []byte{3, 4, 5}},  // single chunk, attacks only
+		{randPayload(rng, 2048), 100, reverseScript()}, // strictly reverse order
+	}
+	return seeds
+}
+
+func randPayload(rng *rand.Rand, n int) []byte {
+	b := make([]byte, n)
+	rng.Read(b)
+	return b
+}
+
+// reverseScript delivers high indices first via op 1 with descending args.
+func reverseScript() []byte {
+	var s []byte
+	for i := 30; i >= 0; i-- {
+		s = append(s, byte(i<<3|1))
+	}
+	return s
+}
+
+// encodeChunkSeed renders one seed in the `go test fuzz v1` format (three
+// typed arguments, one per line).
+func encodeChunkSeed(s chunkSeed) []byte {
+	return []byte("go test fuzz v1\n" +
+		"[]byte(" + strconv.Quote(string(s.payload)) + ")\n" +
+		"uint16(" + strconv.FormatUint(uint64(s.chunkSize), 10) + ")\n" +
+		"[]byte(" + strconv.Quote(string(s.script)) + ")\n")
+}
+
+// TestChunkCorpusCheckedIn pins the checked-in corpus to the generator
+// (rerun with -regen-corpus to refresh it).
+func TestChunkCorpusCheckedIn(t *testing.T) {
+	seeds := chunkCorpus()
+	path := func(i int) string {
+		return filepath.Join(chunkCorpusDir, fmt.Sprintf("seed-%03d", i))
+	}
+	if *regenCorpus {
+		if err := os.MkdirAll(chunkCorpusDir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		for i, s := range seeds {
+			if err := os.WriteFile(path(i), encodeChunkSeed(s), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		t.Logf("rewrote %d chunk corpus entries", len(seeds))
+		return
+	}
+	for i, s := range seeds {
+		got, err := os.ReadFile(path(i))
+		if err != nil {
+			t.Fatalf("chunk corpus entry %d missing (run go test -run TestChunkCorpusCheckedIn -regen-corpus): %v", i, err)
+		}
+		if !bytes.Equal(got, encodeChunkSeed(s)) {
+			t.Errorf("chunk corpus entry %d drifted from generator", i)
+		}
+	}
+	// And every file on disk must be an entry the generator knows about.
+	files, err := filepath.Glob(filepath.Join(chunkCorpusDir, "*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != len(seeds) {
+		names := make([]string, len(files))
+		for i, f := range files {
+			names[i] = filepath.Base(f)
+		}
+		t.Errorf("corpus has %d files, generator makes %d: %s", len(files), len(seeds), strings.Join(names, ", "))
+	}
+}

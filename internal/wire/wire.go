@@ -10,6 +10,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
+
+	"dvdc/internal/bufpool"
 )
 
 // MsgType enumerates protocol messages.
@@ -54,32 +56,48 @@ const (
 	MsgSetParityBatch // apply a batch of parity-node reassignments (JSON in Text)
 	MsgSetParityBatchOK
 	MsgError // any request may be answered with an error
+
+	// Chunked data path (appended after MsgError so existing wire values —
+	// and the checked-in fuzz corpus — keep their numbering).
+	MsgDeltaChunk // node -> parity peer: one chunk of a staged delta stream
+	MsgDeltaChunkOK
+	MsgReadChunk // fetch one chunk of a committed image or parity block
+	MsgReadChunkOK
+	MsgInstallChunk // target node: stage one chunk of an incoming VM image
+	MsgInstallChunkOK
 )
+
+// msgNames is package-level: String runs per RPC on the hot path (span
+// names, metric labels) and rebuilding the table there dominated the data
+// path's allocation profile.
+var msgNames = map[MsgType]string{
+	MsgHello: "hello", MsgHelloOK: "hello-ok",
+	MsgConfigure: "configure", MsgConfigureOK: "configure-ok",
+	MsgStep: "step", MsgStepOK: "step-ok",
+	MsgPrepare: "prepare", MsgPrepareOK: "prepare-ok",
+	MsgCommit: "commit", MsgCommitOK: "commit-ok",
+	MsgAbort: "abort", MsgAbortOK: "abort-ok",
+	MsgDelta: "delta", MsgDeltaOK: "delta-ok",
+	MsgGetImage: "get-image", MsgImage: "image",
+	MsgReconstruct: "reconstruct", MsgReconstructOK: "reconstruct-ok",
+	MsgInstall: "install", MsgInstallOK: "install-ok",
+	MsgChecksum: "checksum", MsgChecksumOK: "checksum-ok",
+	MsgRollback: "rollback", MsgRollbackOK: "rollback-ok",
+	MsgRebuildKeeper: "rebuild-keeper", MsgRebuildKeeperOK: "rebuild-keeper-ok",
+	MsgSetParity: "set-parity", MsgSetParityOK: "set-parity-ok",
+	MsgStats: "stats", MsgStatsOK: "stats-ok",
+	MsgGetParity: "get-parity", MsgGetParityOK: "get-parity-ok",
+	MsgEvict: "evict", MsgEvictOK: "evict-ok",
+	MsgSetParityBatch: "set-parity-batch", MsgSetParityBatchOK: "set-parity-batch-ok",
+	MsgError:      "error",
+	MsgDeltaChunk: "delta-chunk", MsgDeltaChunkOK: "delta-chunk-ok",
+	MsgReadChunk: "read-chunk", MsgReadChunkOK: "read-chunk-ok",
+	MsgInstallChunk: "install-chunk", MsgInstallChunkOK: "install-chunk-ok",
+}
 
 // String names the message type.
 func (t MsgType) String() string {
-	names := map[MsgType]string{
-		MsgHello: "hello", MsgHelloOK: "hello-ok",
-		MsgConfigure: "configure", MsgConfigureOK: "configure-ok",
-		MsgStep: "step", MsgStepOK: "step-ok",
-		MsgPrepare: "prepare", MsgPrepareOK: "prepare-ok",
-		MsgCommit: "commit", MsgCommitOK: "commit-ok",
-		MsgAbort: "abort", MsgAbortOK: "abort-ok",
-		MsgDelta: "delta", MsgDeltaOK: "delta-ok",
-		MsgGetImage: "get-image", MsgImage: "image",
-		MsgReconstruct: "reconstruct", MsgReconstructOK: "reconstruct-ok",
-		MsgInstall: "install", MsgInstallOK: "install-ok",
-		MsgChecksum: "checksum", MsgChecksumOK: "checksum-ok",
-		MsgRollback: "rollback", MsgRollbackOK: "rollback-ok",
-		MsgRebuildKeeper: "rebuild-keeper", MsgRebuildKeeperOK: "rebuild-keeper-ok",
-		MsgSetParity: "set-parity", MsgSetParityOK: "set-parity-ok",
-		MsgStats: "stats", MsgStatsOK: "stats-ok",
-		MsgGetParity: "get-parity", MsgGetParityOK: "get-parity-ok",
-		MsgEvict: "evict", MsgEvictOK: "evict-ok",
-		MsgSetParityBatch: "set-parity-batch", MsgSetParityBatchOK: "set-parity-batch-ok",
-		MsgError: "error",
-	}
-	if n, ok := names[t]; ok {
+	if n, ok := msgNames[t]; ok {
 		return n
 	}
 	return fmt.Sprintf("MsgType(%d)", uint8(t))
@@ -113,10 +131,9 @@ const MaxFrame = 256 << 20
 // ErrFrame marks malformed frames.
 var ErrFrame = errors.New("wire: malformed frame")
 
-// Encode renders the message body (without the stream length prefix).
-func (m *Message) Encode() []byte {
-	n := FixedHeaderLen + 2 + len(m.VM) + 4 + len(m.Text) + 4 + len(m.Payload)
-	out := make([]byte, 0, n)
+// appendHead appends everything up to and including the payload length —
+// the whole body except the payload bytes themselves.
+func (m *Message) appendHead(out []byte) []byte {
 	out = append(out, byte(m.Type))
 	out = binary.LittleEndian.AppendUint64(out, m.Epoch)
 	out = binary.LittleEndian.AppendUint32(out, uint32(m.Group))
@@ -128,8 +145,14 @@ func (m *Message) Encode() []byte {
 	out = binary.LittleEndian.AppendUint32(out, uint32(len(m.Text)))
 	out = append(out, m.Text...)
 	out = binary.LittleEndian.AppendUint32(out, uint32(len(m.Payload)))
-	out = append(out, m.Payload...)
 	return out
+}
+
+// Encode renders the message body (without the stream length prefix).
+func (m *Message) Encode() []byte {
+	n := FixedHeaderLen + 2 + len(m.VM) + 4 + len(m.Text) + 4 + len(m.Payload)
+	out := m.appendHead(make([]byte, 0, n))
+	return append(out, m.Payload...)
 }
 
 // Decode parses a message body.
@@ -185,29 +208,55 @@ func Decode(b []byte) (*Message, error) {
 	if err != nil {
 		return nil, err
 	}
-	m.Payload = append([]byte(nil), pb...)
+	if pl > 0 {
+		// Copy into a pooled buffer so the caller's frame scratch can be
+		// reused. Ownership of Payload passes to whoever consumes the
+		// message; see transport's serve loop for the release point.
+		m.Payload = bufpool.Get(pl)
+		copy(m.Payload, pb)
+	}
 	if off != len(b) {
 		return nil, fmt.Errorf("%w: %d trailing bytes", ErrFrame, len(b)-off)
 	}
 	return m, nil
 }
 
-// WriteFrame writes a length-prefixed message to w.
+// inlinePayload is the largest payload folded into the header write; bigger
+// payloads are written as a second Write so a bulk chunk or image is never
+// copied just to be framed.
+const inlinePayload = 4 << 10
+
+// WriteFrame writes a length-prefixed message to w. The length prefix and
+// all header fields go out in one pooled-buffer write; a payload beyond
+// inlinePayload follows as a second write straight from the caller's slice.
 func WriteFrame(w io.Writer, m *Message) error {
-	body := m.Encode()
-	if len(body) > MaxFrame {
-		return fmt.Errorf("%w: frame of %d bytes exceeds max %d", ErrFrame, len(body), MaxFrame)
+	n := FixedHeaderLen + 2 + len(m.VM) + 4 + len(m.Text) + 4 + len(m.Payload)
+	if n > MaxFrame {
+		return fmt.Errorf("%w: frame of %d bytes exceeds max %d", ErrFrame, n, MaxFrame)
 	}
-	var hdr [4]byte
-	binary.LittleEndian.PutUint32(hdr[:], uint32(len(body)))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
+	head := 4 + n - len(m.Payload)
+	inline := len(m.Payload) <= inlinePayload
+	want := head
+	if inline {
+		want += len(m.Payload)
 	}
-	_, err := w.Write(body)
+	buf := bufpool.Get(want)[:0]
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(n))
+	buf = m.appendHead(buf)
+	if inline {
+		buf = append(buf, m.Payload...)
+	}
+	_, err := w.Write(buf)
+	if err == nil && !inline {
+		_, err = w.Write(m.Payload)
+	}
+	bufpool.Put(buf)
 	return err
 }
 
-// ReadFrame reads one length-prefixed message from r.
+// ReadFrame reads one length-prefixed message from r. The frame scratch is
+// pooled: Decode copies every field out, so the scratch is released before
+// returning.
 func ReadFrame(r io.Reader) (*Message, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
@@ -217,11 +266,14 @@ func ReadFrame(r io.Reader) (*Message, error) {
 	if n > MaxFrame {
 		return nil, fmt.Errorf("%w: frame length %d exceeds max %d", ErrFrame, n, MaxFrame)
 	}
-	body := make([]byte, n)
+	body := bufpool.Get(int(n))
 	if _, err := io.ReadFull(r, body); err != nil {
+		bufpool.Put(body)
 		return nil, err
 	}
-	return Decode(body)
+	m, err := Decode(body)
+	bufpool.Put(body)
+	return m, err
 }
 
 // IsDecodeErr reports whether err stems from frame decoding (ErrFrame): the
