@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench datapath experiments figures fuzz soak obs-demo clean
+.PHONY: all build test race cover bench datapath obs-bench experiments figures fuzz soak obs-demo clean
 
 all: build test
 
@@ -27,6 +27,12 @@ bench:
 # regenerates BENCH_datapath.json.
 datapath:
 	$(GO) run ./cmd/dvdcbench -datapath
+
+# Telemetry-plane overhead comparison (obs off vs fully lit) on a live
+# loopback cluster; regenerates BENCH_obs.json. The acceptance bar is <= 5%
+# round-time overhead.
+obs-bench:
+	$(GO) run ./cmd/dvdcbench -obs
 
 # Regenerate every paper artifact (tables + ASCII charts) on stdout.
 experiments:

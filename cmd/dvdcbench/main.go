@@ -45,12 +45,23 @@ func main() {
 		datapath   = flag.Bool("datapath", false, "run the monolithic-vs-chunked data-path comparison on a live cluster and exit")
 		dpRounds   = flag.Int("datapath-rounds", 20, "timed checkpoint rounds per data-path case")
 		dpJSONPath = flag.String("datapath-json", "BENCH_datapath.json", "where -datapath writes its JSON artifact")
+
+		obsBench    = flag.Bool("obs", false, "run the telemetry-plane overhead comparison on a live cluster and exit")
+		obRounds    = flag.Int("obs-rounds", 20, "timed checkpoint rounds per telemetry case")
+		obsJSONPath = flag.String("obs-json", "BENCH_obs.json", "where -obs writes its JSON artifact")
 	)
 	flag.Parse()
 
 	if *datapath {
 		if err := runDatapath(*dpRounds, *seed, *dpJSONPath); err != nil {
 			fmt.Fprintf(os.Stderr, "dvdcbench: datapath: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *obsBench {
+		if err := runObsBench(*obRounds, *seed, *obsJSONPath); err != nil {
+			fmt.Fprintf(os.Stderr, "dvdcbench: obs: %v\n", err)
 			os.Exit(1)
 		}
 		return
@@ -65,6 +76,8 @@ func main() {
 		}
 		defer srv.Close()
 		fmt.Fprintf(os.Stderr, "dvdcbench: observability on http://%s/metrics\n", srv.Addr())
+		// Canonical bound-address line for script/collector discovery with :0.
+		fmt.Fprintf(os.Stderr, "obs listening on %s\n", srv.Addr())
 	}
 
 	if *list {

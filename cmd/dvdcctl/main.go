@@ -18,6 +18,14 @@
 //	dvdcctl trace -in soak.jsonl              # one summary line per trace
 //	dvdcctl trace -in soak.jsonl -epoch 7     # timeline of epoch 7's round
 //	dvdcctl trace -in soak.jsonl -trace 1f3a  # timeline of one trace id (hex)
+//
+// The top subcommand is the live cluster view: it scrapes every process's
+// -obs-addr endpoint, merges spans into round trees, and names the round's
+// straggler; the postmortem subcommand renders a flight-recorder bundle:
+//
+//	dvdcctl top -scrape 127.0.0.1:7501,127.0.0.1:7502        # watch
+//	dvdcctl top -scrape 127.0.0.1:7501,127.0.0.1:7502 -once  # CI assertion
+//	dvdcctl postmortem -dir ./postmortems                    # newest bundle
 package main
 
 import (
@@ -26,6 +34,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"dvdc/internal/cluster"
 	"dvdc/internal/obs"
@@ -33,9 +42,18 @@ import (
 )
 
 func main() {
-	if len(os.Args) > 1 && os.Args[1] == "trace" {
-		traceMain(os.Args[2:])
-		return
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "trace":
+			traceMain(os.Args[2:])
+			return
+		case "top":
+			topMain(os.Args[2:])
+			return
+		case "postmortem":
+			postmortemMain(os.Args[2:])
+			return
+		}
 	}
 	var (
 		nodeList = flag.String("nodes", "", "comma-separated node addresses (one per physical node)")
@@ -52,7 +70,9 @@ func main() {
 		timeout  = flag.Duration("rpc-timeout", 0, "per-RPC deadline (0 = default 30s)")
 		fanout   = flag.Int("fanout", 0, "max concurrent per-node RPCs per fan-out (0 = default)")
 		obsAddr  = flag.String("obs-addr", "", "serve /metrics, /healthz, /spans and pprof here (empty = disabled)")
+		pace     = flag.Duration("round-interval", 0, "sleep between rounds (lets dvdcctl top watch a live session)")
 		traceOut = flag.String("trace-jsonl", "", "stream every span to this JSONL file (render with dvdcctl trace)")
+		pmDir    = flag.String("postmortem-dir", "", "dump a flight-recorder bundle here on partial commit (empty = disabled)")
 	)
 	flag.Parse()
 	addrs := strings.Split(*nodeList, ",")
@@ -91,8 +111,20 @@ func main() {
 		fatal(err)
 		defer srv.Close()
 		fmt.Printf("observability on http://%s/metrics\n", srv.Addr())
+		// The bound address also goes to stderr: with -obs-addr :0 the port is
+		// kernel-assigned, and scripts wiring a collector discover it here.
+		fmt.Fprintf(os.Stderr, "obs listening on %s\n", srv.Addr())
 	}
 	coord.SetObserver(tracer, registry)
+	if *pmDir != "" {
+		rec := obs.NewFlightRecorder(0)
+		rec.SetDumpDir(*pmDir)
+		rec.SetRegistry(registry)
+		rec.SetMeta("seed", *seed)
+		rec.SetMeta("nodes", len(addrs))
+		tracer.SetTap(rec.Span)
+		coord.SetFlightRecorder(rec)
+	}
 	coord.SetCompress(*compress)
 	if *timeout > 0 {
 		coord.SetRPCTimeout(*timeout)
@@ -105,6 +137,9 @@ func main() {
 		fatal(coord.Step(*steps))
 		fatal(coord.Checkpoint())
 		fmt.Printf("round %d: %s\n", r, coord.RoundStats())
+		if *pace > 0 && r < *rounds {
+			time.Sleep(*pace)
+		}
 	}
 	sums, err := coord.Checksums()
 	fatal(err)

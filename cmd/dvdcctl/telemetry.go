@@ -1,0 +1,92 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"dvdc/internal/obs"
+	"dvdc/internal/obs/collect"
+)
+
+// topMain is the live cluster view: scrape every -obs-addr endpoint's /spans
+// and /metrics, merge the spans into round trees, and render the latest
+// round's verdict — single-rooted-and-closed or not, the per-lane time
+// breakdown, the straggler, and habitual latency outliers.
+func topMain(args []string) {
+	fs := flag.NewFlagSet("dvdcctl top", flag.ExitOnError)
+	var (
+		scrape   = fs.String("scrape", "", "comma-separated obs endpoints (host:port of each -obs-addr)")
+		interval = fs.Duration("interval", 2*time.Second, "refresh interval in watch mode")
+		once     = fs.Bool("once", false, "render one refresh and exit (for scripts and CI)")
+		width    = fs.Int("width", 100, "render width in columns")
+		count    = fs.Int("n", 0, "stop after this many refreshes (0 = until interrupted)")
+	)
+	fs.Parse(args) //nolint:errcheck // ExitOnError
+	if *scrape == "" {
+		fmt.Fprintln(os.Stderr, "dvdcctl top: -scrape is required (comma-separated obs endpoints)")
+		os.Exit(2)
+	}
+	var sources []string
+	for _, a := range strings.Split(*scrape, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			sources = append(sources, a)
+		}
+	}
+	c := collect.New()
+	outliers := collect.NewOutlierTracker(0, 0)
+	for i := 0; ; i++ {
+		v := collect.BuildTopView(c, sources, outliers)
+		if i > 0 {
+			fmt.Println(strings.Repeat("-", *width))
+		}
+		fmt.Print(collect.RenderTop(v, *width))
+		if *once || (*count > 0 && i+1 >= *count) {
+			// One-shot mode doubles as the CI assertion hook: exit nonzero when
+			// the merged round trace is incomplete, so a pipeline can gate on it.
+			if v.Trace != 0 && !v.Closed {
+				os.Exit(1)
+			}
+			return
+		}
+		time.Sleep(*interval)
+	}
+}
+
+// postmortemMain renders a flight-recorder bundle: the pre-failure window of
+// spans, RPC outcomes, and chaos events a process dumped when it hit a
+// PartialCommitError, a soak invariant violation, or SIGQUIT.
+func postmortemMain(args []string) {
+	fs := flag.NewFlagSet("dvdcctl postmortem", flag.ExitOnError)
+	var (
+		bundle = fs.String("bundle", "", "one bundle directory (postmortem-...)")
+		dir    = fs.String("dir", "", "directory of bundles; renders the newest")
+		list   = fs.Bool("list", false, "with -dir: list bundles instead of rendering")
+		tail   = fs.Int("tail", 40, "how many trailing flight entries to show")
+	)
+	fs.Parse(args) //nolint:errcheck // ExitOnError
+	path := *bundle
+	if path == "" && *dir != "" {
+		found, err := obs.FindBundles(*dir)
+		fatal(err)
+		if len(found) == 0 {
+			fatal(fmt.Errorf("no postmortem bundles under %s", *dir))
+		}
+		if *list {
+			for _, p := range found {
+				fmt.Println(p)
+			}
+			return
+		}
+		path = found[len(found)-1]
+	}
+	if path == "" {
+		fmt.Fprintln(os.Stderr, "dvdcctl postmortem: need -bundle <dir> or -dir <dir>")
+		os.Exit(2)
+	}
+	b, err := obs.ReadBundle(path)
+	fatal(err)
+	fmt.Print(collect.RenderPostmortem(b, *tail))
+}

@@ -8,7 +8,12 @@
 //	dvdcnode -listen 127.0.0.1:7401 -obs-addr 127.0.0.1:9100
 //
 // With -obs-addr the daemon serves Prometheus metrics (/metrics), a health
-// probe (/healthz), recent spans (/spans), and net/http/pprof.
+// probe (/healthz), recent spans (/spans), and net/http/pprof; the bound
+// address is printed to stderr ("obs listening on ...") so scripts can use
+// -obs-addr 127.0.0.1:0 and discover the kernel-assigned port. With
+// -postmortem-dir the daemon keeps a flight recorder and dumps a postmortem
+// bundle there on SIGQUIT (and keeps running — SIGQUIT is "explain
+// yourself", not "die").
 package main
 
 import (
@@ -27,6 +32,7 @@ func main() {
 	timeout := flag.Duration("rpc-timeout", 0, "per-peer-RPC deadline (0 = default 30s)")
 	fanout := flag.Int("fanout", 0, "max concurrent parity shipments per prepare (0 = default)")
 	obsAddr := flag.String("obs-addr", "", "serve /metrics, /healthz, /spans and pprof here (empty = disabled)")
+	pmDir := flag.String("postmortem-dir", "", "dump a flight-recorder bundle here on SIGQUIT (empty = disabled)")
 	flag.Parse()
 
 	var opts runtime.NodeOptions
@@ -42,6 +48,14 @@ func main() {
 		}
 		defer srv.Close()
 	}
+	var rec *obs.FlightRecorder
+	if *pmDir != "" {
+		rec = obs.NewFlightRecorder(0)
+		rec.SetDumpDir(*pmDir)
+		rec.SetRegistry(opts.Registry)
+		opts.Tracer.SetTap(rec.Span)
+		opts.Recorder = rec
+	}
 	node, err := runtime.NewNodeWith(*listen, opts)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "dvdcnode: %v\n", err)
@@ -54,10 +68,26 @@ func main() {
 	fmt.Printf("dvdcnode listening on %s\n", node.Addr())
 	if srv != nil {
 		fmt.Printf("dvdcnode observability on http://%s/metrics\n", srv.Addr())
+		fmt.Fprintf(os.Stderr, "obs listening on %s\n", srv.Addr())
 	}
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	<-sig
-	fmt.Println("dvdcnode: shutting down")
-	node.Close()
+	quit := make(chan os.Signal, 1)
+	if rec != nil {
+		signal.Notify(quit, syscall.SIGQUIT)
+	}
+	for {
+		select {
+		case <-quit:
+			if path, err := rec.AutoDump("sigquit"); err != nil {
+				fmt.Fprintf(os.Stderr, "dvdcnode: postmortem dump: %v\n", err)
+			} else {
+				fmt.Fprintf(os.Stderr, "dvdcnode: postmortem bundle %s\n", path)
+			}
+		case <-sig:
+			fmt.Println("dvdcnode: shutting down")
+			node.Close()
+			return
+		}
+	}
 }

@@ -55,6 +55,8 @@ func main() {
 		fatal(err)
 		defer srv.Close()
 		fmt.Fprintf(os.Stderr, "dvdcsim: observability on http://%s/metrics\n", srv.Addr())
+		// Canonical bound-address line for script/collector discovery with :0.
+		fmt.Fprintf(os.Stderr, "obs listening on %s\n", srv.Addr())
 	}
 
 	layout, err := cluster.BuildDistributed(*nodes, *stacks, 1)

@@ -21,6 +21,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"dvdc/internal/chaos"
@@ -52,6 +54,7 @@ func main() {
 		verbose   = flag.Bool("v", false, "print the full fault log and per-round digest")
 		traceOut  = flag.String("trace-jsonl", "", "stream every span to this JSONL file (render with dvdcctl trace)")
 		obsAddr   = flag.String("obs-addr", "", "serve /metrics, /healthz, /spans and pprof here during the soak")
+		pmDir     = flag.String("postmortem-dir", "", "dump a flight-recorder bundle here on invariant violation or SIGQUIT")
 	)
 	flag.Parse()
 
@@ -92,6 +95,24 @@ func main() {
 		fatal(err)
 		defer srv.Close()
 		fmt.Printf("observability on http://%s/metrics\n", srv.Addr())
+		// Bound address to stderr for scripts using -obs-addr 127.0.0.1:0.
+		fmt.Fprintf(os.Stderr, "obs listening on %s\n", srv.Addr())
+	}
+	if *pmDir != "" {
+		cfg.PostmortemDir = *pmDir
+		cfg.Recorder = obs.NewFlightRecorder(0)
+		// SIGQUIT = "explain yourself": dump the black box and keep soaking.
+		quit := make(chan os.Signal, 1)
+		signal.Notify(quit, syscall.SIGQUIT)
+		go func() {
+			for range quit {
+				if path, err := cfg.Recorder.Dump(*pmDir, "sigquit"); err != nil {
+					fmt.Fprintf(os.Stderr, "dvdcsoak: postmortem dump: %v\n", err)
+				} else {
+					fmt.Fprintf(os.Stderr, "dvdcsoak: postmortem bundle %s\n", path)
+				}
+			}
+		}()
 	}
 
 	fmt.Printf("dvdcsoak: %d nodes, %d VMs, %d rounds, seed %d\n",
@@ -117,6 +138,11 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "dvdcsoak: INVARIANT VIOLATION: %v\n", err)
 		fmt.Fprintf(os.Stderr, "dvdcsoak: replay with -seed %d\n", *seed)
+		if *pmDir != "" {
+			if bundles, berr := obs.FindBundles(*pmDir); berr == nil && len(bundles) > 0 {
+				fmt.Fprintf(os.Stderr, "dvdcsoak: postmortem: dvdcctl postmortem -bundle %s\n", bundles[len(bundles)-1])
+			}
+		}
 		os.Exit(1)
 	}
 	if *traceOut != "" {

@@ -102,6 +102,133 @@ func TestCmdSmokeDistributedSession(t *testing.T) {
 	}
 }
 
+// scanForPrefix reads lines from r until one contains marker and sends the
+// text after the marker (or "" at EOF).
+func scanForPrefix(r *bufio.Scanner, marker string) chan string {
+	ch := make(chan string, 1)
+	go func() {
+		for r.Scan() {
+			if line := r.Text(); strings.Contains(line, marker) {
+				ch <- strings.TrimSpace(strings.SplitAfter(line, marker)[1])
+				return
+			}
+		}
+		ch <- ""
+	}()
+	return ch
+}
+
+func waitLine(t *testing.T, ch chan string, what string) string {
+	t.Helper()
+	select {
+	case s := <-ch:
+		if s == "" {
+			t.Fatalf("%s: stream ended before the expected line", what)
+		}
+		return s
+	case <-time.After(15 * time.Second):
+		t.Fatalf("%s: timed out", what)
+	}
+	return ""
+}
+
+// TestCmdSmokeTelemetry runs the full telemetry plane across processes: three
+// daemons and a paced controller session, each with -obs-addr :0 (the bound
+// address is discovered from the canonical "obs listening on" stderr line),
+// then `dvdcctl top -once` scraping all four endpoints must merge a
+// single-rooted, closed round trace and exit zero.
+func TestCmdSmokeTelemetry(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process smoke test")
+	}
+	dir := t.TempDir()
+	nodeBin := buildCmd(t, dir, "dvdcnode")
+	ctlBin := buildCmd(t, dir, "dvdcctl")
+
+	var nodeAddrs, obsAddrs []string
+	var procs []*exec.Cmd
+	for i := 0; i < 3; i++ {
+		cmd := exec.Command(nodeBin, "-listen", "127.0.0.1:0", "-obs-addr", "127.0.0.1:0")
+		stdout, err := cmd.StdoutPipe()
+		if err != nil {
+			t.Fatal(err)
+		}
+		stderr, err := cmd.StderrPipe()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		procs = append(procs, cmd)
+		addrCh := scanForPrefix(bufio.NewScanner(stdout), "listening on ")
+		obsCh := scanForPrefix(bufio.NewScanner(stderr), "obs listening on ")
+		nodeAddrs = append(nodeAddrs, waitLine(t, addrCh, fmt.Sprintf("daemon %d address", i)))
+		obsAddrs = append(obsAddrs, waitLine(t, obsCh, fmt.Sprintf("daemon %d obs address", i)))
+	}
+	t.Cleanup(func() {
+		for _, p := range procs {
+			p.Process.Kill()
+			p.Wait()
+		}
+	})
+
+	// A paced session stays alive while top scrapes it.
+	pmDir := filepath.Join(dir, "postmortems")
+	ctl := exec.Command(ctlBin,
+		"-nodes", strings.Join(nodeAddrs, ","),
+		"-rounds", "500", "-steps", "50", "-pages", "32",
+		"-round-interval", "200ms",
+		"-obs-addr", "127.0.0.1:0",
+		"-postmortem-dir", pmDir)
+	ctlOut, err := ctl.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctlErr, err := ctl.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ctl.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctl.Process.Kill()
+		ctl.Wait()
+	})
+	coordObs := waitLine(t, scanForPrefix(bufio.NewScanner(ctlErr), "obs listening on "), "controller obs address")
+	obsAddrs = append(obsAddrs, coordObs)
+	// Two closed rounds guarantee the scrape sees a finished round tree.
+	waitLine(t, scanForPrefix(bufio.NewScanner(ctlOut), "round 2:"), "second round")
+
+	top := exec.Command(ctlBin, "top", "-scrape", strings.Join(obsAddrs, ","), "-once")
+	out, err := top.CombinedOutput()
+	text := string(out)
+	if err != nil {
+		t.Fatalf("dvdcctl top -once: %v\n%s", err, text)
+	}
+	for _, want := range []string{
+		"dvdc cluster telemetry — 4 source(s)",
+		"round trace ",
+		"[CLOSED]",
+		"LANE",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("top output missing %q:\n%s", want, text)
+		}
+	}
+	if strings.Contains(text, "DOWN") {
+		t.Errorf("top reports a down source:\n%s", text)
+	}
+
+	// No failure happened, so the postmortem dir must hold no bundles and the
+	// renderer must say so.
+	pm := exec.Command(ctlBin, "postmortem", "-dir", pmDir)
+	if out, err := pm.CombinedOutput(); err == nil || !strings.Contains(string(out), "no postmortem bundles") {
+		t.Errorf("postmortem on a clean session = (%v)\n%s", err, out)
+	}
+}
+
 func TestCmdSmokeSimAndBench(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multi-process smoke test")

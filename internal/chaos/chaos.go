@@ -177,6 +177,7 @@ type Injector struct {
 	log         []Fault
 	counters    *metrics.Counters
 	tracer      *obs.Tracer
+	recorder    *obs.FlightRecorder
 }
 
 // New builds an injector. cfg may be the zero value (armed faults only).
@@ -211,6 +212,15 @@ func (i *Injector) Tracer() *obs.Tracer {
 	i.mu.Lock()
 	defer i.mu.Unlock()
 	return i.tracer
+}
+
+// SetRecorder attaches a flight recorder: every fired fault lands in its
+// bounded log, so a postmortem bundle shows the chaos the process absorbed
+// right before it failed.
+func (i *Injector) SetRecorder(rec *obs.FlightRecorder) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.recorder = rec
 }
 
 // Register maps a node's listen address so dialers can resolve Dst ids.
@@ -356,6 +366,13 @@ func (i *Injector) record(f Fault) {
 	}
 	i.log = append(i.log, f)
 	i.counters.Add(f.Kind.String(), 1)
+	if i.recorder != nil {
+		pair := f.Pair.String()
+		if f.Kind == Kill || f.Kind == Restart {
+			pair = fmt.Sprintf("node%d", f.Node)
+		}
+		i.recorder.Chaos(f.Kind.String(), pair, f.Note)
+	}
 }
 
 // pair returns (creating) a pair's state. Callers hold i.mu.

@@ -1,0 +1,183 @@
+package collect
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"time"
+
+	"dvdc/internal/obs"
+)
+
+var base = time.Date(2026, 1, 1, 12, 0, 0, 0, time.UTC)
+
+// mkSpan builds one span with millisecond offsets from the test epoch.
+func mkSpan(trace, id, parent uint64, name, lane string, startMS, endMS int, kv ...string) obs.Span {
+	s := obs.Span{
+		Trace: trace, ID: id, Parent: parent, Name: name, Lane: lane,
+		Start: base.Add(time.Duration(startMS) * time.Millisecond),
+		End:   base.Add(time.Duration(endMS) * time.Millisecond),
+	}
+	for i := 0; i+1 < len(kv); i += 2 {
+		if s.Attrs == nil {
+			s.Attrs = map[string]string{}
+		}
+		s.Attrs[kv[i]] = kv[i+1]
+	}
+	return s
+}
+
+// roundSpans is a synthetic two-phase round trace spanning three processes:
+// the coordinator's lane, pool rpc spans (empty lane, peer attr), and node
+// handler lanes — the shape the live cluster produces.
+func roundSpans() []obs.Span {
+	return []obs.Span{
+		mkSpan(7, 1, 0, "round", "coord", 0, 100, "epoch", "5"),
+		mkSpan(7, 2, 1, "prepare", "coord", 0, 20),
+		mkSpan(7, 3, 2, "rpc MsgPrepare", "", 0, 18, "peer", "node1"),
+		mkSpan(7, 4, 3, "node.MsgPrepare", "node1", 1, 17),
+		mkSpan(7, 5, 2, "rpc MsgPrepare", "", 0, 12, "peer", "node2"),
+		mkSpan(7, 6, 5, "node.MsgPrepare", "node2", 1, 11),
+		mkSpan(7, 7, 1, "commit", "coord", 20, 100),
+		mkSpan(7, 8, 7, "rpc MsgCommit", "", 20, 98, "peer", "node2"),
+		mkSpan(7, 9, 8, "node.MsgCommit", "node2", 21, 30),
+		mkSpan(7, 10, 7, "rpc MsgCommit", "", 20, 30, "peer", "node1"),
+		mkSpan(7, 11, 10, "node.MsgCommit", "node1", 21, 29),
+	}
+}
+
+func TestBuildTreeMergeDeterminism(t *testing.T) {
+	spans := roundSpans()
+	want, err := BuildTree(spans).Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		shuffled := append([]obs.Span(nil), spans...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		// Duplicate a random prefix: re-scraping an endpoint must not change
+		// the merge.
+		shuffled = append(shuffled, shuffled[:rng.Intn(len(shuffled))]...)
+		got, err := BuildTree(shuffled).Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("trial %d: merged tree differs from canonical:\n got: %s\nwant: %s", trial, got, want)
+		}
+	}
+}
+
+func TestCollectorMergeOrderIndependent(t *testing.T) {
+	spans := roundSpans()
+	a, b := New(), New()
+	// a: pushed in order, twice. b: pushed in reverse, split into two batches.
+	a.Add(spans...)
+	a.Add(spans...)
+	rev := append([]obs.Span(nil), spans...)
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	b.Add(rev[:4]...)
+	b.Add(rev[4:]...)
+
+	am, err := a.Tree(7).Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bm, err := b.Tree(7).Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(am, bm) {
+		t.Fatalf("collectors disagree:\n a: %s\n b: %s", am, bm)
+	}
+	if a.Len() != len(spans) {
+		t.Fatalf("Len = %d, want %d (dedup failed)", a.Len(), len(spans))
+	}
+}
+
+func TestCollectorPrefersFinishedSpan(t *testing.T) {
+	inflight := mkSpan(7, 1, 0, "round", "coord", 0, 0) // scraped mid-flight
+	finished := mkSpan(7, 1, 0, "round", "coord", 0, 100)
+	c1, c2 := New(), New()
+	c1.Add(inflight)
+	c1.Add(finished)
+	c2.Add(finished)
+	c2.Add(inflight)
+	for i, c := range []*Collector{c1, c2} {
+		got := c.Spans()
+		if len(got) != 1 || !got[0].End.Equal(finished.End) {
+			t.Fatalf("collector %d kept %+v, want the finished copy", i, got)
+		}
+	}
+}
+
+func TestTreeVerify(t *testing.T) {
+	if err := BuildTree(roundSpans()).Verify(); err != nil {
+		t.Fatalf("well-formed tree rejected: %v", err)
+	}
+
+	// Orphan: drop the prepare span; its rpc children lose their parent.
+	var orphaned []obs.Span
+	for _, s := range roundSpans() {
+		if s.ID != 2 {
+			orphaned = append(orphaned, s)
+		}
+	}
+	if err := BuildTree(orphaned).Verify(); err == nil {
+		t.Fatal("orphaned tree verified")
+	}
+
+	// Two roots: a second span with Parent == 0.
+	two := append(roundSpans(), mkSpan(7, 99, 0, "stray", "coord", 5, 6))
+	if err := BuildTree(two).Verify(); err == nil {
+		t.Fatal("double-rooted tree verified")
+	}
+
+	// Empty.
+	if err := BuildTree(nil).Verify(); err == nil {
+		t.Fatal("empty tree verified")
+	}
+}
+
+func TestLatestRound(t *testing.T) {
+	c := New()
+	c.Add(roundSpans()...)
+	later := mkSpan(9, 50, 0, "round", "coord", 200, 250, "epoch", "6")
+	c.Add(later)
+	c.Add(mkSpan(11, 60, 0, "recovery", "coord", 300, 400)) // different root name
+	if got := c.LatestRound("round"); got != 9 {
+		t.Fatalf("LatestRound = %d, want 9", got)
+	}
+	if got := c.LatestRound("recovery"); got != 11 {
+		t.Fatalf("LatestRound(recovery) = %d, want 11", got)
+	}
+}
+
+func TestMetricValue(t *testing.T) {
+	exp := `# HELP dvdc_up up
+# TYPE dvdc_up gauge
+dvdc_up 1
+dvdc_obs_open_spans 3
+dvdc_spans_dropped_total 17
+dvdc_rpc_latency_seconds_count{peer="node1"} 42
+dvdc_pool_dials_total{peer="node2"} 7
+`
+	if v, ok := MetricValue(exp, "dvdc_up"); !ok || v != 1 {
+		t.Fatalf("dvdc_up = %v, %v", v, ok)
+	}
+	if v, ok := MetricValue(exp, "dvdc_spans_dropped_total"); !ok || v != 17 {
+		t.Fatalf("dropped = %v, %v", v, ok)
+	}
+	if v, ok := MetricValue(exp, "dvdc_pool_dials_total", "peer=node2"); !ok || v != 7 {
+		t.Fatalf("labeled = %v, %v", v, ok)
+	}
+	if _, ok := MetricValue(exp, "dvdc_pool_dials_total", "peer=node9"); ok {
+		t.Fatal("matched absent label")
+	}
+	if _, ok := MetricValue(exp, "dvdc_obs_open"); ok {
+		t.Fatal("matched a name prefix as a whole name")
+	}
+}

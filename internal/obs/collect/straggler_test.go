@@ -1,0 +1,177 @@
+package collect
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"dvdc/internal/obs"
+)
+
+func TestAttributeNamesDelayedPeer(t *testing.T) {
+	// roundSpans delays node2's commit rpc: the rpc span runs 78ms while its
+	// handler span covers only 9ms — the shape a chaos delay fault produces.
+	a := Attribute(BuildTree(roundSpans()))
+	if a == nil {
+		t.Fatal("Attribute returned nil for a well-formed tree")
+	}
+	if a.Trace != 7 || a.RootLane != "coord" || a.Wall != 100*time.Millisecond {
+		t.Fatalf("attribution header = %+v", a)
+	}
+	if a.Straggler != "node2" || a.StragglerSpan != "rpc MsgCommit" {
+		t.Fatalf("straggler = %q in %q, want node2 in rpc MsgCommit", a.Straggler, a.StragglerSpan)
+	}
+	if a.StragglerDur != 69*time.Millisecond { // 78ms rpc minus the 9ms handler
+		t.Fatalf("straggler self time = %v, want 69ms", a.StragglerDur)
+	}
+
+	// Lanes: node2 (2+10+69+9), node1 (2+16+2+8), coord (all covered by children).
+	wantLanes := []LaneTime{
+		{Lane: "node2", Busy: 90 * time.Millisecond, Spans: 4},
+		{Lane: "node1", Busy: 28 * time.Millisecond, Spans: 4},
+		{Lane: "coord", Busy: 0, Spans: 3},
+	}
+	if len(a.Lanes) != len(wantLanes) {
+		t.Fatalf("lanes = %+v", a.Lanes)
+	}
+	for i, want := range wantLanes {
+		if a.Lanes[i] != want {
+			t.Fatalf("lane %d = %+v, want %+v", i, a.Lanes[i], want)
+		}
+	}
+
+	// Critical path descends through the span that finished last at each level.
+	wantPath := []string{"round", "commit", "rpc MsgCommit", "node.MsgCommit"}
+	if len(a.Path) != len(wantPath) {
+		t.Fatalf("path = %+v", a.Path)
+	}
+	for i, want := range wantPath {
+		if a.Path[i].Name != want {
+			t.Fatalf("path step %d = %+v, want %s", i, a.Path[i], want)
+		}
+	}
+	if got := a.String(); got != "straggler node2 (rpc MsgCommit, 69ms of 100ms round)" {
+		t.Fatalf("String() = %q", got)
+	}
+}
+
+func TestAttributeDegenerate(t *testing.T) {
+	if Attribute(nil) != nil {
+		t.Fatal("Attribute(nil) != nil")
+	}
+	// Double-rooted tree has no root to attribute from.
+	spans := []obs.Span{
+		mkSpan(3, 1, 0, "round", "coord", 0, 10),
+		mkSpan(3, 2, 0, "stray", "coord", 0, 5),
+	}
+	if Attribute(BuildTree(spans)) != nil {
+		t.Fatal("Attribute on double-rooted tree != nil")
+	}
+	// Coordinator-only round: no off-root lane, so no straggler.
+	solo := Attribute(BuildTree([]obs.Span{mkSpan(4, 1, 0, "round", "coord", 0, 10)}))
+	if solo == nil || solo.Straggler != "" {
+		t.Fatalf("solo attribution = %+v, want balanced", solo)
+	}
+	if got := solo.String(); got != "balanced round (10ms wall)" {
+		t.Fatalf("String() = %q", got)
+	}
+}
+
+func TestAttributionExport(t *testing.T) {
+	reg := obs.NewRegistry()
+	a := Attribute(BuildTree(roundSpans()))
+	a.Export(reg)
+	a.Export(reg) // second round with the same straggler
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	exp := b.String()
+	if v, ok := MetricValue(exp, "dvdc_round_straggler_total", "node=node2"); !ok || v != 2 {
+		t.Fatalf("straggler counter = %v, %v\n%s", v, ok, exp)
+	}
+	if v, ok := MetricValue(exp, "dvdc_round_straggler_seconds"); !ok || v != 0.069 {
+		t.Fatalf("straggler seconds = %v, %v\n%s", v, ok, exp)
+	}
+
+	// Nil and balanced attributions must not publish anything.
+	var nilAttr *Attribution
+	nilAttr.Export(reg)
+	(&Attribution{}).Export(reg)
+}
+
+func TestOutlierTracker(t *testing.T) {
+	o := NewOutlierTracker(0, 0) // defaults: window 256, factor 3, minN 8
+	for i := 0; i < 10; i++ {
+		o.Observe("node1", time.Millisecond)
+		o.Observe("node2", time.Millisecond)
+		o.Observe("node3", 50*time.Millisecond)
+	}
+	if got := o.Peers(); len(got) != 3 || got[0] != "node1" || got[2] != "node3" {
+		t.Fatalf("Peers = %v", got)
+	}
+	if got := o.P99("node3"); got != 50*time.Millisecond {
+		t.Fatalf("P99(node3) = %v", got)
+	}
+	if got := o.P99("ghost"); got != 0 {
+		t.Fatalf("P99(ghost) = %v", got)
+	}
+	if got := o.ClusterMedian(); got != time.Millisecond {
+		t.Fatalf("ClusterMedian = %v", got)
+	}
+	if o.IsOutlier("node1") || !o.IsOutlier("node3") {
+		t.Fatalf("outlier flags wrong: node1=%v node3=%v", o.IsOutlier("node1"), o.IsOutlier("node3"))
+	}
+	if got := o.Outliers(); len(got) != 1 || got[0] != "node3" {
+		t.Fatalf("Outliers = %v", got)
+	}
+}
+
+func TestOutlierTrackerMinSamples(t *testing.T) {
+	o := NewOutlierTracker(0, 0)
+	for i := 0; i < 10; i++ {
+		o.Observe("steady", time.Millisecond)
+	}
+	for i := 0; i < 7; i++ { // one short of minN
+		o.Observe("slow", 100*time.Millisecond)
+	}
+	if o.IsOutlier("slow") {
+		t.Fatal("flagged a peer with fewer than minN samples")
+	}
+	o.Observe("slow", 100*time.Millisecond)
+	if !o.IsOutlier("slow") {
+		t.Fatal("did not flag a 100x-median peer at minN samples")
+	}
+}
+
+func TestOutlierTrackerObserveSpansAndExport(t *testing.T) {
+	reg := obs.NewRegistry()
+	o := NewOutlierTracker(0, 0)
+	o.SetRegistry(reg)
+	spans := []obs.Span{
+		mkSpan(1, 1, 0, "rpc MsgCommit", "", 0, 60, "peer", "node9"),
+		mkSpan(1, 2, 0, "node.MsgCommit", "node9", 0, 50), // handler: no peer attr, skipped
+		mkSpan(1, 3, 0, "rpc MsgCommit", "", 0, 2, "peer", "node8"),
+	}
+	for i := 0; i < 8; i++ {
+		o.ObserveSpans(spans)
+	}
+	if got := o.Peers(); len(got) != 2 {
+		t.Fatalf("Peers = %v, want rpc spans only", got)
+	}
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	exp := b.String()
+	if v, ok := MetricValue(exp, "dvdc_peer_latency_p99_seconds", "peer=node9"); !ok || v != 0.06 {
+		t.Fatalf("p99 gauge = %v, %v\n%s", v, ok, exp)
+	}
+	if v, ok := MetricValue(exp, "dvdc_peer_latency_outlier", "peer=node9"); !ok || v != 1 {
+		t.Fatalf("outlier gauge = %v, %v\n%s", v, ok, exp)
+	}
+	if v, ok := MetricValue(exp, "dvdc_peer_latency_outlier", "peer=node8"); !ok || v != 0 {
+		t.Fatalf("outlier gauge node8 = %v, %v\n%s", v, ok, exp)
+	}
+}

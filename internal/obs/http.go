@@ -54,6 +54,9 @@ func Serve(addr string, reg *Registry, tr *Tracer) (*Server, error) {
 		reg.Gauge("dvdc_up").Set(1)
 		if tr != nil {
 			reg.GaugeFunc("dvdc_obs_open_spans", func() float64 { return float64(tr.OpenSpans()) })
+			// The /spans buffer is a bounded ring: when it wraps, the oldest
+			// spans are evicted and this counter says how many a scraper missed.
+			reg.CounterFunc("dvdc_spans_dropped_total", func() float64 { return float64(tr.Dropped()) })
 		}
 	}
 	ln, err := net.Listen("tcp", addr)

@@ -1,0 +1,371 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// FlightEntry is one event in the flight recorder's bounded log: a finished
+// span, an RPC outcome, a chaos fault, or a free-form note. Entries are
+// small and uniform so the ring holds a long pre-failure window cheaply.
+type FlightEntry struct {
+	Time  time.Time         `json:"time"`
+	Kind  string            `json:"kind"`            // "span" | "rpc" | "chaos" | "note"
+	Name  string            `json:"name"`            // span name, RPC message type, fault kind
+	Lane  string            `json:"lane,omitempty"`  // who did the work (coord, nodeN, chaos)
+	Peer  string            `json:"peer,omitempty"`  // RPC peer / fault pair
+	Trace uint64            `json:"trace,omitempty"` // owning trace id, when known
+	DurNS int64             `json:"dur_ns,omitempty"`
+	Err   string            `json:"err,omitempty"`
+	Attrs map[string]string `json:"attrs,omitempty"`
+}
+
+// String renders one human-readable line (used by `dvdcctl postmortem`).
+func (e FlightEntry) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s  %-5s %s", e.Time.Format("15:04:05.000000"), e.Kind, e.Name)
+	if e.Lane != "" {
+		fmt.Fprintf(&b, " [%s]", e.Lane)
+	}
+	if e.Peer != "" {
+		fmt.Fprintf(&b, " peer=%s", e.Peer)
+	}
+	if e.DurNS > 0 {
+		fmt.Fprintf(&b, " %v", time.Duration(e.DurNS).Round(time.Microsecond))
+	}
+	if e.Trace != 0 {
+		fmt.Fprintf(&b, " trace=%016x", e.Trace)
+	}
+	if len(e.Attrs) > 0 {
+		keys := make([]string, 0, len(e.Attrs))
+		for k := range e.Attrs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(&b, " %s=%s", k, e.Attrs[k])
+		}
+	}
+	if e.Err != "" {
+		fmt.Fprintf(&b, " ERR=%s", e.Err)
+	}
+	return b.String()
+}
+
+// FlightRecorder is a per-process black box: a bounded ring of recent
+// telemetry (spans, per-peer RPC outcomes, chaos events, notes) that can
+// dump a postmortem bundle — the ring as JSONL, a metrics snapshot, and run
+// metadata — when something goes wrong (PartialCommitError, a soak invariant
+// violation, SIGQUIT). Inspired by ReHype's recoverable pre-failure state:
+// the recorder keeps running at full fidelity so the 2 s before a failure
+// are always on disk-able record. All methods tolerate a nil receiver.
+type FlightRecorder struct {
+	ring  *Ring[FlightEntry]
+	dumps atomic.Int64
+
+	mu   sync.Mutex
+	dir  string // auto-dump directory ("" = AutoDump disabled)
+	reg  *Registry
+	meta map[string]interface{}
+}
+
+// NewFlightRecorder builds a recorder holding the last size entries
+// (<= 0 picks 4096).
+func NewFlightRecorder(size int) *FlightRecorder {
+	if size <= 0 {
+		size = 4096
+	}
+	return &FlightRecorder{ring: NewRing[FlightEntry](size), meta: map[string]interface{}{}}
+}
+
+// SetDumpDir sets where AutoDump writes bundles ("" disables AutoDump;
+// explicit Dump calls still work with an explicit directory).
+func (r *FlightRecorder) SetDumpDir(dir string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.dir = dir
+	r.mu.Unlock()
+}
+
+// SetRegistry attaches the metrics registry whose exposition is snapshotted
+// into every bundle.
+func (r *FlightRecorder) SetRegistry(reg *Registry) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.reg = reg
+	r.mu.Unlock()
+}
+
+// SetMeta attaches one key of run metadata (layout, seed, geometry) to every
+// subsequent bundle's meta.json. Values must be JSON-encodable.
+func (r *FlightRecorder) SetMeta(key string, v interface{}) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.meta[key] = v
+	r.mu.Unlock()
+}
+
+// Record appends one entry, stamping Time if unset.
+func (r *FlightRecorder) Record(e FlightEntry) {
+	if r == nil {
+		return
+	}
+	if e.Time.IsZero() {
+		e.Time = time.Now()
+	}
+	r.ring.Push(e)
+}
+
+// Note records a free-form annotation ("round 7 start", "node 2 killed").
+func (r *FlightRecorder) Note(name string, kv ...string) {
+	if r == nil {
+		return
+	}
+	r.Record(FlightEntry{Kind: "note", Name: name, Attrs: kvMap(kv)})
+}
+
+// RPC records one per-peer RPC outcome (the transport pool's feed).
+func (r *FlightRecorder) RPC(peer, msg string, d time.Duration, trace uint64, err error) {
+	if r == nil {
+		return
+	}
+	e := FlightEntry{Kind: "rpc", Name: msg, Peer: peer, DurNS: d.Nanoseconds(), Trace: trace}
+	if err != nil {
+		e.Err = err.Error()
+	}
+	r.Record(e)
+}
+
+// Span records one finished span; install via Tracer.SetTap:
+//
+//	tr.SetTap(rec.Span)
+func (r *FlightRecorder) Span(s Span) {
+	if r == nil {
+		return
+	}
+	e := FlightEntry{
+		Time: s.End, Kind: "span", Name: s.Name, Lane: s.Lane,
+		Trace: s.Trace, DurNS: s.Duration().Nanoseconds(), Err: s.Err,
+	}
+	if p := s.Attrs["peer"]; p != "" {
+		e.Peer = p
+	}
+	r.Record(e)
+}
+
+// Chaos records one injected fault (the chaos injector's feed).
+func (r *FlightRecorder) Chaos(kind, pair, note string) {
+	if r == nil {
+		return
+	}
+	r.Record(FlightEntry{Kind: "chaos", Name: kind, Peer: pair, Attrs: kvMap([]string{"note", note})})
+}
+
+// Entries snapshots the ring, oldest first.
+func (r *FlightRecorder) Entries() []FlightEntry {
+	if r == nil {
+		return nil
+	}
+	return r.ring.Snapshot()
+}
+
+// Dropped returns how many entries the ring evicted oldest-first.
+func (r *FlightRecorder) Dropped() int64 {
+	if r == nil {
+		return 0
+	}
+	return r.ring.Dropped()
+}
+
+// Dumps returns how many bundles this recorder has written.
+func (r *FlightRecorder) Dumps() int64 {
+	if r == nil {
+		return 0
+	}
+	return r.dumps.Load()
+}
+
+// BundleMeta is a postmortem bundle's meta.json.
+type BundleMeta struct {
+	Reason    string                 `json:"reason"`
+	Time      time.Time              `json:"time"`
+	Entries   int                    `json:"entries"`
+	Dropped   int64                  `json:"dropped"`
+	HostedPID int                    `json:"pid"`
+	Meta      map[string]interface{} `json:"meta,omitempty"`
+}
+
+// AutoDump writes a bundle into the configured dump directory; a no-op when
+// none is set. Errors are returned but safe to ignore on failure paths — the
+// recorder must never turn a postmortem into a second failure.
+func (r *FlightRecorder) AutoDump(reason string) (string, error) {
+	if r == nil {
+		return "", nil
+	}
+	r.mu.Lock()
+	dir := r.dir
+	r.mu.Unlock()
+	if dir == "" {
+		return "", nil
+	}
+	return r.Dump(dir, reason)
+}
+
+// Dump writes a postmortem bundle under dir and returns the bundle path:
+//
+//	<dir>/postmortem-<reason>-<nanotime>/
+//	    flight.jsonl   the ring's entries, oldest first, one JSON per line
+//	    metrics.prom   Prometheus exposition snapshot (when a registry is set)
+//	    meta.json      reason, timestamp, entry/drop counts, run metadata
+func (r *FlightRecorder) Dump(dir, reason string) (string, error) {
+	if r == nil {
+		return "", nil
+	}
+	slug := strings.Map(func(c rune) rune {
+		if c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '-' {
+			return c
+		}
+		return '-'
+	}, reason)
+	bundle := filepath.Join(dir, fmt.Sprintf("postmortem-%s-%d", slug, time.Now().UnixNano()))
+	if err := os.MkdirAll(bundle, 0o755); err != nil {
+		return "", fmt.Errorf("obs: bundle dir: %w", err)
+	}
+	entries := r.Entries()
+
+	f, err := os.Create(filepath.Join(bundle, "flight.jsonl"))
+	if err != nil {
+		return "", err
+	}
+	w := bufio.NewWriter(f)
+	enc := json.NewEncoder(w)
+	for _, e := range entries {
+		if err := enc.Encode(e); err != nil {
+			f.Close()
+			return "", err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return "", err
+	}
+	if err := f.Close(); err != nil {
+		return "", err
+	}
+
+	r.mu.Lock()
+	reg := r.reg
+	meta := make(map[string]interface{}, len(r.meta))
+	for k, v := range r.meta {
+		meta[k] = v
+	}
+	r.mu.Unlock()
+	if reg != nil {
+		mf, err := os.Create(filepath.Join(bundle, "metrics.prom"))
+		if err != nil {
+			return "", err
+		}
+		werr := reg.WritePrometheus(mf)
+		if cerr := mf.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return "", werr
+		}
+	}
+
+	bm := BundleMeta{
+		Reason: reason, Time: time.Now(), Entries: len(entries),
+		Dropped: r.Dropped(), HostedPID: os.Getpid(), Meta: meta,
+	}
+	mb, err := json.MarshalIndent(bm, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	if err := os.WriteFile(filepath.Join(bundle, "meta.json"), append(mb, '\n'), 0o644); err != nil {
+		return "", err
+	}
+	r.dumps.Add(1)
+	return bundle, nil
+}
+
+// Bundle is a postmortem bundle read back from disk.
+type Bundle struct {
+	Path    string
+	Meta    BundleMeta
+	Entries []FlightEntry
+	Metrics string // raw Prometheus exposition ("" when absent)
+}
+
+// ReadBundle loads a bundle directory written by Dump.
+func ReadBundle(dir string) (*Bundle, error) {
+	b := &Bundle{Path: dir}
+	mb, err := os.ReadFile(filepath.Join(dir, "meta.json"))
+	if err != nil {
+		return nil, fmt.Errorf("obs: read bundle: %w", err)
+	}
+	if err := json.Unmarshal(mb, &b.Meta); err != nil {
+		return nil, fmt.Errorf("obs: bundle meta.json: %w", err)
+	}
+	f, err := os.Open(filepath.Join(dir, "flight.jsonl"))
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var e FlightEntry
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			return nil, fmt.Errorf("obs: flight.jsonl line %d: %w", line, err)
+		}
+		b.Entries = append(b.Entries, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if pm, err := os.ReadFile(filepath.Join(dir, "metrics.prom")); err == nil {
+		b.Metrics = string(pm)
+	}
+	return b, nil
+}
+
+// FindBundles lists bundle directories under dir, oldest first.
+func FindBundles(dir string) ([]string, error) {
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		// Dump dirs are created lazily on the first dump; a missing dir just
+		// means nothing has failed yet.
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var out []string
+	for _, de := range des {
+		if de.IsDir() && strings.HasPrefix(de.Name(), "postmortem-") {
+			out = append(out, filepath.Join(dir, de.Name()))
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}

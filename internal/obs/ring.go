@@ -1,0 +1,87 @@
+package obs
+
+import "sync"
+
+// Ring is a bounded FIFO buffer that evicts oldest-first when full and
+// counts what it evicted. It backs everything in the observability layer
+// that must not grow without bound on a long run: the tracer's finished-span
+// buffer (served by /spans) and the flight recorder's entry log. Safe for
+// concurrent use; a nil *Ring drops everything.
+type Ring[T any] struct {
+	mu      sync.Mutex
+	buf     []T
+	next    int
+	full    bool
+	dropped int64
+}
+
+// NewRing builds a ring holding at most size elements (size <= 0 picks 1).
+func NewRing[T any](size int) *Ring[T] {
+	if size <= 0 {
+		size = 1
+	}
+	return &Ring[T]{buf: make([]T, size)}
+}
+
+// Push appends v, evicting the oldest element when the ring is full.
+func (r *Ring[T]) Push(v T) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if r.full {
+		r.dropped++
+	}
+	r.buf[r.next] = v
+	r.next++
+	if r.next == len(r.buf) {
+		r.next, r.full = 0, true
+	}
+	r.mu.Unlock()
+}
+
+// Len returns how many elements the ring currently holds.
+func (r *Ring[T]) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.full {
+		return len(r.buf)
+	}
+	return r.next
+}
+
+// Cap returns the ring's fixed capacity.
+func (r *Ring[T]) Cap() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.buf)
+}
+
+// Dropped returns how many elements were evicted to make room.
+func (r *Ring[T]) Dropped() int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// Snapshot copies the ring's contents, oldest first.
+func (r *Ring[T]) Snapshot() []T {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []T
+	if r.full {
+		out = append(out, r.buf[r.next:]...)
+	}
+	out = append(out, r.buf[:r.next]...)
+	return out
+}

@@ -67,23 +67,45 @@ type Tracer struct {
 	idSeq  atomic.Uint64
 	open   atomic.Int64
 
+	ring *Ring[Span]
+
 	mu      sync.Mutex
-	ring    []Span
-	next    int
-	full    bool
 	sink    *bufio.Writer
 	sinkErr error
+	tap     func(Span)
 }
 
 // NewTracer builds a tracer whose ring keeps the last ringSize finished
-// spans (<= 0 picks 8192).
+// spans (<= 0 picks 8192). The ring is a hard bound on what /spans can ever
+// serve: when it wraps, the oldest spans are evicted and counted (Dropped).
 func NewTracer(ringSize int) *Tracer {
 	if ringSize <= 0 {
 		ringSize = 8192
 	}
 	// Ids mix a random per-process base with a sequence so they are unique in
 	// process and unlikely to collide across processes writing one sink.
-	return &Tracer{idBase: rand.Uint64(), ring: make([]Span, ringSize)} //nolint:gosec
+	return &Tracer{idBase: rand.Uint64(), ring: NewRing[Span](ringSize)} //nolint:gosec
+}
+
+// Dropped returns how many finished spans the ring evicted oldest-first to
+// stay within its bound (exported as dvdc_spans_dropped_total).
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.ring.Dropped()
+}
+
+// SetTap attaches a function called with every subsequently finished span
+// (nil detaches). The flight recorder taps the tracer this way; the tap runs
+// on the finishing goroutine and must be fast.
+func (t *Tracer) SetTap(fn func(Span)) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.tap = fn
+	t.mu.Unlock()
 }
 
 // SetSink streams every subsequently finished span to w as one JSON object
@@ -195,20 +217,20 @@ func (t *Tracer) OpenSpans() int64 {
 	return t.open.Load()
 }
 
-// record lands a finished span in the ring and the sink.
+// record lands a finished span in the ring, the sink, and the tap.
 func (t *Tracer) record(s Span) {
+	t.ring.Push(s)
 	t.mu.Lock()
-	defer t.mu.Unlock()
-	t.ring[t.next] = s
-	t.next++
-	if t.next == len(t.ring) {
-		t.next, t.full = 0, true
-	}
 	if t.sink != nil && t.sinkErr == nil {
 		enc := json.NewEncoder(t.sink)
 		if err := enc.Encode(s); err != nil {
 			t.sinkErr = err
 		}
+	}
+	tap := t.tap
+	t.mu.Unlock()
+	if tap != nil {
+		tap(s)
 	}
 }
 
@@ -217,14 +239,7 @@ func (t *Tracer) Spans() []Span {
 	if t == nil {
 		return nil
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	var out []Span
-	if t.full {
-		out = append(out, t.ring[t.next:]...)
-	}
-	out = append(out, t.ring[:t.next]...)
-	return out
+	return t.ring.Snapshot()
 }
 
 // TraceSpans returns the ring's spans belonging to one trace, oldest first.

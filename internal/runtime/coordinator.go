@@ -54,6 +54,7 @@ type Coordinator struct {
 	dialer         transport.DialFunc
 	tracer         *obs.Tracer
 	registry       *obs.Registry
+	recorder       *obs.FlightRecorder
 
 	statsMu   sync.Mutex
 	lastRound RoundStats
@@ -137,6 +138,17 @@ func (c *Coordinator) SetObserver(tr *obs.Tracer, reg *obs.Registry) {
 	c.mu.Unlock()
 }
 
+// SetFlightRecorder attaches a black-box flight recorder (may be nil). Every
+// pool RPC outcome lands in its bounded log, and a PartialCommitError — the
+// protocol's "a node died mid-commit" failure — auto-dumps a postmortem
+// bundle. Like SetObserver, pool-level wiring only reaches pools created
+// after the call, so attach before the first round.
+func (c *Coordinator) SetFlightRecorder(rec *obs.FlightRecorder) {
+	c.mu.Lock()
+	c.recorder = rec
+	c.mu.Unlock()
+}
+
 // SetFanout bounds how many nodes each control-plane phase contacts
 // concurrently (<= 0 restores the default).
 func (c *Coordinator) SetFanout(k int) {
@@ -195,6 +207,7 @@ func (c *Coordinator) pool(node int) (*transport.Pool, error) {
 		Peer:        fmt.Sprintf("node%d", node),
 		Tracer:      c.tracer,
 		Registry:    c.registry,
+		Recorder:    c.recorder,
 	})
 	c.pools[node] = p
 	return p, nil
@@ -526,6 +539,13 @@ func (c *Coordinator) Checkpoint() error {
 	if len(failed) > 0 {
 		err := &PartialCommitError{Epoch: next, Nodes: failed}
 		root.FinishErr(err)
+		// The black-box moment: a node died mid-commit. Dump the flight
+		// recorder's pre-failure window before recovery traffic overwrites it.
+		c.mu.Lock()
+		rec := c.recorder
+		c.mu.Unlock()
+		rec.Note("partial-commit", "epoch", fmt.Sprintf("%d", next), "nodes", fmt.Sprintf("%v", failed))
+		rec.AutoDump("partial-commit") //nolint:errcheck // never turn a postmortem into a second failure
 		return err
 	}
 	root.Finish()

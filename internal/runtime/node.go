@@ -40,6 +40,7 @@ type Node struct {
 	dialer     transport.DialFunc
 	tracer     *obs.Tracer
 	registry   *obs.Registry
+	recorder   *obs.FlightRecorder
 
 	statsMu sync.Mutex
 	stats   NodeStats
@@ -97,11 +98,13 @@ type NodeOptions struct {
 	Dialer transport.DialFunc   // outbound peer connections (nil = TCP)
 	Listen transport.ListenFunc // the daemon's own listener (nil = TCP)
 
-	// Observability (both optional): traced requests get per-handler spans in
-	// this node's lane, and the registry gets the node's peer-pool health
-	// series and RPC latency histograms.
+	// Observability (all optional): traced requests get per-handler spans in
+	// this node's lane, the registry gets the node's peer-pool health series
+	// and RPC latency histograms, and the flight recorder logs every peer RPC
+	// outcome for postmortem bundles.
 	Tracer   *obs.Tracer
 	Registry *obs.Registry
+	Recorder *obs.FlightRecorder
 }
 
 // NewNode starts a node daemon listening on addr ("127.0.0.1:0" for tests).
@@ -120,6 +123,7 @@ func NewNodeWith(addr string, opts NodeOptions) (*Node, error) {
 		dialer:   opts.Dialer,
 		tracer:   opts.Tracer,
 		registry: opts.Registry,
+		recorder: opts.Recorder,
 	}
 	if opts.Registry != nil {
 		mountBufpoolStats(opts.Registry)
@@ -187,6 +191,7 @@ func (n *Node) pool(id int) (*transport.Pool, error) {
 		Peer:        fmt.Sprintf("node%d", id),
 		Tracer:      n.tracer,
 		Registry:    n.registry,
+		Recorder:    n.recorder,
 	})
 	n.pools[id] = p
 	return p, nil

@@ -11,6 +11,7 @@ import (
 	"dvdc/internal/chaos"
 	"dvdc/internal/cluster"
 	"dvdc/internal/obs"
+	"dvdc/internal/obs/collect"
 	"dvdc/internal/wire"
 )
 
@@ -39,10 +40,16 @@ type SoakConfig struct {
 	// produces (nil = the harness builds its own and additionally asserts no
 	// span leaks open); TraceSink streams those spans as JSONL; Registry
 	// collects the cluster's metrics, including the injector's fault tallies
-	// mounted as dvdc_chaos_faults_total{kind}.
-	Tracer    *obs.Tracer
-	TraceSink io.Writer
-	Registry  *obs.Registry
+	// mounted as dvdc_chaos_faults_total{kind}. Recorder is the run's black
+	// box: it taps the tracer, the pools' RPC outcomes, and the injector's
+	// fired faults, and dumps a postmortem bundle on any invariant violation
+	// (nil with a PostmortemDir set builds one internally). PostmortemDir is
+	// where bundles land ("" disables dumping).
+	Tracer        *obs.Tracer
+	TraceSink     io.Writer
+	Registry      *obs.Registry
+	Recorder      *obs.FlightRecorder
+	PostmortemDir string
 }
 
 func (c SoakConfig) withDefaults() SoakConfig {
@@ -69,9 +76,10 @@ func (c SoakConfig) withDefaults() SoakConfig {
 
 // RoundRecord is the deterministic per-round outcome of a soak. Wall-clock
 // durations and retry totals are deliberately split out: under a fixed seed
-// the fields of this struct except RPCRetries are bit-reproducible, while
-// RPCRetries depends on connection-pool reuse timing and is checked as a
-// lower-bounded reconciliation instead.
+// the fields of this struct except RPCRetries and Straggler are
+// bit-reproducible, while RPCRetries depends on connection-pool reuse timing
+// (checked as a lower-bounded reconciliation instead) and Straggler on which
+// member's spans happened to dominate the round's critical path.
 type RoundRecord struct {
 	Round        int    // 1-based, matches the injector's round tags
 	Epoch        uint64 // coordinator epoch at the end of the round
@@ -80,6 +88,7 @@ type RoundRecord struct {
 	RPCRetries   int64  // pool retries across the round's checkpoints (timing-dependent)
 	DeadDuring   []int  // nodes declared dead mid-commit (PartialCommitError)
 	Kills        []int  // nodes the kill plan took down this round
+	Straggler    string // lane the round's critical path waited on (timing-dependent)
 }
 
 // SoakResult is the full account of a soak run.
@@ -134,6 +143,7 @@ type soakCluster struct {
 	addrs map[int]string
 	tr    *obs.Tracer
 	reg   *obs.Registry
+	rec   *obs.FlightRecorder
 }
 
 func (sc *soakCluster) start(i int, addr string) error {
@@ -142,6 +152,7 @@ func (sc *soakCluster) start(i int, addr string) error {
 		Listen:   sc.inj.ListenFunc(i),
 		Tracer:   sc.tr,
 		Registry: sc.reg,
+		Recorder: sc.rec,
 	})
 	if err != nil {
 		return err
@@ -186,8 +197,29 @@ func RunSoak(cfg SoakConfig) (*SoakResult, error) {
 	}
 	layout := cfg.Layout
 	res := &SoakResult{}
+
+	// The run's black box: tap every finished span, RPC outcome, and fired
+	// fault into a bounded ring so an invariant violation dumps the failure's
+	// immediate past as a postmortem bundle.
+	rec := cfg.Recorder
+	if rec == nil && cfg.PostmortemDir != "" {
+		rec = obs.NewFlightRecorder(0)
+	}
+	if cfg.PostmortemDir != "" {
+		rec.SetDumpDir(cfg.PostmortemDir)
+	}
+	rec.SetRegistry(cfg.Registry)
+	rec.SetMeta("seed", cfg.Seed)
+	rec.SetMeta("rounds", cfg.Rounds)
+	if cfg.Layout != nil {
+		rec.SetMeta("nodes", cfg.Layout.Nodes)
+	}
+
 	fail := func(round int, format string, args ...interface{}) (*SoakResult, error) {
-		return res, fmt.Errorf("soak[seed %d, round %d]: %s", cfg.Seed, round, fmt.Sprintf(format, args...))
+		msg := fmt.Sprintf(format, args...)
+		rec.Note("soak-invariant", "round", fmt.Sprintf("%d", round), "violation", msg)
+		rec.AutoDump("soak-invariant") //nolint:errcheck // never turn a postmortem into a second failure
+		return res, fmt.Errorf("soak[seed %d, round %d]: %s", cfg.Seed, round, msg)
 	}
 
 	tr := cfg.Tracer
@@ -199,9 +231,14 @@ func RunSoak(cfg SoakConfig) (*SoakResult, error) {
 		tr.SetSink(cfg.TraceSink)
 		defer tr.Flush()
 	}
+	if rec != nil {
+		tr.SetTap(rec.Span)
+		defer tr.SetTap(nil)
+	}
 
 	inj := chaos.New(cfg.Seed, cfg.Chaos)
 	inj.SetTracer(tr)
+	inj.SetRecorder(rec)
 	inj.Pause() // probabilistic injection only runs inside checkpoint windows
 	if cfg.Registry != nil {
 		cfg.Registry.MountCounterSet("dvdc_chaos_faults_total", "kind", inj.Counters().Set())
@@ -220,7 +257,7 @@ func RunSoak(cfg SoakConfig) (*SoakResult, error) {
 	// injector's or the workloads' streams.
 	harness := rand.New(rand.NewSource(cfg.Seed ^ 0x5eed50a4c0ffee))
 
-	sc := &soakCluster{inj: inj, nodes: make([]*Node, layout.Nodes), addrs: map[int]string{}, tr: tr, reg: cfg.Registry}
+	sc := &soakCluster{inj: inj, nodes: make([]*Node, layout.Nodes), addrs: map[int]string{}, tr: tr, reg: cfg.Registry, rec: rec}
 	defer sc.close()
 	for i := 0; i < layout.Nodes; i++ {
 		if err := sc.start(i, "127.0.0.1:0"); err != nil {
@@ -234,6 +271,7 @@ func RunSoak(cfg SoakConfig) (*SoakResult, error) {
 	}
 	defer coord.Close()
 	coord.SetObserver(tr, cfg.Registry)
+	coord.SetFlightRecorder(rec)
 	coord.SetRPCTimeout(cfg.RPCTimeout)
 	coord.SetChunkSize(cfg.ChunkSize)
 	coord.SetDialer(inj.Dialer(chaos.Coordinator))
@@ -248,44 +286,34 @@ func RunSoak(cfg SoakConfig) (*SoakResult, error) {
 	lastEpoch := map[string]uint64{}
 	armedKinds := []chaos.Kind{chaos.Drop, chaos.Corrupt, chaos.Delay}
 
-	// checkTrace asserts one checkpoint's span tree is closed: one root, and
-	// every span's parent recorded in the same trace. Handlers abandoned by an
-	// RPC timeout can record their spans a beat after the caller returned, so
-	// a transient orphan is retried briefly before it counts as a violation.
-	checkTrace := func(traceID uint64) error {
+	// checkTrace asserts one checkpoint's span tree is closed: the collector's
+	// merged-tree verifier demands exactly one root and every span's parent
+	// recorded in the same trace. Handlers abandoned by an RPC timeout can
+	// record their spans a beat after the caller returned, so a transient
+	// orphan is retried briefly before it counts as a violation. On success
+	// the verified tree is returned for straggler attribution.
+	outliers := collect.NewOutlierTracker(0, 0)
+	outliers.SetRegistry(cfg.Registry)
+	checkTrace := func(traceID uint64) (*collect.Tree, error) {
 		if traceID == 0 {
-			return fmt.Errorf("trace: round recorded no trace id")
+			return nil, fmt.Errorf("trace: round recorded no trace id")
 		}
 		var lastErr error
 		deadline := time.Now().Add(2 * time.Second)
 		for {
-			lastErr = func() error {
-				spans := tr.TraceSpans(traceID)
-				if len(spans) == 0 {
-					return fmt.Errorf("trace %016x: no spans recorded", traceID)
-				}
-				byID := map[uint64]bool{}
-				for _, s := range spans {
-					byID[s.ID] = true
-				}
-				roots := 0
-				for _, s := range spans {
-					if s.Parent == 0 {
-						roots++
-						continue
-					}
-					if !byID[s.Parent] {
-						return fmt.Errorf("trace %016x: span %q (%x) orphaned: parent %x never recorded",
-							traceID, s.Name, s.ID, s.Parent)
-					}
-				}
-				if roots != 1 {
-					return fmt.Errorf("trace %016x: %d roots, want 1", traceID, roots)
-				}
-				return nil
-			}()
-			if lastErr == nil || !time.Now().Before(deadline) {
-				return lastErr
+			spans := tr.TraceSpans(traceID)
+			var tree *collect.Tree
+			if len(spans) == 0 {
+				lastErr = fmt.Errorf("trace %016x: no spans recorded", traceID)
+			} else {
+				tree = collect.BuildTree(spans)
+				lastErr = tree.Verify()
+			}
+			if lastErr == nil {
+				return tree, nil
+			}
+			if !time.Now().Before(deadline) {
+				return nil, lastErr
 			}
 			time.Sleep(20 * time.Millisecond)
 		}
@@ -531,9 +559,19 @@ func RunSoak(cfg SoakConfig) (*SoakResult, error) {
 		if int(rr.RPCRetries) < firedDisruptive {
 			return fail(round, "RPC retries %d < %d armed coordinator-pair faults", rr.RPCRetries, firedDisruptive)
 		}
-		if err := checkTrace(coord.RoundStats().TraceID); err != nil {
+		tree, err := checkTrace(coord.RoundStats().TraceID)
+		if err != nil {
 			return fail(round, "%v", err)
 		}
+		// Straggler attribution over the verified tree: who this round's
+		// wall-clock waited on, exported per round, plus the rolling per-peer
+		// latency windows behind the outlier gauges. Timing-dependent, so the
+		// record field stays out of the round digest.
+		if attr := collect.Attribute(tree); attr != nil {
+			attr.Export(cfg.Registry)
+			rr.Straggler = attr.Straggler
+		}
+		outliers.ObserveSpans(tree.Spans)
 		rr.Epoch = coord.Epoch()
 		res.Rounds = append(res.Rounds, rr)
 	}

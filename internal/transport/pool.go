@@ -29,10 +29,12 @@ type PoolOptions struct {
 	// Observability (all optional). Peer labels this pool's metric series and
 	// RPC spans (defaults to the dialed address); Tracer opens a child span
 	// per call attempt on traced requests; Registry gets the pool's health
-	// counters and a per-peer RPC latency histogram.
+	// counters and a per-peer RPC latency histogram; Recorder gets one flight
+	// entry per call attempt (the black box's RPC-outcome feed).
 	Peer     string
 	Tracer   *obs.Tracer
 	Registry *obs.Registry
+	Recorder *obs.FlightRecorder
 }
 
 func (o PoolOptions) withDefaults() PoolOptions {
@@ -189,9 +191,11 @@ func (p *Pool) Call(req *wire.Message) (*wire.Message, error) {
 		}
 		start := time.Now()
 		resp, err := c.Call(m)
+		elapsed := time.Since(start)
 		if p.latency != nil {
-			p.latency.Observe(time.Since(start).Seconds())
+			p.latency.Observe(elapsed.Seconds())
 		}
+		p.opts.Recorder.RPC(p.opts.Peer, req.Type.String(), elapsed, req.Trace, err)
 		span.FinishErr(err)
 		if err == nil {
 			p.put(c)
