@@ -18,6 +18,7 @@ import (
 	"strings"
 	"time"
 
+	"dvdc/internal/cli"
 	"dvdc/internal/experiments"
 	"dvdc/internal/metrics"
 	"dvdc/internal/obs"
@@ -26,21 +27,20 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment id (E1..E12) or 'all'")
-		list    = flag.Bool("list", false, "list experiments and exit")
-		csv     = flag.Bool("csv", false, "also print raw series as CSV")
-		outDir  = flag.String("out", "", "also write each artifact (and its CSV) into this directory")
-		mtbf    = flag.Float64("mtbf", 3*3600, "system MTBF in seconds (paper: 3 h)")
-		job     = flag.Float64("job", 2*24*3600, "fault-free job length in seconds (paper: 2 days)")
-		nodes   = flag.Int("nodes", 4, "physical nodes (paper: 4)")
-		stacks  = flag.Int("stacks", 1, "RAID group stacks (VMs/node = stacks*(nodes-1))")
-		image   = flag.Int64("image", 2<<30, "VM image bytes (default 2 GiB)")
-		wss     = flag.Float64("wss", 32*(1<<20), "dirty working-set bytes (default 32 MiB)")
-		rate    = flag.Float64("rate", 4*(1<<20), "guest write rate bytes/s (default 4 MiB/s)")
-		seed    = flag.Int64("seed", 20120521, "random seed")
-		runs    = flag.Int("runs", 60, "Monte-Carlo repetitions")
-		points  = flag.Int("points", 120, "sweep points for figures")
-		obsAddr = flag.String("obs-addr", "", "serve /metrics, /healthz and pprof here while running (empty = disabled)")
+		exp    = flag.String("exp", "all", "experiment id (E1..E12) or 'all'")
+		list   = flag.Bool("list", false, "list experiments and exit")
+		csv    = flag.Bool("csv", false, "also print raw series as CSV")
+		outDir = flag.String("out", "", "also write each artifact (and its CSV) into this directory")
+		mtbf   = flag.Float64("mtbf", 3*3600, "system MTBF in seconds (paper: 3 h)")
+		job    = flag.Float64("job", 2*24*3600, "fault-free job length in seconds (paper: 2 days)")
+		nodes  = flag.Int("nodes", 4, "physical nodes (paper: 4)")
+		stacks = flag.Int("stacks", 1, "RAID group stacks (VMs/node = stacks*(nodes-1))")
+		image  = flag.Int64("image", 2<<30, "VM image bytes (default 2 GiB)")
+		wss    = flag.Float64("wss", 32*(1<<20), "dirty working-set bytes (default 32 MiB)")
+		rate   = flag.Float64("rate", 4*(1<<20), "guest write rate bytes/s (default 4 MiB/s)")
+		seed   = flag.Int64("seed", 20120521, "random seed")
+		runs   = flag.Int("runs", 60, "Monte-Carlo repetitions")
+		points = flag.Int("points", 120, "sweep points for figures")
 
 		datapath   = flag.Bool("datapath", false, "run the monolithic-vs-chunked data-path comparison on a live cluster and exit")
 		dpRounds   = flag.Int("datapath-rounds", 20, "timed checkpoint rounds per data-path case")
@@ -50,6 +50,8 @@ func main() {
 		obRounds    = flag.Int("obs-rounds", 20, "timed checkpoint rounds per telemetry case")
 		obsJSONPath = flag.String("obs-json", "BENCH_obs.json", "where -obs writes its JSON artifact")
 	)
+	var common cli.Common
+	common.ObsAddrFlag(flag.CommandLine)
 	flag.Parse()
 
 	if *datapath {
@@ -68,16 +70,13 @@ func main() {
 	}
 
 	reg := obs.NewRegistry()
-	if *obsAddr != "" {
-		srv, err := obs.Serve(*obsAddr, reg, nil)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "dvdcbench: %v\n", err)
-			os.Exit(1)
-		}
+	srv, err := common.ServeObs("dvdcbench", reg, nil)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dvdcbench: %v\n", err)
+		os.Exit(1)
+	}
+	if srv != nil {
 		defer srv.Close()
-		fmt.Fprintf(os.Stderr, "dvdcbench: observability on http://%s/metrics\n", srv.Addr())
-		// Canonical bound-address line for script/collector discovery with :0.
-		fmt.Fprintf(os.Stderr, "obs listening on %s\n", srv.Addr())
 	}
 
 	if *list {

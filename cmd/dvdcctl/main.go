@@ -1,16 +1,26 @@
-// Command dvdcctl coordinates a set of dvdcnode daemons: it assigns the
-// DVDC layout, drives workload and two-phase checkpoint rounds, and — when
-// told a node died — runs the recovery protocol (parity reconstruction,
-// re-placement, parity re-homing).
+// Command dvdcctl coordinates a set of dvdcnode daemons through the
+// declarative checkpoint service: every session builds the control plane
+// (request store, admission gate, reconciler) over the coordinator, then
+// submits Checkpoint and Restore request objects and watches their status —
+// the same scheduling path remote callers use over the HTTP API.
 //
 // Typical session against four local daemons:
 //
 //	dvdcctl -nodes 127.0.0.1:7401,127.0.0.1:7402,127.0.0.1:7403,127.0.0.1:7404 \
 //	        -rounds 5 -steps 200 -kill 2
 //
-// runs five checkpointed work rounds, then declares node 2 dead and runs the
-// recovery protocol around it (whether or not the daemon process is actually
+// runs five checkpointed work rounds, then declares node 2 dead and submits
+// a Restore request around it (whether or not the daemon process is actually
 // gone: the controller stops talking to it either way).
+//
+// The serve subcommand runs the session headless: it configures the cluster,
+// mounts the service API under /api/v1 on the -obs-addr mux, and reconciles
+// submitted requests until interrupted. apply, get, and watch speak to it:
+//
+//	dvdcctl serve -nodes ... -obs-addr 127.0.0.1:7500 -quota alpha=2,beta=1
+//	dvdcctl apply -addr 127.0.0.1:7500 -kind checkpoint -tenant alpha -steps 100 -watch
+//	dvdcctl get   -addr 127.0.0.1:7500
+//	dvdcctl watch -addr 127.0.0.1:7500 -id ckpt-1
 //
 // The trace subcommand renders a JSONL span file (from dvdcsoak -trace-jsonl
 // or the coordinator's -trace-jsonl) as an ASCII phase timeline:
@@ -29,16 +39,21 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
+	"dvdc/internal/cli"
 	"dvdc/internal/cluster"
 	"dvdc/internal/obs"
 	"dvdc/internal/runtime"
+	"dvdc/internal/service"
 )
 
 func main() {
@@ -53,116 +68,191 @@ func main() {
 		case "postmortem":
 			postmortemMain(os.Args[2:])
 			return
+		case "serve":
+			serveMain(os.Args[2:])
+			return
+		case "apply":
+			applyMain(os.Args[2:])
+			return
+		case "get":
+			getMain(os.Args[2:])
+			return
+		case "watch":
+			watchMain(os.Args[2:])
+			return
 		}
 	}
-	var (
-		nodeList = flag.String("nodes", "", "comma-separated node addresses (one per physical node)")
-		stacks   = flag.Int("stacks", 1, "RAID group stacks")
-		pages    = flag.Int("pages", 256, "pages per VM")
-		pageSize = flag.Int("pagesize", 4096, "bytes per page")
-		rounds   = flag.Int("rounds", 3, "checkpointed work rounds")
-		steps    = flag.Uint64("steps", 100, "workload steps per round")
-		kill     = flag.Int("kill", -1, "after the rounds, recover from the death of this node index")
-		seed     = flag.Int64("seed", 1, "workload seed")
-		tol      = flag.Int("tolerance", 1, "parity blocks per group (RS code; 1 = XOR)")
-		group    = flag.Int("groupsize", 0, "members per RAID group (0 = nodes - tolerance)")
-		compress = flag.Bool("compress", false, "flate-compress delta shipments")
-		timeout  = flag.Duration("rpc-timeout", 0, "per-RPC deadline (0 = default 30s)")
-		fanout   = flag.Int("fanout", 0, "max concurrent per-node RPCs per fan-out (0 = default)")
-		obsAddr  = flag.String("obs-addr", "", "serve /metrics, /healthz, /spans and pprof here (empty = disabled)")
-		pace     = flag.Duration("round-interval", 0, "sleep between rounds (lets dvdcctl top watch a live session)")
-		traceOut = flag.String("trace-jsonl", "", "stream every span to this JSONL file (render with dvdcctl trace)")
-		pmDir    = flag.String("postmortem-dir", "", "dump a flight-recorder bundle here on partial commit (empty = disabled)")
-	)
-	flag.Parse()
-	addrs := strings.Split(*nodeList, ",")
-	if *nodeList == "" || len(addrs) < 2 {
+	sessionMain()
+}
+
+// sessionFlags are the cluster-shape flags the interactive session and the
+// serve subcommand share.
+type sessionFlags struct {
+	nodeList string
+	stacks   int
+	pages    int
+	pageSize int
+	seed     int64
+	tol      int
+	group    int
+	compress bool
+	common   cli.Common
+}
+
+func (s *sessionFlags) register(fs *flag.FlagSet) {
+	fs.StringVar(&s.nodeList, "nodes", "", "comma-separated node addresses (one per physical node)")
+	fs.IntVar(&s.stacks, "stacks", 1, "RAID group stacks")
+	fs.IntVar(&s.pages, "pages", 256, "pages per VM")
+	fs.IntVar(&s.pageSize, "pagesize", 4096, "bytes per page")
+	fs.Int64Var(&s.seed, "seed", 1, "workload seed")
+	fs.IntVar(&s.tol, "tolerance", 1, "parity blocks per group (RS code; 1 = XOR)")
+	fs.IntVar(&s.group, "groupsize", 0, "members per RAID group (0 = nodes - tolerance)")
+	fs.BoolVar(&s.compress, "compress", false, "flate-compress delta shipments")
+	s.common.RPCTimeoutFlag(fs, runtime.DefaultRPCTimeout)
+	s.common.FanoutFlag(fs)
+	s.common.ObsAddrFlag(fs)
+	s.common.TraceJSONLFlag(fs)
+	s.common.PostmortemFlag(fs, "on partial commit")
+}
+
+// session is a configured cluster with its control plane mounted: the
+// coordinator, the executor seam, and the service driving it.
+type session struct {
+	coord     *runtime.Coordinator
+	exec      *runtime.ServiceExecutor
+	svc       *service.Service
+	tracer    *obs.Tracer
+	registry  *obs.Registry
+	closeSink func()
+	srv       *obs.Server
+}
+
+// open builds the coordinator, the service, and the observability plane from
+// parsed flags, and runs Setup (which prints the configured line).
+func (s *sessionFlags) open(opts service.Options) *session {
+	addrs := strings.Split(s.nodeList, ",")
+	if s.nodeList == "" || len(addrs) < 2 {
 		fmt.Fprintln(os.Stderr, "dvdcctl: need at least two -nodes addresses")
 		os.Exit(2)
 	}
-	gs := *group
+	gs := s.group
 	if gs == 0 {
-		gs = len(addrs) - *tol
+		gs = len(addrs) - s.tol
 	}
-	layout, err := cluster.BuildDistributedGroups(len(addrs), *stacks, *tol, gs)
+	layout, err := cluster.BuildDistributedGroups(len(addrs), s.stacks, s.tol, gs)
 	fatal(err)
 	addrMap := map[int]string{}
 	for i, a := range addrs {
 		addrMap[i] = strings.TrimSpace(a)
 	}
-	coord, err := runtime.NewCoordinator(layout, addrMap, *pages, *pageSize, *seed)
+	coord, err := runtime.NewCoordinator(layout, addrMap, s.pages, s.pageSize, s.seed)
 	fatal(err)
-	defer coord.Close()
 
-	var tracer *obs.Tracer
-	registry := obs.NewRegistry()
-	if *obsAddr != "" || *traceOut != "" {
-		tracer = obs.NewTracer(0)
+	se := &session{coord: coord, registry: obs.NewRegistry()}
+	if s.common.WantTracer() {
+		se.tracer = obs.NewTracer(0)
 	}
-	if *traceOut != "" {
-		f, err := os.Create(*traceOut)
-		fatal(err)
-		defer f.Close()
-		tracer.SetSink(f)
-		defer tracer.Flush()
-	}
-	if *obsAddr != "" {
-		srv, err := obs.Serve(*obsAddr, registry, tracer)
-		fatal(err)
-		defer srv.Close()
-		fmt.Printf("observability on http://%s/metrics\n", srv.Addr())
-		// The bound address also goes to stderr: with -obs-addr :0 the port is
-		// kernel-assigned, and scripts wiring a collector discover it here.
-		fmt.Fprintf(os.Stderr, "obs listening on %s\n", srv.Addr())
-	}
-	coord.SetObserver(tracer, registry)
-	if *pmDir != "" {
-		rec := obs.NewFlightRecorder(0)
-		rec.SetDumpDir(*pmDir)
-		rec.SetRegistry(registry)
-		rec.SetMeta("seed", *seed)
+	closeSink, err := s.common.OpenTraceSink(se.tracer)
+	fatal(err)
+	se.closeSink = closeSink
+	coord.SetObserver(se.tracer, se.registry)
+	if rec := s.common.Recorder(se.registry, se.tracer); rec != nil {
+		rec.SetMeta("seed", s.seed)
 		rec.SetMeta("nodes", len(addrs))
-		tracer.SetTap(rec.Span)
 		coord.SetFlightRecorder(rec)
 	}
-	coord.SetCompress(*compress)
-	if *timeout > 0 {
-		coord.SetRPCTimeout(*timeout)
-	}
-	coord.SetFanout(*fanout)
+	coord.SetCompress(s.compress)
+	coord.SetRPCTimeout(s.common.RPCTimeout)
+	coord.SetFanout(s.common.Fanout)
+
+	se.exec = runtime.NewServiceExecutor(coord)
+	opts.Tracer, opts.Registry = se.tracer, se.registry
+	se.svc = service.New(se.exec, opts)
+
+	srv, err := s.common.ServeObs("dvdcctl", se.registry, se.tracer, se.svc.Mount)
+	fatal(err)
+	se.srv = srv
+
 	fatal(coord.Setup())
 	fmt.Printf("configured %d nodes, %d VMs, %d groups\n", layout.Nodes, len(layout.VMs), len(layout.Groups))
+	se.svc.Start()
+	return se
+}
+
+// close tears the session down: reconciler first (it quiesces the
+// coordinator), then the connections, then the telemetry sinks.
+func (se *session) close() {
+	se.svc.Stop()
+	se.coord.Close()
+	if se.srv != nil {
+		se.srv.Close()
+	}
+	se.closeSink()
+}
+
+// submitAndWait drives one request object to a terminal phase and fails the
+// process if it did not converge.
+func (se *session) submitAndWait(kind service.Kind, spec service.Spec, timeout time.Duration) *service.Request {
+	req, err := se.svc.Submit(kind, spec)
+	fatal(err)
+	final, err := se.svc.WaitTerminal(req.ID, timeout)
+	fatal(err)
+	if final.Status.Phase != service.PhaseSucceeded {
+		fatal(fmt.Errorf("request %s (%s) %s: %s", final.ID, final.Kind, final.Status.Phase, final.Status.Message))
+	}
+	return final
+}
+
+// sessionWait bounds how long the interactive session waits for one request
+// to converge; generous, because a restore may retry through real recovery.
+const sessionWait = 10 * time.Minute
+
+func sessionMain() {
+	var sf sessionFlags
+	var (
+		rounds = flag.Int("rounds", 3, "checkpointed work rounds")
+		steps  = flag.Uint64("steps", 100, "workload steps per round")
+		kill   = flag.Int("kill", -1, "after the rounds, recover from the death of this node index")
+		tenant = flag.String("tenant", "cli", "tenant the session's requests are accounted to")
+	)
+	sf.register(flag.CommandLine)
+	sf.common.RoundIntervalFlag(flag.CommandLine)
+	flag.Parse()
+
+	se := sf.open(service.Options{})
+	defer se.close()
 
 	for r := 1; r <= *rounds; r++ {
-		fatal(coord.Step(*steps))
-		fatal(coord.Checkpoint())
-		fmt.Printf("round %d: %s\n", r, coord.RoundStats())
-		if *pace > 0 && r < *rounds {
-			time.Sleep(*pace)
+		se.submitAndWait(service.KindCheckpoint, service.Spec{Tenant: *tenant, Steps: *steps}, sessionWait)
+		fmt.Printf("round %d: %s\n", r, se.coord.RoundStats())
+		if sf.common.RoundInterval > 0 && r < *rounds {
+			time.Sleep(sf.common.RoundInterval)
 		}
 	}
-	sums, err := coord.Checksums()
+	sums, err := se.coord.Checksums()
 	fatal(err)
 	fmt.Printf("committed state over %d VMs\n", len(sums))
 	if *rounds > 0 {
-		fmt.Printf("phase timings:\n%s", coord.Phases())
+		fmt.Printf("phase timings:\n%s", se.coord.Phases())
 	}
 
 	if *kill >= 0 {
 		fmt.Printf("recovering from death of node %d...\n", *kill)
-		plan, err := coord.RecoverNode(*kill)
-		fatal(err)
-		for _, s := range plan.Steps {
-			fmt.Printf("  %-14s group %d -> node %d", s.Kind, s.Group, s.TargetNode)
-			if s.VM != "" {
-				fmt.Printf(" (vm %s)", s.VM)
+		se.exec.DeclareFailed(*kill)
+		se.submitAndWait(service.KindRestore, service.Spec{Tenant: *tenant, Nodes: []int{*kill}}, sessionWait)
+		if plan := se.exec.LastPlan(); plan != nil {
+			for _, s := range plan.Steps {
+				fmt.Printf("  %-14s group %d -> node %d", s.Kind, s.Group, s.TargetNode)
+				if s.VM != "" {
+					fmt.Printf(" (vm %s)", s.VM)
+				}
+				if s.Degraded {
+					fmt.Printf(" [degraded]")
+				}
+				fmt.Println()
 			}
-			if s.Degraded {
-				fmt.Printf(" [degraded]")
-			}
-			fmt.Println()
 		}
-		after, err := coord.Checksums()
+		after, err := se.coord.Checksums()
 		fatal(err)
 		mismatch := 0
 		for vmName, want := range sums {
@@ -177,6 +267,183 @@ func main() {
 	}
 }
 
+// parseQuotas parses "tenant=N[,tenant=N...]" into the admission table.
+func parseQuotas(s string) (map[string]service.Quota, error) {
+	out := map[string]service.Quota{}
+	if s == "" {
+		return out, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		kv := strings.SplitN(part, "=", 2)
+		if len(kv) != 2 {
+			return nil, fmt.Errorf("bad -quota entry %q (want tenant=N)", part)
+		}
+		n, err := strconv.Atoi(strings.TrimSpace(kv[1]))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad -quota cap in %q (want a positive integer)", part)
+		}
+		out[strings.TrimSpace(kv[0])] = service.Quota{MaxActive: n}
+	}
+	return out, nil
+}
+
+// serveMain is the headless session: configure the cluster, mount /api/v1 on
+// the obs endpoint, and reconcile submitted requests until interrupted.
+func serveMain(args []string) {
+	fs := flag.NewFlagSet("dvdcctl serve", flag.ExitOnError)
+	var sf sessionFlags
+	var (
+		quota    = fs.String("quota", "", "per-tenant active-request caps, tenant=N[,tenant=N...]")
+		defQuota = fs.Int("default-quota", 0, "active-request cap for unlisted tenants (0 = service default)")
+		retries  = fs.Int("max-retries", 0, "reconcile attempts per request (0 = service default)")
+	)
+	sf.register(fs)
+	fs.Parse(args) //nolint:errcheck // ExitOnError
+	if sf.common.ObsAddr == "" {
+		fmt.Fprintln(os.Stderr, "dvdcctl serve: -obs-addr is required (the service API mounts there)")
+		os.Exit(2)
+	}
+	quotas, err := parseQuotas(*quota)
+	fatal(err)
+
+	se := sf.open(service.Options{Quotas: quotas, DefaultQuota: *defQuota, MaxRetries: *retries})
+	defer se.close()
+	fmt.Printf("service API on http://%s/api/v1/requests\n", se.srv.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("dvdcctl serve: shutting down")
+}
+
+// printRequest is the one-line rendering get/apply/watch share.
+func printRequest(r *service.Request) {
+	fmt.Printf("%-10s %-10s %-10s %-10s retries=%d epoch=%d", r.ID, r.Kind, r.Spec.Tenant, r.Status.Phase, r.Status.Retries, r.Status.Epoch)
+	if len(r.Status.Casualties) > 0 {
+		fmt.Printf(" casualties=%v", r.Status.Casualties)
+	}
+	if r.Status.Message != "" {
+		fmt.Printf("  %s", r.Status.Message)
+	}
+	fmt.Println()
+}
+
+// applyMain submits one request object over the HTTP API. Quota rejections
+// exit 3 (backpressure), other failures exit 1, so scripts can tell "try
+// again later" from "broken".
+func applyMain(args []string) {
+	fs := flag.NewFlagSet("dvdcctl apply", flag.ExitOnError)
+	var (
+		addr     = fs.String("addr", "", "service API address (host:port printed by serve)")
+		kindStr  = fs.String("kind", "checkpoint", "checkpoint | restore")
+		tenant   = fs.String("tenant", "cli", "tenant the request is accounted to")
+		priority = fs.Int("priority", 0, "queue priority (higher runs first)")
+		steps    = fs.Uint64("steps", 0, "checkpoint: workload steps before the round")
+		recover  = fs.String("recover", "", "restore: comma-separated failed node indexes")
+		watch    = fs.Bool("watch", false, "block until the request reaches a terminal phase")
+		timeout  = fs.Duration("timeout", 5*time.Minute, "with -watch: give up after this long")
+	)
+	fs.Parse(args) //nolint:errcheck // ExitOnError
+	if *addr == "" {
+		fmt.Fprintln(os.Stderr, "dvdcctl apply: -addr is required")
+		os.Exit(2)
+	}
+	var kind service.Kind
+	switch strings.ToLower(*kindStr) {
+	case "checkpoint":
+		kind = service.KindCheckpoint
+	case "restore":
+		kind = service.KindRestore
+	default:
+		fmt.Fprintf(os.Stderr, "dvdcctl apply: unknown -kind %q (want checkpoint or restore)\n", *kindStr)
+		os.Exit(2)
+	}
+	spec := service.Spec{Tenant: *tenant, Priority: *priority, Steps: *steps}
+	if *recover != "" {
+		for _, part := range strings.Split(*recover, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			fatal(err)
+			spec.Nodes = append(spec.Nodes, n)
+		}
+	}
+	c := service.NewClient(*addr)
+	req, err := c.Submit(kind, spec)
+	var qe *service.QuotaError
+	if errors.As(err, &qe) {
+		fmt.Fprintf(os.Stderr, "dvdcctl apply: %v\n", qe)
+		os.Exit(3)
+	}
+	fatal(err)
+	printRequest(req)
+	if *watch {
+		watchOne(c, req.ID, *timeout)
+	}
+}
+
+// watchOne follows one request to a terminal phase, printing transitions;
+// exits 1 unless it Succeeded.
+func watchOne(c *service.Client, id string, timeout time.Duration) {
+	final, err := c.Watch(id, timeout, func(r *service.Request) { printRequest(r) })
+	fatal(err)
+	if final.Status.Phase != service.PhaseSucceeded {
+		os.Exit(1)
+	}
+}
+
+// getMain lists request objects (or one, with -id), plus the quota table
+// with -quotas.
+func getMain(args []string) {
+	fs := flag.NewFlagSet("dvdcctl get", flag.ExitOnError)
+	var (
+		addr   = fs.String("addr", "", "service API address (host:port printed by serve)")
+		id     = fs.String("id", "", "one request id (default: list all)")
+		tenant = fs.String("tenant", "", "list only this tenant's requests")
+		quotas = fs.Bool("quotas", false, "print the per-tenant quota table instead")
+	)
+	fs.Parse(args) //nolint:errcheck // ExitOnError
+	if *addr == "" {
+		fmt.Fprintln(os.Stderr, "dvdcctl get: -addr is required")
+		os.Exit(2)
+	}
+	c := service.NewClient(*addr)
+	switch {
+	case *quotas:
+		tenants, def, err := c.Quotas()
+		fatal(err)
+		fmt.Printf("default quota: %d active\n", def)
+		for t, q := range tenants {
+			fmt.Printf("%-10s limit=%d active=%d\n", t, q.Limit, q.Active)
+		}
+	case *id != "":
+		req, err := c.Get(*id)
+		fatal(err)
+		printRequest(req)
+	default:
+		reqs, err := c.List(*tenant)
+		fatal(err)
+		for _, r := range reqs {
+			printRequest(r)
+		}
+		fmt.Printf("%d request(s)\n", len(reqs))
+	}
+}
+
+// watchMain follows one request by id.
+func watchMain(args []string) {
+	fs := flag.NewFlagSet("dvdcctl watch", flag.ExitOnError)
+	var (
+		addr    = fs.String("addr", "", "service API address (host:port printed by serve)")
+		id      = fs.String("id", "", "request id to follow")
+		timeout = fs.Duration("timeout", 5*time.Minute, "give up after this long")
+	)
+	fs.Parse(args) //nolint:errcheck // ExitOnError
+	if *addr == "" || *id == "" {
+		fmt.Fprintln(os.Stderr, "dvdcctl watch: -addr and -id are required")
+		os.Exit(2)
+	}
+	watchOne(service.NewClient(*addr), *id, *timeout)
+}
+
 // traceMain renders a JSONL span file: by default a one-line summary per
 // trace; with -trace or -epoch, the full ASCII timeline of one span tree.
 func traceMain(args []string) {
@@ -187,7 +454,7 @@ func traceMain(args []string) {
 		epoch   = fs.Int64("epoch", -1, "render the checkpoint round that targeted this epoch")
 		width   = fs.Int("width", 100, "timeline width in columns")
 	)
-	fs.Parse(args)
+	fs.Parse(args) //nolint:errcheck // ExitOnError
 	if *in == "" {
 		fmt.Fprintln(os.Stderr, "dvdcctl trace: -in is required")
 		os.Exit(2)
@@ -220,7 +487,9 @@ func traceMain(args []string) {
 		want := strconv.FormatInt(*epoch, 10)
 		for _, id := range order {
 			for _, s := range byTrace[id] {
-				if s.Parent == 0 && s.Name == "round" && s.Attrs["epoch"] == want {
+				// Service-driven rounds nest under a reconcile root, so the
+				// round span is not necessarily the trace root.
+				if s.Name == "round" && s.Attrs["epoch"] == want {
 					pick = id
 				}
 			}

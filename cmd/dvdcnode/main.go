@@ -23,52 +23,42 @@ import (
 	"os/signal"
 	"syscall"
 
+	"dvdc/internal/cli"
 	"dvdc/internal/obs"
 	"dvdc/internal/runtime"
 )
 
 func main() {
+	var common cli.Common
 	listen := flag.String("listen", "127.0.0.1:0", "address to listen on")
-	timeout := flag.Duration("rpc-timeout", 0, "per-peer-RPC deadline (0 = default 30s)")
-	fanout := flag.Int("fanout", 0, "max concurrent parity shipments per prepare (0 = default)")
-	obsAddr := flag.String("obs-addr", "", "serve /metrics, /healthz, /spans and pprof here (empty = disabled)")
-	pmDir := flag.String("postmortem-dir", "", "dump a flight-recorder bundle here on SIGQUIT (empty = disabled)")
+	common.RPCTimeoutFlag(flag.CommandLine, runtime.DefaultRPCTimeout)
+	common.FanoutFlag(flag.CommandLine)
+	common.ObsAddrFlag(flag.CommandLine)
+	common.PostmortemFlag(flag.CommandLine, "on SIGQUIT")
 	flag.Parse()
 
 	var opts runtime.NodeOptions
-	var srv *obs.Server
-	if *obsAddr != "" {
+	if common.ObsAddr != "" {
 		opts.Tracer = obs.NewTracer(0)
 		opts.Registry = obs.NewRegistry()
-		var err error
-		srv, err = obs.Serve(*obsAddr, opts.Registry, opts.Tracer)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "dvdcnode: %v\n", err)
-			os.Exit(1)
-		}
-		defer srv.Close()
 	}
-	var rec *obs.FlightRecorder
-	if *pmDir != "" {
-		rec = obs.NewFlightRecorder(0)
-		rec.SetDumpDir(*pmDir)
-		rec.SetRegistry(opts.Registry)
-		opts.Tracer.SetTap(rec.Span)
-		opts.Recorder = rec
-	}
+	rec := common.Recorder(opts.Registry, opts.Tracer)
+	opts.Recorder = rec
 	node, err := runtime.NewNodeWith(*listen, opts)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "dvdcnode: %v\n", err)
 		os.Exit(1)
 	}
-	if *timeout > 0 {
-		node.SetRPCTimeout(*timeout)
-	}
-	node.SetFanout(*fanout)
+	node.SetRPCTimeout(common.RPCTimeout)
+	node.SetFanout(common.Fanout)
 	fmt.Printf("dvdcnode listening on %s\n", node.Addr())
+	srv, err := common.ServeObs("dvdcnode", opts.Registry, opts.Tracer)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dvdcnode: %v\n", err)
+		os.Exit(1)
+	}
 	if srv != nil {
-		fmt.Printf("dvdcnode observability on http://%s/metrics\n", srv.Addr())
-		fmt.Fprintf(os.Stderr, "obs listening on %s\n", srv.Addr())
+		defer srv.Close()
 	}
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

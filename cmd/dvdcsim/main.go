@@ -19,6 +19,7 @@ import (
 	"strings"
 
 	"dvdc/internal/analytic"
+	"dvdc/internal/cli"
 	"dvdc/internal/cluster"
 	"dvdc/internal/core"
 	"dvdc/internal/diskfull"
@@ -45,18 +46,16 @@ func main() {
 		traceStr = flag.String("trace", "", "comma-separated absolute failure times (s); replaces the Poisson schedule")
 		traceCSV = flag.String("tracefile", "", "CSV failure log (node,seconds) to replay; replaces the Poisson schedule")
 		repair   = flag.Float64("repair", 0, "node out-of-service time after a failure (s); engages degraded-rate execution")
-		obsAddr  = flag.String("obs-addr", "", "serve /metrics, /healthz and pprof here while running (empty = disabled)")
 	)
+	var common cli.Common
+	common.ObsAddrFlag(flag.CommandLine)
 	flag.Parse()
 
 	reg := obs.NewRegistry()
-	if *obsAddr != "" {
-		srv, err := obs.Serve(*obsAddr, reg, nil)
-		fatal(err)
+	srv, err := common.ServeObs("dvdcsim", reg, nil)
+	fatal(err)
+	if srv != nil {
 		defer srv.Close()
-		fmt.Fprintf(os.Stderr, "dvdcsim: observability on http://%s/metrics\n", srv.Addr())
-		// Canonical bound-address line for script/collector discovery with :0.
-		fmt.Fprintf(os.Stderr, "obs listening on %s\n", srv.Addr())
 	}
 
 	layout, err := cluster.BuildDistributed(*nodes, *stacks, 1)

@@ -13,6 +13,7 @@
 //	dvdcsoak -nodes 8 -rounds 20 -kill-mtbf 90
 //	dvdcsoak -nodes 16 -group-size 4 -p-corrupt 0.02 -p-drop 0.02
 //	dvdcsoak -chunk-faults 2 -chunk-size 256   # aim drop/corrupt at delta chunk frames
+//	dvdcsoak -service                          # drive rounds through the checkpoint service
 //	dvdcsoak -trace-jsonl soak.jsonl           # then: dvdcctl trace -in soak.jsonl
 //	dvdcsoak -obs-addr 127.0.0.1:9100          # live /metrics during the soak
 package main
@@ -26,87 +27,110 @@ import (
 	"time"
 
 	"dvdc/internal/chaos"
+	"dvdc/internal/cli"
 	"dvdc/internal/cluster"
 	"dvdc/internal/obs"
 	"dvdc/internal/runtime"
 )
 
+// soakFlags is every dvdcsoak flag value, filled by registerFlags.
+type soakFlags struct {
+	nodes, stacks, tolerance, groupSize int
+	rounds                              int
+	steps                               uint64
+	pages, pageSize                     int
+	seed                                int64
+	pCorrupt, pDrop, pDelay, pPart      float64
+	armed, chunkSize, chunkArms         int
+	killMTBF                            float64
+	service                             bool
+	verbose                             bool
+	common                              cli.Common
+}
+
+// registerFlags registers every dvdcsoak flag on fs, with defaults taken
+// from the runtime's own defaulting constants. Split out of main so the
+// tests can assert the CLI defaults and the library defaults never drift.
+func registerFlags(fs *flag.FlagSet) *soakFlags {
+	var f soakFlags
+	fs.IntVar(&f.nodes, "nodes", 4, "physical nodes")
+	fs.IntVar(&f.stacks, "stacks", 1, "RAID group stacks")
+	fs.IntVar(&f.tolerance, "tolerance", 1, "parity blocks per group")
+	fs.IntVar(&f.groupSize, "group-size", 0, "VMs per group (0 = nodes-tolerance, the paper's Fig. 4)")
+	fs.IntVar(&f.rounds, "rounds", runtime.DefaultSoakRounds, "checkpoint rounds")
+	fs.Uint64Var(&f.steps, "steps", runtime.DefaultSoakSteps, "workload steps per round")
+	fs.IntVar(&f.pages, "pages", runtime.DefaultSoakPages, "pages per VM")
+	fs.IntVar(&f.pageSize, "page-size", runtime.DefaultSoakPageSize, "bytes per page")
+	fs.Int64Var(&f.seed, "seed", 1, "master seed: workloads, chaos, kills, arm plan")
+	fs.Float64Var(&f.pCorrupt, "p-corrupt", 0.01, "per-frame corruption probability")
+	fs.Float64Var(&f.pDrop, "p-drop", 0.01, "per-frame connection-drop probability")
+	fs.Float64Var(&f.pDelay, "p-delay", 0.05, "per-frame delay probability")
+	fs.Float64Var(&f.pPart, "p-partition", 0.1, "per-round transient partition probability")
+	fs.IntVar(&f.armed, "arm-per-round", 2, "armed one-shot faults per round")
+	fs.IntVar(&f.chunkSize, "chunk-size", 0, "data-path chunk size in bytes (0 = default chunked, -1 = monolithic)")
+	fs.IntVar(&f.chunkArms, "chunk-faults", 0, "armed one-shot drop/corrupt faults per round aimed at delta chunk frames")
+	fs.Float64Var(&f.killMTBF, "kill-mtbf", 120, "per-node MTBF in virtual seconds (0 = no kills)")
+	fs.BoolVar(&f.service, "service", false,
+		"drive every round through the declarative checkpoint service (request objects + reconciler) instead of invoking the coordinator directly")
+	fs.BoolVar(&f.verbose, "v", false, "print the full fault log and per-round digest")
+	f.common.RPCTimeoutFlag(fs, runtime.DefaultSoakRPCTimeout)
+	f.common.TraceJSONLFlag(fs)
+	f.common.ObsAddrFlag(fs)
+	f.common.PostmortemFlag(fs, "on invariant violation or SIGQUIT")
+	return &f
+}
+
 func main() {
-	var (
-		nodes     = flag.Int("nodes", 4, "physical nodes")
-		stacks    = flag.Int("stacks", 1, "RAID group stacks")
-		tolerance = flag.Int("tolerance", 1, "parity blocks per group")
-		groupSize = flag.Int("group-size", 0, "VMs per group (0 = nodes-tolerance, the paper's Fig. 4)")
-		rounds    = flag.Int("rounds", 10, "checkpoint rounds")
-		steps     = flag.Uint64("steps", 40, "workload steps per round")
-		pages     = flag.Int("pages", 16, "pages per VM")
-		pageSize  = flag.Int("page-size", 64, "bytes per page")
-		seed      = flag.Int64("seed", 1, "master seed: workloads, chaos, kills, arm plan")
-		pCorrupt  = flag.Float64("p-corrupt", 0.01, "per-frame corruption probability")
-		pDrop     = flag.Float64("p-drop", 0.01, "per-frame connection-drop probability")
-		pDelay    = flag.Float64("p-delay", 0.05, "per-frame delay probability")
-		pPart     = flag.Float64("p-partition", 0.1, "per-round transient partition probability")
-		armed     = flag.Int("arm-per-round", 2, "armed one-shot faults per round")
-		chunkSize = flag.Int("chunk-size", 0, "data-path chunk size in bytes (0 = default chunked, -1 = monolithic)")
-		chunkArms = flag.Int("chunk-faults", 0, "armed one-shot drop/corrupt faults per round aimed at delta chunk frames")
-		killMTBF  = flag.Float64("kill-mtbf", 120, "per-node MTBF in virtual seconds (0 = no kills)")
-		rpc       = flag.Duration("rpc-timeout", 5*time.Second, "per-call RPC deadline")
-		verbose   = flag.Bool("v", false, "print the full fault log and per-round digest")
-		traceOut  = flag.String("trace-jsonl", "", "stream every span to this JSONL file (render with dvdcctl trace)")
-		obsAddr   = flag.String("obs-addr", "", "serve /metrics, /healthz, /spans and pprof here during the soak")
-		pmDir     = flag.String("postmortem-dir", "", "dump a flight-recorder bundle here on invariant violation or SIGQUIT")
-	)
+	f := registerFlags(flag.CommandLine)
 	flag.Parse()
 
-	gs := *groupSize
+	gs := f.groupSize
 	if gs <= 0 {
-		gs = *nodes - *tolerance
+		gs = f.nodes - f.tolerance
 	}
-	layout, err := cluster.BuildDistributedGroups(*nodes, *stacks, *tolerance, gs)
+	layout, err := cluster.BuildDistributedGroups(f.nodes, f.stacks, f.tolerance, gs)
 	fatal(err)
 
 	cfg := runtime.SoakConfig{
 		Layout:        layout,
-		Rounds:        *rounds,
-		StepsPerRound: *steps,
-		Pages:         *pages,
-		PageSize:      *pageSize,
-		Seed:          *seed,
-		Chaos:         chaos.Config{PCorrupt: *pCorrupt, PDrop: *pDrop, PDelay: *pDelay},
-		ArmPerRound:   *armed,
-		ChunkSize:     *chunkSize,
-		ChunkFaults:   *chunkArms,
-		PPartition:    *pPart,
-		KillMTBF:      *killMTBF,
-		RPCTimeout:    *rpc,
+		Rounds:        f.rounds,
+		StepsPerRound: f.steps,
+		Pages:         f.pages,
+		PageSize:      f.pageSize,
+		Seed:          f.seed,
+		Chaos:         chaos.Config{PCorrupt: f.pCorrupt, PDrop: f.pDrop, PDelay: f.pDelay},
+		ArmPerRound:   f.armed,
+		ChunkSize:     f.chunkSize,
+		ChunkFaults:   f.chunkArms,
+		PPartition:    f.pPart,
+		KillMTBF:      f.killMTBF,
+		RPCTimeout:    f.common.RPCTimeout,
+		Service:       f.service,
 		Registry:      obs.NewRegistry(),
 	}
-	if *traceOut != "" || *obsAddr != "" {
+	if f.common.WantTracer() {
 		cfg.Tracer = obs.NewTracer(1 << 15)
 	}
-	if *traceOut != "" {
-		f, err := os.Create(*traceOut)
+	if f.common.TraceJSONL != "" {
+		tf, err := os.Create(f.common.TraceJSONL)
 		fatal(err)
-		defer f.Close()
-		cfg.TraceSink = f
+		defer tf.Close()
+		cfg.TraceSink = tf
 	}
-	if *obsAddr != "" {
-		srv, err := obs.Serve(*obsAddr, cfg.Registry, cfg.Tracer)
-		fatal(err)
+	srv, err := f.common.ServeObs("dvdcsoak", cfg.Registry, cfg.Tracer)
+	fatal(err)
+	if srv != nil {
 		defer srv.Close()
-		fmt.Printf("observability on http://%s/metrics\n", srv.Addr())
-		// Bound address to stderr for scripts using -obs-addr 127.0.0.1:0.
-		fmt.Fprintf(os.Stderr, "obs listening on %s\n", srv.Addr())
 	}
-	if *pmDir != "" {
-		cfg.PostmortemDir = *pmDir
+	if f.common.PostmortemDir != "" {
+		cfg.PostmortemDir = f.common.PostmortemDir
 		cfg.Recorder = obs.NewFlightRecorder(0)
 		// SIGQUIT = "explain yourself": dump the black box and keep soaking.
 		quit := make(chan os.Signal, 1)
 		signal.Notify(quit, syscall.SIGQUIT)
 		go func() {
 			for range quit {
-				if path, err := cfg.Recorder.Dump(*pmDir, "sigquit"); err != nil {
+				if path, err := cfg.Recorder.Dump(cfg.PostmortemDir, "sigquit"); err != nil {
 					fmt.Fprintf(os.Stderr, "dvdcsoak: postmortem dump: %v\n", err)
 				} else {
 					fmt.Fprintf(os.Stderr, "dvdcsoak: postmortem bundle %s\n", path)
@@ -115,14 +139,18 @@ func main() {
 		}()
 	}
 
-	fmt.Printf("dvdcsoak: %d nodes, %d VMs, %d rounds, seed %d\n",
-		layout.Nodes, len(layout.VMs), cfg.Rounds, cfg.Seed)
+	mode := "direct"
+	if f.service {
+		mode = "service"
+	}
+	fmt.Printf("dvdcsoak: %d nodes, %d VMs, %d rounds, seed %d (%s mode)\n",
+		layout.Nodes, len(layout.VMs), cfg.Rounds, cfg.Seed, mode)
 	start := time.Now()
 	res, err := runtime.RunSoak(cfg)
 	elapsed := time.Since(start)
 
 	if res != nil {
-		if *verbose || err != nil {
+		if f.verbose || err != nil {
 			for _, line := range res.RoundDigest() {
 				fmt.Println("  " + line)
 			}
@@ -137,18 +165,18 @@ func main() {
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "dvdcsoak: INVARIANT VIOLATION: %v\n", err)
-		fmt.Fprintf(os.Stderr, "dvdcsoak: replay with -seed %d\n", *seed)
-		if *pmDir != "" {
-			if bundles, berr := obs.FindBundles(*pmDir); berr == nil && len(bundles) > 0 {
+		fmt.Fprintf(os.Stderr, "dvdcsoak: replay with -seed %d\n", f.seed)
+		if f.common.PostmortemDir != "" {
+			if bundles, berr := obs.FindBundles(f.common.PostmortemDir); berr == nil && len(bundles) > 0 {
 				fmt.Fprintf(os.Stderr, "dvdcsoak: postmortem: dvdcctl postmortem -bundle %s\n", bundles[len(bundles)-1])
 			}
 		}
 		os.Exit(1)
 	}
-	if *traceOut != "" {
-		fmt.Printf("spans written to %s; render with: dvdcctl trace -in %s\n", *traceOut, *traceOut)
+	if f.common.TraceJSONL != "" {
+		fmt.Printf("spans written to %s; render with: dvdcctl trace -in %s\n", f.common.TraceJSONL, f.common.TraceJSONL)
 	}
-	fmt.Printf("all invariants held; replay with -seed %d\n", *seed)
+	fmt.Printf("all invariants held; replay with -seed %d\n", f.seed)
 }
 
 func fatal(err error) {

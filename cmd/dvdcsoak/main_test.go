@@ -1,0 +1,42 @@
+package main
+
+import (
+	"flag"
+	"strconv"
+	"testing"
+
+	"dvdc/internal/runtime"
+)
+
+// TestFlagDefaultsMatchLibrary pins the satellite invariant that the CLI
+// defaults and the library's defaulting function never drift: a user running
+// `dvdcsoak` with no flags and a test calling runtime.RunSoak with a zero
+// SoakConfig must get the same soak, because both paths resolve to the same
+// runtime.DefaultSoak* constants.
+func TestFlagDefaultsMatchLibrary(t *testing.T) {
+	fs := flag.NewFlagSet("dvdcsoak", flag.ContinueOnError)
+	registerFlags(fs)
+
+	for name, want := range map[string]string{
+		"rounds":      strconv.Itoa(runtime.DefaultSoakRounds),
+		"steps":       strconv.FormatUint(runtime.DefaultSoakSteps, 10),
+		"pages":       strconv.Itoa(runtime.DefaultSoakPages),
+		"page-size":   strconv.Itoa(runtime.DefaultSoakPageSize),
+		"rpc-timeout": runtime.DefaultSoakRPCTimeout.String(),
+	} {
+		f := fs.Lookup(name)
+		if f == nil {
+			t.Fatalf("flag -%s not registered", name)
+		}
+		if f.DefValue != want {
+			t.Errorf("-%s default = %s, want library default %s", name, f.DefValue, want)
+		}
+	}
+
+	// Shared flags must exist under their canonical spellings.
+	for _, name := range []string{"obs-addr", "trace-jsonl", "postmortem-dir", "service"} {
+		if fs.Lookup(name) == nil {
+			t.Errorf("flag -%s not registered", name)
+		}
+	}
+}

@@ -64,7 +64,12 @@ func BuildTopView(c *Collector, sources []string, outliers *OutlierTracker) TopV
 	if outliers != nil {
 		outliers.ObserveSpans(c.Spans())
 	}
+	// A direct-driven session roots the trace at the "round" span; a
+	// service-driven one wraps it in the reconciler's "reconcile" span.
 	v.Trace = c.LatestRound("round")
+	if v.Trace == 0 {
+		v.Trace = c.LatestRound("reconcile")
+	}
 	if v.Trace != 0 {
 		t := c.Tree(v.Trace)
 		v.Wall = t.Wall()
@@ -76,6 +81,15 @@ func BuildTopView(c *Collector, sources []string, outliers *OutlierTracker) TopV
 		v.Attr = Attribute(t)
 		if r := t.Root(); r != nil {
 			v.Epoch = r.Attrs["epoch"]
+		}
+		if v.Epoch == "" {
+			// Reconcile roots carry no epoch; read it off the round child.
+			for _, s := range t.Spans {
+				if s.Name == "round" && s.Attrs["epoch"] != "" {
+					v.Epoch = s.Attrs["epoch"]
+					break
+				}
+			}
 		}
 	}
 	if outliers != nil {

@@ -9,11 +9,17 @@ import (
 	"time"
 )
 
+// Mount is an extra handler set a caller can attach to the observability
+// mux — e.g. the service control plane mounts its /api/v1 endpoints beside
+// /metrics so one -obs-addr serves both planes.
+type Mount func(mux *http.ServeMux)
+
 // NewMux builds the observability HTTP handler: /metrics (Prometheus text
 // exposition from reg), /healthz, /spans (the tracer ring as JSON, newest
 // last), and the net/http/pprof endpoints under /debug/pprof/. reg and tr
-// may be nil; their endpoints then serve empty documents.
-func NewMux(reg *Registry, tr *Tracer) *http.ServeMux {
+// may be nil; their endpoints then serve empty documents. mounts register
+// additional handler sets on the same mux.
+func NewMux(reg *Registry, tr *Tracer, mounts ...Mount) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -36,6 +42,9 @@ func NewMux(reg *Registry, tr *Tracer) *http.ServeMux {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	for _, m := range mounts {
+		m(mux)
+	}
 	return mux
 }
 
@@ -49,7 +58,7 @@ type Server struct {
 // It returns immediately; the listener runs until Close. A non-nil registry
 // gets a dvdc_up gauge (so /metrics is never empty, which scrapers treat as
 // a dead target) and, with a tracer, a live open-span gauge.
-func Serve(addr string, reg *Registry, tr *Tracer) (*Server, error) {
+func Serve(addr string, reg *Registry, tr *Tracer, mounts ...Mount) (*Server, error) {
 	if reg != nil {
 		reg.Gauge("dvdc_up").Set(1)
 		if tr != nil {
@@ -63,7 +72,7 @@ func Serve(addr string, reg *Registry, tr *Tracer) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
 	}
-	s := &Server{ln: ln, srv: &http.Server{Handler: NewMux(reg, tr), ReadHeaderTimeout: 5 * time.Second}}
+	s := &Server{ln: ln, srv: &http.Server{Handler: NewMux(reg, tr, mounts...), ReadHeaderTimeout: 5 * time.Second}}
 	go s.srv.Serve(ln) //nolint:errcheck // returns ErrServerClosed on Close
 	return s, nil
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dvdc/internal/bufpool"
@@ -14,13 +15,9 @@ import (
 	"dvdc/internal/wire"
 )
 
-// Defaults for the coordinator's concurrency and failure handling.
-const (
-	defaultRPCTimeout    = 30 * time.Second // per-RPC I/O deadline
-	defaultFanout        = 16               // concurrent RPCs per fan-out
-	defaultCommitRetries = 3                // commit attempts per node before declaring it dead
-	commitRetryBackoff   = 10 * time.Millisecond
-)
+// commitRetryBackoff is the base delay between commit attempts on one node;
+// the shared concurrency and failure-handling defaults live in defaults.go.
+const commitRetryBackoff = 10 * time.Millisecond
 
 // Coordinator drives a set of node daemons through the DVDC protocol:
 // initial configuration, workload execution, two-phase checkpoint rounds,
@@ -31,9 +28,14 @@ const (
 // checksum, parity refresh) contacts all nodes concurrently over per-peer
 // connection pools, bounded by the fan-out width, and every RPC carries an
 // I/O deadline so a hung node surfaces as a timeout instead of wedging the
-// cluster. Coordinator methods themselves are not safe for concurrent use —
-// one protocol round at a time — but internally each round is parallel.
+// cluster. Protocol entry points (Setup, Step, Checkpoint, Quiesce,
+// RecoverNodes, Repair, Rebalance) serialize on an internal round mutex —
+// one protocol operation at a time, concurrent callers queue — while each
+// round is internally parallel. Read paths (Epoch, RoundStats, Checksums,
+// VMStates) are safe to call from other goroutines at any time.
 type Coordinator struct {
+	roundMu sync.Mutex // serializes protocol operations (one round at a time)
+
 	mu      sync.Mutex // guards pools, dead, pending, retiredRetries
 	pools   map[int]*transport.Pool
 	dead    map[int]bool
@@ -43,7 +45,7 @@ type Coordinator struct {
 	addrs          map[int]string
 	pages          int
 	pageSize       int
-	epoch          uint64
+	epoch          atomic.Uint64
 	seedBase       int64
 	compress       bool
 	chunkSize      int // data-path granularity: 0 default chunked, <0 monolithic
@@ -87,9 +89,9 @@ func NewCoordinator(layout *cluster.Layout, addrs map[int]string, pages, pageSiz
 		pages:         pages,
 		pageSize:      pageSize,
 		seedBase:      seed,
-		rpcTimeout:    defaultRPCTimeout,
-		fanoutW:       defaultFanout,
-		commitRetries: defaultCommitRetries,
+		rpcTimeout:    DefaultRPCTimeout,
+		fanoutW:       DefaultFanout,
+		commitRetries: DefaultCommitRetries,
 		phases:        metrics.NewPhases(),
 	}, nil
 }
@@ -153,7 +155,7 @@ func (c *Coordinator) SetFlightRecorder(rec *obs.FlightRecorder) {
 // concurrently (<= 0 restores the default).
 func (c *Coordinator) SetFanout(k int) {
 	if k <= 0 {
-		k = defaultFanout
+		k = DefaultFanout
 	}
 	c.mu.Lock()
 	c.fanoutW = k
@@ -176,8 +178,9 @@ func (c *Coordinator) NodeStats(node int) (NodeStats, error) {
 // Layout exposes the live layout.
 func (c *Coordinator) Layout() *cluster.Layout { return c.layout }
 
-// Epoch returns the last committed checkpoint epoch.
-func (c *Coordinator) Epoch() uint64 { return c.epoch }
+// Epoch returns the last committed checkpoint epoch. Safe to call from any
+// goroutine, including while a round is in flight on another.
+func (c *Coordinator) Epoch() uint64 { return c.epoch.Load() }
 
 // RoundStats returns the stats of the most recent checkpoint round (and
 // recovery, if one has run).
@@ -379,6 +382,8 @@ func (c *Coordinator) nodeConfig(n int) NodeConfig {
 
 // Setup pushes the initial configuration to every node, concurrently.
 func (c *Coordinator) Setup() error {
+	c.roundMu.Lock()
+	defer c.roundMu.Unlock()
 	nodes := make([]int, c.layout.Nodes)
 	msgs := make([]*wire.Message, c.layout.Nodes)
 	for n := 0; n < c.layout.Nodes; n++ {
@@ -402,6 +407,8 @@ func (c *Coordinator) Setup() error {
 // Step runs the synthetic workload n steps on every alive node's VMs,
 // concurrently across nodes.
 func (c *Coordinator) Step(n uint64) error {
+	c.roundMu.Lock()
+	defer c.roundMu.Unlock()
 	return c.fanout(obs.SpanContext{}, "step", c.aliveNodes(),
 		func(int) *wire.Message { return &wire.Message{Type: wire.MsgStep, Arg: n} },
 		nil)
@@ -423,8 +430,16 @@ func (c *Coordinator) Step(n uint64) error {
 //     restore redundancy. This keeps every reachable node's notion of the
 //     committed epoch in sync — there is no state in which half the cluster
 //     committed an epoch the coordinator disowned.
-func (c *Coordinator) Checkpoint() error {
-	next := c.epoch + 1
+func (c *Coordinator) Checkpoint() error { return c.CheckpointIn(obs.SpanContext{}) }
+
+// CheckpointIn is Checkpoint with a parent span context: the round's root
+// span joins the caller's trace (the service reconciler passes its reconcile
+// span here so the whole round tree hangs under the attempt that drove it).
+// A zero context roots a fresh trace, which is what Checkpoint does.
+func (c *Coordinator) CheckpointIn(parent obs.SpanContext) error {
+	c.roundMu.Lock()
+	defer c.roundMu.Unlock()
+	next := c.epoch.Load() + 1
 	alive := c.aliveNodes()
 	stats := RoundStats{Epoch: next}
 	// A recovery's wall-clock is reported with the round that observed it and
@@ -441,7 +456,7 @@ func (c *Coordinator) Checkpoint() error {
 	c.mu.Lock()
 	tr := c.tracer
 	c.mu.Unlock()
-	root := tr.Start(obs.SpanContext{}, "round", "coord")
+	root := tr.Start(parent, "round", "coord")
 	root.SetAttr("epoch", fmt.Sprintf("%d", next))
 	stats.TraceID = root.TraceID()
 
@@ -530,7 +545,7 @@ func (c *Coordinator) Checkpoint() error {
 		root.FinishErr(err)
 		return err
 	}
-	c.epoch = next
+	c.epoch.Store(next)
 	for _, node := range failed {
 		c.markDead(node, true)
 	}
@@ -646,10 +661,14 @@ func (c *Coordinator) Checksums() (map[string]uint64, error) {
 // but when the abort RPCs themselves were lost to a network fault, stale
 // staged state survives until the next abort reaches the node. Chaos and
 // soak harnesses call Quiesce before measuring committed state so a lost
-// abort cannot masquerade as state divergence.
+// abort cannot masquerade as state divergence. Quiesce serializes with the
+// other protocol operations: called while a round is in flight it blocks
+// until the round finishes, rather than racing an abort against a commit.
 func (c *Coordinator) Quiesce() error {
+	c.roundMu.Lock()
+	defer c.roundMu.Unlock()
 	return c.fanout(obs.SpanContext{}, "abort", c.aliveNodes(),
-		func(int) *wire.Message { return &wire.Message{Type: wire.MsgAbort, Epoch: c.epoch + 1} },
+		func(int) *wire.Message { return &wire.Message{Type: wire.MsgAbort, Epoch: c.epoch.Load() + 1} },
 		nil)
 }
 
@@ -699,7 +718,16 @@ func (c *Coordinator) RecoverNode(failed int) (*cluster.Plan, error) {
 // failed nodes must already be unreachable (or are about to be treated as
 // such); the caller names them explicitly. Nodes the commit phase already
 // declared dead (see PartialCommitError) may — and must — be passed here.
-func (c *Coordinator) RecoverNodes(failed ...int) (plan *cluster.Plan, err error) {
+func (c *Coordinator) RecoverNodes(failed ...int) (*cluster.Plan, error) {
+	return c.RecoverNodesIn(obs.SpanContext{}, failed...)
+}
+
+// RecoverNodesIn is RecoverNodes with a parent span context, so a recovery
+// driven by the service reconciler nests under its reconcile span. A zero
+// context roots a fresh trace.
+func (c *Coordinator) RecoverNodesIn(parent obs.SpanContext, failed ...int) (plan *cluster.Plan, err error) {
+	c.roundMu.Lock()
+	defer c.roundMu.Unlock()
 	if len(failed) == 0 {
 		return &cluster.Plan{}, nil
 	}
@@ -707,7 +735,7 @@ func (c *Coordinator) RecoverNodes(failed ...int) (plan *cluster.Plan, err error
 	c.mu.Lock()
 	tr := c.tracer
 	c.mu.Unlock()
-	root := tr.Start(obs.SpanContext{}, "recovery", "coord")
+	root := tr.Start(parent, "recovery", "coord")
 	root.SetAttr("failed", fmt.Sprintf("%v", failed))
 	defer func() { root.FinishErr(err) }()
 	seen := map[int]bool{}
@@ -851,7 +879,7 @@ func (c *Coordinator) RecoverNodes(failed ...int) (plan *cluster.Plan, err error
 			}
 			v, _ := c.layout.VM(s.VM)
 			ic := installConfig{VMConfig: c.vmConfig(v), Epoch: resp.Epoch}
-			ic.Seed = c.vmSeed(s.VM) + int64(c.epoch) + 1 // fresh workload stream after respawn
+			ic.Seed = c.vmSeed(s.VM) + int64(c.epoch.Load()) + 1 // fresh workload stream after respawn
 			itext, err := encodeJSON(ic)
 			if err != nil {
 				return err
@@ -925,7 +953,7 @@ func (c *Coordinator) RecoverNodes(failed ...int) (plan *cluster.Plan, err error
 			}
 			for _, m := range g.Members {
 				rk.MemberNodes[m] = nodeOf[m]
-				rk.Epochs[m] = c.epoch
+				rk.Epochs[m] = c.epoch.Load()
 			}
 			text, err := encodeJSON(rk)
 			if err != nil {
@@ -997,6 +1025,8 @@ func (c *Coordinator) refreshParityPointers(ctx obs.SpanContext, groups map[int]
 // same address); it starts empty and picks up work via Rebalance. A node the
 // commit phase declared dead must be recovered (RecoverNodes) before repair.
 func (c *Coordinator) Repair(node int) error {
+	c.roundMu.Lock()
+	defer c.roundMu.Unlock()
 	c.mu.Lock()
 	dead, pending := c.dead[node], c.pending[node]
 	c.mu.Unlock()
@@ -1035,6 +1065,8 @@ func (c *Coordinator) Repair(node int) error {
 // concurrently (moves touch disjoint VMs, rebuilds disjoint parity blocks).
 // Call immediately after Checkpoint, before any Step.
 func (c *Coordinator) Rebalance() (plan *cluster.Plan, err error) {
+	c.roundMu.Lock()
+	defer c.roundMu.Unlock()
 	t0 := time.Now()
 	c.mu.Lock()
 	tr := c.tracer
@@ -1069,7 +1101,7 @@ func (c *Coordinator) Rebalance() (plan *cluster.Plan, err error) {
 			return fmt.Errorf("runtime: evict %q from node %d: %w", s.VM, v.Node, err)
 		}
 		ic := installConfig{VMConfig: c.vmConfig(v), Epoch: resp.Epoch}
-		ic.Seed = c.vmSeed(s.VM) + int64(c.epoch) + 7919
+		ic.Seed = c.vmSeed(s.VM) + int64(c.epoch.Load()) + 7919
 		text, err := encodeJSON(ic)
 		if err != nil {
 			return err
@@ -1114,7 +1146,7 @@ func (c *Coordinator) Rebalance() (plan *cluster.Plan, err error) {
 		}
 		for _, m := range g.Members {
 			rk.MemberNodes[m] = nodeOf[m]
-			rk.Epochs[m] = c.epoch
+			rk.Epochs[m] = c.epoch.Load()
 		}
 		text, err := encodeJSON(rk)
 		if err != nil {

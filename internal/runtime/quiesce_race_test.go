@@ -1,0 +1,65 @@
+package runtime
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestQuiesceRacingCheckpoint hammers Quiesce from one goroutine while
+// another drives checkpoint rounds. The coordinator serializes protocol
+// operations on its round mutex, so a Quiesce that lands mid-round must wait
+// for the round to finish — it may never abort an epoch a concurrent commit
+// is in the middle of landing. Run under -race this also proves the epoch
+// reads in Quiesce's abort messages are synchronized with the commit path's
+// epoch advance.
+func TestQuiesceRacingCheckpoint(t *testing.T) {
+	coord, _ := testCluster(t, paperLayout(t))
+
+	const rounds = 8
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := coord.Quiesce(); err != nil {
+				t.Errorf("quiesce: %v", err)
+				return
+			}
+			// Interleaved reads: Epoch must be callable from any goroutine.
+			_ = coord.Epoch()
+		}
+	}()
+
+	for i := 0; i < rounds; i++ {
+		if err := coord.Step(5); err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+		if err := coord.Checkpoint(); err != nil {
+			t.Fatalf("checkpoint %d: %v", i, err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	// Every round must have committed despite the concurrent aborts: a
+	// Quiesce between rounds only clears staged state (a no-op on a clean
+	// cluster), never a committed epoch.
+	if got := coord.Epoch(); got != rounds {
+		t.Fatalf("epoch = %d, want %d (quiesce rolled back a committed round?)", got, rounds)
+	}
+	states, err := coord.VMStates()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for vm, st := range states {
+		if st.Epoch != rounds {
+			t.Errorf("%s committed epoch %d, want %d", vm, st.Epoch, rounds)
+		}
+	}
+}

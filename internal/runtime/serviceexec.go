@@ -1,0 +1,127 @@
+package runtime
+
+import (
+	"sync"
+
+	"dvdc/internal/cluster"
+	"dvdc/internal/obs"
+	"dvdc/internal/transport"
+)
+
+// ServiceExecutor adapts a Coordinator to the service control plane's
+// Executor seam (internal/service declares the interface; this type satisfies
+// it structurally, so the mechanism layer never imports the policy layer).
+// The reconciler calls it from one goroutine at a time, and the coordinator's
+// round mutex serializes against any other caller, so the adapter adds no
+// locking of its own beyond the recorded plan.
+type ServiceExecutor struct {
+	coord *Coordinator
+
+	mu       sync.Mutex
+	forced   map[int]bool  // externally declared deaths awaiting a restore
+	lastPlan *cluster.Plan // most recent recovery plan (CLI reporting)
+}
+
+// NewServiceExecutor wraps a configured coordinator.
+func NewServiceExecutor(c *Coordinator) *ServiceExecutor {
+	return &ServiceExecutor{coord: c, forced: map[int]bool{}}
+}
+
+// DeclareFailed records an external failure declaration: the next restore
+// naming n recovers it even if its daemon still answers probes. This is the
+// classic `dvdcctl -kill` semantic — the operator (or a failure detector)
+// says a node is gone and the controller stops talking to it, whether or not
+// the process is actually dead.
+func (e *ServiceExecutor) DeclareFailed(nodes ...int) {
+	e.mu.Lock()
+	for _, n := range nodes {
+		e.forced[n] = true
+	}
+	e.mu.Unlock()
+}
+
+// Coordinator exposes the wrapped coordinator (read paths: Epoch, RoundStats,
+// Layout) for callers that report on rounds the service drove.
+func (e *ServiceExecutor) Coordinator() *Coordinator { return e.coord }
+
+// ExecuteCheckpoint runs steps workload steps (0 = none) and one two-phase
+// checkpoint round inside the caller's span context. A *PartialCommitError
+// passes through unwrapped — it satisfies the service layer's CasualtyError,
+// telling the reconciler the epoch advanced but recovery is owed.
+func (e *ServiceExecutor) ExecuteCheckpoint(ctx obs.SpanContext, steps uint64) (uint64, error) {
+	if steps > 0 {
+		if err := e.coord.Step(steps); err != nil {
+			return e.coord.Epoch(), err
+		}
+	}
+	err := e.coord.CheckpointIn(ctx)
+	return e.coord.Epoch(), err
+}
+
+// ExecuteRestore drives recovery over the subset of nodes that actually need
+// it, making restores level-triggered: nodes already recovered (or never
+// down) are skipped, so re-reconciling a converged restore is a no-op rather
+// than an "already recovered" error.
+func (e *ServiceExecutor) ExecuteRestore(ctx obs.SpanContext, nodes []int) (uint64, error) {
+	var need []int
+	for _, n := range nodes {
+		e.mu.Lock()
+		forced := e.forced[n]
+		e.mu.Unlock()
+		if forced || e.needsRecovery(n) {
+			need = append(need, n)
+		}
+	}
+	if len(need) == 0 {
+		return e.coord.Epoch(), nil
+	}
+	plan, err := e.coord.RecoverNodesIn(ctx, need...)
+	if err != nil {
+		return e.coord.Epoch(), err
+	}
+	e.mu.Lock()
+	for _, n := range need {
+		delete(e.forced, n)
+	}
+	e.lastPlan = plan
+	e.mu.Unlock()
+	return e.coord.Epoch(), nil
+}
+
+// needsRecovery decides whether a node still owes a recovery pass: declared
+// dead mid-commit means yes, already recovered means no, and an undeclared
+// node is probed — an unreachable daemon is a death the coordinator has not
+// witnessed yet.
+func (e *ServiceExecutor) needsRecovery(n int) bool {
+	e.coord.mu.Lock()
+	dead, pending := e.coord.dead[n], e.coord.pending[n]
+	addr, known := e.coord.addrs[n]
+	e.coord.mu.Unlock()
+	switch {
+	case !known:
+		return false
+	case dead && pending:
+		return true
+	case dead:
+		return false // recovered; awaiting Repair/Rebalance
+	default:
+		conn, err := transport.Dial(addr)
+		if err != nil {
+			return true
+		}
+		conn.Close()
+		return false
+	}
+}
+
+// Quiesce satisfies the service layer's optional Quiescer: reconciler
+// shutdown aborts any staged-but-uncommitted captures.
+func (e *ServiceExecutor) Quiesce() error { return e.coord.Quiesce() }
+
+// LastPlan returns the most recent recovery plan the executor drove (nil if
+// none).
+func (e *ServiceExecutor) LastPlan() *cluster.Plan {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.lastPlan
+}

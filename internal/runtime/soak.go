@@ -36,6 +36,15 @@ type SoakConfig struct {
 	RoundSeconds  float64       // virtual seconds per round on the kill clock (default 10)
 	RPCTimeout    time.Duration // coordinator/node per-call deadline (default 5s)
 
+	// Service routes every checkpoint and recovery through the declarative
+	// control plane (internal/service) instead of invoking the coordinator
+	// directly: each round submits request objects to a reconciler-backed
+	// Service and waits for them to reach a terminal phase, then runs the
+	// same invariant battery — plus request-convergence assertions (no stuck
+	// phases, observed generations current, reconcile spans rooting the round
+	// traces).
+	Service bool
+
 	// Observability (all optional). Tracer receives every span the soak
 	// produces (nil = the harness builds its own and additionally asserts no
 	// span leaks open); TraceSink streams those spans as JSONL; Registry
@@ -50,28 +59,6 @@ type SoakConfig struct {
 	Registry      *obs.Registry
 	Recorder      *obs.FlightRecorder
 	PostmortemDir string
-}
-
-func (c SoakConfig) withDefaults() SoakConfig {
-	if c.Rounds <= 0 {
-		c.Rounds = 10
-	}
-	if c.StepsPerRound == 0 {
-		c.StepsPerRound = 40
-	}
-	if c.Pages <= 0 {
-		c.Pages = 16
-	}
-	if c.PageSize <= 0 {
-		c.PageSize = 64
-	}
-	if c.RoundSeconds <= 0 {
-		c.RoundSeconds = 10
-	}
-	if c.RPCTimeout <= 0 {
-		c.RPCTimeout = 5 * time.Second
-	}
-	return c
 }
 
 // RoundRecord is the deterministic per-round outcome of a soak. Wall-clock
@@ -89,6 +76,7 @@ type RoundRecord struct {
 	DeadDuring   []int  // nodes declared dead mid-commit (PartialCommitError)
 	Kills        []int  // nodes the kill plan took down this round
 	Straggler    string // lane the round's critical path waited on (timing-dependent)
+	Retries      int    // service mode: reconcile attempts beyond the first, summed over the round's requests
 }
 
 // SoakResult is the full account of a soak run.
@@ -171,6 +159,405 @@ func (sc *soakCluster) close() {
 	}
 }
 
+// soakEnv is everything a soak run shares between the classic loop and the
+// service-mode loop: the instrumented cluster, the shadow model, the chaos
+// machinery, and the invariant checks. Both loops drive the same cluster
+// through the same verifications; they differ only in who invokes the
+// protocol — the harness directly, or the service reconciler on its behalf.
+type soakEnv struct {
+	cfg       SoakConfig
+	layout    *cluster.Layout
+	res       *SoakResult
+	rec       *obs.FlightRecorder
+	tr        *obs.Tracer
+	ownTracer bool
+	inj       *chaos.Injector
+	kills     *chaos.KillPlan
+	harness   *rand.Rand
+	sc        *soakCluster
+	coord     *Coordinator
+	shadow    *Shadow
+	outliers  *collect.OutlierTracker
+	lastEpoch map[string]uint64
+}
+
+// newSoakEnv boots the instrumented cluster: flight recorder, tracer,
+// injector, kill plan, node daemons, coordinator, shadow model. cfg must
+// already be defaulted and carry a layout.
+func newSoakEnv(cfg SoakConfig) (*soakEnv, error) {
+	layout := cfg.Layout
+	e := &soakEnv{cfg: cfg, layout: layout, res: &SoakResult{}, lastEpoch: map[string]uint64{}}
+
+	// The run's black box: tap every finished span, RPC outcome, and fired
+	// fault into a bounded ring so an invariant violation dumps the failure's
+	// immediate past as a postmortem bundle.
+	e.rec = cfg.Recorder
+	if e.rec == nil && cfg.PostmortemDir != "" {
+		e.rec = obs.NewFlightRecorder(0)
+	}
+	if cfg.PostmortemDir != "" {
+		e.rec.SetDumpDir(cfg.PostmortemDir)
+	}
+	e.rec.SetRegistry(cfg.Registry)
+	e.rec.SetMeta("seed", cfg.Seed)
+	e.rec.SetMeta("rounds", cfg.Rounds)
+	e.rec.SetMeta("nodes", layout.Nodes)
+
+	e.tr = cfg.Tracer
+	e.ownTracer = e.tr == nil
+	if e.ownTracer {
+		e.tr = obs.NewTracer(1 << 15)
+	}
+	if cfg.TraceSink != nil {
+		e.tr.SetSink(cfg.TraceSink)
+	}
+	if e.rec != nil {
+		e.tr.SetTap(e.rec.Span)
+	}
+
+	e.inj = chaos.New(cfg.Seed, cfg.Chaos)
+	e.inj.SetTracer(e.tr)
+	e.inj.SetRecorder(e.rec)
+	e.inj.Pause() // probabilistic injection only runs inside checkpoint windows
+	if cfg.Registry != nil {
+		cfg.Registry.MountCounterSet("dvdc_chaos_faults_total", "kind", e.inj.Counters().Set())
+	}
+
+	if cfg.KillMTBF > 0 {
+		var err error
+		e.kills, err = chaos.PlanPoissonKills(layout.Nodes, cfg.Rounds, cfg.KillMTBF, cfg.RoundSeconds, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+	}
+	// The harness's own decisions (which pair to arm, which kind, transient
+	// partitions) come from a dedicated stream so they never perturb the
+	// injector's or the workloads' streams.
+	e.harness = rand.New(rand.NewSource(cfg.Seed ^ 0x5eed50a4c0ffee))
+
+	e.sc = &soakCluster{inj: e.inj, nodes: make([]*Node, layout.Nodes), addrs: map[int]string{}, tr: e.tr, reg: cfg.Registry, rec: e.rec}
+	for i := 0; i < layout.Nodes; i++ {
+		if err := e.sc.start(i, "127.0.0.1:0"); err != nil {
+			e.sc.close()
+			return nil, err
+		}
+		e.sc.nodes[i].SetRPCTimeout(cfg.RPCTimeout)
+	}
+	coord, err := NewCoordinator(layout, e.sc.addrs, cfg.Pages, cfg.PageSize, cfg.Seed)
+	if err != nil {
+		e.sc.close()
+		return nil, err
+	}
+	e.coord = coord
+	coord.SetObserver(e.tr, cfg.Registry)
+	coord.SetFlightRecorder(e.rec)
+	coord.SetRPCTimeout(cfg.RPCTimeout)
+	coord.SetChunkSize(cfg.ChunkSize)
+	coord.SetDialer(e.inj.Dialer(chaos.Coordinator))
+	if err := coord.Setup(); err != nil {
+		e.close()
+		return nil, err
+	}
+	e.shadow, err = NewShadow(layout, cfg.Pages, cfg.PageSize, cfg.Seed)
+	if err != nil {
+		e.close()
+		return nil, err
+	}
+	e.outliers = collect.NewOutlierTracker(0, 0)
+	e.outliers.SetRegistry(cfg.Registry)
+	return e, nil
+}
+
+// close tears the environment down in the same order RunSoak's defers used
+// to: coordinator pools, node daemons, tracer tap, sink flush.
+func (e *soakEnv) close() {
+	if e.coord != nil {
+		e.coord.Close()
+	}
+	e.sc.close()
+	if e.rec != nil {
+		e.tr.SetTap(nil)
+	}
+	if e.cfg.TraceSink != nil {
+		e.tr.Flush() //nolint:errcheck // sink errors surface via SinkErr
+	}
+}
+
+// fail records an invariant violation in the flight recorder, dumps a
+// postmortem bundle, and renders the canonical soak error.
+func (e *soakEnv) fail(round int, format string, args ...interface{}) (*SoakResult, error) {
+	msg := fmt.Sprintf(format, args...)
+	e.rec.Note("soak-invariant", "round", fmt.Sprintf("%d", round), "violation", msg)
+	e.rec.AutoDump("soak-invariant") //nolint:errcheck // never turn a postmortem into a second failure
+	return e.res, fmt.Errorf("soak[seed %d, round %d]: %s", e.cfg.Seed, round, msg)
+}
+
+// checkTrace asserts one checkpoint's span tree is closed: the collector's
+// merged-tree verifier demands exactly one root and every span's parent
+// recorded in the same trace. Handlers abandoned by an RPC timeout can
+// record their spans a beat after the caller returned, so a transient
+// orphan is retried briefly before it counts as a violation. On success
+// the verified tree is returned for straggler attribution.
+func (e *soakEnv) checkTrace(traceID uint64) (*collect.Tree, error) {
+	if traceID == 0 {
+		return nil, fmt.Errorf("trace: round recorded no trace id")
+	}
+	var lastErr error
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		spans := e.tr.TraceSpans(traceID)
+		var tree *collect.Tree
+		if len(spans) == 0 {
+			lastErr = fmt.Errorf("trace %016x: no spans recorded", traceID)
+		} else {
+			tree = collect.BuildTree(spans)
+			lastErr = tree.Verify()
+		}
+		if lastErr == nil {
+			return tree, nil
+		}
+		if !time.Now().Before(deadline) {
+			return nil, lastErr
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// recoverAndRepair runs the fault-free repair cycle for a set of down
+// nodes: recover their state onto survivors, restart the daemons on the
+// same addresses, repair, re-checkpoint, and rebalance. Mirrored into the
+// shadow step by step. The injector must already be paused. A valid parent
+// context nests the cycle's protocol spans under the caller's span (the
+// service reconciler passes its reconcile span; the classic loop passes a
+// zero context).
+func (e *soakEnv) recoverAndRepair(parent obs.SpanContext, down []int) error {
+	plan, err := e.coord.RecoverNodesIn(parent, down...)
+	if err != nil {
+		return fmt.Errorf("recover %v: %w", down, err)
+	}
+	if err := e.shadow.Recover(plan, e.coord.Epoch()); err != nil {
+		return err
+	}
+	for _, v := range down {
+		if err := e.sc.start(v, e.sc.addrs[v]); err != nil {
+			return fmt.Errorf("restart node %d on %s: %w", v, e.sc.addrs[v], err)
+		}
+		e.sc.nodes[v].SetRPCTimeout(e.cfg.RPCTimeout)
+		e.inj.RecordRestart(v)
+		if err := e.coord.Repair(v); err != nil {
+			return fmt.Errorf("repair node %d: %w", v, err)
+		}
+	}
+	// The post-recovery checkpoint runs clean: it certifies the repaired
+	// cluster can commit before rebalance moves anything.
+	if err := e.coord.CheckpointIn(parent); err != nil {
+		return fmt.Errorf("post-recovery checkpoint: %w", err)
+	}
+	e.shadow.Commit()
+	rb, err := e.coord.Rebalance()
+	if err != nil {
+		return fmt.Errorf("rebalance: %w", err)
+	}
+	return e.shadow.Rebalance(rb, e.coord.Epoch())
+}
+
+// armRoundFaults arms this round's one-shot faults (coordinator pairs, an
+// optional transient partition, chunk-frame faults) from the harness stream,
+// identically in both soak modes. Returns the partitioned pair ({-1,-1} if
+// none); the caller heals it after the checkpoint window.
+func (e *soakEnv) armRoundFaults(victims []int) [2]int {
+	cfg, layout := e.cfg, e.layout
+	isVictim := map[int]bool{}
+	for _, v := range victims {
+		isVictim[v] = true
+	}
+	armedKinds := []chaos.Kind{chaos.Drop, chaos.Corrupt, chaos.Delay}
+	// Arm this round's one-shot faults on coordinator pairs to distinct
+	// live nodes; the prepare fanout guarantees each fires this round.
+	if cfg.ArmPerRound > 0 {
+		var targets []int
+		for n := 0; n < layout.Nodes; n++ {
+			if !isVictim[n] {
+				targets = append(targets, n)
+			}
+		}
+		e.harness.Shuffle(len(targets), func(i, j int) { targets[i], targets[j] = targets[j], targets[i] })
+		for i := 0; i < cfg.ArmPerRound && i < len(targets); i++ {
+			e.inj.Arm(chaos.Pair{Src: chaos.Coordinator, Dst: targets[i]},
+				armedKinds[e.harness.Intn(len(armedKinds))])
+		}
+	}
+	// Occasionally sever one node pair for the duration of the checkpoint.
+	partitioned := [2]int{-1, -1}
+	if len(victims) == 0 && cfg.PPartition > 0 && layout.Nodes >= 2 && e.harness.Float64() < cfg.PPartition {
+		a := e.harness.Intn(layout.Nodes)
+		b := e.harness.Intn(layout.Nodes - 1)
+		if b >= a {
+			b++
+		}
+		partitioned = [2]int{a, b}
+		e.inj.PartitionPair(a, b)
+	}
+	// Chunk-stream faults: one-shot drop/corrupt aimed at MsgDeltaChunk
+	// frames on member-host -> parity-node edges, so the fault lands on an
+	// individual data-path chunk mid-prepare and the keeper-side stream
+	// dedup plus the node pools' retries must absorb it. Armed after the
+	// partition choice: an edge whose traffic is severed (or whose endpoint
+	// is a scheduled victim) would never consume its fault and trip the
+	// consumption invariant. Self-hosted parity never crosses the wire, so
+	// src == dst edges are skipped too. Delay is excluded — it would fire
+	// without forcing the retry path this satellite is meant to exercise.
+	if cfg.ChunkFaults > 0 && resolveChunkSize(cfg.ChunkSize) > 0 {
+		lay := e.coord.Layout()
+		hostOf := make(map[string]int, len(lay.VMs))
+		for _, v := range lay.VMs {
+			hostOf[v.Name] = v.Node
+		}
+		seen := map[chaos.Pair]bool{}
+		var edges []chaos.Pair
+		for _, g := range lay.Groups {
+			for _, m := range g.Members {
+				src := hostOf[m]
+				for _, p := range g.ParityNodes {
+					if src == p || isVictim[src] || isVictim[p] {
+						continue
+					}
+					if (src == partitioned[0] && p == partitioned[1]) ||
+						(src == partitioned[1] && p == partitioned[0]) {
+						continue
+					}
+					pr := chaos.Pair{Src: src, Dst: p}
+					if !seen[pr] {
+						seen[pr] = true
+						edges = append(edges, pr)
+					}
+				}
+			}
+		}
+		e.harness.Shuffle(len(edges), func(i, j int) { edges[i], edges[j] = edges[j], edges[i] })
+		chunkKinds := []chaos.Kind{chaos.Drop, chaos.Corrupt}
+		for i := 0; i < cfg.ChunkFaults && i < len(edges); i++ {
+			e.inj.ArmMsg(edges[i], chunkKinds[e.harness.Intn(len(chunkKinds))], uint8(wire.MsgDeltaChunk))
+		}
+	}
+	return partitioned
+}
+
+// verifyRound runs the per-round invariant battery on a quiesced cluster and
+// fills rr's straggler attribution. Any returned error is an invariant
+// violation the caller turns into a soak failure.
+func (e *soakEnv) verifyRound(round int, rr *RoundRecord) error {
+	// A lost abort may have left staged captures behind; measuring must not
+	// race the protocol.
+	if err := e.coord.Quiesce(); err != nil {
+		return fmt.Errorf("quiesce: %v", err)
+	}
+	states, err := e.coord.VMStates()
+	if err != nil {
+		return fmt.Errorf("fetch VM states: %v", err)
+	}
+	want := e.shadow.Checksums()
+	if len(states) != len(want) {
+		return fmt.Errorf("cluster reports %d VMs, shadow models %d", len(states), len(want))
+	}
+	for name, s := range states {
+		if s.Checksum != want[name] {
+			return fmt.Errorf("VM %q committed checksum %x diverged from shadow %x", name, s.Checksum, want[name])
+		}
+		if s.Epoch != e.coord.Epoch() {
+			return fmt.Errorf("VM %q at epoch %d, coordinator at %d", name, s.Epoch, e.coord.Epoch())
+		}
+		if prev, ok := e.lastEpoch[name]; ok && s.Epoch < prev {
+			return fmt.Errorf("VM %q epoch regressed %d -> %d", name, prev, s.Epoch)
+		}
+		e.lastEpoch[name] = s.Epoch
+	}
+	if e.coord.Epoch() != e.shadow.Epoch() {
+		return fmt.Errorf("coordinator epoch %d, shadow epoch %d", e.coord.Epoch(), e.shadow.Epoch())
+	}
+	if p := e.coord.pendingRecovery(); len(p) > 0 {
+		return fmt.Errorf("nodes %v still pending recovery", p)
+	}
+	if e.inj.ArmedPending() != 0 {
+		return fmt.Errorf("%d armed faults never fired", e.inj.ArmedPending())
+	}
+	// Retry reconciliation: each armed drop/corrupt on a coordinator pair
+	// fails exactly one in-flight call, which the pool must absorb with a
+	// retry. (Node-to-node faults retry inside the node pools and are
+	// invisible to coordinator stats; hence a lower bound, not equality.)
+	firedDisruptive := 0
+	for _, f := range e.inj.Log() {
+		if f.Round == round && f.Armed && f.Pair.Src == chaos.Coordinator &&
+			(f.Kind == chaos.Drop || f.Kind == chaos.Corrupt) {
+			firedDisruptive++
+		}
+	}
+	if int(rr.RPCRetries) < firedDisruptive {
+		return fmt.Errorf("RPC retries %d < %d armed coordinator-pair faults", rr.RPCRetries, firedDisruptive)
+	}
+	tree, err := e.checkTrace(e.coord.RoundStats().TraceID)
+	if err != nil {
+		return err
+	}
+	// Straggler attribution over the verified tree: who this round's
+	// wall-clock waited on, exported per round, plus the rolling per-peer
+	// latency windows behind the outlier gauges. Timing-dependent, so the
+	// record field stays out of the round digest.
+	if attr := collect.Attribute(tree); attr != nil {
+		attr.Export(e.cfg.Registry)
+		rr.Straggler = attr.Straggler
+	}
+	e.outliers.ObserveSpans(tree.Spans)
+	return nil
+}
+
+// finish runs the end-of-soak checks (fault schedule consumed, chunked path
+// exercised, liveness floor, span leaks) and assembles the result.
+func (e *soakEnv) finish() (*SoakResult, error) {
+	cfg := e.cfg
+	e.res.FaultLog = e.inj.Log()
+	e.res.Epoch = e.coord.Epoch()
+	e.res.Counters = e.inj.Counters().Snapshot()
+	var err error
+	e.res.Checksums, err = e.coord.Checksums()
+	if err != nil {
+		return e.res, err
+	}
+	// When the chunked path is active the soak must actually have exercised
+	// it: a soak that silently fell back to monolithic shipping would pass
+	// every state invariant while testing nothing this config asked for.
+	if resolveChunkSize(cfg.ChunkSize) > 0 {
+		var chunksSent int64
+		for n := 0; n < e.layout.Nodes; n++ {
+			st, err := e.coord.NodeStats(n)
+			if err != nil {
+				return e.fail(cfg.Rounds, "fetch node %d stats: %v", n, err)
+			}
+			chunksSent += st.ChunksSent
+		}
+		if chunksSent == 0 {
+			return e.fail(cfg.Rounds, "chunked data path configured but no node shipped a chunk")
+		}
+	}
+	// Liveness floor: chaos may abort rounds, but the protocol must keep
+	// committing — a soak that never advances is a silent deadlock.
+	if e.res.Epoch < uint64(cfg.Rounds)/2 {
+		return e.fail(cfg.Rounds, "only %d epochs committed across %d rounds", e.res.Epoch, cfg.Rounds)
+	}
+	// Span-leak check (own tracer only; a shared tracer may carry the
+	// caller's spans): abandoned handlers get the RPC deadline to drain.
+	if e.ownTracer {
+		deadline := time.Now().Add(cfg.RPCTimeout + 2*time.Second)
+		for e.tr.OpenSpans() != 0 && time.Now().Before(deadline) {
+			time.Sleep(20 * time.Millisecond)
+		}
+		if n := e.tr.OpenSpans(); n != 0 {
+			return e.fail(cfg.Rounds, "%d spans still open after soak", n)
+		}
+	}
+	return e.res, nil
+}
+
 // RunSoak executes the soak and verifies, after every round:
 //
 //   - every VM's committed-image checksum matches the in-process Shadow
@@ -187,6 +574,10 @@ func (sc *soakCluster) close() {
 //   - the round's span tree is complete: the checkpoint trace has exactly one
 //     root and no span whose parent was never recorded.
 //
+// With cfg.Service set the same cluster, faults, and invariants run with the
+// protocol driven through the declarative control plane instead: see
+// SoakConfig.Service.
+//
 // An invariant violation (or a protocol operation failing where it must not)
 // returns an error naming the round and the seed; the partial SoakResult is
 // returned alongside for post-mortem.
@@ -195,257 +586,37 @@ func RunSoak(cfg SoakConfig) (*SoakResult, error) {
 	if cfg.Layout == nil {
 		return nil, fmt.Errorf("soak: nil layout")
 	}
-	layout := cfg.Layout
-	res := &SoakResult{}
-
-	// The run's black box: tap every finished span, RPC outcome, and fired
-	// fault into a bounded ring so an invariant violation dumps the failure's
-	// immediate past as a postmortem bundle.
-	rec := cfg.Recorder
-	if rec == nil && cfg.PostmortemDir != "" {
-		rec = obs.NewFlightRecorder(0)
+	if cfg.Service {
+		return runSoakService(cfg)
 	}
-	if cfg.PostmortemDir != "" {
-		rec.SetDumpDir(cfg.PostmortemDir)
-	}
-	rec.SetRegistry(cfg.Registry)
-	rec.SetMeta("seed", cfg.Seed)
-	rec.SetMeta("rounds", cfg.Rounds)
-	if cfg.Layout != nil {
-		rec.SetMeta("nodes", cfg.Layout.Nodes)
-	}
-
-	fail := func(round int, format string, args ...interface{}) (*SoakResult, error) {
-		msg := fmt.Sprintf(format, args...)
-		rec.Note("soak-invariant", "round", fmt.Sprintf("%d", round), "violation", msg)
-		rec.AutoDump("soak-invariant") //nolint:errcheck // never turn a postmortem into a second failure
-		return res, fmt.Errorf("soak[seed %d, round %d]: %s", cfg.Seed, round, msg)
-	}
-
-	tr := cfg.Tracer
-	ownTracer := tr == nil
-	if ownTracer {
-		tr = obs.NewTracer(1 << 15)
-	}
-	if cfg.TraceSink != nil {
-		tr.SetSink(cfg.TraceSink)
-		defer tr.Flush()
-	}
-	if rec != nil {
-		tr.SetTap(rec.Span)
-		defer tr.SetTap(nil)
-	}
-
-	inj := chaos.New(cfg.Seed, cfg.Chaos)
-	inj.SetTracer(tr)
-	inj.SetRecorder(rec)
-	inj.Pause() // probabilistic injection only runs inside checkpoint windows
-	if cfg.Registry != nil {
-		cfg.Registry.MountCounterSet("dvdc_chaos_faults_total", "kind", inj.Counters().Set())
-	}
-
-	var kills *chaos.KillPlan
-	if cfg.KillMTBF > 0 {
-		var err error
-		kills, err = chaos.PlanPoissonKills(layout.Nodes, cfg.Rounds, cfg.KillMTBF, cfg.RoundSeconds, cfg.Seed)
-		if err != nil {
-			return nil, err
-		}
-	}
-	// The harness's own decisions (which pair to arm, which kind, transient
-	// partitions) come from a dedicated stream so they never perturb the
-	// injector's or the workloads' streams.
-	harness := rand.New(rand.NewSource(cfg.Seed ^ 0x5eed50a4c0ffee))
-
-	sc := &soakCluster{inj: inj, nodes: make([]*Node, layout.Nodes), addrs: map[int]string{}, tr: tr, reg: cfg.Registry, rec: rec}
-	defer sc.close()
-	for i := 0; i < layout.Nodes; i++ {
-		if err := sc.start(i, "127.0.0.1:0"); err != nil {
-			return nil, err
-		}
-		sc.nodes[i].SetRPCTimeout(cfg.RPCTimeout)
-	}
-	coord, err := NewCoordinator(layout, sc.addrs, cfg.Pages, cfg.PageSize, cfg.Seed)
+	e, err := newSoakEnv(cfg)
 	if err != nil {
 		return nil, err
 	}
-	defer coord.Close()
-	coord.SetObserver(tr, cfg.Registry)
-	coord.SetFlightRecorder(rec)
-	coord.SetRPCTimeout(cfg.RPCTimeout)
-	coord.SetChunkSize(cfg.ChunkSize)
-	coord.SetDialer(inj.Dialer(chaos.Coordinator))
-	if err := coord.Setup(); err != nil {
-		return nil, err
-	}
-	shadow, err := NewShadow(layout, cfg.Pages, cfg.PageSize, cfg.Seed)
-	if err != nil {
-		return nil, err
-	}
-
-	lastEpoch := map[string]uint64{}
-	armedKinds := []chaos.Kind{chaos.Drop, chaos.Corrupt, chaos.Delay}
-
-	// checkTrace asserts one checkpoint's span tree is closed: the collector's
-	// merged-tree verifier demands exactly one root and every span's parent
-	// recorded in the same trace. Handlers abandoned by an RPC timeout can
-	// record their spans a beat after the caller returned, so a transient
-	// orphan is retried briefly before it counts as a violation. On success
-	// the verified tree is returned for straggler attribution.
-	outliers := collect.NewOutlierTracker(0, 0)
-	outliers.SetRegistry(cfg.Registry)
-	checkTrace := func(traceID uint64) (*collect.Tree, error) {
-		if traceID == 0 {
-			return nil, fmt.Errorf("trace: round recorded no trace id")
-		}
-		var lastErr error
-		deadline := time.Now().Add(2 * time.Second)
-		for {
-			spans := tr.TraceSpans(traceID)
-			var tree *collect.Tree
-			if len(spans) == 0 {
-				lastErr = fmt.Errorf("trace %016x: no spans recorded", traceID)
-			} else {
-				tree = collect.BuildTree(spans)
-				lastErr = tree.Verify()
-			}
-			if lastErr == nil {
-				return tree, nil
-			}
-			if !time.Now().Before(deadline) {
-				return nil, lastErr
-			}
-			time.Sleep(20 * time.Millisecond)
-		}
-	}
-
-	// recoverAndRepair runs the fault-free repair cycle for a set of down
-	// nodes: recover their state onto survivors, restart the daemons on the
-	// same addresses, repair, re-checkpoint, and rebalance. Mirrored into the
-	// shadow step by step. The injector must already be paused.
-	recoverAndRepair := func(round int, down []int) error {
-		plan, err := coord.RecoverNodes(down...)
-		if err != nil {
-			return fmt.Errorf("recover %v: %w", down, err)
-		}
-		if err := shadow.Recover(plan, coord.Epoch()); err != nil {
-			return err
-		}
-		for _, v := range down {
-			if err := sc.start(v, sc.addrs[v]); err != nil {
-				return fmt.Errorf("restart node %d on %s: %w", v, sc.addrs[v], err)
-			}
-			sc.nodes[v].SetRPCTimeout(cfg.RPCTimeout)
-			inj.RecordRestart(v)
-			if err := coord.Repair(v); err != nil {
-				return fmt.Errorf("repair node %d: %w", v, err)
-			}
-		}
-		// The post-recovery checkpoint runs clean: it certifies the repaired
-		// cluster can commit before rebalance moves anything.
-		if err := coord.Checkpoint(); err != nil {
-			return fmt.Errorf("post-recovery checkpoint: %w", err)
-		}
-		shadow.Commit()
-		rb, err := coord.Rebalance()
-		if err != nil {
-			return fmt.Errorf("rebalance: %w", err)
-		}
-		return shadow.Rebalance(rb, coord.Epoch())
-	}
+	defer e.close()
+	coord, shadow, inj, sc := e.coord, e.shadow, e.inj, e.sc
 
 	for r := 0; r < cfg.Rounds; r++ {
 		round := inj.NextRound()
 		rr := RoundRecord{Round: round}
 		var victims []int
-		if kills != nil {
-			victims = kills.Victims(r)
+		if e.kills != nil {
+			victims = e.kills.Victims(r)
 		}
 		rr.Kills = victims
-		isVictim := map[int]bool{}
-		for _, v := range victims {
-			isVictim[v] = true
-		}
 
 		// Workload phase, fault-free: a lost or duplicated step RPC would
 		// desynchronize the real workload streams from the shadow's, turning
 		// model noise into false invariant violations (see DESIGN.md).
 		if inj.ArmedPending() != 0 {
-			return fail(round, "%d armed faults never fired", inj.ArmedPending())
+			return e.fail(round, "%d armed faults never fired", inj.ArmedPending())
 		}
 		if err := coord.Step(cfg.StepsPerRound); err != nil {
-			return fail(round, "step: %v", err)
+			return e.fail(round, "step: %v", err)
 		}
 		shadow.Step(cfg.StepsPerRound)
 
-		// Arm this round's one-shot faults on coordinator pairs to distinct
-		// live nodes; the prepare fanout guarantees each fires this round.
-		if cfg.ArmPerRound > 0 {
-			var targets []int
-			for n := 0; n < layout.Nodes; n++ {
-				if !isVictim[n] {
-					targets = append(targets, n)
-				}
-			}
-			harness.Shuffle(len(targets), func(i, j int) { targets[i], targets[j] = targets[j], targets[i] })
-			for i := 0; i < cfg.ArmPerRound && i < len(targets); i++ {
-				inj.Arm(chaos.Pair{Src: chaos.Coordinator, Dst: targets[i]},
-					armedKinds[harness.Intn(len(armedKinds))])
-			}
-		}
-		// Occasionally sever one node pair for the duration of the checkpoint.
-		partitioned := [2]int{-1, -1}
-		if len(victims) == 0 && cfg.PPartition > 0 && layout.Nodes >= 2 && harness.Float64() < cfg.PPartition {
-			a := harness.Intn(layout.Nodes)
-			b := harness.Intn(layout.Nodes - 1)
-			if b >= a {
-				b++
-			}
-			partitioned = [2]int{a, b}
-			inj.PartitionPair(a, b)
-		}
-		// Chunk-stream faults: one-shot drop/corrupt aimed at MsgDeltaChunk
-		// frames on member-host -> parity-node edges, so the fault lands on an
-		// individual data-path chunk mid-prepare and the keeper-side stream
-		// dedup plus the node pools' retries must absorb it. Armed after the
-		// partition choice: an edge whose traffic is severed (or whose endpoint
-		// is a scheduled victim) would never consume its fault and trip the
-		// consumption invariant. Self-hosted parity never crosses the wire, so
-		// src == dst edges are skipped too. Delay is excluded — it would fire
-		// without forcing the retry path this satellite is meant to exercise.
-		if cfg.ChunkFaults > 0 && resolveChunkSize(cfg.ChunkSize) > 0 {
-			lay := coord.Layout()
-			hostOf := make(map[string]int, len(lay.VMs))
-			for _, v := range lay.VMs {
-				hostOf[v.Name] = v.Node
-			}
-			seen := map[chaos.Pair]bool{}
-			var edges []chaos.Pair
-			for _, g := range lay.Groups {
-				for _, m := range g.Members {
-					src := hostOf[m]
-					for _, p := range g.ParityNodes {
-						if src == p || isVictim[src] || isVictim[p] {
-							continue
-						}
-						if (src == partitioned[0] && p == partitioned[1]) ||
-							(src == partitioned[1] && p == partitioned[0]) {
-							continue
-						}
-						e := chaos.Pair{Src: src, Dst: p}
-						if !seen[e] {
-							seen[e] = true
-							edges = append(edges, e)
-						}
-					}
-				}
-			}
-			harness.Shuffle(len(edges), func(i, j int) { edges[i], edges[j] = edges[j], edges[i] })
-			chunkKinds := []chaos.Kind{chaos.Drop, chaos.Corrupt}
-			for i := 0; i < cfg.ChunkFaults && i < len(edges); i++ {
-				inj.ArmMsg(edges[i], chunkKinds[harness.Intn(len(chunkKinds))], uint8(wire.MsgDeltaChunk))
-			}
-		}
+		partitioned := e.armRoundFaults(victims)
 
 		// Kill phase: victims drop dead before the checkpoint, so the round
 		// exercises prepare-failure abort (or, if timing conspires, a
@@ -469,7 +640,7 @@ func RunSoak(cfg SoakConfig) (*SoakResult, error) {
 		switch {
 		case ckErr == nil:
 			if len(victims) > 0 {
-				return fail(round, "checkpoint succeeded with dead nodes %v", victims)
+				return e.fail(round, "checkpoint succeeded with dead nodes %v", victims)
 			}
 			shadow.Commit()
 		case errors.As(ckErr, &partial):
@@ -503,117 +674,20 @@ func RunSoak(cfg SoakConfig) (*SoakResult, error) {
 				downList = append(downList, n)
 			}
 			sort.Ints(downList)
-			if err := recoverAndRepair(round, downList); err != nil {
-				return fail(round, "%v", err)
+			if err := e.recoverAndRepair(obs.SpanContext{}, downList); err != nil {
+				return e.fail(round, "%v", err)
 			}
 			st = coord.RoundStats()
 			rr.BytesShipped += st.BytesShipped
 			rr.RPCRetries += st.RPCRetries
 		}
 
-		// Invariant checks, on a quiesced cluster (a lost abort may have left
-		// staged captures behind; measuring must not race the protocol).
-		if err := coord.Quiesce(); err != nil {
-			return fail(round, "quiesce: %v", err)
+		if err := e.verifyRound(round, &rr); err != nil {
+			return e.fail(round, "%v", err)
 		}
-		states, err := coord.VMStates()
-		if err != nil {
-			return fail(round, "fetch VM states: %v", err)
-		}
-		want := shadow.Checksums()
-		if len(states) != len(want) {
-			return fail(round, "cluster reports %d VMs, shadow models %d", len(states), len(want))
-		}
-		for name, s := range states {
-			if s.Checksum != want[name] {
-				return fail(round, "VM %q committed checksum %x diverged from shadow %x", name, s.Checksum, want[name])
-			}
-			if s.Epoch != coord.Epoch() {
-				return fail(round, "VM %q at epoch %d, coordinator at %d", name, s.Epoch, coord.Epoch())
-			}
-			if prev, ok := lastEpoch[name]; ok && s.Epoch < prev {
-				return fail(round, "VM %q epoch regressed %d -> %d", name, prev, s.Epoch)
-			}
-			lastEpoch[name] = s.Epoch
-		}
-		if coord.Epoch() != shadow.Epoch() {
-			return fail(round, "coordinator epoch %d, shadow epoch %d", coord.Epoch(), shadow.Epoch())
-		}
-		if p := coord.pendingRecovery(); len(p) > 0 {
-			return fail(round, "nodes %v still pending recovery", p)
-		}
-		if inj.ArmedPending() != 0 {
-			return fail(round, "%d armed faults never fired", inj.ArmedPending())
-		}
-		// Retry reconciliation: each armed drop/corrupt on a coordinator pair
-		// fails exactly one in-flight call, which the pool must absorb with a
-		// retry. (Node-to-node faults retry inside the node pools and are
-		// invisible to coordinator stats; hence a lower bound, not equality.)
-		firedDisruptive := 0
-		for _, f := range inj.Log() {
-			if f.Round == round && f.Armed && f.Pair.Src == chaos.Coordinator &&
-				(f.Kind == chaos.Drop || f.Kind == chaos.Corrupt) {
-				firedDisruptive++
-			}
-		}
-		if int(rr.RPCRetries) < firedDisruptive {
-			return fail(round, "RPC retries %d < %d armed coordinator-pair faults", rr.RPCRetries, firedDisruptive)
-		}
-		tree, err := checkTrace(coord.RoundStats().TraceID)
-		if err != nil {
-			return fail(round, "%v", err)
-		}
-		// Straggler attribution over the verified tree: who this round's
-		// wall-clock waited on, exported per round, plus the rolling per-peer
-		// latency windows behind the outlier gauges. Timing-dependent, so the
-		// record field stays out of the round digest.
-		if attr := collect.Attribute(tree); attr != nil {
-			attr.Export(cfg.Registry)
-			rr.Straggler = attr.Straggler
-		}
-		outliers.ObserveSpans(tree.Spans)
 		rr.Epoch = coord.Epoch()
-		res.Rounds = append(res.Rounds, rr)
+		e.res.Rounds = append(e.res.Rounds, rr)
 	}
 
-	res.FaultLog = inj.Log()
-	res.Epoch = coord.Epoch()
-	res.Counters = inj.Counters().Snapshot()
-	res.Checksums, err = coord.Checksums()
-	if err != nil {
-		return res, err
-	}
-	// When the chunked path is active the soak must actually have exercised
-	// it: a soak that silently fell back to monolithic shipping would pass
-	// every state invariant while testing nothing this config asked for.
-	if resolveChunkSize(cfg.ChunkSize) > 0 {
-		var chunksSent int64
-		for n := 0; n < layout.Nodes; n++ {
-			st, err := coord.NodeStats(n)
-			if err != nil {
-				return fail(cfg.Rounds, "fetch node %d stats: %v", n, err)
-			}
-			chunksSent += st.ChunksSent
-		}
-		if chunksSent == 0 {
-			return fail(cfg.Rounds, "chunked data path configured but no node shipped a chunk")
-		}
-	}
-	// Liveness floor: chaos may abort rounds, but the protocol must keep
-	// committing — a soak that never advances is a silent deadlock.
-	if res.Epoch < uint64(cfg.Rounds)/2 {
-		return fail(cfg.Rounds, "only %d epochs committed across %d rounds", res.Epoch, cfg.Rounds)
-	}
-	// Span-leak check (own tracer only; a shared tracer may carry the
-	// caller's spans): abandoned handlers get the RPC deadline to drain.
-	if ownTracer {
-		deadline := time.Now().Add(cfg.RPCTimeout + 2*time.Second)
-		for tr.OpenSpans() != 0 && time.Now().Before(deadline) {
-			time.Sleep(20 * time.Millisecond)
-		}
-		if n := tr.OpenSpans(); n != 0 {
-			return fail(cfg.Rounds, "%d spans still open after soak", n)
-		}
-	}
-	return res, nil
+	return e.finish()
 }

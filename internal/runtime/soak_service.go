@@ -1,0 +1,322 @@
+package runtime
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"dvdc/internal/obs"
+	"dvdc/internal/service"
+)
+
+// soakServiceExec adapts the soak environment to the service layer's Executor
+// seam. Unlike the production ServiceExecutor it mirrors every protocol
+// outcome into the shadow model and the chaos bookkeeping, exactly as the
+// classic loop does inline: resume injection around the round, heal the
+// round's transient partition after the first attempt, commit or abort the
+// shadow to match the coordinator, and take commit-declared casualties'
+// daemons down for real. The reconciler calls it from one goroutine; the
+// harness goroutine only touches shared state through the mutex, and only
+// between requests (submit before, read after terminal).
+type soakServiceExec struct {
+	e *soakEnv
+
+	mu          sync.Mutex
+	downNow     map[int]bool // daemons currently closed, awaiting restore
+	partitioned [2]int       // transient partition to heal after the next attempt
+	bytes       int64        // delta bytes shipped across the round's protocol rounds
+	aborts      int          // checkpoint attempts that aborted this round
+	deadDuring  []int        // commit-declared casualties this round
+	violation   error        // invariant broken inside an executor call
+}
+
+// beginRound resets the per-round accumulators and records the transient
+// partition the next checkpoint attempt must heal.
+func (x *soakServiceExec) beginRound(partitioned [2]int) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	x.partitioned = partitioned
+	x.bytes, x.aborts, x.deadDuring, x.violation = 0, 0, nil, nil
+}
+
+// markDown records a daemon the harness killed, so restores know it is owed.
+func (x *soakServiceExec) markDown(n int) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	x.downNow[n] = true
+}
+
+// takeRound returns and clears the round's accumulators.
+func (x *soakServiceExec) takeRound() (bytes int64, aborts int, dead []int, violation error) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	bytes, aborts, dead, violation = x.bytes, x.aborts, x.deadDuring, x.violation
+	x.bytes, x.aborts, x.deadDuring, x.violation = 0, 0, nil, nil
+	return
+}
+
+// ExecuteCheckpoint runs one chaos-exposed checkpoint round and mirrors its
+// outcome into the shadow. Steps are driven by the harness (a retried attempt
+// must not re-step the workloads), so steps is normally 0.
+func (x *soakServiceExec) ExecuteCheckpoint(ctx obs.SpanContext, steps uint64) (uint64, error) {
+	e := x.e
+	if steps > 0 {
+		if err := e.coord.Step(steps); err != nil {
+			return e.coord.Epoch(), err
+		}
+		e.shadow.Step(steps)
+	}
+	e.inj.Resume()
+	ckErr := e.coord.CheckpointIn(ctx)
+	e.inj.Pause()
+
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	if x.partitioned[0] >= 0 {
+		e.inj.HealPair(x.partitioned[0], x.partitioned[1])
+		x.partitioned = [2]int{-1, -1}
+	}
+	x.bytes += e.coord.RoundStats().BytesShipped
+
+	var partial *PartialCommitError
+	switch {
+	case ckErr == nil:
+		if len(x.downNow) > 0 && x.violation == nil {
+			var down []int
+			for n := range x.downNow {
+				down = append(down, n)
+			}
+			sort.Ints(down)
+			x.violation = fmt.Errorf("checkpoint succeeded with dead nodes %v", down)
+		}
+		e.shadow.Commit()
+	case errors.As(ckErr, &partial):
+		// The epoch advanced; the named nodes are casualties. A casualty whose
+		// daemon still runs (persistent injected faults) is taken down for
+		// real, exactly as the classic loop does, so the recovery that the
+		// reconciler drives next restarts it cleanly.
+		e.shadow.Commit()
+		x.deadDuring = append(x.deadDuring, partial.Nodes...)
+		for _, n := range partial.Nodes {
+			if !x.downNow[n] {
+				e.sc.nodes[n].Close()
+				e.inj.RecordKill(n)
+				x.downNow[n] = true
+			}
+		}
+	default:
+		x.aborts++
+		e.shadow.Abort()
+	}
+	return e.coord.Epoch(), ckErr
+}
+
+// ExecuteRestore runs the full repair cycle over whichever of the named nodes
+// are actually down, level-triggered: nodes already restored (an earlier
+// inline casualty recovery, say) are skipped, so the harness's standing
+// restore request converges as a no-op when the checkpoint's own reconcile
+// already healed the cluster.
+func (x *soakServiceExec) ExecuteRestore(ctx obs.SpanContext, nodes []int) (uint64, error) {
+	e := x.e
+	need := map[int]bool{}
+	x.mu.Lock()
+	for _, n := range nodes {
+		if x.downNow[n] {
+			need[n] = true
+		}
+	}
+	x.mu.Unlock()
+	// Anything the coordinator holds as pending recovery is owed a pass even
+	// if nobody named it; its daemon comes down first so the restart below
+	// binds the same address cleanly.
+	for _, n := range e.coord.pendingRecovery() {
+		if need[n] {
+			continue
+		}
+		x.mu.Lock()
+		if !x.downNow[n] {
+			e.sc.nodes[n].Close()
+			e.inj.RecordKill(n)
+			x.downNow[n] = true
+		}
+		x.mu.Unlock()
+		need[n] = true
+	}
+	if len(need) == 0 {
+		return e.coord.Epoch(), nil
+	}
+	var down []int
+	for n := range need {
+		down = append(down, n)
+	}
+	sort.Ints(down)
+	if err := e.recoverAndRepair(ctx, down); err != nil {
+		return e.coord.Epoch(), err
+	}
+	x.mu.Lock()
+	for _, n := range down {
+		delete(x.downNow, n)
+	}
+	x.bytes += e.coord.RoundStats().BytesShipped
+	x.mu.Unlock()
+	return e.coord.Epoch(), nil
+}
+
+// Quiesce lets Reconciler.Stop abort staged captures left by an interrupted
+// attempt.
+func (x *soakServiceExec) Quiesce() error { return x.e.coord.Quiesce() }
+
+// runSoakService drives the same chaos soak through the declarative control
+// plane: each round the harness steps the workloads, arms the round's faults,
+// and kills the scheduled victims — then, instead of invoking the coordinator,
+// submits a Checkpoint request (plus a Restore request naming the victims on
+// kill rounds) to an in-process Service and waits for the reconciler to drive
+// both to a terminal phase. The serial reconciler makes convergence under
+// fault deterministic: the checkpoint attempt fails against the dead victims
+// and enters backoff, the restore request (same priority, later submission)
+// runs the repair cycle, and the checkpoint's retry then commits on the
+// healed cluster. On top of the classic per-round invariants the loop asserts
+// request convergence: no request stuck in a non-terminal phase, observed
+// generations caught up to spec generations, mandatory recovery Succeeded,
+// casualty-carrying checkpoints converged through the inline recovery path,
+// and the round's span tree rooted under the reconcile span that drove it.
+func runSoakService(cfg SoakConfig) (*SoakResult, error) {
+	e, err := newSoakEnv(cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer e.close()
+
+	exec := &soakServiceExec{e: e, downNow: map[int]bool{}, partitioned: [2]int{-1, -1}}
+	svc := service.New(exec, service.Options{
+		// A kill round burns one attempt discovering the victims are dead and
+		// converges on the retry after the restore heals the cluster;
+		// probabilistic chaos can abort a few more. Short backoff keeps the
+		// retry cadence well inside the RPC deadline budget.
+		MaxRetries: 6,
+		Backoff:    25 * time.Millisecond,
+		Tracer:     e.tr,
+		Registry:   cfg.Registry,
+	})
+	svc.Start()
+	defer svc.Stop()
+
+	const tenant = "soak"
+	timeout := 20 * cfg.RPCTimeout
+
+	for r := 0; r < cfg.Rounds; r++ {
+		round := e.inj.NextRound()
+		rr := RoundRecord{Round: round}
+		var victims []int
+		if e.kills != nil {
+			victims = e.kills.Victims(r)
+		}
+		rr.Kills = victims
+
+		if e.inj.ArmedPending() != 0 {
+			return e.fail(round, "%d armed faults never fired", e.inj.ArmedPending())
+		}
+		// Workload phase, fault-free, driven by the harness rather than via
+		// Spec.Steps: a retried checkpoint attempt must re-run the protocol
+		// round but never re-step the workloads, or the real streams would
+		// outrun the shadow's.
+		if err := e.coord.Step(cfg.StepsPerRound); err != nil {
+			return e.fail(round, "step: %v", err)
+		}
+		e.shadow.Step(cfg.StepsPerRound)
+
+		exec.beginRound(e.armRoundFaults(victims))
+
+		for _, v := range victims {
+			e.sc.nodes[v].Close()
+			e.inj.RecordKill(v)
+			exec.markDown(v)
+		}
+
+		retriesBefore := e.coord.totalRetries()
+
+		ck, err := svc.Submit(service.KindCheckpoint, service.Spec{Tenant: tenant})
+		if err != nil {
+			return e.fail(round, "submit checkpoint: %v", err)
+		}
+		var rs *service.Request
+		if len(victims) > 0 {
+			if rs, err = svc.Submit(service.KindRestore, service.Spec{Tenant: tenant, Nodes: victims}); err != nil {
+				return e.fail(round, "submit restore: %v", err)
+			}
+		}
+
+		ckDone, err := svc.WaitTerminal(ck.ID, timeout)
+		if err != nil {
+			return e.fail(round, "checkpoint request: %v", err)
+		}
+		var rsDone *service.Request
+		if rs != nil {
+			if rsDone, err = svc.WaitTerminal(rs.ID, timeout); err != nil {
+				return e.fail(round, "restore request: %v", err)
+			}
+		}
+
+		bytes, aborts, dead, violation := exec.takeRound()
+		if violation != nil {
+			return e.fail(round, "%v", violation)
+		}
+		rr.BytesShipped = bytes
+		rr.Aborted = aborts > 0
+		rr.DeadDuring = dead
+		rr.RPCRetries = e.coord.totalRetries() - retriesBefore
+		rr.Retries = ckDone.Status.Retries
+		if rsDone != nil {
+			rr.Retries += rsDone.Status.Retries
+		}
+
+		// Request convergence. Recovery is mandatory wherever it was owed, and
+		// a checkpoint that lost nodes mid-commit must have converged through
+		// the inline casualty path rather than giving up. A checkpoint Failed
+		// on a clean cluster is the service-mode analog of a classic aborted
+		// round (chaos won every attempt) and is tolerated; the liveness floor
+		// at the end still bounds how often.
+		if rsDone != nil && rsDone.Status.Phase != service.PhaseSucceeded {
+			return e.fail(round, "restore request %s ended %s: %s",
+				rsDone.ID, rsDone.Status.Phase, rsDone.Status.Message)
+		}
+		if len(dead) > 0 && ckDone.Status.Phase != service.PhaseSucceeded {
+			return e.fail(round, "checkpoint request %s lost nodes %v mid-commit but ended %s: %s",
+				ckDone.ID, dead, ckDone.Status.Phase, ckDone.Status.Message)
+		}
+		for _, req := range []*service.Request{ckDone, rsDone} {
+			if req == nil {
+				continue
+			}
+			if req.Status.ObservedGeneration != req.Generation {
+				return e.fail(round, "request %s observed generation %d behind spec generation %d",
+					req.ID, req.Status.ObservedGeneration, req.Generation)
+			}
+		}
+
+		if err := e.verifyRound(round, &rr); err != nil {
+			return e.fail(round, "%v", err)
+		}
+		// In service mode the control plane owns the root of every protocol
+		// span tree: the round's trace must carry the reconcile span that
+		// drove it.
+		if tid := e.coord.RoundStats().TraceID; tid != 0 {
+			found := false
+			for _, s := range e.tr.TraceSpans(tid) {
+				if s.Name == "reconcile" {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return e.fail(round, "round trace %016x has no reconcile span", tid)
+			}
+		}
+		rr.Epoch = e.coord.Epoch()
+		e.res.Rounds = append(e.res.Rounds, rr)
+	}
+
+	return e.finish()
+}

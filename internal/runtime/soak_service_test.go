@@ -1,0 +1,135 @@
+package runtime
+
+import (
+	"testing"
+
+	"dvdc/internal/chaos"
+	"dvdc/internal/obs"
+	"dvdc/internal/service"
+)
+
+// TestSoakServiceReconcileUnderFault is the acceptance gate for the
+// declarative control plane under fault: the full chaos soak (armed one-shot
+// faults, transient partitions, Poisson node kills) driven entirely through
+// service requests. On a kill round the checkpoint request's first attempt
+// fails against the dead victims, enters backoff, and the reconciler runs the
+// queued restore request's repair cycle before the retry commits — every
+// round RunSoak asserts both requests reached a terminal phase with current
+// observed generations, recovery Succeeded, the cluster's state bit-matches
+// the shadow model, and the round trace is rooted under a reconcile span.
+//
+// Same-seed digest equality is deliberately NOT asserted in service mode:
+// the number of checkpoint attempts a kill round burns depends on whether the
+// restore request was enqueued before or after the first attempt's backoff
+// expired, and extra aborted attempts shift the (informational) shipped-bytes
+// tallies. Convergence and state invariants hold regardless.
+func TestSoakServiceReconcileUnderFault(t *testing.T) {
+	reg := obs.NewRegistry()
+	cfg := SoakConfig{
+		Layout:        paperLayout(t),
+		Rounds:        8,
+		StepsPerRound: 25,
+		Seed:          424242,
+		ArmPerRound:   2,
+		PPartition:    0.2,
+		KillMTBF:      120,
+		Service:       true,
+		Registry:      reg,
+	}
+	// The kill plan is a pure function of the seed; the reconcile-under-fault
+	// path only exists if this seed actually schedules kills.
+	plan, err := chaos.PlanPoissonKills(cfg.Layout.Nodes, cfg.Rounds, cfg.KillMTBF, 10, cfg.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.TotalKills() == 0 {
+		t.Fatalf("seed %d schedules no kills; pick a seed that does", cfg.Seed)
+	}
+
+	res, err := RunSoak(cfg)
+	if err != nil {
+		t.Fatalf("service soak failed: %v\nfault log:\n%s", err, faultLines(res))
+	}
+	if len(res.Rounds) != cfg.Rounds {
+		t.Fatalf("recorded %d rounds, want %d", len(res.Rounds), cfg.Rounds)
+	}
+	if res.Epoch == 0 {
+		t.Fatal("service soak committed no epochs")
+	}
+	if res.Counters["kill"] == 0 || res.Counters["restart"] == 0 {
+		t.Errorf("kill/restart never exercised: counters %v", res.Counters)
+	}
+
+	killRounds, reconcileRetries := 0, 0
+	for _, rr := range res.Rounds {
+		if len(rr.Kills) > 0 {
+			killRounds++
+		}
+		reconcileRetries += rr.Retries
+	}
+	if killRounds == 0 {
+		t.Fatal("no round recorded a kill despite a non-empty kill plan")
+	}
+	// Every kill round burns at least one checkpoint attempt against the dead
+	// victims before the restore heals the cluster.
+	if reconcileRetries == 0 {
+		t.Error("kill rounds recorded no reconcile retries: the fail/backoff/recover path never ran")
+	}
+
+	// The control plane's metrics must account for the harness's submissions:
+	// one checkpoint request per round, one restore request per kill round.
+	ckSubmitted := reg.Counter("dvdc_service_requests_total",
+		"tenant", "soak", "kind", string(service.KindCheckpoint)).Value()
+	if ckSubmitted != int64(cfg.Rounds) {
+		t.Errorf("dvdc_service_requests_total{kind=Checkpoint} = %d, want %d", ckSubmitted, cfg.Rounds)
+	}
+	rsSubmitted := reg.Counter("dvdc_service_requests_total",
+		"tenant", "soak", "kind", string(service.KindRestore)).Value()
+	if rsSubmitted != int64(killRounds) {
+		t.Errorf("dvdc_service_requests_total{kind=Restore} = %d, want %d", rsSubmitted, killRounds)
+	}
+	if n := reg.Counter("dvdc_service_reconciles_total",
+		"result", "succeeded", "kind", string(service.KindCheckpoint)).Value(); n == 0 {
+		t.Error("dvdc_service_reconciles_total{result=succeeded,kind=Checkpoint} never incremented")
+	}
+	if n := reg.Counter("dvdc_service_retries_total", "tenant", "soak").Value(); n == 0 {
+		t.Error("dvdc_service_retries_total{tenant=soak} never incremented despite kill rounds")
+	}
+	if n := reg.Counter("dvdc_service_admission_rejected_total",
+		"tenant", "soak", "reason", "quota").Value(); n != 0 {
+		t.Errorf("harness submissions hit the quota gate %d times", n)
+	}
+}
+
+// TestSoakServiceChunkFaults runs the service-driven soak with the chunked
+// data path forced small and one-shot chunk-frame faults armed every round:
+// the reconciler's checkpoint attempts must absorb faults landing on
+// individual MsgDeltaChunk shipments (pool retries + keeper-side dedup) while
+// kills still route through the restore request's repair cycle.
+func TestSoakServiceChunkFaults(t *testing.T) {
+	cfg := SoakConfig{
+		Layout:        paperLayout(t),
+		Rounds:        8,
+		StepsPerRound: 25,
+		Seed:          31337,
+		ChunkSize:     256,
+		ChunkFaults:   2,
+		ArmPerRound:   1,
+		PPartition:    0.2,
+		KillMTBF:      150,
+		Service:       true,
+	}
+	res, err := RunSoak(cfg)
+	if err != nil {
+		t.Fatalf("service soak failed: %v\nfault log:\n%s", err, faultLines(res))
+	}
+	chunkFaults := 0
+	for _, f := range res.FaultLog {
+		if f.Armed && f.Pair.Src != chaos.Coordinator {
+			chunkFaults++
+		}
+	}
+	if chunkFaults == 0 {
+		t.Error("no armed chunk-frame fault fired under the service-driven soak")
+	}
+}

@@ -73,3 +73,10 @@ func (e *PartialCommitError) Error() string {
 	return fmt.Sprintf("runtime: epoch %d committed, but nodes %v failed commit and were declared dead (recovery required)",
 		e.Epoch, e.Nodes)
 }
+
+// CasualtyNodes satisfies the service layer's CasualtyError classification:
+// the reconciler sees this error, knows the epoch advanced anyway, and drives
+// recovery over the named nodes before calling the request converged.
+func (e *PartialCommitError) CasualtyNodes() []int {
+	return append([]int(nil), e.Nodes...)
+}

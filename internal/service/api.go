@@ -1,0 +1,179 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// The HTTP+JSON API, mounted beside the -obs-addr endpoints (/metrics,
+// /spans, ...) on the same mux. Everything lives under /api/v1/:
+//
+//	POST /api/v1/requests            submit {"kind": ..., "spec": {...}}
+//	GET  /api/v1/requests[?tenant=]  list (submission order)
+//	GET  /api/v1/requests/{id}       one object
+//	GET  /api/v1/requests/{id}/watch long-poll: ?rev=N blocks until the store
+//	                                 moves past N or ?timeout= (default 30s)
+//	GET  /api/v1/quotas              per-tenant quotas and live usage
+//
+// Rejections are typed: 400 carries {"error": ...} for malformed specs, 429
+// carries the QuotaError fields so clients can tell "slow down" from "fix
+// your request".
+
+// submitBody is the POST /api/v1/requests payload. APIVersion is optional
+// but, when present, must match.
+type submitBody struct {
+	APIVersion string `json:"api_version,omitempty"`
+	Kind       Kind   `json:"kind"`
+	Spec       Spec   `json:"spec"`
+}
+
+// listReply is the GET /api/v1/requests payload.
+type listReply struct {
+	APIVersion string     `json:"api_version"`
+	Rev        int64      `json:"rev"`
+	Items      []*Request `json:"items"`
+}
+
+// watchReply is the GET /api/v1/requests/{id}/watch payload.
+type watchReply struct {
+	Rev     int64    `json:"rev"`
+	Request *Request `json:"request"`
+}
+
+// QuotaStatus is one tenant's row in GET /api/v1/quotas.
+type QuotaStatus struct {
+	Limit  int `json:"limit"`
+	Active int `json:"active"`
+}
+
+// quotasReply is the GET /api/v1/quotas payload.
+type quotasReply struct {
+	Default int                    `json:"default"`
+	Tenants map[string]QuotaStatus `json:"tenants"`
+}
+
+// apiError is every non-2xx body.
+type apiError struct {
+	Error  string `json:"error"`
+	Tenant string `json:"tenant,omitempty"`
+	Limit  int    `json:"limit,omitempty"`
+	Active int    `json:"active,omitempty"`
+}
+
+const watchDefaultTimeout = 30 * time.Second
+
+// Mount registers the API on mux (typically the obs endpoint's mux, so the
+// control plane and the telemetry plane share one listener).
+func (s *Service) Mount(mux *http.ServeMux) {
+	mux.HandleFunc("POST /api/v1/requests", s.handleSubmit)
+	mux.HandleFunc("GET /api/v1/requests", s.handleList)
+	mux.HandleFunc("GET /api/v1/requests/{id}", s.handleGet)
+	mux.HandleFunc("GET /api/v1/requests/{id}/watch", s.handleWatch)
+	mux.HandleFunc("GET /api/v1/quotas", s.handleQuotas)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v) //nolint:errcheck // client went away; nothing to do
+}
+
+func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var body submitBody
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: fmt.Sprintf("bad request body: %v", err)})
+		return
+	}
+	if body.APIVersion != "" && body.APIVersion != APIVersion {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: fmt.Sprintf("api version %q not served (want %s)", body.APIVersion, APIVersion)})
+		return
+	}
+	req, err := s.Submit(body.Kind, body.Spec)
+	if err != nil {
+		var qe *QuotaError
+		if errors.As(err, &qe) {
+			writeJSON(w, http.StatusTooManyRequests, apiError{
+				Error: qe.Error(), Tenant: qe.Tenant, Limit: qe.Limit, Active: qe.Active,
+			})
+			return
+		}
+		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusCreated, req)
+}
+
+func (s *Service) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, listReply{
+		APIVersion: APIVersion,
+		Rev:        s.Store.Rev(),
+		Items:      s.Store.List(r.URL.Query().Get("tenant")),
+	})
+}
+
+func (s *Service) handleGet(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	req, ok := s.Store.Get(id)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, apiError{Error: fmt.Sprintf("no request %q", id)})
+		return
+	}
+	writeJSON(w, http.StatusOK, req)
+}
+
+func (s *Service) handleWatch(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, ok := s.Store.Get(id); !ok {
+		writeJSON(w, http.StatusNotFound, apiError{Error: fmt.Sprintf("no request %q", id)})
+		return
+	}
+	rev := int64(-1)
+	if v := r.URL.Query().Get("rev"); v != "" {
+		if _, err := fmt.Sscanf(v, "%d", &rev); err != nil {
+			writeJSON(w, http.StatusBadRequest, apiError{Error: fmt.Sprintf("bad rev %q", v)})
+			return
+		}
+	}
+	timeout := watchDefaultTimeout
+	if v := r.URL.Query().Get("timeout"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil || d <= 0 {
+			writeJSON(w, http.StatusBadRequest, apiError{Error: fmt.Sprintf("bad timeout %q", v)})
+			return
+		}
+		timeout = d
+	}
+	// Long poll: return as soon as the store moves past rev (or the request
+	// is already terminal, which can never change again), else at timeout.
+	deadline := time.Now().Add(timeout)
+	for {
+		req, ok := s.Store.Get(id)
+		if !ok {
+			writeJSON(w, http.StatusNotFound, apiError{Error: fmt.Sprintf("no request %q", id)})
+			return
+		}
+		cur := s.Store.Rev()
+		if req.Terminal() || cur > rev || !time.Now().Before(deadline) {
+			writeJSON(w, http.StatusOK, watchReply{Rev: cur, Request: req})
+			return
+		}
+		s.Store.Wait(rev, deadline)
+	}
+}
+
+func (s *Service) handleQuotas(w http.ResponseWriter, _ *http.Request) {
+	active := s.Store.ActiveByTenant()
+	out := quotasReply{Default: s.Admission.QuotaFor("").MaxActive, Tenants: map[string]QuotaStatus{}}
+	for _, t := range s.Admission.Tenants() {
+		out.Tenants[t] = QuotaStatus{Limit: s.Admission.QuotaFor(t).MaxActive, Active: active[t]}
+	}
+	for _, t := range s.Store.Tenants() {
+		if _, ok := out.Tenants[t]; !ok {
+			out.Tenants[t] = QuotaStatus{Limit: s.Admission.QuotaFor(t).MaxActive, Active: active[t]}
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}

@@ -1,0 +1,146 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+)
+
+// Client speaks the /api/v1 wire protocol. It is what dvdcctl's apply/get/
+// watch subcommands use against a running daemon; quota rejections come back
+// as *QuotaError so callers can distinguish backpressure from bad input.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// NewClient builds a client for a daemon's API endpoint. addr may be a bare
+// host:port or a full http:// URL.
+func NewClient(addr string) *Client {
+	base := addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	return &Client{base: strings.TrimRight(base, "/"), http: &http.Client{}}
+}
+
+// decodeError turns a non-2xx response into a typed error.
+func decodeError(resp *http.Response) error {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	var ae apiError
+	if err := json.Unmarshal(body, &ae); err == nil && ae.Error != "" {
+		if resp.StatusCode == http.StatusTooManyRequests {
+			return &QuotaError{Tenant: ae.Tenant, Limit: ae.Limit, Active: ae.Active}
+		}
+		return fmt.Errorf("service: %s (HTTP %d)", ae.Error, resp.StatusCode)
+	}
+	return fmt.Errorf("service: HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
+}
+
+func (c *Client) getJSON(path string, out interface{}) error {
+	resp, err := c.http.Get(c.base + path)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return decodeError(resp)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Submit posts one request object and returns the stored copy with its id.
+func (c *Client) Submit(kind Kind, spec Spec) (*Request, error) {
+	payload, err := json.Marshal(submitBody{APIVersion: APIVersion, Kind: kind, Spec: spec})
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http.Post(c.base+"/api/v1/requests", "application/json", bytes.NewReader(payload))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		return nil, decodeError(resp)
+	}
+	var req Request
+	if err := json.NewDecoder(resp.Body).Decode(&req); err != nil {
+		return nil, err
+	}
+	return &req, nil
+}
+
+// Get fetches one request by id.
+func (c *Client) Get(id string) (*Request, error) {
+	var req Request
+	if err := c.getJSON("/api/v1/requests/"+url.PathEscape(id), &req); err != nil {
+		return nil, err
+	}
+	return &req, nil
+}
+
+// List fetches all requests, optionally filtered by tenant.
+func (c *Client) List(tenant string) ([]*Request, error) {
+	path := "/api/v1/requests"
+	if tenant != "" {
+		path += "?tenant=" + url.QueryEscape(tenant)
+	}
+	var reply listReply
+	if err := c.getJSON(path, &reply); err != nil {
+		return nil, err
+	}
+	return reply.Items, nil
+}
+
+// Watch long-polls the request until it reaches a terminal phase or the
+// timeout passes, invoking observe (may be nil) on every status change. It
+// returns the last copy seen; hitting the timeout before a terminal phase is
+// an error naming the stuck phase.
+func (c *Client) Watch(id string, timeout time.Duration, observe func(*Request)) (*Request, error) {
+	deadline := time.Now().Add(timeout)
+	rev := int64(-1)
+	var last *Request
+	for {
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			phase := Phase("unknown")
+			if last != nil {
+				phase = last.Status.Phase
+			}
+			return last, fmt.Errorf("service: request %s stuck in phase %s after %v", id, phase, timeout)
+		}
+		poll := remain
+		if poll > watchDefaultTimeout {
+			poll = watchDefaultTimeout
+		}
+		path := fmt.Sprintf("/api/v1/requests/%s/watch?rev=%d&timeout=%s", url.PathEscape(id), rev, poll)
+		var reply watchReply
+		if err := c.getJSON(path, &reply); err != nil {
+			return last, err
+		}
+		if reply.Request != nil && (last == nil || reply.Rev > rev) {
+			if observe != nil && (last == nil || last.Status.Phase != reply.Request.Status.Phase) {
+				observe(reply.Request)
+			}
+			last = reply.Request
+		}
+		rev = reply.Rev
+		if last != nil && last.Terminal() {
+			return last, nil
+		}
+	}
+}
+
+// Quotas fetches the per-tenant quota table.
+func (c *Client) Quotas() (map[string]QuotaStatus, int, error) {
+	var reply quotasReply
+	if err := c.getJSON("/api/v1/quotas", &reply); err != nil {
+		return nil, 0, err
+	}
+	return reply.Tenants, reply.Default, nil
+}

@@ -1,0 +1,169 @@
+// Package service is the declarative control plane over the DVDC runtime:
+// checkpoint and restore requests are versioned objects with explicit status
+// phases, submitted through admission control (per-tenant quotas, priority
+// ordering) into a store, and driven to completion by a reconciler loop that
+// level-triggers each object toward its desired state by calling the
+// runtime's round and recovery machinery through a narrow Executor seam.
+//
+// The shape follows kubevirt CDI's DataVolume idiom: a small spec the tenant
+// writes once, a status only the controller writes (phase, observed
+// generation, conditions, retry counts), and a reconciler that owns every
+// transition. Tenants — the CLI, the soak harness, remote callers over the
+// HTTP API — never invoke the coordinator directly; they submit objects and
+// watch status, so every caller exercises the same scheduling path.
+//
+// The package deliberately does not import the runtime: the Executor
+// interface (and the CasualtyError it classifies) is all it knows about the
+// machinery underneath, which keeps the policy layer testable against fakes
+// and free of import cycles.
+package service
+
+import (
+	"fmt"
+	"time"
+)
+
+// APIVersion names the request-object schema served by the HTTP API. Bump it
+// when a field changes meaning; additive changes keep the version.
+const APIVersion = "dvdc/v1"
+
+// Kind discriminates the two request objects.
+type Kind string
+
+const (
+	// KindCheckpoint asks for one two-phase checkpoint round (optionally
+	// preceded by workload steps).
+	KindCheckpoint Kind = "Checkpoint"
+	// KindRestore asks for the recovery protocol over a set of failed nodes.
+	KindRestore Kind = "Restore"
+)
+
+// Phase is a request's lifecycle position. Transitions are strictly
+//
+//	Pending -> Scheduled -> InProgress -> Succeeded | Failed
+//
+// except that a failed attempt with retry budget left moves
+// InProgress -> Scheduled (with backoff) instead of a terminal phase.
+type Phase string
+
+const (
+	PhasePending    Phase = "Pending"    // admitted, not yet queued by the reconciler
+	PhaseScheduled  Phase = "Scheduled"  // queued; waiting for its turn (or backoff)
+	PhaseInProgress Phase = "InProgress" // the reconciler is executing it now
+	PhaseSucceeded  Phase = "Succeeded"  // converged: the cluster reached the desired state
+	PhaseFailed     Phase = "Failed"     // gave up: retry budget exhausted or unrecoverable
+)
+
+// Terminal reports whether the phase is final.
+func (p Phase) Terminal() bool { return p == PhaseSucceeded || p == PhaseFailed }
+
+// Spec is the tenant-written half of a request. Checkpoint requests use
+// Steps; restore requests use Nodes. Priority orders the queue (higher runs
+// first; ties run in submission order).
+type Spec struct {
+	Tenant   string `json:"tenant"`
+	Priority int    `json:"priority,omitempty"`
+	Steps    uint64 `json:"steps,omitempty"` // checkpoint: workload steps before the round
+	Nodes    []int  `json:"nodes,omitempty"` // restore: failed nodes to recover
+}
+
+// Condition is one observed fact about a request's progress, appended or
+// updated in place by the reconciler (one condition per Type).
+type Condition struct {
+	Type    string    `json:"type"`
+	Status  bool      `json:"status"`
+	Reason  string    `json:"reason,omitempty"`
+	Message string    `json:"message,omitempty"`
+	At      time.Time `json:"at"`
+}
+
+// Condition types the reconciler maintains.
+const (
+	CondAdmitted  = "Admitted"  // passed admission control
+	CondScheduled = "Scheduled" // entered the priority queue
+	CondExecuting = "Executing" // an attempt is (or was) in flight
+	CondRetrying  = "Retrying"  // last attempt failed; backing off for another
+	CondRecovered = "Recovered" // mid-round casualties were recovered inline
+	CondComplete  = "Complete"  // reached a terminal phase
+)
+
+// Status is the controller-written half of a request.
+type Status struct {
+	Phase Phase `json:"phase"`
+	// ObservedGeneration is the Generation the reconciler last acted on; a
+	// terminal request always shows ObservedGeneration == Generation.
+	ObservedGeneration int64 `json:"observed_generation"`
+	// Retries counts execution attempts beyond the first.
+	Retries int `json:"retries"`
+	// Epoch is the cluster epoch after the request converged (checkpoints:
+	// the committed epoch; restores: the epoch the recovery certified).
+	Epoch uint64 `json:"epoch,omitempty"`
+	// Casualties are nodes lost mid-round (a commit-phase death) while this
+	// request was executing; they were recovered inline when the request
+	// still Succeeded, and are the reason when it Failed.
+	Casualties []int       `json:"casualties,omitempty"`
+	Message    string      `json:"message,omitempty"`
+	Conditions []Condition `json:"conditions,omitempty"`
+}
+
+// Request is one checkpoint or restore object. Spec is written once at
+// submission; Status is written only by the reconciler. Generation bumps on
+// every spec write (submission counts), mirroring the CDI/Kubernetes idiom
+// so ObservedGeneration can prove the status refers to the current spec.
+type Request struct {
+	APIVersion string    `json:"api_version"`
+	Kind       Kind      `json:"kind"`
+	ID         string    `json:"id"`
+	Generation int64     `json:"generation"`
+	Created    time.Time `json:"created"`
+	Spec       Spec      `json:"spec"`
+	Status     Status    `json:"status"`
+}
+
+// Terminal reports whether the request has reached a final phase.
+func (r *Request) Terminal() bool { return r.Status.Phase.Terminal() }
+
+// setCondition updates the condition of the given type in place (appending
+// if absent), stamping it with now.
+func (s *Status) setCondition(now time.Time, condType string, ok bool, reason, message string) {
+	for i := range s.Conditions {
+		if s.Conditions[i].Type == condType {
+			s.Conditions[i] = Condition{Type: condType, Status: ok, Reason: reason, Message: message, At: now}
+			return
+		}
+	}
+	s.Conditions = append(s.Conditions, Condition{Type: condType, Status: ok, Reason: reason, Message: message, At: now})
+}
+
+// Validate rejects malformed specs at admission time.
+func (k Kind) Validate(spec Spec) error {
+	switch k {
+	case KindCheckpoint:
+		if len(spec.Nodes) != 0 {
+			return fmt.Errorf("service: checkpoint spec names nodes %v (restore-only field)", spec.Nodes)
+		}
+	case KindRestore:
+		if len(spec.Nodes) == 0 {
+			return fmt.Errorf("service: restore spec names no nodes")
+		}
+		seen := map[int]bool{}
+		for _, n := range spec.Nodes {
+			if n < 0 {
+				return fmt.Errorf("service: restore spec names negative node %d", n)
+			}
+			if seen[n] {
+				return fmt.Errorf("service: restore spec names node %d twice", n)
+			}
+			seen[n] = true
+		}
+		if spec.Steps != 0 {
+			return fmt.Errorf("service: restore spec sets steps (checkpoint-only field)")
+		}
+	default:
+		return fmt.Errorf("service: unknown kind %q", k)
+	}
+	if spec.Tenant == "" {
+		return fmt.Errorf("service: spec names no tenant")
+	}
+	return nil
+}

@@ -1,0 +1,206 @@
+package service
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Store is the versioned request-object store. Every write bumps a
+// monotonically increasing revision; watchers block on Changed until the
+// revision moves past the one they last saw, then re-read — a level-triggered
+// watch with no per-watcher queue to overflow. All returned objects are deep
+// copies: callers can never mutate stored state except through Update.
+type Store struct {
+	mu     sync.Mutex
+	rev    int64
+	nextID int64
+	byID   map[string]*Request
+	order  []string // submission order
+	change chan struct{}
+	now    func() time.Time
+}
+
+// NewStore builds an empty store.
+func NewStore() *Store {
+	return &Store{
+		byID:   map[string]*Request{},
+		change: make(chan struct{}),
+		now:    time.Now,
+	}
+}
+
+// setClock substitutes the timestamp source (tests).
+func (s *Store) setClock(now func() time.Time) {
+	s.mu.Lock()
+	s.now = now
+	s.mu.Unlock()
+}
+
+// bump advances the revision and wakes every watcher. Caller holds s.mu.
+func (s *Store) bump() int64 {
+	s.rev++
+	close(s.change)
+	s.change = make(chan struct{})
+	return s.rev
+}
+
+// Rev returns the store's current revision.
+func (s *Store) Rev() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rev
+}
+
+// Changed returns a channel closed at the next write. Use with Rev:
+// re-check state after the channel fires, not instead of checking.
+func (s *Store) Changed() <-chan struct{} {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.change
+}
+
+// Wait blocks until the store revision exceeds rev or the deadline passes,
+// and returns the current revision either way.
+func (s *Store) Wait(rev int64, deadline time.Time) int64 {
+	for {
+		s.mu.Lock()
+		cur, ch := s.rev, s.change
+		s.mu.Unlock()
+		if cur > rev {
+			return cur
+		}
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			return cur
+		}
+		t := time.NewTimer(remain)
+		select {
+		case <-ch:
+		case <-t.C:
+		}
+		t.Stop()
+	}
+}
+
+// idPrefix maps a kind to its id namespace.
+func idPrefix(kind Kind) string {
+	if kind == KindRestore {
+		return "rr"
+	}
+	return "cr"
+}
+
+// Create inserts a new request in phase Pending at generation 1 and returns
+// a copy. The spec must already have passed validation and admission.
+func (s *Store) Create(kind Kind, spec Spec) *Request {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextID++
+	now := s.now()
+	req := &Request{
+		APIVersion: APIVersion,
+		Kind:       kind,
+		ID:         fmt.Sprintf("%s-%d", idPrefix(kind), s.nextID),
+		Generation: 1,
+		Created:    now,
+		Spec:       spec,
+		Status:     Status{Phase: PhasePending},
+	}
+	req.Status.setCondition(now, CondAdmitted, true, "Admitted", "passed admission control")
+	s.byID[req.ID] = req
+	s.order = append(s.order, req.ID)
+	s.bump()
+	return req.clone()
+}
+
+// Get returns a copy of the request, or false.
+func (s *Store) Get(id string) (*Request, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	req, ok := s.byID[id]
+	if !ok {
+		return nil, false
+	}
+	return req.clone(), true
+}
+
+// List returns copies of every request in submission order; a non-empty
+// tenant filters to that tenant's requests.
+func (s *Store) List(tenant string) []*Request {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Request, 0, len(s.order))
+	for _, id := range s.order {
+		if req := s.byID[id]; tenant == "" || req.Spec.Tenant == tenant {
+			out = append(out, req.clone())
+		}
+	}
+	return out
+}
+
+// UpdateStatus applies mutate to the request's status under the store lock,
+// stamps ObservedGeneration handling to the caller, bumps the revision, and
+// returns a copy. Unknown ids return an error.
+func (s *Store) UpdateStatus(id string, mutate func(now time.Time, req *Request)) (*Request, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	req, ok := s.byID[id]
+	if !ok {
+		return nil, fmt.Errorf("service: no request %q", id)
+	}
+	mutate(s.now(), req)
+	s.bump()
+	return req.clone(), nil
+}
+
+// ActiveByTenant counts non-terminal requests per tenant (admission input).
+func (s *Store) ActiveByTenant() map[string]int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := map[string]int{}
+	for _, req := range s.byID {
+		if !req.Terminal() {
+			out[req.Spec.Tenant]++
+		}
+	}
+	return out
+}
+
+// PhaseCounts tallies requests by phase (exported as the
+// dvdc_service_requests gauge family).
+func (s *Store) PhaseCounts() map[Phase]int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := map[Phase]int{}
+	for _, req := range s.byID {
+		out[req.Status.Phase]++
+	}
+	return out
+}
+
+// Tenants lists every tenant that ever submitted, sorted.
+func (s *Store) Tenants() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	seen := map[string]bool{}
+	for _, req := range s.byID {
+		seen[req.Spec.Tenant] = true
+	}
+	out := make([]string, 0, len(seen))
+	for t := range seen {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// clone deep-copies a request.
+func (r *Request) clone() *Request {
+	out := *r
+	out.Spec.Nodes = append([]int(nil), r.Spec.Nodes...)
+	out.Status.Casualties = append([]int(nil), r.Status.Casualties...)
+	out.Status.Conditions = append([]Condition(nil), r.Status.Conditions...)
+	return &out
+}
