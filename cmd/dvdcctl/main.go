@@ -167,7 +167,14 @@ func (s *sessionFlags) open(opts service.Options) *session {
 
 	se.exec = runtime.NewServiceExecutor(coord)
 	opts.Tracer, opts.Registry = se.tracer, se.registry
-	se.svc = service.New(se.exec, opts)
+	svc, err := service.Open(se.exec, opts)
+	fatal(err)
+	se.svc = svc
+	if opts.StateDir != "" {
+		fmt.Printf("state dir %s: replayed %d records, %d requests (dropped %d bytes) in %s\n",
+			opts.StateDir, svc.Replay.Records, svc.Replay.Requests,
+			svc.Replay.DroppedBytes, svc.Replay.Duration.Round(time.Microsecond))
+	}
 
 	srv, err := s.common.ServeObs("dvdcctl", se.registry, se.tracer, se.svc.Mount)
 	fatal(err)
@@ -296,6 +303,8 @@ func serveMain(args []string) {
 		quota    = fs.String("quota", "", "per-tenant active-request caps, tenant=N[,tenant=N...]")
 		defQuota = fs.Int("default-quota", 0, "active-request cap for unlisted tenants (0 = service default)")
 		retries  = fs.Int("max-retries", 0, "reconcile attempts per request (0 = service default)")
+		stateDir = fs.String("state-dir", "",
+			"durable store directory: journal every request there and replay it on startup (empty = in-memory only)")
 	)
 	sf.register(fs)
 	fs.Parse(args) //nolint:errcheck // ExitOnError
@@ -306,7 +315,7 @@ func serveMain(args []string) {
 	quotas, err := parseQuotas(*quota)
 	fatal(err)
 
-	se := sf.open(service.Options{Quotas: quotas, DefaultQuota: *defQuota, MaxRetries: *retries})
+	se := sf.open(service.Options{Quotas: quotas, DefaultQuota: *defQuota, MaxRetries: *retries, StateDir: *stateDir})
 	defer se.close()
 	fmt.Printf("service API on http://%s/api/v1/requests\n", se.srv.Addr())
 

@@ -14,6 +14,7 @@
 //	dvdcsoak -nodes 16 -group-size 4 -p-corrupt 0.02 -p-drop 0.02
 //	dvdcsoak -chunk-faults 2 -chunk-size 256   # aim drop/corrupt at delta chunk frames
 //	dvdcsoak -service                          # drive rounds through the checkpoint service
+//	dvdcsoak -service -controller-restarts 2   # kill/restart the controller mid-soak (journal replay)
 //	dvdcsoak -trace-jsonl soak.jsonl           # then: dvdcctl trace -in soak.jsonl
 //	dvdcsoak -obs-addr 127.0.0.1:9100          # live /metrics during the soak
 package main
@@ -44,6 +45,8 @@ type soakFlags struct {
 	armed, chunkSize, chunkArms         int
 	killMTBF                            float64
 	service                             bool
+	stateDir                            string
+	controllerRestarts                  int
 	verbose                             bool
 	common                              cli.Common
 }
@@ -72,6 +75,10 @@ func registerFlags(fs *flag.FlagSet) *soakFlags {
 	fs.Float64Var(&f.killMTBF, "kill-mtbf", 120, "per-node MTBF in virtual seconds (0 = no kills)")
 	fs.BoolVar(&f.service, "service", false,
 		"drive every round through the declarative checkpoint service (request objects + reconciler) instead of invoking the coordinator directly")
+	fs.StringVar(&f.stateDir, "state-dir", "",
+		"directory for the service store's journal (requires -service; empty = a temp dir when -controller-restarts is set, else no journal)")
+	fs.IntVar(&f.controllerRestarts, "controller-restarts", 0,
+		"kill and restart the service controller this many times mid-soak, replaying its journal (requires -service)")
 	fs.BoolVar(&f.verbose, "v", false, "print the full fault log and per-round digest")
 	f.common.RPCTimeoutFlag(fs, runtime.DefaultSoakRPCTimeout)
 	f.common.TraceJSONLFlag(fs)
@@ -107,6 +114,12 @@ func main() {
 		RPCTimeout:    f.common.RPCTimeout,
 		Service:       f.service,
 		Registry:      obs.NewRegistry(),
+
+		StateDir:           f.stateDir,
+		ControllerRestarts: f.controllerRestarts,
+	}
+	if (f.stateDir != "" || f.controllerRestarts > 0) && !f.service {
+		fatal(fmt.Errorf("-state-dir and -controller-restarts require -service"))
 	}
 	if f.common.WantTracer() {
 		cfg.Tracer = obs.NewTracer(1 << 15)

@@ -45,6 +45,20 @@ type SoakConfig struct {
 	// traces).
 	Service bool
 
+	// StateDir (service mode) backs the control plane with a durable journal
+	// there, so requests survive controller restarts. ControllerRestarts > 0
+	// with an empty StateDir gets a temp dir for the run.
+	StateDir string
+	// ControllerRestarts (service mode) kills and restarts the controller
+	// that many times, spread across the soak: on a restart round the
+	// reconciler is stopped first, the round's faults are armed, its victims
+	// killed, and its requests submitted — landing in the journal untouched,
+	// the way a crash between persisting and scheduling leaves them — then
+	// the store is closed and a fresh Service replays the state dir and must
+	// converge every request it inherits, with the full shadow-invariant
+	// battery still green.
+	ControllerRestarts int
+
 	// Observability (all optional). Tracer receives every span the soak
 	// produces (nil = the harness builds its own and additionally asserts no
 	// span leaks open); TraceSink streams those spans as JSONL; Registry
@@ -86,6 +100,9 @@ type SoakResult struct {
 	Checksums map[string]uint64 // final committed-image checksums
 	Epoch     uint64            // final committed epoch
 	Counters  map[string]int64  // injector fault tallies by kind
+	// ControllerRestarts counts the controller kill/restart cycles the run
+	// actually performed (service mode with SoakConfig.ControllerRestarts).
+	ControllerRestarts int
 }
 
 // FaultLogDigest renders the fault log in a canonical order (faults within
@@ -585,6 +602,9 @@ func RunSoak(cfg SoakConfig) (*SoakResult, error) {
 	cfg = cfg.withDefaults()
 	if cfg.Layout == nil {
 		return nil, fmt.Errorf("soak: nil layout")
+	}
+	if cfg.ControllerRestarts > 0 && !cfg.Service {
+		return nil, fmt.Errorf("soak: ControllerRestarts requires Service mode")
 	}
 	if cfg.Service {
 		return runSoakService(cfg)

@@ -3,6 +3,7 @@ package runtime
 import (
 	"errors"
 	"fmt"
+	"os"
 	"sort"
 	"sync"
 	"time"
@@ -190,7 +191,16 @@ func runSoakService(cfg SoakConfig) (*SoakResult, error) {
 	defer e.close()
 
 	exec := &soakServiceExec{e: e, downNow: map[int]bool{}, partitioned: [2]int{-1, -1}}
-	svc := service.New(exec, service.Options{
+	stateDir := cfg.StateDir
+	if stateDir == "" && cfg.ControllerRestarts > 0 {
+		dir, err := os.MkdirTemp("", "dvdcsoak-state-")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(dir)
+		stateDir = dir
+	}
+	svcOpts := service.Options{
 		// A kill round burns one attempt discovering the victims are dead and
 		// converges on the retry after the restore heals the cluster;
 		// probabilistic chaos can abort a few more. Short backoff keeps the
@@ -199,9 +209,26 @@ func runSoakService(cfg SoakConfig) (*SoakResult, error) {
 		Backoff:    25 * time.Millisecond,
 		Tracer:     e.tr,
 		Registry:   cfg.Registry,
-	})
+		StateDir:   stateDir,
+		// Small thresholds so a multi-round soak exercises fsync batching and
+		// compaction, not just appends. (An in-process restart never loses
+		// OS-buffered writes, so the batched window costs the test nothing.)
+		SyncBatch:    4,
+		CompactBytes: 32 << 10,
+	}
+	svc, err := service.Open(exec, svcOpts)
+	if err != nil {
+		return nil, err
+	}
 	svc.Start()
-	defer svc.Stop()
+	defer func() { svc.Stop() }() // svc is reassigned on restart rounds
+
+	// Spread the restarts across the soak, none on the last round (the
+	// restarted controller should prove itself over at least one more).
+	restartOn := map[int]bool{}
+	for i := 1; i <= cfg.ControllerRestarts; i++ {
+		restartOn[i*cfg.Rounds/(cfg.ControllerRestarts+1)] = true
+	}
 
 	const tenant = "soak"
 	timeout := 20 * cfg.RPCTimeout
@@ -214,6 +241,16 @@ func runSoakService(cfg SoakConfig) (*SoakResult, error) {
 			victims = e.kills.Victims(r)
 		}
 		rr.Kills = victims
+
+		restart := restartOn[r]
+		if restart {
+			// The controller "dies" early in the round: stop the reconciler
+			// now, while the cluster is clean — its shutdown quiesce must not
+			// race this round's armed faults or dead victims — so the
+			// submissions below land in the journal untouched (Pending), the
+			// way a crash between persisting and scheduling leaves them.
+			svc.Reconciler.Stop()
+		}
 
 		if e.inj.ArmedPending() != 0 {
 			return e.fail(round, "%d armed faults never fired", e.inj.ArmedPending())
@@ -246,6 +283,41 @@ func runSoakService(cfg SoakConfig) (*SoakResult, error) {
 			if rs, err = svc.Submit(service.KindRestore, service.Spec{Tenant: tenant, Nodes: victims}); err != nil {
 				return e.fail(round, "submit restore: %v", err)
 			}
+		}
+
+		if restart {
+			// Crash the controller with the round's requests admitted but
+			// untouched: close the journal out from under everything and bring
+			// up a fresh service over the same state dir. The replayed store
+			// must carry both requests forward, at no lower revision, still
+			// pending — then the restarted reconciler has to converge them
+			// against the dead victims exactly as a live one would.
+			revBefore := svc.Store.Rev()
+			if err := svc.Store.Close(); err != nil {
+				return e.fail(round, "close store for controller restart: %v", err)
+			}
+			if svc, err = service.Open(exec, svcOpts); err != nil {
+				return e.fail(round, "controller restart: %v", err)
+			}
+			if got := svc.Store.Rev(); got < revBefore {
+				return e.fail(round, "store revision regressed across restart: %d -> %d", revBefore, got)
+			}
+			ids := []string{ck.ID}
+			if rs != nil {
+				ids = append(ids, rs.ID)
+			}
+			for _, id := range ids {
+				req, ok := svc.Store.Get(id)
+				if !ok {
+					return e.fail(round, "request %s lost across controller restart", id)
+				}
+				if req.Status.Phase.Terminal() {
+					return e.fail(round, "request %s already %s before the restarted controller ran",
+						id, req.Status.Phase)
+				}
+			}
+			e.res.ControllerRestarts++
+			svc.Start()
 		}
 
 		ckDone, err := svc.WaitTerminal(ck.ID, timeout)

@@ -35,6 +35,11 @@ func TestSoakServiceReconcileUnderFault(t *testing.T) {
 		KillMTBF:      120,
 		Service:       true,
 		Registry:      reg,
+		// Kill the controller twice mid-soak: the journal under a temp state
+		// dir must carry each interrupted round's requests across the restart,
+		// and every shadow/convergence assertion below stays in force.
+		ControllerRestarts: 2,
+		StateDir:           t.TempDir(),
 	}
 	// The kill plan is a pure function of the seed; the reconcile-under-fault
 	// path only exists if this seed actually schedules kills.
@@ -98,6 +103,20 @@ func TestSoakServiceReconcileUnderFault(t *testing.T) {
 	if n := reg.Counter("dvdc_service_admission_rejected_total",
 		"tenant", "soak", "reason", "quota").Value(); n != 0 {
 		t.Errorf("harness submissions hit the quota gate %d times", n)
+	}
+
+	// Durability: both scheduled controller restarts happened, every mutation
+	// went through the journal, and the batched fsync policy actually batched.
+	if res.ControllerRestarts != cfg.ControllerRestarts {
+		t.Errorf("performed %d controller restarts, want %d", res.ControllerRestarts, cfg.ControllerRestarts)
+	}
+	appends := reg.Counter("dvdc_service_journal_appends_total").Value()
+	if appends == 0 {
+		t.Error("dvdc_service_journal_appends_total never incremented despite a durable soak")
+	}
+	fsyncs := reg.Counter("dvdc_service_journal_fsyncs_total").Value()
+	if fsyncs == 0 || fsyncs >= appends {
+		t.Errorf("journal fsyncs = %d for %d appends, want 0 < fsyncs < appends (batching)", fsyncs, appends)
 	}
 }
 

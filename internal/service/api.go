@@ -100,6 +100,12 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			})
 			return
 		}
+		if errors.Is(err, ErrDurability) {
+			// The request was admitted but not persisted: an internal fault,
+			// not a client one.
+			writeJSON(w, http.StatusInternalServerError, apiError{Error: err.Error()})
+			return
+		}
 		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
 		return
 	}

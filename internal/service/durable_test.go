@@ -1,0 +1,489 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"dvdc/internal/obs"
+	"dvdc/internal/service/journal"
+)
+
+// storeImage is a comparable snapshot of a store's externally visible state.
+// Comparison goes through JSON because that is the durability boundary:
+// time.Time loses its monotonic reading on the round trip, so raw DeepEqual
+// would report false drift that no API client can observe.
+func storeImage(t *testing.T, s *Store) string {
+	t.Helper()
+	b, err := json.MarshalIndent(s.List(""), "", " ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// scriptStore runs a canned request sequence against a store: creates across
+// two tenants, full phase walks to Succeeded and Failed, and one request left
+// InProgress — every record shape the journal can carry.
+func scriptStore(t *testing.T, s *Store) {
+	t.Helper()
+	must := func(req *Request, err error) *Request {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return req
+	}
+	update := func(id string, f func(now time.Time, req *Request)) {
+		t.Helper()
+		if _, err := s.UpdateStatus(id, f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ck1 := must(s.Create(KindCheckpoint, Spec{Tenant: "alpha", Steps: 25}))
+	ck2 := must(s.Create(KindCheckpoint, Spec{Tenant: "beta", Priority: 3}))
+	rs1 := must(s.Create(KindRestore, Spec{Tenant: "alpha", Nodes: []int{1, 3}}))
+
+	// ck1: full walk to Succeeded.
+	update(ck1.ID, func(now time.Time, r *Request) {
+		r.Status.Phase = PhaseScheduled
+		r.Status.setCondition(now, CondScheduled, true, "Queued", "entered the priority queue")
+	})
+	update(ck1.ID, func(now time.Time, r *Request) {
+		r.Status.Phase = PhaseInProgress
+		r.Status.ObservedGeneration = r.Generation
+		r.Status.setCondition(now, CondExecuting, true, "Attempt", "attempt 1 of 4")
+	})
+	update(ck1.ID, func(now time.Time, r *Request) {
+		r.Status.Phase = PhaseSucceeded
+		r.Status.Epoch = 7
+		r.Status.setCondition(now, CondComplete, true, "Succeeded", "")
+	})
+
+	// rs1: retried once, then Failed with casualties.
+	update(rs1.ID, func(now time.Time, r *Request) {
+		r.Status.Phase = PhaseScheduled
+		r.Status.Retries = 1
+		r.Status.Message = "attempt 1 failed: prepare fanout failed (retrying in 2ms)"
+		r.Status.setCondition(now, CondRetrying, true, "Backoff", r.Status.Message)
+	})
+	update(rs1.ID, func(now time.Time, r *Request) {
+		r.Status.Phase = PhaseFailed
+		r.Status.ObservedGeneration = r.Generation
+		r.Status.Casualties = []int{1, 3}
+		r.Status.setCondition(now, CondComplete, false, "Failed", "gave up after 2 attempts")
+	})
+
+	// ck2: left InProgress — the orphan a restart must resume.
+	update(ck2.ID, func(now time.Time, r *Request) {
+		r.Status.Phase = PhaseInProgress
+		r.Status.ObservedGeneration = r.Generation
+		r.Status.setCondition(now, CondExecuting, true, "Attempt", "attempt 1 of 4")
+	})
+}
+
+func TestOpenStoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	reg := obs.NewRegistry()
+	st, info, err := OpenStore(dir, DurableOptions{Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Records != 0 || info.Requests != 0 {
+		t.Fatalf("fresh replay info = %+v", info)
+	}
+	scriptStore(t, st)
+	wantImage := storeImage(t, st)
+	wantRev := st.Rev()
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, info2, err := OpenStore(dir, DurableOptions{Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if info2.Records != int(wantRev) || info2.Requests != 3 || info2.DroppedBytes != 0 {
+		t.Fatalf("replay info = %+v, want %d records / 3 requests", info2, wantRev)
+	}
+	if got := storeImage(t, st2); got != wantImage {
+		t.Fatalf("replayed store differs:\n got: %s\nwant: %s", got, wantImage)
+	}
+	if st2.Rev() != wantRev {
+		t.Fatalf("replayed rev = %d, want %d", st2.Rev(), wantRev)
+	}
+	// Admission counts come back bit-identically: one non-terminal request
+	// (ck2, InProgress) under beta.
+	if got := st2.ActiveByTenant(); !reflect.DeepEqual(got, map[string]int{"beta": 1}) {
+		t.Fatalf("ActiveByTenant after replay = %v", got)
+	}
+	// ID assignment continues where the dead controller stopped.
+	next, err := st2.Create(KindCheckpoint, Spec{Tenant: "alpha"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next.ID != "cr-4" {
+		t.Fatalf("next id after replay = %s, want cr-4", next.ID)
+	}
+}
+
+func TestClosedStoreRefusesWrites(t *testing.T) {
+	st, _, err := OpenStore(t.TempDir(), DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Create(KindCheckpoint, Spec{Tenant: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	if _, err := st.Create(KindCheckpoint, Spec{Tenant: "a"}); !errors.Is(err, ErrDurability) {
+		t.Fatalf("Create after Close = %v, want ErrDurability", err)
+	}
+	if _, err := st.UpdateStatus("cr-1", func(time.Time, *Request) {}); !errors.Is(err, ErrDurability) {
+		t.Fatalf("UpdateStatus after Close = %v, want ErrDurability", err)
+	}
+	// Reads still serve the in-memory image.
+	if _, ok := st.Get("cr-1"); !ok {
+		t.Fatal("Get after Close lost the request")
+	}
+}
+
+func TestReconcilerResumesAfterRestart(t *testing.T) {
+	dir := t.TempDir()
+	st, _, err := OpenStore(dir, DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scriptStore(t, st) // leaves cr-2 InProgress
+	// Plus one Pending and one Scheduled request the new controller must also
+	// drive home.
+	pend, err := st.Create(KindCheckpoint, Spec{Tenant: "alpha", Steps: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := st.Create(KindRestore, Spec{Tenant: "beta", Nodes: []int{2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.UpdateStatus(sched.ID, func(now time.Time, r *Request) {
+		r.Status.Phase = PhaseScheduled
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Restart": a fresh controller over the same state dir.
+	exec := &fakeExec{}
+	reg := obs.NewRegistry()
+	svc, err := Open(exec, Options{StateDir: dir, Backoff: 2 * time.Millisecond, Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Stop()
+	if svc.Replay.Requests != 5 {
+		t.Fatalf("Replay = %+v, want 5 requests", svc.Replay)
+	}
+	svc.Start()
+
+	for _, id := range []string{"cr-2", pend.ID, sched.ID} {
+		req, err := svc.WaitTerminal(id, 10*time.Second)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if req.Status.Phase != PhaseSucceeded {
+			t.Fatalf("%s converged %s: %+v", id, req.Status.Phase, req.Status)
+		}
+		if req.Status.ObservedGeneration != req.Generation {
+			t.Fatalf("%s observed generation %d != generation %d", id, req.Status.ObservedGeneration, req.Generation)
+		}
+	}
+	// The orphaned InProgress request (and only it) carries the Resumed
+	// condition naming the restart.
+	orphan, _ := svc.Store.Get("cr-2")
+	var resumed *Condition
+	for i, c := range orphan.Status.Conditions {
+		if c.Type == CondResumed {
+			resumed = &orphan.Status.Conditions[i]
+		}
+	}
+	if resumed == nil || !resumed.Status || resumed.Reason != "ControllerRestart" {
+		t.Fatalf("cr-2 missing Resumed condition: %+v", orphan.Status.Conditions)
+	}
+	for _, id := range []string{pend.ID, sched.ID} {
+		req, _ := svc.Store.Get(id)
+		for _, c := range req.Status.Conditions {
+			if c.Type == CondResumed {
+				t.Fatalf("%s was never in flight but carries Resumed: %+v", id, c)
+			}
+		}
+	}
+	// Terminal requests were not re-driven: the fake saw exactly the three
+	// resumed/fresh requests (two checkpoints + one restore).
+	snap := exec.snapshot()
+	if snap.checkpoints != 2 || len(snap.restores) != 1 {
+		t.Fatalf("executor saw %d checkpoints / %d restores, want 2 / 1", snap.checkpoints, len(snap.restores))
+	}
+	if got := reg.Counter("dvdc_service_resumes_total", "kind", string(KindCheckpoint)).Value(); got != 1 {
+		t.Fatalf("dvdc_service_resumes_total{kind=Checkpoint} = %d, want 1", got)
+	}
+}
+
+func TestCompactionBoundsJournal(t *testing.T) {
+	dir := t.TempDir()
+	reg := obs.NewRegistry()
+	const limit = 8 << 10
+	st, _, err := OpenStore(dir, DurableOptions{CompactBytes: limit, Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Status-update-heavy traffic — the case compaction wins: a handful of
+	// objects, hundreds of mutations. The uncompacted log would be ~100x the
+	// snapshot.
+	var ids []string
+	for i := 0; i < 6; i++ {
+		req, err := st.Create(KindCheckpoint, Spec{Tenant: "alpha", Steps: uint64(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, req.ID)
+	}
+	for round := 0; round < 100; round++ {
+		for _, id := range ids {
+			if _, err := st.UpdateStatus(id, func(now time.Time, r *Request) {
+				r.Status.Message = fmt.Sprintf("attempt heartbeat %d", round)
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for i, id := range ids {
+		if _, err := st.UpdateStatus(id, func(now time.Time, r *Request) {
+			r.Status.Phase = PhaseSucceeded
+			r.Status.ObservedGeneration = r.Generation
+			r.Status.Epoch = uint64(i + 1)
+			r.Status.setCondition(now, CondComplete, true, "Succeeded", "")
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := reg.Counter("dvdc_service_journal_compactions_total").Value(); got < 1 {
+		t.Fatalf("compactions = %d, want >= 1", got)
+	}
+	wantImage := storeImage(t, st)
+	wantRev := st.Rev()
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	fi, err := os.Stat(filepath.Join(dir, journalFileName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The snapshot itself (60 terminal objects) is the floor; the point is the
+	// log stops growing linearly with mutation count. One snapshot plus the
+	// records since the last compaction must fit in a couple of limits.
+	if fi.Size() > 3*limit {
+		t.Fatalf("journal is %d bytes after compaction (limit %d)", fi.Size(), limit)
+	}
+	st2, _, err := OpenStore(dir, DurableOptions{CompactBytes: limit, Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if got := storeImage(t, st2); got != wantImage {
+		t.Fatalf("compacted store replayed differently:\n got: %s\nwant: %s", got, wantImage)
+	}
+	if st2.Rev() != wantRev {
+		t.Fatalf("rev after compacted replay = %d, want %d", st2.Rev(), wantRev)
+	}
+}
+
+// TestCrashAtEveryOffset is the headline battery: build a journal from a
+// scripted sequence, then for every byte length L replay the L-byte prefix —
+// as if the machine died with exactly L bytes durable. Every prefix must open
+// without error into the store the first K complete records describe, with
+// the revision non-decreasing in L and admission counts agreeing with a
+// from-scratch recount.
+func TestCrashAtEveryOffset(t *testing.T) {
+	srcDir := t.TempDir()
+	st, _, err := OpenStore(srcDir, DurableOptions{CompactBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scriptStore(t, st)
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(filepath.Join(srcDir, journalFileName))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Record boundaries and the expected image after each record count.
+	payloads, valid, err := journal.ScanBytes(raw)
+	if err != nil || valid != int64(len(raw)) {
+		t.Fatalf("source journal not fully valid: valid=%d len=%d err=%v", valid, len(raw), err)
+	}
+	boundaries := []int{8} // end of header
+	for _, p := range payloads {
+		boundaries = append(boundaries, boundaries[len(boundaries)-1]+8+len(p))
+	}
+	images := make([]string, len(payloads)+1)
+	for k := 0; k <= len(payloads); k++ {
+		img, err := replayRecords(payloads[:k])
+		if err != nil {
+			t.Fatalf("replay of %d records: %v", k, err)
+		}
+		b, _ := json.MarshalIndent(requestsInOrder(img), "", " ")
+		images[k] = string(b)
+	}
+
+	crashDir := t.TempDir()
+	path := filepath.Join(crashDir, journalFileName)
+	prevRev := int64(-1)
+	for L := 0; L <= len(raw); L++ {
+		if err := os.WriteFile(path, raw[:L], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		st2, info, err := OpenStore(crashDir, DurableOptions{CompactBytes: -1})
+		if err != nil {
+			t.Fatalf("prefix %d: OpenStore: %v", L, err)
+		}
+		wantK := 0
+		for _, b := range boundaries[1:] {
+			if b <= L {
+				wantK++
+			}
+		}
+		if info.Records != wantK {
+			t.Fatalf("prefix %d: replayed %d records, want %d", L, info.Records, wantK)
+		}
+		rev := st2.Rev()
+		if rev != int64(wantK) {
+			t.Fatalf("prefix %d: rev = %d, want %d", L, rev, wantK)
+		}
+		if rev < prevRev {
+			t.Fatalf("prefix %d: revision regressed %d -> %d", L, prevRev, rev)
+		}
+		prevRev = rev
+		if got := storeImage(t, st2); got != images[wantK] {
+			t.Fatalf("prefix %d: store differs from the %d-record image:\n got: %s\nwant: %s",
+				L, wantK, got, images[wantK])
+		}
+		// Admission counts must agree with a from-scratch recount.
+		recount := map[string]int{}
+		for _, r := range st2.List("") {
+			if !r.Terminal() {
+				recount[r.Spec.Tenant]++
+			}
+		}
+		if got := st2.ActiveByTenant(); !reflect.DeepEqual(got, recount) {
+			t.Fatalf("prefix %d: ActiveByTenant = %v, recount = %v", L, got, recount)
+		}
+		if err := st2.Close(); err != nil {
+			t.Fatalf("prefix %d: Close: %v", L, err)
+		}
+	}
+
+	// A sampling of truncation points must also accept new writes cleanly —
+	// the recovered log is a real journal, not a read-only artifact.
+	for _, L := range []int{0, 3, boundaries[1] - 1, boundaries[1], boundaries[len(boundaries)/2] + 5, len(raw)} {
+		if err := os.WriteFile(path, raw[:L], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		st2, _, err := OpenStore(crashDir, DurableOptions{CompactBytes: -1})
+		if err != nil {
+			t.Fatalf("prefix %d: OpenStore: %v", L, err)
+		}
+		req, err := st2.Create(KindCheckpoint, Spec{Tenant: "gamma"})
+		if err != nil {
+			t.Fatalf("prefix %d: Create after recovery: %v", L, err)
+		}
+		img := storeImage(t, st2)
+		if err := st2.Close(); err != nil {
+			t.Fatal(err)
+		}
+		st3, _, err := OpenStore(crashDir, DurableOptions{CompactBytes: -1})
+		if err != nil {
+			t.Fatalf("prefix %d: reopen after append: %v", L, err)
+		}
+		if _, ok := st3.Get(req.ID); !ok {
+			t.Fatalf("prefix %d: post-recovery create %s lost on reopen", L, req.ID)
+		}
+		if got := storeImage(t, st3); got != img {
+			t.Fatalf("prefix %d: post-recovery append replayed differently", L)
+		}
+		st3.Close()
+	}
+}
+
+// requestsInOrder materializes a replay image's objects in submission order
+// (what Store.List would return).
+func requestsInOrder(img *replayState) []*Request {
+	out := make([]*Request, 0, len(img.order))
+	for _, id := range img.order {
+		out = append(out, img.byID[id])
+	}
+	return out
+}
+
+// TestCorruptionAtEveryByte flips every byte of the journal in turn: replay
+// must never panic and must either fail loudly or open a store that passes
+// full validation — never load garbage.
+func TestCorruptionAtEveryByte(t *testing.T) {
+	srcDir := t.TempDir()
+	st, _, err := OpenStore(srcDir, DurableOptions{CompactBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scriptStore(t, st)
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(filepath.Join(srcDir, journalFileName))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	crashDir := t.TempDir()
+	path := filepath.Join(crashDir, journalFileName)
+	for off := 0; off < len(raw); off++ {
+		mut := append([]byte(nil), raw...)
+		mut[off] ^= 0xff
+		if err := os.WriteFile(path, mut, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		st2, _, err := OpenStore(crashDir, DurableOptions{CompactBytes: -1})
+		if off < 8 {
+			// Header damage: the file is not recognizably a journal and must
+			// be refused, not rebuilt over.
+			if !errors.Is(err, journal.ErrNotJournal) {
+				t.Fatalf("offset %d: header flip gave %v, want ErrNotJournal", off, err)
+			}
+			continue
+		}
+		if err != nil {
+			// CRC32 catches every single-byte flip, so a record flip can only
+			// surface as a torn tail — never a replay error.
+			t.Fatalf("offset %d: OpenStore: %v", off, err)
+		}
+		for _, r := range st2.List("") {
+			if verr := validateStored(r); verr != nil {
+				t.Fatalf("offset %d: replay loaded an invalid object: %v", off, verr)
+			}
+		}
+		st2.Close()
+	}
+}

@@ -1,0 +1,203 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"dvdc/internal/service/journal"
+)
+
+// journalFileName is the log inside a store's state dir.
+const journalFileName = "journal.log"
+
+// Journal operations. Every store mutation appends exactly one record; a
+// compaction rewrites the log as a single snapshot record.
+const (
+	opCreate   = "create"   // one new request; Rev/NextID are the post-apply counters
+	opStatus   = "status"   // one full post-mutation object; Rev is the post-apply revision
+	opSnapshot = "snapshot" // entire store state; replaces everything before it
+)
+
+// journalRecord is the JSON payload inside one journal frame. Records carry
+// whole objects, not diffs: replay is pure replacement, so a record is either
+// applied exactly or rejected exactly — there is no partially-applied state
+// for corruption to hide in.
+type journalRecord struct {
+	Op       string           `json:"op"`
+	Rev      int64            `json:"rev"`
+	NextID   int64            `json:"next_id,omitempty"`
+	Req      *Request         `json:"req,omitempty"`
+	Snapshot *journalSnapshot `json:"snapshot,omitempty"`
+}
+
+// journalSnapshot is a compaction record: the full store, submission order
+// preserved.
+type journalSnapshot struct {
+	Rev      int64      `json:"rev"`
+	NextID   int64      `json:"next_id"`
+	Requests []*Request `json:"requests"`
+}
+
+// replayState is the store image a replay builds up.
+type replayState struct {
+	rev    int64
+	nextID int64
+	byID   map[string]*Request
+	order  []string
+}
+
+// idSuffix parses the numeric tail of a request id ("cr-7" -> 7), verifying
+// the prefix matches the request's kind.
+func idSuffix(r *Request) (int64, error) {
+	prefix := idPrefix(r.Kind) + "-"
+	if !strings.HasPrefix(r.ID, prefix) {
+		return 0, fmt.Errorf("id %q does not match kind %s (want prefix %q)", r.ID, r.Kind, prefix)
+	}
+	n, err := strconv.ParseInt(r.ID[len(prefix):], 10, 64)
+	if err != nil || n < 1 {
+		return 0, fmt.Errorf("id %q has no valid sequence number", r.ID)
+	}
+	return n, nil
+}
+
+// validateStored rejects any replayed object the live store could not have
+// produced. This is the "fail loudly" half of the recovery contract: a record
+// that passed its CRC but decodes to an invalid object is corruption the
+// framing cannot see, and loading it would poison every later decision
+// (admission counts, scheduling, the API).
+func validateStored(r *Request) error {
+	if r == nil {
+		return fmt.Errorf("record carries no request")
+	}
+	if r.APIVersion != APIVersion {
+		return fmt.Errorf("request %q has api version %q, want %q", r.ID, r.APIVersion, APIVersion)
+	}
+	if err := r.Kind.Validate(r.Spec); err != nil {
+		return fmt.Errorf("request %q: %w", r.ID, err)
+	}
+	if _, err := idSuffix(r); err != nil {
+		return err
+	}
+	if r.Generation < 1 {
+		return fmt.Errorf("request %q has generation %d", r.ID, r.Generation)
+	}
+	if r.Status.ObservedGeneration < 0 || r.Status.ObservedGeneration > r.Generation {
+		return fmt.Errorf("request %q observed generation %d outside [0, %d]",
+			r.ID, r.Status.ObservedGeneration, r.Generation)
+	}
+	switch r.Status.Phase {
+	case PhasePending, PhaseScheduled, PhaseInProgress, PhaseSucceeded, PhaseFailed:
+	default:
+		return fmt.Errorf("request %q has unknown phase %q", r.ID, r.Status.Phase)
+	}
+	if r.Status.Retries < 0 {
+		return fmt.Errorf("request %q has negative retries %d", r.ID, r.Status.Retries)
+	}
+	if r.Created.IsZero() {
+		return fmt.Errorf("request %q has no creation time", r.ID)
+	}
+	return nil
+}
+
+// replayRecords folds intact journal payloads into a store image. Any
+// semantic violation — undecodable JSON, an invalid object, a revision that
+// does not advance by exactly one, an id collision — is a hard error naming
+// the offending record: prefix-consistency ends at the framing layer, and a
+// semantically broken record means the log (not just its tail) is damaged.
+func replayRecords(payloads [][]byte) (*replayState, error) {
+	st := &replayState{byID: map[string]*Request{}}
+	for i, p := range payloads {
+		var rec journalRecord
+		if err := json.Unmarshal(p, &rec); err != nil {
+			return nil, fmt.Errorf("journal record %d: %w", i, err)
+		}
+		switch rec.Op {
+		case opSnapshot:
+			snap := rec.Snapshot
+			if snap == nil {
+				return nil, fmt.Errorf("journal record %d: snapshot without body", i)
+			}
+			if snap.Rev < int64(len(snap.Requests)) {
+				return nil, fmt.Errorf("journal record %d: snapshot rev %d below its %d requests",
+					i, snap.Rev, len(snap.Requests))
+			}
+			ns := &replayState{rev: snap.Rev, nextID: snap.NextID, byID: map[string]*Request{}}
+			var maxSeq int64
+			for j, r := range snap.Requests {
+				if err := validateStored(r); err != nil {
+					return nil, fmt.Errorf("journal record %d: snapshot request %d: %w", i, j, err)
+				}
+				if _, dup := ns.byID[r.ID]; dup {
+					return nil, fmt.Errorf("journal record %d: snapshot repeats id %q", i, r.ID)
+				}
+				seq, _ := idSuffix(r)
+				if seq > maxSeq {
+					maxSeq = seq
+				}
+				ns.byID[r.ID] = r
+				ns.order = append(ns.order, r.ID)
+			}
+			if ns.nextID < maxSeq {
+				return nil, fmt.Errorf("journal record %d: snapshot next id %d below max assigned %d",
+					i, ns.nextID, maxSeq)
+			}
+			st = ns
+		case opCreate:
+			if err := validateStored(rec.Req); err != nil {
+				return nil, fmt.Errorf("journal record %d: %w", i, err)
+			}
+			if rec.Rev != st.rev+1 {
+				return nil, fmt.Errorf("journal record %d: create at rev %d, store at %d", i, rec.Rev, st.rev)
+			}
+			seq, _ := idSuffix(rec.Req)
+			if rec.NextID != seq {
+				return nil, fmt.Errorf("journal record %d: create id %q disagrees with next id %d",
+					i, rec.Req.ID, rec.NextID)
+			}
+			if rec.NextID != st.nextID+1 {
+				return nil, fmt.Errorf("journal record %d: next id went %d -> %d", i, st.nextID, rec.NextID)
+			}
+			if _, dup := st.byID[rec.Req.ID]; dup {
+				return nil, fmt.Errorf("journal record %d: duplicate create of %q", i, rec.Req.ID)
+			}
+			st.rev, st.nextID = rec.Rev, rec.NextID
+			st.byID[rec.Req.ID] = rec.Req
+			st.order = append(st.order, rec.Req.ID)
+		case opStatus:
+			if err := validateStored(rec.Req); err != nil {
+				return nil, fmt.Errorf("journal record %d: %w", i, err)
+			}
+			if rec.Rev != st.rev+1 {
+				return nil, fmt.Errorf("journal record %d: status at rev %d, store at %d", i, rec.Rev, st.rev)
+			}
+			old, ok := st.byID[rec.Req.ID]
+			if !ok {
+				return nil, fmt.Errorf("journal record %d: status for unknown request %q", i, rec.Req.ID)
+			}
+			if old.Kind != rec.Req.Kind {
+				return nil, fmt.Errorf("journal record %d: status changes kind of %q (%s -> %s)",
+					i, rec.Req.ID, old.Kind, rec.Req.Kind)
+			}
+			st.rev = rec.Rev
+			st.byID[rec.Req.ID] = rec.Req
+		default:
+			return nil, fmt.Errorf("journal record %d: unknown op %q", i, rec.Op)
+		}
+	}
+	return st, nil
+}
+
+// encodeRecord marshals one record for the journal, bounding it against the
+// frame limit so an absurd spec cannot wedge the log.
+func encodeRecord(rec journalRecord) ([]byte, error) {
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return nil, err
+	}
+	if len(b) > journal.MaxRecord {
+		return nil, fmt.Errorf("journal record of %d bytes exceeds limit %d", len(b), journal.MaxRecord)
+	}
+	return b, nil
+}

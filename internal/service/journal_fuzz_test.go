@@ -1,0 +1,262 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"dvdc/internal/service/journal"
+)
+
+var regenJournalCorpus = flag.Bool("regen-journal-corpus", false, "rewrite the journal fuzz corpus under testdata/")
+
+const journalCorpusDir = "testdata/fuzz/FuzzJournalReplay"
+
+// corpusTime is the fixed clock every corpus record carries, so the generator
+// produces identical bytes on every machine.
+var corpusTime = time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC)
+
+// corpusRecord marshals a journalRecord, panicking on the impossible (the
+// corpus is hand-built from known-good values).
+func corpusRecord(rec journalRecord) []byte {
+	b, err := json.Marshal(rec)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// corpusRequest builds a canonical stored object for the corpus.
+func corpusRequest(kind Kind, seq int64, phase Phase, spec Spec) *Request {
+	r := &Request{
+		APIVersion: APIVersion,
+		Kind:       kind,
+		ID:         fmt.Sprintf("%s-%d", idPrefix(kind), seq),
+		Generation: 1,
+		Created:    corpusTime,
+		Spec:       spec,
+		Status:     Status{Phase: phase},
+	}
+	r.Status.setCondition(corpusTime, CondAdmitted, true, "Admitted", "passed admission control")
+	if phase == PhaseInProgress || phase.Terminal() {
+		r.Status.ObservedGeneration = 1
+	}
+	return r
+}
+
+// corpusBase is a fully valid journal image: header, creates, status walks,
+// and a snapshot — every record shape replay accepts.
+func corpusBase() []byte {
+	ck := corpusRequest(KindCheckpoint, 1, PhasePending, Spec{Tenant: "alpha", Steps: 25})
+	rs := corpusRequest(KindRestore, 2, PhasePending, Spec{Tenant: "beta", Nodes: []int{1, 3}})
+	ckDone := corpusRequest(KindCheckpoint, 1, PhaseSucceeded, Spec{Tenant: "alpha", Steps: 25})
+	ckDone.Status.Epoch = 7
+	records := [][]byte{
+		corpusRecord(journalRecord{Op: opCreate, Rev: 1, NextID: 1, Req: ck}),
+		corpusRecord(journalRecord{Op: opCreate, Rev: 2, NextID: 2, Req: rs}),
+		corpusRecord(journalRecord{Op: opStatus, Rev: 3, Req: ckDone}),
+		corpusRecord(journalRecord{Op: opSnapshot, Rev: 3, Snapshot: &journalSnapshot{
+			Rev: 3, NextID: 2, Requests: []*Request{ckDone, rs},
+		}}),
+		corpusRecord(journalRecord{Op: opCreate, Rev: 4, NextID: 3, Req: corpusRequest(
+			KindCheckpoint, 3, PhaseInProgress, Spec{Tenant: "alpha", Priority: 2})}),
+	}
+	buf := journal.AppendHeader(nil)
+	for _, p := range records {
+		buf = journal.AppendRecord(buf, p)
+	}
+	return buf
+}
+
+// journalCorpus deterministically generates the checked-in seed corpus for
+// FuzzJournalReplay: the valid base image plus the crash and corruption
+// shapes recovery must survive — truncations at and between record
+// boundaries, bit flips, CRC-valid records whose payloads are semantic
+// garbage (the "fail loudly" cases), and non-journal files. The generator is
+// the source of truth; TestJournalCorpusCheckedIn fails if the files on disk
+// drift (rerun with -regen-journal-corpus to refresh).
+func journalCorpus() [][]byte {
+	rng := rand.New(rand.NewSource(0x0DDC0DE))
+	base := corpusBase()
+	var out [][]byte
+	add := func(b []byte) { out = append(out, b) }
+
+	add(append([]byte(nil), base...)) // canonical anchor
+
+	// Truncations: empty, partial header, mid-record, one byte short.
+	for _, cut := range []int{0, 3, 8, 20, len(base) / 2, len(base) - 1} {
+		add(append([]byte(nil), base[:cut]...))
+	}
+	// Bit flips anywhere (CRC territory) and specifically in the magic.
+	for i := 0; i < 4; i++ {
+		m := append([]byte(nil), base...)
+		m[rng.Intn(len(m))] ^= 1 << uint(rng.Intn(8))
+		add(m)
+	}
+	m := append([]byte(nil), base...)
+	m[2] ^= 0xff
+	add(m)
+
+	// CRC-valid but semantically rotten records: framing accepts them, replay
+	// must reject them loudly. Each is appended to a valid prefix.
+	rotten := [][]byte{
+		[]byte("{not json"),
+		[]byte(`{"op":"teleport","rev":1}`),
+		corpusRecord(journalRecord{Op: opCreate, Rev: 99, NextID: 1,
+			Req: corpusRequest(KindCheckpoint, 1, PhasePending, Spec{Tenant: "alpha"})}), // rev gap
+		corpusRecord(journalRecord{Op: opCreate, Rev: 1, NextID: 1,
+			Req: corpusRequest(KindCheckpoint, 1, Phase("Limbo"), Spec{Tenant: "alpha"})}), // bad phase
+		corpusRecord(journalRecord{Op: opCreate, Rev: 1, NextID: 7,
+			Req: corpusRequest(KindCheckpoint, 1, PhasePending, Spec{Tenant: "alpha"})}), // id/next-id mismatch
+		corpusRecord(journalRecord{Op: opStatus, Rev: 1,
+			Req: corpusRequest(KindCheckpoint, 5, PhasePending, Spec{Tenant: "alpha"})}), // status for unknown id
+		corpusRecord(journalRecord{Op: opCreate, Rev: 1, NextID: 1,
+			Req: corpusRequest(KindRestore, 1, PhasePending, Spec{Tenant: "alpha"})}), // restore without nodes
+	}
+	for _, p := range rotten {
+		add(journal.AppendRecord(journal.AppendHeader(nil), p))
+	}
+	// A duplicate create (id cr-3 already exists) appended to the full base,
+	// and an empty record (unknown op) likewise.
+	add(journal.AppendRecord(append([]byte(nil), base...),
+		corpusRecord(journalRecord{Op: opCreate, Rev: 5, NextID: 4,
+			Req: corpusRequest(KindCheckpoint, 3, PhasePending, Spec{Tenant: "alpha"})})))
+	add(journal.AppendRecord(append([]byte(nil), base...), corpusRecord(journalRecord{})))
+
+	// Not journals at all.
+	add([]byte("DVDCJNL2-wrong-version"))
+	g := make([]byte, 64)
+	rng.Read(g)
+	add(g)
+	return out
+}
+
+func journalCorpusPath(i int) string {
+	return filepath.Join(journalCorpusDir, fmt.Sprintf("crash-%03d", i))
+}
+
+// encodeJournalSeed renders one entry in the `go test fuzz v1` seed format.
+func encodeJournalSeed(b []byte) []byte {
+	return []byte("go test fuzz v1\n[]byte(" + strconv.Quote(string(b)) + ")\n")
+}
+
+// decodeJournalSeed parses a single-[]byte v1 seed file.
+func decodeJournalSeed(data []byte) ([]byte, error) {
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 2 || lines[0] != "go test fuzz v1" {
+		return nil, fmt.Errorf("not a v1 corpus file")
+	}
+	body := strings.TrimSuffix(strings.TrimPrefix(lines[1], "[]byte("), ")")
+	s, err := strconv.Unquote(body)
+	if err != nil {
+		return nil, fmt.Errorf("unquote corpus literal: %w", err)
+	}
+	return []byte(s), nil
+}
+
+// TestJournalCorpusCheckedIn pins the checked-in corpus to the generator.
+func TestJournalCorpusCheckedIn(t *testing.T) {
+	entries := journalCorpus()
+	if *regenJournalCorpus {
+		if err := os.MkdirAll(journalCorpusDir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		for i, e := range entries {
+			if err := os.WriteFile(journalCorpusPath(i), encodeJournalSeed(e), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		t.Logf("rewrote %d corpus entries", len(entries))
+		return
+	}
+	for i, e := range entries {
+		got, err := os.ReadFile(journalCorpusPath(i))
+		if err != nil {
+			t.Fatalf("corpus entry %d missing (run go test -run TestJournalCorpusCheckedIn -regen-journal-corpus): %v", i, err)
+		}
+		if !bytes.Equal(got, encodeJournalSeed(e)) {
+			t.Errorf("corpus entry %d drifted from generator", i)
+		}
+	}
+}
+
+// TestJournalCorpusBaseReplays anchors the corpus to the replay contract: the
+// canonical base image must replay cleanly to the expected store.
+func TestJournalCorpusBaseReplays(t *testing.T) {
+	payloads, valid, err := journal.ScanBytes(corpusBase())
+	if err != nil || valid != int64(len(corpusBase())) {
+		t.Fatalf("base image not fully valid: %d/%d, %v", valid, len(corpusBase()), err)
+	}
+	img, err := replayRecords(payloads)
+	if err != nil {
+		t.Fatalf("base image rejected: %v", err)
+	}
+	if img.rev != 4 || img.nextID != 3 || len(img.order) != 3 {
+		t.Fatalf("base image = rev %d nextID %d %d requests", img.rev, img.nextID, len(img.order))
+	}
+}
+
+// checkReplayedImage asserts everything replay accepted is coherent: valid
+// objects only, order/index agreement, sane counters.
+func checkReplayedImage(t *testing.T, img *replayState) {
+	t.Helper()
+	if len(img.order) != len(img.byID) {
+		t.Fatalf("order has %d ids, index has %d", len(img.order), len(img.byID))
+	}
+	for _, id := range img.order {
+		r, ok := img.byID[id]
+		if !ok {
+			t.Fatalf("ordered id %q missing from index", id)
+		}
+		if err := validateStored(r); err != nil {
+			t.Fatalf("replay accepted an invalid object: %v", err)
+		}
+		if r.ID != id {
+			t.Fatalf("index id %q holds object %q", id, r.ID)
+		}
+		seq, _ := idSuffix(r)
+		if seq > img.nextID {
+			t.Fatalf("object %q outruns nextID %d", r.ID, img.nextID)
+		}
+	}
+	if img.rev < int64(len(img.order)) {
+		t.Fatalf("rev %d below %d objects (every object costs at least one revision)", img.rev, len(img.order))
+	}
+}
+
+// FuzzJournalReplay feeds arbitrary bytes through the full recovery path:
+// scan, replay, validate. It must never panic, and whatever it accepts must
+// be a coherent prefix-consistent store of valid objects. Determinism is part
+// of the contract: scanning the same bytes twice must agree.
+func FuzzJournalReplay(f *testing.F) {
+	for _, seed := range journalCorpus() {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		payloads, valid, err := journal.ScanBytes(data)
+		payloads2, valid2, err2 := journal.ScanBytes(data)
+		if valid != valid2 || len(payloads) != len(payloads2) || (err == nil) != (err2 == nil) {
+			t.Fatalf("ScanBytes is nondeterministic: (%d,%d,%v) vs (%d,%d,%v)",
+				len(payloads), valid, err, len(payloads2), valid2, err2)
+		}
+		if err != nil {
+			return // not a journal: refused before replay
+		}
+		if valid < 0 || valid > int64(len(data)) {
+			t.Fatalf("valid prefix %d outside [0,%d]", valid, len(data))
+		}
+		img, err := replayRecords(payloads)
+		if err != nil {
+			return // fail-loudly path: corruption named, nothing loaded
+		}
+		checkReplayedImage(t, img)
+	})
+}

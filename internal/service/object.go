@@ -84,6 +84,7 @@ const (
 	CondExecuting = "Executing" // an attempt is (or was) in flight
 	CondRetrying  = "Retrying"  // last attempt failed; backing off for another
 	CondRecovered = "Recovered" // mid-round casualties were recovered inline
+	CondResumed   = "Resumed"   // re-queued after a controller restart found it in flight
 	CondComplete  = "Complete"  // reached a terminal phase
 )
 

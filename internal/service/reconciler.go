@@ -157,22 +157,41 @@ func (r *Reconciler) Stop() {
 	}
 }
 
-// reconcileOnce makes one pass: promote Pending requests, then execute the
-// best ready Scheduled request. Returns whether it did anything.
+// reconcileOnce makes one pass: promote Pending requests, re-queue orphaned
+// InProgress ones, then execute the best ready Scheduled request. Returns
+// whether it did anything.
 func (r *Reconciler) reconcileOnce() bool {
 	reqs := r.store.List("")
 	progressed := false
 	for _, req := range reqs {
-		if req.Status.Phase == PhasePending {
-			r.transition(req.ID, PhaseScheduled, func(now time.Time, req *Request) {
+		switch req.Status.Phase {
+		case PhasePending:
+			if r.transition(req.ID, PhaseScheduled, func(now time.Time, req *Request) {
 				req.Status.setCondition(now, CondScheduled, true, "Queued", "entered the priority queue")
-			})
-			progressed = true
+			}) == nil {
+				progressed = true
+			}
+		case PhaseInProgress:
+			// Only a dead controller leaves InProgress behind: this loop is
+			// the sole phase writer and holds InProgress exactly for the
+			// duration of a synchronous attempt, so finding it at the top of a
+			// pass means the attempt's process is gone. Re-queue and re-drive;
+			// the executor is level-triggered, so an attempt that actually
+			// finished before the crash converges as a cheap no-op.
+			if r.transition(req.ID, PhaseScheduled, func(now time.Time, req *Request) {
+				req.Status.setCondition(now, CondScheduled, true, "Queued", "entered the priority queue")
+				req.Status.setCondition(now, CondResumed, true, "ControllerRestart",
+					"found in flight at controller start; re-driving the attempt")
+			}) == nil {
+				progressed = true
+				if r.reg != nil {
+					r.reg.Counter("dvdc_service_resumes_total", "kind", string(req.Kind)).Inc()
+				}
+			}
 		}
 	}
 	if pick := r.pick(); pick != nil {
-		r.execute(pick)
-		return true
+		return r.execute(pick) || progressed
 	}
 	return progressed
 }
@@ -202,14 +221,18 @@ func (r *Reconciler) pick() *Request {
 	return ready[0]
 }
 
-// execute runs one attempt of one request and lands the outcome in status.
-func (r *Reconciler) execute(req *Request) {
+// execute runs one attempt of one request and lands the outcome in status,
+// reporting whether it made progress (false when the store refused the
+// InProgress write, so the loop parks rather than re-picking forever).
+func (r *Reconciler) execute(req *Request) bool {
 	attempt := req.Status.Retries + 1
-	r.transition(req.ID, PhaseInProgress, func(now time.Time, req *Request) {
+	if err := r.transition(req.ID, PhaseInProgress, func(now time.Time, req *Request) {
 		req.Status.ObservedGeneration = req.Generation
 		req.Status.setCondition(now, CondExecuting, true, "Attempt",
 			fmt.Sprintf("attempt %d of %d", attempt, r.maxRetries))
-	})
+	}); err != nil {
+		return false
+	}
 
 	span := r.tracer.Start(obs.SpanContext{}, "reconcile", "coord")
 	span.SetAttr("request", req.ID)
@@ -247,14 +270,14 @@ func (r *Reconciler) execute(req *Request) {
 			span.SetAttr("outcome", "succeeded-after-recovery")
 			span.Finish()
 			r.count("succeeded", req)
-			return
+			return true
 		}
 		r.terminal(req.ID, PhaseFailed, epoch, nodes,
 			fmt.Sprintf("committed epoch %d but recovery of casualties %v failed: %v", epoch, nodes, rerr))
 		span.SetAttr("outcome", "failed")
 		span.FinishErr(rerr)
 		r.count("failed", req)
-		return
+		return true
 	}
 
 	if err == nil {
@@ -262,7 +285,7 @@ func (r *Reconciler) execute(req *Request) {
 		span.SetAttr("outcome", "succeeded")
 		span.Finish()
 		r.count("succeeded", req)
-		return
+		return true
 	}
 
 	// Plain failure: the round did not commit (or the restore did not
@@ -278,13 +301,14 @@ func (r *Reconciler) execute(req *Request) {
 		span.SetAttr("outcome", "retry")
 		span.FinishErr(err)
 		r.count("retried", req)
-		return
+		return true
 	}
 	r.terminal(req.ID, PhaseFailed, 0, nil,
 		fmt.Sprintf("gave up after %d attempts: %v", attempt, err))
 	span.SetAttr("outcome", "failed")
 	span.FinishErr(err)
 	r.count("failed", req)
+	return true
 }
 
 // epochOr returns a if nonzero, else b.
@@ -295,17 +319,24 @@ func epochOr(a, b uint64) uint64 {
 	return b
 }
 
-// transition moves a request to a phase, counting the transition.
-func (r *Reconciler) transition(id string, phase Phase, mutate func(now time.Time, req *Request)) {
-	r.store.UpdateStatus(id, func(now time.Time, req *Request) { //nolint:errcheck // id came from the store
+// transition moves a request to a phase, counting the transition. A non-nil
+// error means the store refused the write (a poisoned journal): the caller
+// must treat the pass as not-progressed so the loop parks instead of spinning
+// on a store it can no longer move.
+func (r *Reconciler) transition(id string, phase Phase, mutate func(now time.Time, req *Request)) error {
+	_, err := r.store.UpdateStatus(id, func(now time.Time, req *Request) {
 		req.Status.Phase = phase
 		if mutate != nil {
 			mutate(now, req)
 		}
 	})
+	if err != nil {
+		return err
+	}
 	if r.reg != nil {
 		r.reg.Counter("dvdc_service_transitions_total", "phase", string(phase)).Inc()
 	}
+	return nil
 }
 
 // terminal lands a request in Succeeded or Failed.

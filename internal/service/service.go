@@ -19,6 +19,13 @@ type Options struct {
 	// Observability (either may be nil).
 	Tracer   *obs.Tracer
 	Registry *obs.Registry
+	// StateDir, when non-empty, backs the store with a durable journal there
+	// (Open only): requests survive controller restarts and the reconciler
+	// resumes whatever was in flight.
+	StateDir string
+	// CompactBytes and SyncBatch tune the journal (see DurableOptions).
+	CompactBytes int64
+	SyncBatch    int
 }
 
 // Service bundles the control plane: the object store, the admission gate,
@@ -28,12 +35,30 @@ type Service struct {
 	Store      *Store
 	Admission  *Admission
 	Reconciler *Reconciler
-	reg        *obs.Registry
+	// Replay describes what Open recovered from the state dir (zero for a
+	// memory-backed service).
+	Replay ReplayInfo
+	reg    *obs.Registry
 }
 
-// New assembles a service over an executor. Call Start to begin reconciling.
-func New(exec Executor, opts Options) *Service {
+// Open assembles a service over an executor, replaying opts.StateDir into the
+// store when set (an empty StateDir yields the in-memory service New builds).
+// Call Start to begin reconciling — which is also what resumes any request
+// the previous controller left Pending, Scheduled, or InProgress.
+func Open(exec Executor, opts Options) (*Service, error) {
 	st := NewStore()
+	var replay ReplayInfo
+	if opts.StateDir != "" {
+		var err error
+		st, replay, err = OpenStore(opts.StateDir, DurableOptions{
+			CompactBytes: opts.CompactBytes,
+			SyncBatch:    opts.SyncBatch,
+			Registry:     opts.Registry,
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
 	adm := NewAdmission(opts.Quotas, opts.DefaultQuota)
 	rec := NewReconciler(st, exec, ReconcilerOptions{
 		MaxRetries: opts.MaxRetries,
@@ -41,7 +66,19 @@ func New(exec Executor, opts Options) *Service {
 		Tracer:     opts.Tracer,
 		Registry:   opts.Registry,
 	})
-	return &Service{Store: st, Admission: adm, Reconciler: rec, reg: opts.Registry}
+	return &Service{Store: st, Admission: adm, Reconciler: rec, Replay: replay, reg: opts.Registry}, nil
+}
+
+// New assembles a memory-backed service over an executor (use Open for a
+// durable one). Call Start to begin reconciling.
+func New(exec Executor, opts Options) *Service {
+	opts.StateDir = ""
+	svc, err := Open(exec, opts)
+	if err != nil {
+		// Unreachable: only the durable path can fail.
+		panic(err)
+	}
+	return svc
 }
 
 // Start launches the reconciler loop.
@@ -49,10 +86,12 @@ func (s *Service) Start() {
 	go s.Reconciler.Run()
 }
 
-// Stop halts the reconciler (after any in-flight attempt) and quiesces the
-// executor.
+// Stop halts the reconciler (after any in-flight attempt), quiesces the
+// executor, and closes the store's journal so another controller can open the
+// state dir. Idempotent.
 func (s *Service) Stop() {
 	s.Reconciler.Stop()
+	s.Store.Close() //nolint:errcheck // appends are already synced per batch; nothing actionable here
 }
 
 // Submit admits and stores one request. The returned copy carries the
@@ -69,7 +108,10 @@ func (s *Service) Submit(kind Kind, spec Spec) (*Request, error) {
 		}
 		return nil, err
 	}
-	req := s.Store.Create(kind, spec)
+	req, err := s.Store.Create(kind, spec)
+	if err != nil {
+		return nil, err
+	}
 	if s.reg != nil {
 		s.reg.Counter("dvdc_service_requests_total",
 			"tenant", spec.Tenant, "kind", string(kind)).Inc()

@@ -110,14 +110,20 @@ func TestStoreRevisionsAndWatch(t *testing.T) {
 	if st.Rev() != 0 {
 		t.Fatalf("fresh store rev = %d, want 0", st.Rev())
 	}
-	req := st.Create(KindCheckpoint, Spec{Tenant: "a"})
+	req, err := st.Create(KindCheckpoint, Spec{Tenant: "a"})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if req.ID != "cr-1" || req.Generation != 1 || req.Status.Phase != PhasePending {
 		t.Fatalf("created request = %+v", req)
 	}
 	if st.Rev() != 1 {
 		t.Fatalf("rev after create = %d, want 1", st.Rev())
 	}
-	rr := st.Create(KindRestore, Spec{Tenant: "a", Nodes: []int{2}})
+	rr, err := st.Create(KindRestore, Spec{Tenant: "a", Nodes: []int{2}})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if rr.ID != "rr-2" {
 		t.Fatalf("restore id = %s, want rr-2", rr.ID)
 	}

@@ -1,17 +1,39 @@
 package service
 
 import (
+	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 	"sort"
 	"sync"
 	"time"
+
+	"dvdc/internal/obs"
+	"dvdc/internal/service/journal"
 )
+
+// ErrDurability wraps every failure of the durable backing: a journal append
+// or compaction that did not land, or a write against a closed store. The
+// HTTP layer maps it to a 500 (the request was not persisted), and the store
+// fail-stops: once a write is lost, accepting more would let the in-memory
+// state drift arbitrarily far from what a restart will replay.
+var ErrDurability = errors.New("service: durable store failure")
+
+// DefaultCompactBytes is the journal size past which an append triggers a
+// snapshot+truncate compaction.
+const DefaultCompactBytes = 1 << 20
 
 // Store is the versioned request-object store. Every write bumps a
 // monotonically increasing revision; watchers block on Changed until the
 // revision moves past the one they last saw, then re-read — a level-triggered
 // watch with no per-watcher queue to overflow. All returned objects are deep
 // copies: callers can never mutate stored state except through Update.
+//
+// A store opened with OpenStore additionally writes every mutation through an
+// append-only journal before returning, so a restarted controller replays to
+// exactly the revision, objects, and admission counts the old one last
+// acknowledged.
 type Store struct {
 	mu     sync.Mutex
 	rev    int64
@@ -20,15 +42,91 @@ type Store struct {
 	order  []string // submission order
 	change chan struct{}
 	now    func() time.Time
+
+	// Durable backing; all nil/zero for the memory-only store.
+	jw           *journal.Writer
+	jerr         error // sticky: first journal failure poisons all later writes
+	compactBytes int64
+	reg          *obs.Registry
 }
 
-// NewStore builds an empty store.
+// NewStore builds an empty in-memory store.
 func NewStore() *Store {
 	return &Store{
 		byID:   map[string]*Request{},
 		change: make(chan struct{}),
 		now:    time.Now,
 	}
+}
+
+// DurableOptions tune OpenStore.
+type DurableOptions struct {
+	// CompactBytes is the journal size that triggers compaction; 0 picks
+	// DefaultCompactBytes, negative disables automatic compaction.
+	CompactBytes int64
+	// SyncBatch is the number of appends between fsyncs (<=1 syncs every
+	// append — the durable default).
+	SyncBatch int
+	// Registry receives the dvdc_service_journal_* metrics (nil = unmetered).
+	Registry *obs.Registry
+}
+
+// ReplayInfo summarizes what OpenStore recovered.
+type ReplayInfo struct {
+	Records      int           // intact journal records replayed
+	Requests     int           // request objects in the recovered store
+	DroppedBytes int64         // torn tail truncated from the journal
+	Duration     time.Duration // wall time of the scan + replay
+}
+
+// OpenStore opens (creating if needed) the journal-backed store rooted at
+// dir, replaying the log into memory. A torn tail — a crash mid-append — is
+// truncated silently; a record that passes its CRC but fails semantic
+// validation is a hard error, because loading it would be silent corruption.
+func OpenStore(dir string, opts DurableOptions) (*Store, ReplayInfo, error) {
+	var info ReplayInfo
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, info, fmt.Errorf("service: state dir: %w", err)
+	}
+	path := filepath.Join(dir, journalFileName)
+	reg := opts.Registry
+	t0 := time.Now()
+	jw, payloads, rinfo, err := journal.Recover(path, journal.Options{
+		SyncBatch: opts.SyncBatch,
+		OnFsync:   func() { reg.Counter("dvdc_service_journal_fsyncs_total").Inc() },
+	})
+	if err != nil {
+		return nil, info, fmt.Errorf("service: open journal: %w", err)
+	}
+	img, err := replayRecords(payloads)
+	if err != nil {
+		jw.Close()
+		return nil, info, fmt.Errorf("service: replay %s: %w", path, err)
+	}
+	s := &Store{
+		rev:    img.rev,
+		nextID: img.nextID,
+		byID:   img.byID,
+		order:  img.order,
+		change: make(chan struct{}),
+		now:    time.Now,
+		jw:     jw,
+		reg:    reg,
+	}
+	s.compactBytes = opts.CompactBytes
+	if s.compactBytes == 0 {
+		s.compactBytes = DefaultCompactBytes
+	}
+	info = ReplayInfo{
+		Records:      len(payloads),
+		Requests:     len(img.order),
+		DroppedBytes: rinfo.DroppedBytes,
+		Duration:     time.Since(t0),
+	}
+	reg.Histogram("dvdc_service_journal_replay_seconds", obs.LatencyBuckets()).
+		Observe(info.Duration.Seconds())
+	reg.GaugeFunc("dvdc_service_journal_bytes", func() float64 { return float64(jw.Size()) })
+	return s, info, nil
 }
 
 // setClock substitutes the timestamp source (tests).
@@ -93,10 +191,15 @@ func idPrefix(kind Kind) string {
 }
 
 // Create inserts a new request in phase Pending at generation 1 and returns
-// a copy. The spec must already have passed validation and admission.
-func (s *Store) Create(kind Kind, spec Spec) *Request {
+// a copy. The spec must already have passed validation and admission. On a
+// journal-backed store the create is durable before Create returns; a journal
+// failure poisons the store (ErrDurability) rather than diverging from disk.
+func (s *Store) Create(kind Kind, spec Spec) (*Request, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.jerr != nil {
+		return nil, s.jerr
+	}
 	s.nextID++
 	now := s.now()
 	req := &Request{
@@ -112,7 +215,10 @@ func (s *Store) Create(kind Kind, spec Spec) *Request {
 	s.byID[req.ID] = req
 	s.order = append(s.order, req.ID)
 	s.bump()
-	return req.clone()
+	if err := s.appendLocked(journalRecord{Op: opCreate, Rev: s.rev, NextID: s.nextID, Req: req}); err != nil {
+		return nil, err
+	}
+	return req.clone(), nil
 }
 
 // Get returns a copy of the request, or false.
@@ -146,13 +252,91 @@ func (s *Store) List(tenant string) []*Request {
 func (s *Store) UpdateStatus(id string, mutate func(now time.Time, req *Request)) (*Request, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.jerr != nil {
+		return nil, s.jerr
+	}
 	req, ok := s.byID[id]
 	if !ok {
 		return nil, fmt.Errorf("service: no request %q", id)
 	}
 	mutate(s.now(), req)
 	s.bump()
+	if err := s.appendLocked(journalRecord{Op: opStatus, Rev: s.rev, Req: req}); err != nil {
+		return nil, err
+	}
 	return req.clone(), nil
+}
+
+// appendLocked writes one record through the journal (no-op for the memory
+// store) and compacts past the size threshold. Caller holds s.mu — which is
+// what makes compaction atomic with respect to writers: the snapshot, the
+// rewrite, and every append happen under the same lock, so a compacted log
+// can never miss a record that raced it.
+func (s *Store) appendLocked(rec journalRecord) error {
+	if s.jw == nil {
+		return nil
+	}
+	b, err := encodeRecord(rec)
+	if err == nil {
+		err = s.jw.Append(b)
+	}
+	if err != nil {
+		s.jerr = fmt.Errorf("%w: append: %v", ErrDurability, err)
+		return s.jerr
+	}
+	s.reg.Counter("dvdc_service_journal_appends_total").Inc()
+	if s.compactBytes > 0 && s.jw.Size() > s.compactBytes {
+		return s.compactLocked()
+	}
+	return nil
+}
+
+// compactLocked rewrites the journal as one snapshot record. Caller holds s.mu.
+func (s *Store) compactLocked() error {
+	if s.jw == nil {
+		return nil
+	}
+	snap := &journalSnapshot{Rev: s.rev, NextID: s.nextID}
+	for _, id := range s.order {
+		snap.Requests = append(snap.Requests, s.byID[id])
+	}
+	b, err := encodeRecord(journalRecord{Op: opSnapshot, Rev: s.rev, Snapshot: snap})
+	if err == nil {
+		err = s.jw.Rewrite(b)
+	}
+	if err != nil {
+		s.jerr = fmt.Errorf("%w: compact: %v", ErrDurability, err)
+		return s.jerr
+	}
+	s.reg.Counter("dvdc_service_journal_compactions_total").Inc()
+	return nil
+}
+
+// Compact forces a snapshot+truncate rewrite of the journal (no-op for the
+// memory store).
+func (s *Store) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.jerr != nil {
+		return s.jerr
+	}
+	return s.compactLocked()
+}
+
+// Close flushes and closes the journal; reads keep working, further writes
+// fail with ErrDurability. A memory-only store is unaffected. Idempotent.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.jw == nil {
+		return nil
+	}
+	err := s.jw.Close()
+	s.jw = nil
+	if s.jerr == nil {
+		s.jerr = fmt.Errorf("%w: store closed", ErrDurability)
+	}
+	return err
 }
 
 // ActiveByTenant counts non-terminal requests per tenant (admission input).
