@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -49,10 +50,26 @@ func main() {
 		obsBench    = flag.Bool("obs", false, "run the telemetry-plane overhead comparison on a live cluster and exit")
 		obRounds    = flag.Int("obs-rounds", 20, "timed checkpoint rounds per telemetry case")
 		obsJSONPath = flag.String("obs-json", "BENCH_obs.json", "where -obs writes its JSON artifact")
+
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the whole run here")
 	)
 	var common cli.Common
 	common.ObsAddrFlag(flag.CommandLine)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		pf, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dvdcbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer pf.Close()
+		if err := pprof.StartCPUProfile(pf); err != nil {
+			fmt.Fprintf(os.Stderr, "dvdcbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	if *datapath {
 		if err := runDatapath(*dpRounds, *seed, *dpJSONPath); err != nil {

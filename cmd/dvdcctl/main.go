@@ -36,6 +36,16 @@
 //	dvdcctl top -scrape 127.0.0.1:7501,127.0.0.1:7502        # watch
 //	dvdcctl top -scrape 127.0.0.1:7501,127.0.0.1:7502 -once  # CI assertion
 //	dvdcctl postmortem -dir ./postmortems                    # newest bundle
+//
+// The health subcommand renders the SLO health engine's verdict from every
+// endpoint running with -health (burn-rate state per rule, one table row per
+// source), and trace can jump from a request object to the reconcile round
+// traces its status links:
+//
+//	dvdcctl health -scrape 127.0.0.1:7501 -interval 2s   # watch the SLOs
+//	dvdcctl health -scrape 127.0.0.1:7501 -once          # CI: nonzero when firing
+//	dvdcctl get   -addr 127.0.0.1:7500 -id ckpt-1 -o wide   # shows round trace ids
+//	dvdcctl trace -addr 127.0.0.1:7500 -id ckpt-1           # renders those rounds
 package main
 
 import (
@@ -49,9 +59,12 @@ import (
 	"syscall"
 	"time"
 
+	"dvdc/internal/chaos"
 	"dvdc/internal/cli"
 	"dvdc/internal/cluster"
 	"dvdc/internal/obs"
+	"dvdc/internal/obs/collect"
+	"dvdc/internal/obs/health"
 	"dvdc/internal/runtime"
 	"dvdc/internal/service"
 )
@@ -64,6 +77,9 @@ func main() {
 			return
 		case "top":
 			topMain(os.Args[2:])
+			return
+		case "health":
+			healthMain(os.Args[2:])
 			return
 		case "postmortem":
 			postmortemMain(os.Args[2:])
@@ -88,15 +104,17 @@ func main() {
 // sessionFlags are the cluster-shape flags the interactive session and the
 // serve subcommand share.
 type sessionFlags struct {
-	nodeList string
-	stacks   int
-	pages    int
-	pageSize int
-	seed     int64
-	tol      int
-	group    int
-	compress bool
-	common   cli.Common
+	nodeList  string
+	stacks    int
+	pages     int
+	pageSize  int
+	seed      int64
+	tol       int
+	group     int
+	compress  bool
+	slowNode  int
+	slowDelay time.Duration
+	common    cli.Common
 }
 
 func (s *sessionFlags) register(fs *flag.FlagSet) {
@@ -108,11 +126,15 @@ func (s *sessionFlags) register(fs *flag.FlagSet) {
 	fs.IntVar(&s.tol, "tolerance", 1, "parity blocks per group (RS code; 1 = XOR)")
 	fs.IntVar(&s.group, "groupsize", 0, "members per RAID group (0 = nodes - tolerance)")
 	fs.BoolVar(&s.compress, "compress", false, "flate-compress delta shipments")
+	fs.IntVar(&s.slowNode, "slow-node", -1,
+		"chaos: stretch every frame to/from this node index by -slow-delay (the habitually slow peer the health engine must catch)")
+	fs.DurationVar(&s.slowDelay, "slow-delay", 400*time.Millisecond, "chaos: per-frame delay for -slow-node")
 	s.common.RPCTimeoutFlag(fs, runtime.DefaultRPCTimeout)
 	s.common.FanoutFlag(fs)
 	s.common.ObsAddrFlag(fs)
 	s.common.TraceJSONLFlag(fs)
 	s.common.PostmortemFlag(fs, "on partial commit")
+	s.common.HealthFlag(fs)
 }
 
 // session is a configured cluster with its control plane mounted: the
@@ -123,6 +145,7 @@ type session struct {
 	svc       *service.Service
 	tracer    *obs.Tracer
 	registry  *obs.Registry
+	health    *health.Evaluator
 	closeSink func()
 	srv       *obs.Server
 }
@@ -156,7 +179,8 @@ func (s *sessionFlags) open(opts service.Options) *session {
 	fatal(err)
 	se.closeSink = closeSink
 	coord.SetObserver(se.tracer, se.registry)
-	if rec := s.common.Recorder(se.registry, se.tracer); rec != nil {
+	rec := s.common.Recorder(se.registry, se.tracer)
+	if rec != nil {
 		rec.SetMeta("seed", s.seed)
 		rec.SetMeta("nodes", len(addrs))
 		coord.SetFlightRecorder(rec)
@@ -164,6 +188,19 @@ func (s *sessionFlags) open(opts service.Options) *session {
 	coord.SetCompress(s.compress)
 	coord.SetRPCTimeout(s.common.RPCTimeout)
 	coord.SetFanout(s.common.Fanout)
+	if s.slowNode >= 0 && s.slowDelay > 0 {
+		// A chaos injector on the coordinator's dial path, carrying only the
+		// standing slow-node delay: the seeded smoke case for the health
+		// engine's round-time SLO.
+		inj := chaos.New(s.seed, chaos.Config{})
+		inj.Pause()
+		for i, a := range addrMap {
+			inj.Register(i, a)
+		}
+		inj.SlowNode(s.slowNode, s.slowDelay)
+		coord.SetDialer(inj.Dialer(chaos.Coordinator))
+		fmt.Printf("chaos: node %d slowed %v/frame\n", s.slowNode, s.slowDelay)
+	}
 
 	se.exec = runtime.NewServiceExecutor(coord)
 	opts.Tracer, opts.Registry = se.tracer, se.registry
@@ -176,7 +213,13 @@ func (s *sessionFlags) open(opts service.Options) *session {
 			svc.Replay.DroppedBytes, svc.Replay.Duration.Round(time.Microsecond))
 	}
 
-	srv, err := s.common.ServeObs("dvdcctl", se.registry, se.tracer, se.svc.Mount)
+	mounts := []obs.Mount{se.svc.Mount}
+	ev, healthMount := s.common.StartHealth(se.registry, rec)
+	se.health = ev
+	if healthMount != nil {
+		mounts = append(mounts, healthMount)
+	}
+	srv, err := s.common.ServeObs("dvdcctl", se.registry, se.tracer, mounts...)
 	fatal(err)
 	se.srv = srv
 
@@ -190,6 +233,7 @@ func (s *sessionFlags) open(opts service.Options) *session {
 // coordinator), then the connections, then the telemetry sinks.
 func (se *session) close() {
 	se.svc.Stop()
+	se.health.Stop()
 	se.coord.Close()
 	if se.srv != nil {
 		se.srv.Close()
@@ -337,6 +381,15 @@ func printRequest(r *service.Request) {
 	fmt.Println()
 }
 
+// printRequestWide is printRequest plus the request↔trace linkage: the trace
+// ids of the reconcile rounds that drove the request, newest last.
+func printRequestWide(r *service.Request) {
+	printRequest(r)
+	if len(r.Status.TraceIDs) > 0 {
+		fmt.Printf("           traces=%s\n", strings.Join(r.Status.TraceIDs, ","))
+	}
+}
+
 // applyMain submits one request object over the HTTP API. Quota rejections
 // exit 3 (backpressure), other failures exit 1, so scripts can tell "try
 // again later" from "broken".
@@ -408,11 +461,21 @@ func getMain(args []string) {
 		id     = fs.String("id", "", "one request id (default: list all)")
 		tenant = fs.String("tenant", "", "list only this tenant's requests")
 		quotas = fs.Bool("quotas", false, "print the per-tenant quota table instead")
+		output = fs.String("o", "", "output format: wide adds the reconcile round trace ids (jump into them with dvdcctl trace)")
 	)
 	fs.Parse(args) //nolint:errcheck // ExitOnError
 	if *addr == "" {
 		fmt.Fprintln(os.Stderr, "dvdcctl get: -addr is required")
 		os.Exit(2)
+	}
+	wide := *output == "wide"
+	if *output != "" && !wide {
+		fmt.Fprintf(os.Stderr, "dvdcctl get: unknown -o %q (want wide)\n", *output)
+		os.Exit(2)
+	}
+	show := printRequest
+	if wide {
+		show = printRequestWide
 	}
 	c := service.NewClient(*addr)
 	switch {
@@ -426,12 +489,12 @@ func getMain(args []string) {
 	case *id != "":
 		req, err := c.Get(*id)
 		fatal(err)
-		printRequest(req)
+		show(req)
 	default:
 		reqs, err := c.List(*tenant)
 		fatal(err)
 		for _, r := range reqs {
-			printRequest(r)
+			show(r)
 		}
 		fmt.Printf("%d request(s)\n", len(reqs))
 	}
@@ -455,6 +518,9 @@ func watchMain(args []string) {
 
 // traceMain renders a JSONL span file: by default a one-line summary per
 // trace; with -trace or -epoch, the full ASCII timeline of one span tree.
+// With -addr and -id it jumps from a request object to its round traces
+// instead: fetch the request over the API, follow Status.TraceIDs, and
+// render each tree from the same endpoint's /spans buffer.
 func traceMain(args []string) {
 	fs := flag.NewFlagSet("dvdcctl trace", flag.ExitOnError)
 	var (
@@ -462,10 +528,20 @@ func traceMain(args []string) {
 		traceID = fs.String("trace", "", "render this trace id (hex)")
 		epoch   = fs.Int64("epoch", -1, "render the checkpoint round that targeted this epoch")
 		width   = fs.Int("width", 100, "timeline width in columns")
+		addr    = fs.String("addr", "", "service API address: jump from a request (-id) to its round traces")
+		reqID   = fs.String("id", "", "with -addr: request id whose round traces to render")
 	)
 	fs.Parse(args) //nolint:errcheck // ExitOnError
+	if *addr != "" || *reqID != "" {
+		if *addr == "" || *reqID == "" {
+			fmt.Fprintln(os.Stderr, "dvdcctl trace: -addr and -id go together")
+			os.Exit(2)
+		}
+		traceRequest(*addr, *reqID, *width)
+		return
+	}
 	if *in == "" {
-		fmt.Fprintln(os.Stderr, "dvdcctl trace: -in is required")
+		fmt.Fprintln(os.Stderr, "dvdcctl trace: -in is required (or -addr with -id)")
 		os.Exit(2)
 	}
 	r := os.Stdin
@@ -517,6 +593,38 @@ func traceMain(args []string) {
 		fmt.Println(line)
 	}
 	fmt.Printf("%d traces; render one with -trace <id> or -epoch <n>\n", len(order))
+}
+
+// traceRequest is the request→trace jump: fetch one request object, follow
+// its Status.TraceIDs into the endpoint's /spans buffer, and render each
+// reconcile round's timeline. The serve subcommand mounts /api/v1 and /spans
+// on the same listener, so one -addr reaches both.
+func traceRequest(addr, id string, width int) {
+	req, err := service.NewClient(addr).Get(id)
+	fatal(err)
+	if len(req.Status.TraceIDs) == 0 {
+		fatal(fmt.Errorf("request %s carries no round trace ids yet (no reconcile attempt has started, or the server runs without -obs-addr tracing)", req.ID))
+	}
+	col := collect.New()
+	if _, err := col.ScrapeSpans(addr); err != nil {
+		fatal(fmt.Errorf("scrape /spans from %s: %w", addr, err))
+	}
+	printRequestWide(req)
+	for _, hexID := range req.Status.TraceIDs {
+		tid, err := strconv.ParseUint(strings.TrimPrefix(hexID, "0x"), 16, 64)
+		fatal(err)
+		tree := col.Tree(tid)
+		if tree == nil || len(tree.Spans) == 0 {
+			fmt.Printf("trace %s: no spans in the endpoint's buffer (evicted?)\n", hexID)
+			continue
+		}
+		verdict := "closed"
+		if err := tree.Verify(); err != nil {
+			verdict = err.Error()
+		}
+		fmt.Printf("trace %s (%d spans, %s):\n", hexID, len(tree.Spans), verdict)
+		fmt.Print(obs.RenderTimeline(tree.Spans, width))
+	}
 }
 
 func fatal(err error) {

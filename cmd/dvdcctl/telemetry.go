@@ -1,14 +1,17 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"strings"
 	"time"
 
 	"dvdc/internal/obs"
 	"dvdc/internal/obs/collect"
+	"dvdc/internal/obs/health"
 )
 
 // topMain is the live cluster view: scrape every -obs-addr endpoint's /spans
@@ -53,6 +56,75 @@ func topMain(args []string) {
 		}
 		time.Sleep(*interval)
 	}
+}
+
+// healthMain watches the cluster's SLO verdict: scrape every endpoint's
+// /api/v1/health report (served by processes run with -health) and render the
+// per-rule table. One-shot mode is the CI gate — exit 2 when an endpoint is
+// unreachable, 1 when any rule is firing, 0 when the cluster is healthy.
+func healthMain(args []string) {
+	fs := flag.NewFlagSet("dvdcctl health", flag.ExitOnError)
+	var (
+		scrape   = fs.String("scrape", "", "comma-separated obs endpoints (host:port of each -obs-addr)")
+		interval = fs.Duration("interval", 2*time.Second, "refresh interval in watch mode")
+		once     = fs.Bool("once", false, "render one refresh and exit nonzero when firing (for scripts and CI)")
+		width    = fs.Int("width", 100, "render width in columns")
+		count    = fs.Int("n", 0, "stop after this many refreshes (0 = until interrupted)")
+	)
+	fs.Parse(args) //nolint:errcheck // ExitOnError
+	if *scrape == "" {
+		fmt.Fprintln(os.Stderr, "dvdcctl health: -scrape is required (comma-separated obs endpoints)")
+		os.Exit(2)
+	}
+	var sources []string
+	for _, a := range strings.Split(*scrape, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			sources = append(sources, a)
+		}
+	}
+	client := &http.Client{Timeout: 5 * time.Second}
+	for i := 0; ; i++ {
+		reports := make([]health.SourceReport, 0, len(sources))
+		for _, src := range sources {
+			reports = append(reports, fetchHealth(client, src))
+		}
+		if i > 0 {
+			fmt.Println(strings.Repeat("-", *width))
+		}
+		fmt.Print(health.RenderReports(reports, *width))
+		if *once || (*count > 0 && i+1 >= *count) {
+			code := 0
+			for _, sr := range reports {
+				switch {
+				case sr.Err != nil:
+					code = 2
+				case code == 0 && !sr.Report.Healthy:
+					code = 1
+				}
+			}
+			os.Exit(code)
+		}
+		time.Sleep(*interval)
+	}
+}
+
+// fetchHealth pulls one endpoint's /api/v1/health document.
+func fetchHealth(client *http.Client, src string) health.SourceReport {
+	sr := health.SourceReport{Source: src}
+	resp, err := client.Get("http://" + src + "/api/v1/health")
+	if err != nil {
+		sr.Err = err
+		return sr
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		sr.Err = fmt.Errorf("HTTP %d (is the endpoint running with -health?)", resp.StatusCode)
+		return sr
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&sr.Report); err != nil {
+		sr.Err = fmt.Errorf("decode /api/v1/health: %w", err)
+	}
+	return sr
 }
 
 // postmortemMain renders a flight-recorder bundle: the pre-failure window of

@@ -35,6 +35,7 @@ func main() {
 	common.FanoutFlag(flag.CommandLine)
 	common.ObsAddrFlag(flag.CommandLine)
 	common.PostmortemFlag(flag.CommandLine, "on SIGQUIT")
+	common.HealthFlag(flag.CommandLine)
 	flag.Parse()
 
 	var opts runtime.NodeOptions
@@ -52,7 +53,13 @@ func main() {
 	node.SetRPCTimeout(common.RPCTimeout)
 	node.SetFanout(common.Fanout)
 	fmt.Printf("dvdcnode listening on %s\n", node.Addr())
-	srv, err := common.ServeObs("dvdcnode", opts.Registry, opts.Tracer)
+	ev, healthMount := common.StartHealth(opts.Registry, rec)
+	defer ev.Stop()
+	var mounts []obs.Mount
+	if healthMount != nil {
+		mounts = append(mounts, healthMount)
+	}
+	srv, err := common.ServeObs("dvdcnode", opts.Registry, opts.Tracer, mounts...)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "dvdcnode: %v\n", err)
 		os.Exit(1)

@@ -17,6 +17,9 @@
 //	dvdcsoak -service -controller-restarts 2   # kill/restart the controller mid-soak (journal replay)
 //	dvdcsoak -trace-jsonl soak.jsonl           # then: dvdcctl trace -in soak.jsonl
 //	dvdcsoak -obs-addr 127.0.0.1:9100          # live /metrics during the soak
+//	dvdcsoak -health -obs-addr 127.0.0.1:9100  # plus SLO burn-rate alerts on /api/v1/health
+//	dvdcsoak -slow-node 1 -slow-delay 200ms -round-interval 250ms \
+//	    -health -obs-addr 127.0.0.1:9100       # watch `dvdcctl health` catch the slow node
 package main
 
 import (
@@ -47,6 +50,9 @@ type soakFlags struct {
 	service                             bool
 	stateDir                            string
 	controllerRestarts                  int
+	slowNode, slowFrom, slowUntil       int
+	slowDelay                           time.Duration
+	roundInterval                       time.Duration
 	verbose                             bool
 	common                              cli.Common
 }
@@ -79,11 +85,19 @@ func registerFlags(fs *flag.FlagSet) *soakFlags {
 		"directory for the service store's journal (requires -service; empty = a temp dir when -controller-restarts is set, else no journal)")
 	fs.IntVar(&f.controllerRestarts, "controller-restarts", 0,
 		"kill and restart the service controller this many times mid-soak, replaying its journal (requires -service)")
+	fs.IntVar(&f.slowNode, "slow-node", -1,
+		"make this node habitually slow: every frame it sends or receives stalls by -slow-delay (-1 = off; the health engine's round-time SLO should fire)")
+	fs.DurationVar(&f.slowDelay, "slow-delay", 400*time.Millisecond, "per-frame stall for -slow-node")
+	fs.IntVar(&f.slowFrom, "slow-from", 0, "first round (0-based) the -slow-node stall is active")
+	fs.IntVar(&f.slowUntil, "slow-until", 0, "first round the stall is lifted (0 = through the end)")
+	fs.DurationVar(&f.roundInterval, "round-interval", 0,
+		"wall-clock pause between rounds (0 = flat out); paces a soak being watched over -obs-addr")
 	fs.BoolVar(&f.verbose, "v", false, "print the full fault log and per-round digest")
 	f.common.RPCTimeoutFlag(fs, runtime.DefaultSoakRPCTimeout)
 	f.common.TraceJSONLFlag(fs)
 	f.common.ObsAddrFlag(fs)
 	f.common.PostmortemFlag(fs, "on invariant violation or SIGQUIT")
+	f.common.HealthFlag(fs)
 	return &f
 }
 
@@ -112,11 +126,20 @@ func main() {
 		PPartition:    f.pPart,
 		KillMTBF:      f.killMTBF,
 		RPCTimeout:    f.common.RPCTimeout,
+		RoundInterval: f.roundInterval,
 		Service:       f.service,
 		Registry:      obs.NewRegistry(),
 
 		StateDir:           f.stateDir,
 		ControllerRestarts: f.controllerRestarts,
+
+		SlowNode:  f.slowNode,
+		SlowDelay: f.slowDelay,
+		SlowFrom:  f.slowFrom,
+		SlowUntil: f.slowUntil,
+	}
+	if f.slowNode < 0 {
+		cfg.SlowDelay = 0
 	}
 	if (f.stateDir != "" || f.controllerRestarts > 0) && !f.service {
 		fatal(fmt.Errorf("-state-dir and -controller-restarts require -service"))
@@ -129,11 +152,6 @@ func main() {
 		fatal(err)
 		defer tf.Close()
 		cfg.TraceSink = tf
-	}
-	srv, err := f.common.ServeObs("dvdcsoak", cfg.Registry, cfg.Tracer)
-	fatal(err)
-	if srv != nil {
-		defer srv.Close()
 	}
 	if f.common.PostmortemDir != "" {
 		cfg.PostmortemDir = f.common.PostmortemDir
@@ -150,6 +168,21 @@ func main() {
 				}
 			}
 		}()
+	}
+	// The soak additionally ticks the evaluator once per round so the alert
+	// timeline is aligned to round boundaries even on a fast run; the wall
+	// clock loop keeps /api/v1/health fresh between rounds.
+	ev, healthMount := f.common.StartHealth(cfg.Registry, cfg.Recorder)
+	defer ev.Stop()
+	cfg.Health = ev
+	var mounts []obs.Mount
+	if healthMount != nil {
+		mounts = append(mounts, healthMount)
+	}
+	srv, err := f.common.ServeObs("dvdcsoak", cfg.Registry, cfg.Tracer, mounts...)
+	fatal(err)
+	if srv != nil {
+		defer srv.Close()
 	}
 
 	mode := "direct"

@@ -66,6 +66,7 @@ const (
 	Partition
 	Kill
 	Restart
+	Slow
 )
 
 // String names the kind.
@@ -85,6 +86,8 @@ func (k Kind) String() string {
 		return "kill"
 	case Restart:
 		return "restart"
+	case Slow:
+		return "slow"
 	}
 	return fmt.Sprintf("Kind(%d)", uint8(k))
 }
@@ -173,6 +176,7 @@ type Injector struct {
 	paused      bool
 	pairs       map[Pair]*pairState
 	partitioned map[Pair]bool
+	slow        map[int]time.Duration
 	nodeByAddr  map[string]int
 	log         []Fault
 	counters    *metrics.Counters
@@ -187,6 +191,7 @@ func New(seed int64, cfg Config) *Injector {
 		cfg:         cfg.withDefaults(),
 		pairs:       map[Pair]*pairState{},
 		partitioned: map[Pair]bool{},
+		slow:        map[int]time.Duration{},
 		nodeByAddr:  map[string]int{},
 		counters:    metrics.NewCounters(),
 	}
@@ -305,6 +310,42 @@ func (i *Injector) HealPair(a, b int) {
 	defer i.mu.Unlock()
 	delete(i.partitioned, Pair{a, b})
 	delete(i.partitioned, Pair{b, a})
+}
+
+// SlowNode imposes a sustained per-frame delivery delay on every wire edge
+// touching the node, in both directions, until HealNode — the "habitually
+// slow peer" the health engine's round-time SLO must catch. Unlike armed
+// one-shots it is a standing condition (like a partition): it applies
+// regardless of Pause and is logged once at call time, not per frame, so the
+// fault log stays deterministic across timing-dependent retry counts.
+func (i *Injector) SlowNode(node int, d time.Duration) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if d <= 0 {
+		delete(i.slow, node)
+		return
+	}
+	i.slow[node] = d
+	i.record(Fault{Round: i.round, Kind: Slow, Node: node, Pair: Pair{UnknownPeer, UnknownPeer}, Note: fmt.Sprintf("delay %v/frame", d)})
+}
+
+// HealNode lifts a SlowNode delay.
+func (i *Injector) HealNode(node int) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	delete(i.slow, node)
+}
+
+// SlowDelay returns the standing delay for frames on a pair (the larger of
+// the two endpoints' delays; zero when neither is slowed).
+func (i *Injector) SlowDelay(p Pair) time.Duration {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	d := i.slow[p.Src]
+	if dd := i.slow[p.Dst]; dd > d {
+		d = dd
+	}
+	return d
 }
 
 // Partitioned reports whether a pair is currently severed.

@@ -120,6 +120,13 @@ func (c *faultConn) Write(b []byte) (int, error) {
 		c.wtrack.advance(b)
 		return c.Conn.Write(b)
 	}
+	// A standing SlowNode delay stretches every frame on the edge. It is not
+	// a frameFault decision: it applies even while probabilistic chaos is
+	// paused, and it is never recorded per frame (the fault log got exactly
+	// one entry when SlowNode was called).
+	if d := c.inj.SlowDelay(c.pair); d > 0 {
+		time.Sleep(d)
+	}
 	frameEnd := start + 4 + bodyLen
 	caps := frameCaps{
 		corrupt:   true, // the length prefix is always fully inside the chunk

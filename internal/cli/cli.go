@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"dvdc/internal/obs"
+	"dvdc/internal/obs/health"
 )
 
 // Common holds the values of the shared flags. Each binary registers only
@@ -24,6 +25,7 @@ type Common struct {
 	PostmortemDir string
 	RoundInterval time.Duration
 	TraceJSONL    string
+	Health        bool
 }
 
 // ObsAddrFlag registers -obs-addr.
@@ -62,6 +64,27 @@ func (c *Common) TraceJSONLFlag(fs *flag.FlagSet) {
 		"stream every span to this JSONL file (render with dvdcctl trace)")
 }
 
+// HealthFlag registers -health.
+func (c *Common) HealthFlag(fs *flag.FlagSet) {
+	fs.BoolVar(&c.Health, "health", false,
+		"run the SLO health engine: burn-rate alerts on /api/v1/health and /healthz?verbose=1, dvdc_slo_*/dvdc_alert_* metrics")
+}
+
+// StartHealth builds and starts the background health evaluator -health asks
+// for, with the default cluster SLO rules installed, and returns it together
+// with the mux mount serving /api/v1/health (pass it to ServeObs). Returns
+// (nil, nil) when the flag is unset; callers Stop the evaluator on shutdown
+// (a nil evaluator's Stop is a no-op).
+func (c *Common) StartHealth(reg *obs.Registry, rec *obs.FlightRecorder) (*health.Evaluator, obs.Mount) {
+	if !c.Health || reg == nil {
+		return nil, nil
+	}
+	ev := health.New(health.Options{Registry: reg, Recorder: rec})
+	health.InstallDefaultRules(ev, reg, health.Objectives{})
+	ev.Start()
+	return ev, ev.Mount()
+}
+
 // WantTracer reports whether any parsed flag needs a tracer built.
 func (c *Common) WantTracer() bool { return c.ObsAddr != "" || c.TraceJSONL != "" }
 
@@ -94,6 +117,9 @@ func (c *Common) ServeObs(name string, reg *obs.Registry, tr *obs.Tracer, mounts
 	if c.ObsAddr == "" {
 		return nil, nil
 	}
+	// Every binary serving an obs endpoint reports its own Go runtime:
+	// goroutine count, heap bytes, GC pauses.
+	obs.MountGoRuntime(reg)
 	srv, err := obs.Serve(c.ObsAddr, reg, tr, mounts...)
 	if err != nil {
 		return nil, err

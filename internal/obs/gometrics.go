@@ -1,0 +1,59 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+)
+
+// gcPauseBuckets spans 10µs to 1s: GC pauses sit well below request
+// latencies, so LatencyBuckets would waste its resolution.
+func gcPauseBuckets() []float64 {
+	return []float64{
+		0.00001, 0.000025, 0.00005, 0.0001, 0.00025, 0.0005,
+		0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1,
+	}
+}
+
+// MountGoRuntime registers the process's own Go runtime vitals on the
+// registry: dvdc_go_goroutines, dvdc_go_heap_bytes, dvdc_go_gc_total as func
+// series, plus a dvdc_go_gc_pause_seconds histogram fed from the runtime's
+// pause ring by an OnCollect hook (so pauses accumulate once per scrape, not
+// per call). Idempotent: mounting twice on the same registry replaces the
+// hook instead of double-feeding the histogram. Health rules read these to
+// watch the controller itself.
+func MountGoRuntime(r *Registry) {
+	if r == nil {
+		return
+	}
+	r.GaugeFunc("dvdc_go_goroutines", func() float64 { return float64(runtime.NumGoroutine()) })
+	r.GaugeFunc("dvdc_go_heap_bytes", func() float64 {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return float64(ms.HeapAlloc)
+	})
+	r.CounterFunc("dvdc_go_gc_total", func() float64 {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return float64(ms.NumGC)
+	})
+	pause := r.Histogram("dvdc_go_gc_pause_seconds", gcPauseBuckets())
+	var mu sync.Mutex
+	var lastGC uint32
+	r.OnCollect("go-runtime", func() {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		mu.Lock()
+		defer mu.Unlock()
+		n := ms.NumGC - lastGC
+		if n > uint32(len(ms.PauseNs)) {
+			n = uint32(len(ms.PauseNs))
+		}
+		// PauseNs is a circular buffer indexed by (NumGC+255)%256 for the most
+		// recent pause; walk the n new entries newest-first.
+		for i := uint32(0); i < n; i++ {
+			ns := ms.PauseNs[(ms.NumGC+255-i)%uint32(len(ms.PauseNs))]
+			pause.Observe(float64(ns) / 1e9)
+		}
+		lastGC = ms.NumGC
+	})
+}

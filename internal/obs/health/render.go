@@ -1,0 +1,91 @@
+package health
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// SourceReport pairs one scraped health report with where it came from.
+type SourceReport struct {
+	Source string
+	Report Report
+	Err    error
+}
+
+// RenderReports renders one table row per rule per source, firing rules
+// starred, plus a trailing verdict line. Deterministic for golden tests.
+func RenderReports(reports []SourceReport, width int) string {
+	if width <= 0 {
+		width = 100
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-22s %-22s %-9s %10s %10s %11s %8s\n",
+		"SOURCE", "RULE", "STATE", "VALUE", "OBJECTIVE", "BURN f/s", "FIRED")
+	firing := 0
+	for _, sr := range reports {
+		if sr.Err != nil {
+			fmt.Fprintf(&b, "%-22s %s\n", trunc(sr.Source, 22), "ERROR "+sr.Err.Error())
+			continue
+		}
+		for _, r := range sr.Report.Rules {
+			state := r.State
+			if r.State == StateFiring {
+				state = "*firing"
+				firing++
+			}
+			fmt.Fprintf(&b, "%-22s %-22s %-9s %10s %10s %5.1f/%-5.1f %8d\n",
+				trunc(sr.Source, 22), trunc(r.Name, 22), state,
+				renderValue(r.Value, r.Unit), renderValue(r.Objective, r.Unit),
+				capBurn(r.BurnFast), capBurn(r.BurnSlow), r.Fired)
+		}
+	}
+	if firing > 0 {
+		fmt.Fprintf(&b, "UNHEALTHY: %d rule(s) firing\n", firing)
+	} else {
+		b.WriteString("healthy\n")
+	}
+	out := b.String()
+	if width < 200 {
+		lines := strings.Split(out, "\n")
+		for i, l := range lines {
+			if len(l) > width {
+				lines[i] = l[:width]
+			}
+		}
+		out = strings.Join(lines, "\n")
+	}
+	return out
+}
+
+// renderValue formats seconds-valued rules as rounded durations and
+// everything else as a short float.
+func renderValue(v float64, unit string) string {
+	if unit == "s" {
+		d := time.Duration(v * float64(time.Second))
+		switch {
+		case d >= time.Second:
+			return d.Round(10 * time.Millisecond).String()
+		case d >= time.Millisecond:
+			return d.Round(10 * time.Microsecond).String()
+		default:
+			return d.Round(time.Microsecond).String()
+		}
+	}
+	return fmt.Sprintf("%.2f", v)
+}
+
+// capBurn keeps runaway burn ratios from blowing up the column layout.
+func capBurn(b float64) float64 {
+	if b > 99.9 {
+		return 99.9
+	}
+	return b
+}
+
+func trunc(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-1] + "…"
+}

@@ -25,9 +25,30 @@ func NewMux(reg *Registry, tr *Tracer, mounts ...Mount) *http.ServeMux {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		reg.WritePrometheus(w) //nolint:errcheck // client went away; nothing to do
 	})
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintln(w, "ok")
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, req *http.Request) {
+		fn := reg.Healthz()
+		if fn == nil {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			fmt.Fprintln(w, "ok")
+			return
+		}
+		verbose := req.URL.Query().Get("verbose") != ""
+		ok, body := fn(verbose)
+		if !verbose {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			if !ok {
+				w.WriteHeader(http.StatusServiceUnavailable)
+				fmt.Fprintln(w, "degraded")
+				return
+			}
+			fmt.Fprintln(w, "ok")
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if !ok {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		json.NewEncoder(w).Encode(body) //nolint:errcheck
 	})
 	mux.HandleFunc("/spans", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")

@@ -17,6 +17,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	if r == nil {
 		return nil
 	}
+	r.Collect()
 	type row struct {
 		labels []Label
 		kind   seriesKind

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"sync"
@@ -18,7 +19,7 @@ import (
 // small and uniform so the ring holds a long pre-failure window cheaply.
 type FlightEntry struct {
 	Time  time.Time         `json:"time"`
-	Kind  string            `json:"kind"`            // "span" | "rpc" | "chaos" | "note"
+	Kind  string            `json:"kind"`            // "span" | "rpc" | "chaos" | "note" | "alert"
 	Name  string            `json:"name"`            // span name, RPC message type, fault kind
 	Lane  string            `json:"lane,omitempty"`  // who did the work (coord, nodeN, chaos)
 	Peer  string            `json:"peer,omitempty"`  // RPC peer / fault pair
@@ -167,6 +168,17 @@ func (r *FlightRecorder) Span(s Span) {
 	r.Record(e)
 }
 
+// Alert records one SLO alert transition (the health evaluator's feed), so a
+// postmortem bundle carries the "why was this dumped" trail alongside the raw
+// telemetry.
+func (r *FlightRecorder) Alert(rule, state string, kv ...string) {
+	if r == nil {
+		return
+	}
+	attrs := kvMap(append([]string{"state", state}, kv...))
+	r.Record(FlightEntry{Kind: "alert", Name: rule, Attrs: attrs})
+}
+
 // Chaos records one injected fault (the chaos injector's feed).
 func (r *FlightRecorder) Chaos(kind, pair, note string) {
 	if r == nil {
@@ -228,9 +240,12 @@ func (r *FlightRecorder) AutoDump(reason string) (string, error) {
 // Dump writes a postmortem bundle under dir and returns the bundle path:
 //
 //	<dir>/postmortem-<reason>-<nanotime>/
-//	    flight.jsonl   the ring's entries, oldest first, one JSON per line
-//	    metrics.prom   Prometheus exposition snapshot (when a registry is set)
-//	    meta.json      reason, timestamp, entry/drop counts, run metadata
+//	    flight.jsonl     the ring's entries, oldest first, one JSON per line
+//	    metrics.prom     Prometheus exposition snapshot (when a registry is set)
+//	    goroutine.pprof  full goroutine stacks (text, debug=2) — stuck
+//	                     reconcilers show as parked goroutines
+//	    heap.pprof       heap profile (binary, `go tool pprof`-able)
+//	    meta.json        reason, timestamp, entry/drop counts, run metadata
 func (r *FlightRecorder) Dump(dir, reason string) (string, error) {
 	if r == nil {
 		return "", nil
@@ -286,6 +301,27 @@ func (r *FlightRecorder) Dump(dir, reason string) (string, error) {
 		if werr != nil {
 			return "", werr
 		}
+	}
+
+	// Profiles are best-effort: a postmortem must never fail because the
+	// runtime could not serialize a profile.
+	for _, p := range []struct {
+		file, profile string
+		debug         int
+	}{
+		{"goroutine.pprof", "goroutine", 2},
+		{"heap.pprof", "heap", 0},
+	} {
+		prof := pprof.Lookup(p.profile)
+		if prof == nil {
+			continue
+		}
+		pf, err := os.Create(filepath.Join(bundle, p.file))
+		if err != nil {
+			continue
+		}
+		prof.WriteTo(pf, p.debug) //nolint:errcheck
+		pf.Close()
 	}
 
 	bm := BundleMeta{

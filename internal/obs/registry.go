@@ -139,6 +139,75 @@ func (h *Histogram) snapshot() histSnapshot {
 	}
 }
 
+// HistSnapshot is a consistent point-in-time copy of a histogram, exported so
+// readers (the health evaluator, benchmarks) can diff cumulative bucket counts
+// between scrapes and compute windowed quantiles. Counts has one extra +Inf
+// slot beyond Bounds.
+type HistSnapshot struct {
+	Bounds []float64
+	Counts []int64
+	Sum    float64
+	Total  int64
+}
+
+// Snapshot copies the histogram's current state.
+func (h *Histogram) Snapshot() HistSnapshot {
+	s := h.snapshot()
+	return HistSnapshot{Bounds: s.bounds, Counts: s.counts, Sum: s.sum, Total: s.total}
+}
+
+// Sub returns the bucket-wise difference s - base (same bounds assumed), i.e.
+// the distribution of observations that happened between the two snapshots.
+func (s HistSnapshot) Sub(base HistSnapshot) HistSnapshot {
+	out := HistSnapshot{Bounds: s.Bounds, Sum: s.Sum - base.Sum, Total: s.Total - base.Total}
+	out.Counts = make([]int64, len(s.Counts))
+	copy(out.Counts, s.Counts)
+	for i := range base.Counts {
+		if i < len(out.Counts) {
+			out.Counts[i] -= base.Counts[i]
+		}
+	}
+	return out
+}
+
+// Quantile estimates the q-quantile of the snapshot with the same linear
+// interpolation as Histogram.Quantile. Returns 0 with no observations.
+func (s HistSnapshot) Quantile(q float64) float64 {
+	if s.Total <= 0 || len(s.Bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Total)
+	var cum int64
+	for i, c := range s.Counts {
+		if c <= 0 {
+			continue
+		}
+		if float64(cum+c) >= rank {
+			if i >= len(s.Bounds) { // overflow bucket
+				return s.Bounds[len(s.Bounds)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = s.Bounds[i-1]
+			}
+			hi := s.Bounds[i]
+			frac := (rank - float64(cum)) / float64(c)
+			if frac < 0 {
+				frac = 0
+			}
+			return lo + (hi-lo)*frac
+		}
+		cum += c
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}
+
 // LatencyBuckets is the registry-wide bucket layout for wall-clock
 // histograms, in seconds: 100µs to 10s, roughly 2.5x per step.
 func LatencyBuckets() []float64 {
@@ -208,10 +277,25 @@ type counterMount struct {
 // same name and labels returns the same *Counter. A nil *Registry hands back
 // standalone unregistered instruments, so instrumented code needs no guards.
 type Registry struct {
-	mu     sync.Mutex
-	byKey  map[string]*series
-	mounts []counterMount
+	mu       sync.Mutex
+	byKey    map[string]*series
+	mounts   []counterMount
+	hooks    []collectHook
+	healthz  atomic.Value // HealthzFunc
+	collects atomic.Int64
 }
+
+// collectHook is a named pre-scrape callback; named so re-registration
+// replaces instead of stacking (mounting Go runtime metrics twice must not
+// double-feed the GC pause histogram).
+type collectHook struct {
+	name string
+	fn   func()
+}
+
+// HealthzFunc answers /healthz: ok is the liveness verdict, body the document
+// rendered when the caller asked for the verbose JSON form.
+type HealthzFunc func(verbose bool) (ok bool, body any)
 
 // NewRegistry builds an empty registry.
 func NewRegistry() *Registry { return &Registry{byKey: map[string]*series{}} }
@@ -335,6 +419,159 @@ func (r *Registry) MountCounterSet(name, labelKey string, set *CounterSet) {
 		}
 	}
 	r.mounts = append(r.mounts, counterMount{name: name, labelKey: labelKey, set: set})
+}
+
+// OnCollect registers (or replaces, by name) a hook run by Collect before any
+// reader snapshots the registry — the seam that lets lazily computed series
+// (GC pause deltas, health evaluations) refresh exactly once per scrape.
+func (r *Registry) OnCollect(name string, fn func()) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i := range r.hooks {
+		if r.hooks[i].name == name {
+			r.hooks[i].fn = fn
+			return
+		}
+	}
+	r.hooks = append(r.hooks, collectHook{name: name, fn: fn})
+}
+
+// Collect runs the registered OnCollect hooks (outside the registry lock, so
+// hooks may observe and register series). WritePrometheus calls it; in-process
+// readers should too before sampling func series that depend on hooks.
+func (r *Registry) Collect() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	hooks := make([]func(), 0, len(r.hooks))
+	for _, h := range r.hooks {
+		hooks = append(hooks, h.fn)
+	}
+	r.mu.Unlock()
+	r.collects.Add(1)
+	for _, fn := range hooks {
+		fn()
+	}
+}
+
+// SetHealthz installs the process health provider consulted by the /healthz
+// endpoint of every mux built over this registry. The health evaluator
+// installs itself here; without a provider /healthz reports plain liveness.
+func (r *Registry) SetHealthz(fn HealthzFunc) {
+	if r == nil {
+		return
+	}
+	r.healthz.Store(fn)
+}
+
+// Healthz returns the installed provider, or nil.
+func (r *Registry) Healthz() HealthzFunc {
+	if r == nil {
+		return nil
+	}
+	fn, _ := r.healthz.Load().(HealthzFunc)
+	return fn
+}
+
+// Value reads one scalar series (counter, gauge, or func). The bool reports
+// whether the series exists.
+func (r *Registry) Value(name string, kv ...string) (float64, bool) {
+	if r == nil {
+		return 0, false
+	}
+	key := seriesKey(name, parseLabels(name, kv))
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.byKey[key]
+	if !ok {
+		return 0, false
+	}
+	switch s.kind {
+	case kindCounter:
+		return float64(s.counter.Value()), true
+	case kindGauge:
+		return float64(s.gauge.Value()), true
+	case kindCounterFunc, kindGaugeFunc:
+		return s.fn(), true
+	}
+	return 0, false
+}
+
+// HistogramSnapshot reads one histogram series' current cumulative state.
+func (r *Registry) HistogramSnapshot(name string, kv ...string) (HistSnapshot, bool) {
+	if r == nil {
+		return HistSnapshot{}, false
+	}
+	key := seriesKey(name, parseLabels(name, kv))
+	r.mu.Lock()
+	s, ok := r.byKey[key]
+	r.mu.Unlock()
+	if !ok || s.kind != kindHistogram {
+		return HistSnapshot{}, false
+	}
+	return s.hist.Snapshot(), true
+}
+
+// FamilySample is one series of a family as read by Family.
+type FamilySample struct {
+	Labels []Label
+	Value  float64
+}
+
+// Family enumerates every scalar series registered under name, in a
+// deterministic label order. Histogram series are skipped (use
+// HistogramSnapshot); mounted counter sets are included.
+func (r *Registry) Family(name string) []FamilySample {
+	if r == nil {
+		return nil
+	}
+	var out []FamilySample
+	r.mu.Lock()
+	for _, s := range r.byKey {
+		if s.name != name {
+			continue
+		}
+		switch s.kind {
+		case kindCounter:
+			out = append(out, FamilySample{Labels: s.labels, Value: float64(s.counter.Value())})
+		case kindGauge:
+			out = append(out, FamilySample{Labels: s.labels, Value: float64(s.gauge.Value())})
+		case kindCounterFunc, kindGaugeFunc:
+			out = append(out, FamilySample{Labels: s.labels, Value: s.fn()})
+		}
+	}
+	mounts := append([]counterMount(nil), r.mounts...)
+	r.mu.Unlock()
+	for _, m := range mounts {
+		if m.name != name {
+			continue
+		}
+		snap := m.set.Snapshot()
+		for _, entry := range m.set.Names() {
+			out = append(out, FamilySample{
+				Labels: []Label{{Key: m.labelKey, Value: entry}},
+				Value:  float64(snap[entry]),
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return renderLabels(out[i].Labels) < renderLabels(out[j].Labels)
+	})
+	return out
+}
+
+// FamilySum sums every scalar series of a family (0 when none exist) — the
+// one-line read for "how many peers are flagged outliers right now".
+func (r *Registry) FamilySum(name string) float64 {
+	var sum float64
+	for _, s := range r.Family(name) {
+		sum += s.Value
+	}
+	return sum
 }
 
 // CounterSet is a labelled set of monotonically increasing counters that

@@ -71,6 +71,34 @@ func (r *Ring[T]) Dropped() int64 {
 	return r.dropped
 }
 
+// Filter copies the elements keep reports true for, oldest first, without
+// materializing the rest. The predicate sees a pointer into the ring's own
+// storage and must not retain it past the call; only matches are copied out.
+// This is the per-trace span lookup's fast path: a long run's ring holds
+// dozens of rounds of spans, and copying them all to keep a few hundred put
+// an O(retained-spans) term in every round.
+func (r *Ring[T]) Filter(keep func(*T) bool) []T {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []T
+	if r.full {
+		for i := r.next; i < len(r.buf); i++ {
+			if keep(&r.buf[i]) {
+				out = append(out, r.buf[i])
+			}
+		}
+	}
+	for i := 0; i < r.next; i++ {
+		if keep(&r.buf[i]) {
+			out = append(out, r.buf[i])
+		}
+	}
+	return out
+}
+
 // Snapshot copies the ring's contents, oldest first.
 func (r *Ring[T]) Snapshot() []T {
 	if r == nil {

@@ -13,6 +13,7 @@ import (
 	"io"
 	"math/rand"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -72,6 +73,7 @@ type Tracer struct {
 	mu      sync.Mutex
 	sink    *bufio.Writer
 	sinkErr error
+	encBuf  []byte // sink encode scratch, reused under mu
 	tap     func(Span)
 }
 
@@ -222,8 +224,12 @@ func (t *Tracer) record(s Span) {
 	t.ring.Push(s)
 	t.mu.Lock()
 	if t.sink != nil && t.sinkErr == nil {
-		enc := json.NewEncoder(t.sink)
-		if err := enc.Encode(s); err != nil {
+		// Hand-rolled encoding (identical bytes to encoding/json, pinned by
+		// TestSpanAppendJSON): reflection-based Encode was the single biggest
+		// CPU item of the span hot path under -cpuprofile.
+		t.encBuf = s.appendJSON(t.encBuf[:0])
+		t.encBuf = append(t.encBuf, '\n')
+		if _, err := t.sink.Write(t.encBuf); err != nil {
 			t.sinkErr = err
 		}
 	}
@@ -232,6 +238,100 @@ func (t *Tracer) record(s Span) {
 	if tap != nil {
 		tap(s)
 	}
+}
+
+// appendJSON appends the span's one-line JSON encoding, byte-identical to
+// encoding/json's (field order, omitempty, sorted attr keys, HTML escaping).
+func (s Span) appendJSON(b []byte) []byte {
+	b = append(b, `{"trace":`...)
+	b = strconv.AppendUint(b, s.Trace, 10)
+	b = append(b, `,"span":`...)
+	b = strconv.AppendUint(b, s.ID, 10)
+	if s.Parent != 0 {
+		b = append(b, `,"parent":`...)
+		b = strconv.AppendUint(b, s.Parent, 10)
+	}
+	b = append(b, `,"name":`...)
+	b = appendJSONString(b, s.Name)
+	if s.Lane != "" {
+		b = append(b, `,"lane":`...)
+		b = appendJSONString(b, s.Lane)
+	}
+	b = append(b, `,"start":`...)
+	b = appendJSONTime(b, s.Start)
+	b = append(b, `,"end":`...)
+	b = appendJSONTime(b, s.End)
+	if len(s.Attrs) > 0 {
+		b = append(b, `,"attrs":`...)
+		b = appendJSONAttrs(b, s.Attrs)
+	}
+	if len(s.Events) > 0 {
+		b = append(b, `,"events":[`...)
+		for i, e := range s.Events {
+			if i > 0 {
+				b = append(b, ',')
+			}
+			b = append(b, `{"time":`...)
+			b = appendJSONTime(b, e.Time)
+			b = append(b, `,"name":`...)
+			b = appendJSONString(b, e.Name)
+			if len(e.Attrs) > 0 {
+				b = append(b, `,"attrs":`...)
+				b = appendJSONAttrs(b, e.Attrs)
+			}
+			b = append(b, '}')
+		}
+		b = append(b, ']')
+	}
+	if s.Err != "" {
+		b = append(b, `,"err":`...)
+		b = appendJSONString(b, s.Err)
+	}
+	return append(b, '}')
+}
+
+// appendJSONTime appends a time.Time exactly as its MarshalJSON does
+// (quoted RFC 3339 with subsecond precision).
+func appendJSONTime(b []byte, t time.Time) []byte {
+	b = append(b, '"')
+	b = t.AppendFormat(b, time.RFC3339Nano)
+	return append(b, '"')
+}
+
+// appendJSONAttrs appends a string map as encoding/json does: keys sorted.
+func appendJSONAttrs(b []byte, m map[string]string) []byte {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	b = append(b, '{')
+	for i, k := range keys {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = appendJSONString(b, k)
+		b = append(b, ':')
+		b = appendJSONString(b, m[k])
+	}
+	return append(b, '}')
+}
+
+// appendJSONString appends a JSON string. The fast path covers the plain
+// ASCII the instrumentation emits; anything needing escapes (quotes,
+// control characters, HTML characters, non-ASCII) takes encoding/json's own
+// path so the escaping rules can never drift.
+func appendJSONString(b []byte, s string) []byte {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c < 0x20 || c >= 0x7f || c == '"' || c == '\\' || c == '<' || c == '>' || c == '&' {
+			quoted, _ := json.Marshal(s)
+			return append(b, quoted...)
+		}
+	}
+	b = append(b, '"')
+	b = append(b, s...)
+	return append(b, '"')
 }
 
 // Spans copies the ring, oldest first.
@@ -243,14 +343,13 @@ func (t *Tracer) Spans() []Span {
 }
 
 // TraceSpans returns the ring's spans belonging to one trace, oldest first.
+// It filters inside the ring rather than snapshotting it: callers run this
+// once per round against a ring retaining many rounds of spans.
 func (t *Tracer) TraceSpans(trace uint64) []Span {
-	var out []Span
-	for _, s := range t.Spans() {
-		if s.Trace == trace {
-			out = append(out, s)
-		}
+	if t == nil {
+		return nil
 	}
-	return out
+	return t.ring.Filter(func(s *Span) bool { return s.Trace == trace })
 }
 
 // Active is a live span handle. All methods tolerate a nil receiver, so

@@ -2,9 +2,11 @@ package obs
 
 import (
 	"bytes"
+	"encoding/json"
 	"errors"
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestTracerSpanTree(t *testing.T) {
@@ -171,5 +173,37 @@ func TestRenderTimeline(t *testing.T) {
 	}
 	if got := RenderTimeline(nil, 40); got != "(empty trace)\n" {
 		t.Errorf("empty render = %q", got)
+	}
+}
+
+// TestSpanAppendJSON pins the hand-rolled sink encoding to encoding/json
+// byte for byte: field order, omitempty behavior, sorted attr keys, time
+// formatting, and the escaping rules (including HTML escaping, which
+// json.Marshal applies by default). If the Span struct grows a field and
+// appendJSON is not taught about it, this test is what fails.
+func TestSpanAppendJSON(t *testing.T) {
+	base := time.Date(2026, 8, 8, 12, 30, 45, 123456789, time.UTC)
+	spans := []Span{
+		{Trace: 1, ID: 2, Name: "round", Start: base, End: base.Add(time.Second)},
+		{Trace: 1, ID: 3, Parent: 2, Name: "rpc MsgPrepare", Lane: "node1",
+			Start: base, End: base.Add(50 * time.Millisecond),
+			Attrs: map[string]string{"peer": "node2", "zz": "last", "aa": "first"}},
+		{Trace: 9, ID: 4, Name: `quote " backslash \ html <&>`, Lane: "näöde",
+			Start: base.Truncate(time.Second), End: base.Truncate(time.Second),
+			Err: "control \t\n chars"},
+		{Trace: 5, ID: 6, Name: "with events", Start: base, End: base.Add(time.Minute),
+			Events: []Event{
+				{Time: base.Add(time.Second), Name: "fault", Attrs: map[string]string{"kind": "drop"}},
+				{Time: base.Add(2 * time.Second), Name: "plain"},
+			}},
+	}
+	for _, s := range spans {
+		want, err := json.Marshal(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := s.appendJSON(nil); string(got) != string(want) {
+			t.Errorf("appendJSON drifted from encoding/json:\n got %s\nwant %s", got, want)
+		}
 	}
 }

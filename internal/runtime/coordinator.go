@@ -586,6 +586,9 @@ func (c *Coordinator) recordRound(r RoundStats) {
 	}
 	reg.Counter("dvdc_rounds_total", "result", result).Inc()
 	reg.Histogram("dvdc_round_shipped_bytes", obs.ByteBuckets()).Observe(float64(r.BytesShipped))
+	// End-to-end round wall, the health engine's round_time_p99 signal. Phase
+	// walls are already split out in dvdc_round_phase_seconds.
+	reg.Histogram("dvdc_round_seconds", obs.LatencyBuckets()).Observe((r.PrepareWall + r.CommitWall).Seconds())
 }
 
 // installVM pushes a rebuilt or evicted committed image to its new host.

@@ -12,6 +12,7 @@ import (
 	"dvdc/internal/cluster"
 	"dvdc/internal/obs"
 	"dvdc/internal/obs/collect"
+	"dvdc/internal/obs/health"
 	"dvdc/internal/wire"
 )
 
@@ -35,6 +36,23 @@ type SoakConfig struct {
 	KillMTBF      float64       // per-node MTBF in virtual seconds (0 = no kills)
 	RoundSeconds  float64       // virtual seconds per round on the kill clock (default 10)
 	RPCTimeout    time.Duration // coordinator/node per-call deadline (default 5s)
+	RoundInterval time.Duration // wall-clock pause after each round (0 = flat out); paces a soak being watched over -obs-addr
+
+	// Slow-node plan: a standing per-frame delivery delay on every wire edge
+	// touching SlowNode for 0-based rounds [SlowFrom, SlowUntil) — the
+	// "habitually slow peer" the health engine's round-time SLO is built to
+	// catch. SlowDelay <= 0 disables; SlowUntil <= 0 means through the last
+	// round. Unlike armed one-shots the delay applies even while
+	// probabilistic chaos is paused, so it stretches whole checkpoint rounds.
+	SlowDelay time.Duration
+	SlowNode  int
+	SlowFrom  int
+	SlowUntil int
+
+	// Health, when set, is ticked once after each round's invariant
+	// verification, so a fixed-step evaluator's SLO windows march in lockstep
+	// with rounds: N slow rounds are N evaluation ticks, deterministically.
+	Health *health.Evaluator
 
 	// Service routes every checkpoint and recovery through the declarative
 	// control plane (internal/service) instead of invoking the coordinator
@@ -378,6 +396,34 @@ func (e *soakEnv) recoverAndRepair(parent obs.SpanContext, down []int) error {
 	return e.shadow.Rebalance(rb, e.coord.Epoch())
 }
 
+// applySlowPlan arms or heals the standing slow-node delay at the boundary
+// rounds of the configured window (r is the 0-based round index).
+func (e *soakEnv) applySlowPlan(r int) {
+	cfg := e.cfg
+	if cfg.SlowDelay <= 0 {
+		return
+	}
+	until := cfg.SlowUntil
+	if until <= 0 {
+		until = cfg.Rounds
+	}
+	if r == cfg.SlowFrom {
+		e.inj.SlowNode(cfg.SlowNode, cfg.SlowDelay)
+	}
+	if r == until {
+		e.inj.HealNode(cfg.SlowNode)
+	}
+}
+
+// tickHealth advances the run's health evaluator one step, if one is wired.
+// Called after each round's verification so the evaluator samples quiesced,
+// fully-recorded metrics.
+func (e *soakEnv) tickHealth() {
+	if e.cfg.Health != nil {
+		e.cfg.Health.Tick()
+	}
+}
+
 // armRoundFaults arms this round's one-shot faults (coordinator pairs, an
 // optional transient partition, chunk-frame faults) from the harness stream,
 // identically in both soak modes. Returns the partitioned pair ({-1,-1} if
@@ -619,6 +665,7 @@ func RunSoak(cfg SoakConfig) (*SoakResult, error) {
 	for r := 0; r < cfg.Rounds; r++ {
 		round := inj.NextRound()
 		rr := RoundRecord{Round: round}
+		e.applySlowPlan(r)
 		var victims []int
 		if e.kills != nil {
 			victims = e.kills.Victims(r)
@@ -705,8 +752,12 @@ func RunSoak(cfg SoakConfig) (*SoakResult, error) {
 		if err := e.verifyRound(round, &rr); err != nil {
 			return e.fail(round, "%v", err)
 		}
+		e.tickHealth()
 		rr.Epoch = coord.Epoch()
 		e.res.Rounds = append(e.res.Rounds, rr)
+		if cfg.RoundInterval > 0 && r < cfg.Rounds-1 {
+			time.Sleep(cfg.RoundInterval)
+		}
 	}
 
 	return e.finish()

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -236,6 +237,7 @@ func runSoakService(cfg SoakConfig) (*SoakResult, error) {
 	for r := 0; r < cfg.Rounds; r++ {
 		round := e.inj.NextRound()
 		rr := RoundRecord{Round: round}
+		e.applySlowPlan(r)
 		var victims []int
 		if e.kills != nil {
 			victims = e.kills.Victims(r)
@@ -371,6 +373,29 @@ func runSoakService(cfg SoakConfig) (*SoakResult, error) {
 		if err := e.verifyRound(round, &rr); err != nil {
 			return e.fail(round, "%v", err)
 		}
+		e.tickHealth()
+		// Request↔trace linkage: every request the reconciler drove to
+		// Succeeded must carry the trace id(s) of its reconcile rounds, and
+		// each must resolve to a closed single-root span tree in the
+		// collector — the end-to-end jump from a request object to the exact
+		// protocol rounds that served it.
+		for _, req := range []*service.Request{ckDone, rsDone} {
+			if req == nil || req.Status.Phase != service.PhaseSucceeded {
+				continue
+			}
+			if len(req.Status.TraceIDs) == 0 {
+				return e.fail(round, "request %s succeeded with no trace ids", req.ID)
+			}
+			for _, hexID := range req.Status.TraceIDs {
+				tid, err := strconv.ParseUint(hexID, 16, 64)
+				if err != nil {
+					return e.fail(round, "request %s trace id %q not hex: %v", req.ID, hexID, err)
+				}
+				if _, err := e.checkTrace(tid); err != nil {
+					return e.fail(round, "request %s trace %s: %v", req.ID, hexID, err)
+				}
+			}
+		}
 		// In service mode the control plane owns the root of every protocol
 		// span tree: the round's trace must carry the reconcile span that
 		// drove it.
@@ -388,6 +413,9 @@ func runSoakService(cfg SoakConfig) (*SoakResult, error) {
 		}
 		rr.Epoch = e.coord.Epoch()
 		e.res.Rounds = append(e.res.Rounds, rr)
+		if cfg.RoundInterval > 0 && r < cfg.Rounds-1 {
+			time.Sleep(cfg.RoundInterval)
+		}
 	}
 
 	return e.finish()

@@ -15,7 +15,10 @@ import (
 //	GET  /api/v1/requests[?tenant=]  list (submission order)
 //	GET  /api/v1/requests/{id}       one object
 //	GET  /api/v1/requests/{id}/watch long-poll: ?rev=N blocks until the store
-//	                                 moves past N or ?timeout= (default 30s)
+//	                                 moves past N or ?timeout= (default 30s);
+//	                                 &stream=1 upgrades to a chunked ndjson
+//	                                 stream of one watch reply per change,
+//	                                 ending at a terminal phase or timeout
 //	GET  /api/v1/quotas              per-tenant quotas and live usage
 //
 // Rejections are typed: 400 carries {"error": ...} for malformed specs, 429
@@ -152,9 +155,13 @@ func (s *Service) handleWatch(w http.ResponseWriter, r *http.Request) {
 		}
 		timeout = d
 	}
+	deadline := time.Now().Add(timeout)
+	if v := r.URL.Query().Get("stream"); v != "" && v != "0" && v != "false" {
+		s.streamWatch(w, r, id, rev, deadline)
+		return
+	}
 	// Long poll: return as soon as the store moves past rev (or the request
 	// is already terminal, which can never change again), else at timeout.
-	deadline := time.Now().Add(timeout)
 	for {
 		req, ok := s.Store.Get(id)
 		if !ok {
@@ -164,6 +171,40 @@ func (s *Service) handleWatch(w http.ResponseWriter, r *http.Request) {
 		cur := s.Store.Rev()
 		if req.Terminal() || cur > rev || !time.Now().Before(deadline) {
 			writeJSON(w, http.StatusOK, watchReply{Rev: cur, Request: req})
+			return
+		}
+		s.Store.Wait(rev, deadline)
+	}
+}
+
+// streamWatch writes a chunked ndjson stream: the request's current state
+// immediately, then one watch reply per store revision that changed it, until
+// a terminal phase, the deadline, or the client going away. The store's Wait
+// is level-triggered with no per-watcher queue, so a consumer that stops
+// reading blocks only this handler's goroutine on the response write — never
+// the store or other watchers (pinned by TestStreamSlowConsumerDoesNotWedge).
+func (s *Service) streamWatch(w http.ResponseWriter, r *http.Request, id string, rev int64, deadline time.Time) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-cache")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	ctx := r.Context()
+	for {
+		req, ok := s.Store.Get(id)
+		if !ok {
+			return // deleted mid-watch: end the stream
+		}
+		cur := s.Store.Rev()
+		if cur > rev {
+			if err := enc.Encode(watchReply{Rev: cur, Request: req}); err != nil {
+				return // client went away
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+			rev = cur
+		}
+		if req.Terminal() || ctx.Err() != nil || !time.Now().Before(deadline) {
 			return
 		}
 		s.Store.Wait(rev, deadline)

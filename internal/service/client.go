@@ -97,10 +97,12 @@ func (c *Client) List(tenant string) ([]*Request, error) {
 	return reply.Items, nil
 }
 
-// Watch long-polls the request until it reaches a terminal phase or the
-// timeout passes, invoking observe (may be nil) on every status change. It
-// returns the last copy seen; hitting the timeout before a terminal phase is
-// an error naming the stuck phase.
+// Watch follows the request's chunked ndjson watch stream until it reaches a
+// terminal phase or the timeout passes, invoking observe (may be nil) on
+// every phase change. It returns the last copy seen; hitting the timeout
+// before a terminal phase is an error naming the stuck phase. A stream the
+// server ends early (its own per-connection timeout) is simply re-opened from
+// the last seen revision.
 func (c *Client) Watch(id string, timeout time.Duration, observe func(*Request)) (*Request, error) {
 	deadline := time.Now().Add(timeout)
 	rev := int64(-1)
@@ -118,21 +120,37 @@ func (c *Client) Watch(id string, timeout time.Duration, observe func(*Request))
 		if poll > watchDefaultTimeout {
 			poll = watchDefaultTimeout
 		}
-		path := fmt.Sprintf("/api/v1/requests/%s/watch?rev=%d&timeout=%s", url.PathEscape(id), rev, poll)
-		var reply watchReply
-		if err := c.getJSON(path, &reply); err != nil {
+		path := fmt.Sprintf("/api/v1/requests/%s/watch?rev=%d&timeout=%s&stream=1", url.PathEscape(id), rev, poll)
+		resp, err := c.http.Get(c.base + path)
+		if err != nil {
 			return last, err
 		}
-		if reply.Request != nil && (last == nil || reply.Rev > rev) {
-			if observe != nil && (last == nil || last.Status.Phase != reply.Request.Status.Phase) {
-				observe(reply.Request)
+		if resp.StatusCode != http.StatusOK {
+			err := decodeError(resp)
+			resp.Body.Close()
+			return last, err
+		}
+		dec := json.NewDecoder(resp.Body)
+		for {
+			var reply watchReply
+			if err := dec.Decode(&reply); err != nil {
+				break // stream ended (server timeout or transport hiccup): re-open
 			}
-			last = reply.Request
+			if reply.Request != nil && (last == nil || reply.Rev > rev) {
+				if observe != nil && (last == nil || last.Status.Phase != reply.Request.Status.Phase) {
+					observe(reply.Request)
+				}
+				last = reply.Request
+			}
+			if reply.Rev > rev {
+				rev = reply.Rev
+			}
+			if last != nil && last.Terminal() {
+				resp.Body.Close()
+				return last, nil
+			}
 		}
-		rev = reply.Rev
-		if last != nil && last.Terminal() {
-			return last, nil
-		}
+		resp.Body.Close()
 	}
 }
 

@@ -27,6 +27,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
 )
 
 // MaxRecord bounds one payload. Anything larger in a length prefix is treated
@@ -103,8 +104,9 @@ type Options struct {
 	// SyncBatch is the number of appends between fsyncs; <= 1 syncs every
 	// append. Close and Sync always flush regardless of the batch.
 	SyncBatch int
-	// OnFsync, if set, is called after every fsync of the log (metrics hook).
-	OnFsync func()
+	// OnFsync, if set, is called after every fsync of the log with the fsync's
+	// wall-clock duration (metrics hook: count + latency histogram).
+	OnFsync func(d time.Duration)
 }
 
 // RecoverInfo summarizes what Recover found on disk.
@@ -122,7 +124,7 @@ type Writer struct {
 	size    int64
 	batch   int
 	pending int
-	onFsync func()
+	onFsync func(time.Duration)
 	scratch []byte
 }
 
@@ -225,12 +227,13 @@ func (w *Writer) syncLocked() error {
 	if w.pending == 0 {
 		return nil
 	}
+	t0 := time.Now()
 	if err := w.f.Sync(); err != nil {
 		return err
 	}
 	w.pending = 0
 	if w.onFsync != nil {
-		w.onFsync()
+		w.onFsync(time.Since(t0))
 	}
 	return nil
 }
@@ -264,9 +267,11 @@ func (w *Writer) Rewrite(payloads ...[]byte) error {
 	if err != nil {
 		return err
 	}
+	t0 := time.Now()
 	if _, err := f.Write(buf); err == nil {
 		err = f.Sync()
 	}
+	fsyncWall := time.Since(t0)
 	if cerr := f.Close(); err == nil {
 		err = cerr
 	}
@@ -288,7 +293,7 @@ func (w *Writer) Rewrite(payloads ...[]byte) error {
 	w.f.Close()
 	w.f, w.size, w.pending = nf, int64(len(buf)), 0
 	if w.onFsync != nil {
-		w.onFsync()
+		w.onFsync(fsyncWall)
 	}
 	return nil
 }

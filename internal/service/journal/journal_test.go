@@ -7,6 +7,7 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 )
 
 func openFresh(t *testing.T, opts Options) (*Writer, string) {
@@ -166,7 +167,7 @@ func TestJournalPartialHeaderTreatedAsFresh(t *testing.T) {
 
 func TestJournalFsyncBatching(t *testing.T) {
 	fsyncs := 0
-	w, _ := openFresh(t, Options{SyncBatch: 4, OnFsync: func() { fsyncs++ }})
+	w, _ := openFresh(t, Options{SyncBatch: 4, OnFsync: func(time.Duration) { fsyncs++ }})
 	for i := 0; i < 10; i++ {
 		if err := w.Append([]byte{byte(i)}); err != nil {
 			t.Fatal(err)

@@ -105,6 +105,30 @@ type Status struct {
 	Casualties []int       `json:"casualties,omitempty"`
 	Message    string      `json:"message,omitempty"`
 	Conditions []Condition `json:"conditions,omitempty"`
+	// TraceIDs are the root trace ids (hex, one per reconcile attempt, oldest
+	// first, newest-8 kept) of the rounds the reconciler ran for this request.
+	// Journaled like any status write, so the request→trace link survives a
+	// controller restart; `dvdcctl get -o wide` and `dvdcctl trace` read it.
+	TraceIDs []string `json:"trace_ids,omitempty"`
+}
+
+// maxTraceIDs bounds how many attempt traces a status carries so a
+// retry-heavy request cannot grow its journal record without bound.
+const maxTraceIDs = 8
+
+// addTraceID appends one attempt's root trace id, deduping consecutive
+// repeats and keeping only the newest maxTraceIDs.
+func (s *Status) addTraceID(id string) {
+	if id == "" {
+		return
+	}
+	if n := len(s.TraceIDs); n > 0 && s.TraceIDs[n-1] == id {
+		return
+	}
+	s.TraceIDs = append(s.TraceIDs, id)
+	if len(s.TraceIDs) > maxTraceIDs {
+		s.TraceIDs = append([]string(nil), s.TraceIDs[len(s.TraceIDs)-maxTraceIDs:]...)
+	}
 }
 
 // Request is one checkpoint or restore object. Spec is written once at

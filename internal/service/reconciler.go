@@ -226,20 +226,27 @@ func (r *Reconciler) pick() *Request {
 // InProgress write, so the loop parks rather than re-picking forever).
 func (r *Reconciler) execute(req *Request) bool {
 	attempt := req.Status.Retries + 1
-	if err := r.transition(req.ID, PhaseInProgress, func(now time.Time, req *Request) {
-		req.Status.ObservedGeneration = req.Generation
-		req.Status.setCondition(now, CondExecuting, true, "Attempt",
-			fmt.Sprintf("attempt %d of %d", attempt, r.maxRetries))
-	}); err != nil {
-		return false
-	}
-
+	// Root the attempt's trace before the InProgress write so the journaled
+	// status already links to it: a controller killed mid-attempt replays a
+	// request that still names the trace its rounds ran under.
 	span := r.tracer.Start(obs.SpanContext{}, "reconcile", "coord")
 	span.SetAttr("request", req.ID)
 	span.SetAttr("kind", string(req.Kind))
 	span.SetAttr("tenant", req.Spec.Tenant)
 	span.SetAttr("attempt", fmt.Sprintf("%d", attempt))
 	ctx := span.ContextOr(obs.SpanContext{})
+
+	if err := r.transition(req.ID, PhaseInProgress, func(now time.Time, req *Request) {
+		req.Status.ObservedGeneration = req.Generation
+		req.Status.setCondition(now, CondExecuting, true, "Attempt",
+			fmt.Sprintf("attempt %d of %d", attempt, r.maxRetries))
+		if span.TraceID() != 0 {
+			req.Status.addTraceID(fmt.Sprintf("%016x", span.TraceID()))
+		}
+	}); err != nil {
+		span.FinishErr(err)
+		return false
+	}
 
 	t0 := time.Now()
 	var epoch uint64

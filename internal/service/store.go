@@ -93,7 +93,10 @@ func OpenStore(dir string, opts DurableOptions) (*Store, ReplayInfo, error) {
 	t0 := time.Now()
 	jw, payloads, rinfo, err := journal.Recover(path, journal.Options{
 		SyncBatch: opts.SyncBatch,
-		OnFsync:   func() { reg.Counter("dvdc_service_journal_fsyncs_total").Inc() },
+		OnFsync: func(d time.Duration) {
+			reg.Counter("dvdc_service_journal_fsyncs_total").Inc()
+			reg.Histogram("dvdc_service_journal_fsync_seconds", obs.LatencyBuckets()).Observe(d.Seconds())
+		},
 	})
 	if err != nil {
 		return nil, info, fmt.Errorf("service: open journal: %w", err)
@@ -386,5 +389,6 @@ func (r *Request) clone() *Request {
 	out.Spec.Nodes = append([]int(nil), r.Spec.Nodes...)
 	out.Status.Casualties = append([]int(nil), r.Status.Casualties...)
 	out.Status.Conditions = append([]Condition(nil), r.Status.Conditions...)
+	out.Status.TraceIDs = append([]string(nil), r.Status.TraceIDs...)
 	return &out
 }

@@ -1,0 +1,87 @@
+package service
+
+import (
+	"strconv"
+	"testing"
+	"time"
+
+	"dvdc/internal/obs"
+)
+
+// TestStatusCarriesRoundTraceIDs pins the request↔trace linkage: a request
+// the reconciler drives to Succeeded carries the trace id of every reconcile
+// round in its Status, each resolving in the collector to a trace rooted by a
+// reconcile span — and, because the ids are stamped inside the journaled
+// InProgress transition, they survive a controller restart's replay.
+func TestStatusCarriesRoundTraceIDs(t *testing.T) {
+	dir := t.TempDir()
+	tr := obs.NewTracer(1 << 12)
+	exec := &fakeExec{}
+	svc, err := Open(exec, Options{StateDir: dir, Backoff: 2 * time.Millisecond, Tracer: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc.Start()
+
+	req, err := svc.Submit(KindCheckpoint, Spec{Tenant: "alpha", Steps: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done, err := svc.WaitTerminal(req.ID, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done.Status.Phase != PhaseSucceeded {
+		t.Fatalf("request ended %s: %s", done.Status.Phase, done.Status.Message)
+	}
+	if len(done.Status.TraceIDs) == 0 {
+		t.Fatal("Succeeded request carries no trace ids")
+	}
+	for _, hexID := range done.Status.TraceIDs {
+		tid, err := strconv.ParseUint(hexID, 16, 64)
+		if err != nil || len(hexID) != 16 {
+			t.Fatalf("trace id %q is not 16-digit hex: %v", hexID, err)
+		}
+		// The reconcile span wraps the terminal status write, so it finishes
+		// (and reaches the ring) strictly after WaitTerminal can return —
+		// give it a moment, as a real collector scrape naturally would.
+		found := false
+		var spans []obs.Span
+		for deadline := time.Now().Add(2 * time.Second); !found && !time.Now().After(deadline); {
+			spans = tr.TraceSpans(tid)
+			for _, s := range spans {
+				if s.Name == "reconcile" {
+					found = true
+				}
+			}
+			if !found {
+				time.Sleep(time.Millisecond)
+			}
+		}
+		if !found {
+			t.Fatalf("trace %s has no finished reconcile span; spans: %+v", hexID, spans)
+		}
+	}
+
+	// Restart: the replayed store must return the identical trace ids — the
+	// linkage is durable state, not a live-process artifact.
+	svc.Stop()
+	svc2, err := Open(&fakeExec{}, Options{StateDir: dir, Backoff: 2 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc2.Stop()
+	svc2.Start()
+	got, ok := svc2.Store.Get(req.ID)
+	if !ok {
+		t.Fatalf("request %s lost across restart", req.ID)
+	}
+	if len(got.Status.TraceIDs) != len(done.Status.TraceIDs) {
+		t.Fatalf("trace ids across restart = %v, want %v", got.Status.TraceIDs, done.Status.TraceIDs)
+	}
+	for i := range got.Status.TraceIDs {
+		if got.Status.TraceIDs[i] != done.Status.TraceIDs[i] {
+			t.Fatalf("trace ids across restart = %v, want %v", got.Status.TraceIDs, done.Status.TraceIDs)
+		}
+	}
+}
