@@ -1,0 +1,49 @@
+package health
+
+import (
+	"io"
+	"testing"
+	"time"
+
+	"dvdc/internal/obs"
+)
+
+// Repro for the r.mu/e.mu lock-order inversion: a prometheus scrape holds the
+// registry lock while reading dvdc_slo_* gauge funcs (which take e.mu), while
+// Tick holds e.mu during an alert transition and calls reg.Counter (r.mu).
+func TestScrapeTickDeadlockRepro(t *testing.T) {
+	reg := obs.NewRegistry()
+	e := New(Options{Registry: reg, FixedStep: time.Second})
+	val := 0.0
+	e.AddSignal(Signal{Name: "s", Kind: KindGauge, Probe: func() (float64, bool) { return val, true }})
+	e.AddRule(Rule{Name: "r", Signal: "s", Objective: 1, FastWindow: time.Second, SlowWindow: time.Second})
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 5000; i++ {
+			// toggle above/below objective so every few ticks transitions
+			if i%2 == 0 {
+				val = 10
+			} else {
+				val = 0
+			}
+			e.Tick()
+		}
+	}()
+	scrapeDone := make(chan struct{})
+	go func() {
+		defer close(scrapeDone)
+		for i := 0; i < 5000; i++ {
+			reg.WritePrometheus(io.Discard)
+		}
+	}()
+	timeout := time.After(20 * time.Second)
+	for _, ch := range []chan struct{}{done, scrapeDone} {
+		select {
+		case <-ch:
+		case <-timeout:
+			t.Fatal("deadlock: Tick and WritePrometheus wedged on r.mu/e.mu inversion")
+		}
+	}
+}
