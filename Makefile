@@ -14,7 +14,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/runtime/ ./internal/transport/ ./internal/chaos/ ./internal/core/ ./internal/sim/ ./internal/service/
+	$(GO) test -race ./internal/runtime/ ./internal/transport/ ./internal/chaos/ ./internal/core/ ./internal/sim/ ./internal/service/ ./internal/parity/ ./internal/wire/
 
 cover:
 	$(GO) test -coverprofile=cover.out ./internal/...
@@ -57,11 +57,14 @@ obs-demo:
 	$(GO) run ./cmd/dvdcctl trace -in /tmp/dvdc-trace.jsonl
 	$(GO) run ./cmd/dvdcctl trace -in /tmp/dvdc-trace.jsonl -epoch 2
 
-# Short fuzzing passes over the codecs, the chunk reassembly path, and the
-# service journal's recovery path.
+# Short fuzzing passes over the codecs, the chunk reassembly path, the
+# scatter-gather frame encoder, the GF(256) slice kernels, and the service
+# journal's recovery path.
 fuzz:
 	$(GO) test ./internal/wire/ -fuzz FuzzDecode -fuzztime 30s
 	$(GO) test ./internal/wire/ -fuzz FuzzChunkReassembly -fuzztime 30s
+	$(GO) test ./internal/wire/ -fuzz FuzzScatterGatherFrames -fuzztime 30s
+	$(GO) test ./internal/parity/ -fuzz FuzzGfSliceKernels -fuzztime 30s
 	$(GO) test ./internal/checkpoint/ -fuzz FuzzDecode -fuzztime 30s
 	$(GO) test ./internal/runtime/ -fuzz FuzzDecodeDelta -fuzztime 30s
 	$(GO) test ./internal/service/ -fuzz FuzzJournalReplay -fuzztime 30s

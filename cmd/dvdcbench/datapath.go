@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	goruntime "runtime"
+	"strings"
 	"time"
 
 	"dvdc/internal/cluster"
@@ -12,25 +13,48 @@ import (
 )
 
 // The -datapath mode compares the monolithic and chunked checkpoint data
-// paths on a live loopback cluster and records the result as
+// paths on live loopback clusters and records the result as
 // BENCH_datapath.json — the acceptance artifact for the chunked pipeline.
-// Each mode runs the same seeded workload for the same number of rounds;
-// heap pressure is measured as the process-wide MemStats delta around the
-// timed rounds (client and keepers share the process, so the delta covers
-// the full path, exactly like `go test -benchmem` over BenchmarkDataPath).
+// It doubles as the CI perf gate: the run fails (nonzero exit) unless the
+// default chunked path ships at least monolithic throughput on at most 1/3
+// of its allocated bytes per round, and the page-dedup cache cuts
+// repeated-epoch shipped bytes by at least half on the rewrite workload.
+//
+// All cases run the same seeded workload. To keep the throughput comparison
+// honest on a noisy host, the cases are interleaved: every trial runs a
+// block of rounds of each case back to back, so slow drift (CPU frequency,
+// noisy neighbors) hits all cases alike instead of whichever ran last. Each
+// block gets a fresh cluster that is torn down before the next — exactly one
+// cluster is ever alive, so every case sees the same small live heap (GC
+// mark assists scale with live bytes, and would otherwise tax the
+// allocation-heavy monolithic path for the other clusters' memory). Heap
+// pressure is the process-wide MemStats delta bracketing each case's blocks
+// (client and keepers share the process, so the delta covers the full path).
 
 // datapathCase is one measured configuration of the data path.
 type datapathCase struct {
 	Mode          string  `json:"mode"`
 	ChunkSize     int     `json:"chunk_size"` // -1 monolithic, 0 default chunked, >0 bytes
+	Workload      string  `json:"workload,omitempty"`
+	Dedup         bool    `json:"dedup,omitempty"`
 	Rounds        int     `json:"rounds"`
 	WallSeconds   float64 `json:"wall_seconds"`
 	BytesShipped  int64   `json:"bytes_shipped"`
 	ChunksShipped int64   `json:"chunks_shipped"`
+	DedupedPages  int64   `json:"deduped_pages,omitempty"`
 	ShippedMBPerS float64 `json:"shipped_mb_per_s"`
 	AllocBytes    uint64  `json:"alloc_bytes_total"`
 	AllocObjects  uint64  `json:"alloc_objects_total"`
 	BytesPerRound uint64  `json:"alloc_bytes_per_round"`
+}
+
+// saturationPoint is one rung of the concurrency ladder: w independent
+// chunked clusters checkpointing flat out over loopback at once.
+type saturationPoint struct {
+	Workers         int     `json:"workers"`
+	AggregateMBPerS float64 `json:"aggregate_mb_per_s"`
+	PerWorkerMBPerS float64 `json:"per_worker_mb_per_s"`
+	Scaling         float64 `json:"scaling_vs_single"` // aggregate / (workers * single-worker)
 }
 
 // datapathReport is the BENCH_datapath.json schema.
@@ -41,29 +65,218 @@ type datapathReport struct {
 	PageSize      int            `json:"page_size"`
 	StepsPerRound uint64         `json:"steps_per_round"`
 	Seed          int64          `json:"seed"`
+	Trials        int            `json:"interleaved_trials"`
 	Cases         []datapathCase `json:"cases"`
 
-	// Acceptance headline: monolithic over default-chunked ratios (>1 means
-	// the chunked path wins).
-	AllocBytesRatio float64 `json:"alloc_bytes_ratio_mono_over_chunked"`
-	ThroughputRatio float64 `json:"throughput_ratio_chunked_over_mono"`
+	// Acceptance headlines. AllocBytesRatio and ThroughputRatio compare
+	// monolithic to the default chunked case (>1 means chunked wins);
+	// DedupShippedDrop is the fraction of repeated-epoch bytes the page-hash
+	// cache kept off the wire under the rewrite workload.
+	AllocBytesRatio  float64 `json:"alloc_bytes_ratio_mono_over_chunked"`
+	ThroughputRatio  float64 `json:"throughput_ratio_chunked_over_mono"`
+	DedupShippedDrop float64 `json:"dedup_repeat_epoch_shipped_drop"`
+
+	Saturation []saturationPoint `json:"saturation,omitempty"`
+
+	GatePassed bool     `json:"gate_passed"`
+	GateChecks []string `json:"gate_checks"`
 }
 
-// runDatapath executes the comparison and writes the JSON artifact.
+// dpSpec names one configuration to measure.
+type dpSpec struct {
+	mode     string
+	chunk    int
+	workload string
+	dedup    bool
+}
+
+// dpCluster is a live loopback cluster plus its per-case accumulators.
+type dpCluster struct {
+	spec    dpSpec
+	nodes   []*runtime.Node
+	coord   *runtime.Coordinator
+	steps   uint64
+	wall    time.Duration
+	shipped int64
+	chunks  int64
+	deduped int64
+	alloc   uint64
+	objects uint64
+	rounds  int
+}
+
+func newDPCluster(spec dpSpec, pages, pageSize int, steps uint64, seed int64) (*dpCluster, error) {
+	layout, err := cluster.Paper12VM()
+	if err != nil {
+		return nil, err
+	}
+	d := &dpCluster{spec: spec, steps: steps}
+	addrs := map[int]string{}
+	for i := 0; i < layout.Nodes; i++ {
+		n, err := runtime.NewNode("127.0.0.1:0")
+		if err != nil {
+			d.close()
+			return nil, err
+		}
+		d.nodes = append(d.nodes, n)
+		addrs[i] = n.Addr()
+	}
+	coord, err := runtime.NewCoordinator(layout, addrs, pages, pageSize, seed)
+	if err != nil {
+		d.close()
+		return nil, err
+	}
+	d.coord = coord
+	coord.SetChunkSize(spec.chunk)
+	coord.SetWorkload(spec.workload)
+	coord.SetDedup(spec.dedup)
+	if err := coord.Setup(); err != nil {
+		d.close()
+		return nil, err
+	}
+	return d, nil
+}
+
+func (d *dpCluster) close() {
+	if d.coord != nil {
+		d.coord.Close()
+	}
+	for _, n := range d.nodes {
+		n.Close()
+	}
+}
+
+// round runs one step+checkpoint round without touching the accumulators.
+func (d *dpCluster) round() error {
+	if err := d.coord.Step(d.steps); err != nil {
+		return err
+	}
+	return d.coord.Checkpoint()
+}
+
+// block runs rounds timed rounds, charging wall clock, shipped bytes, and the
+// process-wide allocation delta to this case.
+func (d *dpCluster) block(rounds int) error {
+	var before, after goruntime.MemStats
+	goruntime.ReadMemStats(&before)
+	start := time.Now()
+	for i := 0; i < rounds; i++ {
+		if err := d.round(); err != nil {
+			return err
+		}
+		st := d.coord.RoundStats()
+		d.shipped += st.BytesShipped
+		d.chunks += st.ChunksShipped
+		d.deduped += st.DedupedPages
+	}
+	d.wall += time.Since(start)
+	goruntime.ReadMemStats(&after)
+	d.alloc += after.TotalAlloc - before.TotalAlloc
+	d.objects += after.Mallocs - before.Mallocs
+	d.rounds += rounds
+	return nil
+}
+
+// dpAgg accumulates a case's measurements across its per-trial clusters.
+type dpAgg struct {
+	spec    dpSpec
+	wall    time.Duration
+	shipped int64
+	chunks  int64
+	deduped int64
+	alloc   uint64
+	objects uint64
+	rounds  int
+}
+
+func (a *dpAgg) add(d *dpCluster) {
+	a.wall += d.wall
+	a.shipped += d.shipped
+	a.chunks += d.chunks
+	a.deduped += d.deduped
+	a.alloc += d.alloc
+	a.objects += d.objects
+	a.rounds += d.rounds
+}
+
+func (a *dpAgg) result() datapathCase {
+	out := datapathCase{
+		Mode:          a.spec.mode,
+		ChunkSize:     a.spec.chunk,
+		Workload:      a.spec.workload,
+		Dedup:         a.spec.dedup,
+		Rounds:        a.rounds,
+		WallSeconds:   a.wall.Seconds(),
+		BytesShipped:  a.shipped,
+		ChunksShipped: a.chunks,
+		DedupedPages:  a.deduped,
+		AllocBytes:    a.alloc,
+		AllocObjects:  a.objects,
+	}
+	if a.wall > 0 {
+		out.ShippedMBPerS = float64(a.shipped) / 1e6 / a.wall.Seconds()
+	}
+	if a.rounds > 0 {
+		out.BytesPerRound = a.alloc / uint64(a.rounds)
+	}
+	return out
+}
+
+// runDatapath executes the comparison, the saturation ladder, and the gate,
+// then writes the JSON artifact. A failed gate is returned as an error after
+// the artifact is written, so the numbers that failed are always on disk.
 func runDatapath(rounds int, seed int64, outPath string) error {
 	const (
 		pages    = 256
 		pageSize = 4096
 		steps    = 120
+		trials   = 5
 	)
-	cases := []struct {
-		mode  string
-		chunk int
-	}{
-		{"monolithic", -1},
-		{"chunked-64KiB", 0}, // wire.DefaultChunkSize, the shipping default
-		{"chunked-256KiB", 256 << 10},
+	specs := []dpSpec{
+		{mode: "monolithic", chunk: -1},
+		{mode: "chunked-64KiB", chunk: 0}, // wire.DefaultChunkSize, the shipping default
+		{mode: "chunked-256KiB", chunk: 256 << 10},
+		{mode: "rewrite-nodedup", chunk: 0, workload: runtime.WorkloadRewrite},
+		{mode: "rewrite-dedup", chunk: 0, workload: runtime.WorkloadRewrite, dedup: true},
 	}
+	perTrial := rounds / trials
+	if perTrial < 1 {
+		perTrial = 1
+	}
+	aggs := make([]*dpAgg, len(specs))
+	for i, spec := range specs {
+		aggs[i] = &dpAgg{spec: spec}
+	}
+	for t := 0; t < trials; t++ {
+		// Rotate the case order every trial so systematic drift within a
+		// trial (cache warmth, background load ramps) does not always land
+		// on the same case.
+		for k := 0; k < len(specs); k++ {
+			i := (k + t) % len(specs)
+			spec := specs[i]
+			d, err := newDPCluster(spec, pages, pageSize, steps, seed)
+			if err != nil {
+				return fmt.Errorf("%s: %w", spec.mode, err)
+			}
+			// Warm-up: connection pools, buffer pools, page caches — and for
+			// the dedup case the page-hash cache, so every timed round is a
+			// repeated epoch.
+			for k := 0; k < 2; k++ {
+				if err := d.round(); err != nil {
+					d.close()
+					return fmt.Errorf("%s: warm-up: %w", spec.mode, err)
+				}
+			}
+			goruntime.GC()
+			err = d.block(perTrial)
+			aggs[i].add(d)
+			d.close()
+			if err != nil {
+				return fmt.Errorf("%s: %w", spec.mode, err)
+			}
+		}
+	}
+
 	rep := datapathReport{
 		Generator:     "dvdcbench -datapath",
 		Layout:        "paper 4-node / 12-VM (Fig. 5)",
@@ -71,24 +284,58 @@ func runDatapath(rounds int, seed int64, outPath string) error {
 		PageSize:      pageSize,
 		StepsPerRound: steps,
 		Seed:          seed,
+		Trials:        trials,
 	}
-	for _, tc := range cases {
-		res, err := measureDatapath(tc.mode, tc.chunk, rounds, pages, pageSize, steps, seed)
-		if err != nil {
-			return fmt.Errorf("%s: %w", tc.mode, err)
-		}
+	byMode := map[string]datapathCase{}
+	for _, a := range aggs {
+		res := a.result()
 		rep.Cases = append(rep.Cases, res)
-		fmt.Printf("%-16s %6.1f ms/round  %7.1f shipped MB/s  %8.2f MB alloc/round  %d chunks\n",
-			res.Mode, res.WallSeconds/float64(rounds)*1e3, res.ShippedMBPerS,
-			float64(res.BytesPerRound)/1e6, res.ChunksShipped)
+		byMode[res.Mode] = res
+		fmt.Printf("%-16s %6.1f ms/round  %7.1f shipped MB/s  %8.2f MB alloc/round  %d chunks  %d pages deduped\n",
+			res.Mode, res.WallSeconds/float64(res.Rounds)*1e3, res.ShippedMBPerS,
+			float64(res.BytesPerRound)/1e6, res.ChunksShipped, res.DedupedPages)
 	}
-	mono, chunked := rep.Cases[0], rep.Cases[1]
+
+	mono, chunked := byMode["monolithic"], byMode["chunked-64KiB"]
+	plain, dedup := byMode["rewrite-nodedup"], byMode["rewrite-dedup"]
 	if chunked.BytesPerRound > 0 {
 		rep.AllocBytesRatio = float64(mono.BytesPerRound) / float64(chunked.BytesPerRound)
 	}
 	if mono.ShippedMBPerS > 0 {
 		rep.ThroughputRatio = chunked.ShippedMBPerS / mono.ShippedMBPerS
 	}
+	if plain.BytesShipped > 0 {
+		rep.DedupShippedDrop = 1 - float64(dedup.BytesShipped)/float64(plain.BytesShipped)
+	}
+
+	sat, err := runSaturation(pages, pageSize, steps, seed)
+	if err != nil {
+		return fmt.Errorf("saturation: %w", err)
+	}
+	rep.Saturation = sat
+
+	// The gate. Every check is recorded in the artifact, pass or fail.
+	var failures []string
+	check := func(ok bool, format string, args ...any) {
+		line := fmt.Sprintf(format, args...)
+		if ok {
+			rep.GateChecks = append(rep.GateChecks, "PASS: "+line)
+		} else {
+			rep.GateChecks = append(rep.GateChecks, "FAIL: "+line)
+			failures = append(failures, line)
+		}
+	}
+	check(chunked.ShippedMBPerS >= mono.ShippedMBPerS,
+		"chunked throughput %.1f MB/s >= monolithic %.1f MB/s",
+		chunked.ShippedMBPerS, mono.ShippedMBPerS)
+	check(chunked.BytesPerRound*3 <= mono.BytesPerRound,
+		"chunked alloc %.2f MB/round <= 1/3 of monolithic %.2f MB/round",
+		float64(chunked.BytesPerRound)/1e6, float64(mono.BytesPerRound)/1e6)
+	check(rep.DedupShippedDrop >= 0.5,
+		"dedup cuts repeated-epoch shipped bytes by %.0f%% (>= 50%%)",
+		rep.DedupShippedDrop*100)
+	rep.GatePassed = len(failures) == 0
+
 	out, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err
@@ -96,79 +343,87 @@ func runDatapath(rounds int, seed int64, outPath string) error {
 	if err := os.WriteFile(outPath, append(out, '\n'), 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("mono/chunked alloc bytes per round: %.2fx; chunked/mono throughput: %.2fx\n",
-		rep.AllocBytesRatio, rep.ThroughputRatio)
+	for _, p := range sat {
+		fmt.Printf("saturation %2d workers: %7.1f MB/s aggregate  %6.1f MB/s per worker  %.2fx scaling\n",
+			p.Workers, p.AggregateMBPerS, p.PerWorkerMBPerS, p.Scaling)
+	}
+	fmt.Printf("mono/chunked alloc bytes per round: %.2fx; chunked/mono throughput: %.2fx; dedup shipped-byte drop: %.0f%%\n",
+		rep.AllocBytesRatio, rep.ThroughputRatio, rep.DedupShippedDrop*100)
 	fmt.Printf("wrote %s\n", outPath)
+	if len(failures) > 0 {
+		return fmt.Errorf("perf gate failed:\n  %s", strings.Join(failures, "\n  "))
+	}
+	fmt.Println("perf gate passed")
 	return nil
 }
 
-// measureDatapath runs one configuration: a fresh loopback cluster, two
-// warm-up rounds (connection pools, buffer pools, page caches), then the
-// timed rounds bracketed by GC-settled MemStats reads.
-func measureDatapath(mode string, chunkSize, rounds, pages, pageSize int, steps uint64, seed int64) (datapathCase, error) {
-	fail := func(err error) (datapathCase, error) { return datapathCase{}, err }
-	layout, err := cluster.Paper12VM()
-	if err != nil {
-		return fail(err)
+// runSaturation climbs a concurrency ladder — 1, 2, 4, ... independent
+// chunked clusters checkpointing simultaneously — until aggregate loopback
+// throughput stops improving (under 5% over the previous rung) or the rung
+// would exceed the host's cores. The knee is where loopback (or the CPU
+// feeding it) becomes the limit; per-worker throughput past it shows how
+// gracefully the data path degrades under contention.
+func runSaturation(pages, pageSize int, steps uint64, seed int64) ([]saturationPoint, error) {
+	const satRounds = 8
+	maxWorkers := goruntime.NumCPU()
+	if maxWorkers > 8 {
+		maxWorkers = 8
 	}
-	nodes := make([]*runtime.Node, layout.Nodes)
-	addrs := map[int]string{}
-	for i := range nodes {
-		n, err := runtime.NewNode("127.0.0.1:0")
-		if err != nil {
-			return fail(err)
+	var points []saturationPoint
+	prev := 0.0
+	for w := 1; w <= maxWorkers; w *= 2 {
+		clusters := make([]*dpCluster, w)
+		for i := range clusters {
+			d, err := newDPCluster(dpSpec{mode: "sat", chunk: 0}, pages, pageSize, steps, seed+int64(i))
+			if err != nil {
+				return nil, err
+			}
+			defer d.close()
+			clusters[i] = d
+			if err := d.round(); err != nil {
+				return nil, err
+			}
 		}
-		defer n.Close()
-		nodes[i] = n
-		addrs[i] = n.Addr()
-	}
-	coord, err := runtime.NewCoordinator(layout, addrs, pages, pageSize, seed)
-	if err != nil {
-		return fail(err)
-	}
-	defer coord.Close()
-	coord.SetChunkSize(chunkSize)
-	if err := coord.Setup(); err != nil {
-		return fail(err)
-	}
-	round := func() error {
-		if err := coord.Step(steps); err != nil {
-			return err
+		errs := make(chan error, w)
+		start := time.Now()
+		for _, d := range clusters {
+			go func(d *dpCluster) {
+				var err error
+				for i := 0; i < satRounds && err == nil; i++ {
+					if err = d.round(); err == nil {
+						d.shipped += d.coord.RoundStats().BytesShipped
+					}
+				}
+				errs <- err
+			}(d)
 		}
-		return coord.Checkpoint()
-	}
-	for i := 0; i < 2; i++ {
-		if err := round(); err != nil {
-			return fail(err)
+		for range clusters {
+			if err := <-errs; err != nil {
+				return nil, err
+			}
 		}
-	}
-
-	var before, after goruntime.MemStats
-	goruntime.GC()
-	goruntime.ReadMemStats(&before)
-	var shipped, chunks int64
-	start := time.Now()
-	for i := 0; i < rounds; i++ {
-		if err := round(); err != nil {
-			return fail(err)
+		wall := time.Since(start).Seconds()
+		var shipped int64
+		for _, d := range clusters {
+			shipped += d.shipped
+			d.close()
 		}
-		st := coord.RoundStats()
-		shipped += st.BytesShipped
-		chunks += st.ChunksShipped
+		agg := float64(shipped) / 1e6 / wall
+		p := saturationPoint{
+			Workers:         w,
+			AggregateMBPerS: agg,
+			PerWorkerMBPerS: agg / float64(w),
+		}
+		if len(points) == 0 {
+			p.Scaling = 1
+		} else {
+			p.Scaling = agg / (float64(w) * points[0].AggregateMBPerS)
+		}
+		points = append(points, p)
+		if prev > 0 && agg < prev*1.05 {
+			break // loopback is the limit; the ladder has flattened
+		}
+		prev = agg
 	}
-	wall := time.Since(start)
-	goruntime.ReadMemStats(&after)
-
-	return datapathCase{
-		Mode:          mode,
-		ChunkSize:     chunkSize,
-		Rounds:        rounds,
-		WallSeconds:   wall.Seconds(),
-		BytesShipped:  shipped,
-		ChunksShipped: chunks,
-		ShippedMBPerS: float64(shipped) / 1e6 / wall.Seconds(),
-		AllocBytes:    after.TotalAlloc - before.TotalAlloc,
-		AllocObjects:  after.Mallocs - before.Mallocs,
-		BytesPerRound: (after.TotalAlloc - before.TotalAlloc) / uint64(rounds),
-	}, nil
+	return points, nil
 }

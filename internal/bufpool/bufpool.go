@@ -35,8 +35,13 @@ const (
 	classes  = maxShift - minShift + 1
 
 	// Retention bounds per class: at most maxClassBufs buffers and at most
-	// ~maxClassBytes of backing memory, whichever is smaller.
-	maxClassBufs  = 256
+	// ~maxClassBytes of backing memory, whichever is smaller. The buffer cap
+	// must cover the page-sized classes' steady-state working set — one
+	// checkpoint round keeps every captured dirty page (page-size buffers,
+	// prepare through commit) plus its in-flight chunk copies alive at once,
+	// which at production page counts is thousands of buffers, not hundreds.
+	// The byte cap stays the binding bound for the large classes.
+	maxClassBufs  = 4096
 	maxClassBytes = 64 << 20
 )
 

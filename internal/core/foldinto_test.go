@@ -3,6 +3,7 @@ package core
 import (
 	"bytes"
 	"math/rand"
+	"sort"
 	"testing"
 
 	"dvdc/internal/checkpoint"
@@ -110,6 +111,92 @@ func TestCommitPendingRejectsBadEpochAtomically(t *testing.T) {
 	}
 	if err := k.CommitPending(pending, map[string]uint64{"a": 1, "b": 1}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestCommitPendingRangesMatchesFullCommit pins the range-restricted commit
+// to the full-buffer one: when the ranges cover every byte a fold touched
+// (and the rest of the buffer is zero, as the runtime guarantees), both
+// commits must land the identical parity block.
+func TestCommitPendingRangesMatchesFullCommit(t *testing.T) {
+	rng := rand.New(rand.NewSource(34))
+	const pageSize, pages = 32, 16
+	initial := map[string][]byte{}
+	for _, id := range []string{"vm-a", "vm-b"} {
+		img := make([]byte, pageSize*pages)
+		rng.Read(img)
+		initial[id] = img
+	}
+	full, err := NewMKeeper(2, 0, 2, initial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranged, err := NewMKeeper(2, 0, 2, initial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for epoch := uint64(1); epoch <= 4; epoch++ {
+		pending := make([]byte, full.Size())
+		var ranges [][2]int
+		epochs := map[string]uint64{}
+		for id := range initial {
+			for p := 0; p < pages; p++ {
+				if rng.Intn(4) != 0 {
+					continue
+				}
+				data := make([]byte, pageSize)
+				rng.Read(data)
+				off := p * pageSize
+				if err := full.FoldInto(pending, id, off, data); err != nil {
+					t.Fatal(err)
+				}
+				ranges = append(ranges, [2]int{off, off + pageSize})
+			}
+			epochs[id] = epoch
+		}
+		// Deduplicate overlapping ranges (two members dirtying the same page)
+		// the same way the runtime does: sort and merge into disjoint runs.
+		sort.Slice(ranges, func(i, j int) bool { return ranges[i][0] < ranges[j][0] })
+		merged := ranges[:0]
+		for _, r := range ranges {
+			if n := len(merged); n > 0 && r[0] <= merged[n-1][1] {
+				merged[n-1][1] = max(merged[n-1][1], r[1])
+			} else {
+				merged = append(merged, r)
+			}
+		}
+		fullBuf := append([]byte(nil), pending...)
+		if err := full.CommitPending(fullBuf, epochs); err != nil {
+			t.Fatal(err)
+		}
+		if err := ranged.CommitPendingRanges(pending, epochs, merged); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(full.Parity(), ranged.Parity()) {
+			t.Fatalf("epoch %d: ranged commit diverges from full commit", epoch)
+		}
+	}
+}
+
+func TestCommitPendingRangesRejectsBadRangeAtomically(t *testing.T) {
+	initial := map[string][]byte{"a": make([]byte, 64)}
+	k, err := NewMKeeper(0, 0, 1, initial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := k.Parity()
+	pending := bytes.Repeat([]byte{0xFF}, 64)
+	for _, bad := range [][2]int{{-1, 8}, {8, 4}, {32, 65}} {
+		err := k.CommitPendingRanges(pending, map[string]uint64{"a": 1}, [][2]int{{0, 8}, bad})
+		if err == nil {
+			t.Fatalf("range %v accepted", bad)
+		}
+		if !bytes.Equal(k.Parity(), before) {
+			t.Fatalf("failed commit with range %v mutated parity", bad)
+		}
+		if k.Epoch("a") != 0 {
+			t.Fatalf("failed commit with range %v advanced an epoch", bad)
+		}
 	}
 }
 

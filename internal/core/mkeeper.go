@@ -141,8 +141,36 @@ func (k *MKeeper) FoldInto(dst []byte, id string, off int, data []byte) error {
 // ApplyDelta enforces — and all of them are checked before any state
 // changes, so a bad commit leaves the keeper untouched.
 func (k *MKeeper) CommitPending(pending []byte, epochs map[string]uint64) error {
+	return k.CommitPendingRanges(pending, epochs, [][2]int{{0, len(pending)}})
+}
+
+// CommitPendingRanges is CommitPending restricted to the byte ranges of the
+// accumulation buffer that folds actually touched: everything outside them
+// must still be zero, so XORing only the touched ranges lands the identical
+// parity at O(folded bytes) instead of O(block) per commit. Ranges must be
+// disjoint ([start, end) pairs; overlap would fold the overlap twice) and
+// are checked, like the epochs, before any state changes.
+func (k *MKeeper) CommitPendingRanges(pending []byte, epochs map[string]uint64, ranges [][2]int) error {
+	return k.commitRanges(pending, epochs, ranges, false)
+}
+
+// DrainPendingRanges is CommitPendingRanges for a reusable accumulation
+// buffer: each committed range is zeroed in the same pass that folds it
+// (parity.XORDrain), so pending leaves the call all-zero inside the ranges
+// without a second memory sweep. A failed commit leaves parity, epochs, and
+// pending all untouched.
+func (k *MKeeper) DrainPendingRanges(pending []byte, epochs map[string]uint64, ranges [][2]int) error {
+	return k.commitRanges(pending, epochs, ranges, true)
+}
+
+func (k *MKeeper) commitRanges(pending []byte, epochs map[string]uint64, ranges [][2]int, drain bool) error {
 	if len(pending) != len(k.parityBlk) {
 		return fmt.Errorf("core: pending buffer %d bytes, parity block %d", len(pending), len(k.parityBlk))
+	}
+	for _, r := range ranges {
+		if r[0] < 0 || r[1] < r[0] || r[1] > len(pending) {
+			return fmt.Errorf("core: commit range [%d,%d) outside %d-byte block", r[0], r[1], len(pending))
+		}
 	}
 	for id, e := range epochs {
 		if _, ok := k.index[id]; !ok {
@@ -153,8 +181,19 @@ func (k *MKeeper) CommitPending(pending []byte, epochs map[string]uint64) error 
 				k.group, id, e, k.epochs[id])
 		}
 	}
-	if err := parity.XORInto(k.parityBlk, pending); err != nil {
-		return err
+	for _, r := range ranges {
+		if r[0] == r[1] {
+			continue
+		}
+		var err error
+		if drain {
+			err = parity.XORDrain(k.parityBlk[r[0]:r[1]], pending[r[0]:r[1]])
+		} else {
+			err = parity.XORInto(k.parityBlk[r[0]:r[1]], pending[r[0]:r[1]])
+		}
+		if err != nil {
+			return err
+		}
 	}
 	for id, e := range epochs {
 		k.epochs[id] = e

@@ -98,6 +98,16 @@ func (mem *Member) CommittedRange(off, n int) ([]byte, error) {
 // with RestoreImage(oldImage) — the two-phase protocol in the runtime
 // handles that; in-process callers are expected not to fail.
 func (mem *Member) CaptureDelta() (*Delta, error) {
+	return mem.CaptureDeltaInto(nil)
+}
+
+// CaptureDeltaInto is CaptureDelta with a caller-supplied allocator for the
+// per-page XOR buffers (e.g. a buffer pool); nil means plain make. alloc(n)
+// must return a slice of length n, which may hold stale bytes — every byte is
+// overwritten. The caller owns the returned buffers: if they are pooled, it
+// must return them once the delta is dead (after commit, or after
+// UndoCapture on abort) and never sooner — UndoCapture reads them.
+func (mem *Member) CaptureDeltaInto(alloc func(int) []byte) (*Delta, error) {
 	m := mem.machine
 	ps := m.PageSize()
 	dirty := m.DirtyPages()
@@ -106,7 +116,12 @@ func (mem *Member) CaptureDelta() (*Delta, error) {
 	for _, i := range dirty {
 		cur := m.Page(i)
 		old := mem.committed[i*ps : (i+1)*ps]
-		x := make([]byte, ps)
+		var x []byte
+		if alloc != nil {
+			x = alloc(ps)
+		} else {
+			x = make([]byte, ps)
+		}
 		for j := range x {
 			x[j] = cur[j] ^ old[j]
 		}

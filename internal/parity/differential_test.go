@@ -101,6 +101,48 @@ func TestXORIntoOverlapGuard(t *testing.T) {
 	}
 }
 
+func TestXORDrainMatchesXORIntoPlusClear(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range awkwardSizes {
+		for trial := 0; trial < 8; trial++ {
+			dst := randBytes(rng, n)
+			src := randBytes(rng, n)
+			wantDst := append([]byte(nil), dst...)
+			naiveXOR(wantDst, src)
+			if err := XORDrain(dst, src); err != nil {
+				t.Fatalf("n=%d: %v", n, err)
+			}
+			if !bytes.Equal(dst, wantDst) {
+				t.Fatalf("n=%d: XORDrain dst diverges from XORInto reference", n)
+			}
+			for i, v := range src {
+				if v != 0 {
+					t.Fatalf("n=%d: src byte %d not drained: %#x", n, i, v)
+				}
+			}
+		}
+	}
+}
+
+func TestXORDrainRejectsAliases(t *testing.T) {
+	back := make([]byte, 64)
+	if err := XORDrain(back[0:32], back[8:40]); err == nil {
+		t.Fatal("partial overlap accepted")
+	}
+	// Unlike XORInto, the exact same slice is illegal: draining a buffer
+	// into itself would zero both sides.
+	same := make([]byte, 32)
+	if err := XORDrain(same, same); err == nil {
+		t.Fatal("exact alias accepted")
+	}
+	if err := XORDrain(back[0:16], back[16:32]); err != nil {
+		t.Fatalf("disjoint subslices rejected: %v", err)
+	}
+	if err := XORDrain(back[8:8], back[8:8]); err != nil {
+		t.Fatalf("empty slices rejected: %v", err)
+	}
+}
+
 func TestGfMulMatchesShiftAddReference(t *testing.T) {
 	for a := 0; a < 256; a++ {
 		for b := 0; b < 256; b++ {
@@ -109,6 +151,138 @@ func TestGfMulMatchesShiftAddReference(t *testing.T) {
 			}
 		}
 	}
+}
+
+// TestGfTablesMatchLoopReference pins every table-driven scalar op to the
+// loop-based log/exp forms (the pre-table implementation, kept in gf.go as
+// the reference) and to the shift-and-add naive multiplier, over the full
+// operand range.
+func TestGfTablesMatchLoopReference(t *testing.T) {
+	for a := 0; a < 256; a++ {
+		for b := 0; b < 256; b++ {
+			aa, bb := byte(a), byte(b)
+			if got, ref := gfMul(aa, bb), gfMulLogExp(aa, bb); got != ref {
+				t.Fatalf("gfMul(%d,%d) = %d, log/exp reference %d", a, b, got, ref)
+			}
+			if got, naive := gfMul(aa, bb), naiveGfMul(aa, bb); got != naive {
+				t.Fatalf("gfMul(%d,%d) = %d, shift-add reference %d", a, b, got, naive)
+			}
+			if b != 0 {
+				got, ref := gfDiv(aa, bb), gfDivLogExp(aa, bb)
+				if got != ref {
+					t.Fatalf("gfDiv(%d,%d) = %d, log/exp reference %d", a, b, got, ref)
+				}
+				// Division must invert multiplication.
+				if back := gfMul(got, bb); back != aa {
+					t.Fatalf("gfMul(gfDiv(%d,%d),%d) = %d", a, b, b, back)
+				}
+			}
+		}
+	}
+	for a := 1; a < 256; a++ {
+		inv := gfInv(byte(a))
+		if ref := gfDivLogExp(1, byte(a)); inv != ref {
+			t.Fatalf("gfInv(%d) = %d, log/exp reference %d", a, inv, ref)
+		}
+		if p := gfMul(byte(a), inv); p != 1 {
+			t.Fatalf("a * gfInv(a) = %d for a=%d", p, a)
+		}
+	}
+	// gfPow against repeated naive multiplication.
+	for a := 0; a < 256; a++ {
+		acc := byte(1)
+		for n := 0; n < 20; n++ {
+			if got := gfPow(byte(a), n); got != acc && !(a == 0 && n > 0) {
+				t.Fatalf("gfPow(%d,%d) = %d, repeated mul gives %d", a, n, got, acc)
+			}
+			acc = naiveGfMul(acc, byte(a))
+		}
+	}
+}
+
+// TestMulSliceIntoMatchesLoopReference sweeps every coefficient over the
+// awkward word-loop sizes, comparing the row-table kernel against both the
+// loop-based log/exp reference and a scalar naive fold.
+func TestMulSliceIntoMatchesLoopReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for c := 0; c < 256; c++ {
+		n := awkwardSizes[c%len(awkwardSizes)]
+		dst := randBytes(rng, n)
+		src := randBytes(rng, n)
+		// Plant zero bytes so the reference's zero-skip path is exercised.
+		for i := 0; i < n; i += 5 {
+			src[i] = 0
+		}
+		ref := append([]byte(nil), dst...)
+		gfMulSliceLogExp(ref, src, byte(c))
+		naive := append([]byte(nil), dst...)
+		for i := range naive {
+			naive[i] ^= naiveGfMul(byte(c), src[i])
+		}
+		if err := MulSliceInto(dst, src, byte(c)); err != nil {
+			t.Fatalf("c=%d n=%d: %v", c, n, err)
+		}
+		if !bytes.Equal(dst, ref) {
+			t.Fatalf("c=%d n=%d: table kernel diverges from log/exp reference", c, n)
+		}
+		if !bytes.Equal(dst, naive) {
+			t.Fatalf("c=%d n=%d: table kernel diverges from naive fold", c, n)
+		}
+	}
+}
+
+func TestMulSliceIntoGuards(t *testing.T) {
+	back := make([]byte, 64)
+	if err := MulSliceInto(back[:16], back[:17][1:], 3); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if err := MulSliceInto(back[0:32], back[8:40], 3); err == nil {
+		t.Fatal("partial overlap accepted")
+	}
+	// The exact same slice is fine for c==1 (zeroes dst, like XORInto)...
+	same := randBytes(rand.New(rand.NewSource(9)), 24)
+	if err := MulSliceInto(same, same, 1); err != nil {
+		t.Fatalf("exact alias under c=1 rejected: %v", err)
+	}
+	for i, v := range same {
+		if v != 0 {
+			t.Fatalf("exact alias under c=1 did not zero byte %d: %#x", i, v)
+		}
+	}
+	// ...and for c==0 (no-op), but not for a general coefficient, where the
+	// kernel would read bytes it already rewrote.
+	if err := MulSliceInto(back[:16], back[:16], 0); err != nil {
+		t.Fatalf("exact alias under c=0 rejected: %v", err)
+	}
+	if err := MulSliceInto(back[:16], back[:16], 7); err == nil {
+		t.Fatal("exact alias under general coefficient accepted")
+	}
+	// Disjoint subslices of one array are fine.
+	if err := MulSliceInto(back[0:16], back[16:32], 7); err != nil {
+		t.Fatalf("disjoint subslices rejected: %v", err)
+	}
+}
+
+// FuzzGfSliceKernels cross-checks the table slice kernel against the
+// loop-based reference on fuzz-chosen data and coefficient.
+func FuzzGfSliceKernels(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 255, 0, 128}, byte(3))
+	f.Add([]byte{}, byte(0))
+	f.Add(bytes.Repeat([]byte{0xff}, 129), byte(1))
+	f.Fuzz(func(t *testing.T, src []byte, c byte) {
+		dst := make([]byte, len(src))
+		for i := range dst {
+			dst[i] = byte(i * 31)
+		}
+		ref := append([]byte(nil), dst...)
+		gfMulSliceLogExp(ref, src, c)
+		if err := MulSliceInto(dst, src, c); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(dst, ref) {
+			t.Fatalf("c=%d n=%d: table kernel diverges from log/exp reference", c, len(src))
+		}
+	})
 }
 
 // naiveRSEncode computes parity row p as sum_j Coef(p,j) * data[j] using the
@@ -199,6 +373,52 @@ func TestRSEncodeEraseReconstructRoundTrip(t *testing.T) {
 		for p := range par {
 			if !bytes.Equal(shards[k+p], par[p]) {
 				t.Fatalf("k=%d m=%d erased %v: parity shard %d not recovered", k, m, erase, p)
+			}
+		}
+	}
+}
+
+// TestRSReconstructFromNaiveEncode crosses the implementations: parity is
+// produced by the naive scalar encoder, shards are erased on random
+// patterns, and the table-driven Reconstruct must recover exactly what the
+// naive encode implies — encode and decode agree across kernels.
+func TestRSReconstructFromNaiveEncode(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for trial := 0; trial < 40; trial++ {
+		k := 1 + rng.Intn(8)
+		m := 1 + rng.Intn(4)
+		n := 1 + rng.Intn(300)
+		rs, err := NewRS(k, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data := make([][]byte, k)
+		for j := range data {
+			data[j] = randBytes(rng, n)
+		}
+		par := naiveRSEncode(rs, data)
+		shards := make([][]byte, 0, k+m)
+		for _, d := range data {
+			shards = append(shards, append([]byte(nil), d...))
+		}
+		for _, p := range par {
+			shards = append(shards, append([]byte(nil), p...))
+		}
+		erase := rng.Perm(k + m)[:1+rng.Intn(m)]
+		for _, idx := range erase {
+			shards[idx] = nil
+		}
+		if err := rs.Reconstruct(shards); err != nil {
+			t.Fatalf("k=%d m=%d erased %v: %v", k, m, erase, err)
+		}
+		for j := range data {
+			if !bytes.Equal(shards[j], data[j]) {
+				t.Fatalf("k=%d m=%d erased %v: data shard %d diverges from naive encode", k, m, erase, j)
+			}
+		}
+		for p := range par {
+			if !bytes.Equal(shards[k+p], par[p]) {
+				t.Fatalf("k=%d m=%d erased %v: parity shard %d diverges from naive encode", k, m, erase, p)
 			}
 		}
 	}

@@ -1,16 +1,27 @@
 package parity
 
+import "fmt"
+
 // GF(2^8) arithmetic with the primitive polynomial x^8+x^4+x^3+x^2+1
 // (0x11d, the conventional Reed-Solomon modulus, under which 2 generates the
-// multiplicative group). Log/antilog tables are built once at package init;
-// multiplication and division are table lookups, which is plenty for
-// checkpoint-sized blocks.
+// multiplicative group). Two table tiers are built once at package init:
+//
+//   - log/antilog tables — the classic representation, kept both as the
+//     generator for the flat tables below and as the loop-based reference
+//     the differential test battery compares against;
+//   - a full 256x256 product table plus an inverse table — the hot-path
+//     representation. A slice kernel indexing one 256-byte row is branch
+//     free (no zero check per byte) and keeps the row in L1, which is what
+//     the RS small-write fold spends its time in.
 
 const gfPoly = 0x11d
 
 var (
 	gfExp [512]byte // generator powers, doubled so mul avoids a mod
 	gfLog [256]int
+
+	gfMulTab [256][256]byte // gfMulTab[a][b] = a*b in GF(256)
+	gfInvTab [256]byte      // gfInvTab[a] = a^-1 (entry 0 unused)
 )
 
 func init() {
@@ -26,29 +37,32 @@ func init() {
 	for i := 255; i < 512; i++ {
 		gfExp[i] = gfExp[i-255]
 	}
+	for a := 1; a < 256; a++ {
+		for b := 1; b < 256; b++ {
+			gfMulTab[a][b] = gfExp[gfLog[a]+gfLog[b]]
+		}
+		gfInvTab[a] = gfExp[255-gfLog[a]]
+	}
 }
 
 // gfMul multiplies two field elements.
-func gfMul(a, b byte) byte {
-	if a == 0 || b == 0 {
-		return 0
-	}
-	return gfExp[gfLog[a]+gfLog[b]]
-}
+func gfMul(a, b byte) byte { return gfMulTab[a][b] }
 
 // gfDiv divides a by b; b must be nonzero.
 func gfDiv(a, b byte) byte {
 	if b == 0 {
 		panic("parity: GF(256) division by zero")
 	}
-	if a == 0 {
-		return 0
-	}
-	return gfExp[gfLog[a]+255-gfLog[b]]
+	return gfMulTab[a][gfInvTab[b]]
 }
 
 // gfInv returns the multiplicative inverse; a must be nonzero.
-func gfInv(a byte) byte { return gfDiv(1, a) }
+func gfInv(a byte) byte {
+	if a == 0 {
+		panic("parity: GF(256) division by zero")
+	}
+	return gfInvTab[a]
+}
 
 // gfPow raises a to the n-th power.
 func gfPow(a byte, n int) byte {
@@ -61,9 +75,31 @@ func gfPow(a byte, n int) byte {
 	return gfExp[(gfLog[a]*n)%255]
 }
 
-// gfMulSlice computes dst[i] ^= c * src[i] for all i. c == 0 is a no-op,
-// c == 1 degenerates to XOR.
-func gfMulSlice(dst, src []byte, c byte) {
+// gfMulLogExp is the loop-based log/antilog multiply this package used before
+// the flat product table. It is retained as the independent reference the
+// differential tests compare gfMul and the slice kernels against.
+func gfMulLogExp(a, b byte) byte {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return gfExp[gfLog[a]+gfLog[b]]
+}
+
+// gfDivLogExp is the log/antilog division reference (b must be nonzero).
+func gfDivLogExp(a, b byte) byte {
+	if b == 0 {
+		panic("parity: GF(256) division by zero")
+	}
+	if a == 0 {
+		return 0
+	}
+	return gfExp[gfLog[a]+255-gfLog[b]]
+}
+
+// gfMulSliceLogExp is the loop-based slice kernel (per-byte zero test plus
+// log/antilog lookups), retained as the differential-test reference for
+// gfMulSlice.
+func gfMulSliceLogExp(dst, src []byte, c byte) {
 	switch c {
 	case 0:
 		return
@@ -77,4 +113,52 @@ func gfMulSlice(dst, src []byte, c byte) {
 			dst[i] ^= gfExp[lc+gfLog[s]]
 		}
 	}
+}
+
+// gfMulSlice computes dst[i] ^= c * src[i] for all i. c == 0 is a no-op,
+// c == 1 degenerates to XOR; otherwise one 256-byte product-table row covers
+// the whole slice with no per-byte branch.
+func gfMulSlice(dst, src []byte, c byte) {
+	switch c {
+	case 0:
+		return
+	case 1:
+		_ = XORInto(dst, src) // lengths checked by caller
+		return
+	}
+	row := &gfMulTab[c]
+	n := len(src)
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		dst[i] ^= row[src[i]]
+		dst[i+1] ^= row[src[i+1]]
+		dst[i+2] ^= row[src[i+2]]
+		dst[i+3] ^= row[src[i+3]]
+		dst[i+4] ^= row[src[i+4]]
+		dst[i+5] ^= row[src[i+5]]
+		dst[i+6] ^= row[src[i+6]]
+		dst[i+7] ^= row[src[i+7]]
+	}
+	for ; i < n; i++ {
+		dst[i] ^= row[src[i]]
+	}
+}
+
+// MulSliceInto computes dst[i] ^= c * src[i] element-wise — the GF(256)
+// analogue of XORInto (and exactly XORInto when c == 1). dst and src must
+// have equal length and must not partially overlap; the exact same slice is
+// allowed only for c in {0, 1} (for other coefficients the kernel would read
+// bytes it already rewrote).
+func MulSliceInto(dst, src []byte, c byte) error {
+	if len(dst) != len(src) {
+		return fmt.Errorf("%w: dst %d, src %d", ErrLengthMismatch, len(dst), len(src))
+	}
+	if !aliasable(dst, src) {
+		return fmt.Errorf("%w: dst and src share %d-byte backing range", ErrOverlap, len(dst))
+	}
+	if c > 1 && len(dst) > 0 && &dst[0] == &src[0] {
+		return fmt.Errorf("%w: dst aliases src under coefficient %d", ErrOverlap, c)
+	}
+	gfMulSlice(dst, src, c)
+	return nil
 }

@@ -55,6 +55,34 @@ func XORInto(dst, src []byte) error {
 	return nil
 }
 
+// XORDrain xors src into dst element-wise and zeroes src in the same pass —
+// the commit kernel for accumulation buffers that must return to all-zero for
+// reuse. One fused loop touches each cache line once, where XORInto followed
+// by clear would stream src through memory twice. Same aliasing contract as
+// XORInto, except dst and src may not be the same slice (draining a buffer
+// into itself would zero both).
+func XORDrain(dst, src []byte) error {
+	if len(dst) != len(src) {
+		return fmt.Errorf("%w: dst %d, src %d", ErrLengthMismatch, len(dst), len(src))
+	}
+	if len(dst) > 0 && (!aliasable(dst, src) || &dst[0] == &src[0]) {
+		return fmt.Errorf("%w: dst and src share %d-byte backing range", ErrOverlap, len(dst))
+	}
+	n := len(dst)
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		d := binary.LittleEndian.Uint64(dst[i:])
+		s := binary.LittleEndian.Uint64(src[i:])
+		binary.LittleEndian.PutUint64(dst[i:], d^s)
+		binary.LittleEndian.PutUint64(src[i:], 0)
+	}
+	for ; i < n; i++ {
+		dst[i] ^= src[i]
+		src[i] = 0
+	}
+	return nil
+}
+
 // XOR computes the XOR of all blocks into a freshly allocated block.
 // At least one block is required and all blocks must have equal length.
 func XOR(blocks ...[]byte) ([]byte, error) {

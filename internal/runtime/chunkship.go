@@ -15,6 +15,15 @@ import (
 // fold, small enough that one stream cannot monopolize a connection pool.
 const chunkPipelineWidth = 4
 
+// chunkBatchBudget floors the wire bytes packed into one MsgDeltaChunk
+// message. The chunk size bounds fold granularity and per-chunk buffer
+// memory; the batch budget bounds round trips. Tying them together made a
+// small chunk size pay one RPC per chunkSize bytes — with 64 KiB chunks a
+// 4.7 MB delta cost ~72 round trips a round. Batches of several chunks keep
+// the fold granularity while amortizing framing and scheduler ping-pong;
+// chunk sizes above the floor keep one chunk per batch as before.
+const chunkBatchBudget = 256 << 10
+
 // resolveChunkSize maps the configuration encoding to an effective chunk
 // size: 0 selects the default chunked pipeline, a negative value the legacy
 // monolithic data path (returned as 0 = "no chunking"), positive values pass
@@ -30,21 +39,21 @@ func resolveChunkSize(v int) int {
 	}
 }
 
-// deltaChunks renders a captured delta as image-coordinate chunk frames:
+// planChunks lays a captured delta out as image-coordinate chunk frames:
 // dirty pages are sorted, contiguous page runs merged, and each run cut into
 // pieces of at most chunkSize bytes. Offset/Total address the member's image
 // rather than a packed stream, so a keeper folds each chunk into its pending
 // parity buffer the moment it arrives — no reassembly, no delta-sized buffer
-// on either side. Chunk data lives in pooled buffers; call release once the
-// chunks (and any encodings aliasing them) are out of use. An empty delta
-// yields one zero-length chunk so the epoch still reaches the keeper.
-func deltaChunks(d *core.Delta, pageSize, imageBytes, chunkSize int) ([]wire.Chunk, func()) {
+// on either side. The returned chunks carry ranges only (no Data); pages is
+// the sorted page list the ranges were planned over. An empty delta yields
+// one zero-length chunk so the epoch still reaches the keeper.
+func planChunks(d *core.Delta, pageSize, imageBytes, chunkSize int) ([]wire.Chunk, []checkpoint.PageRecord) {
 	pages := append([]checkpoint.PageRecord(nil), d.Pages...)
 	sort.Slice(pages, func(i, j int) bool { return pages[i].Index < pages[j].Index })
 
-	// First pass: byte ranges only. A pathological chunk size could exceed
-	// the wire's stream bound; doubling until it fits terminates quickly and
-	// only ever runs under degenerate configurations.
+	// A pathological chunk size could exceed the wire's stream bound;
+	// doubling until it fits terminates quickly and only ever runs under
+	// degenerate configurations.
 	var chunks []wire.Chunk
 	for {
 		chunks = chunks[:0]
@@ -70,13 +79,30 @@ func deltaChunks(d *core.Delta, pageSize, imageBytes, chunkSize int) ([]wire.Chu
 		}
 		chunkSize *= 2
 	}
+	if len(chunks) == 0 {
+		chunks = append(chunks, wire.Chunk{Total: uint64(imageBytes), Count: 1})
+	}
+	count := uint32(len(chunks))
+	for i := range chunks {
+		chunks[i].Index = uint32(i)
+		chunks[i].Count = count
+	}
+	return chunks, pages
+}
 
-	// Second pass: copy page bytes into pooled chunk buffers. A chunk may
-	// span several pages of its run.
+// deltaChunks renders a delta as chunk frames with materialized data: each
+// chunk's bytes are copied from its pages into one pooled contiguous buffer.
+// The compressing ship path and the tests use this form; call release once
+// the chunks (and any encodings aliasing them) are out of use.
+func deltaChunks(d *core.Delta, pageSize, imageBytes, chunkSize int) ([]wire.Chunk, func()) {
+	chunks, pages := planChunks(d, pageSize, imageBytes, chunkSize)
 	var bufs [][]byte
 	for ci := range chunks {
 		c := &chunks[ci]
 		n := int(c.RawLen)
+		if n == 0 {
+			continue
+		}
 		buf := bufpool.Get(n)
 		bufs = append(bufs, buf)
 		off := int(c.Offset)
@@ -88,20 +114,36 @@ func deltaChunks(d *core.Delta, pageSize, imageBytes, chunkSize int) ([]wire.Chu
 		}
 		c.Data = buf
 	}
-	if len(chunks) == 0 {
-		chunks = append(chunks, wire.Chunk{Total: uint64(imageBytes), Count: 1})
-	}
-	count := uint32(len(chunks))
-	for i := range chunks {
-		chunks[i].Index = uint32(i)
-		chunks[i].Count = count
-	}
 	release := func() {
 		for _, b := range bufs {
 			bufpool.Put(b)
 		}
 	}
 	return chunks, release
+}
+
+// deltaChunkScatter renders a delta as chunk frames whose data stays in the
+// captured page buffers: segs[i] is chunk i's data as a scatter list of page
+// (sub)slices, for FrameWriter.AppendChunkScatter. Nothing is copied — the
+// delta's pages are aliased, so they must outlive the encoded segments (the
+// staged capture lives until commit, well past the prepare-phase ship).
+func deltaChunkScatter(d *core.Delta, pageSize, imageBytes, chunkSize int) ([]wire.Chunk, [][][]byte) {
+	chunks, pages := planChunks(d, pageSize, imageBytes, chunkSize)
+	segs := make([][][]byte, len(chunks))
+	for ci := range chunks {
+		c := &chunks[ci]
+		n := int(c.RawLen)
+		off := int(c.Offset)
+		for k := 0; k < n; {
+			pi := (off + k) / pageSize
+			ri := sort.Search(len(pages), func(x int) bool { return pages[x].Index >= pi })
+			po := (off + k) % pageSize
+			take := min(pageSize-po, n-k)
+			segs[ci] = append(segs[ci], pages[ri].Data[po:po+take])
+			k += take
+		}
+	}
+	return chunks, segs
 }
 
 // encodePooledChunk renders a chunk's wire encoding into a pooled buffer

@@ -18,6 +18,11 @@ type VMConfig struct {
 	Group       int    `json:"group"`
 	ParityNodes []int  `json:"parity_nodes"` // node of parity block i, i = 0..tolerance-1
 	Seed        int64  `json:"seed"`         // workload seed
+
+	// Workload selects the synthetic workload kind driving this VM ("" =
+	// uniform). The shadow model mirrors the same kind and seed, so both
+	// sides replay identical write streams.
+	Workload string `json:"workload,omitempty"`
 }
 
 // KeeperConfig makes a node the holder of one parity block of one group.
@@ -43,6 +48,13 @@ type NodeConfig struct {
 	// chunk payload size, and a negative value falls back to the legacy
 	// monolithic shipments (whole delta / image per message).
 	ChunkSize int `json:"chunk_size,omitempty"`
+
+	// Dedup enables the cross-epoch page-hash cache on the ship path: dirty
+	// pages whose content hash is unchanged since the member's last committed
+	// epoch are not shipped (their XOR delta is all zeros, so the parity fold
+	// they would trigger is a no-op). The cache is invalidated on abort,
+	// rollback, and recovery/rebalance parity reassignment.
+	Dedup bool `json:"dedup,omitempty"`
 }
 
 // NodeStats are a node's protocol counters, served via MsgStats.
@@ -56,12 +68,18 @@ type NodeStats struct {
 	ChunksReceived int64 `json:"chunks_received"` // delta chunks folded as keeper
 	DupChunks      int64 `json:"dup_chunks"`      // idempotently dropped re-deliveries
 	FoldNanos      int64 `json:"fold_nanos"`      // cumulative chunk fold time as keeper
+
+	// Page-dedup cache counters (ship path, when NodeConfig.Dedup is on).
+	DedupHits       int64 `json:"dedup_hits"`        // dirty pages skipped: hash unchanged since last commit
+	DedupMisses     int64 `json:"dedup_misses"`      // dirty pages hashed and shipped
+	DedupSavedBytes int64 `json:"dedup_saved_bytes"` // raw delta bytes not shipped thanks to hits
 }
 
 // prepareSummary rides a MsgPrepareOK reply's Text field so the coordinator
 // can aggregate chunk counts next to the wire bytes Arg already carries.
 type prepareSummary struct {
-	Chunks int64 `json:"chunks"`
+	Chunks  int64 `json:"chunks"`
+	Deduped int64 `json:"deduped,omitempty"` // dirty pages skipped by the dedup cache
 }
 
 // encodeJSON marshals a config for the wire's Text field.

@@ -48,7 +48,9 @@ type Coordinator struct {
 	epoch          atomic.Uint64
 	seedBase       int64
 	compress       bool
-	chunkSize      int // data-path granularity: 0 default chunked, <0 monolithic
+	chunkSize      int    // data-path granularity: 0 default chunked, <0 monolithic
+	workload       string // workload kind for every VM ("" = uniform)
+	dedup          bool   // cross-epoch page-hash dedup on node ship paths
 	rpcTimeout     time.Duration
 	fanoutW        int
 	commitRetries  int
@@ -108,6 +110,16 @@ func (c *Coordinator) SetChunkSize(n int) { c.chunkSize = n }
 
 // effectiveChunkSize resolves the configured granularity (0 = monolithic).
 func (c *Coordinator) effectiveChunkSize() int { return resolveChunkSize(c.chunkSize) }
+
+// SetWorkload selects the synthetic workload kind every VM runs ("" =
+// uniform; see WorkloadUniform, WorkloadRewrite). Call before Setup — the
+// kind rides each VMConfig, and the Shadow model must be built with the same
+// kind to stay bit-identical.
+func (c *Coordinator) SetWorkload(kind string) { c.workload = kind }
+
+// SetDedup enables the cross-epoch page-hash dedup cache on every node's
+// ship path. Call before Setup (the flag rides the node configuration).
+func (c *Coordinator) SetDedup(on bool) { c.dedup = on }
 
 // SetRPCTimeout bounds every coordinator RPC (0 disables deadlines). Applies
 // to connections opened after the call, so set it before the first round.
@@ -352,12 +364,13 @@ func (c *Coordinator) vmConfig(v cluster.VMPlacement) VMConfig {
 		Group:       v.Group,
 		ParityNodes: append([]int(nil), g.ParityNodes...),
 		Seed:        c.vmSeed(v.Name),
+		Workload:    c.workload,
 	}
 }
 
 // nodeConfig renders the full initial assignment for one node.
 func (c *Coordinator) nodeConfig(n int) NodeConfig {
-	cfg := NodeConfig{NodeID: n, Peers: c.addrs, Compress: c.compress, ChunkSize: c.chunkSize}
+	cfg := NodeConfig{NodeID: n, Peers: c.addrs, Compress: c.compress, ChunkSize: c.chunkSize, Dedup: c.dedup}
 	for _, v := range c.layout.VMs {
 		if v.Node == n {
 			cfg.VMs = append(cfg.VMs, c.vmConfig(v))
@@ -474,6 +487,7 @@ func (c *Coordinator) CheckpointIn(parent obs.SpanContext) error {
 				var ps prepareSummary
 				if decodeJSON(resp.Text, &ps) == nil {
 					stats.ChunksShipped += ps.Chunks
+					stats.DedupedPages += ps.Deduped
 				}
 			}
 			return nil
@@ -1049,7 +1063,7 @@ func (c *Coordinator) Repair(node int) error {
 	c.mu.Unlock()
 	// The rejoined daemon needs a fresh configuration (peers, compression,
 	// chunking); it hosts nothing until rebalance moves VMs or parity to it.
-	cfg := NodeConfig{NodeID: node, Peers: c.addrs, Compress: c.compress, ChunkSize: c.chunkSize}
+	cfg := NodeConfig{NodeID: node, Peers: c.addrs, Compress: c.compress, ChunkSize: c.chunkSize, Dedup: c.dedup}
 	text, err := encodeJSON(cfg)
 	if err != nil {
 		return err

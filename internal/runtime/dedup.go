@@ -1,0 +1,94 @@
+package runtime
+
+import (
+	"dvdc/internal/core"
+	"dvdc/internal/vm"
+)
+
+// Workload kind names a VMConfig can carry. The node and the shadow model
+// both build workloads through newWorkload, so a kind string plus a seed
+// fully determines the write stream on either side.
+const (
+	WorkloadUniform = "uniform"
+	WorkloadRewrite = "rewrite"
+)
+
+// rewriteChangeFrac is the content-change probability of the rewrite
+// workload: ~1 in 8 writes stores new bytes, the rest re-dirty pages with
+// identical content — the low-dirty-rate regime the page-dedup cache
+// targets.
+const rewriteChangeFrac = 0.125
+
+// newWorkload builds the workload for a kind string ("" = uniform).
+func newWorkload(kind string, seed int64) vm.Workload {
+	switch kind {
+	case WorkloadRewrite:
+		return vm.NewRewrite(seed, rewriteChangeFrac)
+	default:
+		return vm.NewUniform(seed)
+	}
+}
+
+// dedupFilter splits a freshly captured delta against the member's page-hash
+// cache. Caller holds ms.mu, immediately after CaptureDelta: the machine's
+// live pages equal the just-advanced committed image, so hashing a live page
+// hashes the content the parity fold would land.
+//
+// A dirty page whose content hash equals the cached hash of the last
+// committed epoch carries an all-zero XOR delta — folding it into parity is
+// a no-op — so it is dropped from the shipped delta. The decision is
+// hash-only by design: a poisoned cache entry produces wrong parity, which
+// the soak harness's shadow-model invariant catches at reconstruction. Pages
+// that do ship have their new hash staged; commit promotes staged hashes,
+// abort drops only the staged ones (dedupAbort), and rollback/recovery/
+// rebalance invalidate the cache wholesale (dedupInvalidate).
+//
+// The returned delta shares page records with d (never the slice header), so
+// d remains intact for UndoCapture.
+func (ms *memberState) dedupFilter(d *core.Delta) (shipped *core.Delta, hits, misses int64) {
+	if ms.pageHashes == nil {
+		ms.pageHashes = map[int]uint64{}
+	}
+	if ms.stagedHashes == nil {
+		ms.stagedHashes = map[int]uint64{}
+	}
+	m := ms.mem.Machine()
+	out := &core.Delta{VMID: d.VMID, Epoch: d.Epoch}
+	for _, p := range d.Pages {
+		h := m.PageHash(p.Index)
+		if cached, ok := ms.pageHashes[p.Index]; ok && cached == h {
+			hits++
+			continue
+		}
+		misses++
+		ms.stagedHashes[p.Index] = h
+		out.Pages = append(out.Pages, p)
+	}
+	return out, hits, misses
+}
+
+// dedupCommit promotes hashes staged by the last prepare into the cache.
+// Caller holds ms.mu.
+func (ms *memberState) dedupCommit() {
+	for idx, h := range ms.stagedHashes {
+		ms.pageHashes[idx] = h
+	}
+	clear(ms.stagedHashes)
+}
+
+// dedupAbort drops only the hashes staged by the aborted prepare. The
+// committed entries stay: an abort never touches parity (staged deltas and
+// the keeper's pending buffer are discarded, and UndoCapture restores the
+// committed image to exactly the content the cached hashes describe), so
+// they still name what the keeper last folded. Caller holds ms.mu.
+func (ms *memberState) dedupAbort() {
+	clear(ms.stagedHashes)
+}
+
+// dedupInvalidate drops the whole cache (abort, rollback, recovery,
+// rebalance): conservative, but those paths are rare and a stale entry
+// silently corrupts parity. Caller holds ms.mu.
+func (ms *memberState) dedupInvalidate() {
+	clear(ms.pageHashes)
+	clear(ms.stagedHashes)
+}

@@ -1,0 +1,374 @@
+package runtime
+
+import (
+	"testing"
+
+	"dvdc/internal/chaos"
+	"dvdc/internal/cluster"
+	"dvdc/internal/wire"
+)
+
+// dedupCluster is chunkedCluster with workload kind and dedup applied.
+func dedupCluster(t *testing.T, layout *cluster.Layout, chunkSize int, workload string, dedup bool) (*Coordinator, []*Node) {
+	t.Helper()
+	nodes := make([]*Node, layout.Nodes)
+	addrs := map[int]string{}
+	for i := range nodes {
+		n, err := NewNode("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[i] = n
+		addrs[i] = n.Addr()
+	}
+	t.Cleanup(func() {
+		for _, n := range nodes {
+			n.Close()
+		}
+	})
+	coord, err := NewCoordinator(layout, addrs, 16, 64, 12345)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(coord.Close)
+	coord.SetChunkSize(chunkSize)
+	coord.SetWorkload(workload)
+	coord.SetDedup(dedup)
+	if err := coord.Setup(); err != nil {
+		t.Fatal(err)
+	}
+	return coord, nodes
+}
+
+// clusterDedupStats sums the dedup counters across every node.
+func clusterDedupStats(t *testing.T, coord *Coordinator) (hits, misses, saved int64) {
+	t.Helper()
+	for n := 0; n < coord.Layout().Nodes; n++ {
+		st, err := coord.NodeStats(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hits += st.DedupHits
+		misses += st.DedupMisses
+		saved += st.DedupSavedBytes
+	}
+	return hits, misses, saved
+}
+
+// TestDedupRewriteWorkloadSavesShippedBytes drives two identical clusters on
+// the rewrite workload — one with the page-dedup cache, one without — and
+// asserts the dedup cluster commits bit-identical state while shipping
+// strictly less on every repeated epoch, with the hit counters moving.
+func TestDedupRewriteWorkloadSavesShippedBytes(t *testing.T) {
+	plain, _ := dedupCluster(t, paperLayout(t), 256, WorkloadRewrite, false)
+	dedup, dnodes := dedupCluster(t, paperLayout(t), 256, WorkloadRewrite, true)
+
+	const rounds = 4
+	var plainShipped, dedupShipped [rounds]int64
+	for r := 0; r < rounds; r++ {
+		for _, c := range []*Coordinator{plain, dedup} {
+			if err := c.Step(60); err != nil {
+				t.Fatal(err)
+			}
+			if err := c.Checkpoint(); err != nil {
+				t.Fatalf("round %d: %v", r, err)
+			}
+		}
+		plainShipped[r] = plain.RoundStats().BytesShipped
+		dedupShipped[r] = dedup.RoundStats().BytesShipped
+		if r > 0 && dedup.RoundStats().DedupedPages == 0 {
+			t.Errorf("round %d: no pages deduped under the rewrite workload", r)
+		}
+	}
+	// Round 0 fills the cache (every page misses); repeated epochs must ship
+	// strictly less than the dedup-free twin.
+	for r := 1; r < rounds; r++ {
+		if dedupShipped[r] >= plainShipped[r] {
+			t.Errorf("round %d: dedup shipped %d bytes, plain %d", r, dedupShipped[r], plainShipped[r])
+		}
+	}
+
+	pstates, err := plain.VMStates()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dstates, err := dedup.VMStates()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, ps := range pstates {
+		if ds, ok := dstates[name]; !ok || ps != ds {
+			t.Errorf("%q diverges under dedup: plain %+v dedup %+v", name, ps, dstates[name])
+		}
+	}
+	hits, misses, saved := clusterDedupStats(t, dedup)
+	if hits == 0 || misses == 0 || saved == 0 {
+		t.Errorf("dedup counters did not move: hits=%d misses=%d saved=%d", hits, misses, saved)
+	}
+
+	// The skipped folds must not have corrupted parity: kill a node and
+	// verify recovery reconstructs bit-identical images.
+	before, err := dedup.Checksums()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dnodes[1].Close()
+	if _, err := dedup.RecoverNode(1); err != nil {
+		t.Fatal(err)
+	}
+	after, err := dedup.Checksums()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, want := range before {
+		if after[name] != want {
+			t.Errorf("%q diverged across recovery with dedup on", name)
+		}
+	}
+}
+
+// TestDedupAbortInvalidatesCache proves a failed round drops exactly the
+// stale entries: after prepare+abort every member's staged hashes are gone
+// (they named content whose capture was undone) while the committed entries
+// survive (parity never moved, so they still describe what the keepers hold).
+// The post-abort round then re-ships every genuinely changed page as a miss,
+// legitimately hits for store-back pages, and commits state that survives
+// casualty recovery bit-identically.
+func TestDedupAbortInvalidatesCache(t *testing.T) {
+	coord, nodes := dedupCluster(t, paperLayout(t), 256, WorkloadRewrite, true)
+	// Two rounds to populate the cache and start hitting it.
+	for r := 0; r < 2; r++ {
+		if err := coord.Step(60); err != nil {
+			t.Fatal(err)
+		}
+		if err := coord.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hitsBefore, _, _ := clusterDedupStats(t, coord)
+	if hitsBefore == 0 {
+		t.Fatal("cache never hit; test premise broken")
+	}
+	if err := coord.Step(30); err != nil {
+		t.Fatal(err)
+	}
+	// Manual prepare (stages hashes) then abort (must drop the staged ones).
+	for i, n := range nodes {
+		if _, err := n.handle(&wire.Message{Type: wire.MsgPrepare, Epoch: coord.Epoch() + 1}); err != nil {
+			t.Fatalf("prepare node %d: %v", i, err)
+		}
+	}
+	for i, n := range nodes {
+		if _, err := n.handle(&wire.Message{Type: wire.MsgAbort, Epoch: coord.Epoch() + 1}); err != nil {
+			t.Fatalf("abort node %d: %v", i, err)
+		}
+	}
+	for i, n := range nodes {
+		for _, ms := range n.snapshotMembers() {
+			ms.mu.Lock()
+			if len(ms.stagedHashes) != 0 {
+				t.Errorf("node %d member %q: %d staged hashes survived abort",
+					i, ms.cfg.Name, len(ms.stagedHashes))
+			}
+			if len(ms.pageHashes) == 0 {
+				t.Errorf("node %d member %q: committed cache entries wrongly dropped by abort",
+					i, ms.cfg.Name)
+			}
+			ms.mu.Unlock()
+		}
+	}
+	// The post-abort round must re-ship every genuinely changed page (new
+	// misses) and may legitimately hit for store-back pages whose content
+	// still matches the surviving committed entries.
+	h0, m0, _ := clusterDedupStats(t, coord)
+	if err := coord.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	h1, m1, _ := clusterDedupStats(t, coord)
+	if h1 == h0 {
+		t.Error("post-abort round never hit the surviving committed entries")
+	}
+	if m1 == m0 {
+		t.Error("post-abort round recorded no misses despite changed pages")
+	}
+	// Parity must agree with the re-shipped pages: casualty recovery yields
+	// bit-identical images.
+	before, err := coord.Checksums()
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes[0].Close()
+	if _, err := coord.RecoverNode(0); err != nil {
+		t.Fatal(err)
+	}
+	after, err := coord.Checksums()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, want := range before {
+		if after[name] != want {
+			t.Errorf("%q diverged across post-abort recovery", name)
+		}
+	}
+}
+
+// TestDedupRecoveryInvalidatesCache proves the parity-reassignment path drops
+// the cache: after a casualty recovery re-homes a keeper, every surviving
+// member of the affected groups starts cold (the rebuilt parity block has no
+// memory of what the old keeper was told).
+func TestDedupRecoveryInvalidatesCache(t *testing.T) {
+	layout := paperLayout(t)
+	coord, nodes := dedupCluster(t, layout, 256, WorkloadRewrite, true)
+	for r := 0; r < 2; r++ {
+		if err := coord.Step(60); err != nil {
+			t.Fatal(err)
+		}
+		if err := coord.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Kill a node that keeps parity for at least one group.
+	victim := layout.Groups[0].ParityNodes[0]
+	addr := nodes[victim].Addr()
+	nodes[victim].Close()
+	if _, err := coord.RecoverNode(victim); err != nil {
+		t.Fatal(err)
+	}
+	// Every group had its pointers refreshed or its keeper rebuilt; the
+	// conservative invalidation clears all survivors' caches for regrouped
+	// members. At minimum, members of the victim's groups must be cold.
+	cold := 0
+	for i, n := range nodes {
+		if i == victim {
+			continue
+		}
+		for _, ms := range n.snapshotMembers() {
+			ms.mu.Lock()
+			if len(ms.pageHashes) == 0 {
+				cold++
+			}
+			ms.mu.Unlock()
+		}
+	}
+	if cold == 0 {
+		t.Error("no member cache went cold across recovery")
+	}
+	// Restart the victim on its old address and repair it back in, then keep
+	// running: dedup must re-warm from cold.
+	rn, err := NewNode(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { rn.Close() })
+	if err := coord.Repair(victim); err != nil {
+		t.Fatal(err)
+	}
+	hitsAfterRecovery, _, _ := clusterDedupStats(t, coord)
+	for r := 0; r < 2; r++ {
+		if err := coord.Step(40); err != nil {
+			t.Fatal(err)
+		}
+		if err := coord.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if hits, _, _ := clusterDedupStats(t, coord); hits == hitsAfterRecovery {
+		t.Error("cache never re-warmed after recovery")
+	}
+}
+
+// TestPoisonedDedupCacheCorruptsParity is the negative control the soak
+// battery's shadow invariant relies on: the skip decision is hash-only by
+// design, so a poisoned cache entry (claiming a changed page is unchanged)
+// silently rots parity — undetectable while the member is alive, caught the
+// moment reconstruction reproduces the stale content. If this test ever
+// starts passing recovery cleanly, the dedup path has grown a second check
+// and the soak invariant is no longer load-bearing.
+func TestPoisonedDedupCacheCorruptsParity(t *testing.T) {
+	layout := paperLayout(t)
+	coord, nodes := dedupCluster(t, layout, 256, "", true)
+	if err := coord.Step(60); err != nil {
+		t.Fatal(err)
+	}
+	if err := coord.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := coord.Step(60); err != nil {
+		t.Fatal(err)
+	}
+	// Poison: plant the hash of the CURRENT live content for every page of
+	// one member, so the next prepare skips its genuinely changed pages.
+	victim := layout.VMs[0].Node
+	var poisoned string
+	for _, ms := range nodes[victim].snapshotMembers() {
+		ms.mu.Lock()
+		if poisoned == "" {
+			poisoned = ms.cfg.Name
+			if ms.pageHashes == nil {
+				ms.pageHashes = map[int]uint64{}
+			}
+			m := ms.mem.Machine()
+			for i := 0; i < m.NumPages(); i++ {
+				ms.pageHashes[i] = m.PageHash(i)
+			}
+		}
+		ms.mu.Unlock()
+	}
+	if poisoned == "" {
+		t.Fatalf("node %d hosts no members", victim)
+	}
+	if err := coord.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	before, err := coord.Checksums()
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes[victim].Close()
+	if _, err := coord.RecoverNode(victim); err != nil {
+		t.Fatal(err)
+	}
+	after, err := coord.Checksums()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after[poisoned] == before[poisoned] {
+		t.Fatalf("reconstruction of %q matched despite a poisoned dedup cache — the corruption went undetected", poisoned)
+	}
+}
+
+// TestSoakDedupChunkFaultChaos is the satellite's pinned-seed soak: dedup on,
+// rewrite workload, chunk-level drop/corrupt faults, node kills — RunSoak
+// asserts bit-identical images against the shadow after every round, and its
+// finish checks require the cache to have been exercised (hits > 0 under
+// rewrite). The seeds are pinned so a regression replays deterministically.
+func TestSoakDedupChunkFaultChaos(t *testing.T) {
+	for _, seed := range []int64{424242, 31337} {
+		cfg := SoakConfig{
+			Layout:        paperLayout(t),
+			Rounds:        8,
+			StepsPerRound: 25,
+			Seed:          seed,
+			ChunkSize:     256,
+			ChunkFaults:   2,
+			Workload:      WorkloadRewrite,
+			Dedup:         true,
+			ArmPerRound:   1,
+			PPartition:    0.2,
+			KillMTBF:      150,
+		}
+		res, err := RunSoak(cfg)
+		if err != nil {
+			t.Fatalf("seed %d: dedup soak failed: %v\nfault log:\n%s", seed, err, faultLines(res))
+		}
+		chunkFaults := 0
+		for _, f := range res.FaultLog {
+			if f.Armed && f.Pair.Src != chaos.Coordinator {
+				chunkFaults++
+			}
+		}
+		if chunkFaults == 0 {
+			t.Errorf("seed %d: no armed chunk-frame fault fired", seed)
+		}
+	}
+}

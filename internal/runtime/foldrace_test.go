@@ -1,0 +1,298 @@
+package runtime
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"dvdc/internal/cluster"
+	"dvdc/internal/core"
+	"dvdc/internal/transport"
+	"dvdc/internal/wire"
+)
+
+// TestConcurrentGroupFoldRace drives a layout with two stacked group sets —
+// every node hosts members and keepers of eight groups, so each checkpoint
+// round runs many foldDrain goroutines concurrently per node — and asserts
+// the chunked cluster commits bit-identical state to a monolithic twin, then
+// survives a casualty. Run under -race this is the concurrency pin for the
+// parallel fold workers.
+func TestConcurrentGroupFoldRace(t *testing.T) {
+	layout, err := cluster.BuildDistributed(4, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mono, _ := chunkedCluster(t, layout, -1, false)
+	chunked, cnodes := chunkedCluster(t, layout, 128, false)
+	for round := 0; round < 3; round++ {
+		for _, c := range []*Coordinator{mono, chunked} {
+			if err := c.Step(50); err != nil {
+				t.Fatal(err)
+			}
+			if err := c.Checkpoint(); err != nil {
+				t.Fatalf("round %d: %v", round, err)
+			}
+		}
+	}
+	mstates, err := mono.VMStates()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cstates, err := chunked.VMStates()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, ms := range mstates {
+		if cs, ok := cstates[name]; !ok || ms != cs {
+			t.Errorf("%q diverges: mono %+v chunked %+v", name, ms, cstates[name])
+		}
+	}
+	before, err := chunked.Checksums()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cnodes[2].Close()
+	if _, err := chunked.RecoverNode(2); err != nil {
+		t.Fatal(err)
+	}
+	after, err := chunked.Checksums()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, want := range before {
+		if after[name] != want {
+			t.Errorf("%q diverged across recovery under concurrent folds", name)
+		}
+	}
+}
+
+// TestDuplicateChunkRedeliveryMidFoldRace redelivers an entire chunk stream
+// from a second connection while the first stream's folds are in flight: the
+// seen-set must admit each chunk exactly once no matter how the two streams
+// interleave with the async drainer, so committed parity equals a reference
+// keeper that folded each chunk once.
+func TestDuplicateChunkRedeliveryMidFoldRace(t *testing.T) {
+	layout := paperLayout(t)
+	coord, _ := chunkedCluster(t, layout, 0, false)
+	const pages, pageSize = 16, 64
+	img := pages * pageSize
+
+	g := layout.Groups[0]
+	member := g.Members[0]
+	parityNode := g.ParityNodes[0]
+
+	initial := map[string][]byte{}
+	for _, m := range g.Members {
+		initial[m] = make([]byte, img)
+	}
+	ref, err := core.NewMKeeper(0, 0, layout.Tolerance, initial)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// 16 chunks tiling the image, distinct content per chunk.
+	const count = 16
+	chunkLen := img / count
+	chunks := make([]wire.Chunk, count)
+	for i := range chunks {
+		data := make([]byte, chunkLen)
+		for j := range data {
+			data[j] = byte(i*37 + j*11 + 5)
+		}
+		chunks[i] = wire.Chunk{
+			Offset: uint64(i * chunkLen), Total: uint64(img),
+			Index: uint32(i), Count: count,
+			RawLen: uint32(chunkLen), Data: data,
+		}
+	}
+
+	// Two connections race the same stream: one forward, one reversed, so
+	// redeliveries land while earlier folds are still draining.
+	send := func(order []int) error {
+		conn, err := transport.Dial(coord.addrs[parityNode])
+		if err != nil {
+			return err
+		}
+		defer conn.Close()
+		for _, i := range order {
+			resp, err := conn.Call(&wire.Message{
+				Type: wire.MsgDeltaChunk, Epoch: 1, Group: 0, VM: member,
+				Payload: wire.EncodeChunk(&chunks[i]),
+			})
+			if err != nil {
+				return err
+			}
+			if resp.Type != wire.MsgDeltaChunkOK {
+				return errUnexpectedReply(resp.Type)
+			}
+		}
+		return nil
+	}
+	forward := make([]int, count)
+	reverse := make([]int, count)
+	for i := range forward {
+		forward[i] = i
+		reverse[i] = count - 1 - i
+	}
+	errs := make(chan error, 2)
+	var wg sync.WaitGroup
+	for _, order := range [][]int{forward, reverse} {
+		wg.Add(1)
+		go func(order []int) {
+			defer wg.Done()
+			errs <- send(order)
+		}(order)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	conn, err := transport.Dial(coord.addrs[parityNode])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if resp, err := conn.Call(&wire.Message{Type: wire.MsgCommit, Epoch: 1}); err != nil || resp.Type != wire.MsgCommitOK {
+		t.Fatalf("commit: %v %v", resp, err)
+	}
+
+	pendingBuf := make([]byte, img)
+	for _, c := range chunks {
+		if err := ref.FoldInto(pendingBuf, member, int(c.Offset), c.Data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ref.CommitPending(pendingBuf, map[string]uint64{member: 1}); err != nil {
+		t.Fatal(err)
+	}
+	pb, err := conn.Call(&wire.Message{Type: wire.MsgGetParity, Group: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(pb.Payload, ref.Parity()) {
+		t.Fatal("racing redelivery changed parity: a chunk folded twice or not at all")
+	}
+	st, err := coord.NodeStats(parityNode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ChunksReceived != count {
+		t.Errorf("ChunksReceived = %d, want %d", st.ChunksReceived, count)
+	}
+	if st.DupChunks != count {
+		t.Errorf("DupChunks = %d, want %d", st.DupChunks, count)
+	}
+}
+
+type errUnexpectedReply wire.MsgType
+
+func (e errUnexpectedReply) Error() string { return "unexpected reply type" }
+
+// TestAbortRacesInFlightFolds fires MsgAbort from a second connection while a
+// chunk stream is mid-fold: dropPending must wait out the drainer before
+// discarding the pending buffer (never yank it from under a fold), late
+// chunks may legitimately restart a stream, and a final abort leaves the
+// keeper clean — proven by a full coordinator round plus casualty recovery
+// committing bit-identical state afterwards.
+func TestAbortRacesInFlightFolds(t *testing.T) {
+	layout := paperLayout(t)
+	coord, nodes := chunkedCluster(t, layout, 0, false)
+	const pages, pageSize = 16, 64
+	img := pages * pageSize
+
+	g := layout.Groups[0]
+	member := g.Members[0]
+	parityNode := g.ParityNodes[0]
+
+	const count = 16
+	chunkLen := img / count
+	sender, err := transport.Dial(coord.addrs[parityNode])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sender.Close()
+	aborter, err := transport.Dial(coord.addrs[parityNode])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer aborter.Close()
+
+	errs := make(chan error, 2)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < count; i++ {
+			data := make([]byte, chunkLen)
+			for j := range data {
+				data[j] = byte(i*13 + j*7 + 1)
+			}
+			c := wire.Chunk{
+				Offset: uint64(i * chunkLen), Total: uint64(img),
+				Index: uint32(i), Count: count,
+				RawLen: uint32(chunkLen), Data: data,
+			}
+			if _, err := sender.Call(&wire.Message{
+				Type: wire.MsgDeltaChunk, Epoch: 1, Group: 0, VM: member,
+				Payload: wire.EncodeChunk(&c),
+			}); err != nil {
+				errs <- err
+				return
+			}
+		}
+		errs <- nil
+	}()
+	go func() {
+		defer wg.Done()
+		// Several aborts spread across the stream maximize the chance one
+		// lands while a fold is in flight.
+		for k := 0; k < 4; k++ {
+			if _, err := aborter.Call(&wire.Message{Type: wire.MsgAbort, Epoch: 1}); err != nil {
+				errs <- err
+				return
+			}
+		}
+		errs <- nil
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Final abort: whatever partial stream the race left behind is dropped,
+	// so the hand-crafted garbage never reaches committed parity.
+	if resp, err := aborter.Call(&wire.Message{Type: wire.MsgAbort, Epoch: 1}); err != nil || resp.Type != wire.MsgAbortOK {
+		t.Fatalf("final abort: %v %v", resp, err)
+	}
+
+	// The cluster must still run real rounds and reconstruct cleanly.
+	if err := coord.Step(60); err != nil {
+		t.Fatal(err)
+	}
+	if err := coord.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	before, err := coord.Checksums()
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes[parityNode].Close()
+	if _, err := coord.RecoverNode(parityNode); err != nil {
+		t.Fatal(err)
+	}
+	after, err := coord.Checksums()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, want := range before {
+		if after[name] != want {
+			t.Errorf("%q diverged after abort raced in-flight folds", name)
+		}
+	}
+}

@@ -3,6 +3,8 @@ package runtime
 import (
 	"fmt"
 	"hash/fnv"
+	goruntime "runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -34,7 +36,9 @@ type Node struct {
 	keepers    map[int]*keeperState       // by group (orthogonality: at most one block of a group per node)
 	installs   map[string]*wire.Assembler // VM -> image chunks staged by MsgInstallChunk
 	compress   bool
-	chunkSize  int // effective chunk payload size; 0 = monolithic data path
+	chunkSize  int  // effective chunk payload size; 0 = monolithic data path
+	dedup      bool // cross-epoch page-hash dedup on the ship path
+	foldSem    chan struct{} // bounds concurrent per-group fold workers
 	rpcTimeout time.Duration
 	fanout     int
 	dialer     transport.DialFunc
@@ -52,6 +56,13 @@ type memberState struct {
 	workload vm.Workload
 	cfg      VMConfig
 	staged   *core.Delta // captured but uncommitted (two-phase)
+
+	// Cross-epoch page-dedup cache (dedup.go): pageHashes holds the content
+	// hash of every page as of the member's last committed epoch (lazily —
+	// only pages that have shipped), stagedHashes the updates of the current
+	// prepare, promoted at commit and dropped on invalidation.
+	pageHashes   map[int]uint64
+	stagedHashes map[int]uint64
 }
 
 type keeperState struct {
@@ -60,12 +71,63 @@ type keeperState struct {
 	cfg    KeeperConfig
 	staged map[string]*core.Delta // member -> delta awaiting commit (monolithic path)
 
-	// Chunked data path: arriving delta chunks fold immediately into pending
-	// (a pooled accumulation buffer the size of the parity block, allocated
-	// lazily on first chunk), and streams tracks per-member delivery so
-	// duplicates are dropped idempotently and commit can verify completeness.
+	// Chunked data path: arriving delta chunks fold into pending (a pooled
+	// accumulation buffer the size of the parity block, allocated lazily on
+	// first chunk and then kept resident), and streams tracks per-member
+	// delivery so duplicates are dropped idempotently and commit can verify
+	// completeness. touched records the byte range of every fold op, so
+	// commit XORs — and the next round's reuse re-zeroes — only the bytes
+	// folds actually wrote. Invariant: pending is all-zero outside touched.
 	pending []byte
 	streams map[string]*chunkStream
+	touched [][2]int
+
+	// Async fold worker (one drainer goroutine per keeper, node-bounded by
+	// foldSem): the chunk handler validates and enqueues under mu, then
+	// replies; the drainer folds into pending with mu released, so network
+	// reads and the RS fold of independent groups overlap. foldBusy is true
+	// while a drainer is live; foldCond signals its exit. Anyone about to
+	// read or drop pending must waitFolds first. The first async fold error
+	// parks in foldErr and surfaces at commit.
+	foldCond *sync.Cond // tied to mu
+	foldBusy bool
+	foldQ    []foldJob
+	foldErr  error
+}
+
+// foldJob is one validated chunk batch awaiting its parity fold: the ops to
+// fold plus the owned buffers to recycle afterwards.
+type foldJob struct {
+	vm      string
+	ops     []foldOp
+	payload []byte // owned request payload (raw chunk data aliases it); nil if none
+}
+
+// foldOp is one chunk's fold: data either aliases the job's payload or is a
+// pooled inflate buffer the drainer returns after folding.
+type foldOp struct {
+	off    int
+	data   []byte
+	pooled bool
+}
+
+// newKeeperState wires a keeperState around a keeper.
+func newKeeperState(k *core.MKeeper, cfg KeeperConfig) *keeperState {
+	ks := &keeperState{
+		keeper:  k,
+		cfg:     cfg,
+		staged:  map[string]*core.Delta{},
+		streams: map[string]*chunkStream{},
+	}
+	ks.foldCond = sync.NewCond(&ks.mu)
+	return ks
+}
+
+// waitFolds blocks until the async fold queue drains. Caller holds ks.mu.
+func (ks *keeperState) waitFolds() {
+	for ks.foldBusy {
+		ks.foldCond.Wait()
+	}
 }
 
 // chunkStream tracks one member's in-flight delta chunk stream on a keeper.
@@ -79,16 +141,42 @@ type chunkStream struct {
 	got   uint32
 }
 
-// dropPending discards a keeper's chunked-round state (abort/rollback).
-// Caller holds ks.mu.
+// dropPending discards a keeper's chunked-round state (abort/rollback),
+// first letting any in-flight async folds finish so the pending buffer is
+// not cleared under a worker. The buffer itself stays resident — folds only
+// ever wrote inside touched, so re-zeroing just those ranges restores the
+// all-zero invariant without an image-sized clear. Caller holds ks.mu.
 func (ks *keeperState) dropPending() {
+	ks.waitFolds()
+	ks.foldErr = nil
 	if ks.pending != nil {
-		bufpool.Put(ks.pending)
-		ks.pending = nil
+		for _, r := range ks.touched {
+			clear(ks.pending[r[0]:r[1]])
+		}
 	}
+	ks.touched = ks.touched[:0]
 	if len(ks.streams) > 0 {
 		ks.streams = map[string]*chunkStream{}
 	}
+}
+
+// coalesceRanges sorts and merges touched byte ranges in place so overlaps
+// from different members' chunks collapse into disjoint runs — the form
+// CommitPendingRanges requires (an overlap would XOR those bytes twice).
+func coalesceRanges(rs [][2]int) [][2]int {
+	if len(rs) < 2 {
+		return rs
+	}
+	sort.Slice(rs, func(i, j int) bool { return rs[i][0] < rs[j][0] })
+	out := rs[:1]
+	for _, r := range rs[1:] {
+		if last := &out[len(out)-1]; r[0] <= last[1] {
+			last[1] = max(last[1], r[1])
+		} else {
+			out = append(out, r)
+		}
+	}
+	return out
 }
 
 // NodeOptions customizes how a node daemon touches the network. The zero
@@ -120,6 +208,7 @@ func NewNodeWith(addr string, opts NodeOptions) (*Node, error) {
 		members:  map[string]*memberState{},
 		keepers:  map[int]*keeperState{},
 		installs: map[string]*wire.Assembler{},
+		foldSem:  make(chan struct{}, max(1, goruntime.NumCPU()-1)),
 		dialer:   opts.Dialer,
 		tracer:   opts.Tracer,
 		registry: opts.Registry,
@@ -312,6 +401,7 @@ func (n *Node) onConfigure(req *wire.Message) (*wire.Message, error) {
 	n.peers = cfg.Peers
 	n.compress = cfg.Compress
 	n.chunkSize = resolveChunkSize(cfg.ChunkSize)
+	n.dedup = cfg.Dedup
 	n.installs = map[string]*wire.Assembler{}
 	// Drop pools whose peer moved to a new address.
 	for id, p := range n.pools {
@@ -337,7 +427,7 @@ func (n *Node) onConfigure(req *wire.Message) (*wire.Message, error) {
 		}
 		n.members[vc.Name] = &memberState{
 			mem:      mem,
-			workload: vm.NewUniform(vc.Seed),
+			workload: newWorkload(vc.Workload, vc.Seed),
 			cfg:      vc,
 		}
 	}
@@ -352,12 +442,7 @@ func (n *Node) onConfigure(req *wire.Message) (*wire.Message, error) {
 		if err != nil {
 			return nil, err
 		}
-		n.keepers[kc.Group] = &keeperState{
-			keeper:  k,
-			cfg:     kc,
-			staged:  map[string]*core.Delta{},
-			streams: map[string]*chunkStream{},
-		}
+		n.keepers[kc.Group] = newKeeperState(k, kc)
 	}
 	return &wire.Message{Type: wire.MsgConfigureOK}, nil
 }
@@ -403,12 +488,13 @@ type shipment struct {
 func (n *Node) onPrepare(ctx obs.SpanContext, req *wire.Message) (*wire.Message, error) {
 	members := n.snapshotMembers()
 	n.mu.Lock()
-	id, compress, fan, cs := n.id, n.compress, n.fanout, n.chunkSize
+	id, compress, fan, cs, dedup := n.id, n.compress, n.fanout, n.chunkSize, n.dedup
 	tr := n.tracer
 	n.mu.Unlock()
 	lane := fmt.Sprintf("node%d", id)
 
 	ships := make([]shipment, len(members))
+	var deduped atomic.Int64
 	// Phase 1: capture and stage under each member's own lock. A failure
 	// leaves earlier members staged; the coordinator's abort undoes them.
 	if err := parallelDo(len(members), fan, func(i int) error {
@@ -418,13 +504,30 @@ func (n *Node) onPrepare(ctx obs.SpanContext, req *wire.Message) (*wire.Message,
 		if ms.staged != nil {
 			return fmt.Errorf("runtime: node %d: %q already has a staged delta", id, ms.cfg.Name)
 		}
-		d, err := ms.mem.CaptureDelta()
+		d, err := ms.mem.CaptureDeltaInto(bufpool.Get)
 		if err != nil {
 			return err
 		}
 		ms.staged = d
+		shipped := d
+		if dedup {
+			var hits, misses int64
+			shipped, hits, misses = ms.dedupFilter(d)
+			if hits > 0 {
+				deduped.Add(hits)
+				n.statsMu.Lock()
+				n.stats.DedupHits += hits
+				n.stats.DedupMisses += misses
+				n.stats.DedupSavedBytes += hits * int64(ms.cfg.PageSize)
+				n.statsMu.Unlock()
+			} else if misses > 0 {
+				n.statsMu.Lock()
+				n.stats.DedupMisses += misses
+				n.statsMu.Unlock()
+			}
+		}
 		ships[i] = shipment{
-			delta:      d,
+			delta:      shipped,
 			group:      ms.cfg.Group,
 			parity:     append([]int(nil), ms.cfg.ParityNodes...),
 			pageSize:   ms.cfg.PageSize,
@@ -474,7 +577,7 @@ func (n *Node) onPrepare(ctx obs.SpanContext, req *wire.Message) (*wire.Message,
 	}); err != nil {
 		return nil, err
 	}
-	text, err := encodeJSON(prepareSummary{Chunks: chunksSent.Load()})
+	text, err := encodeJSON(prepareSummary{Chunks: chunksSent.Load(), Deduped: deduped.Load()})
 	if err != nil {
 		return nil, err
 	}
@@ -485,39 +588,63 @@ func (n *Node) onPrepare(ctx obs.SpanContext, req *wire.Message) (*wire.Message,
 // chunk frames. Chunks follow dirty-page runs, so a scattered delta yields
 // many frames far smaller than chunkSize; shipping each as its own message
 // would make framing and syscalls dominate the round. Frames are therefore
-// packed back-to-back into pooled batches of about chunkSize wire bytes, one
-// message per batch — every chunk inside keeps its own offset and CRC and is
-// still folded individually on arrival. Batches are encoded once and shared
-// read-only across peers; per peer, up to chunkPipelineWidth batches are in
-// flight so the network transfer overlaps the keeper's incremental folds.
+// packed back-to-back into batches of about chunkSize wire bytes, one message
+// per batch — every chunk inside keeps its own offset and CRC and is still
+// folded individually on arrival.
+//
+// Batches are scatter-gather lists (wire.FrameWriter): each frame is a tiny
+// pooled header slot plus a data segment aliasing the chunk buffer, and the
+// transport writes the segments in sequence — page data crosses from the
+// delta chunk buffers to the socket without ever being copied into a batch
+// buffer. Batches are built once and shared read-only across peers; per peer,
+// up to chunkPipelineWidth batches are in flight so the network transfer
+// overlaps the keeper's incremental folds.
 func (n *Node) shipChunked(sctx obs.SpanContext, span *obs.Active, sh shipment, chunkSize int, compress bool, wireBytes, chunksSent *atomic.Int64) error {
-	chunks, release := deltaChunks(sh.delta, sh.pageSize, sh.imageBytes, chunkSize)
+	// Compression needs each chunk's bytes contiguous (Deflate consumes one
+	// slice), so that path materializes pooled chunk buffers. The plain path
+	// ships the captured page buffers themselves as scatter segments — the
+	// dirty bytes are never copied between capture and the socket. The pages
+	// belong to the staged delta, which outlives the prepare-phase ship.
+	var chunks []wire.Chunk
+	var chunkSegs [][][]byte
+	release := func() {}
+	if compress {
+		chunks, release = deltaChunks(sh.delta, sh.pageSize, sh.imageBytes, chunkSize)
+	} else {
+		chunks, chunkSegs = deltaChunkScatter(sh.delta, sh.pageSize, sh.imageBytes, chunkSize)
+	}
 	defer release()
-	budget := chunkSize + wire.ChunkHeaderLen
+	budget := max(chunkSize, chunkBatchBudget) + wire.ChunkHeaderLen
 	var raw, wireB int64
-	var batches [][]byte
+	var batches []*wire.FrameWriter
+	var cur *wire.FrameWriter
 	for i := range chunks {
 		c := &chunks[i]
 		raw += int64(c.RawLen)
+		need := wire.ChunkHeaderLen + int(c.RawLen)
 		if compress {
 			c.Deflate()
+			need = wire.ChunkHeaderLen + len(c.Data)
 		}
-		need := wire.ChunkHeaderLen + len(c.Data)
-		if k := len(batches); k == 0 || len(batches[k-1])+need > budget {
-			// A frame larger than the budget (deltaChunks widened a degenerate
-			// chunk size to honor the stream bound) gets a batch of its own.
-			batches = append(batches, bufpool.Get(max(budget, need))[:0])
+		// A frame larger than the budget (planChunks widened a degenerate
+		// chunk size to honor the stream bound) gets a batch of its own.
+		if cur == nil || cur.Len()+need > budget {
+			cur = &wire.FrameWriter{Alloc: bufpool.Get}
+			batches = append(batches, cur)
 		}
-		k := len(batches) - 1
-		batches[k] = wire.AppendChunk(batches[k], c)
+		if compress {
+			cur.AppendChunk(c)
+		} else {
+			cur.AppendChunkScatter(c, chunkSegs[i])
+		}
 	}
 	defer func() {
-		for _, b := range batches {
-			bufpool.Put(b)
+		for _, fw := range batches {
+			fw.Release(bufpool.Put)
 		}
 	}()
-	for _, b := range batches {
-		wireB += int64(len(b))
+	for _, fw := range batches {
+		wireB += int64(fw.Len())
 	}
 	peers := int64(len(sh.parity))
 	n.statsMu.Lock()
@@ -531,14 +658,28 @@ func (n *Node) shipChunked(sctx obs.SpanContext, span *obs.Active, sh shipment, 
 	span.SetAttr("bytes", fmt.Sprint(wireB))
 	span.SetAttr("chunks", fmt.Sprint(len(chunks)))
 	span.SetAttr("batches", fmt.Sprint(len(batches)))
+	selfID := n.nodeID()
 	return parallelDo(len(sh.parity), 0, func(j int) error {
 		peer := sh.parity[j]
 		return parallelDo(len(batches), chunkPipelineWidth, func(k int) error {
-			reply, err := n.callPeer(peer, &wire.Message{
+			msg := &wire.Message{
 				Type: wire.MsgDeltaChunk, Epoch: sh.delta.Epoch,
-				Group: int32(sh.group), VM: sh.delta.VMID, Payload: batches[k],
-				Trace: sctx.Trace, Span: sctx.Span,
-			})
+				Group: int32(sh.group), VM: sh.delta.VMID,
+				PayloadSegs: batches[k].Segments(),
+				Trace:       sctx.Trace, Span: sctx.Span,
+			}
+			if peer == selfID {
+				// Self-calls bypass the wire, so the handler sees no framed
+				// payload; hand it the contiguous form a socket read would have
+				// produced. The handler may take ownership (nil-ing Payload) to
+				// fold asynchronously; otherwise the buffer comes back here.
+				msg.Payload = flattenSegments(batches[k])
+				msg.PayloadSegs = nil
+			}
+			reply, err := n.callPeer(peer, msg)
+			if peer == selfID && msg.Payload != nil {
+				bufpool.Put(msg.Payload)
+			}
 			if err != nil {
 				return fmt.Errorf("runtime: shipping chunk batch %d/%d of %q to node %d: %w",
 					k+1, len(batches), sh.delta.VMID, peer, err)
@@ -549,6 +690,15 @@ func (n *Node) shipChunked(sctx obs.SpanContext, span *obs.Active, sh shipment, 
 			return nil
 		})
 	})
+}
+
+// flattenSegments copies a FrameWriter's scatter list into one pooled buffer.
+func flattenSegments(fw *wire.FrameWriter) []byte {
+	out := bufpool.Get(fw.Len())[:0]
+	for _, seg := range fw.Segments() {
+		out = append(out, seg...)
+	}
+	return out
 }
 
 func (n *Node) onDelta(req *wire.Message) (*wire.Message, error) {
@@ -572,27 +722,29 @@ func (n *Node) onDelta(req *wire.Message) (*wire.Message, error) {
 	return &wire.Message{Type: wire.MsgDeltaOK, Epoch: d.Epoch}, nil
 }
 
-// onDeltaChunk folds delta chunks straight into the keeper's pending
-// accumulation buffer — the streaming half of the chunked data path. The
-// payload carries one or more self-delimiting chunk frames (the sender
-// batches small frames into one message); each is verified and folded
-// individually. The fold happens off the live parity block so two-phase
-// semantics hold: abort drops the pending buffer, commit lands it atomically.
-// Redelivered chunks (the transport retries once over a fresh dial when a
-// connection drops, resending whole batches) are detected by index and
-// skipped without folding again, since a second XOR fold would cancel the
-// first.
+// onDeltaChunk accepts delta chunks for the keeper's pending accumulation
+// buffer — the streaming half of the chunked data path. The payload carries
+// one or more self-delimiting chunk frames (the sender batches small frames
+// into one message); each is verified individually against its stream under
+// ks.mu, then the whole batch is enqueued for the keeper's fold drainer and
+// the reply goes out before the RS fold runs. The fold happens off the live
+// parity block so two-phase semantics hold: abort drops the pending buffer,
+// commit waits for the queue to drain and lands it atomically. Redelivered
+// chunks (the transport retries once over a fresh dial when a connection
+// drops, resending whole batches) are detected by index and skipped without
+// folding again, since a second XOR fold would cancel the first.
 func (n *Node) onDeltaChunk(req *wire.Message) (*wire.Message, error) {
 	n.mu.Lock()
 	ks, ok := n.keepers[int(req.Group)]
 	id := n.id
-	reg := n.registry
 	n.mu.Unlock()
 	if !ok {
 		return nil, fmt.Errorf("runtime: node %d keeps no parity for group %d", id, req.Group)
 	}
 	ks.mu.Lock()
 	defer ks.mu.Unlock()
+	job := foldJob{vm: req.VM}
+	aliases := false
 	// An empty payload decodes to a short-header error on the first
 	// iteration, so a batch always contains at least one frame.
 	for buf := req.Payload; ; {
@@ -600,26 +752,54 @@ func (n *Node) onDeltaChunk(req *wire.Message) (*wire.Message, error) {
 		if err != nil {
 			return nil, err
 		}
-		if err := n.foldChunk(ks, reg, req, &c); err != nil {
+		op, fold, err := n.validateChunk(ks, req, &c)
+		if err != nil {
 			return nil, err
+		}
+		if fold {
+			job.ops = append(job.ops, op)
+			if !op.pooled && len(op.data) > 0 {
+				aliases = true // raw chunk data points into req.Payload
+			}
 		}
 		if buf = buf[adv:]; len(buf) == 0 {
 			break
 		}
 	}
+	// The batch passed validation: its streams exist, so commit will expect a
+	// pending buffer even if every chunk was a duplicate or empty.
+	if ks.pending == nil {
+		ks.pending = bufpool.GetZero(ks.keeper.Size())
+	}
+	if len(job.ops) > 0 {
+		if aliases {
+			// Take the payload: the drainer folds from it after this handler
+			// returns, and recycles it. The transport treats a nil-ed request
+			// payload as ownership transferred.
+			job.payload = req.Payload
+			req.Payload = nil
+		}
+		ks.foldQ = append(ks.foldQ, job)
+		if !ks.foldBusy {
+			ks.foldBusy = true
+			go n.foldDrain(ks)
+		}
+	}
 	return &wire.Message{Type: wire.MsgDeltaChunkOK, Epoch: req.Epoch, VM: req.VM}, nil
 }
 
-// foldChunk validates one decoded chunk against its stream and folds it into
-// the keeper's pending buffer. Caller holds ks.mu.
-func (n *Node) foldChunk(ks *keeperState, reg *obs.Registry, req *wire.Message, c *wire.Chunk) error {
+// validateChunk checks one decoded chunk against its stream, records its
+// delivery, and materializes the fold op (inflating compressed chunks into
+// pooled buffers). fold is false for idempotently dropped duplicates. Caller
+// holds ks.mu.
+func (n *Node) validateChunk(ks *keeperState, req *wire.Message, c *wire.Chunk) (op foldOp, fold bool, err error) {
 	k := ks.keeper
 	if int(c.Total) != k.Size() {
-		return fmt.Errorf("runtime: chunk stream for %q describes a %d-byte image, group %d uses %d",
+		return op, false, fmt.Errorf("runtime: chunk stream for %q describes a %d-byte image, group %d uses %d",
 			req.VM, c.Total, req.Group, k.Size())
 	}
 	if req.Epoch != k.Epoch(req.VM)+1 {
-		return fmt.Errorf("runtime: chunk stream for %q at epoch %d, keeper folded %d",
+		return op, false, fmt.Errorf("runtime: chunk stream for %q at epoch %d, keeper folded %d",
 			req.VM, req.Epoch, k.Epoch(req.VM))
 	}
 	st := ks.streams[req.VM]
@@ -627,41 +807,82 @@ func (n *Node) foldChunk(ks *keeperState, reg *obs.Registry, req *wire.Message, 
 		st = &chunkStream{epoch: req.Epoch, count: c.Count, seen: make([]bool, c.Count)}
 		ks.streams[req.VM] = st
 	} else if st.epoch != req.Epoch || st.count != c.Count {
-		return fmt.Errorf("runtime: conflicting chunk stream for %q (epoch %d, %d chunks; had epoch %d, %d)",
+		return op, false, fmt.Errorf("runtime: conflicting chunk stream for %q (epoch %d, %d chunks; had epoch %d, %d)",
 			req.VM, req.Epoch, c.Count, st.epoch, st.count)
 	}
 	if st.seen[c.Index] {
 		n.statsMu.Lock()
 		n.stats.DupChunks++
 		n.statsMu.Unlock()
-		return nil
+		return op, false, nil
 	}
 	data, err := c.Inflate(bufpool.Get)
 	if err != nil {
-		return err
-	}
-	if ks.pending == nil {
-		ks.pending = bufpool.GetZero(k.Size())
-	}
-	start := time.Now()
-	ferr := k.FoldInto(ks.pending, req.VM, int(c.Offset), data)
-	foldD := time.Since(start)
-	if c.Flags&wire.ChunkFlate != 0 {
-		bufpool.Put(data) // inflated copy is ours; raw chunks alias req.Payload
-	}
-	if ferr != nil {
-		return ferr
+		return op, false, err
 	}
 	st.seen[c.Index] = true
 	st.got++
-	n.statsMu.Lock()
-	n.stats.ChunksReceived++
-	n.stats.FoldNanos += foldD.Nanoseconds()
-	n.statsMu.Unlock()
-	if reg != nil {
-		reg.Histogram("dvdc_chunk_fold_seconds", obs.LatencyBuckets()).Observe(foldD.Seconds())
+	if len(data) > 0 {
+		ks.touched = append(ks.touched, [2]int{int(c.Offset), int(c.Offset) + len(data)})
 	}
-	return nil
+	return foldOp{off: int(c.Offset), data: data, pooled: c.Flags&wire.ChunkFlate != 0}, true, nil
+}
+
+// foldDrain is the keeper's fold worker: it pops queued chunk batches and
+// folds them into the pending buffer with ks.mu released, so the handler can
+// keep accepting (and validating) the next batches off the wire while this
+// one folds. A node-wide semaphore bounds how many keepers fold at once.
+// Exactly one drainer runs per keeper (same-group chunks may overlap byte
+// ranges, so their folds must not race each other); distinct groups fold in
+// parallel. Exits when the queue is empty, waking waitFolds waiters.
+func (n *Node) foldDrain(ks *keeperState) {
+	n.mu.Lock()
+	reg := n.registry
+	n.mu.Unlock()
+	for {
+		ks.mu.Lock()
+		if len(ks.foldQ) == 0 {
+			ks.foldBusy = false
+			ks.foldCond.Broadcast()
+			ks.mu.Unlock()
+			return
+		}
+		job := ks.foldQ[0]
+		ks.foldQ = ks.foldQ[1:]
+		k, pending := ks.keeper, ks.pending
+		ks.mu.Unlock()
+
+		n.foldSem <- struct{}{}
+		start := time.Now()
+		var ferr error
+		for _, op := range job.ops {
+			if ferr == nil {
+				ferr = k.FoldInto(pending, job.vm, op.off, op.data)
+			}
+			if op.pooled {
+				bufpool.Put(op.data) // inflated copy is ours; raw chunks alias the payload
+			}
+		}
+		foldD := time.Since(start)
+		<-n.foldSem
+		if job.payload != nil {
+			bufpool.Put(job.payload)
+		}
+		n.statsMu.Lock()
+		n.stats.ChunksReceived += int64(len(job.ops))
+		n.stats.FoldNanos += foldD.Nanoseconds()
+		n.statsMu.Unlock()
+		if reg != nil {
+			reg.Histogram("dvdc_chunk_fold_seconds", obs.LatencyBuckets()).Observe(foldD.Seconds())
+		}
+		if ferr != nil {
+			ks.mu.Lock()
+			if ks.foldErr == nil {
+				ks.foldErr = ferr
+			}
+			ks.mu.Unlock()
+		}
+	}
 }
 
 func (n *Node) onCommit(ctx obs.SpanContext, req *wire.Message) (*wire.Message, error) {
@@ -681,6 +902,13 @@ func (n *Node) onCommit(ctx obs.SpanContext, req *wire.Message) (*wire.Message, 
 		span := tr.Child(ctx, fmt.Sprintf("fold g%d", ks.keeper.Group()), lane)
 		span.SetAttr("staged", fmt.Sprint(len(ks.staged)))
 		defer func() { span.FinishErr(foldErr) }()
+		// The async fold queue must land before pending is read or committed;
+		// an error parked by the drainer fails the commit here.
+		ks.waitFolds()
+		if err := ks.foldErr; err != nil {
+			ks.foldErr = nil
+			return fmt.Errorf("runtime: commit group %d: async chunk fold: %w", ks.keeper.Group(), err)
+		}
 		for id, d := range ks.staged {
 			if err := ks.keeper.ApplyDelta(d); err != nil {
 				return fmt.Errorf("runtime: commit group %d member %q: %w", ks.keeper.Group(), id, err)
@@ -704,11 +932,15 @@ func (n *Node) onCommit(ctx obs.SpanContext, req *wire.Message) (*wire.Message, 
 			if ks.pending == nil {
 				return fmt.Errorf("runtime: commit group %d: chunk streams without a pending fold buffer", ks.keeper.Group())
 			}
-			if err := ks.keeper.CommitPending(ks.pending, epochs); err != nil {
+			// Folds only wrote inside touched, so commit drains just those
+			// ranges — XOR into parity and re-zero in one fused pass: the
+			// buffer stays resident and all-zero for the next round, and a
+			// sparse round costs O(folded bytes) instead of O(image) per
+			// group.
+			if err := ks.keeper.DrainPendingRanges(ks.pending, epochs, coalesceRanges(ks.touched)); err != nil {
 				return fmt.Errorf("runtime: commit group %d: %w", ks.keeper.Group(), err)
 			}
-			bufpool.Put(ks.pending)
-			ks.pending = nil
+			ks.touched = ks.touched[:0]
 			ks.streams = map[string]*chunkStream{}
 		}
 		return nil
@@ -717,10 +949,25 @@ func (n *Node) onCommit(ctx obs.SpanContext, req *wire.Message) (*wire.Message, 
 	}
 	for _, ms := range n.snapshotMembers() {
 		ms.mu.Lock()
+		releaseDelta(ms.staged)
 		ms.staged = nil // capture already advanced the committed image
+		ms.dedupCommit()
 		ms.mu.Unlock()
 	}
 	return &wire.Message{Type: wire.MsgCommitOK, Epoch: req.Epoch}, nil
+}
+
+// releaseDelta returns a pooled-capture delta's page buffers. Only deltas
+// from CaptureDeltaInto(bufpool.Get) flow here; keeper-side deltas are
+// decoded copies and never released this way.
+func releaseDelta(d *core.Delta) {
+	if d == nil {
+		return
+	}
+	for i := range d.Pages {
+		bufpool.Put(d.Pages[i].Data)
+		d.Pages[i].Data = nil
+	}
 }
 
 func (n *Node) onAbort(req *wire.Message) (*wire.Message, error) {
@@ -737,8 +984,13 @@ func (n *Node) onAbort(req *wire.Message) (*wire.Message, error) {
 				ms.mu.Unlock()
 				return nil, err
 			}
+			releaseDelta(ms.staged)
 			ms.staged = nil
 		}
+		// The hashes staged for the aborted epoch are now stale (their pages
+		// reverted with the capture); the committed entries survive — parity
+		// did not move.
+		ms.dedupAbort()
 		ms.mu.Unlock()
 	}
 	return &wire.Message{Type: wire.MsgAbortOK, Epoch: req.Epoch}, nil
@@ -1090,7 +1342,7 @@ func (n *Node) onInstall(req *wire.Message) (*wire.Message, error) {
 	}
 	n.members[cfg.Name] = &memberState{
 		mem:      mem,
-		workload: vm.NewUniform(cfg.Seed),
+		workload: newWorkload(cfg.Workload, cfg.Seed),
 		cfg:      cfg.VMConfig,
 	}
 	return &wire.Message{Type: wire.MsgInstallOK, VM: cfg.Name}, nil
@@ -1124,8 +1376,12 @@ func (n *Node) onRollback(req *wire.Message) (*wire.Message, error) {
 			if err := ms.mem.UndoCapture(ms.staged); err != nil {
 				return err
 			}
+			releaseDelta(ms.staged)
 			ms.staged = nil
 		}
+		// Rollback rewinds the committed image, so every cached page hash is
+		// for content that no longer exists.
+		ms.dedupInvalidate()
 		return ms.mem.Rollback()
 	}); err != nil {
 		return nil, err
@@ -1194,12 +1450,7 @@ func (n *Node) onRebuildKeeper(ctx obs.SpanContext, req *wire.Message) (*wire.Me
 	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	n.keepers[cfg.Group] = &keeperState{
-		keeper:  k,
-		cfg:     cfg.KeeperConfig,
-		staged:  map[string]*core.Delta{},
-		streams: map[string]*chunkStream{},
-	}
+	n.keepers[cfg.Group] = newKeeperState(k, cfg.KeeperConfig)
 	return &wire.Message{Type: wire.MsgRebuildKeeperOK, Group: int32(cfg.Group)}, nil
 }
 
@@ -1256,6 +1507,10 @@ func (n *Node) setParity(group, idx, node int) error {
 			return fmt.Errorf("runtime: parity index %d out of range for %q", idx, name)
 		}
 		ms.cfg.ParityNodes[idx] = node
+		// A re-homed parity block was rebuilt from committed images; the dedup
+		// cache's notion of "already folded" no longer matches what the new
+		// keeper saw, so the next epoch must ship every dirty page.
+		ms.dedupInvalidate()
 		ms.mu.Unlock()
 	}
 	return nil

@@ -23,6 +23,7 @@ import (
 // lives or how it got there.
 type Shadow struct {
 	seedBase int64
+	workload string // workload kind every VM runs ("" = uniform)
 	epoch    uint64
 	vms      map[string]*shadowVM
 }
@@ -37,7 +38,14 @@ type shadowVM struct {
 // with its initial image committed and a workload seeded exactly like the
 // coordinator seeds the real one.
 func NewShadow(layout *cluster.Layout, pages, pageSize int, seed int64) (*Shadow, error) {
-	s := &Shadow{seedBase: seed, vms: map[string]*shadowVM{}}
+	return NewShadowWith(layout, pages, pageSize, seed, "")
+}
+
+// NewShadowWith is NewShadow for a cluster whose coordinator was given a
+// non-default workload kind (Coordinator.SetWorkload): the shadow must run
+// the same kind or the write streams diverge immediately.
+func NewShadowWith(layout *cluster.Layout, pages, pageSize int, seed int64, workload string) (*Shadow, error) {
+	s := &Shadow{seedBase: seed, workload: workload, vms: map[string]*shadowVM{}}
 	for _, v := range layout.VMs {
 		m, err := vm.NewMachine(v.Name, pages, pageSize)
 		if err != nil {
@@ -45,7 +53,7 @@ func NewShadow(layout *cluster.Layout, pages, pageSize int, seed int64) (*Shadow
 		}
 		sv := &shadowVM{
 			machine:  m,
-			workload: vm.NewUniform(vmWorkloadSeed(seed, v.Name)),
+			workload: newWorkload(workload, vmWorkloadSeed(seed, v.Name)),
 		}
 		sv.committed = m.Image()
 		m.BeginEpoch()
@@ -102,7 +110,7 @@ func (s *Shadow) Recover(plan *cluster.Plan, epoch uint64) error {
 		if !ok {
 			return fmt.Errorf("shadow: recovery plan restores unknown VM %q", st.VM)
 		}
-		sv.workload = vm.NewUniform(vmWorkloadSeed(s.seedBase, st.VM) + int64(epoch) + 1)
+		sv.workload = newWorkload(s.workload, vmWorkloadSeed(s.seedBase, st.VM)+int64(epoch)+1)
 	}
 	return nil
 }
@@ -122,7 +130,7 @@ func (s *Shadow) Rebalance(plan *cluster.Plan, epoch uint64) error {
 		if err := sv.machine.LoadImage(sv.committed); err != nil {
 			return fmt.Errorf("shadow: reinstall %q: %w", st.VM, err)
 		}
-		sv.workload = vm.NewUniform(vmWorkloadSeed(s.seedBase, st.VM) + int64(epoch) + 7919)
+		sv.workload = newWorkload(s.workload, vmWorkloadSeed(s.seedBase, st.VM)+int64(epoch)+7919)
 	}
 	return nil
 }

@@ -32,6 +32,8 @@ type SoakConfig struct {
 	ArmPerRound   int           // armed one-shot faults per round on coordinator pairs
 	ChunkSize     int           // data-path granularity: 0 default chunked, <0 monolithic, >0 bytes
 	ChunkFaults   int           // armed one-shot chunk-frame faults per round on member-host -> parity edges
+	Workload      string        // workload kind every VM runs ("" = uniform; see WorkloadRewrite)
+	Dedup         bool          // cross-epoch page-hash dedup on node ship paths
 	PPartition    float64       // per-round probability of a transient node-pair partition
 	KillMTBF      float64       // per-node MTBF in virtual seconds (0 = no kills)
 	RoundSeconds  float64       // virtual seconds per round on the kill clock (default 10)
@@ -288,12 +290,14 @@ func newSoakEnv(cfg SoakConfig) (*soakEnv, error) {
 	coord.SetFlightRecorder(e.rec)
 	coord.SetRPCTimeout(cfg.RPCTimeout)
 	coord.SetChunkSize(cfg.ChunkSize)
+	coord.SetWorkload(cfg.Workload)
+	coord.SetDedup(cfg.Dedup)
 	coord.SetDialer(e.inj.Dialer(chaos.Coordinator))
 	if err := coord.Setup(); err != nil {
 		e.close()
 		return nil, err
 	}
-	e.shadow, err = NewShadow(layout, cfg.Pages, cfg.PageSize, cfg.Seed)
+	e.shadow, err = NewShadowWith(layout, cfg.Pages, cfg.PageSize, cfg.Seed, cfg.Workload)
 	if err != nil {
 		e.close()
 		return nil, err
@@ -600,6 +604,25 @@ func (e *soakEnv) finish() (*SoakResult, error) {
 		}
 		if chunksSent == 0 {
 			return e.fail(cfg.Rounds, "chunked data path configured but no node shipped a chunk")
+		}
+	}
+	// Same discipline for the dedup cache: a dedup soak where no member ever
+	// consulted the cache verified nothing about it.
+	if cfg.Dedup {
+		var hits, misses int64
+		for n := 0; n < e.layout.Nodes; n++ {
+			st, err := e.coord.NodeStats(n)
+			if err != nil {
+				return e.fail(cfg.Rounds, "fetch node %d stats: %v", n, err)
+			}
+			hits += st.DedupHits
+			misses += st.DedupMisses
+		}
+		if hits+misses == 0 {
+			return e.fail(cfg.Rounds, "dedup configured but no node consulted the page-hash cache")
+		}
+		if cfg.Workload == WorkloadRewrite && hits == 0 {
+			return e.fail(cfg.Rounds, "dedup under the rewrite workload produced zero cache hits")
 		}
 	}
 	// Liveness floor: chaos may abort rounds, but the protocol must keep

@@ -142,6 +142,47 @@ func (w *Phased) Step(m *Machine) {
 // Name implements Workload.
 func (w *Phased) Name() string { return fmt.Sprintf("phased(len=%d,ws=%.2f)", w.phaseLen, w.setFrac) }
 
+// Rewrite models checkpoint similarity: pages are re-dirtied constantly but
+// only a fraction of writes change content — the rest store back the values
+// already there (databases rewriting clean buffers, zeroed heap arenas,
+// double-buffered state). Dirty-page tracking sees every write, so an
+// incremental checkpointer ships the whole working set each epoch even
+// though most pages are byte-identical to the last committed image. This is
+// the workload the cross-epoch page-dedup cache exists for.
+type Rewrite struct {
+	rng        *rand.Rand
+	stamp      uint64
+	changeFrac float64
+}
+
+// NewRewrite builds a rewrite workload: each step dirties a uniformly
+// chosen page, and with probability changeFrac (clamped to [0,1]) actually
+// changes its content.
+func NewRewrite(seed int64, changeFrac float64) *Rewrite {
+	if changeFrac < 0 {
+		changeFrac = 0
+	}
+	if changeFrac > 1 {
+		changeFrac = 1
+	}
+	return &Rewrite{rng: rand.New(rand.NewSource(seed)), changeFrac: changeFrac}
+}
+
+// Step implements Workload.
+func (w *Rewrite) Step(m *Machine) {
+	page := w.rng.Intn(m.NumPages())
+	if w.rng.Float64() < w.changeFrac {
+		w.stamp++
+		m.TouchPage(page, w.stamp)
+		return
+	}
+	// Store-back of identical bytes: the page is dirtied, its content is not.
+	m.MutatePage(page, func([]byte) {})
+}
+
+// Name implements Workload.
+func (w *Rewrite) Name() string { return fmt.Sprintf("rewrite(change=%.2f)", w.changeFrac) }
+
 // Replay drives a machine from a recorded page-access sequence, wrapping
 // around when exhausted: the bridge from real guest traces (e.g. captured
 // with a hypervisor's dirty-logging) to the simulator. Page indices are

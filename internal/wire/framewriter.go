@@ -1,0 +1,166 @@
+package wire
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"net"
+)
+
+// Scatter-gather chunk encoding: the ship path batches many chunk frames
+// into one message payload. AppendChunk renders header and data into one
+// contiguous buffer — a memcpy of every data byte just to frame it. The
+// FrameWriter below instead emits each frame as two segments, a header slot
+// carved from a small pooled arena and the caller's data slice aliased
+// as-is, collected into a net.Buffers (writev-style). The bytes on the wire
+// are identical to the contiguous encoding, so receivers decode through the
+// unchanged DecodeChunkPrefix/Assembler path.
+
+// AppendChunkHeader appends the chunk's header — including the CRC, which
+// covers the header (crc field zeroed) followed by c.Data — without
+// appending the data bytes themselves. The header followed by c.Data is
+// byte-identical to AppendChunk's output.
+func AppendChunkHeader(dst []byte, c *Chunk) []byte {
+	base := len(dst)
+	dst = binary.LittleEndian.AppendUint64(dst, c.Offset)
+	dst = binary.LittleEndian.AppendUint64(dst, c.Total)
+	dst = binary.LittleEndian.AppendUint32(dst, c.Index)
+	dst = binary.LittleEndian.AppendUint32(dst, c.Count)
+	dst = append(dst, c.Flags)
+	dst = binary.LittleEndian.AppendUint32(dst, c.RawLen)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(c.Data)))
+	dst = binary.LittleEndian.AppendUint32(dst, 0) // crc placeholder
+	crc := crc32.ChecksumIEEE(dst[base:])
+	crc = crc32.Update(crc, crc32.IEEETable, c.Data)
+	binary.LittleEndian.PutUint32(dst[base+ChunkHeaderLen-4:], crc)
+	return dst
+}
+
+// frameWriterArenaHeaders sizes a header arena: ~4 KiB holds 110 headers,
+// which covers a whole default-size batch in one pooled buffer.
+const frameWriterArenaHeaders = 110
+
+// FrameWriter collects chunk frames as scatter-gather segments. Each
+// AppendChunk adds two segments: a header rendered into an internal arena
+// and the chunk's Data slice, aliased without copying. The accumulated
+// Segments are wire-identical to AppendChunk run over the same chunks, so
+// they decode through DecodeChunkPrefix unchanged.
+//
+// Data slices are aliased until the segments have been written, so the
+// caller must keep them alive (and unmodified) until then. Release returns
+// the header arenas; the zero FrameWriter is ready to use.
+type FrameWriter struct {
+	// Alloc provides header-arena buffers (nil = make). Arenas are returned
+	// through Release's free func.
+	Alloc func(int) []byte
+
+	arenas [][]byte
+	cur    []byte // active arena, len = bytes used
+	segs   net.Buffers
+	n      int
+	frames int
+}
+
+// AppendChunk adds one chunk frame to the segment list, aliasing c.Data.
+func (fw *FrameWriter) AppendChunk(c *Chunk) {
+	var data [][]byte
+	if len(c.Data) > 0 {
+		data = [][]byte{c.Data}
+	}
+	fw.AppendChunkScatter(c, data)
+}
+
+// AppendChunkScatter adds one chunk frame whose data arrives as a scatter
+// list instead of a contiguous slice: the concatenation of data plays the
+// role of c.Data (which is ignored and may be nil). The header's length and
+// CRC fields are computed across the pieces, and each piece becomes its own
+// wire segment — so a chunk spanning several dirty pages ships straight from
+// the page buffers with no coalescing copy. Pieces are aliased until the
+// segments have been written.
+func (fw *FrameWriter) AppendChunkScatter(c *Chunk, data [][]byte) {
+	if len(fw.cur)+ChunkHeaderLen > cap(fw.cur) {
+		alloc := fw.Alloc
+		if alloc == nil {
+			alloc = func(n int) []byte { return make([]byte, n) }
+		}
+		a := alloc(frameWriterArenaHeaders * ChunkHeaderLen)
+		fw.arenas = append(fw.arenas, a)
+		fw.cur = a[:0]
+	}
+	var dataLen int
+	for _, d := range data {
+		dataLen += len(d)
+	}
+	base := len(fw.cur)
+	dst := fw.cur
+	dst = binary.LittleEndian.AppendUint64(dst, c.Offset)
+	dst = binary.LittleEndian.AppendUint64(dst, c.Total)
+	dst = binary.LittleEndian.AppendUint32(dst, c.Index)
+	dst = binary.LittleEndian.AppendUint32(dst, c.Count)
+	dst = append(dst, c.Flags)
+	dst = binary.LittleEndian.AppendUint32(dst, c.RawLen)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(dataLen))
+	dst = binary.LittleEndian.AppendUint32(dst, 0) // crc placeholder
+	crc := crc32.ChecksumIEEE(dst[base:])
+	for _, d := range data {
+		crc = crc32.Update(crc, crc32.IEEETable, d)
+	}
+	binary.LittleEndian.PutUint32(dst[base+ChunkHeaderLen-4:], crc)
+	fw.cur = dst
+	fw.segs = append(fw.segs, fw.cur[base:len(fw.cur):len(fw.cur)])
+	for _, d := range data {
+		if len(d) > 0 {
+			fw.segs = append(fw.segs, d)
+		}
+	}
+	fw.n += ChunkHeaderLen + dataLen
+	fw.frames++
+}
+
+// Len returns the total encoded bytes across all appended frames.
+func (fw *FrameWriter) Len() int { return fw.n }
+
+// Frames returns how many chunk frames have been appended.
+func (fw *FrameWriter) Frames() int { return fw.frames }
+
+// Segments returns the accumulated scatter list. The slices alias the
+// writer's arenas and the callers' data buffers; they are valid until Reset
+// or Release.
+func (fw *FrameWriter) Segments() net.Buffers { return fw.segs }
+
+// Bytes renders the contiguous encoding (a copy) — test and fallback use.
+func (fw *FrameWriter) Bytes() []byte {
+	out := make([]byte, 0, fw.n)
+	for _, s := range fw.segs {
+		out = append(out, s...)
+	}
+	return out
+}
+
+// Reset forgets the segment list, keeping the first arena for reuse (any
+// overflow arenas are dropped to the GC).
+func (fw *FrameWriter) Reset() {
+	fw.segs = fw.segs[:0]
+	fw.n = 0
+	fw.frames = 0
+	if len(fw.arenas) > 0 {
+		fw.cur = fw.arenas[0][:0]
+		fw.arenas = fw.arenas[:1]
+	} else {
+		fw.cur = nil
+	}
+}
+
+// Release returns every header arena through free (e.g. bufpool.Put) and
+// clears the writer. Segments obtained earlier are invalid afterwards.
+func (fw *FrameWriter) Release(free func([]byte)) {
+	if free != nil {
+		for _, a := range fw.arenas {
+			free(a)
+		}
+	}
+	fw.arenas = nil
+	fw.cur = nil
+	fw.segs = nil
+	fw.n = 0
+	fw.frames = 0
+}

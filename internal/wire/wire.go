@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net"
 
 	"dvdc/internal/bufpool"
 )
@@ -114,6 +115,25 @@ type Message struct {
 	VM      string // subject VM, when applicable
 	Text    string // error text or auxiliary string (e.g. JSON config)
 	Payload []byte // bulk data: deltas, images
+
+	// PayloadSegs is a send-only scatter list: when non-empty, the segments
+	// are framed on the wire after Payload as if they had been concatenated
+	// onto it, without ever being copied into one buffer (the ship path
+	// batches chunk frames this way, writev-style). Receivers always see the
+	// contiguous form — Decode fills Payload only. The segments are aliased,
+	// not copied; they must stay valid and unmodified until the frame is
+	// written.
+	PayloadSegs net.Buffers
+}
+
+// payloadLen is the total payload length as framed: Payload plus every
+// scatter segment.
+func (m *Message) payloadLen() int {
+	n := len(m.Payload)
+	for _, s := range m.PayloadSegs {
+		n += len(s)
+	}
+	return n
 }
 
 // Fixed-header byte offsets. The chaos injector peeks at these to tag
@@ -144,15 +164,19 @@ func (m *Message) appendHead(out []byte) []byte {
 	out = append(out, m.VM...)
 	out = binary.LittleEndian.AppendUint32(out, uint32(len(m.Text)))
 	out = append(out, m.Text...)
-	out = binary.LittleEndian.AppendUint32(out, uint32(len(m.Payload)))
+	out = binary.LittleEndian.AppendUint32(out, uint32(m.payloadLen()))
 	return out
 }
 
 // Encode renders the message body (without the stream length prefix).
 func (m *Message) Encode() []byte {
-	n := FixedHeaderLen + 2 + len(m.VM) + 4 + len(m.Text) + 4 + len(m.Payload)
+	n := FixedHeaderLen + 2 + len(m.VM) + 4 + len(m.Text) + 4 + m.payloadLen()
 	out := m.appendHead(make([]byte, 0, n))
-	return append(out, m.Payload...)
+	out = append(out, m.Payload...)
+	for _, s := range m.PayloadSegs {
+		out = append(out, s...)
+	}
+	return out
 }
 
 // Decode parses a message body.
@@ -228,27 +252,43 @@ const inlinePayload = 4 << 10
 
 // WriteFrame writes a length-prefixed message to w. The length prefix and
 // all header fields go out in one pooled-buffer write; a payload beyond
-// inlinePayload follows as a second write straight from the caller's slice.
+// inlinePayload follows as further writes straight from the caller's slices
+// (Payload first, then each PayloadSegs segment — never copied into an
+// assembly buffer).
 func WriteFrame(w io.Writer, m *Message) error {
-	n := FixedHeaderLen + 2 + len(m.VM) + 4 + len(m.Text) + 4 + len(m.Payload)
+	pl := m.payloadLen()
+	n := FixedHeaderLen + 2 + len(m.VM) + 4 + len(m.Text) + 4 + pl
 	if n > MaxFrame {
 		return fmt.Errorf("%w: frame of %d bytes exceeds max %d", ErrFrame, n, MaxFrame)
 	}
-	head := 4 + n - len(m.Payload)
-	inline := len(m.Payload) <= inlinePayload
+	head := 4 + n - pl
+	inline := pl <= inlinePayload
 	want := head
 	if inline {
-		want += len(m.Payload)
+		want += pl
 	}
 	buf := bufpool.Get(want)[:0]
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(n))
 	buf = m.appendHead(buf)
 	if inline {
 		buf = append(buf, m.Payload...)
+		for _, s := range m.PayloadSegs {
+			buf = append(buf, s...)
+		}
 	}
 	_, err := w.Write(buf)
 	if err == nil && !inline {
-		_, err = w.Write(m.Payload)
+		if len(m.Payload) > 0 {
+			_, err = w.Write(m.Payload)
+		}
+		for _, s := range m.PayloadSegs {
+			if err != nil {
+				break
+			}
+			if len(s) > 0 {
+				_, err = w.Write(s)
+			}
+		}
 	}
 	bufpool.Put(buf)
 	return err
