@@ -76,7 +76,12 @@ type datapathReport struct {
 	ThroughputRatio  float64 `json:"throughput_ratio_chunked_over_mono"`
 	DedupShippedDrop float64 `json:"dedup_repeat_epoch_shipped_drop"`
 
-	Saturation []saturationPoint `json:"saturation,omitempty"`
+	// Saturation is empty and SaturationNote set when the host cannot run the
+	// ladder meaningfully (GOMAXPROCS=1: the rungs would interleave on one
+	// core and the scaling column would measure the scheduler, not the data
+	// path).
+	Saturation     []saturationPoint `json:"saturation,omitempty"`
+	SaturationNote string            `json:"saturation_note,omitempty"`
 
 	GatePassed bool     `json:"gate_passed"`
 	GateChecks []string `json:"gate_checks"`
@@ -308,11 +313,17 @@ func runDatapath(rounds int, seed int64, outPath string) error {
 		rep.DedupShippedDrop = 1 - float64(dedup.BytesShipped)/float64(plain.BytesShipped)
 	}
 
-	sat, err := runSaturation(pages, pageSize, steps, seed)
-	if err != nil {
-		return fmt.Errorf("saturation: %w", err)
+	var sat []saturationPoint
+	if goruntime.GOMAXPROCS(0) == 1 {
+		rep.SaturationNote = "skipped: GOMAXPROCS=1 — parallel rungs would interleave on one core, measuring the scheduler rather than the data path"
+	} else {
+		var err error
+		sat, err = runSaturation(pages, pageSize, steps, seed)
+		if err != nil {
+			return fmt.Errorf("saturation: %w", err)
+		}
+		rep.Saturation = sat
 	}
-	rep.Saturation = sat
 
 	// The gate. Every check is recorded in the artifact, pass or fail.
 	var failures []string
@@ -346,6 +357,9 @@ func runDatapath(rounds int, seed int64, outPath string) error {
 	for _, p := range sat {
 		fmt.Printf("saturation %2d workers: %7.1f MB/s aggregate  %6.1f MB/s per worker  %.2fx scaling\n",
 			p.Workers, p.AggregateMBPerS, p.PerWorkerMBPerS, p.Scaling)
+	}
+	if rep.SaturationNote != "" {
+		fmt.Printf("saturation ladder %s\n", rep.SaturationNote)
 	}
 	fmt.Printf("mono/chunked alloc bytes per round: %.2fx; chunked/mono throughput: %.2fx; dedup shipped-byte drop: %.0f%%\n",
 		rep.AllocBytesRatio, rep.ThroughputRatio, rep.DedupShippedDrop*100)

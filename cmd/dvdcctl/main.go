@@ -44,6 +44,14 @@
 //
 //	dvdcctl health -scrape 127.0.0.1:7501 -interval 2s   # watch the SLOs
 //	dvdcctl health -scrape 127.0.0.1:7501 -once          # CI: nonzero when firing
+//
+// The adapt subcommand renders the adaptive control loop's decision tallies
+// and live tuning state from /metrics (see dvdcsoak -adaptive): per rule,
+// how many recommendations fired, were applied, failed, or were skipped and
+// why; one-shot mode gates CI on the loop actually having acted:
+//
+//	dvdcctl adapt -scrape 127.0.0.1:7501 -interval 2s    # watch the decisions
+//	dvdcctl adapt -scrape 127.0.0.1:7501 -once -min-applied 1  # CI: nonzero unless applied
 //	dvdcctl get   -addr 127.0.0.1:7500 -id ckpt-1 -o wide   # shows round trace ids
 //	dvdcctl trace -addr 127.0.0.1:7500 -id ckpt-1           # renders those rounds
 package main
@@ -80,6 +88,9 @@ func main() {
 			return
 		case "health":
 			healthMain(os.Args[2:])
+			return
+		case "adapt":
+			adaptMain(os.Args[2:])
 			return
 		case "postmortem":
 			postmortemMain(os.Args[2:])

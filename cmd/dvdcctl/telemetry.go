@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"dvdc/internal/obs"
+	"dvdc/internal/obs/adapt"
 	"dvdc/internal/obs/collect"
 	"dvdc/internal/obs/health"
 )
@@ -103,6 +104,66 @@ func healthMain(args []string) {
 				}
 			}
 			os.Exit(code)
+		}
+		time.Sleep(*interval)
+	}
+}
+
+// adaptMain renders the adaptive control loop's paper trail from each
+// endpoint's /metrics exposition: the live tuning state (chunk size,
+// pipeline width, checkpoint interval, failure rate) and the per-rule
+// decision tallies — recommended, applied, failed, and every skip reason.
+// One-shot mode is the CI gate for the convergence experiment: exit 2 when
+// an endpoint is unreachable, 1 when fewer than -min-applied decisions have
+// been applied cluster-wide, 0 otherwise.
+func adaptMain(args []string) {
+	fs := flag.NewFlagSet("dvdcctl adapt", flag.ExitOnError)
+	var (
+		scrape     = fs.String("scrape", "", "comma-separated obs endpoints (host:port of each -obs-addr)")
+		interval   = fs.Duration("interval", 2*time.Second, "refresh interval in watch mode")
+		once       = fs.Bool("once", false, "render one refresh and exit (for scripts and CI)")
+		minApplied = fs.Int("min-applied", 0, "with -once: exit 1 unless at least this many decisions were applied")
+		count      = fs.Int("n", 0, "stop after this many refreshes (0 = until interrupted)")
+		width      = fs.Int("width", 100, "render width in columns")
+	)
+	fs.Parse(args) //nolint:errcheck // ExitOnError
+	if *scrape == "" {
+		fmt.Fprintln(os.Stderr, "dvdcctl adapt: -scrape is required (comma-separated obs endpoints)")
+		os.Exit(2)
+	}
+	var sources []string
+	for _, a := range strings.Split(*scrape, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			sources = append(sources, a)
+		}
+	}
+	c := collect.New()
+	for i := 0; ; i++ {
+		if i > 0 {
+			fmt.Println(strings.Repeat("-", *width))
+		}
+		var applied float64
+		unreachable := false
+		for _, src := range sources {
+			exp, err := c.ScrapeMetrics(src)
+			if err != nil {
+				fmt.Printf("%s: unreachable: %v\n", src, err)
+				unreachable = true
+				continue
+			}
+			v := adapt.BuildView(exp)
+			applied += v.TotalApplied()
+			fmt.Printf("%s:\n%s", src, adapt.RenderView(v))
+		}
+		if *once || (*count > 0 && i+1 >= *count) {
+			switch {
+			case unreachable:
+				os.Exit(2)
+			case applied < float64(*minApplied):
+				fmt.Printf("applied decisions %.0f < required %d\n", applied, *minApplied)
+				os.Exit(1)
+			}
+			return
 		}
 		time.Sleep(*interval)
 	}

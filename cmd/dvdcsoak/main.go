@@ -20,6 +20,8 @@
 //	dvdcsoak -health -obs-addr 127.0.0.1:9100  # plus SLO burn-rate alerts on /api/v1/health
 //	dvdcsoak -slow-node 1 -slow-delay 200ms -round-interval 250ms \
 //	    -health -obs-addr 127.0.0.1:9100       # watch `dvdcctl health` catch the slow node
+//	dvdcsoak -slow-node 1 -slow-delay 25ms -kill-mtbf 0 -adaptive \
+//	    -rounds 16                             # watch the advisor drain the slow keeper
 package main
 
 import (
@@ -34,6 +36,7 @@ import (
 	"dvdc/internal/cli"
 	"dvdc/internal/cluster"
 	"dvdc/internal/obs"
+	"dvdc/internal/obs/adapt"
 	"dvdc/internal/runtime"
 )
 
@@ -48,6 +51,7 @@ type soakFlags struct {
 	armed, chunkSize, chunkArms         int
 	killMTBF                            float64
 	service                             bool
+	adaptive                            bool
 	stateDir                            string
 	controllerRestarts                  int
 	slowNode, slowFrom, slowUntil       int
@@ -85,8 +89,10 @@ func registerFlags(fs *flag.FlagSet) *soakFlags {
 		"directory for the service store's journal (requires -service; empty = a temp dir when -controller-restarts is set, else no journal)")
 	fs.IntVar(&f.controllerRestarts, "controller-restarts", 0,
 		"kill and restart the service controller this many times mid-soak, replaying its journal (requires -service)")
+	fs.BoolVar(&f.adaptive, "adaptive", false,
+		"close the telemetry loop: an advisor may evacuate parity keepers off habitually slow peers, retune the chunk pipeline, and retune the checkpoint interval from the live failure rate (classic loop only, not -service)")
 	fs.IntVar(&f.slowNode, "slow-node", -1,
-		"make this node habitually slow: every frame it sends or receives stalls by -slow-delay (-1 = off; the health engine's round-time SLO should fire)")
+		"make this node's data-plane ingest habitually slow: every bulk frame shipped to it stalls by -slow-delay (-1 = off; the health engine's round-time SLO should fire, and -adaptive should drain its parity)")
 	fs.DurationVar(&f.slowDelay, "slow-delay", 400*time.Millisecond, "per-frame stall for -slow-node")
 	fs.IntVar(&f.slowFrom, "slow-from", 0, "first round (0-based) the -slow-node stall is active")
 	fs.IntVar(&f.slowUntil, "slow-until", 0, "first round the stall is lifted (0 = through the end)")
@@ -128,6 +134,7 @@ func main() {
 		RPCTimeout:    f.common.RPCTimeout,
 		RoundInterval: f.roundInterval,
 		Service:       f.service,
+		Adaptive:      f.adaptive,
 		Registry:      obs.NewRegistry(),
 
 		StateDir:           f.stateDir,
@@ -143,6 +150,9 @@ func main() {
 	}
 	if (f.stateDir != "" || f.controllerRestarts > 0) && !f.service {
 		fatal(fmt.Errorf("-state-dir and -controller-restarts require -service"))
+	}
+	if f.adaptive && f.service {
+		fatal(fmt.Errorf("-adaptive drives the classic loop and cannot be combined with -service"))
 	}
 	if f.common.WantTracer() {
 		cfg.Tracer = obs.NewTracer(1 << 15)
@@ -208,6 +218,9 @@ func main() {
 		fmt.Printf("faults: %v\n", res.Counters)
 		fmt.Printf("final epoch %d across %d rounds, %d VMs verified, %.2fs wall\n",
 			res.Epoch, len(res.Rounds), len(res.Checksums), elapsed.Seconds())
+		if f.adaptive {
+			printAdaptSummary(res, f.verbose)
+		}
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "dvdcsoak: INVARIANT VIOLATION: %v\n", err)
@@ -223,6 +236,49 @@ func main() {
 		fmt.Printf("spans written to %s; render with: dvdcctl trace -in %s\n", f.common.TraceJSONL, f.common.TraceJSONL)
 	}
 	fmt.Printf("all invariants held; replay with -seed %d\n", f.seed)
+}
+
+// printAdaptSummary renders the adaptive run's paper trail: how many
+// decisions the advisor took and applied, and how the checkpoint wall moved
+// across the run (first round, worst round, final round) — the one-line
+// answer to "did the loop converge". The full decision log (inputs -> rule
+// -> action, one row per decision) prints under -v.
+func printAdaptSummary(res *runtime.SoakResult, verbose bool) {
+	var all []adapt.Decision
+	applied, rebalances := 0, 0
+	for _, rr := range res.Rounds {
+		all = append(all, rr.Adapt...)
+		for _, d := range rr.Adapt {
+			if d.Action != adapt.ActionApplied {
+				continue
+			}
+			applied++
+			if d.Rule == adapt.RuleKeeperRebalance {
+				rebalances++
+			}
+		}
+	}
+	var first, peak, final time.Duration
+	if n := len(res.Rounds); n > 0 {
+		first = res.Rounds[0].Wall
+		final = res.Rounds[n-1].Wall
+		for _, rr := range res.Rounds {
+			peak = max(peak, rr.Wall)
+		}
+	}
+	const grain = 100 * time.Microsecond
+	// The final/peak ratio is the machine-checkable convergence verdict: a
+	// run that recovered from its worst round ends well under 1.0, and CI
+	// greps the plain number rather than parsing unit-suffixed durations.
+	ratio := 1.0
+	if peak > 0 {
+		ratio = float64(final) / float64(peak)
+	}
+	fmt.Printf("adaptive: %d decision(s), %d applied (%d keeper rebalance(s)); round wall first %s, peak %s, final %s (final/peak %.2f)\n",
+		len(all), applied, rebalances, first.Round(grain), peak.Round(grain), final.Round(grain), ratio)
+	if verbose && len(all) > 0 {
+		fmt.Print(adapt.RenderDecisions(all))
+	}
 }
 
 func fatal(err error) {

@@ -34,9 +34,15 @@ func TestFlagDefaultsMatchLibrary(t *testing.T) {
 	}
 
 	// Shared flags must exist under their canonical spellings.
-	for _, name := range []string{"obs-addr", "trace-jsonl", "postmortem-dir", "service"} {
+	for _, name := range []string{"obs-addr", "trace-jsonl", "postmortem-dir", "service", "adaptive"} {
 		if fs.Lookup(name) == nil {
 			t.Errorf("flag -%s not registered", name)
 		}
+	}
+
+	// -adaptive must default off: the advisor mutates placement and tuning,
+	// which a reproduction run must opt into.
+	if f := fs.Lookup("adaptive"); f != nil && f.DefValue != "false" {
+		t.Errorf("-adaptive default = %s, want false", f.DefValue)
 	}
 }

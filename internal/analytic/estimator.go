@@ -1,0 +1,96 @@
+package analytic
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// RateEstimator is an online, exponentially-decayed estimator of the cluster
+// failure rate lambda: the live replacement for the static -mtbf style flags
+// the Section V model was previously fed. Each Observe(failures, elapsed)
+// call ages both accumulators by the elapsed virtual time and adds the new
+// observations, so the estimate tracks regime changes (a run of kills raises
+// it, a quiet stretch decays it back) with a half-life the caller picks.
+//
+// The estimator is clock-free by design: the caller supplies elapsed time
+// explicitly (the soak harness feeds its virtual kill-clock seconds), so the
+// same observation sequence always yields the same estimate — the property
+// every soak invariant in this repo is built on. Safe for concurrent use.
+type RateEstimator struct {
+	mu       sync.Mutex
+	halfLife float64 // seconds of observed time until a sample's weight halves
+	failures float64 // decayed failure count
+	seconds  float64 // decayed observed seconds
+}
+
+// DefaultRateHalfLife is the decay half-life (in observed seconds) a zero
+// half-life resolves to: long enough to smooth one noisy round, short enough
+// that a standing fault regime dominates the estimate within a few rounds.
+const DefaultRateHalfLife = 120.0
+
+// NewRateEstimator builds an estimator with the given half-life in observed
+// seconds (<= 0 picks DefaultRateHalfLife).
+func NewRateEstimator(halfLife float64) *RateEstimator {
+	if halfLife <= 0 || math.IsNaN(halfLife) || math.IsInf(halfLife, 0) {
+		halfLife = DefaultRateHalfLife
+	}
+	return &RateEstimator{halfLife: halfLife}
+}
+
+// Observe records that `failures` node failures were seen across `elapsed`
+// seconds of observed (virtual or wall) time. Nonpositive elapsed and
+// negative failures are rejected so a bad caller cannot poison the estimate.
+func (e *RateEstimator) Observe(failures int, elapsed float64) error {
+	if e == nil {
+		return nil
+	}
+	if failures < 0 {
+		return fmt.Errorf("analytic: negative failure count %d", failures)
+	}
+	if elapsed <= 0 || math.IsNaN(elapsed) || math.IsInf(elapsed, 0) {
+		return fmt.Errorf("analytic: invalid elapsed time %v", elapsed)
+	}
+	decay := math.Exp2(-elapsed / e.halfLife)
+	e.mu.Lock()
+	e.failures = e.failures*decay + float64(failures)
+	e.seconds = e.seconds*decay + elapsed
+	e.mu.Unlock()
+	return nil
+}
+
+// Rate returns the current failure-rate estimate in failures/second, 0 until
+// any time has been observed. A long failure-free stretch decays toward — but
+// never reaches — zero, matching the prior that a cluster that has failed
+// before can fail again.
+func (e *RateEstimator) Rate() float64 {
+	if e == nil {
+		return 0
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.seconds <= 0 {
+		return 0
+	}
+	return e.failures / e.seconds
+}
+
+// ObservedSeconds returns the decayed observation mass backing the estimate;
+// callers gate "enough data to act" decisions on it.
+func (e *RateEstimator) ObservedSeconds() float64 {
+	if e == nil {
+		return 0
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.seconds
+}
+
+// MTBF returns 1/Rate() (+Inf while the estimate is zero), for presentation.
+func (e *RateEstimator) MTBF() float64 {
+	r := e.Rate()
+	if r <= 0 {
+		return math.Inf(1)
+	}
+	return 1 / r
+}

@@ -1,0 +1,126 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRateEstimatorBasics(t *testing.T) {
+	e := NewRateEstimator(0)
+	if got := e.Rate(); got != 0 {
+		t.Fatalf("empty estimator rate = %v, want 0", got)
+	}
+	if !math.IsInf(e.MTBF(), 1) {
+		t.Fatalf("empty estimator MTBF = %v, want +Inf", e.MTBF())
+	}
+	// 5 failures over 100 seconds with no decay crossing: rate near 5/100.
+	if err := e.Observe(5, 100); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := e.Rate(), 0.05; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("rate = %v, want %v", got, want)
+	}
+	if got := e.MTBF(); math.Abs(got-20) > 1e-9 {
+		t.Fatalf("MTBF = %v, want 20", got)
+	}
+}
+
+func TestRateEstimatorTracksRegimeChange(t *testing.T) {
+	e := NewRateEstimator(50)
+	// A long quiet stretch...
+	for i := 0; i < 20; i++ {
+		if err := e.Observe(0, 10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := e.Rate(); got != 0 {
+		t.Fatalf("quiet rate = %v, want 0", got)
+	}
+	// ...then a failure regime: one failure per 10s observed window.
+	for i := 0; i < 30; i++ {
+		if err := e.Observe(1, 10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The decayed estimate must have converged most of the way to 0.1/s.
+	if got := e.Rate(); got < 0.06 || got > 0.1+1e-9 {
+		t.Fatalf("post-regime rate = %v, want in (0.06, 0.1]", got)
+	}
+	// And a recovery decays it back down.
+	for i := 0; i < 30; i++ {
+		if err := e.Observe(0, 10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := e.Rate(); got > 0.02 {
+		t.Fatalf("post-recovery rate = %v, want < 0.02", got)
+	}
+}
+
+func TestRateEstimatorDeterministic(t *testing.T) {
+	a, b := NewRateEstimator(30), NewRateEstimator(30)
+	seq := []struct {
+		f int
+		s float64
+	}{{0, 5}, {2, 12}, {1, 3}, {0, 40}, {3, 7}}
+	for _, o := range seq {
+		if err := a.Observe(o.f, o.s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, o := range seq {
+		if err := b.Observe(o.f, o.s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a.Rate() != b.Rate() || a.ObservedSeconds() != b.ObservedSeconds() {
+		t.Fatalf("same observation sequence diverged: %v/%v vs %v/%v",
+			a.Rate(), a.ObservedSeconds(), b.Rate(), b.ObservedSeconds())
+	}
+}
+
+func TestRateEstimatorRejectsBadInput(t *testing.T) {
+	e := NewRateEstimator(0)
+	if err := e.Observe(-1, 10); err == nil {
+		t.Fatal("negative failures accepted")
+	}
+	if err := e.Observe(0, 0); err == nil {
+		t.Fatal("zero elapsed accepted")
+	}
+	if err := e.Observe(0, math.NaN()); err == nil {
+		t.Fatal("NaN elapsed accepted")
+	}
+	if e.Rate() != 0 || e.ObservedSeconds() != 0 {
+		t.Fatalf("rejected observations mutated the estimator")
+	}
+	var nilE *RateEstimator
+	if nilE.Rate() != 0 || nilE.Observe(1, 1) != nil {
+		t.Fatal("nil estimator not inert")
+	}
+}
+
+// TestRateEstimatorFeedsOptimalInterval is the integration the advisor relies
+// on: a live estimate slots straight into the Section V model, and a higher
+// observed failure rate yields a shorter optimal checkpoint interval.
+func TestRateEstimatorFeedsOptimalInterval(t *testing.T) {
+	low, high := NewRateEstimator(1000), NewRateEstimator(1000)
+	if err := low.Observe(1, 3600); err != nil {
+		t.Fatal(err)
+	}
+	if err := high.Observe(30, 3600); err != nil {
+		t.Fatal(err)
+	}
+	om := ConstantOverhead{Tov: 2, Label: "measured"}
+	optLow, err := OptimalInterval(Model{Lambda: low.Rate(), T: 24 * 3600, Repair: 30}, om, 1, 7200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	optHigh, err := OptimalInterval(Model{Lambda: high.Rate(), T: 24 * 3600, Repair: 30}, om, 1, 7200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if optHigh.Interval >= optLow.Interval {
+		t.Fatalf("higher failure rate gave interval %v >= lower rate's %v",
+			optHigh.Interval, optLow.Interval)
+	}
+}

@@ -312,12 +312,20 @@ func (i *Injector) HealPair(a, b int) {
 	delete(i.partitioned, Pair{b, a})
 }
 
-// SlowNode imposes a sustained per-frame delivery delay on every wire edge
-// touching the node, in both directions, until HealNode — the "habitually
-// slow peer" the health engine's round-time SLO must catch. Unlike armed
-// one-shots it is a standing condition (like a partition): it applies
-// regardless of Pause and is logged once at call time, not per frame, so the
-// fault log stays deterministic across timing-dependent retry counts.
+// SlowNode imposes a sustained per-frame delay on every bulk data frame
+// (wire.MsgType.Bulk — delta ships, image and parity transfers) destined to
+// the node, until HealNode — the "habitually slow peer" the health engine's
+// round-time SLO must catch and the adaptive keeper-rebalance rule must
+// drain. The model is data-plane ingest congestion: the node's disk or NIC
+// queues every member's delta stream, so writers stall per bulk frame they
+// send it, while control frames (prepare, commit, acks) and the node's own
+// sends are unaffected. That is what makes the condition *adaptable*:
+// re-homing parity off the node removes the queued traffic, where a
+// control-plane stall would be an irreducible per-round floor no placement
+// change could fix. Unlike armed one-shots it is a standing condition (like
+// a partition): it applies regardless of Pause and is logged once at call
+// time, not per frame, so the fault log stays deterministic across
+// timing-dependent retry counts.
 func (i *Injector) SlowNode(node int, d time.Duration) {
 	i.mu.Lock()
 	defer i.mu.Unlock()
@@ -336,16 +344,14 @@ func (i *Injector) HealNode(node int) {
 	delete(i.slow, node)
 }
 
-// SlowDelay returns the standing delay for frames on a pair (the larger of
-// the two endpoints' delays; zero when neither is slowed).
+// SlowDelay returns the standing ingest delay for frames on a pair: the
+// destination endpoint's SlowNode delay (zero when the destination is not
+// slowed, or is unresolvable — a server writing replies cannot know which
+// peer dialed, and replies are not ingest traffic).
 func (i *Injector) SlowDelay(p Pair) time.Duration {
 	i.mu.Lock()
 	defer i.mu.Unlock()
-	d := i.slow[p.Src]
-	if dd := i.slow[p.Dst]; dd > d {
-		d = dd
-	}
-	return d
+	return i.slow[p.Dst]
 }
 
 // Partitioned reports whether a pair is currently severed.

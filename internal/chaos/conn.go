@@ -120,13 +120,6 @@ func (c *faultConn) Write(b []byte) (int, error) {
 		c.wtrack.advance(b)
 		return c.Conn.Write(b)
 	}
-	// A standing SlowNode delay stretches every frame on the edge. It is not
-	// a frameFault decision: it applies even while probabilistic chaos is
-	// paused, and it is never recorded per frame (the fault log got exactly
-	// one entry when SlowNode was called).
-	if d := c.inj.SlowDelay(c.pair); d > 0 {
-		time.Sleep(d)
-	}
 	frameEnd := start + 4 + bodyLen
 	caps := frameCaps{
 		corrupt:   true, // the length prefix is always fully inside the chunk
@@ -135,6 +128,16 @@ func (c *faultConn) Write(b []byte) (int, error) {
 	var msgType uint8
 	if bodyLen >= 1 && start+4 < len(b) {
 		msgType = b[start+4] // wire type is the first body byte
+	}
+	// A standing SlowNode delay stretches every bulk frame queued toward the
+	// slow node's data-plane ingest; control frames pass untouched. It is not
+	// a frameFault decision: it applies even while probabilistic chaos is
+	// paused, and it is never recorded per frame (the fault log got exactly
+	// one entry when SlowNode was called).
+	if wire.MsgType(msgType).Bulk() {
+		if d := c.inj.SlowDelay(c.pair); d > 0 {
+			time.Sleep(d)
+		}
 	}
 	d := c.inj.frameFault(c.pair, 4+bodyLen, msgType, caps)
 	if d.kind != 0 {

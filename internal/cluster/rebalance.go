@@ -143,6 +143,80 @@ func (l *Layout) PlanRebalance(down ...int) (*Plan, error) {
 	return plan, nil
 }
 
+// PlanKeeperEvacuation computes the parity moves that drain every parity
+// block off one node — the placement response to the telemetry plane flagging
+// that node as habitually slow: parity keepers absorb every member's delta
+// stream, so a slow keeper stretches each round's prepare window by the whole
+// chunk pipeline, while a slow member only stretches its own shipments.
+//
+// The plan reuses the rebalance Step vocabulary (RehomeParity with
+// SourceNodes[0] = the parity index being moved) and preserves strict
+// orthogonality: a target never carries another element of the same group,
+// is never the avoided node, never down, and ties break toward the
+// least-loaded node (VMs plus already-planned parity). Groups with no legal
+// target make the plan fail — in the paper's minimal 4-node layout every
+// other node already carries a member of the group, so evacuation is
+// structurally impossible and callers must treat that as "cannot rebalance",
+// not retry. An empty plan means the node keeps no parity.
+func (l *Layout) PlanKeeperEvacuation(avoid int, down ...int) (*Plan, error) {
+	if avoid < 0 || avoid >= l.Nodes {
+		return nil, fmt.Errorf("cluster: evacuate node %d out of range [0,%d)", avoid, l.Nodes)
+	}
+	downSet := map[int]bool{avoid: true}
+	for _, n := range down {
+		if n < 0 || n >= l.Nodes {
+			return nil, fmt.Errorf("cluster: down node %d out of range [0,%d)", n, l.Nodes)
+		}
+		downSet[n] = true
+	}
+	load := make([]int, l.Nodes)
+	for _, v := range l.VMs {
+		load[v.Node]++
+	}
+	plan := &Plan{}
+	for n := range downSet {
+		if n != avoid {
+			plan.Down = append(plan.Down, n)
+		}
+	}
+	sort.Ints(plan.Down)
+	for gi := range l.Groups {
+		g := l.Groups[gi]
+		occ := map[int]bool{}
+		for _, m := range g.Members {
+			v, _ := l.VM(m)
+			occ[v.Node] = true
+		}
+		for _, p := range g.ParityNodes {
+			occ[p] = true
+		}
+		for i, p := range g.ParityNodes {
+			if p != avoid {
+				continue
+			}
+			best, bestLoad := -1, int(^uint(0)>>1)
+			for t := 0; t < l.Nodes; t++ {
+				if downSet[t] || occ[t] {
+					continue
+				}
+				if load[t] < bestLoad {
+					best, bestLoad = t, load[t]
+				}
+			}
+			if best == -1 {
+				return nil, fmt.Errorf("cluster: no orthogonal target to evacuate parity %d of group %d off node %d", i, gi, avoid)
+			}
+			occ[best] = true
+			load[best]++
+			plan.Steps = append(plan.Steps, Step{
+				Kind: RehomeParity, Group: gi, TargetNode: best,
+				SourceNodes: []int{i},
+			})
+		}
+	}
+	return plan, nil
+}
+
 // ApplyRebalance mutates the layout per a rebalance plan. For RehomeParity
 // steps, SourceNodes[0] carries the parity index being moved.
 func (l *Layout) ApplyRebalance(p *Plan) error {

@@ -265,6 +265,29 @@ func (o *OutlierTracker) ObserveSpans(spans []obs.Span) {
 	}
 }
 
+// ObserveDataSpans feeds only bulk data-plane rpc spans — delta and
+// delta-chunk ships — into the per-peer windows. Control rpc spans measure
+// the remote handler's whole duration, and a member's prepare handler
+// includes its own downstream ship stalls: one slow keeper smears into every
+// shipping member's control latency, the cluster median chases the fault,
+// and no peer ever crosses the outlier factor. A data ship instead
+// attributes a transfer to the peer that absorbed it, which is the signal
+// that isolates a slow keeper from the members it slows down. Feed this
+// (not ObserveSpans) when the windows drive placement decisions.
+func (o *OutlierTracker) ObserveDataSpans(spans []obs.Span) {
+	if o == nil {
+		return
+	}
+	for _, s := range spans {
+		if s.Name != "rpc delta" && s.Name != "rpc delta-chunk" {
+			continue
+		}
+		if p := s.Attrs["peer"]; p != "" {
+			o.Observe(p, s.Duration())
+		}
+	}
+}
+
 // Remove forgets a peer's rolling window — a node decommissioned, or
 // renumbered after recovery, must stop skewing the cluster median. Gauge
 // funcs already exported for the peer keep their series but read zero from

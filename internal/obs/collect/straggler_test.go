@@ -230,6 +230,68 @@ func TestOutlierTrackerRemoveMidWindow(t *testing.T) {
 	}
 }
 
+// TestOutlierTrackerRecoveryDeflags pins the long-horizon recovery path: a
+// peer flagged as habitually slow must lose the flag once enough fast samples
+// roll its window over — a transient fault (a backup job, a flapping link
+// since repaired) must not brand the peer forever. The window is the horizon:
+// with window w, exactly w fast samples fully displace the slow era.
+func TestOutlierTrackerRecoveryDeflags(t *testing.T) {
+	const window = 16
+	o := NewOutlierTracker(window, 0)
+	for i := 0; i < window; i++ {
+		o.Observe("node1", time.Millisecond)
+		o.Observe("node2", time.Millisecond)
+		o.Observe("node3", 50*time.Millisecond)
+	}
+	if !o.IsOutlier("node3") {
+		t.Fatal("node3 not flagged during its slow era")
+	}
+
+	// Recovery: fast samples displace the slow ones one by one. Halfway
+	// through, the 50ms samples still dominate the p99 and the flag holds.
+	for i := 0; i < window/2; i++ {
+		o.Observe("node3", time.Millisecond)
+	}
+	if !o.IsOutlier("node3") {
+		t.Fatal("flag dropped while slow samples still sit in the window")
+	}
+	for i := 0; i < window/2; i++ {
+		o.Observe("node3", time.Millisecond)
+	}
+	if o.IsOutlier("node3") {
+		t.Fatalf("recovered peer still flagged after a full window of fast samples (p99 %v, median %v)",
+			o.P99("node3"), o.ClusterMedian())
+	}
+	if got := o.Outliers(); len(got) != 0 {
+		t.Fatalf("Outliers after recovery = %v", got)
+	}
+	if got := o.P99("node3"); got != time.Millisecond {
+		t.Fatalf("P99 after recovery = %v, want 1ms", got)
+	}
+}
+
+// TestOutlierTrackerObserveDataSpans pins the data-plane filter: only delta
+// and delta-chunk rpc spans feed the windows, because control rpc spans fold
+// a slow keeper's stall into every shipping member's latency (the smear that
+// makes the cluster median chase the fault).
+func TestOutlierTrackerObserveDataSpans(t *testing.T) {
+	o := NewOutlierTracker(0, 0)
+	spans := []obs.Span{
+		mkSpan(1, 1, 0, "rpc delta", "", 0, 40, "peer", "node1"),
+		mkSpan(1, 2, 0, "rpc delta-chunk", "", 0, 35, "peer", "node2"),
+		mkSpan(1, 3, 0, "rpc MsgPrepare", "", 0, 90, "peer", "node3"), // control: skipped
+		mkSpan(1, 4, 0, "node.MsgDelta", "node4", 0, 30),              // handler, no peer attr
+		mkSpan(1, 5, 0, "rpc delta", "", 0, 20),                       // no peer attr: skipped
+	}
+	o.ObserveDataSpans(spans)
+	if got := o.Peers(); len(got) != 2 || got[0] != "node1" || got[1] != "node2" {
+		t.Fatalf("Peers = %v, want data-plane ships only", got)
+	}
+	if got := o.P99("node3"); got != 0 {
+		t.Fatalf("control span leaked into the window: P99(node3) = %v", got)
+	}
+}
+
 // TestOutlierTrackerAllPeersEquallySlow pins the false-positive edge case:
 // when the whole cluster degrades in lockstep there is no outlier — the
 // flag is relative to the cluster median, not an absolute threshold, so a

@@ -17,6 +17,10 @@ type SourceStatus struct {
 	OpenSpans int64  // dvdc_obs_open_spans at scrape time
 	Dropped   int64  // dvdc_spans_dropped_total at scrape time
 	Spans     int    // spans held from this source's last scrape
+
+	DedupHits  int64 // dvdc_dedup_hits_total: chunk ships skipped by page-hash dedup
+	DedupSaved int64 // dvdc_dedup_bytes_saved_total: payload bytes those skips avoided
+	DedupInval int64 // dvdc_dedup_invalidations_total: cache entries dropped on rewrite
 }
 
 // TopView is everything `dvdcctl top` renders for one refresh: per-source
@@ -56,6 +60,15 @@ func BuildTopView(c *Collector, sources []string, outliers *OutlierTracker) TopV
 				}
 				if f, ok := MetricValue(exp, "dvdc_spans_dropped_total"); ok {
 					st.Dropped = int64(f)
+				}
+				if f, ok := MetricValue(exp, "dvdc_dedup_hits_total"); ok {
+					st.DedupHits = int64(f)
+				}
+				if f, ok := MetricValue(exp, "dvdc_dedup_bytes_saved_total"); ok {
+					st.DedupSaved = int64(f)
+				}
+				if f, ok := MetricValue(exp, "dvdc_dedup_invalidations_total"); ok {
+					st.DedupInval = int64(f)
 				}
 			}
 		}
@@ -117,13 +130,15 @@ func RenderTop(v TopView, width int) string {
 	}
 	fmt.Fprintf(&b, "dvdc cluster telemetry — %d source(s)\n", len(v.Sources))
 	if len(v.Sources) > 0 {
-		fmt.Fprintf(&b, "  %-24s %-4s %6s %9s %7s\n", "SOURCE", "UP", "OPEN", "DROPPED", "SPANS")
+		fmt.Fprintf(&b, "  %-24s %-4s %6s %9s %7s %7s %9s %6s\n",
+			"SOURCE", "UP", "OPEN", "DROPPED", "SPANS", "DEDUP", "SAVED", "INVAL")
 		for _, s := range v.Sources {
 			up := "ok"
 			if !s.Up {
 				up = "DOWN"
 			}
-			fmt.Fprintf(&b, "  %-24s %-4s %6d %9d %7d\n", s.Addr, up, s.OpenSpans, s.Dropped, s.Spans)
+			fmt.Fprintf(&b, "  %-24s %-4s %6d %9d %7d %7d %9s %6d\n",
+				s.Addr, up, s.OpenSpans, s.Dropped, s.Spans, s.DedupHits, humanBytes(s.DedupSaved), s.DedupInval)
 			if s.Err != "" {
 				fmt.Fprintf(&b, "      %s\n", s.Err)
 			}
@@ -267,6 +282,21 @@ func RenderPostmortem(b *obs.Bundle, tail int) string {
 		fmt.Fprintf(&w, "\nmetrics snapshot: %d series lines (see metrics.prom)\n", countSamples(b.Metrics))
 	}
 	return w.String()
+}
+
+// humanBytes renders a byte count with a binary-prefix unit, compact enough
+// for a fixed-width column.
+func humanBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1fGiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
 }
 
 // countSamples counts non-comment sample lines in a Prometheus exposition.

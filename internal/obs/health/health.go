@@ -242,12 +242,16 @@ func (e *Evaluator) AddRule(r Rule) {
 		r.MinSamples = 1
 	}
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	if _, ok := e.signals[r.Signal]; !ok {
+		e.mu.Unlock()
 		panic(fmt.Sprintf("health: rule %q references unknown signal %q", r.Name, r.Signal))
 	}
 	rs := &ruleState{rule: r, state: StateOK}
 	e.rules = append(e.rules, rs)
+	e.mu.Unlock()
+	// Register the func series outside e.mu: GaugeFunc takes the registry
+	// lock, and a concurrent scrape holds it while reading funcs that take
+	// e.mu — holding both here is the lock-order inversion.
 	e.export(rs)
 }
 
@@ -327,17 +331,45 @@ func (e *Evaluator) Tick() {
 	}
 
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	for i, ss := range states {
 		ss.push(points[i])
 	}
+	var moved []alertNote
 	for _, rs := range e.rules {
-		e.evaluateLocked(rs, now, tick)
+		if note, ok := e.evaluateLocked(rs, now, tick); ok {
+			moved = append(moved, note)
+		}
+	}
+	e.mu.Unlock()
+
+	// Publish transitions outside e.mu: reg.Counter takes the registry lock,
+	// which a concurrent scrape holds while reading the dvdc_slo_* funcs that
+	// take e.mu — incrementing under e.mu is a lock-order inversion (see
+	// TestScrapeTickDeadlockRepro).
+	for _, n := range moved {
+		if reg := e.opts.Registry; reg != nil {
+			reg.Counter("dvdc_alert_transitions_total", "rule", n.rule, "to", n.to).Inc()
+		}
+		e.opts.Recorder.Alert(n.rule, n.to,
+			"value", fmt.Sprintf("%g", n.value),
+			"objective", fmt.Sprintf("%g", n.objective),
+			"burn_fast", fmt.Sprintf("%.2f", n.burnFast),
+			"burn_slow", fmt.Sprintf("%.2f", n.burnSlow),
+		)
 	}
 }
 
-// evaluateLocked recomputes one rule's windows and advances its state machine.
-func (e *Evaluator) evaluateLocked(rs *ruleState, now time.Time, tick int64) {
+// alertNote carries one transition's side effects — the metrics counter bump
+// and the flight-recorder stamp — out of the evaluator lock.
+type alertNote struct {
+	rule, to                             string
+	value, objective, burnFast, burnSlow float64
+}
+
+// evaluateLocked recomputes one rule's windows and advances its state
+// machine. A state change is returned as an alertNote for the caller to
+// publish after releasing e.mu.
+func (e *Evaluator) evaluateLocked(rs *ruleState, now time.Time, tick int64) (alertNote, bool) {
 	ss := e.signals[rs.rule.Signal]
 	fastVal, fastN := windowMeasure(ss, rs.rule, rs.rule.FastWindow, now)
 	slowVal, slowN := windowMeasure(ss, rs.rule, rs.rule.SlowWindow, now)
@@ -353,16 +385,19 @@ func (e *Evaluator) evaluateLocked(rs *ruleState, now time.Time, tick int64) {
 		// slow window keeps the fault in view long after it is over, and an
 		// alert that cannot resolve is an alert nobody trusts.
 		if fastN < rs.rule.MinSamples || rs.burnFast < rs.rule.FastBurn {
-			e.transitionLocked(rs, StateResolved, now, tick)
+			return e.transitionLocked(rs, StateResolved, now, tick), true
 		}
 	default:
 		if hasData && rs.burnFast >= rs.rule.FastBurn && rs.burnSlow >= rs.rule.SlowBurn {
-			e.transitionLocked(rs, StateFiring, now, tick)
+			return e.transitionLocked(rs, StateFiring, now, tick), true
 		}
 	}
+	return alertNote{}, false
 }
 
-func (e *Evaluator) transitionLocked(rs *ruleState, to string, now time.Time, tick int64) {
+// transitionLocked advances the state machine and records history under e.mu;
+// the returned note defers the cross-lock side effects to the caller.
+func (e *Evaluator) transitionLocked(rs *ruleState, to string, now time.Time, tick int64) alertNote {
 	rs.state = to
 	rs.since = now
 	if to == StateFiring {
@@ -372,15 +407,11 @@ func (e *Evaluator) transitionLocked(rs *ruleState, to string, now time.Time, ti
 	if len(e.history) > 256 {
 		e.history = e.history[len(e.history)-256:]
 	}
-	if reg := e.opts.Registry; reg != nil {
-		reg.Counter("dvdc_alert_transitions_total", "rule", rs.rule.Name, "to", to).Inc()
+	return alertNote{
+		rule: rs.rule.Name, to: to,
+		value: rs.value, objective: rs.rule.Objective,
+		burnFast: rs.burnFast, burnSlow: rs.burnSlow,
 	}
-	e.opts.Recorder.Alert(rs.rule.Name, to,
-		"value", fmt.Sprintf("%g", rs.value),
-		"objective", fmt.Sprintf("%g", rs.rule.Objective),
-		"burn_fast", fmt.Sprintf("%.2f", rs.burnFast),
-		"burn_slow", fmt.Sprintf("%.2f", rs.burnSlow),
-	)
 }
 
 // windowMeasure computes a rule's measure over one window ending now.

@@ -248,3 +248,53 @@ func TestAlertStampedIntoRecorder(t *testing.T) {
 		t.Errorf("alert attrs = %v, want state=firing", entries[0].Attrs)
 	}
 }
+
+// TestDefaultRulesCarryTuningHistory pins the adaptive-loop tie-in: the
+// default rule set samples the tuning gauges — chunk size, pipeline width,
+// checkpoint interval — so the health report records what the tuning was
+// alongside the SLOs it influences. The rules are sanity bounds, not SLOs:
+// live values keep them ok, and each rule's reported Value tracks the gauge,
+// including across a mid-run retune.
+func TestDefaultRulesCarryTuningHistory(t *testing.T) {
+	e, reg := tickEval(t)
+	chunk := float64(64 << 10)
+	reg.GaugeFunc("dvdc_chunk_size_bytes", func() float64 { return chunk })
+	reg.GaugeFunc("dvdc_pipeline_width", func() float64 { return 4 })
+	reg.GaugeFunc("dvdc_checkpoint_interval_seconds", func() float64 { return 30 })
+	InstallDefaultRules(e, reg, Objectives{})
+	for i := 0; i < 3; i++ {
+		e.Tick()
+	}
+	rep := e.Report()
+	if !rep.Healthy {
+		t.Fatalf("report unhealthy under sane tuning: %+v", rep.Rules)
+	}
+	byName := map[string]RuleStatus{}
+	for _, rs := range rep.Rules {
+		byName[rs.Name] = rs
+	}
+	for name, want := range map[string]float64{
+		"chunk_size_sane":          64 << 10,
+		"pipeline_width_sane":      4,
+		"checkpoint_interval_sane": 30,
+	} {
+		rs, ok := byName[name]
+		if !ok {
+			t.Fatalf("default rules missing %s; have %v", name, rep.Rules)
+		}
+		if rs.State != StateOK || rs.Value != want {
+			t.Errorf("%s = state %s value %v, want ok/%v", name, rs.State, rs.Value, want)
+		}
+	}
+
+	// A retune shows up once the fast window rolls over to the new value.
+	chunk = 128 << 10
+	for i := 0; i < 12; i++ {
+		e.Tick()
+	}
+	for _, rs := range e.Report().Rules {
+		if rs.Name == "chunk_size_sane" && rs.Value != 128<<10 {
+			t.Errorf("chunk_size_sane after retune = %v, want %v", rs.Value, 128<<10)
+		}
+	}
+}

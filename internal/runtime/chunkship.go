@@ -39,6 +39,15 @@ func resolveChunkSize(v int) int {
 	}
 }
 
+// resolvePipelineWidth maps the configuration encoding to an effective
+// in-flight chunk-batch width: nonpositive selects the default.
+func resolvePipelineWidth(v int) int {
+	if v <= 0 {
+		return chunkPipelineWidth
+	}
+	return v
+}
+
 // planChunks lays a captured delta out as image-coordinate chunk frames:
 // dirty pages are sorted, contiguous page runs merged, and each run cut into
 // pieces of at most chunkSize bytes. Offset/Total address the member's image

@@ -1,0 +1,52 @@
+package runtime
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestCoalesceRanges pins the merge semantics the commit path depends on:
+// CommitPendingRanges XORs every byte of every range into the parity image,
+// so overlapping ranges from different members' chunks would XOR those bytes
+// twice and corrupt the parity. The output must be sorted, disjoint runs;
+// adjacent ranges may merge (harmless — the union covers the same bytes).
+func TestCoalesceRanges(t *testing.T) {
+	cases := []struct {
+		name string
+		in   [][2]int
+		want [][2]int
+	}{
+		{"nil", nil, nil},
+		{"empty", [][2]int{}, [][2]int{}},
+		{"single", [][2]int{{3, 9}}, [][2]int{{3, 9}}},
+		{"disjoint sorted", [][2]int{{0, 4}, {8, 12}}, [][2]int{{0, 4}, {8, 12}}},
+		{"disjoint unsorted", [][2]int{{8, 12}, {0, 4}}, [][2]int{{0, 4}, {8, 12}}},
+		{"adjacent", [][2]int{{0, 4}, {4, 8}}, [][2]int{{0, 8}}},
+		{"overlapping", [][2]int{{0, 6}, {4, 10}}, [][2]int{{0, 10}}},
+		{"contained", [][2]int{{0, 10}, {2, 5}}, [][2]int{{0, 10}}},
+		{"duplicate", [][2]int{{3, 7}, {3, 7}}, [][2]int{{3, 7}}},
+		{"chain collapses", [][2]int{{6, 9}, {0, 4}, {3, 7}, {8, 12}}, [][2]int{{0, 12}}},
+		{"empty range glues neighbors", [][2]int{{5, 5}, {0, 5}, {5, 9}}, [][2]int{{0, 9}}},
+		{
+			"chunk-grid shuffle",
+			[][2]int{{512, 768}, {0, 256}, {256, 512}, {1024, 1280}},
+			[][2]int{{0, 768}, {1024, 1280}},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := coalesceRanges(append([][2]int(nil), tc.in...))
+			// nil and empty are interchangeable: both mean "no bytes touched".
+			if (len(got) != 0 || len(tc.want) != 0) && !reflect.DeepEqual(got, tc.want) {
+				t.Fatalf("coalesceRanges(%v) = %v, want %v", tc.in, got, tc.want)
+			}
+			// The invariants CommitPendingRanges relies on, stated directly:
+			// sorted starts, strictly disjoint interiors.
+			for i := 1; i < len(got); i++ {
+				if got[i][0] < got[i-1][1] {
+					t.Fatalf("ranges %v and %v overlap", got[i-1], got[i])
+				}
+			}
+		})
+	}
+}

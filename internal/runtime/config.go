@@ -55,6 +55,20 @@ type NodeConfig struct {
 	// they would trigger is a no-op). The cache is invalidated on abort,
 	// rollback, and recovery/rebalance parity reassignment.
 	Dedup bool `json:"dedup,omitempty"`
+
+	// PipelineWidth bounds the in-flight chunk batches per (stream, peer) on
+	// the chunked ship path; nonpositive selects the built-in default.
+	PipelineWidth int `json:"pipeline_width,omitempty"`
+}
+
+// retuneConfig rides MsgRetune: a live data-path retune. Unlike MsgConfigure
+// it leaves VM and keeper assignments untouched, so the advisor can adjust
+// chunk size and pipeline width between rounds without re-seeding the node.
+// Retunes may not cross the chunked/monolithic boundary — that would change
+// the shipped representation mid-stream.
+type retuneConfig struct {
+	ChunkSize     int `json:"chunk_size"`
+	PipelineWidth int `json:"pipeline_width"`
 }
 
 // NodeStats are a node's protocol counters, served via MsgStats.
@@ -70,9 +84,10 @@ type NodeStats struct {
 	FoldNanos      int64 `json:"fold_nanos"`      // cumulative chunk fold time as keeper
 
 	// Page-dedup cache counters (ship path, when NodeConfig.Dedup is on).
-	DedupHits       int64 `json:"dedup_hits"`        // dirty pages skipped: hash unchanged since last commit
-	DedupMisses     int64 `json:"dedup_misses"`      // dirty pages hashed and shipped
-	DedupSavedBytes int64 `json:"dedup_saved_bytes"` // raw delta bytes not shipped thanks to hits
+	DedupHits          int64 `json:"dedup_hits"`          // dirty pages skipped: hash unchanged since last commit
+	DedupMisses        int64 `json:"dedup_misses"`        // dirty pages hashed and shipped
+	DedupSavedBytes    int64 `json:"dedup_saved_bytes"`   // raw delta bytes not shipped thanks to hits
+	DedupInvalidations int64 `json:"dedup_invalidations"` // cache entries dropped on abort/rollback/reassignment
 }
 
 // prepareSummary rides a MsgPrepareOK reply's Text field so the coordinator

@@ -49,6 +49,7 @@ type Coordinator struct {
 	seedBase       int64
 	compress       bool
 	chunkSize      int    // data-path granularity: 0 default chunked, <0 monolithic
+	pipeWidth      int    // in-flight chunk batches per (stream, peer); 0 = default
 	workload       string // workload kind for every VM ("" = uniform)
 	dedup          bool   // cross-epoch page-hash dedup on node ship paths
 	rpcTimeout     time.Duration
@@ -111,6 +112,47 @@ func (c *Coordinator) SetChunkSize(n int) { c.chunkSize = n }
 // effectiveChunkSize resolves the configured granularity (0 = monolithic).
 func (c *Coordinator) effectiveChunkSize() int { return resolveChunkSize(c.chunkSize) }
 
+// SetPipelineWidth bounds the in-flight chunk batches per (stream, peer) on
+// every node's chunked ship path (<= 0 restores the built-in default). Call
+// before Setup — the setting rides the node configuration; for a live change
+// use Retune.
+func (c *Coordinator) SetPipelineWidth(w int) { c.pipeWidth = w }
+
+// Retune live-adjusts the cluster's data-path tuning — chunk payload size and
+// per-(stream, peer) pipeline width — without reconfiguring membership: every
+// alive node receives a MsgRetune, and later configurations (Repair after a
+// node rejoins) inherit the new values. Serializes with protocol rounds on the
+// round mutex, so a retune never lands mid-checkpoint. A retune may not cross
+// the chunked/monolithic boundary — that would change the shipped
+// representation between epochs.
+func (c *Coordinator) Retune(chunkSize, pipelineWidth int) error {
+	c.roundMu.Lock()
+	defer c.roundMu.Unlock()
+	if (resolveChunkSize(c.chunkSize) > 0) != (resolveChunkSize(chunkSize) > 0) {
+		return fmt.Errorf("runtime: retune cannot cross the chunked/monolithic boundary (have chunked=%v)",
+			resolveChunkSize(c.chunkSize) > 0)
+	}
+	text, err := encodeJSON(retuneConfig{ChunkSize: chunkSize, PipelineWidth: pipelineWidth})
+	if err != nil {
+		return err
+	}
+	if err := c.fanout(obs.SpanContext{}, "retune", c.aliveNodes(),
+		func(int) *wire.Message { return &wire.Message{Type: wire.MsgRetune, Text: text} },
+		func(n int, resp *wire.Message) error {
+			if resp.Type != wire.MsgRetuneOK {
+				return fmt.Errorf("runtime: node %d replied %v to retune", n, resp.Type)
+			}
+			return nil
+		}); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.chunkSize = chunkSize
+	c.pipeWidth = pipelineWidth
+	c.mu.Unlock()
+	return nil
+}
+
 // SetWorkload selects the synthetic workload kind every VM runs ("" =
 // uniform; see WorkloadUniform, WorkloadRewrite). Call before Setup — the
 // kind rides each VMConfig, and the Shadow model must be built with the same
@@ -150,6 +192,19 @@ func (c *Coordinator) SetObserver(tr *obs.Tracer, reg *obs.Registry) {
 	c.tracer = tr
 	c.registry = reg
 	c.mu.Unlock()
+	// Live tuning gauges: what the data path is currently configured to do,
+	// so dashboards (and the adaptive advisor's paper trail) can correlate
+	// retunes with round-time shifts.
+	reg.GaugeFunc("dvdc_chunk_size_bytes", func() float64 {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return float64(resolveChunkSize(c.chunkSize))
+	})
+	reg.GaugeFunc("dvdc_pipeline_width", func() float64 {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return float64(resolvePipelineWidth(c.pipeWidth))
+	})
 }
 
 // SetFlightRecorder attaches a black-box flight recorder (may be nil). Every
@@ -370,7 +425,7 @@ func (c *Coordinator) vmConfig(v cluster.VMPlacement) VMConfig {
 
 // nodeConfig renders the full initial assignment for one node.
 func (c *Coordinator) nodeConfig(n int) NodeConfig {
-	cfg := NodeConfig{NodeID: n, Peers: c.addrs, Compress: c.compress, ChunkSize: c.chunkSize, Dedup: c.dedup}
+	cfg := NodeConfig{NodeID: n, Peers: c.addrs, Compress: c.compress, ChunkSize: c.chunkSize, Dedup: c.dedup, PipelineWidth: c.pipeWidth}
 	for _, v := range c.layout.VMs {
 		if v.Node == n {
 			cfg.VMs = append(cfg.VMs, c.vmConfig(v))
@@ -1063,7 +1118,7 @@ func (c *Coordinator) Repair(node int) error {
 	c.mu.Unlock()
 	// The rejoined daemon needs a fresh configuration (peers, compression,
 	// chunking); it hosts nothing until rebalance moves VMs or parity to it.
-	cfg := NodeConfig{NodeID: node, Peers: c.addrs, Compress: c.compress, ChunkSize: c.chunkSize, Dedup: c.dedup}
+	cfg := NodeConfig{NodeID: node, Peers: c.addrs, Compress: c.compress, ChunkSize: c.chunkSize, Dedup: c.dedup, PipelineWidth: c.pipeWidth}
 	text, err := encodeJSON(cfg)
 	if err != nil {
 		return err
@@ -1135,17 +1190,36 @@ func (c *Coordinator) Rebalance() (plan *cluster.Plan, err error) {
 	if err := c.layout.ApplyRebalance(plan); err != nil {
 		return nil, err
 	}
-	nodeOf := map[string]int{}
-	for _, v := range c.layout.VMs {
-		nodeOf[v.Name] = v.Node
-	}
 	var rehomes []cluster.Step
 	for _, s := range plan.Steps {
 		if s.Kind == cluster.RehomeParity {
 			rehomes = append(rehomes, s)
 		}
 	}
-	if err := parallelDo(len(rehomes), c.fanoutWidth(), func(i int) error {
+	if err := c.rebuildRehomes(rctx, rehomes); err != nil {
+		return nil, err
+	}
+	// Refresh parity pointers on every alive node for touched groups.
+	touched := map[int]bool{}
+	for _, s := range plan.Steps {
+		touched[s.Group] = true
+	}
+	if err := c.refreshParityPointers(rctx, touched); err != nil {
+		return nil, err
+	}
+	c.observePhase("rebalance", time.Since(t0))
+	return plan, nil
+}
+
+// rebuildRehomes rebuilds each RehomeParity step's parity block on its target
+// node, concurrently, against the already-applied layout (each rebuild pulls
+// every member's committed image and folds them on the new keeper).
+func (c *Coordinator) rebuildRehomes(rctx obs.SpanContext, rehomes []cluster.Step) error {
+	nodeOf := map[string]int{}
+	for _, v := range c.layout.VMs {
+		nodeOf[v.Name] = v.Node
+	}
+	return parallelDo(len(rehomes), c.fanoutWidth(), func(i int) error {
 		s := rehomes[i]
 		idx := s.SourceNodes[0]
 		g := c.layout.Groups[s.Group]
@@ -1173,10 +1247,50 @@ func (c *Coordinator) Rebalance() (plan *cluster.Plan, err error) {
 			return fmt.Errorf("runtime: rebuild keeper %d on node %d: %w", s.Group, s.TargetNode, err)
 		}
 		return nil
-	}); err != nil {
+	})
+}
+
+// EvacuateKeepers drains every parity block off one (alive) node — the
+// placement response to the telemetry plane flagging the node as habitually
+// slow. Each evacuated block is recomputed on an orthogonality-preserving
+// target (cluster.PlanKeeperEvacuation) and every alive node's parity
+// pointers are refreshed, exactly the recovery/rebalance machinery — the
+// node keeps its hosted VMs, it just stops being a fan-in point. Call right
+// after a committed Checkpoint, before any Step, like Rebalance. Layouts
+// with no legal target (the paper's minimal 4-node placement) fail loudly;
+// an empty plan means the node already keeps no parity.
+func (c *Coordinator) EvacuateKeepers(node int) (plan *cluster.Plan, err error) {
+	c.roundMu.Lock()
+	defer c.roundMu.Unlock()
+	t0 := time.Now()
+	c.mu.Lock()
+	tr := c.tracer
+	if c.dead[node] {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("runtime: cannot evacuate keepers off dead node %d", node)
+	}
+	var down []int
+	for n := range c.dead {
+		down = append(down, n)
+	}
+	c.mu.Unlock()
+	root := tr.Start(obs.SpanContext{}, "evacuate", "coord")
+	root.SetAttr("node", fmt.Sprint(node))
+	defer func() { root.FinishErr(err) }()
+	rctx := root.ContextOr(obs.SpanContext{})
+	plan, err = c.layout.PlanKeeperEvacuation(node, down...)
+	if err != nil {
 		return nil, err
 	}
-	// Refresh parity pointers on every alive node for touched groups.
+	if len(plan.Steps) == 0 {
+		return plan, nil
+	}
+	if err := c.layout.ApplyRebalance(plan); err != nil {
+		return nil, err
+	}
+	if err := c.rebuildRehomes(rctx, plan.Steps); err != nil {
+		return nil, err
+	}
 	touched := map[int]bool{}
 	for _, s := range plan.Steps {
 		touched[s.Group] = true
@@ -1184,7 +1298,7 @@ func (c *Coordinator) Rebalance() (plan *cluster.Plan, err error) {
 	if err := c.refreshParityPointers(rctx, touched); err != nil {
 		return nil, err
 	}
-	c.observePhase("rebalance", time.Since(t0))
+	c.observePhase("evacuate", time.Since(t0))
 	return plan, nil
 }
 

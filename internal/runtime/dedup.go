@@ -87,8 +87,11 @@ func (ms *memberState) dedupAbort() {
 
 // dedupInvalidate drops the whole cache (abort, rollback, recovery,
 // rebalance): conservative, but those paths are rare and a stale entry
-// silently corrupts parity. Caller holds ms.mu.
-func (ms *memberState) dedupInvalidate() {
+// silently corrupts parity. Returns the number of entries dropped, so the
+// caller can surface invalidation churn as telemetry. Caller holds ms.mu.
+func (ms *memberState) dedupInvalidate() int64 {
+	dropped := int64(len(ms.pageHashes) + len(ms.stagedHashes))
 	clear(ms.pageHashes)
 	clear(ms.stagedHashes)
+	return dropped
 }

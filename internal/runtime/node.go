@@ -36,8 +36,9 @@ type Node struct {
 	keepers    map[int]*keeperState       // by group (orthogonality: at most one block of a group per node)
 	installs   map[string]*wire.Assembler // VM -> image chunks staged by MsgInstallChunk
 	compress   bool
-	chunkSize  int  // effective chunk payload size; 0 = monolithic data path
-	dedup      bool // cross-epoch page-hash dedup on the ship path
+	chunkSize  int           // effective chunk payload size; 0 = monolithic data path
+	pipeWidth  int           // in-flight chunk batches per (stream, peer); 0 = default
+	dedup      bool          // cross-epoch page-hash dedup on the ship path
 	foldSem    chan struct{} // bounds concurrent per-group fold workers
 	rpcTimeout time.Duration
 	fanout     int
@@ -385,6 +386,8 @@ func (n *Node) dispatch(ctx obs.SpanContext, req *wire.Message) (*wire.Message, 
 		return n.onSetParityBatch(req)
 	case wire.MsgStats:
 		return n.onStats(req)
+	case wire.MsgRetune:
+		return n.onRetune(req)
 	default:
 		return nil, fmt.Errorf("runtime: node %d: unhandled message %v", n.nodeID(), req.Type)
 	}
@@ -401,6 +404,7 @@ func (n *Node) onConfigure(req *wire.Message) (*wire.Message, error) {
 	n.peers = cfg.Peers
 	n.compress = cfg.Compress
 	n.chunkSize = resolveChunkSize(cfg.ChunkSize)
+	n.pipeWidth = resolvePipelineWidth(cfg.PipelineWidth)
 	n.dedup = cfg.Dedup
 	n.installs = map[string]*wire.Assembler{}
 	// Drop pools whose peer moved to a new address.
@@ -447,6 +451,29 @@ func (n *Node) onConfigure(req *wire.Message) (*wire.Message, error) {
 	return &wire.Message{Type: wire.MsgConfigureOK}, nil
 }
 
+// onRetune applies a live data-path retune: chunk size and pipeline width
+// change between rounds without the full reconfigure (which would wipe
+// members, keepers, and the dedup cache). Tuning only shapes how staged
+// deltas travel — never what is committed — so it is safe mid-protocol; the
+// next prepare simply ships with the new granularity.
+func (n *Node) onRetune(req *wire.Message) (*wire.Message, error) {
+	var rt retuneConfig
+	if err := decodeJSON(req.Text, &rt); err != nil {
+		return nil, fmt.Errorf("runtime: bad retune payload: %w", err)
+	}
+	n.mu.Lock()
+	wasChunked := n.chunkSize > 0
+	nowChunked := resolveChunkSize(rt.ChunkSize) > 0
+	if wasChunked != nowChunked {
+		n.mu.Unlock()
+		return nil, fmt.Errorf("runtime: retune cannot cross the chunked/monolithic boundary (have chunked=%v)", wasChunked)
+	}
+	n.chunkSize = resolveChunkSize(rt.ChunkSize)
+	n.pipeWidth = resolvePipelineWidth(rt.PipelineWidth)
+	n.mu.Unlock()
+	return &wire.Message{Type: wire.MsgRetuneOK}, nil
+}
+
 func (n *Node) onStep(req *wire.Message) (*wire.Message, error) {
 	members := n.snapshotMembers()
 	n.mu.Lock()
@@ -488,8 +515,9 @@ type shipment struct {
 func (n *Node) onPrepare(ctx obs.SpanContext, req *wire.Message) (*wire.Message, error) {
 	members := n.snapshotMembers()
 	n.mu.Lock()
-	id, compress, fan, cs, dedup := n.id, n.compress, n.fanout, n.chunkSize, n.dedup
+	id, compress, fan, cs, pw, dedup := n.id, n.compress, n.fanout, n.chunkSize, resolvePipelineWidth(n.pipeWidth), n.dedup
 	tr := n.tracer
+	reg := n.registry
 	n.mu.Unlock()
 	lane := fmt.Sprintf("node%d", id)
 
@@ -515,15 +543,22 @@ func (n *Node) onPrepare(ctx obs.SpanContext, req *wire.Message) (*wire.Message,
 			shipped, hits, misses = ms.dedupFilter(d)
 			if hits > 0 {
 				deduped.Add(hits)
+				saved := hits * int64(ms.cfg.PageSize)
 				n.statsMu.Lock()
 				n.stats.DedupHits += hits
 				n.stats.DedupMisses += misses
-				n.stats.DedupSavedBytes += hits * int64(ms.cfg.PageSize)
+				n.stats.DedupSavedBytes += saved
 				n.statsMu.Unlock()
+				reg.Counter("dvdc_dedup_hits_total").Add(hits)
+				reg.Counter("dvdc_dedup_bytes_saved_total").Add(saved)
+				if misses > 0 {
+					reg.Counter("dvdc_dedup_misses_total").Add(misses)
+				}
 			} else if misses > 0 {
 				n.statsMu.Lock()
 				n.stats.DedupMisses += misses
 				n.statsMu.Unlock()
+				reg.Counter("dvdc_dedup_misses_total").Add(misses)
 			}
 		}
 		ships[i] = shipment{
@@ -547,7 +582,7 @@ func (n *Node) onPrepare(ctx obs.SpanContext, req *wire.Message) (*wire.Message,
 		span := tr.Child(ctx, "ship "+sh.delta.VMID, lane)
 		defer func() { span.FinishErr(shipErr) }()
 		if cs > 0 {
-			return n.shipChunked(span.ContextOr(ctx), span, sh, cs, compress, &wireBytes, &chunksSent)
+			return n.shipChunked(span.ContextOr(ctx), span, sh, cs, pw, compress, &wireBytes, &chunksSent)
 		}
 		payload := encodeDelta(sh.delta, compress)
 		peers := int64(len(sh.parity))
@@ -599,7 +634,7 @@ func (n *Node) onPrepare(ctx obs.SpanContext, req *wire.Message) (*wire.Message,
 // buffer. Batches are built once and shared read-only across peers; per peer,
 // up to chunkPipelineWidth batches are in flight so the network transfer
 // overlaps the keeper's incremental folds.
-func (n *Node) shipChunked(sctx obs.SpanContext, span *obs.Active, sh shipment, chunkSize int, compress bool, wireBytes, chunksSent *atomic.Int64) error {
+func (n *Node) shipChunked(sctx obs.SpanContext, span *obs.Active, sh shipment, chunkSize, pipeWidth int, compress bool, wireBytes, chunksSent *atomic.Int64) error {
 	// Compression needs each chunk's bytes contiguous (Deflate consumes one
 	// slice), so that path materializes pooled chunk buffers. The plain path
 	// ships the captured page buffers themselves as scatter segments — the
@@ -661,7 +696,7 @@ func (n *Node) shipChunked(sctx obs.SpanContext, span *obs.Active, sh shipment, 
 	selfID := n.nodeID()
 	return parallelDo(len(sh.parity), 0, func(j int) error {
 		peer := sh.parity[j]
-		return parallelDo(len(batches), chunkPipelineWidth, func(k int) error {
+		return parallelDo(len(batches), pipeWidth, func(k int) error {
 			msg := &wire.Message{
 				Type: wire.MsgDeltaChunk, Epoch: sh.delta.Epoch,
 				Group: int32(sh.group), VM: sh.delta.VMID,
@@ -1364,6 +1399,7 @@ func (n *Node) onRollback(req *wire.Message) (*wire.Message, error) {
 	members := n.snapshotMembers()
 	n.mu.Lock()
 	fan := n.fanout
+	reg := n.registry
 	n.mu.Unlock()
 	if err := parallelDo(len(members), fan, func(i int) error {
 		ms := members[i]
@@ -1381,7 +1417,12 @@ func (n *Node) onRollback(req *wire.Message) (*wire.Message, error) {
 		}
 		// Rollback rewinds the committed image, so every cached page hash is
 		// for content that no longer exists.
-		ms.dedupInvalidate()
+		if dropped := ms.dedupInvalidate(); dropped > 0 {
+			n.statsMu.Lock()
+			n.stats.DedupInvalidations += dropped
+			n.statsMu.Unlock()
+			reg.Counter("dvdc_dedup_invalidations_total").Add(dropped)
+		}
 		return ms.mem.Rollback()
 	}); err != nil {
 		return nil, err
@@ -1495,6 +1536,9 @@ func (n *Node) onStats(req *wire.Message) (*wire.Message, error) {
 // setParity points hosted members of one group at a new parity node for one
 // parity block (after a keeper was re-homed during recovery).
 func (n *Node) setParity(group, idx, node int) error {
+	n.mu.Lock()
+	reg := n.registry
+	n.mu.Unlock()
 	for _, ms := range n.snapshotMembers() {
 		ms.mu.Lock()
 		if ms.cfg.Group != group {
@@ -1510,7 +1554,12 @@ func (n *Node) setParity(group, idx, node int) error {
 		// A re-homed parity block was rebuilt from committed images; the dedup
 		// cache's notion of "already folded" no longer matches what the new
 		// keeper saw, so the next epoch must ship every dirty page.
-		ms.dedupInvalidate()
+		if dropped := ms.dedupInvalidate(); dropped > 0 {
+			n.statsMu.Lock()
+			n.stats.DedupInvalidations += dropped
+			n.statsMu.Unlock()
+			reg.Counter("dvdc_dedup_invalidations_total").Add(dropped)
+		}
 		ms.mu.Unlock()
 	}
 	return nil

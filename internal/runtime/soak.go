@@ -11,6 +11,7 @@ import (
 	"dvdc/internal/chaos"
 	"dvdc/internal/cluster"
 	"dvdc/internal/obs"
+	"dvdc/internal/obs/adapt"
 	"dvdc/internal/obs/collect"
 	"dvdc/internal/obs/health"
 	"dvdc/internal/wire"
@@ -40,12 +41,14 @@ type SoakConfig struct {
 	RPCTimeout    time.Duration // coordinator/node per-call deadline (default 5s)
 	RoundInterval time.Duration // wall-clock pause after each round (0 = flat out); paces a soak being watched over -obs-addr
 
-	// Slow-node plan: a standing per-frame delivery delay on every wire edge
-	// touching SlowNode for 0-based rounds [SlowFrom, SlowUntil) — the
-	// "habitually slow peer" the health engine's round-time SLO is built to
-	// catch. SlowDelay <= 0 disables; SlowUntil <= 0 means through the last
-	// round. Unlike armed one-shots the delay applies even while
-	// probabilistic chaos is paused, so it stretches whole checkpoint rounds.
+	// Slow-node plan: a standing per-frame delay on every bulk data frame
+	// destined to SlowNode (data-plane ingest congestion; see
+	// chaos.Injector.SlowNode) for 0-based rounds [SlowFrom, SlowUntil) —
+	// the "habitually slow peer" the health engine's round-time SLO is built
+	// to catch and the adaptive keeper-rebalance rule is built to drain.
+	// SlowDelay <= 0 disables; SlowUntil <= 0 means through the last round.
+	// Unlike armed one-shots the delay applies even while probabilistic
+	// chaos is paused, so it stretches whole checkpoint rounds.
 	SlowDelay time.Duration
 	SlowNode  int
 	SlowFrom  int
@@ -55,6 +58,17 @@ type SoakConfig struct {
 	// verification, so a fixed-step evaluator's SLO windows march in lockstep
 	// with rounds: N slow rounds are N evaluation ticks, deterministically.
 	Health *health.Evaluator
+
+	// Adaptive closes the telemetry loop: after each round's verification an
+	// obs/adapt.Advisor consumes the round's critical-path attribution, the
+	// outlier tracker's habitual-slow-peer flags, and the observed failure
+	// rate, and may (a) evacuate parity keepers off a flagged node, (b) retune
+	// chunk size / pipeline width, or (c) retune the checkpoint interval
+	// (scaling the workload steps between checkpoints on the virtual clock).
+	// Every decision lands in RoundRecord.Adapt and the dvdc_adapt_* metric
+	// family; applications pause while a Health rule is firing. Classic-loop
+	// only (not Service mode).
+	Adaptive bool
 
 	// Service routes every checkpoint and recovery through the declarative
 	// control plane (internal/service) instead of invoking the coordinator
@@ -111,6 +125,12 @@ type RoundRecord struct {
 	Kills        []int  // nodes the kill plan took down this round
 	Straggler    string // lane the round's critical path waited on (timing-dependent)
 	Retries      int    // service mode: reconcile attempts beyond the first, summed over the round's requests
+
+	// Wall is the round's checkpoint-trace wall clock (the merged span tree's
+	// extent) and Adapt the advisor's decisions for the round (Adaptive mode).
+	// Both timing-dependent, both excluded from RoundDigest.
+	Wall  time.Duration
+	Adapt []adapt.Decision
 }
 
 // SoakResult is the full account of a soak run.
@@ -216,6 +236,12 @@ type soakEnv struct {
 	shadow    *Shadow
 	outliers  *collect.OutlierTracker
 	lastEpoch map[string]uint64
+
+	// Adaptive-mode state: the advisor, plus the last verified round's
+	// attribution and root span context, the evidence the advisor consumes.
+	advisor  *adapt.Advisor
+	lastAttr *collect.Attribution
+	lastCtx  obs.SpanContext
 }
 
 // newSoakEnv boots the instrumented cluster: flight recorder, tracer,
@@ -304,7 +330,111 @@ func newSoakEnv(cfg SoakConfig) (*soakEnv, error) {
 	}
 	e.outliers = collect.NewOutlierTracker(0, 0)
 	e.outliers.SetRegistry(cfg.Registry)
+	if cfg.Adaptive {
+		e.advisor = adapt.New(adapt.Config{
+			Tracer:   e.tr,
+			Registry: cfg.Registry,
+			Recorder: e.rec,
+			Hooks: adapt.Hooks{
+				EvacuateKeepers: func(peer string) (int, error) {
+					id, err := laneNodeID(peer)
+					if err != nil {
+						return 0, err
+					}
+					plan, err := e.coord.EvacuateKeepers(id)
+					if err != nil {
+						return 0, err
+					}
+					// Keeper evacuations are pure RehomeParity plans: the
+					// shadow model tracks VM images, not parity homes, so
+					// nothing needs mirroring and bit-identity is untouched.
+					return len(plan.Steps), nil
+				},
+				Retune:      func(cs, pw int) error { return e.coord.Retune(cs, pw) },
+				SetInterval: func(float64) error { return nil }, // interval state lives in the advisor; roundSteps reads it back
+			},
+			ChunkSize:       resolveChunkSize(cfg.ChunkSize),
+			PipelineWidth:   resolvePipelineWidth(0),
+			IntervalSeconds: cfg.RoundSeconds,
+			// Soak rounds cover RoundSeconds of virtual exposure each; a
+			// half-life of a few rounds tracks regime changes within one run.
+			RateHalfLife:   6 * cfg.RoundSeconds,
+			MinRateSeconds: 2 * cfg.RoundSeconds,
+			OverheadSec:    1,
+			IntervalLo:     1,
+			IntervalHi:     8 * cfg.RoundSeconds,
+		})
+	} else if cfg.Registry != nil {
+		// Static runs still export the tuning state (satellite gauges): the
+		// interval simply never moves. Adaptive runs get this gauge from the
+		// advisor instead.
+		iv := cfg.RoundSeconds
+		cfg.Registry.GaugeFunc("dvdc_checkpoint_interval_seconds", func() float64 { return iv })
+	}
 	return e, nil
+}
+
+// laneNodeID maps a telemetry lane name ("node3") back to the node index —
+// the advisor speaks lanes, the coordinator speaks indices.
+func laneNodeID(lane string) (int, error) {
+	var id int
+	if _, err := fmt.Sscanf(lane, "node%d", &id); err != nil || id < 0 {
+		return 0, fmt.Errorf("soak: lane %q is not a node lane", lane)
+	}
+	return id, nil
+}
+
+// roundSteps scales the per-round workload steps by the advisor's current
+// checkpoint interval: the interval_retune rule moves how much work runs
+// between checkpoints on the virtual clock, which is exactly what
+// StepsPerRound models. Static soaks always get cfg.StepsPerRound.
+func (e *soakEnv) roundSteps() uint64 {
+	steps := e.cfg.StepsPerRound
+	if e.advisor == nil || e.cfg.RoundSeconds <= 0 {
+		return steps
+	}
+	iv := e.advisor.Interval()
+	if iv <= 0 {
+		return steps
+	}
+	scaled := uint64(float64(steps)*iv/e.cfg.RoundSeconds + 0.5)
+	return max(1, scaled)
+}
+
+// stepAdapt feeds the advisor one verified round's telemetry and records its
+// decisions on the round. Runs after verification and the health tick, on a
+// quiesced cluster, so an applied placement or tuning change lands between
+// rounds, never mid-protocol.
+func (e *soakEnv) stepAdapt(rr *RoundRecord) {
+	if e.advisor == nil {
+		return
+	}
+	outliers := e.outliers.Outliers()
+	evidence := map[string]string{}
+	for _, p := range outliers {
+		evidence["p99 "+p] = e.outliers.P99(p).String()
+	}
+	if med := e.outliers.ClusterMedian(); med > 0 {
+		evidence["cluster_median"] = med.String()
+	}
+	var firing []string
+	if e.cfg.Health != nil {
+		firing = e.cfg.Health.Firing()
+	}
+	o := adapt.Observation{
+		Round:    rr.Round,
+		Ctx:      e.lastCtx,
+		Attr:     e.lastAttr,
+		Outliers: outliers,
+		Evidence: evidence,
+		Failures: len(rr.Kills) + len(rr.DeadDuring),
+		Elapsed:  e.cfg.RoundSeconds,
+		Firing:   firing,
+	}
+	if e.lastAttr != nil {
+		o.Wall = e.lastAttr.Wall
+	}
+	rr.Adapt = e.advisor.Step(o)
 }
 
 // close tears the environment down in the same order RunSoak's defers used
@@ -569,12 +699,23 @@ func (e *soakEnv) verifyRound(round int, rr *RoundRecord) error {
 	// Straggler attribution over the verified tree: who this round's
 	// wall-clock waited on, exported per round, plus the rolling per-peer
 	// latency windows behind the outlier gauges. Timing-dependent, so the
-	// record field stays out of the round digest.
-	if attr := collect.Attribute(tree); attr != nil {
-		attr.Export(e.cfg.Registry)
-		rr.Straggler = attr.Straggler
+	// record fields stay out of the round digest. The attribution and the
+	// round's root span context are kept for the adaptive advisor, which
+	// nests its decision spans under the round trace.
+	e.lastAttr = collect.Attribute(tree)
+	if e.lastAttr != nil {
+		e.lastAttr.Export(e.cfg.Registry)
+		rr.Straggler = e.lastAttr.Straggler
+		rr.Wall = e.lastAttr.Wall
 	}
-	e.outliers.ObserveSpans(tree.Spans)
+	e.lastCtx = obs.SpanContext{}
+	if root := tree.Root(); root != nil {
+		e.lastCtx = obs.SpanContext{Trace: root.Trace, Span: root.ID}
+	}
+	// Data spans only: a member's control rpc includes its own downstream
+	// ship stalls, so a slow keeper would smear into every member's window
+	// and never cross the outlier factor (see ObserveDataSpans).
+	e.outliers.ObserveDataSpans(tree.Spans)
 	return nil
 }
 
@@ -675,6 +816,9 @@ func RunSoak(cfg SoakConfig) (*SoakResult, error) {
 	if cfg.ControllerRestarts > 0 && !cfg.Service {
 		return nil, fmt.Errorf("soak: ControllerRestarts requires Service mode")
 	}
+	if cfg.Adaptive && cfg.Service {
+		return nil, fmt.Errorf("soak: Adaptive is classic-loop only, not Service mode")
+	}
 	if cfg.Service {
 		return runSoakService(cfg)
 	}
@@ -701,10 +845,11 @@ func RunSoak(cfg SoakConfig) (*SoakResult, error) {
 		if inj.ArmedPending() != 0 {
 			return e.fail(round, "%d armed faults never fired", inj.ArmedPending())
 		}
-		if err := coord.Step(cfg.StepsPerRound); err != nil {
+		steps := e.roundSteps()
+		if err := coord.Step(steps); err != nil {
 			return e.fail(round, "step: %v", err)
 		}
-		shadow.Step(cfg.StepsPerRound)
+		shadow.Step(steps)
 
 		partitioned := e.armRoundFaults(victims)
 
@@ -776,6 +921,7 @@ func RunSoak(cfg SoakConfig) (*SoakResult, error) {
 			return e.fail(round, "%v", err)
 		}
 		e.tickHealth()
+		e.stepAdapt(&rr)
 		rr.Epoch = coord.Epoch()
 		e.res.Rounds = append(e.res.Rounds, rr)
 		if cfg.RoundInterval > 0 && r < cfg.Rounds-1 {

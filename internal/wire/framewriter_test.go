@@ -39,9 +39,9 @@ func sgCorpus() []sgSeed {
 		return b
 	}
 	return []sgSeed{
-		{nil, 64, false},                                     // empty stream still ships one frame
-		{[]byte{0xA5}, 1, false},                             // single byte, chunk per byte
-		{randb(37), 7, false},                                // header-size block, odd chunks
+		{nil, 64, false},         // empty stream still ships one frame
+		{[]byte{0xA5}, 1, false}, // single byte, chunk per byte
+		{randb(37), 7, false},    // header-size block, odd chunks
 		{bytes.Repeat([]byte("checkpoint"), 200), 512, true}, // compressible, flate on
 		{randb(3000), 1024, false},                           // incompressible mid-size
 		{randb(4093), 37, true},                              // odd total, header-sized chunks

@@ -66,6 +66,11 @@ const (
 	MsgReadChunkOK
 	MsgInstallChunk // target node: stage one chunk of an incoming VM image
 	MsgInstallChunkOK
+
+	// Adaptive data-path tuning (appended to keep earlier wire numbering and
+	// the checked-in fuzz corpus stable).
+	MsgRetune // live-retune a node's chunk size / pipeline width (JSON in Text)
+	MsgRetuneOK
 )
 
 // msgNames is package-level: String runs per RPC on the hot path (span
@@ -94,6 +99,7 @@ var msgNames = map[MsgType]string{
 	MsgDeltaChunk: "delta-chunk", MsgDeltaChunkOK: "delta-chunk-ok",
 	MsgReadChunk: "read-chunk", MsgReadChunkOK: "read-chunk-ok",
 	MsgInstallChunk: "install-chunk", MsgInstallChunkOK: "install-chunk-ok",
+	MsgRetune: "retune", MsgRetuneOK: "retune-ok",
 }
 
 // String names the message type.
@@ -102,6 +108,22 @@ func (t MsgType) String() string {
 		return n
 	}
 	return fmt.Sprintf("MsgType(%d)", uint8(t))
+}
+
+// Bulk reports whether a frame type carries checkpoint or recovery payload —
+// the data plane — as opposed to protocol control. Delta ships, image and
+// parity transfers, and chunk streams qualify; requests, acks, and stats do
+// not. The chaos layer keys its standing slow-node condition off this: a
+// "habitually slow" node in the paper's sense has a congested data-plane
+// ingest (the disk or NIC absorbing every member's delta stream), while
+// small control frames ride an uncongested queue.
+func (t MsgType) Bulk() bool {
+	switch t {
+	case MsgDelta, MsgDeltaChunk, MsgImage, MsgInstall, MsgInstallChunk,
+		MsgReconstructOK, MsgReadChunkOK, MsgGetParityOK, MsgEvictOK:
+		return true
+	}
+	return false
 }
 
 // Message is one protocol frame.
